@@ -1,0 +1,43 @@
+//! # gaugur-baselines — the comparator predictors of the GAugur paper
+//!
+//! Section 4.1 ("Alternative Prediction Approaches") and Section 5 compare
+//! GAugur against three prior-art policies, all reproduced here:
+//!
+//! * [`sigmoid`] — the Sigmoid model of \[6, 21\]: a game's frame rate depends
+//!   only on *how many* games it is colocated with,
+//!   `FPS(n) = α₁ / (1 + exp(−α₂·n + α₃))`, fitted per game.
+//! * [`smite`] — SMiTe \[39\]: a linear model over (sensitivity score ×
+//!   intensity) per resource, extended to more than two co-runners with
+//!   Paragon's additive-intensity assumption — the assumption Observation 5
+//!   shows to be false for games.
+//! * [`vbp`] — Vector Bin Packing (Section 2.2): demand-vector feasibility
+//!   with no interference modelling at all.
+//!
+//! All the degradation-capable methodologies implement
+//! [`DegradationPredictor`], so the evaluation harness can sweep them
+//! uniformly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod sigmoid;
+pub mod smite;
+pub mod vbp;
+
+pub use sigmoid::SigmoidPredictor;
+pub use smite::SmitePredictor;
+pub use vbp::VbpPolicy;
+
+use gaugur_core::Placement;
+
+/// A methodology that predicts the degradation ratio of a target game under
+/// colocation (GAugur's RM, Sigmoid and SMiTe all qualify; VBP does not — it
+/// only judges feasibility).
+pub trait DegradationPredictor {
+    /// Predicted degradation ratio (colocated FPS / solo FPS) of `target`
+    /// when colocated with `others`.
+    fn predict_degradation(&self, target: Placement, others: &[Placement]) -> f64;
+
+    /// Short display name for result tables.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,167 @@
+//! The Sigmoid baseline of prior work \[6, 21\] (paper Section 4.1).
+//!
+//! "This approach assumes the performance degradation of a game is only
+//! dependent on the number of games colocated. The frame rate of game A when
+//! colocated with n games is modeled by α₁ / (1 + e^{−α₂·n + α₃})." The
+//! parameters are fitted per game from the training colocations that contain
+//! it. Because it ignores *which* games share the server, its error is large
+//! whenever co-runner identity matters — which Figure 1 of the paper shows
+//! is the norm.
+
+use crate::DegradationPredictor;
+use gaugur_core::{MeasuredColocation, Placement, ProfileStore};
+use gaugur_gamesim::GameId;
+use gaugur_ml::curvefit::SigmoidFit;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-game sigmoid frame-rate model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SigmoidPredictor {
+    fits: HashMap<GameId, SigmoidFit>,
+    /// Fallback over all games, on degradation ratios, for games that never
+    /// appear in the training colocations.
+    global_degradation: SigmoidFit,
+    profiles: ProfileStore,
+}
+
+impl SigmoidPredictor {
+    /// Fit per-game sigmoids on `(n co-runners, measured FPS)` points from
+    /// the training colocations, exactly as the paper's implementation
+    /// derives them.
+    pub fn train(profiles: ProfileStore, measured: &[MeasuredColocation]) -> SigmoidPredictor {
+        let mut per_game: HashMap<GameId, Vec<(f64, f64)>> = HashMap::new();
+        let mut global: Vec<(f64, f64)> = Vec::new();
+        for m in measured {
+            let n = (m.size() - 1) as f64;
+            for (i, &(id, res)) in m.members.iter().enumerate() {
+                per_game.entry(id).or_default().push((n, m.fps[i]));
+                let solo = profiles.get(id).solo_fps_at(res);
+                global.push((n, (m.fps[i] / solo).clamp(0.01, 1.2)));
+            }
+        }
+        let fits = per_game
+            .into_iter()
+            .map(|(id, pts)| (id, SigmoidFit::fit(&pts)))
+            .collect();
+        let global_degradation = SigmoidFit::fit(&global);
+        SigmoidPredictor {
+            fits,
+            global_degradation,
+            profiles,
+        }
+    }
+
+    /// Predicted FPS of a game colocated with `n` other games.
+    pub fn predict_fps(&self, target: Placement, n_corunners: usize) -> f64 {
+        let n = n_corunners as f64;
+        match self.fits.get(&target.0) {
+            Some(fit) => fit.eval(n).max(1.0),
+            None => {
+                let solo = self.profiles.get(target.0).solo_fps_at(target.1);
+                (self.global_degradation.eval(n).clamp(0.01, 1.0) * solo).max(1.0)
+            }
+        }
+    }
+}
+
+impl DegradationPredictor for SigmoidPredictor {
+    fn predict_degradation(&self, target: Placement, others: &[Placement]) -> f64 {
+        let solo = self.profiles.get(target.0).solo_fps_at(target.1);
+        (self.predict_fps(target, others.len()) / solo).clamp(0.01, 1.05)
+    }
+
+    fn name(&self) -> &'static str {
+        "Sigmoid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugur_core::{
+        measure_colocations, plan_colocations, ColocationPlan, Profiler, ProfilingConfig,
+    };
+    use gaugur_gamesim::{GameCatalog, Resolution, Server};
+
+    fn setup() -> (GameCatalog, SigmoidPredictor) {
+        let server = Server::reference(5);
+        let catalog = GameCatalog::generate(42, 10);
+        let profiles = gaugur_core::ProfileStore::new(
+            Profiler::new(ProfilingConfig::default()).profile_catalog(&server, &catalog),
+        );
+        let plan = ColocationPlan {
+            pairs: 60,
+            triples: 20,
+            quads: 10,
+            seed: 6,
+        };
+        let measured =
+            measure_colocations(&server, &catalog, &plan_colocations(&catalog, &plan));
+        (catalog, SigmoidPredictor::train(profiles, &measured))
+    }
+
+    #[test]
+    fn more_corunners_predict_lower_fps() {
+        let (catalog, model) = setup();
+        let res = Resolution::Fhd1080;
+        for g in catalog.games().iter().take(5) {
+            let f1 = model.predict_fps((g.id, res), 1);
+            let f3 = model.predict_fps((g.id, res), 3);
+            assert!(
+                f3 <= f1 * 1.05,
+                "{}: fps should not rise with more co-runners ({f1} → {f3})",
+                g.name
+            );
+        }
+    }
+
+    #[test]
+    fn prediction_ignores_corunner_identity() {
+        let (catalog, model) = setup();
+        let res = Resolution::Fhd1080;
+        let target = (catalog[0].id, res);
+        let light = [(catalog[1].id, res)];
+        let heavy = [(catalog.by_name("ARK Survival Evolved").unwrap().id, res)];
+        // The defining (flawed) property of the Sigmoid baseline.
+        assert_eq!(
+            model.predict_degradation(target, &light),
+            model.predict_degradation(target, &heavy)
+        );
+    }
+
+    #[test]
+    fn degradation_is_a_valid_ratio() {
+        let (catalog, model) = setup();
+        let res = Resolution::Hd720;
+        for g in catalog.games() {
+            for n in 1..=4 {
+                let others = vec![(catalog[0].id, res); n];
+                let d = model.predict_degradation((g.id, res), &others);
+                assert!(d > 0.0 && d <= 1.05, "{}: {d}", g.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unseen_game_falls_back_to_global_fit() {
+        let server = Server::reference(5);
+        let catalog = GameCatalog::generate(42, 10);
+        let profiles = gaugur_core::ProfileStore::new(
+            Profiler::new(ProfilingConfig::default()).profile_catalog(&server, &catalog),
+        );
+        // Train only on colocations of games 0..4; game 9 is unseen.
+        let plan = ColocationPlan {
+            pairs: 20,
+            triples: 0,
+            quads: 0,
+            seed: 8,
+        };
+        let small = GameCatalog::generate(42, 5);
+        let measured = measure_colocations(&server, &small, &plan_colocations(&small, &plan));
+        let model = SigmoidPredictor::train(profiles, &measured);
+        let res = Resolution::Fhd1080;
+        let d = model.predict_degradation((catalog[9].id, res), &[(catalog[0].id, res)]);
+        assert!(d > 0.0 && d <= 1.05);
+    }
+}

@@ -1,0 +1,173 @@
+//! The SMiTe baseline \[39\], extended to >2 co-runners with Paragon's \[13\]
+//! additive-intensity assumption (paper Section 4.1, Eqs. 8–9).
+//!
+//! SMiTe models the degradation of game A colocated with B, C, … as
+//!
+//! `δ̃ = Σ_r c_r · sens_r^A · (I_r^B + I_r^C + …) + c₀`
+//!
+//! where `sens_r^A` is A's sensitivity *score* (degradation under maximum
+//! pressure on resource r) and the coefficients `c_r, c₀` are fitted by
+//! regression on the training set. Two assumptions break for games: the
+//! linearity of the response (Observation 4) and the additivity of intensity
+//! (Observation 5) — which is exactly why its error explodes for 4-game
+//! colocations in Figure 7b.
+
+use crate::DegradationPredictor;
+use gaugur_core::{MeasuredColocation, Placement, ProfileStore};
+use gaugur_gamesim::{ResourceVec, ALL_RESOURCES, NUM_RESOURCES};
+use gaugur_ml::{Dataset, LinearRegression, Regressor};
+use serde::{Deserialize, Serialize};
+
+/// The fitted SMiTe model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SmitePredictor {
+    model: LinearRegression,
+    profiles: ProfileStore,
+}
+
+/// SMiTe's feature vector: per resource, the sensitivity score of the target
+/// times the *summed* intensity of the co-runners.
+fn smite_features(
+    profiles: &ProfileStore,
+    target: Placement,
+    others: &[Placement],
+) -> Vec<f64> {
+    let profile = profiles.get(target.0);
+    let mut summed = ResourceVec::ZERO;
+    for &(id, res) in others {
+        let i = profiles.get(id).intensity_at(res);
+        for r in ALL_RESOURCES {
+            summed[r] += i[r];
+        }
+    }
+    let mut f = Vec::with_capacity(NUM_RESOURCES);
+    for r in ALL_RESOURCES {
+        // Sensitivity score: degradation suffered at maximum pressure
+        // (1 − retention ratio), per the SMiTe definition.
+        let sens = 1.0 - profile.sensitivity_for(r).at_max_pressure();
+        f.push(sens * summed[r]);
+    }
+    f
+}
+
+impl SmitePredictor {
+    /// Fit the coefficients by least squares on the training colocations.
+    pub fn train(profiles: ProfileStore, measured: &[MeasuredColocation]) -> SmitePredictor {
+        let mut data = Dataset::new();
+        for m in measured {
+            for (i, &(id, res)) in m.members.iter().enumerate() {
+                let others: Vec<Placement> = m
+                    .members
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &p)| p)
+                    .collect();
+                let solo = profiles.get(id).solo_fps_at(res);
+                let degradation = (m.fps[i] / solo).clamp(0.01, 1.2);
+                data.push(smite_features(&profiles, (id, res), &others), degradation);
+            }
+        }
+        SmitePredictor {
+            model: LinearRegression::fit(&data),
+            profiles,
+        }
+    }
+
+    /// The fitted per-resource coefficients `c_r` (diagnostics).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.model.weights
+    }
+
+    /// The fitted constant `c₀` (diagnostics).
+    pub fn intercept(&self) -> f64 {
+        self.model.intercept
+    }
+}
+
+impl DegradationPredictor for SmitePredictor {
+    fn predict_degradation(&self, target: Placement, others: &[Placement]) -> f64 {
+        let f = smite_features(&self.profiles, target, others);
+        self.model.predict(&f).clamp(0.01, 1.05)
+    }
+
+    fn name(&self) -> &'static str {
+        "SMiTe"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugur_core::{
+        measure_colocations, plan_colocations, ColocationPlan, Profiler, ProfilingConfig,
+    };
+    use gaugur_gamesim::{GameCatalog, Resolution, Server};
+
+    fn setup() -> (GameCatalog, SmitePredictor) {
+        let server = Server::reference(5);
+        let catalog = GameCatalog::generate(42, 10);
+        let profiles = gaugur_core::ProfileStore::new(
+            Profiler::new(ProfilingConfig::default()).profile_catalog(&server, &catalog),
+        );
+        let plan = ColocationPlan {
+            pairs: 80,
+            triples: 20,
+            quads: 10,
+            seed: 12,
+        };
+        let measured =
+            measure_colocations(&server, &catalog, &plan_colocations(&catalog, &plan));
+        (catalog, SmitePredictor::train(profiles, &measured))
+    }
+
+    #[test]
+    fn heavier_corunners_predict_more_degradation() {
+        let (catalog, model) = setup();
+        let res = Resolution::Fhd1080;
+        let target = (catalog.by_name("Battlerite").unwrap().id, res);
+        let light = [(catalog.by_name("A Walk in the Woods").unwrap().id, res)];
+        let heavy = [(catalog.by_name("ARK Survival Evolved").unwrap().id, res)];
+        let d_light = model.predict_degradation(target, &light);
+        let d_heavy = model.predict_degradation(target, &heavy);
+        assert!(
+            d_heavy < d_light,
+            "heavy co-runner should predict lower ratio: {d_heavy} vs {d_light}"
+        );
+    }
+
+    #[test]
+    fn intensity_is_assumed_additive() {
+        // The defining (flawed) extension: doubling the co-runner set scales
+        // the summed-intensity features exactly linearly.
+        let (catalog, model) = setup();
+        let res = Resolution::Fhd1080;
+        let target = (catalog[0].id, res);
+        let one = [(catalog[1].id, res)];
+        let two = [(catalog[1].id, res), (catalog[1].id, res)];
+        let f1 = smite_features(&model.profiles, target, &one);
+        let f2 = smite_features(&model.profiles, target, &two);
+        for (a, b) in f1.iter().zip(&f2) {
+            assert!((2.0 * a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn predictions_are_valid_ratios() {
+        let (catalog, model) = setup();
+        let res = Resolution::Qhd1440;
+        for g in catalog.games() {
+            let others = [(catalog[3].id, res), (catalog[7].id, res)];
+            let d = model.predict_degradation((g.id, res), &others);
+            assert!(d > 0.0 && d <= 1.05);
+        }
+    }
+
+    #[test]
+    fn coefficients_are_finite() {
+        let (_, model) = setup();
+        assert_eq!(model.coefficients().len(), 7);
+        assert!(model.coefficients().iter().all(|c| c.is_finite()));
+        assert!(model.intercept().is_finite());
+    }
+}

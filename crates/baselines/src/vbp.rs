@@ -1,0 +1,183 @@
+//! The Vector Bin Packing policy (paper Sections 2.2 and 5).
+//!
+//! Each game is a resource-demand vector measured when it runs alone; a
+//! colocation is judged feasible iff the summed demand fits the server on
+//! every dimension. The paper excludes caches from the check ("LLC and
+//! GPU-L2 are not included because cache is generally not characterized by
+//! utilization") but includes CPU and GPU memory. VBP neither over- nor
+//! under-provisions deliberately — it simply cannot see interference, which
+//! is why the DDDA / Little Witch Academia example of Section 2.2 passes
+//! VBP yet violates QoS in reality.
+
+use gaugur_core::Placement;
+use gaugur_gamesim::{GameCatalog, Resolution, ResourceVec, ALL_RESOURCES};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A game's VBP description: per-resource utilization (caches zeroed) plus
+/// the two memory demands.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct VbpEntry {
+    utilization: ResourceVec,
+    cpu_mem: f64,
+    gpu_mem: f64,
+}
+
+/// The VBP feasibility policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VbpPolicy {
+    entries: HashMap<(u32, u32), VbpEntry>, // (game id, resolution ordinal)
+}
+
+fn res_ordinal(res: Resolution) -> u32 {
+    match res {
+        Resolution::Hd720 => 0,
+        Resolution::Hd900 => 1,
+        Resolution::Fhd1080 => 2,
+        Resolution::Qhd1440 => 3,
+    }
+}
+
+impl VbpPolicy {
+    /// Build the demand table from solo measurements of every game at every
+    /// resolution (these are plain counter readings — no interference
+    /// modelling involved).
+    pub fn from_catalog(catalog: &GameCatalog) -> VbpPolicy {
+        let mut entries = HashMap::new();
+        for g in catalog.games() {
+            for res in gaugur_gamesim::game::ALL_RESOLUTIONS {
+                let mut utilization = g.solo_utilization(res);
+                // Caches are not characterized by utilization.
+                utilization[gaugur_gamesim::Resource::Llc] = 0.0;
+                utilization[gaugur_gamesim::Resource::GpuL2] = 0.0;
+                let demand = g.solo_demand(res);
+                entries.insert(
+                    (g.id.0, res_ordinal(res)),
+                    VbpEntry {
+                        utilization,
+                        cpu_mem: demand.cpu_mem,
+                        gpu_mem: demand.gpu_mem,
+                    },
+                );
+            }
+        }
+        VbpPolicy { entries }
+    }
+
+    fn entry(&self, p: Placement) -> &VbpEntry {
+        self.entries
+            .get(&(p.0 .0, res_ordinal(p.1)))
+            .expect("placement in demand table")
+    }
+
+    /// Whether the summed demand of a colocation fits the unit-capacity
+    /// server on every (non-cache) resource dimension plus both memories.
+    pub fn feasible(&self, members: &[Placement]) -> bool {
+        let mut total = ResourceVec::ZERO;
+        let mut cpu_mem = 0.0;
+        let mut gpu_mem = 0.0;
+        for &p in members {
+            let e = self.entry(p);
+            for r in ALL_RESOURCES {
+                total[r] += e.utilization[r];
+            }
+            cpu_mem += e.cpu_mem;
+            gpu_mem += e.gpu_mem;
+        }
+        ALL_RESOURCES.iter().all(|&r| total[r] <= 1.0) && cpu_mem <= 1.0 && gpu_mem <= 1.0
+    }
+
+    /// Total remaining (non-cache) capacity of a server after placing
+    /// `members` — the worst-fit score used by the Section 5.2 VBP
+    /// assignment ("the total remaining capacity of all the shared resources
+    /// except for LLC and GPU-L2").
+    pub fn remaining_capacity(&self, members: &[Placement]) -> f64 {
+        let mut total = ResourceVec::ZERO;
+        for &p in members {
+            let e = self.entry(p);
+            for r in ALL_RESOURCES {
+                total[r] += e.utilization[r];
+            }
+        }
+        ALL_RESOURCES
+            .iter()
+            .map(|&r| (1.0 - total[r]).max(0.0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugur_gamesim::Resolution;
+
+    fn setup() -> (GameCatalog, VbpPolicy) {
+        let catalog = GameCatalog::generate(42, 30);
+        let policy = VbpPolicy::from_catalog(&catalog);
+        (catalog, policy)
+    }
+
+    #[test]
+    fn empty_and_single_light_colocations_are_feasible() {
+        let (catalog, policy) = setup();
+        assert!(policy.feasible(&[]));
+        let indie = catalog.by_name("A Walk in the Woods").unwrap();
+        assert!(policy.feasible(&[(indie.id, Resolution::Hd720)]));
+    }
+
+    #[test]
+    fn stacked_heavy_games_become_infeasible() {
+        let (catalog, policy) = setup();
+        let heavy: Vec<Placement> = catalog
+            .games()
+            .iter()
+            .filter(|g| g.genre == gaugur_gamesim::Genre::AaaOpenWorld)
+            .map(|g| (g.id, Resolution::Qhd1440))
+            .collect();
+        assert!(heavy.len() >= 2);
+        // Enough AAA games at max resolution must exceed some dimension.
+        assert!(!policy.feasible(&heavy));
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_set_inclusion() {
+        let (catalog, policy) = setup();
+        let res = Resolution::Fhd1080;
+        let a = (catalog[0].id, res);
+        let b = (catalog[1].id, res);
+        let c = (catalog[2].id, res);
+        if !policy.feasible(&[a, b]) {
+            assert!(!policy.feasible(&[a, b, c]), "superset cannot become feasible");
+        }
+    }
+
+    #[test]
+    fn remaining_capacity_decreases_with_load() {
+        let (catalog, policy) = setup();
+        let res = Resolution::Fhd1080;
+        let empty = policy.remaining_capacity(&[]);
+        let one = policy.remaining_capacity(&[(catalog[0].id, res)]);
+        let two = policy.remaining_capacity(&[(catalog[0].id, res), (catalog[4].id, res)]);
+        assert_eq!(empty, 7.0);
+        assert!(one < empty);
+        assert!(two < one);
+    }
+
+    #[test]
+    fn caches_are_excluded_from_the_check() {
+        let (catalog, policy) = setup();
+        let e = policy.entry((catalog[0].id, Resolution::Fhd1080));
+        assert_eq!(e.utilization[gaugur_gamesim::Resource::Llc], 0.0);
+        assert_eq!(e.utilization[gaugur_gamesim::Resource::GpuL2], 0.0);
+    }
+
+    #[test]
+    fn higher_resolution_demands_more_gpu() {
+        let (catalog, policy) = setup();
+        let lo = policy.entry((catalog[5].id, Resolution::Hd720)).utilization
+            [gaugur_gamesim::Resource::GpuCore];
+        let hi = policy.entry((catalog[5].id, Resolution::Qhd1440)).utilization
+            [gaugur_gamesim::Resource::GpuCore];
+        assert!(hi > lo);
+    }
+}

@@ -1,0 +1,28 @@
+//! Performance ablations: where the online-prediction time goes, across the
+//! paper's four model families (tree ensembles pay per-tree traversal; the
+//! SVMs pay per-support-vector kernel evaluations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaugur_bench::ExperimentContext;
+use gaugur_core::{build_rm_samples, to_dataset, RegressionModel, ALL_ALGORITHMS};
+
+fn bench(c: &mut Criterion) {
+    let ctx = ExperimentContext::small(1);
+    let samples = build_rm_samples(&ctx.profiles, &ctx.train);
+    let data = to_dataset(&samples[..samples.len().min(200)]);
+    let probe = data.features[0].clone();
+
+    let mut g = c.benchmark_group("rm_inference_by_algorithm");
+    for algo in ALL_ALGORITHMS {
+        let model = RegressionModel::train(&data, algo, 1);
+        g.bench_with_input(
+            BenchmarkId::new("predict", algo.regression_name()),
+            &model,
+            |b, model| b.iter(|| model.predict(std::hint::black_box(&probe))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

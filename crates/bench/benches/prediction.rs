@@ -1,0 +1,65 @@
+//! Online prediction latency — the paper's "negligible overhead for online
+//! prediction" claim (Sections 1 and 3.6).
+//!
+//! Gaming requests must be placed the moment they arrive, so the per-request
+//! prediction cost is the latency budget that matters.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gaugur_baselines::{DegradationPredictor, SigmoidPredictor, SmitePredictor, VbpPolicy};
+use gaugur_bench::ExperimentContext;
+use gaugur_core::{GAugur, GAugurConfig, Placement};
+use gaugur_gamesim::Resolution;
+
+fn bench(c: &mut Criterion) {
+    let ctx = ExperimentContext::small(1);
+    let gaugur =
+        GAugur::from_measurements(ctx.profiles.clone(), &ctx.train, GAugurConfig::default());
+    let sigmoid = SigmoidPredictor::train(ctx.profiles.clone(), &ctx.train);
+    let smite = SmitePredictor::train(ctx.profiles.clone(), &ctx.train);
+    let vbp = VbpPolicy::from_catalog(&ctx.catalog);
+
+    let res = Resolution::Fhd1080;
+    let target: Placement = (ctx.catalog[0].id, res);
+    let others: Vec<Placement> = vec![
+        (ctx.catalog[1].id, res),
+        (ctx.catalog[2].id, res),
+        (ctx.catalog[3].id, res),
+    ];
+    let members: Vec<Placement> = std::iter::once(target).chain(others.clone()).collect();
+
+    let mut g = c.benchmark_group("online_prediction");
+    g.bench_function("gaugur_cm_qos", |b| {
+        b.iter(|| gaugur.predict_qos(60.0, std::hint::black_box(target), &others))
+    });
+    g.bench_function("gaugur_rm_degradation", |b| {
+        b.iter(|| gaugur.predict_degradation(std::hint::black_box(target), &others))
+    });
+    g.bench_function("gaugur_cm_full_colocation", |b| {
+        b.iter(|| gaugur.colocation_feasible(60.0, std::hint::black_box(&members)))
+    });
+    g.bench_function("sigmoid_degradation", |b| {
+        b.iter(|| sigmoid.predict_degradation(std::hint::black_box(target), &others))
+    });
+    g.bench_function("smite_degradation", |b| {
+        b.iter(|| smite.predict_degradation(std::hint::black_box(target), &others))
+    });
+    g.bench_function("vbp_feasible", |b| {
+        b.iter(|| vbp.feasible(std::hint::black_box(&members)))
+    });
+    g.finish();
+
+    // Feature assembly alone (shows the model evaluation dominates).
+    let mut g = c.benchmark_group("feature_assembly");
+    let profile = ctx.profiles.get(target.0);
+    g.bench_function("rm_features", |b| {
+        b.iter_batched(
+            || ctx.profiles.intensities(&others),
+            |ints| gaugur_core::features::rm_features(std::hint::black_box(profile), &ints),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

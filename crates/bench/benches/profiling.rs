@@ -1,0 +1,28 @@
+//! Offline contention-profiling cost (paper Section 3.6): profiling is
+//! `O(N)` in the number of games, so the per-game cost is the unit that
+//! matters. On the paper's physical testbed this is hours of wall-clock
+//! game play; on the simulator it is the sweep computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaugur_core::{Profiler, ProfilingConfig};
+use gaugur_gamesim::{GameCatalog, Server};
+
+fn bench(c: &mut Criterion) {
+    let server = Server::reference(1);
+    let catalog = GameCatalog::generate(42, 10);
+
+    let mut g = c.benchmark_group("profiling");
+    for k in [5usize, 10, 20] {
+        let profiler = Profiler::new(ProfilingConfig {
+            granularity: k,
+            ..ProfilingConfig::default()
+        });
+        g.bench_with_input(BenchmarkId::new("profile_game_k", k), &k, |b, _| {
+            b.iter(|| profiler.profile_game(&server, std::hint::black_box(&catalog[0])))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Substrate throughput: how fast the simulated testbed measures
+//! colocations. This bounds the cost of every offline campaign (profiling,
+//! training measurements, ground-truth evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaugur_gamesim::{GameCatalog, Microbenchmark, Resolution, Resource, Server, Workload};
+
+fn bench(c: &mut Criterion) {
+    let server = Server::reference(1);
+    let catalog = GameCatalog::generate(42, 8);
+    let res = Resolution::Fhd1080;
+
+    let mut g = c.benchmark_group("measure_colocation");
+    for n in [1usize, 2, 4, 6] {
+        let workloads: Vec<Workload<'_>> = catalog
+            .games()
+            .iter()
+            .take(n)
+            .map(|game| Workload::game(game, res))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("games", n), &n, |b, _| {
+            b.iter(|| server.measure_colocation(std::hint::black_box(&workloads)))
+        });
+    }
+    let with_bench = [
+        Workload::game(&catalog[0], res),
+        Workload::bench(Microbenchmark::for_resource(Resource::GpuBw), 0.5),
+    ];
+    g.bench_function("game_plus_benchmark", |b| {
+        b.iter(|| server.measure_colocation(std::hint::black_box(&with_bench)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Offline model-training cost (paper Section 3.6: "the overhead of model
+//! training is also O(N)"). Compares the paper's four algorithm families on
+//! the RM task at a fixed training-set size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaugur_bench::ExperimentContext;
+use gaugur_core::{build_rm_samples, to_dataset, RegressionModel, ALL_ALGORITHMS};
+
+fn bench(c: &mut Criterion) {
+    let ctx = ExperimentContext::small(1);
+    let samples = build_rm_samples(&ctx.profiles, &ctx.train);
+    let data = to_dataset(&samples[..samples.len().min(200)]);
+
+    let mut g = c.benchmark_group("rm_training_200_samples");
+    g.sample_size(10);
+    for algo in ALL_ALGORITHMS {
+        g.bench_with_input(
+            BenchmarkId::new("train", algo.regression_name()),
+            &algo,
+            |b, &algo| b.iter(|| RegressionModel::train(std::hint::black_box(&data), algo, 1)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

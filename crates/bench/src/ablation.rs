@@ -1,0 +1,243 @@
+//! Design-choice ablations for the decisions DESIGN.md calls out.
+//!
+//! 1. **Aggregate-intensity transform** (paper Eq. 5): the `(|G|, mean, var)`
+//!    fold vs naive summed intensity (the Paragon assumption) vs zero-padded
+//!    concatenation.
+//! 2. **Feature ablation**: sensitivity-only and intensity-only models.
+//! 3. **Sensitivity sampling granularity** `k` (the paper uses 10).
+//! 4. **Colocation-size extrapolation**: train on pairs only, predict
+//!    triples and quads.
+//! 5. **Hyperparameter selection**: cross-validated grid search over the
+//!    GBRT depth and round count, validating the shipped defaults without
+//!    touching the test set.
+
+use crate::context::ExperimentContext;
+use crate::table::{pct, Table};
+use gaugur_core::features::{aggregate_intensity, flatten_sensitivity};
+use gaugur_core::{
+    measure_colocations, plan_colocations, Algorithm, ColocationPlan, GameProfile,
+    MeasuredColocation, Profiler, ProfileStore, ProfilingConfig, RegressionModel,
+};
+use gaugur_gamesim::{GameCatalog, ResourceVec, Server, ALL_RESOURCES};
+use gaugur_ml::gbdt::GbdtParams;
+use gaugur_ml::{grid_search, Dataset, GbrtRegressor, Regressor};
+
+/// A feature construction over (target profile, co-runner intensities).
+type FeatureFn = dyn Fn(&GameProfile, &[ResourceVec]) -> Vec<f64>;
+
+/// Build an RM dataset with a custom feature construction.
+fn build_dataset(
+    profiles: &ProfileStore,
+    measured: &[MeasuredColocation],
+    features: &FeatureFn,
+) -> Dataset {
+    let mut data = Dataset::new();
+    for m in measured {
+        for (i, &(id, res)) in m.members.iter().enumerate() {
+            let corunners: Vec<_> = m
+                .members
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &p)| p)
+                .collect();
+            let intensities = profiles.intensities(&corunners);
+            let profile = profiles.get(id);
+            let solo = profile.solo_fps_at(res);
+            let degradation = (m.fps[i] / solo).clamp(0.01, 1.2);
+            data.push(features(profile, &intensities), degradation);
+        }
+    }
+    data
+}
+
+/// Train GBRT on a train set and report mean relative error on a test set,
+/// both built with the same feature construction.
+fn gbrt_error(
+    profiles: &ProfileStore,
+    train: &[MeasuredColocation],
+    test: &[MeasuredColocation],
+    features: &FeatureFn,
+) -> f64 {
+    let train_data = build_dataset(profiles, train, features);
+    let test_data = build_dataset(profiles, test, features);
+    let model = RegressionModel::train(&train_data, Algorithm::GradientBoosting, 5);
+    let errs: Vec<f64> = test_data
+        .iter()
+        .map(|(x, y)| (model.predict(x) - y).abs() / y)
+        .collect();
+    errs.iter().sum::<f64>() / errs.len().max(1) as f64
+}
+
+/// The Eq. 5 features (the shipped default).
+fn feats_eq5(p: &GameProfile, ints: &[ResourceVec]) -> Vec<f64> {
+    let mut f = flatten_sensitivity(p);
+    f.extend(aggregate_intensity(ints));
+    f
+}
+
+/// Summed co-runner intensity (the additive assumption SMiTe/Paragon make).
+fn feats_sum(p: &GameProfile, ints: &[ResourceVec]) -> Vec<f64> {
+    let mut f = flatten_sensitivity(p);
+    f.push(ints.len() as f64);
+    for r in ALL_RESOURCES {
+        f.push(ints.iter().map(|i| i[r]).sum());
+    }
+    f
+}
+
+/// Zero-padded concatenation of up to 4 co-runner intensity vectors, sorted
+/// by total intensity for permutation invariance.
+fn feats_concat(p: &GameProfile, ints: &[ResourceVec]) -> Vec<f64> {
+    let mut f = flatten_sensitivity(p);
+    f.push(ints.len() as f64);
+    let mut sorted: Vec<&ResourceVec> = ints.iter().collect();
+    sorted.sort_by(|a, b| b.sum().total_cmp(&a.sum()));
+    for slot in 0..4 {
+        match sorted.get(slot) {
+            Some(v) => f.extend(v.as_array()),
+            None => f.extend([0.0; 7]),
+        }
+    }
+    f
+}
+
+/// Sensitivity curves only (no co-runner information beyond the count).
+fn feats_sens_only(p: &GameProfile, ints: &[ResourceVec]) -> Vec<f64> {
+    let mut f = flatten_sensitivity(p);
+    f.push(ints.len() as f64);
+    f
+}
+
+/// Co-runner intensity only (no sensitivity).
+fn feats_int_only(_p: &GameProfile, ints: &[ResourceVec]) -> Vec<f64> {
+    aggregate_intensity(ints)
+}
+
+/// Run every ablation and render the results.
+pub fn run(ctx: &ExperimentContext) -> String {
+    let mut out = String::from("== Ablation 1: aggregate-intensity transform (GBRT error) ==\n");
+    let mut t = Table::new(["transform", "test error"]);
+    for (name, feats) in [
+        ("Eq. 5 (count, mean, var)", &feats_eq5 as &FeatureFn),
+        ("summed intensity (additive)", &feats_sum),
+        ("sorted zero-padded concat", &feats_concat),
+    ] {
+        t.row([
+            name.to_string(),
+            pct(gbrt_error(&ctx.profiles, &ctx.train, &ctx.test, feats)),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n== Ablation 2: feature-family ablation (GBRT error) ==\n");
+    let mut t = Table::new(["features", "test error"]);
+    for (name, feats) in [
+        ("sensitivity + aggregate intensity (full)", &feats_eq5 as &FeatureFn),
+        ("sensitivity + co-runner count only", &feats_sens_only),
+        ("aggregate intensity only", &feats_int_only),
+    ] {
+        t.row([
+            name.to_string(),
+            pct(gbrt_error(&ctx.profiles, &ctx.train, &ctx.test, feats)),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n== Ablation 3: sensitivity sampling granularity k ==\n");
+    out.push_str(&granularity_ablation(ctx.server.seed).render());
+
+    out.push_str("\n== Ablation 4: train on pairs only, extrapolate to larger sets ==\n");
+    let pairs_only: Vec<MeasuredColocation> = ctx
+        .train
+        .iter()
+        .filter(|m| m.size() == 2)
+        .cloned()
+        .collect();
+    let mut t = Table::new(["training set", "test 2-games", "test 3-games", "test 4-games"]);
+    for (name, train) in [("all sizes", &ctx.train), ("pairs only", &pairs_only)] {
+        let mut cells = vec![format!("{name} ({} colocations)", train.len())];
+        for size in [2usize, 3, 4] {
+            let test: Vec<MeasuredColocation> = ctx
+                .test
+                .iter()
+                .filter(|m| m.size() == size)
+                .cloned()
+                .collect();
+            cells.push(pct(gbrt_error(&ctx.profiles, train, &test, &feats_eq5)));
+        }
+        t.row(cells);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n== Ablation 5: GBRT hyperparameter grid (5-fold CV on the training pool) ==\n");
+    out.push_str(&hyperparameter_grid(ctx).render());
+    out
+}
+
+/// Cross-validated grid over GBRT depth × rounds, scored on the training
+/// pool only (the shipped defaults are depth 5 × 400 rounds).
+fn hyperparameter_grid(ctx: &ExperimentContext) -> Table {
+    let train_data = build_dataset(&ctx.profiles, &ctx.train, &feats_eq5);
+    let grid: Vec<(usize, usize)> = vec![(3, 200), (5, 200), (5, 400), (7, 400)];
+    let (best, _, scores) = grid_search(&train_data, &grid, 5, 11, |&(depth, rounds), fold| {
+        let model = GbrtRegressor::fit(
+            fold,
+            GbdtParams {
+                max_depth: depth,
+                n_estimators: rounds,
+                learning_rate: 0.06,
+                min_samples_leaf: 3,
+                subsample: 0.9,
+                seed: 5,
+            },
+        );
+        move |x: &[f64]| model.predict(x).clamp(0.01, 1.05)
+    });
+    let mut t = Table::new(["depth", "rounds", "CV error", "selected"]);
+    for (i, (&(d, r), &s)) in grid.iter().zip(&scores).enumerate() {
+        t.row([
+            d.to_string(),
+            r.to_string(),
+            pct(s),
+            if i == best { "◀".to_string() } else { String::new() },
+        ]);
+    }
+    t
+}
+
+/// Re-profile a 30-game subcatalog at several granularities and compare
+/// GBRT error with the resulting (coarser / finer) sensitivity features.
+fn granularity_ablation(seed: u64) -> Table {
+    let server = Server::reference(seed);
+    let catalog = GameCatalog::generate(42, 30);
+    let plan = ColocationPlan {
+        pairs: 150,
+        triples: 40,
+        quads: 40,
+        seed: seed ^ 0xAB1,
+    };
+    let colocations = plan_colocations(&catalog, &plan);
+    let mut measured = measure_colocations(&server, &catalog, &colocations);
+    // Shuffle before splitting so train and test both span all colocation
+    // sizes (the plan generates them grouped by size).
+    use rand::seq::SliceRandom;
+    measured.shuffle(&mut gaugur_gamesim::rng::rng_for(seed, &[0x4B_5350]));
+    let (train, test) = measured.split_at(160);
+
+    let mut t = Table::new(["granularity k", "features", "GBRT test error"]);
+    for k in [2usize, 5, 10, 20] {
+        let profiler = Profiler::new(ProfilingConfig {
+            granularity: k,
+            ..ProfilingConfig::default()
+        });
+        let profiles = ProfileStore::new(profiler.profile_catalog(&server, &catalog));
+        let err = gbrt_error(&profiles, train, test, &feats_eq5);
+        t.row([
+            k.to_string(),
+            format!("{}", 7 * (k + 1) + 15),
+            pct(err),
+        ]);
+    }
+    t
+}

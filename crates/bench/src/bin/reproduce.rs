@@ -1,0 +1,116 @@
+//! The reproduction driver: regenerates every figure of the GAugur paper.
+//!
+//! ```text
+//! reproduce all            # everything (slow)
+//! reproduce fig7           # one figure
+//! reproduce fig7 --seed 3  # different noise/measurement realization
+//! ```
+//!
+//! Reports go to stdout and, when `--out <dir>` is given, to one text file
+//! per figure in that directory.
+
+use gaugur_bench::figures;
+use gaugur_bench::ExperimentContext;
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: reproduce <all|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|obs|ablation|ext> [--seed N] [--out DIR]");
+        std::process::exit(2);
+    }
+    let mut targets: Vec<String> = Vec::new();
+    let mut seed = 7u64;
+    let mut out_dir: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().expect("--seed N").parse().expect("seed"),
+            "--out" => out_dir = Some(it.next().expect("--out DIR")),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = [
+            "fig1", "fig2", "fig4", "fig5", "fig6", "obs", "fig7", "fig8", "fig9", "fig10",
+            "ablation", "ext",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    eprintln!("[reproduce] building experiment context (seed {seed}) …");
+    let t0 = Instant::now();
+    let ctx = ExperimentContext::standard(seed);
+    eprintln!(
+        "[reproduce] context ready in {:.1}s ({} games, {} train / {} test colocations)",
+        t0.elapsed().as_secs_f64(),
+        ctx.catalog.len(),
+        ctx.train.len(),
+        ctx.test.len()
+    );
+
+    for target in &targets {
+        let t = Instant::now();
+        let report = match target.as_str() {
+            "fig1" => figures::fig1::run(&ctx),
+            "fig2" => figures::fig2::run(&ctx),
+            "fig4" => figures::fig45::run_fig4(&ctx),
+            "fig5" => figures::fig45::run_fig5(&ctx),
+            "fig6" => figures::fig6::run(&ctx),
+            "obs" => figures::obs::run(&ctx),
+            "fig7" => figures::fig7::Fig7::run(&ctx).report(),
+            "fig8" => figures::fig8::Fig8::run(&ctx).report(),
+            "fig9" => figures::fig9::Fig9::run(&ctx).report(),
+            "fig10" => figures::fig10::Fig10::run(&ctx).report(),
+            "ablation" => gaugur_bench::ablation::run(&ctx),
+            "ext" => figures::ext::run(&ctx),
+            "stats" => {
+                // Diagnostic: degradation-ratio distribution per colocation
+                // size over the whole campaign.
+                let mut by_size: std::collections::BTreeMap<usize, Vec<f64>> = Default::default();
+                for m in ctx.train.iter().chain(&ctx.test) {
+                    for (i, &(id, res)) in m.members.iter().enumerate() {
+                        let solo = ctx.profiles.get(id).solo_fps_at(res);
+                        by_size
+                            .entry(m.members.len())
+                            .or_default()
+                            .push((m.fps[i] / solo).clamp(0.0, 1.3));
+                    }
+                }
+                let mut s = String::new();
+                for (size, mut v) in by_size {
+                    v.sort_by(f64::total_cmp);
+                    let q = |p: f64| v[((v.len() - 1) as f64 * p) as usize];
+                    s.push_str(&format!(
+                        "size {size}: n={} p10={:.3} p25={:.3} p50={:.3} p75={:.3} p90={:.3}\n",
+                        v.len(),
+                        q(0.1),
+                        q(0.25),
+                        q(0.5),
+                        q(0.75),
+                        q(0.9)
+                    ));
+                }
+                s
+            }
+            other => {
+                eprintln!("[reproduce] unknown target {other}");
+                continue;
+            }
+        };
+        eprintln!(
+            "[reproduce] {target} done in {:.1}s",
+            t.elapsed().as_secs_f64()
+        );
+        println!("\n######## {target} ########\n{report}");
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).expect("create out dir");
+            let path = format!("{dir}/{target}.txt");
+            let mut f = std::fs::File::create(&path).expect("create report file");
+            f.write_all(report.as_bytes()).expect("write report");
+        }
+    }
+}

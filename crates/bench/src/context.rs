@@ -1,0 +1,175 @@
+//! Shared experiment state: one profiled catalog plus one measured
+//! colocation campaign, reused by every figure generator.
+//!
+//! Mirrors the paper's Section 4 setup: 100 games profiled at two
+//! resolutions each, and a campaign of measured colocations (500 pairs +
+//! 110 triples + 110 quads here; the paper's 500/100/100 yields slightly
+//! fewer than the 1000 training samples its Figure 7a sweeps, so we measure
+//! ten extra of each larger size) split into a training pool and a test
+//! pool by colocation — never by sample, so no colocation leaks across the
+//! split.
+
+use gaugur_core::{
+    measure_colocations, plan_colocations, ColocationPlan, MeasuredColocation, Profiler,
+    ProfileStore, ProfilingConfig,
+};
+use gaugur_gamesim::{GameCatalog, GameId, Resolution, Server};
+use rand::seq::SliceRandom;
+
+/// A fully prepared experiment environment.
+pub struct ExperimentContext {
+    /// The simulated testbed.
+    pub server: Server,
+    /// The game catalog.
+    pub catalog: GameCatalog,
+    /// Profiled contention features of every game.
+    pub profiles: ProfileStore,
+    /// Measured colocations available for training.
+    pub train: Vec<MeasuredColocation>,
+    /// Held-out measured colocations for testing.
+    pub test: Vec<MeasuredColocation>,
+}
+
+impl ExperimentContext {
+    /// The paper-scale context: 100 games, 720 measured colocations,
+    /// 420 train / 300 test.
+    pub fn standard(seed: u64) -> ExperimentContext {
+        ExperimentContext::with_scale(seed, 100, 500, 110, 110, 420)
+    }
+
+    /// A reduced context for fast tests: 20 games, 120 colocations.
+    pub fn small(seed: u64) -> ExperimentContext {
+        ExperimentContext::with_scale(seed, 20, 80, 20, 20, 70)
+    }
+
+    /// Fully parameterized construction.
+    pub fn with_scale(
+        seed: u64,
+        games: usize,
+        pairs: usize,
+        triples: usize,
+        quads: usize,
+        n_train_colocations: usize,
+    ) -> ExperimentContext {
+        let server = Server::reference(seed);
+        let catalog = GameCatalog::generate(42, games);
+        let profiler = Profiler::new(ProfilingConfig::default());
+        let profiles = ProfileStore::new(profiler.profile_catalog(&server, &catalog));
+
+        let plan = ColocationPlan {
+            pairs,
+            triples,
+            quads,
+            seed: seed ^ 0xC0_10C,
+        };
+        let colocations = plan_colocations(&catalog, &plan);
+        let mut measured = measure_colocations(&server, &catalog, &colocations);
+
+        let mut rng = gaugur_gamesim::rng::rng_for(seed, &[0x5350_4c49]);
+        measured.shuffle(&mut rng);
+        let n_train = n_train_colocations.min(measured.len());
+        let test = measured.split_off(n_train);
+
+        ExperimentContext {
+            server,
+            catalog,
+            profiles,
+            train: measured,
+            test,
+        }
+    }
+
+    /// The ten games used for the Section 5 scheduling experiments: drawn
+    /// deterministically from the *mid-weight* band — solo 1080p frame rate
+    /// in (70, 160) FPS and non-trivial contention intensity. The paper's
+    /// ten random games must be QoS-servable alone for a 60-FPS requirement
+    /// to be meaningful, and a cohort in which colocation feasibility is a
+    /// boundary question (rather than trivially yes for featherweight games
+    /// or trivially no for GPU-saturating ones) is what makes the Figure 9
+    /// comparison informative.
+    pub fn scheduling_games(&self) -> Vec<GameId> {
+        // QoS-servable candidates, ordered by total contention weight.
+        let mut candidates: Vec<(GameId, f64)> = self
+            .catalog
+            .games()
+            .iter()
+            .filter(|g| self.profiles.contains(g.id))
+            .filter_map(|g| {
+                let p = self.profiles.get(g.id);
+                let solo = p.solo_fps_at(Resolution::Fhd1080);
+                ((70.0..260.0).contains(&solo))
+                    .then(|| (g.id, p.intensity_at(Resolution::Fhd1080).sum()))
+            })
+            .collect();
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+        // Stratified draw: 5 light / 3 mid / 2 heavy. A cohort spanning the
+        // weight spectrum makes colocation feasibility a boundary question
+        // at every size (pure-light quads work, anything with the heavies is
+        // a judgement call) — the regime where prediction quality matters.
+        let n = candidates.len();
+        let thirds = [
+            &candidates[..n / 3],
+            &candidates[n / 3..2 * n / 3],
+            &candidates[2 * n / 3..],
+        ];
+        let mut rng = gaugur_gamesim::rng::rng_for(self.server.seed, &[0x0031_3047]);
+        let mut selected = Vec::with_capacity(10);
+        for (stratum, take) in thirds.iter().zip([5usize, 3, 2]) {
+            let mut pool: Vec<GameId> = stratum.iter().map(|&(id, _)| id).collect();
+            pool.shuffle(&mut rng);
+            selected.extend(pool.into_iter().take(take));
+        }
+        selected.sort();
+        selected.dedup();
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_context_has_expected_shape() {
+        let ctx = ExperimentContext::small(1);
+        assert_eq!(ctx.catalog.len(), 20);
+        assert_eq!(ctx.profiles.len(), 20);
+        assert_eq!(ctx.train.len(), 70);
+        assert_eq!(ctx.test.len(), 50);
+    }
+
+    #[test]
+    fn split_does_not_leak_colocations() {
+        let ctx = ExperimentContext::small(2);
+        let key = |m: &gaugur_core::MeasuredColocation| {
+            let mut ids: Vec<(u32, u32)> = m
+                .members
+                .iter()
+                .map(|&(id, res)| (id.0, res.pixels() as u32))
+                .collect();
+            ids.sort_unstable();
+            ids
+        };
+        let train_keys: std::collections::HashSet<_> = ctx.train.iter().map(key).collect();
+        for t in &ctx.test {
+            assert!(!train_keys.contains(&key(t)));
+        }
+    }
+
+    #[test]
+    fn scheduling_games_are_qos_servable() {
+        // The small 20-game catalog may not hold ten candidates in the
+        // stratified band; the full catalog always does.
+        let ctx = ExperimentContext::small(3);
+        let games = ctx.scheduling_games();
+        assert!(games.len() >= 6, "too few candidates: {}", games.len());
+        assert!(games.len() <= 10);
+        for id in &games {
+            let solo = ctx.profiles.get(*id).solo_fps_at(Resolution::Fhd1080);
+            assert!((70.0..260.0).contains(&solo), "{id}: {solo}");
+        }
+        // Determinism.
+        assert_eq!(games, ctx.scheduling_games());
+    }
+}

@@ -1,0 +1,86 @@
+//! Shared evaluation plumbing for the Figure 7/8 accuracy experiments.
+
+use crate::context::ExperimentContext;
+use gaugur_baselines::{DegradationPredictor, SigmoidPredictor, SmitePredictor};
+use gaugur_core::{build_rm_samples, to_dataset, MeasuredColocation, Placement, TaggedSample};
+use gaugur_gamesim::rng::rng_for;
+use rand::seq::SliceRandom;
+
+/// One held-out evaluation record: a target game in a measured colocation,
+/// with its ground-truth degradation ratio.
+#[derive(Debug, Clone)]
+pub struct EvalRecord {
+    /// The member being predicted.
+    pub target: Placement,
+    /// Its co-runners.
+    pub others: Vec<Placement>,
+    /// Ground-truth degradation (measured FPS / Eq.-2 solo FPS).
+    pub actual_degradation: f64,
+    /// Measured FPS.
+    pub actual_fps: f64,
+    /// Eq.-2 solo FPS of the target at its resolution.
+    pub solo_fps: f64,
+    /// Colocation size.
+    pub size: usize,
+}
+
+/// Expand measured colocations into per-member evaluation records.
+pub fn eval_records(ctx: &ExperimentContext, measured: &[MeasuredColocation]) -> Vec<EvalRecord> {
+    let mut out = Vec::new();
+    for m in measured {
+        for (i, &(id, res)) in m.members.iter().enumerate() {
+            let others: Vec<Placement> = m
+                .members
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &p)| p)
+                .collect();
+            let solo = ctx.profiles.get(id).solo_fps_at(res);
+            out.push(EvalRecord {
+                target: (id, res),
+                others,
+                actual_degradation: (m.fps[i] / solo).clamp(0.01, 1.2),
+                actual_fps: m.fps[i],
+                solo_fps: solo,
+                size: m.size(),
+            });
+        }
+    }
+    out
+}
+
+/// The shuffled RM training-sample pool (tagged with colocation size).
+pub fn rm_training_pool(ctx: &ExperimentContext, seed: u64) -> Vec<TaggedSample> {
+    let mut pool = build_rm_samples(&ctx.profiles, &ctx.train);
+    pool.shuffle(&mut rng_for(seed, &[0x524D_504F]));
+    pool
+}
+
+/// Take the first `n` samples of a pool as a dataset.
+pub fn take_dataset(pool: &[TaggedSample], n: usize) -> gaugur_ml::Dataset {
+    to_dataset(&pool[..n.min(pool.len())])
+}
+
+/// Train the two baselines on the training colocations.
+pub fn train_baselines(ctx: &ExperimentContext) -> (SigmoidPredictor, SmitePredictor) {
+    (
+        SigmoidPredictor::train(ctx.profiles.clone(), &ctx.train),
+        SmitePredictor::train(ctx.profiles.clone(), &ctx.train),
+    )
+}
+
+/// Mean relative degradation error of a predictor over records.
+pub fn degradation_error(
+    predictor: &dyn DegradationPredictor,
+    records: &[EvalRecord],
+) -> f64 {
+    let errs: Vec<f64> = records
+        .iter()
+        .map(|r| {
+            let pred = predictor.predict_degradation(r.target, &r.others);
+            (pred - r.actual_degradation).abs() / r.actual_degradation
+        })
+        .collect();
+    errs.iter().sum::<f64>() / errs.len().max(1) as f64
+}

@@ -1,0 +1,53 @@
+//! Figure 1: frame rates of colocated game pairs (the paper's motivating
+//! example).
+//!
+//! "Some games such as Ancestors Legacy and Borderland can still run at high
+//! frame rates when colocated with each other … Ancestors Legacy can render
+//! 105 FPS when colocated with Borderland, but can only run at 57 FPS when
+//! colocated with H1Z1." The reproduction measures the same six pairs of the
+//! same four titles on the simulated server.
+
+use crate::context::ExperimentContext;
+use crate::table::{f, Table};
+use gaugur_gamesim::{Resolution, Workload};
+
+/// The four games of the paper's Figure 1, in its pairing order.
+pub const FIG1_GAMES: [&str; 4] = [
+    "Ancestors Legacy",
+    "Borderland2",
+    "H1Z1",
+    "ARK Survival Evolved",
+];
+
+/// Measure the six pairs and render the figure's data.
+pub fn run(ctx: &ExperimentContext) -> String {
+    let res = Resolution::Fhd1080;
+    let pairs: [(usize, usize); 6] = [(0, 1), (0, 2), (1, 2), (3, 0), (3, 1), (3, 2)];
+
+    let mut t = Table::new(["pair", "game", "solo FPS", "colocated FPS", "ratio"]);
+    for (a, b) in pairs {
+        let ga = ctx.catalog.by_name(FIG1_GAMES[a]).expect("game in catalog");
+        let gb = ctx.catalog.by_name(FIG1_GAMES[b]).expect("game in catalog");
+        let out = ctx
+            .server
+            .measure_colocation(&[Workload::game(ga, res), Workload::game(gb, res)]);
+        for (idx, g) in [(0, ga), (1, gb)] {
+            let solo = ctx.server.measure_solo_fps(g, res);
+            let coloc = out.game_fps(idx).expect("game fps");
+            t.row([
+                format!("{} + {}", FIG1_GAMES[a], FIG1_GAMES[b]),
+                g.name.clone(),
+                f(solo, 1),
+                f(coloc, 1),
+                f(coloc / solo, 2),
+            ]);
+        }
+    }
+    format!(
+        "== Figure 1: FPS of colocated game pairs (1080p) ==\n{}\n\
+         Takeaway: the same game's colocated FPS varies strongly with its\n\
+         partner — interference depends on WHO shares the server, not just\n\
+         how many share it.\n",
+        t.render()
+    )
+}

@@ -1,0 +1,62 @@
+//! Figure 2: solo resource demand and solo frame rates of the 100 games.
+//!
+//! * (a) CPU vs GPU demand scatter (bubble = memory demand), each normalized
+//!   to the maximum across games;
+//! * (b) solo frame rate per game.
+//!
+//! The paper's point: demand is wildly diverse (colocation opportunity) and
+//! many games render far above 60 FPS alone (over-provisioning when run on
+//! dedicated servers).
+
+use crate::context::ExperimentContext;
+use crate::table::{f, Table};
+use gaugur_gamesim::Resolution;
+
+/// Measure demands and solo FPS of the whole catalog and render the
+/// figure's data.
+pub fn run(ctx: &ExperimentContext) -> String {
+    let res = Resolution::Fhd1080;
+    let demands: Vec<_> = ctx
+        .catalog
+        .games()
+        .iter()
+        .map(|g| (g, g.solo_demand(res)))
+        .collect();
+    let max_cpu = demands.iter().map(|(_, d)| d.cpu).fold(0.0, f64::max);
+    let max_gpu = demands.iter().map(|(_, d)| d.gpu).fold(0.0, f64::max);
+    let max_mem = demands
+        .iter()
+        .map(|(_, d)| d.cpu_mem + d.gpu_mem)
+        .fold(0.0, f64::max);
+
+    let mut t = Table::new(["game", "genre", "CPU", "GPU", "mem", "solo FPS"]);
+    let mut above_60 = 0usize;
+    let mut fps_min = f64::INFINITY;
+    let mut fps_max: f64 = 0.0;
+    for (g, d) in &demands {
+        let fps = ctx.server.measure_solo_fps(g, res);
+        above_60 += usize::from(fps >= 60.0);
+        fps_min = fps_min.min(fps);
+        fps_max = fps_max.max(fps);
+        t.row([
+            g.name.clone(),
+            g.genre.to_string(),
+            f(d.cpu / max_cpu, 2),
+            f(d.gpu / max_gpu, 2),
+            f((d.cpu_mem + d.gpu_mem) / max_mem, 2),
+            f(fps, 0),
+        ]);
+    }
+
+    format!(
+        "== Figure 2: solo demand (normalized) and solo FPS of {} games (1080p) ==\n{}\n\
+         {} of {} games exceed 60 FPS alone (over-provisioned on dedicated servers);\n\
+         solo FPS spans {:.0}–{:.0}.\n",
+        demands.len(),
+        t.render(),
+        above_60,
+        demands.len(),
+        fps_min,
+        fps_max
+    )
+}

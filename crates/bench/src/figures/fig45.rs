@@ -1,0 +1,62 @@
+//! Figures 4 and 5: sensitivity curves and intensities of six representative
+//! games.
+//!
+//! The same six titles as the paper: Dota2, Far Cry 4, Granado Espada, Rise
+//! of The Tomb Raider, The Elder Scrolls V and World of Warcraft. Figure 4
+//! plots each game's FPS-retention ratio against benchmark pressure for all
+//! seven resources; Figure 5 the intensity each game exerts on each
+//! resource's benchmark.
+
+use crate::context::ExperimentContext;
+use crate::table::{f, Table};
+use gaugur_gamesim::{Resolution, ALL_RESOURCES};
+
+/// The paper's six representative games.
+pub const REPRESENTATIVE_GAMES: [&str; 6] = [
+    "Dota2",
+    "Far Cry 4",
+    "Granado Espada",
+    "Rise of The Tomb Raider",
+    "The Elder Scrolls V: Skyrim",
+    "World of Warcraft",
+];
+
+/// Render Figure 4: per-game sensitivity curves (from the profiles).
+pub fn run_fig4(ctx: &ExperimentContext) -> String {
+    let mut out = String::from(
+        "== Figure 4: sensitivity curves (FPS retention vs pressure, k = 10) ==\n",
+    );
+    for name in REPRESENTATIVE_GAMES {
+        let game = ctx.catalog.by_name(name).expect("game in catalog");
+        let profile = ctx.profiles.get(game.id);
+        out.push_str(&format!("\n-- {name} --\n"));
+        let mut header = vec!["resource".to_string()];
+        header.extend((0..=10).map(|i| format!("{:.1}", i as f64 / 10.0)));
+        let mut t = Table::new(header);
+        for r in ALL_RESOURCES {
+            let curve = profile.sensitivity_for(r);
+            let mut row = vec![r.short_name().to_string()];
+            row.extend(curve.samples.iter().map(|&v| f(v, 2)));
+            t.row(row);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// Render Figure 5: per-game intensities at 1080p.
+pub fn run_fig5(ctx: &ExperimentContext) -> String {
+    let mut out = String::from("== Figure 5: intensity of selected games (1080p) ==\n");
+    let mut header = vec!["game".to_string()];
+    header.extend(ALL_RESOURCES.iter().map(|r| r.short_name().to_string()));
+    let mut t = Table::new(header);
+    for name in REPRESENTATIVE_GAMES {
+        let game = ctx.catalog.by_name(name).expect("game in catalog");
+        let intensity = ctx.profiles.get(game.id).intensity_at(Resolution::Fhd1080);
+        let mut row = vec![name.to_string()];
+        row.extend(ALL_RESOURCES.iter().map(|&r| f(intensity[r], 2)));
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    out
+}

@@ -1,0 +1,73 @@
+//! Figure 6: aggregate intensity vs the sum of individual intensities
+//! (Observation 5: intensity is not additive).
+//!
+//! The paper colocates AirMech Strike and Hobo: Tough Life together with
+//! each benchmark and compares the benchmark's holistic slowdown against the
+//! sum of the slowdowns each game causes alone.
+
+use crate::context::ExperimentContext;
+use crate::table::{f, Table};
+use gaugur_gamesim::{Microbenchmark, Resolution, Workload, ALL_RESOURCES};
+
+/// The paper's two probe games.
+pub const FIG6_GAMES: [&str; 2] = ["AirMech Strike", "Hobo: Tough Life"];
+
+/// Mean benchmark slowdown − 1 over the pressure sweep, with a set of games
+/// colocated (the same intensity measurement the profiler performs).
+fn holistic_intensity(
+    ctx: &ExperimentContext,
+    bench: Microbenchmark,
+    games: &[&gaugur_gamesim::Game],
+) -> f64 {
+    let k = 10;
+    let mut sum = 0.0;
+    for step in 0..=k {
+        let level = step as f64 / k as f64;
+        let mut ws = vec![Workload::bench(bench, level)];
+        for g in games {
+            ws.push(Workload::game(g, Resolution::Fhd1080));
+        }
+        sum += ctx
+            .server
+            .measure_colocation(&ws)
+            .bench_slowdown(0)
+            .expect("bench at 0");
+    }
+    (sum / (k + 1) as f64 - 1.0).max(0.0)
+}
+
+/// Run the Figure 6 comparison.
+pub fn run(ctx: &ExperimentContext) -> String {
+    let g1 = ctx.catalog.by_name(FIG6_GAMES[0]).expect("game in catalog");
+    let g2 = ctx.catalog.by_name(FIG6_GAMES[1]).expect("game in catalog");
+
+    let mut t = Table::new(["resource", "sum of individual", "holistic", "ratio"]);
+    let mut any_nonadditive = false;
+    for r in ALL_RESOURCES {
+        let bench = Microbenchmark::for_resource(r);
+        let i1 = holistic_intensity(ctx, bench, &[g1]);
+        let i2 = holistic_intensity(ctx, bench, &[g2]);
+        let both = holistic_intensity(ctx, bench, &[g1, g2]);
+        let sum = i1 + i2;
+        let ratio = if sum > 1e-9 { both / sum } else { 1.0 };
+        if (ratio - 1.0).abs() > 0.1 {
+            any_nonadditive = true;
+        }
+        t.row([
+            r.short_name().to_string(),
+            f(sum, 3),
+            f(both, 3),
+            f(ratio, 2),
+        ]);
+    }
+    format!(
+        "== Figure 6: aggregate intensity vs sum of intensities ==\n\
+         Games: {} + {}\n{}\nNon-additive resources present: {}\n\
+         (Observation 5: the holistic intensity of two colocated games differs\n\
+         from the sum of their individual intensities.)\n",
+        FIG6_GAMES[0],
+        FIG6_GAMES[1],
+        t.render(),
+        any_nonadditive
+    )
+}

@@ -1,0 +1,17 @@
+//! Per-figure reproduction generators.
+//!
+//! Each submodule regenerates one figure (or figure group) of the paper and
+//! returns both structured results (consumed by integration tests and
+//! EXPERIMENTS.md) and a rendered text report.
+
+pub mod common;
+pub mod ext;
+pub mod fig1;
+pub mod fig10;
+pub mod fig2;
+pub mod fig45;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod obs;

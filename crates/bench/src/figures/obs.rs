@@ -1,0 +1,176 @@
+//! Validation of Section 3's observations (4, 6, 7, 8) and Eq. 2 against
+//! the simulated testbed — the reproduction's analogue of the paper's
+//! "systematic investigation".
+
+use crate::context::ExperimentContext;
+use crate::table::{f, Table};
+use gaugur_gamesim::game::ALL_RESOLUTIONS;
+use gaugur_gamesim::{Game, Microbenchmark, Resolution, Resource, Workload, ALL_RESOURCES};
+use gaugur_ml::metrics::r2;
+use gaugur_ml::{Dataset, LinearRegression, Regressor};
+
+/// How many catalog games the sweeps sample (keeps the report quick).
+const SAMPLE_GAMES: usize = 12;
+
+fn sample(ctx: &ExperimentContext) -> Vec<&Game> {
+    ctx.catalog
+        .games()
+        .iter()
+        .step_by((ctx.catalog.len() / SAMPLE_GAMES).max(1))
+        .take(SAMPLE_GAMES)
+        .collect()
+}
+
+/// Linear-fit R² of `ys` against `xs`.
+fn linear_r2(xs: &[f64], ys: &[f64]) -> f64 {
+    let data = Dataset::from_parts(xs.iter().map(|&x| vec![x]).collect(), ys.to_vec());
+    let m = LinearRegression::fit(&data);
+    let pred: Vec<f64> = xs.iter().map(|&x| m.predict(&[x])).collect();
+    r2(&pred, ys)
+}
+
+/// Sweep one game against one benchmark at a resolution, returning the
+/// sensitivity curve samples.
+fn sensitivity_sweep(
+    ctx: &ExperimentContext,
+    game: &Game,
+    r: Resource,
+    res: Resolution,
+) -> Vec<f64> {
+    let solo = ctx.server.measure_solo_fps(game, res);
+    let bench = Microbenchmark::for_resource(r);
+    (0..=10)
+        .map(|step| {
+            let out = ctx.server.measure_colocation(&[
+                Workload::game(game, res),
+                Workload::bench(bench, step as f64 / 10.0),
+            ]);
+            out.game_fps(0).expect("game") / solo
+        })
+        .collect()
+}
+
+/// Intensity of a game for one resource at a resolution (mean benchmark
+/// slowdown − 1 over the pressure sweep).
+fn intensity(ctx: &ExperimentContext, game: &Game, r: Resource, res: Resolution) -> f64 {
+    let bench = Microbenchmark::for_resource(r);
+    let mut sum = 0.0;
+    for step in 0..=10 {
+        let out = ctx.server.measure_colocation(&[
+            Workload::game(game, res),
+            Workload::bench(bench, step as f64 / 10.0),
+        ]);
+        sum += out.bench_slowdown(1).expect("bench");
+    }
+    (sum / 11.0 - 1.0).max(0.0)
+}
+
+/// Run all observation validations.
+pub fn run(ctx: &ExperimentContext) -> String {
+    let games = sample(ctx);
+    let mut out = String::from("== Section 3 observation validations ==\n\n");
+
+    // --- Observation 4: sensitivity curves are nonlinear ----------------
+    let pressures: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let mut nonlinear = 0usize;
+    let mut total = 0usize;
+    let mut worst_r2: f64 = 1.0;
+    for g in &games {
+        let profile = ctx.profiles.get(g.id);
+        for r in ALL_RESOURCES {
+            let curve = &profile.sensitivity_for(r).samples;
+            let fit = linear_r2(&pressures, curve);
+            worst_r2 = worst_r2.min(fit);
+            total += 1;
+            // A curve that moves at least a little and is poorly explained
+            // by a line counts as nonlinear.
+            let range = curve[0] - curve[curve.len() - 1];
+            if range > 0.05 && fit < 0.97 {
+                nonlinear += 1;
+            }
+        }
+    }
+    out.push_str(&format!(
+        "Observation 4 (nonlinear sensitivity): {nonlinear}/{total} curves with \
+         meaningful degradation are poorly fit by a line (worst linear R² = {worst_r2:.2}).\n\n",
+    ));
+
+    // --- Observation 6: sensitivity curves are resolution-independent ---
+    let mut max_diff: f64 = 0.0;
+    let mut mean_diff = 0.0;
+    let mut n_curves = 0;
+    for g in games.iter().take(4) {
+        for r in ALL_RESOURCES {
+            let lo = sensitivity_sweep(ctx, g, r, Resolution::Hd720);
+            let hi = sensitivity_sweep(ctx, g, r, Resolution::Qhd1440);
+            let diff: f64 = lo
+                .iter()
+                .zip(&hi)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            max_diff = max_diff.max(diff);
+            mean_diff += diff;
+            n_curves += 1;
+        }
+    }
+    mean_diff /= n_curves as f64;
+    out.push_str(&format!(
+        "Observation 6 (resolution-independent sensitivity): over {n_curves} curves \
+         profiled at 720p vs 1440p, mean max-deviation = {mean_diff:.3}, worst = {max_diff:.3}.\n\n",
+    ));
+
+    // --- Observations 7 & 8: intensity vs resolution ---------------------
+    let mpix: Vec<f64> = ALL_RESOLUTIONS.iter().map(|r| r.megapixels()).collect();
+    let mut t = Table::new(["resource", "kind", "mean |Δ| 720p→1440p", "mean linear R²"]);
+    for r in ALL_RESOURCES {
+        let mut rel_change = 0.0;
+        let mut fit_sum = 0.0;
+        let mut n = 0;
+        for g in games.iter().take(4) {
+            let series: Vec<f64> = ALL_RESOLUTIONS
+                .iter()
+                .map(|&res| intensity(ctx, g, r, res))
+                .collect();
+            let base = series[0].max(1e-6);
+            rel_change += (series[3] - series[0]).abs() / base;
+            fit_sum += linear_r2(&mpix, &series);
+            n += 1;
+        }
+        t.row([
+            r.short_name().to_string(),
+            if r.scales_with_pixels() {
+                "GPU-side (Obs 8: linear in pixels)".to_string()
+            } else {
+                "CPU-side (Obs 7: insensitive)".to_string()
+            },
+            f(rel_change / n as f64, 2),
+            f(fit_sum / n as f64, 2),
+        ]);
+    }
+    out.push_str("Observations 7–8 (intensity vs resolution):\n");
+    out.push_str(&t.render());
+    out.push('\n');
+
+    // --- Eq. 2: solo FPS linear in pixel count ---------------------------
+    let mut t = Table::new(["game", "FPS@720p", "FPS@1080p", "FPS@1440p", "linear R²"]);
+    let mut min_r2: f64 = 1.0;
+    for g in games.iter().take(8) {
+        let series: Vec<f64> = ALL_RESOLUTIONS
+            .iter()
+            .map(|&res| ctx.server.measure_solo_fps(g, res))
+            .collect();
+        let fit = linear_r2(&mpix, &series);
+        min_r2 = min_r2.min(fit);
+        t.row([
+            g.name.clone(),
+            f(series[0], 0),
+            f(series[2], 0),
+            f(series[3], 0),
+            f(fit, 3),
+        ]);
+    }
+    out.push_str("Eq. 2 (solo FPS ≈ b − a·N_pixels):\n");
+    out.push_str(&t.render());
+    out.push_str(&format!("Minimum linear R² across games: {min_r2:.3}\n"));
+    out
+}

@@ -1,0 +1,26 @@
+//! # gaugur-bench — the reproduction harness
+//!
+//! Regenerates every figure of the GAugur paper (Figures 1, 2, 4, 5, 6, 7,
+//! 8, 9, 10 — Figure 3 is the design schematic) plus the Section 3
+//! observation validations and a set of design-choice ablations.
+//!
+//! The `reproduce` binary drives everything:
+//!
+//! ```text
+//! cargo run -p gaugur-bench --release --bin reproduce -- all
+//! cargo run -p gaugur-bench --release --bin reproduce -- fig7
+//! ```
+//!
+//! Criterion benches (`cargo bench`) cover the timing claims: online
+//! prediction latency, profiling cost, training cost, simulator and
+//! scheduler throughput.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablation;
+pub mod context;
+pub mod figures;
+pub mod table;
+
+pub use context::ExperimentContext;

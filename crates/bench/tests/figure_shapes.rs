@@ -1,0 +1,125 @@
+//! Shape tests: the paper's qualitative findings must hold on a reduced
+//! experiment context. These are the guardrails that keep future changes to
+//! the simulator or the models from silently breaking the reproduction.
+
+use gaugur_bench::figures::{fig10::Fig10, fig7::Fig7, fig8::Fig8, fig9::Fig9};
+use gaugur_bench::ExperimentContext;
+use gaugur_core::Algorithm;
+use std::sync::OnceLock;
+
+/// The full figure pipelines train dozens of models; in unoptimized builds
+/// that takes tens of minutes, so these tests only run under `--release`
+/// (`cargo test -p gaugur-bench --release --test figure_shapes`).
+macro_rules! release_only {
+    () => {
+        if cfg!(debug_assertions) {
+            eprintln!("skipped: figure-shape tests run in release builds only");
+            return;
+        }
+    };
+}
+
+/// A mid-size context: big enough for stable orderings, small enough for CI.
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::with_scale(7, 60, 250, 60, 60, 240))
+}
+
+#[test]
+fn fig7_gaugur_beats_both_baselines_and_data_helps() {
+    release_only!();
+    let fig = Fig7::run(ctx());
+
+    // The paper's headline ordering: GAugur(RM) ≪ Sigmoid and SMiTe.
+    let gaugur = fig.overall_error("GAugur(RM)");
+    let sigmoid = fig.overall_error("Sigmoid");
+    let smite = fig.overall_error("SMiTe");
+    assert!(gaugur < 0.25, "GAugur error {gaugur}");
+    assert!(
+        gaugur * 1.3 < sigmoid,
+        "GAugur {gaugur} vs Sigmoid {sigmoid}"
+    );
+    assert!(gaugur * 1.2 < smite, "GAugur {gaugur} vs SMiTe {smite}");
+
+    // More training data must not hurt much (paper Fig 7a trend).
+    let at_min = fig.error_at(400, Algorithm::GradientBoosting);
+    let at_max = fig.error_at(1000, Algorithm::GradientBoosting);
+    assert!(at_max <= at_min * 1.05, "{at_min} → {at_max}");
+
+    // Error CDF dominance at the median.
+    let med = |name: &str| {
+        fig.cdfs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c.quantile(0.5))
+            .unwrap()
+    };
+    assert!(med("GAugur(RM)") < med("Sigmoid"));
+    assert!(med("GAugur(RM)") < med("SMiTe"));
+}
+
+#[test]
+fn fig8_classification_shapes_hold() {
+    release_only!();
+    let fig = Fig8::run(ctx());
+
+    // GBDT is the best family at full data, at both QoS levels.
+    for qos in [60.0, 50.0] {
+        let gbdt = fig.accuracy_at(qos, 1000, Algorithm::GradientBoosting);
+        assert!(gbdt > 0.85, "GBDT accuracy {gbdt} at QoS {qos}");
+        for algo in [Algorithm::DecisionTree, Algorithm::Svm] {
+            assert!(
+                gbdt + 1e-9 >= fig.accuracy_at(qos, 1000, algo) - 0.02,
+                "GBDT should be at least on par with {algo:?} at QoS {qos}"
+            );
+        }
+    }
+
+    // Both GAugur variants beat both baselines overall.
+    let cm = fig.overall_accuracy("GAugur(CM)");
+    let rm = fig.overall_accuracy("GAugur(RM)");
+    let sigmoid = fig.overall_accuracy("Sigmoid");
+    assert!(cm > sigmoid, "CM {cm} vs Sigmoid {sigmoid}");
+    assert!(rm > sigmoid, "RM {rm} vs Sigmoid {sigmoid}");
+}
+
+#[test]
+fn fig9_gaugur_identifies_feasible_colocations_better() {
+    release_only!();
+    let fig = Fig9::run(ctx());
+
+    let cm = fig.confusion("GAugur(CM)");
+    let sigmoid = fig.confusion("Sigmoid");
+    assert!(cm.accuracy() > 0.85, "CM accuracy {}", cm.accuracy());
+    assert!(
+        cm.recall() > sigmoid.recall(),
+        "CM recall {} vs Sigmoid {}",
+        cm.recall(),
+        sigmoid.recall()
+    );
+
+    // Colocation always beats dedicated servers by a wide margin.
+    for qos in [60.0, 50.0] {
+        let servers = fig.servers_used(qos, "GAugur(CM)");
+        assert!(
+            (servers as f64) < 0.8 * fig.no_colocation_servers as f64,
+            "QoS {qos}: {servers} servers"
+        );
+    }
+}
+
+#[test]
+fn fig10_gaugur_wins_at_every_fleet_size() {
+    release_only!();
+    let fig = Fig10::run(ctx());
+    for &n in &gaugur_bench::figures::fig10::FLEET_SWEEP {
+        let g = fig.avg_fps(n, "GAugur(RM)");
+        let v = fig.avg_fps(n, "VBP");
+        let s = fig.avg_fps(n, "Sigmoid");
+        assert!(g > v, "{n} servers: GAugur {g} vs VBP {v}");
+        assert!(g > s * 0.98, "{n} servers: GAugur {g} vs Sigmoid {s}");
+    }
+    // Larger fleets help everyone.
+    assert!(fig.avg_fps(3000, "GAugur(RM)") > fig.avg_fps(1500, "GAugur(RM)"));
+    assert!(fig.avg_fps(3000, "VBP") > fig.avg_fps(1500, "VBP"));
+}

@@ -1,0 +1,289 @@
+//! `gaugur` — the operator command line for the GAugur reproduction.
+//!
+//! The workflow a cloud-gaming operator would actually run:
+//!
+//! ```text
+//! gaugur build   --games 30 --seed 7 --out model.json     # offline, once
+//! gaugur catalog --games 30                               # list titles
+//! gaugur predict --model model.json --target 4 --others 8,12 --qos 60
+//! gaugur pack    --model model.json --games 1,3,5,8,9,12 --requests 600 --qos 60
+//! gaugur importance --model model.json --games 30 --seed 7
+//! ```
+//!
+//! Everything runs against the simulated testbed (the seed selects the
+//! measurement-noise realization); the persisted model is the same JSON
+//! artifact [`gaugur_core::GAugur::save_json`] produces.
+
+use gaugur_core::{
+    permutation_importance, to_dataset, ColocationPlan, GAugur, GAugurConfig, Placement,
+};
+use gaugur_gamesim::{GameCatalog, GameId, Resolution, Server};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        exit(2);
+    }
+    let command = args.remove(0);
+    let opts = parse_flags(&args);
+
+    match command.as_str() {
+        "build" => build(&opts),
+        "catalog" => catalog_cmd(&opts),
+        "predict" => predict(&opts),
+        "pack" => pack(&opts),
+        "importance" => importance(&opts),
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown command {other:?}");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "gaugur — interference prediction for colocated cloud games\n\n\
+         commands:\n\
+         \x20 build      --games N [--seed S] [--pairs N --triples N --quads N] --out FILE\n\
+         \x20 catalog    --games N [--seed S]\n\
+         \x20 predict    --model FILE --target ID --others ID,ID,… [--resolution 720p|900p|1080p|1440p] [--qos FPS]\n\
+         \x20 pack       --model FILE --games ID,ID,… --requests N [--qos FPS] [--seed S]\n\
+         \x20 importance --model FILE --games N [--seed S]\n"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut opts = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = it.next().cloned().unwrap_or_else(|| {
+                eprintln!("flag --{key} needs a value");
+                exit(2);
+            });
+            opts.insert(key.to_string(), value);
+        } else {
+            eprintln!("unexpected argument {a:?}");
+            exit(2);
+        }
+    }
+    opts
+}
+
+fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: Option<T>) -> T {
+    match opts.get(key) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--{key}: cannot parse {v:?}");
+            exit(2);
+        }),
+        None => default.unwrap_or_else(|| {
+            eprintln!("missing required flag --{key}");
+            exit(2);
+        }),
+    }
+}
+
+fn id_list(opts: &HashMap<String, String>, key: &str) -> Vec<GameId> {
+    let raw = opts.get(key).cloned().unwrap_or_default();
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            GameId(s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("--{key}: bad game id {s:?}");
+                exit(2);
+            }))
+        })
+        .collect()
+}
+
+fn resolution(opts: &HashMap<String, String>) -> Resolution {
+    match opts.get("resolution").map(String::as_str) {
+        None | Some("1080p") => Resolution::Fhd1080,
+        Some("720p") => Resolution::Hd720,
+        Some("900p") => Resolution::Hd900,
+        Some("1440p") => Resolution::Qhd1440,
+        Some(other) => {
+            eprintln!("--resolution: unknown {other:?}");
+            exit(2);
+        }
+    }
+}
+
+fn testbed(opts: &HashMap<String, String>) -> (Server, GameCatalog) {
+    let seed: u64 = get(opts, "seed", Some(7));
+    let n: usize = get(opts, "games", Some(100));
+    (Server::reference(seed), GameCatalog::generate(42, n))
+}
+
+fn build(opts: &HashMap<String, String>) {
+    let (server, catalog) = testbed(opts);
+    let out: String = get(opts, "out", None::<String>);
+    let config = GAugurConfig {
+        plan: ColocationPlan {
+            pairs: get(opts, "pairs", Some(200)),
+            triples: get(opts, "triples", Some(50)),
+            quads: get(opts, "quads", Some(40)),
+            seed: get(opts, "seed", Some(7)),
+        },
+        ..GAugurConfig::default()
+    };
+    eprintln!(
+        "profiling {} games and measuring {} colocations …",
+        catalog.len(),
+        config.plan.pairs + config.plan.triples + config.plan.quads
+    );
+    let gaugur = GAugur::build(&server, &catalog, config);
+    gaugur.save_json(&out).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    println!("model written to {out}");
+}
+
+fn catalog_cmd(opts: &HashMap<String, String>) {
+    let (server, catalog) = testbed(opts);
+    println!("{:>4}  {:<42} {:<14} {:>9}", "id", "title", "genre", "solo FPS");
+    for g in catalog.games() {
+        println!(
+            "{:>4}  {:<42} {:<14} {:>9.0}",
+            g.id.0,
+            g.name,
+            g.genre.to_string(),
+            server.measure_solo_fps(g, Resolution::Fhd1080)
+        );
+    }
+}
+
+fn load_model(opts: &HashMap<String, String>) -> GAugur {
+    let path: String = get(opts, "model", None::<String>);
+    GAugur::load_json(&path).unwrap_or_else(|e| {
+        eprintln!("cannot load {path}: {e}");
+        exit(1);
+    })
+}
+
+fn predict(opts: &HashMap<String, String>) {
+    let gaugur = load_model(opts);
+    let res = resolution(opts);
+    let target: u32 = get(opts, "target", None::<u32>);
+    let target: Placement = (GameId(target), res);
+    let others: Vec<Placement> = id_list(opts, "others")
+        .into_iter()
+        .map(|id| (id, res))
+        .collect();
+
+    let degradation = gaugur.predict_degradation(target, &others);
+    let fps = gaugur.predict_fps(target, &others);
+    println!("predicted degradation ratio: {degradation:.3}");
+    println!("predicted frame rate:        {fps:.1} FPS");
+    if let Some(qos) = opts.get("qos") {
+        let qos: f64 = qos.parse().unwrap_or_else(|_| {
+            eprintln!("--qos: bad value");
+            exit(2);
+        });
+        let ok = gaugur.predict_qos(qos, target, &others);
+        println!(
+            "QoS {qos} FPS:                 {}",
+            if ok { "SATISFIED" } else { "VIOLATED" }
+        );
+    }
+}
+
+fn pack(opts: &HashMap<String, String>) {
+    let gaugur = load_model(opts);
+    let res = resolution(opts);
+    let qos: f64 = get(opts, "qos", Some(60.0));
+    let n_requests: usize = get(opts, "requests", None::<usize>);
+    let games = id_list(opts, "games");
+    if games.is_empty() {
+        eprintln!("--games must list at least one game id");
+        exit(2);
+    }
+
+    // Enumerate candidate colocations and judge them with the CM.
+    let mut counts: HashMap<GameId, usize> = HashMap::new();
+    let seed: u64 = get(opts, "seed", Some(7));
+    let mut acc = seed;
+    for i in 0..n_requests {
+        acc = gaugur_gamesim::rng::mix(acc ^ i as u64);
+        *counts.entry(games[(acc % games.len() as u64) as usize]).or_default() += 1;
+    }
+
+    let sets = gaugur_sets(&games);
+    let mut usable: Vec<Vec<GameId>> = Vec::new();
+    for set in &sets {
+        let members: Vec<Placement> = set.iter().map(|&g| (g, res)).collect();
+        if gaugur.colocation_feasible(qos, &members) {
+            usable.push(set.clone());
+        }
+    }
+    usable.sort_by_key(|s| std::cmp::Reverse(s.len()));
+
+    // Greedy Algorithm-1-style packing on predicted-feasible sets.
+    let mut servers = 0usize;
+    let mut remaining = counts;
+    for set in &usable {
+        loop {
+            if set.iter().any(|g| remaining.get(g).copied().unwrap_or(0) == 0) {
+                break;
+            }
+            for g in set {
+                *remaining.get_mut(g).expect("counted") -= 1;
+            }
+            servers += 1;
+        }
+    }
+    let leftovers: usize = remaining.values().sum();
+    servers += leftovers;
+
+    println!(
+        "{} requests over {} games at QoS {qos} FPS:",
+        n_requests,
+        games.len()
+    );
+    println!("  predicted-feasible colocations: {}", usable.len());
+    println!("  servers used:                   {servers}");
+    println!("  (dedicated servers would need: {n_requests})");
+}
+
+/// All non-empty subsets of ≤4 distinct games.
+fn gaugur_sets(games: &[GameId]) -> Vec<Vec<GameId>> {
+    let mut out = Vec::new();
+    let n = games.len();
+    for mask in 1u32..(1 << n.min(20)) {
+        if mask.count_ones() > 4 {
+            continue;
+        }
+        let set: Vec<GameId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| games[i])
+            .collect();
+        out.push(set);
+    }
+    out
+}
+
+fn importance(opts: &HashMap<String, String>) {
+    let gaugur = load_model(opts);
+    let (server, catalog) = testbed(opts);
+    eprintln!("measuring a fresh evaluation campaign …");
+    let plan = ColocationPlan {
+        pairs: 60,
+        triples: 20,
+        quads: 10,
+        seed: get::<u64>(opts, "seed", Some(7)) ^ 0x1111,
+    };
+    let colocations = gaugur_core::plan_colocations(&catalog, &plan);
+    let measured = gaugur_core::measure_colocations(&server, &catalog, &colocations);
+    let data = to_dataset(&gaugur_core::build_rm_samples(&gaugur.profiles, &measured));
+    let imp = permutation_importance(&gaugur.rm, &data, gaugur.config.profiling.granularity, 5);
+    println!("{:<26} {:>10}", "feature group", "Δ error");
+    for (group, delta) in imp {
+        println!("{:<26} {:>9.2}%", group.label(), delta * 100.0);
+    }
+}

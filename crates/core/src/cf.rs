@@ -1,0 +1,304 @@
+//! Collaborative-filtering profile completion.
+//!
+//! The paper's related work: "Prior work \[13, 14\] leveraged collaborative
+//! filtering techniques to reduce the overhead of profiling the sensitivity
+//! and intensity for applications. Such techniques are complementary to our
+//! work." This module implements that combination: profile a fraction of the
+//! catalog fully, profile the rest on a random *subset* of resources, and
+//! complete the missing sensitivity curves and intensities by ALS low-rank
+//! matrix completion across games.
+//!
+//! The completion matrix has one row per game and one column per profile
+//! entry: `(k + 1)` sensitivity samples plus two intensities (base and
+//! alternate resolution) for each of the seven resources. Columns are
+//! standardized before factorization so curve samples (≈0–1) and intensities
+//! (≈0–1.6) share a scale.
+
+use crate::profile::{GameProfile, PartialProfile, Profiler, SensitivityCurve};
+use crate::resolution::{IntensityModel, SoloFpsModel};
+use gaugur_gamesim::{Game, GameCatalog, Resource, ResourceVec, Server, ALL_RESOURCES};
+use gaugur_ml::{MatrixFactorization, MfParams};
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the partial-profiling campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CfConfig {
+    /// Fraction of the catalog profiled on all seven resources (the "seed"
+    /// games that anchor the latent structure).
+    pub full_fraction: f64,
+    /// Resources swept per remaining game.
+    pub resources_per_game: usize,
+    /// Factorization hyperparameters.
+    pub mf: MfParams,
+    /// Seed for game/resource selection.
+    pub seed: u64,
+}
+
+impl Default for CfConfig {
+    fn default() -> Self {
+        CfConfig {
+            full_fraction: 0.3,
+            resources_per_game: 3,
+            mf: MfParams::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome statistics of a partial campaign.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CfStats {
+    /// Resource sweeps actually performed.
+    pub sweeps_performed: usize,
+    /// Sweeps a full campaign would have performed.
+    pub sweeps_full: usize,
+}
+
+impl CfStats {
+    /// Fraction of the full profiling cost spent.
+    pub fn cost_fraction(&self) -> f64 {
+        self.sweeps_performed as f64 / self.sweeps_full.max(1) as f64
+    }
+}
+
+/// Entries per resource in the completion matrix: `(k + 1)` curve samples
+/// plus the two intensities.
+fn entries_per_resource(granularity: usize) -> usize {
+    granularity + 3
+}
+
+/// Run a partial profiling campaign and complete it into full
+/// [`GameProfile`]s.
+pub fn profile_catalog_cf(
+    profiler: &Profiler,
+    server: &Server,
+    catalog: &GameCatalog,
+    config: &CfConfig,
+) -> (Vec<GameProfile>, CfStats) {
+    let n_games = catalog.len();
+    let n_full = ((n_games as f64 * config.full_fraction).ceil() as usize).clamp(1, n_games);
+
+    // Seeded selection of fully profiled games.
+    let mut order: Vec<usize> = (0..n_games).collect();
+    let mut rng = gaugur_gamesim::rng::rng_for(config.seed, &[0x4346_53]);
+    order.shuffle(&mut rng);
+    let full_set: std::collections::HashSet<usize> = order[..n_full].iter().copied().collect();
+
+    // Partial profiling.
+    let mut partials: Vec<PartialProfile> = Vec::with_capacity(n_games);
+    let mut sweeps_performed = 0;
+    for (gi, game) in catalog.games().iter().enumerate() {
+        let resources: Vec<Resource> = if full_set.contains(&gi) {
+            ALL_RESOURCES.to_vec()
+        } else {
+            let mut rs = ALL_RESOURCES.to_vec();
+            rs.shuffle(&mut rng);
+            rs.truncate(config.resources_per_game.clamp(1, rs.len()));
+            rs
+        };
+        sweeps_performed += resources.len();
+        partials.push(profiler.profile_game_partial(server, game, &resources));
+    }
+
+    let profiles = complete_profiles(&partials, catalog.games(), profiler, config);
+    let stats = CfStats {
+        sweeps_performed,
+        sweeps_full: n_games * ALL_RESOURCES.len(),
+    };
+    (profiles, stats)
+}
+
+/// Complete partial profiles into full ones via ALS.
+pub fn complete_profiles(
+    partials: &[PartialProfile],
+    games: &[Game],
+    profiler: &Profiler,
+    config: &CfConfig,
+) -> Vec<GameProfile> {
+    assert_eq!(partials.len(), games.len());
+    let k = profiler.config.granularity;
+    let per_res = entries_per_resource(k);
+    let n_cols = ALL_RESOURCES.len() * per_res;
+
+    // Collect observations (game, column, value).
+    let mut observed: Vec<(usize, usize, f64)> = Vec::new();
+    for (gi, p) in partials.iter().enumerate() {
+        for r in ALL_RESOURCES {
+            let base_col = r.index() * per_res;
+            if let Some(curve) = &p.curves[r.index()] {
+                for (s, &v) in curve.samples.iter().enumerate() {
+                    observed.push((gi, base_col + s, v));
+                }
+            }
+            if let Some(v) = p.intensity_base[r.index()] {
+                observed.push((gi, base_col + k + 1, v));
+            }
+            if let Some(v) = p.intensity_alt[r.index()] {
+                observed.push((gi, base_col + k + 2, v));
+            }
+        }
+    }
+
+    // Column standardization.
+    let mut mean = vec![0.0_f64; n_cols];
+    let mut count = vec![0usize; n_cols];
+    for &(_, c, v) in &observed {
+        mean[c] += v;
+        count[c] += 1;
+    }
+    for (m, &c) in mean.iter_mut().zip(&count) {
+        *m /= c.max(1) as f64;
+    }
+    let mut var = vec![0.0_f64; n_cols];
+    for &(_, c, v) in &observed {
+        var[c] += (v - mean[c]).powi(2);
+    }
+    let std: Vec<f64> = var
+        .iter()
+        .zip(&count)
+        .map(|(&v, &c)| (v / c.max(1) as f64).sqrt().max(1e-6))
+        .collect();
+    let normalized: Vec<(usize, usize, f64)> = observed
+        .iter()
+        .map(|&(g, c, v)| (g, c, (v - mean[c]) / std[c]))
+        .collect();
+
+    let mf = MatrixFactorization::fit(partials.len(), n_cols, &normalized, config.mf);
+    let value_at = |g: usize, c: usize| -> f64 { mf.predict(g, c) * std[c] + mean[c] };
+
+    // Reconstruct full profiles, preferring measured entries.
+    partials
+        .iter()
+        .enumerate()
+        .map(|(gi, p)| {
+            let mut sensitivity = Vec::with_capacity(ALL_RESOURCES.len());
+            let mut int_base = ResourceVec::ZERO;
+            let mut int_alt = ResourceVec::ZERO;
+            for r in ALL_RESOURCES {
+                let base_col = r.index() * per_res;
+                let curve = match &p.curves[r.index()] {
+                    Some(c) => c.clone(),
+                    None => {
+                        // A completed sensitivity curve: clamp into the
+                        // physical range and enforce monotone non-increase
+                        // (the invariant every measured curve satisfies).
+                        let mut samples: Vec<f64> = (0..=k)
+                            .map(|s| value_at(gi, base_col + s).clamp(0.0, 1.05))
+                            .collect();
+                        for i in 1..samples.len() {
+                            samples[i] = samples[i].min(samples[i - 1]);
+                        }
+                        SensitivityCurve { samples }
+                    }
+                };
+                sensitivity.push(curve);
+                int_base[r] = p.intensity_base[r.index()]
+                    .unwrap_or_else(|| value_at(gi, base_col + k + 1).max(0.0));
+                int_alt[r] = p.intensity_alt[r.index()]
+                    .unwrap_or_else(|| value_at(gi, base_col + k + 2).max(0.0));
+            }
+            let cfg = &profiler.config;
+            GameProfile {
+                id: p.id,
+                name: p.name.clone(),
+                sensitivity,
+                intensity: IntensityModel::from_two_points(
+                    cfg.base_resolution,
+                    &int_base,
+                    cfg.alt_resolution,
+                    &int_alt,
+                ),
+                solo_fps: SoloFpsModel::from_two_points(
+                    cfg.base_resolution,
+                    p.solo_base,
+                    cfg.alt_resolution,
+                    p.solo_alt,
+                ),
+                granularity: cfg.granularity,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfilingConfig;
+    use gaugur_gamesim::Resolution;
+
+    fn setup() -> (Server, GameCatalog, Profiler) {
+        (
+            Server::reference(51),
+            GameCatalog::generate(42, 40),
+            Profiler::new(ProfilingConfig::default()),
+        )
+    }
+
+    #[test]
+    fn partial_campaign_saves_most_of_the_cost() {
+        let (server, catalog, profiler) = setup();
+        let config = CfConfig::default();
+        let (profiles, stats) = profile_catalog_cf(&profiler, &server, &catalog, &config);
+        assert_eq!(profiles.len(), 40);
+        assert!(stats.cost_fraction() < 0.65, "{}", stats.cost_fraction());
+        assert!(stats.sweeps_performed < stats.sweeps_full);
+    }
+
+    #[test]
+    fn completed_profiles_approximate_full_profiles() {
+        let (server, catalog, profiler) = setup();
+        let full: Vec<GameProfile> = profiler.profile_catalog(&server, &catalog);
+        let (completed, _) =
+            profile_catalog_cf(&profiler, &server, &catalog, &CfConfig::default());
+
+        // Compare intensities at 1080p: completed entries should track the
+        // fully measured ones reasonably well on average.
+        let mut err_sum = 0.0;
+        let mut n = 0;
+        for (f, c) in full.iter().zip(&completed) {
+            let fi = f.intensity_at(Resolution::Fhd1080);
+            let ci = c.intensity_at(Resolution::Fhd1080);
+            for r in ALL_RESOURCES {
+                err_sum += (fi[r] - ci[r]).abs();
+                n += 1;
+            }
+        }
+        let mae = err_sum / n as f64;
+        assert!(mae < 0.15, "intensity completion MAE {mae}");
+    }
+
+    #[test]
+    fn completed_curves_respect_physical_invariants() {
+        let (server, catalog, profiler) = setup();
+        let (completed, _) =
+            profile_catalog_cf(&profiler, &server, &catalog, &CfConfig::default());
+        for p in &completed {
+            for r in ALL_RESOURCES {
+                let c = p.sensitivity_for(r);
+                assert_eq!(c.samples.len(), 11);
+                for w in c.samples.windows(2) {
+                    assert!(w[1] <= w[0] + 0.08, "{}: {:?}", p.name, c.samples);
+                }
+                for &v in &c.samples {
+                    assert!((0.0..=1.05).contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_fraction_one_reproduces_complete_profiling() {
+        let (server, catalog, profiler) = setup();
+        let config = CfConfig {
+            full_fraction: 1.0,
+            ..CfConfig::default()
+        };
+        let (profiles, stats) = profile_catalog_cf(&profiler, &server, &catalog, &config);
+        assert_eq!(stats.cost_fraction(), 1.0);
+        let full = profiler.profile_catalog(&server, &catalog);
+        for (a, b) in profiles.iter().zip(&full) {
+            assert_eq!(a.sensitivity, b.sensitivity, "{}", a.name);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Feature-vector assembly for the prediction models (paper Section 3.4).
+//!
+//! The number of colocated games varies, but the models need fixed-width
+//! inputs. The paper's Eq. (5) folds the colocated set's intensities into
+//! `2R + 1` statistics:
+//!
+//! `I_G = [|G|, (mean_1, var_1), …, (mean_R, var_R)]`
+//!
+//! Summing the intensities instead would be wrong, because game intensity is
+//! not additive (Observation 5). Note the paper defines the spread as
+//! `var_G = (1/|G|)·sqrt(Σ(I − mean)²)` — a scaled standard deviation rather
+//! than a textbook variance — and we follow the paper's formula exactly.
+
+use crate::profile::GameProfile;
+use gaugur_gamesim::{ResourceVec, ALL_RESOURCES, NUM_RESOURCES};
+
+/// Number of features of the aggregate-intensity transform (`2R + 1`).
+pub const AGGREGATE_INTENSITY_WIDTH: usize = 2 * NUM_RESOURCES + 1;
+
+/// Paper Eq. (5): fold the per-game intensity vectors of a colocated set into
+/// `[|G|, (mean_r, var_r) …]`.
+pub fn aggregate_intensity(intensities: &[ResourceVec]) -> Vec<f64> {
+    let n = intensities.len() as f64;
+    let mut out = Vec::with_capacity(AGGREGATE_INTENSITY_WIDTH);
+    out.push(intensities.len() as f64);
+    for r in ALL_RESOURCES {
+        if intensities.is_empty() {
+            out.push(0.0);
+            out.push(0.0);
+            continue;
+        }
+        let mean = intensities.iter().map(|i| i[r]).sum::<f64>() / n;
+        let sumsq: f64 = intensities.iter().map(|i| (i[r] - mean).powi(2)).sum();
+        // The paper's formula: (1/|G|)·sqrt(Σ(I − mean)²).
+        let var = sumsq.sqrt() / n;
+        out.push(mean);
+        out.push(var);
+    }
+    out
+}
+
+/// Width of the flattened sensitivity-curve block for granularity `k`.
+pub fn sensitivity_width(granularity: usize) -> usize {
+    NUM_RESOURCES * (granularity + 1)
+}
+
+/// Flatten a game's sensitivity curves into one block (resource-major).
+pub fn flatten_sensitivity(profile: &GameProfile) -> Vec<f64> {
+    let mut out = Vec::with_capacity(sensitivity_width(profile.granularity));
+    for curve in &profile.sensitivity {
+        out.extend_from_slice(&curve.samples);
+    }
+    out
+}
+
+/// Regression-model features (paper Eq. 4): the target game's sensitivity
+/// curves plus the aggregate intensity of the co-runners.
+pub fn rm_features(target: &GameProfile, corunner_intensities: &[ResourceVec]) -> Vec<f64> {
+    let mut out = flatten_sensitivity(target);
+    out.extend(aggregate_intensity(corunner_intensities));
+    out
+}
+
+/// Width of the RM feature vector for granularity `k`.
+pub fn rm_width(granularity: usize) -> usize {
+    sensitivity_width(granularity) + AGGREGATE_INTENSITY_WIDTH
+}
+
+/// Classification-model features (paper Eq. 3): the QoS requirement and the
+/// target's solo FPS, then the RM features.
+///
+/// One engineered interaction is added to the paper's inputs: the ratio
+/// `qos / solo_fps`, i.e. the degradation threshold the game must stay
+/// above. Tree splits are axis-aligned, so without this ratio the CM would
+/// need many splits to rediscover `δ · solo ≥ qos`; with it the QoS boundary
+/// is a single split. (Both raw inputs are retained.)
+pub fn cm_features(
+    qos: f64,
+    solo_fps: f64,
+    target: &GameProfile,
+    corunner_intensities: &[ResourceVec],
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(cm_width(target.granularity));
+    out.push(qos);
+    out.push(solo_fps);
+    out.push(qos / solo_fps.max(1.0));
+    out.extend(rm_features(target, corunner_intensities));
+    out
+}
+
+/// Width of the CM feature vector for granularity `k`.
+pub fn cm_width(granularity: usize) -> usize {
+    rm_width(granularity) + 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Profiler, ProfilingConfig};
+    use gaugur_gamesim::{GameCatalog, Server};
+
+    fn profile() -> GameProfile {
+        let server = Server::reference(3);
+        let cat = GameCatalog::generate(42, 5);
+        Profiler::new(ProfilingConfig::default()).profile_game(&server, &cat[0])
+    }
+
+    #[test]
+    fn aggregate_width_is_2r_plus_1() {
+        let a = aggregate_intensity(&[ResourceVec::ZERO, ResourceVec::ZERO]);
+        assert_eq!(a.len(), AGGREGATE_INTENSITY_WIDTH);
+        assert_eq!(a[0], 2.0);
+    }
+
+    #[test]
+    fn aggregate_matches_paper_formula() {
+        let i1 = ResourceVec([0.2; 7]);
+        let i2 = ResourceVec([0.6; 7]);
+        let a = aggregate_intensity(&[i1, i2]);
+        // mean = 0.4; var = sqrt(0.04 + 0.04) / 2 = sqrt(0.08)/2.
+        assert!((a[1] - 0.4).abs() < 1e-12);
+        assert!((a[2] - 0.08_f64.sqrt() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_is_permutation_invariant() {
+        let i1 = ResourceVec([0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]);
+        let i2 = ResourceVec([0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1]);
+        let i3 = ResourceVec([0.0, 0.9, 0.1, 0.8, 0.2, 0.7, 0.3]);
+        let a = aggregate_intensity(&[i1, i2, i3]);
+        let b = aggregate_intensity(&[i3, i1, i2]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_corunner_set_is_well_defined() {
+        let a = aggregate_intensity(&[]);
+        assert_eq!(a[0], 0.0);
+        assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn feature_widths_are_consistent() {
+        let p = profile();
+        let ints = [ResourceVec::ZERO];
+        assert_eq!(flatten_sensitivity(&p).len(), sensitivity_width(10));
+        assert_eq!(rm_features(&p, &ints).len(), rm_width(10));
+        assert_eq!(cm_features(60.0, 100.0, &p, &ints).len(), cm_width(10));
+        assert_eq!(rm_width(10), 7 * 11 + 15);
+        assert_eq!(cm_width(10), 7 * 11 + 15 + 3);
+    }
+
+    #[test]
+    fn cm_features_lead_with_qos_and_solo_fps() {
+        let p = profile();
+        let f = cm_features(60.0, 123.0, &p, &[ResourceVec::ZERO]);
+        assert_eq!(f[0], 60.0);
+        assert_eq!(f[1], 123.0);
+    }
+}

@@ -1,0 +1,296 @@
+//! The end-to-end GAugur facade: profile → train → predict online.
+//!
+//! Mirrors Figure 3 of the paper: the offline steps (contention-feature
+//! profiling, model building, model training) run once in
+//! [`GAugur::build`]; the online step ([`GAugur::predict_qos`],
+//! [`GAugur::predict_degradation`], [`GAugur::predict_fps`]) serves
+//! continuously arriving prediction requests with negligible overhead.
+
+use crate::features::{cm_features, rm_features};
+use crate::model::{Algorithm, ClassificationModel, RegressionModel};
+use crate::profile::{Profiler, ProfilingConfig};
+use crate::train::{
+    build_cm_samples, build_rm_samples, measure_colocations, plan_colocations, to_dataset,
+    ColocationPlan, MeasuredColocation, Placement, ProfileStore,
+};
+use gaugur_gamesim::{GameCatalog, Server};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the offline pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GAugurConfig {
+    /// Profiling configuration (granularity, resolutions).
+    pub profiling: ProfilingConfig,
+    /// How many colocations to measure for training.
+    pub plan: ColocationPlan,
+    /// Algorithm for the classification model (paper default: GBDT).
+    pub cm_algorithm: Algorithm,
+    /// Algorithm for the regression model (paper default: GBRT).
+    pub rm_algorithm: Algorithm,
+    /// QoS values baked into the CM training set.
+    pub qos_values: Vec<f64>,
+    /// Training seed.
+    pub seed: u64,
+}
+
+impl Default for GAugurConfig {
+    fn default() -> Self {
+        GAugurConfig {
+            profiling: ProfilingConfig::default(),
+            plan: ColocationPlan::default(),
+            cm_algorithm: Algorithm::GradientBoosting,
+            rm_algorithm: Algorithm::GradientBoosting,
+            qos_values: vec![50.0, 60.0],
+            seed: 0,
+        }
+    }
+}
+
+/// A fully built GAugur predictor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GAugur {
+    /// Profiled contention features for every game.
+    pub profiles: ProfileStore,
+    /// The trained classification model (Eq. 3).
+    pub cm: ClassificationModel,
+    /// The trained regression model (Eq. 4).
+    pub rm: RegressionModel,
+    /// The configuration used to build the predictor.
+    pub config: GAugurConfig,
+}
+
+impl GAugur {
+    /// Run the full offline pipeline on a catalog: profile every game,
+    /// measure the planned colocations, and train both models.
+    pub fn build(server: &Server, catalog: &GameCatalog, config: GAugurConfig) -> GAugur {
+        let profiler = Profiler::new(config.profiling);
+        let profiles = ProfileStore::new(profiler.profile_catalog(server, catalog));
+        let colocations = plan_colocations(catalog, &config.plan);
+        let measured = measure_colocations(server, catalog, &colocations);
+        GAugur::from_measurements(profiles, &measured, config)
+    }
+
+    /// Train from already-collected measurements (lets callers reuse one
+    /// profiling campaign across experiments, as Section 4 does).
+    pub fn from_measurements(
+        profiles: ProfileStore,
+        measured: &[MeasuredColocation],
+        config: GAugurConfig,
+    ) -> GAugur {
+        let rm_data = to_dataset(&build_rm_samples(&profiles, measured));
+        let cm_data = to_dataset(&build_cm_samples(&profiles, measured, &config.qos_values));
+        let rm = RegressionModel::train(&rm_data, config.rm_algorithm, config.seed);
+        let cm = ClassificationModel::train(&cm_data, config.cm_algorithm, config.seed);
+        GAugur {
+            profiles,
+            cm,
+            rm,
+            config,
+        }
+    }
+
+    /// Online prediction (Eq. 4): the degradation ratio game `target` will
+    /// suffer when colocated with `others`.
+    pub fn predict_degradation(&self, target: Placement, others: &[Placement]) -> f64 {
+        let profile = self.profiles.get(target.0);
+        let intensities = self.profiles.intensities(others);
+        self.rm.predict(&rm_features(profile, &intensities))
+    }
+
+    /// Online prediction: the absolute FPS of `target` under colocation
+    /// (degradation × Eq.-2 solo FPS).
+    pub fn predict_fps(&self, target: Placement, others: &[Placement]) -> f64 {
+        let solo = self.profiles.get(target.0).solo_fps_at(target.1);
+        self.predict_degradation(target, others) * solo
+    }
+
+    /// Online prediction (Eq. 3): does `target` meet `qos` FPS when
+    /// colocated with `others`?
+    pub fn predict_qos(&self, qos: f64, target: Placement, others: &[Placement]) -> bool {
+        let profile = self.profiles.get(target.0);
+        let solo = profile.solo_fps_at(target.1);
+        // Colocation can only degrade a game, so a QoS bar above the solo
+        // frame rate is unreachable no matter what the learned model says.
+        if qos > solo {
+            return false;
+        }
+
+        // The CM is only trained on the QoS values in the config; outside
+        // that range tree models extrapolate arbitrarily. QoS satisfaction
+        // is monotone (meeting a bar implies meeting every lower bar), so a
+        // query below the trained range can be answered by the lowest
+        // trained bar when positive, and falls back to RM thresholding
+        // otherwise; symmetrically above the range.
+        let lo = self
+            .config
+            .qos_values
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .config
+            .qos_values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        let intensities = self.profiles.intensities(others);
+        let cm_at =
+            |q: f64| -> bool { self.cm.classify(&cm_features(q, solo, profile, &intensities)) };
+
+        if self.config.qos_values.is_empty() || (lo..=hi).contains(&qos) {
+            cm_at(qos)
+        } else if qos < lo {
+            cm_at(lo) || self.predict_fps(target, others) >= qos
+        } else {
+            // lo..=hi excluded qos and qos > hi.
+            cm_at(hi) && self.predict_fps(target, others) >= qos
+        }
+    }
+
+    /// QoS judgement via the regression model (the paper's GAugur(RM)
+    /// classification comparator: predict FPS, threshold at the QoS).
+    pub fn predict_qos_via_rm(&self, qos: f64, target: Placement, others: &[Placement]) -> bool {
+        self.predict_fps(target, others) >= qos
+    }
+
+    /// Persist the whole trained predictor (profiles + both models) as JSON.
+    ///
+    /// The offline pipeline runs once per catalog; production front-ends load
+    /// the artifact instead of re-profiling.
+    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(std::io::BufWriter::new(file), self)
+            .map_err(std::io::Error::other)
+    }
+
+    /// Load a predictor persisted with [`GAugur::save_json`].
+    pub fn load_json(path: impl AsRef<std::path::Path>) -> std::io::Result<GAugur> {
+        let file = std::fs::File::open(path)?;
+        serde_json::from_reader(std::io::BufReader::new(file)).map_err(std::io::Error::other)
+    }
+
+    /// Whether an entire colocation is *feasible*: every member satisfies
+    /// the QoS requirement (Section 5.1), judged by the CM.
+    pub fn colocation_feasible(&self, qos: f64, members: &[Placement]) -> bool {
+        members.iter().enumerate().all(|(i, &m)| {
+            let others: Vec<Placement> = members
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &p)| p)
+                .collect();
+            self.predict_qos(qos, m, &others)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugur_gamesim::Resolution;
+
+    fn quick_build() -> (Server, GameCatalog, GAugur) {
+        let server = Server::reference(31);
+        let catalog = GameCatalog::generate(42, 14);
+        let config = GAugurConfig {
+            plan: ColocationPlan {
+                pairs: 60,
+                triples: 15,
+                quads: 10,
+                seed: 2,
+            },
+            ..GAugurConfig::default()
+        };
+        let gaugur = GAugur::build(&server, &catalog, config);
+        (server, catalog, gaugur)
+    }
+
+    #[test]
+    fn end_to_end_predictions_are_sane_and_useful() {
+        let (server, catalog, gaugur) = quick_build();
+        let res = Resolution::Fhd1080;
+        let indie = catalog.by_name("BlubBlub").unwrap().id;
+        let heavy = catalog.by_name("ARK Survival Evolved").unwrap().id;
+        let moba = catalog.by_name("Battlerite").unwrap().id;
+
+        // Predicted degradation is a ratio.
+        let d = gaugur.predict_degradation((moba, res), &[(heavy, res)]);
+        assert!(d > 0.0 && d <= 1.05);
+
+        // A heavy co-runner should hurt more than a light one.
+        let d_light = gaugur.predict_degradation((moba, res), &[(indie, res)]);
+        assert!(
+            d_light > d,
+            "indie co-runner {d_light} should degrade less than AAA {d}"
+        );
+
+        // Predicted FPS should correlate with the measured outcome.
+        let pred = gaugur.predict_fps((moba, res), &[(heavy, res)]);
+        let out = server.measure_colocation(&[
+            gaugur_gamesim::Workload::game(catalog.get(moba).unwrap(), res),
+            gaugur_gamesim::Workload::game(catalog.get(heavy).unwrap(), res),
+        ]);
+        let actual = out.game_fps(0).unwrap();
+        let err = (pred - actual).abs() / actual;
+        assert!(err < 0.35, "prediction {pred} vs actual {actual}");
+    }
+
+    #[test]
+    fn feasibility_checks_every_member() {
+        let (_, catalog, gaugur) = quick_build();
+        let res = Resolution::Hd720;
+        let light_pair = [
+            (catalog.by_name("BlubBlub").unwrap().id, res),
+            (catalog.by_name("Candle").unwrap().id, res),
+        ];
+        assert!(gaugur.colocation_feasible(30.0, &light_pair));
+        // An absurd QoS bar cannot be met even solo-ish.
+        assert!(!gaugur.colocation_feasible(10_000.0, &light_pair));
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_predictions() {
+        let (_, catalog, gaugur) = quick_build();
+        let dir = std::env::temp_dir().join("gaugur-test-persist");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("predictor.json");
+        gaugur.save_json(&path).unwrap();
+        let loaded = GAugur::load_json(&path).unwrap();
+        let res = Resolution::Fhd1080;
+        let t = (catalog[0].id, res);
+        let o = [(catalog[1].id, res)];
+        assert_eq!(
+            gaugur.predict_degradation(t, &o),
+            loaded.predict_degradation(t, &o)
+        );
+        assert_eq!(gaugur.predict_qos(60.0, t, &o), loaded.predict_qos(60.0, t, &o));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(GAugur::load_json("/nonexistent/gaugur.json").is_err());
+    }
+
+    #[test]
+    fn qos_via_rm_and_cm_mostly_agree() {
+        let (_, catalog, gaugur) = quick_build();
+        let res = Resolution::Fhd1080;
+        let ids: Vec<_> = catalog.games().iter().map(|g| g.id).collect();
+        let mut agree = 0;
+        let mut total = 0;
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                let cm = gaugur.predict_qos(60.0, (ids[i], res), &[(ids[j], res)]);
+                let rm = gaugur.predict_qos_via_rm(60.0, (ids[i], res), &[(ids[j], res)]);
+                agree += usize::from(cm == rm);
+                total += 1;
+            }
+        }
+        assert!(
+            agree as f64 / total as f64 > 0.7,
+            "CM and RM disagree too much: {agree}/{total}"
+        );
+    }
+}

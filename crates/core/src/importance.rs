@@ -1,0 +1,162 @@
+//! Permutation feature importance for the regression model.
+//!
+//! Answers the operator question the paper's Section 3.2 raises implicitly:
+//! *which shared resources actually drive interference on my catalog?*
+//! Each feature group (a resource's sensitivity curve, a resource's
+//! aggregate-intensity statistics, the colocation size) is shuffled across
+//! samples; the increase in prediction error is that group's importance.
+
+use crate::features::sensitivity_width;
+use crate::model::RegressionModel;
+use gaugur_gamesim::rng::rng_for;
+use gaugur_gamesim::{Resource, ALL_RESOURCES};
+use gaugur_ml::metrics::mean_relative_error;
+use gaugur_ml::Dataset;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// A named group of feature columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureGroup {
+    /// One resource's sensitivity-curve samples.
+    Sensitivity(Resource),
+    /// One resource's aggregate-intensity `(mean, var)` pair.
+    Intensity(Resource),
+    /// The colocation-size count.
+    ColocationSize,
+}
+
+impl FeatureGroup {
+    /// Human-readable label.
+    pub fn label(&self) -> String {
+        match self {
+            FeatureGroup::Sensitivity(r) => format!("sensitivity {}", r.short_name()),
+            FeatureGroup::Intensity(r) => format!("intensity {}", r.short_name()),
+            FeatureGroup::ColocationSize => "colocation size".to_string(),
+        }
+    }
+
+    /// The RM feature columns belonging to this group for granularity `k`.
+    fn columns(&self, granularity: usize) -> Vec<usize> {
+        let per_curve = granularity + 1;
+        let agg_base = sensitivity_width(granularity);
+        match self {
+            FeatureGroup::Sensitivity(r) => {
+                let start = r.index() * per_curve;
+                (start..start + per_curve).collect()
+            }
+            FeatureGroup::ColocationSize => vec![agg_base],
+            FeatureGroup::Intensity(r) => {
+                let start = agg_base + 1 + 2 * r.index();
+                vec![start, start + 1]
+            }
+        }
+    }
+
+    /// All groups of the RM feature layout.
+    pub fn all() -> Vec<FeatureGroup> {
+        let mut out = Vec::with_capacity(2 * ALL_RESOURCES.len() + 1);
+        out.extend(ALL_RESOURCES.iter().map(|&r| FeatureGroup::Sensitivity(r)));
+        out.push(FeatureGroup::ColocationSize);
+        out.extend(ALL_RESOURCES.iter().map(|&r| FeatureGroup::Intensity(r)));
+        out
+    }
+}
+
+/// Permutation importance of every feature group on an evaluation set:
+/// `error(shuffled) − error(intact)`, higher = more important. Results are
+/// sorted descending.
+pub fn permutation_importance(
+    model: &RegressionModel,
+    data: &Dataset,
+    granularity: usize,
+    seed: u64,
+) -> Vec<(FeatureGroup, f64)> {
+    assert!(!data.is_empty(), "importance needs evaluation samples");
+    let base_preds: Vec<f64> = data.features.iter().map(|x| model.predict(x)).collect();
+    let base_err = mean_relative_error(&base_preds, &data.targets);
+
+    let n = data.len();
+    let mut out = Vec::new();
+    for group in FeatureGroup::all() {
+        let cols = group.columns(granularity);
+        // One shuffled row order per group, applied to all its columns
+        // together (keeps within-group consistency).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng_for(seed, &[0x1111, cols[0] as u64]));
+
+        let preds: Vec<f64> = (0..n)
+            .map(|i| {
+                let mut x = data.features[i].clone();
+                for &c in &cols {
+                    x[c] = data.features[order[i]][c];
+                }
+                model.predict(&x)
+            })
+            .collect();
+        let err = mean_relative_error(&preds, &data.targets);
+        out.push((group, err - base_err));
+    }
+    out.sort_by(|a, b| b.1.total_cmp(&a.1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Algorithm;
+    use crate::train::{build_rm_samples, to_dataset};
+    use gaugur_core_test_support::*;
+
+    // Local fixture helpers (kept in-module to avoid a dev-dependency cycle).
+    mod gaugur_core_test_support {
+        pub use crate::profile::{Profiler, ProfilingConfig};
+        pub use crate::train::{measure_colocations, plan_colocations, ColocationPlan, ProfileStore};
+        pub use gaugur_gamesim::{GameCatalog, Server};
+    }
+
+    #[test]
+    fn feature_groups_tile_the_rm_layout_exactly() {
+        let k = 10;
+        let width = crate::features::rm_width(k);
+        let mut seen = vec![false; width];
+        for g in FeatureGroup::all() {
+            for c in g.columns(k) {
+                assert!(!seen[c], "column {c} covered twice by {g:?}");
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every column covered");
+        assert_eq!(
+            FeatureGroup::all().len(),
+            2 * 7 + 1,
+            "7 curves + size + 7 intensity pairs"
+        );
+    }
+
+    #[test]
+    fn importance_ranks_real_signal_above_nothing() {
+        let server = Server::reference(71);
+        let catalog = GameCatalog::generate(42, 12);
+        let profiles = ProfileStore::new(
+            Profiler::new(ProfilingConfig::default()).profile_catalog(&server, &catalog),
+        );
+        let plan = ColocationPlan {
+            pairs: 120,
+            triples: 30,
+            quads: 20,
+            seed: 6,
+        };
+        let measured = measure_colocations(&server, &catalog, &plan_colocations(&catalog, &plan));
+        let data = to_dataset(&build_rm_samples(&profiles, &measured));
+        let model = RegressionModel::train(&data, Algorithm::GradientBoosting, 3);
+
+        let imp = permutation_importance(&model, &data, 10, 9);
+        assert_eq!(imp.len(), 15);
+        // Sorted descending; the top group must carry real signal.
+        assert!(imp[0].1 > 0.0, "top group should matter: {:?}", imp[0]);
+        assert!(imp[0].1 >= imp.last().unwrap().1);
+        // Labels render.
+        assert!(!imp[0].0.label().is_empty());
+    }
+}

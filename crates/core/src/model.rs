@@ -1,0 +1,356 @@
+//! The two prediction models of paper Section 3.4, each trainable with any
+//! of the paper's four algorithm families.
+//!
+//! * **Classification model (CM)**, Eq. (3): does game A meet the QoS floor
+//!   when colocated with `{B, C, …}`?
+//! * **Regression model (RM)**, Eq. (4): the exact degradation ratio
+//!   `δ̃ = colocated FPS / solo FPS` of game A.
+
+use gaugur_ml::forest::ForestParams;
+use gaugur_ml::gbdt::GbdtParams;
+use gaugur_ml::svm::SvmParams;
+use gaugur_ml::{
+    Classifier, Dataset, DecisionTreeClassifier, DecisionTreeRegressor, GbdtClassifier,
+    GbrtRegressor, RandomForestClassifier, RandomForestRegressor, Regressor, StandardScaler,
+    SvmClassifier, SvmRegressor, TreeParams,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four model families evaluated in the paper (Figures 7a, 8a/8b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Single CART tree (DTC / DTR).
+    DecisionTree,
+    /// Gradient boosting (GBDT / GBRT) — the paper's winner.
+    GradientBoosting,
+    /// Random forest (RF).
+    RandomForest,
+    /// Support vector machine (SVC / SVR).
+    Svm,
+}
+
+/// All algorithms, in the paper's presentation order.
+pub const ALL_ALGORITHMS: [Algorithm; 4] = [
+    Algorithm::DecisionTree,
+    Algorithm::GradientBoosting,
+    Algorithm::RandomForest,
+    Algorithm::Svm,
+];
+
+impl Algorithm {
+    /// The paper's abbreviation for the regression flavour.
+    pub fn regression_name(self) -> &'static str {
+        match self {
+            Algorithm::DecisionTree => "DTR",
+            Algorithm::GradientBoosting => "GBRT",
+            Algorithm::RandomForest => "RF",
+            Algorithm::Svm => "SVR",
+        }
+    }
+
+    /// The paper's abbreviation for the classification flavour.
+    pub fn classification_name(self) -> &'static str {
+        match self {
+            Algorithm::DecisionTree => "DTC",
+            Algorithm::GradientBoosting => "GBDT",
+            Algorithm::RandomForest => "RF",
+            Algorithm::Svm => "SVC",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Algorithm::DecisionTree => "decision tree",
+            Algorithm::GradientBoosting => "gradient boosting",
+            Algorithm::RandomForest => "random forest",
+            Algorithm::Svm => "SVM",
+        })
+    }
+}
+
+fn tree_params(seed: u64) -> TreeParams {
+    TreeParams {
+        max_depth: 12,
+        min_samples_split: 12,
+        min_samples_leaf: 6,
+        max_features: None,
+        seed,
+    }
+}
+
+fn forest_params(seed: u64) -> ForestParams {
+    ForestParams {
+        n_trees: 120,
+        tree: TreeParams {
+            max_depth: 14,
+            min_samples_split: 4,
+            min_samples_leaf: 1,
+            max_features: None,
+            seed: 0,
+        },
+        max_features: None,
+        seed,
+    }
+}
+
+fn gbdt_params(seed: u64) -> GbdtParams {
+    GbdtParams {
+        n_estimators: 400,
+        learning_rate: 0.06,
+        max_depth: 5,
+        min_samples_leaf: 3,
+        subsample: 0.9,
+        seed,
+    }
+}
+
+fn svm_params(seed: u64) -> SvmParams {
+    SvmParams {
+        // Library-default SVM settings (C = 1, wide ε-tube), as a paper
+        // implementation would use off the shelf.
+        c: 1.0,
+        kernel: None, // default RBF for the data width
+        epsilon: 0.08,
+        tol: 1e-3,
+        max_epochs: 30,
+        seed,
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum RegInner {
+    Dtr(DecisionTreeRegressor),
+    Gbrt(GbrtRegressor),
+    Rf(RandomForestRegressor),
+    Svr(SvmRegressor),
+}
+
+/// A trained regression model (RM).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressionModel {
+    /// Which family the model belongs to.
+    pub algorithm: Algorithm,
+    inner: RegInner,
+    scaler: Option<StandardScaler>,
+    /// Physical clamp applied to predictions (degradation ratios live in
+    /// `[0.01, 1.05]`; the delay extension uses a millisecond range).
+    bounds: (f64, f64),
+}
+
+impl RegressionModel {
+    /// Train on an RM dataset (features from
+    /// [`crate::features::rm_features`], degradation-ratio targets).
+    pub fn train(data: &Dataset, algorithm: Algorithm, seed: u64) -> RegressionModel {
+        RegressionModel::train_with_bounds(data, algorithm, seed, (0.01, 1.05))
+    }
+
+    /// Train with custom prediction bounds (used by the interaction-delay
+    /// extension, whose targets are milliseconds rather than ratios).
+    pub fn train_with_bounds(
+        data: &Dataset,
+        algorithm: Algorithm,
+        seed: u64,
+        bounds: (f64, f64),
+    ) -> RegressionModel {
+        let (inner, scaler) = match algorithm {
+            Algorithm::DecisionTree => (
+                RegInner::Dtr(DecisionTreeRegressor::fit(data, tree_params(seed))),
+                None,
+            ),
+            Algorithm::GradientBoosting => {
+                (RegInner::Gbrt(GbrtRegressor::fit(data, gbdt_params(seed))), None)
+            }
+            Algorithm::RandomForest => (
+                RegInner::Rf(RandomForestRegressor::fit(data, forest_params(seed))),
+                None,
+            ),
+            Algorithm::Svm => {
+                let scaler = StandardScaler::fit(data);
+                let scaled = scaler.transform_dataset(data);
+                (
+                    RegInner::Svr(SvmRegressor::fit(&scaled, svm_params(seed))),
+                    Some(scaler),
+                )
+            }
+        };
+        RegressionModel {
+            algorithm,
+            inner,
+            scaler,
+            bounds,
+        }
+    }
+
+    /// Predict the target for one feature vector (clamped to the model's
+    /// physical bounds).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let owned;
+        let x = match &self.scaler {
+            Some(s) => {
+                owned = s.transform(x);
+                owned.as_slice()
+            }
+            None => x,
+        };
+        let raw = match &self.inner {
+            RegInner::Dtr(m) => m.predict(x),
+            RegInner::Gbrt(m) => m.predict(x),
+            RegInner::Rf(m) => m.predict(x),
+            RegInner::Svr(m) => m.predict(x),
+        };
+        raw.clamp(self.bounds.0, self.bounds.1)
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum ClsInner {
+    Dtc(DecisionTreeClassifier),
+    Gbdt(GbdtClassifier),
+    Rf(RandomForestClassifier),
+    Svc(SvmClassifier),
+}
+
+/// A trained classification model (CM).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassificationModel {
+    /// Which family the model belongs to.
+    pub algorithm: Algorithm,
+    inner: ClsInner,
+    scaler: Option<StandardScaler>,
+}
+
+impl ClassificationModel {
+    /// Train on a CM dataset (features from
+    /// [`crate::features::cm_features`], `{0, 1}` targets).
+    pub fn train(data: &Dataset, algorithm: Algorithm, seed: u64) -> ClassificationModel {
+        let (inner, scaler) = match algorithm {
+            Algorithm::DecisionTree => (
+                ClsInner::Dtc(DecisionTreeClassifier::fit(data, tree_params(seed))),
+                None,
+            ),
+            Algorithm::GradientBoosting => (
+                ClsInner::Gbdt(GbdtClassifier::fit(data, gbdt_params(seed))),
+                None,
+            ),
+            Algorithm::RandomForest => (
+                ClsInner::Rf(RandomForestClassifier::fit(data, forest_params(seed))),
+                None,
+            ),
+            Algorithm::Svm => {
+                let scaler = StandardScaler::fit(data);
+                let scaled = scaler.transform_dataset(data);
+                (
+                    ClsInner::Svc(SvmClassifier::fit(&scaled, svm_params(seed))),
+                    Some(scaler),
+                )
+            }
+        };
+        ClassificationModel {
+            algorithm,
+            inner,
+            scaler,
+        }
+    }
+
+    /// Positive-class (QoS satisfied) score in `[0, 1]`.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        let owned;
+        let x = match &self.scaler {
+            Some(s) => {
+                owned = s.transform(x);
+                owned.as_slice()
+            }
+            None => x,
+        };
+        match &self.inner {
+            ClsInner::Dtc(m) => m.score(x),
+            ClsInner::Gbdt(m) => m.score(x),
+            ClsInner::Rf(m) => m.score(x),
+            ClsInner::Svc(m) => m.score(x),
+        }
+    }
+
+    /// Hard decision: does the game satisfy the QoS requirement?
+    pub fn classify(&self, x: &[f64]) -> bool {
+        self.score(x) >= 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_regression() -> Dataset {
+        let features: Vec<Vec<f64>> = (0..150)
+            .map(|i| vec![i as f64 / 150.0, ((i * 7) % 13) as f64 / 13.0])
+            .collect();
+        let targets = features.iter().map(|f| 0.2 + 0.6 * f[0] * f[1]).collect();
+        Dataset::from_parts(features, targets)
+    }
+
+    fn toy_classification() -> Dataset {
+        let features: Vec<Vec<f64>> = (0..150)
+            .map(|i| vec![i as f64 / 150.0, ((i * 7) % 13) as f64 / 13.0])
+            .collect();
+        let targets = features
+            .iter()
+            .map(|f| f64::from(f[0] + f[1] > 1.0))
+            .collect();
+        Dataset::from_parts(features, targets)
+    }
+
+    #[test]
+    fn every_regression_algorithm_trains_and_predicts() {
+        let data = toy_regression();
+        for algo in ALL_ALGORITHMS {
+            let m = RegressionModel::train(&data, algo, 1);
+            let p = m.predict(&[0.5, 0.5]);
+            assert!(
+                (p - 0.35).abs() < 0.12,
+                "{algo}: predicted {p}, expected ≈ 0.35"
+            );
+        }
+    }
+
+    #[test]
+    fn every_classification_algorithm_trains_and_predicts() {
+        let data = toy_classification();
+        for algo in ALL_ALGORITHMS {
+            let m = ClassificationModel::train(&data, algo, 1);
+            assert!(m.classify(&[0.9, 0.9]), "{algo} should accept (0.9, 0.9)");
+            assert!(!m.classify(&[0.1, 0.1]), "{algo} should reject (0.1, 0.1)");
+            let s = m.score(&[0.9, 0.9]);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn regression_output_is_clamped() {
+        let data = Dataset::from_parts(vec![vec![0.0], vec![1.0]], vec![-5.0, 9.0]);
+        let m = RegressionModel::train(&data, Algorithm::DecisionTree, 0);
+        assert!(m.predict(&[0.0]) >= 0.01);
+        assert!(m.predict(&[1.0]) <= 1.05);
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(Algorithm::GradientBoosting.regression_name(), "GBRT");
+        assert_eq!(Algorithm::GradientBoosting.classification_name(), "GBDT");
+        assert_eq!(Algorithm::Svm.regression_name(), "SVR");
+        assert_eq!(Algorithm::Svm.classification_name(), "SVC");
+        assert_eq!(Algorithm::DecisionTree.regression_name(), "DTR");
+        assert_eq!(Algorithm::RandomForest.classification_name(), "RF");
+    }
+
+    #[test]
+    fn models_serialize_roundtrip() {
+        let data = toy_regression();
+        let m = RegressionModel::train(&data, Algorithm::GradientBoosting, 2);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RegressionModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m.predict(&[0.3, 0.7]), back.predict(&[0.3, 0.7]));
+    }
+}

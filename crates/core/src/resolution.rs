@@ -1,0 +1,157 @@
+//! The resolution model of paper Section 3.3.
+//!
+//! Profiling every game at every resolution is too expensive, so the paper
+//! profiles each game at **two** resolutions and interpolates:
+//!
+//! * **Eq. 2**: solo frame rate is linear in the pixel count,
+//!   `FPS_A = −a_A · N_pixels + b_A`;
+//! * **Observation 7**: intensity on CPU-side resources (CPU-CE, MEM-BW,
+//!   LLC) is resolution-insensitive;
+//! * **Observation 8**: intensity on GPU-side resources (GPU-CE, GPU-BW,
+//!   GPU-L2, PCIe-BW) is linear in the pixel count;
+//! * **Observation 6**: sensitivity curves do not depend on resolution, so
+//!   they are profiled once.
+
+use gaugur_gamesim::{Resolution, Resource, ResourceVec};
+use serde::{Deserialize, Serialize};
+
+/// Eq. 2: solo FPS as a linear function of megapixels.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SoloFpsModel {
+    /// Slope `a` (FPS lost per megapixel).
+    pub a: f64,
+    /// Intercept `b`.
+    pub b: f64,
+}
+
+impl SoloFpsModel {
+    /// Fit from two profiled resolutions.
+    pub fn from_two_points(r1: Resolution, fps1: f64, r2: Resolution, fps2: f64) -> SoloFpsModel {
+        let (m1, m2) = (r1.megapixels(), r2.megapixels());
+        assert!(
+            (m1 - m2).abs() > 1e-9,
+            "Eq. 2 needs two distinct resolutions"
+        );
+        let a = (fps1 - fps2) / (m2 - m1);
+        let b = fps1 + a * m1;
+        SoloFpsModel { a, b }
+    }
+
+    /// Predicted solo FPS at a resolution.
+    pub fn fps_at(&self, res: Resolution) -> f64 {
+        (self.b - self.a * res.megapixels()).max(1.0)
+    }
+}
+
+/// Per-resource intensity as a function of resolution (Observations 7–8).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntensityModel {
+    /// `(c0, c1)` per resource: intensity = `c0 + c1 · megapixels`. CPU-side
+    /// resources get `c1 = 0` (Observation 7).
+    coeffs: [(f64, f64); gaugur_gamesim::NUM_RESOURCES],
+}
+
+impl IntensityModel {
+    /// Fit from intensity vectors profiled at two resolutions.
+    pub fn from_two_points(
+        r1: Resolution,
+        i1: &ResourceVec,
+        r2: Resolution,
+        i2: &ResourceVec,
+    ) -> IntensityModel {
+        let (m1, m2) = (r1.megapixels(), r2.megapixels());
+        assert!(
+            (m1 - m2).abs() > 1e-9,
+            "intensity model needs two distinct resolutions"
+        );
+        let mut coeffs = [(0.0, 0.0); gaugur_gamesim::NUM_RESOURCES];
+        for r in gaugur_gamesim::ALL_RESOURCES {
+            let (v1, v2) = (i1[r], i2[r]);
+            coeffs[r.index()] = if r.scales_with_pixels() {
+                let c1 = (v2 - v1) / (m2 - m1);
+                (v1 - c1 * m1, c1)
+            } else {
+                // Observation 7: average the two measurements.
+                (0.5 * (v1 + v2), 0.0)
+            };
+        }
+        IntensityModel { coeffs }
+    }
+
+    /// Predicted intensity vector at a resolution.
+    pub fn at(&self, res: Resolution) -> ResourceVec {
+        let m = res.megapixels();
+        ResourceVec::from_fn(|r| {
+            let (c0, c1) = self.coeffs[r.index()];
+            (c0 + c1 * m).max(0.0)
+        })
+    }
+
+    /// The fitted `(intercept, slope)` for one resource (diagnostics).
+    pub fn coeff(&self, r: Resource) -> (f64, f64) {
+        self.coeffs[r.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugur_gamesim::Resolution::*;
+
+    #[test]
+    fn eq2_interpolates_and_extrapolates() {
+        // 120 FPS at 720p (0.9216 Mpix), 60 FPS at 1440p (3.6864 Mpix).
+        let m = SoloFpsModel::from_two_points(Hd720, 120.0, Qhd1440, 60.0);
+        assert!((m.fps_at(Hd720) - 120.0).abs() < 1e-9);
+        assert!((m.fps_at(Qhd1440) - 60.0).abs() < 1e-9);
+        let mid = m.fps_at(Fhd1080);
+        assert!(mid < 120.0 && mid > 60.0);
+        // Slope in FPS per megapixel.
+        assert!((m.a - 60.0 / (3.6864 - 0.9216)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq2_never_predicts_nonpositive_fps() {
+        let m = SoloFpsModel::from_two_points(Hd720, 20.0, Hd900, 10.0);
+        assert!(m.fps_at(Qhd1440) >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct resolutions")]
+    fn eq2_rejects_duplicate_resolutions() {
+        let _ = SoloFpsModel::from_two_points(Hd720, 100.0, Hd720, 100.0);
+    }
+
+    #[test]
+    fn intensity_model_scales_gpu_but_not_cpu() {
+        let i1 = ResourceVec([0.3, 0.2, 0.1, 0.2, 0.1, 0.1, 0.05]);
+        let i2 = ResourceVec([0.3, 0.2, 0.1, 0.8, 0.4, 0.4, 0.20]);
+        let m = IntensityModel::from_two_points(Hd720, &i1, Qhd1440, &i2);
+        let at720 = m.at(Hd720);
+        let at1440 = m.at(Qhd1440);
+        // CPU-side: the average, constant across resolutions.
+        assert!((at720[Resource::CpuCore] - 0.3).abs() < 1e-9);
+        assert!((at1440[Resource::CpuCore] - 0.3).abs() < 1e-9);
+        // GPU-side: exact at the fit points, monotone between.
+        assert!((at720[Resource::GpuCore] - 0.2).abs() < 1e-9);
+        assert!((at1440[Resource::GpuCore] - 0.8).abs() < 1e-9);
+        let mid = m.at(Fhd1080)[Resource::GpuCore];
+        assert!(mid > 0.2 && mid < 0.8);
+        let (_, slope) = m.coeff(Resource::GpuCore);
+        assert!(slope > 0.0);
+        let (_, cpu_slope) = m.coeff(Resource::CpuCore);
+        assert_eq!(cpu_slope, 0.0);
+    }
+
+    #[test]
+    fn intensity_never_negative() {
+        // A (noisy) negative slope must not extrapolate below zero.
+        let i1 = ResourceVec([0.1; 7]);
+        let i2 = ResourceVec([0.0; 7]);
+        let m = IntensityModel::from_two_points(Hd900, &i1, Qhd1440, &i2);
+        let at720 = m.at(Hd720);
+        for r in gaugur_gamesim::ALL_RESOURCES {
+            assert!(at720[r] >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The 100-game catalog.
+//!
+//! The paper evaluates 100 popular games whose titles are listed in its
+//! reference \[3\]. The synthetic catalog reuses those titles (two garbled
+//! entries in the published list are replaced by two well-known titles) and
+//! assigns each a genre, from which the generator draws the game's hidden
+//! ground truth deterministically.
+
+use crate::game::{Game, GameId};
+use crate::genre::Genre;
+use serde::{Deserialize, Serialize};
+use std::ops::Index;
+
+/// `(title, genre)` for the catalog, reconstructed from the paper's game
+/// list (reference \[3\]).
+pub const GAME_LIST: [(&str, Genre); 100] = [
+    ("A Walk in the Woods", Genre::Indie),
+    ("After Dreams", Genre::Indie),
+    ("AirMech Strike", Genre::Action),
+    ("Ancestors Legacy", Genre::Strategy),
+    ("ARK Survival Evolved", Genre::AaaOpenWorld),
+    ("Battlerite", Genre::Moba),
+    ("Black Squad", Genre::Shooter),
+    ("BlubBlub", Genre::Indie),
+    ("Borderland2", Genre::Shooter),
+    ("Call to Arms", Genre::Strategy),
+    ("Candle", Genre::Indie),
+    ("Cities: Skylines", Genre::Strategy),
+    ("CoD14", Genre::Shooter),
+    ("Cognizer", Genre::Indie),
+    ("Craft The World", Genre::Strategy),
+    ("DARK SOULS III", Genre::Action),
+    ("Dragon's Dogma: Dark Arisen", Genre::Action),
+    ("Delicious 12", Genre::Indie),
+    ("Destined", Genre::Indie),
+    ("Divinity: Original Sin 2", Genre::Strategy),
+    ("DmC: Devil May Cry", Genre::Action),
+    ("Dota2", Genre::Moba),
+    ("Dragon Ball Xenoverse 2", Genre::Action),
+    ("Empire Earth III", Genre::Strategy),
+    ("Endless Fables: The Minotaur's Curse", Genre::Indie),
+    ("Far Cry 4", Genre::AaaOpenWorld),
+    ("FAR: Lone Sails", Genre::Indie),
+    ("Final Fantasy XII: The Zodiac Age", Genre::Action),
+    ("Frightened Beetles", Genre::Indie),
+    ("Gems of War", Genre::Indie),
+    ("Getting Over It with Bennett Foddy", Genre::Indie),
+    ("Granado Espada", Genre::Mmo),
+    ("GUNS UP!", Genre::Strategy),
+    ("H1Z1", Genre::Shooter),
+    ("Hand of Fate 2", Genre::Action),
+    ("Heroes and Generals", Genre::Shooter),
+    ("Hobo: Tough Life", Genre::Action),
+    ("Human: Fall Flat", Genre::Indie),
+    ("Impact Winter", Genre::Indie),
+    ("Kingdom Come: Deliverance", Genre::AaaOpenWorld),
+    ("Life is Strange: Before the Storm", Genre::Action),
+    ("Little Nightmares", Genre::Action),
+    ("Little Witch Academia", Genre::Action),
+    ("League of Legends", Genre::Moba),
+    ("Maries Room", Genre::Indie),
+    ("Naruto Shippuden: Ultimate Ninja Storm 4", Genre::Action),
+    ("NBA 2K17", Genre::Sports),
+    ("NBA Playgrounds", Genre::Sports),
+    ("Need for Speed: Hot Pursuit", Genre::Sports),
+    ("NieR: Automata", Genre::Action),
+    ("Northgard", Genre::Strategy),
+    ("Ori and the Blind Forest", Genre::Indie),
+    ("Oxygen Not Included", Genre::Strategy),
+    ("PES 2017", Genre::Sports),
+    ("PlanetSide 2", Genre::Shooter),
+    ("PES 2015", Genre::Sports),
+    ("Project RAT", Genre::Indie),
+    ("Project CARS", Genre::Sports),
+    ("Radical Heights", Genre::Shooter),
+    ("RiME", Genre::Indie),
+    ("RimWorld", Genre::Strategy),
+    ("Robocraft", Genre::Shooter),
+    ("Russian Fishing 4", Genre::Sports),
+    ("Salt and Sanctuary", Genre::Indie),
+    ("Shop Heroes", Genre::Indie),
+    ("Slay the Spire", Genre::Indie),
+    ("StarCraft 2", Genre::Strategy),
+    ("Stardew Valley", Genre::Indie),
+    ("Stellaris", Genre::Strategy),
+    ("Tactical Monsters Rumble Arena", Genre::Strategy),
+    ("Team Fortress 2", Genre::Shooter),
+    ("TEKKEN 7", Genre::Action),
+    ("The Long Dark", Genre::AaaOpenWorld),
+    ("The Sibling Experiment", Genre::Indie),
+    ("The Walking Dead: A New Frontier", Genre::Action),
+    ("The Will of a Single Tale", Genre::Indie),
+    ("The Witcher 3: Wild Hunt", Genre::AaaOpenWorld),
+    ("Tiger Knight", Genre::Action),
+    ("Torchlight II", Genre::Action),
+    ("The Legend of Heroes: Trails of Cold Steel", Genre::Action),
+    ("Unturned", Genre::Shooter),
+    ("VEGA Conflict", Genre::Mmo),
+    ("War Robots", Genre::Shooter),
+    ("War Thunder", Genre::Shooter),
+    ("Warface", Genre::Shooter),
+    ("Warframe", Genre::Shooter),
+    ("World of Warships", Genre::Shooter),
+    ("WRC 5", Genre::Sports),
+    ("Assassin's Creed Origins", Genre::AaaOpenWorld),
+    ("Rise of The Tomb Raider", Genre::AaaOpenWorld),
+    ("Hearthstone", Genre::Indie),
+    ("Mahou Arms", Genre::Action),
+    ("World of Warcraft", Genre::Mmo),
+    ("Warcraft", Genre::Strategy),
+    ("Romance of the Three Kingdoms 11", Genre::Strategy),
+    ("The Elder Scrolls V: Skyrim", Genre::AaaOpenWorld),
+    ("PES 2012", Genre::Sports),
+    ("Dynasty Warriors 5", Genre::Action),
+    ("Counter-Strike: Global Offensive", Genre::Shooter),
+    ("Overwatch", Genre::Shooter),
+];
+
+/// A generated game library.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GameCatalog {
+    seed: u64,
+    games: Vec<Game>,
+}
+
+impl GameCatalog {
+    /// Generate the first `n` games of the catalog (up to 100) with ground
+    /// truths drawn deterministically from `seed`.
+    ///
+    /// The same `(seed, n)` always produces the same catalog; different
+    /// seeds produce statistically fresh game populations with the same
+    /// genre structure.
+    pub fn generate(seed: u64, n: usize) -> GameCatalog {
+        assert!(n <= GAME_LIST.len(), "catalog holds at most 100 games");
+        let games = GAME_LIST[..n]
+            .iter()
+            .enumerate()
+            .map(|(i, (name, genre))| Game::generate(seed, GameId(i as u32), name, *genre))
+            .collect();
+        GameCatalog { seed, games }
+    }
+
+    /// The seed the catalog was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// All games, ordered by id.
+    pub fn games(&self) -> &[Game] {
+        &self.games
+    }
+
+    /// Number of games.
+    pub fn len(&self) -> usize {
+        self.games.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.games.is_empty()
+    }
+
+    /// Look a game up by id.
+    pub fn get(&self, id: GameId) -> Option<&Game> {
+        self.games.get(id.0 as usize)
+    }
+
+    /// Look a game up by exact title.
+    pub fn by_name(&self, name: &str) -> Option<&Game> {
+        self.games.iter().find(|g| g.name == name)
+    }
+}
+
+impl Index<usize> for GameCatalog {
+    type Output = Game;
+    fn index(&self, i: usize) -> &Game {
+        &self.games[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::Resolution;
+    use crate::genre::ALL_GENRES;
+    use std::collections::HashSet;
+
+    #[test]
+    fn list_has_exactly_100_unique_titles() {
+        let names: HashSet<_> = GAME_LIST.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), 100);
+    }
+
+    #[test]
+    fn every_genre_is_represented() {
+        for genre in ALL_GENRES {
+            assert!(
+                GAME_LIST.iter().any(|(_, g)| *g == genre),
+                "{genre:?} missing from catalog"
+            );
+        }
+    }
+
+    #[test]
+    fn figure_games_are_present() {
+        let cat = GameCatalog::generate(42, 100);
+        for name in [
+            "Dota2",
+            "Far Cry 4",
+            "Granado Espada",
+            "Rise of The Tomb Raider",
+            "The Elder Scrolls V: Skyrim",
+            "World of Warcraft",
+            "Ancestors Legacy",
+            "Borderland2",
+            "H1Z1",
+            "ARK Survival Evolved",
+            "AirMech Strike",
+            "Hobo: Tough Life",
+            "Little Witch Academia",
+            "Dragon's Dogma: Dark Arisen",
+        ] {
+            assert!(cat.by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = GameCatalog::generate(42, 10);
+        let b = GameCatalog::generate(42, 10);
+        let c = GameCatalog::generate(43, 10);
+        for i in 0..10 {
+            assert_eq!(
+                a[i].solo_utilization(Resolution::Fhd1080),
+                b[i].solo_utilization(Resolution::Fhd1080)
+            );
+        }
+        assert_ne!(
+            a[0].solo_utilization(Resolution::Fhd1080),
+            c[0].solo_utilization(Resolution::Fhd1080)
+        );
+    }
+
+    #[test]
+    fn ids_are_dense_and_lookup_works() {
+        let cat = GameCatalog::generate(1, 20);
+        assert_eq!(cat.len(), 20);
+        for (i, g) in cat.games().iter().enumerate() {
+            assert_eq!(g.id, GameId(i as u32));
+            assert_eq!(cat.get(g.id).unwrap().name, g.name);
+        }
+        assert!(cat.get(GameId(20)).is_none());
+    }
+
+    #[test]
+    fn genre_templates_shape_the_catalog() {
+        let cat = GameCatalog::generate(42, 100);
+        let server = crate::server::Server::noiseless(1);
+        let mean_fps = |genre: crate::genre::Genre| -> f64 {
+            let games: Vec<_> = cat.games().iter().filter(|g| g.genre == genre).collect();
+            games
+                .iter()
+                .map(|g| server.measure_solo_fps(g, Resolution::Fhd1080))
+                .sum::<f64>()
+                / games.len().max(1) as f64
+        };
+        // Indies render far faster than AAA open-world titles.
+        assert!(mean_fps(crate::genre::Genre::Indie) > 2.0 * mean_fps(crate::genre::Genre::AaaOpenWorld));
+        // AAA titles demand far more GPU than indies.
+        let mean_gpu = |genre: crate::genre::Genre| -> f64 {
+            let games: Vec<_> = cat.games().iter().filter(|g| g.genre == genre).collect();
+            games
+                .iter()
+                .map(|g| g.solo_demand(Resolution::Fhd1080).gpu)
+                .sum::<f64>()
+                / games.len().max(1) as f64
+        };
+        assert!(mean_gpu(crate::genre::Genre::AaaOpenWorld) > 2.0 * mean_gpu(crate::genre::Genre::Indie));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 100")]
+    fn oversize_catalog_panics() {
+        let _ = GameCatalog::generate(1, 101);
+    }
+}

@@ -1,0 +1,200 @@
+//! Non-additive aggregation of contention pressure across colocated
+//! workloads.
+//!
+//! Observation 5 of the paper: *"Game intensity on the same shared resource
+//! is not additive"* — the aggregate pressure that a set of colocated
+//! workloads exerts on a resource can be smaller or larger than the sum of
+//! their individual pressures (paper Figure 6). The direction depends on the
+//! resource class:
+//!
+//! * **Cores** time-share: the probability that "someone else holds the unit"
+//!   is `1 − Π(1 − pᵢ)`, which is *sub-additive*.
+//! * **Bandwidth** adds up, but queueing delay blows up super-linearly once
+//!   the link approaches saturation — *super-additive near the knee*.
+//! * **Caches** share capacity: two working sets evict each other, so the
+//!   effective footprint pressure follows an `L^q` norm with `q < 1`
+//!   (*super-additive below saturation*, saturating at 1).
+
+use crate::resource::{Resource, ResourceClass};
+use serde::{Deserialize, Serialize};
+
+/// How individual pressures on one resource combine into effective
+/// contention.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Combiner {
+    /// `1 − Π(1 − pᵢ)` — probabilistic busy-share for time-shared units.
+    Probabilistic,
+    /// Linear up to `knee`, then amplified by `amp`, clamped to `[0, 1]`.
+    Queueing {
+        /// Utilization at which queueing effects kick in (e.g. `0.65`).
+        knee: f64,
+        /// Amplification slope beyond the knee (e.g. `1.9`).
+        amp: f64,
+    },
+    /// `min(1, (Σ pᵢ^q)^(1/q))` with `q < 1` — capacity competition.
+    Capacity {
+        /// Norm exponent in `(0, 1]`; smaller = more super-additive.
+        q: f64,
+    },
+}
+
+impl Combiner {
+    /// The simulator's default combiner for each resource, by class.
+    pub fn for_resource(r: Resource) -> Combiner {
+        match r.class() {
+            ResourceClass::Core => Combiner::Probabilistic,
+            ResourceClass::Bandwidth => Combiner::Queueing {
+                knee: 0.75,
+                amp: 1.6,
+            },
+            ResourceClass::Cache => Combiner::Capacity { q: 0.85 },
+        }
+    }
+
+    /// Combine a set of individual pressures (each in `[0, 1]`) into the
+    /// effective contention level in `[0, 1]`.
+    pub fn combine(&self, pressures: &[f64]) -> f64 {
+        match *self {
+            Combiner::Probabilistic => {
+                let free: f64 = pressures.iter().map(|p| 1.0 - p.clamp(0.0, 1.0)).product();
+                1.0 - free
+            }
+            Combiner::Queueing { knee, amp } => {
+                let load: f64 = pressures.iter().map(|p| p.clamp(0.0, 1.0)).sum();
+                let eff = if load <= knee {
+                    load
+                } else {
+                    knee + (load - knee) * amp
+                };
+                eff.clamp(0.0, 1.0)
+            }
+            Combiner::Capacity { q } => {
+                let s: f64 = pressures
+                    .iter()
+                    .map(|p| p.clamp(0.0, 1.0).powf(q))
+                    .sum::<f64>();
+                s.powf(1.0 / q).clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_set_exerts_no_pressure() {
+        for c in [
+            Combiner::Probabilistic,
+            Combiner::Queueing { knee: 0.65, amp: 1.9 },
+            Combiner::Capacity { q: 0.85 },
+        ] {
+            assert_eq!(c.combine(&[]), 0.0);
+        }
+    }
+
+    #[test]
+    fn singleton_probabilistic_is_identity() {
+        let c = Combiner::Probabilistic;
+        for i in 0..=10 {
+            let p = i as f64 / 10.0;
+            assert!((c.combine(&[p]) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singleton_queueing_below_knee_is_identity() {
+        let c = Combiner::Queueing { knee: 0.65, amp: 1.9 };
+        assert!((c.combine(&[0.4]) - 0.4).abs() < 1e-12);
+        // Above the knee even a single workload is amplified.
+        assert!(c.combine(&[0.8]) > 0.8);
+    }
+
+    #[test]
+    fn probabilistic_is_sub_additive() {
+        let c = Combiner::Probabilistic;
+        let agg = c.combine(&[0.4, 0.4]);
+        assert!(agg < 0.8, "expected sub-additive, got {agg}");
+        assert!(agg > 0.4);
+    }
+
+    #[test]
+    fn capacity_is_super_additive_below_saturation() {
+        let c = Combiner::Capacity { q: 0.85 };
+        let agg = c.combine(&[0.3, 0.3]);
+        assert!(agg > 0.6, "expected super-additive, got {agg}");
+        assert!(agg <= 1.0);
+    }
+
+    #[test]
+    fn queueing_blows_up_past_knee() {
+        let c = Combiner::Queueing { knee: 0.65, amp: 1.9 };
+        let below = c.combine(&[0.3, 0.3]);
+        assert!((below - 0.6).abs() < 1e-12, "additive below knee");
+        let above = c.combine(&[0.45, 0.45]);
+        assert!(above > 0.9, "super-additive past knee, got {above}");
+    }
+
+    #[test]
+    fn capacity_singleton_is_identity() {
+        let c = Combiner::Capacity { q: 0.85 };
+        for i in 0..=10 {
+            let p = i as f64 / 10.0;
+            assert!((c.combine(&[p]) - p).abs() < 1e-9, "at {p}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn combine_is_bounded_and_monotone_in_each_pressure(
+            mut ps in proptest::collection::vec(0.0f64..=1.0, 1..6),
+            idx in 0usize..6,
+            bump in 0.0f64..=0.3,
+        ) {
+            let idx = idx % ps.len();
+            for c in [
+                Combiner::Probabilistic,
+                Combiner::Queueing { knee: 0.65, amp: 1.9 },
+                Combiner::Capacity { q: 0.85 },
+            ] {
+                let before = c.combine(&ps);
+                prop_assert!((0.0..=1.0).contains(&before));
+                let old = ps[idx];
+                ps[idx] = (ps[idx] + bump).min(1.0);
+                let after = c.combine(&ps);
+                ps[idx] = old;
+                prop_assert!(after + 1e-12 >= before, "monotone violated for {c:?}");
+            }
+        }
+
+        #[test]
+        fn combine_is_permutation_invariant(ps in proptest::collection::vec(0.0f64..=1.0, 2..6)) {
+            let mut rev = ps.clone();
+            rev.reverse();
+            for c in [
+                Combiner::Probabilistic,
+                Combiner::Queueing { knee: 0.65, amp: 1.9 },
+                Combiner::Capacity { q: 0.85 },
+            ] {
+                prop_assert!((c.combine(&ps) - c.combine(&rev)).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn aggregate_at_least_max_individual(ps in proptest::collection::vec(0.0f64..=1.0, 1..6)) {
+            let maxp = ps.iter().copied().fold(0.0_f64, f64::max);
+            for c in [
+                Combiner::Probabilistic,
+                Combiner::Queueing { knee: 0.65, amp: 1.9 },
+                Combiner::Capacity { q: 0.85 },
+            ] {
+                // Queueing can exceed 1 internally but is clamped; even so the
+                // effective level never drops below any single contributor
+                // (clamped to 1).
+                prop_assert!(c.combine(&ps) + 1e-12 >= maxp.min(1.0), "{c:?}");
+            }
+        }
+    }
+}

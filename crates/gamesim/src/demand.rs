@@ -1,0 +1,89 @@
+//! Solo resource-demand vectors, the currency of the VBP baseline.
+//!
+//! Section 2.2 of the paper describes each game "by a resource demand vector
+//! which is generally measured as the resource consumptions when the game
+//! runs alone on a server", covering CPU, GPU, CPU memory and GPU memory,
+//! each normalized to server capacity.
+
+use serde::{Deserialize, Serialize};
+
+/// A game's solo resource demand `(CPU, GPU, CPU-mem, GPU-mem)`, each a
+/// fraction of the server's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DemandVector {
+    /// CPU utilization fraction.
+    pub cpu: f64,
+    /// GPU utilization fraction.
+    pub gpu: f64,
+    /// Host memory fraction.
+    pub cpu_mem: f64,
+    /// GPU memory fraction.
+    pub gpu_mem: f64,
+}
+
+impl DemandVector {
+    /// Component-wise sum of two demand vectors.
+    pub fn add(&self, other: &DemandVector) -> DemandVector {
+        DemandVector {
+            cpu: self.cpu + other.cpu,
+            gpu: self.gpu + other.gpu,
+            cpu_mem: self.cpu_mem + other.cpu_mem,
+            gpu_mem: self.gpu_mem + other.gpu_mem,
+        }
+    }
+
+    /// Whether the vector fits within unit server capacity on every
+    /// dimension.
+    pub fn fits(&self) -> bool {
+        self.cpu <= 1.0 && self.gpu <= 1.0 && self.cpu_mem <= 1.0 && self.gpu_mem <= 1.0
+    }
+
+    /// The components as an array `[cpu, gpu, cpu_mem, gpu_mem]`.
+    pub fn as_array(&self) -> [f64; 4] {
+        [self.cpu, self.gpu, self.cpu_mem, self.gpu_mem]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_fits() {
+        let a = DemandVector {
+            cpu: 0.45,
+            gpu: 0.32,
+            cpu_mem: 0.06,
+            gpu_mem: 0.05,
+        };
+        let b = DemandVector {
+            cpu: 0.33,
+            gpu: 0.60,
+            cpu_mem: 0.25,
+            gpu_mem: 0.50,
+        };
+        // The paper's DDDA + Little Witch Academia example: sums fit under
+        // VBP even though the actual colocation violates QoS.
+        let sum = a.add(&b);
+        assert!(sum.fits());
+        assert!((sum.cpu - 0.78).abs() < 1e-12);
+        let c = DemandVector {
+            cpu: 0.3,
+            gpu: 0.5,
+            cpu_mem: 0.6,
+            gpu_mem: 0.0,
+        };
+        assert!(!sum.add(&c).fits());
+    }
+
+    #[test]
+    fn as_array_order() {
+        let d = DemandVector {
+            cpu: 0.1,
+            gpu: 0.2,
+            cpu_mem: 0.3,
+            gpu_mem: 0.4,
+        };
+        assert_eq!(d.as_array(), [0.1, 0.2, 0.3, 0.4]);
+    }
+}

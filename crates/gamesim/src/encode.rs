@@ -1,0 +1,70 @@
+//! Video encoding and streaming overhead (paper Section 7).
+//!
+//! "Servers not only run games, but also need to encode the outputs into
+//! videos and stream the videos to the players. Modern GPUs … have
+//! integrated video encoders … which would generate insignificant impact on
+//! game performance." The simulator models that *insignificant but nonzero*
+//! impact: one hardware-encoder session per game adds a small fixed GPU-core
+//! load plus PCIe traffic proportional to the encoded pixel rate, and an
+//! encode latency to the interaction delay.
+
+use crate::game::Resolution;
+use crate::resource::{Resource, ResourceVec};
+use serde::{Deserialize, Serialize};
+
+/// A hardware (NVENC-style) encoder model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EncoderModel {
+    /// Fixed GPU-core pressure per encoding session.
+    pub gpu_core_overhead: f64,
+    /// PCIe pressure per encoded megapixel (the encoded stream leaves the
+    /// GPU over the bus).
+    pub pcie_per_megapixel: f64,
+    /// Added per-frame encode latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+impl Default for EncoderModel {
+    fn default() -> Self {
+        EncoderModel {
+            gpu_core_overhead: 0.02,
+            pcie_per_megapixel: 0.015,
+            latency_ms: 1.5,
+        }
+    }
+}
+
+impl EncoderModel {
+    /// Extra pressure one encoding session exerts at a resolution.
+    pub fn session_pressure(&self, res: Resolution) -> ResourceVec {
+        let mut p = ResourceVec::ZERO;
+        p[Resource::GpuCore] = self.gpu_core_overhead;
+        p[Resource::PcieBw] = self.pcie_per_megapixel * res.megapixels();
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_scales_with_resolution() {
+        let e = EncoderModel::default();
+        let lo = e.session_pressure(Resolution::Hd720);
+        let hi = e.session_pressure(Resolution::Qhd1440);
+        assert_eq!(lo[Resource::GpuCore], hi[Resource::GpuCore]);
+        assert!(hi[Resource::PcieBw] > lo[Resource::PcieBw]);
+        assert_eq!(lo[Resource::CpuCore], 0.0);
+    }
+
+    #[test]
+    fn overhead_is_insignificant_as_the_paper_claims() {
+        // A single session's overhead must stay well below typical game
+        // pressure on the same resources.
+        let e = EncoderModel::default();
+        let p = e.session_pressure(Resolution::Qhd1440);
+        assert!(p[Resource::GpuCore] < 0.05);
+        assert!(p[Resource::PcieBw] < 0.08);
+    }
+}

@@ -1,0 +1,511 @@
+//! The synthetic game model: public identity plus hidden ground truth.
+//!
+//! A [`Game`] is what the rest of the stack schedules and profiles. Its
+//! *public* surface is only what a real cloud-gaming operator could observe:
+//! name, genre, supported resolutions, and solo resource utilization (system
+//! counters). Everything that determines how the game behaves under
+//! contention — sensitivity shapes, pressure vectors, pipeline split — lives
+//! in the crate-private `GroundTruth` and is reachable only through
+//! measurements on a [`crate::Server`].
+
+use crate::demand::DemandVector;
+use crate::genre::{BoundBias, Genre};
+use crate::resource::{Resource, ResourceVec, ALL_RESOURCES};
+use crate::rng::{rng_for, uniform};
+use crate::shape::Shape;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Reference pixel count (1920×1080) at which base pressures are defined.
+pub const REF_PIXELS: f64 = 2_073_600.0;
+
+/// A display resolution a player may select (Section 3.3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resolution {
+    /// 1280×720.
+    Hd720,
+    /// 1600×900.
+    Hd900,
+    /// 1920×1080 (the reference resolution).
+    Fhd1080,
+    /// 2560×1440.
+    Qhd1440,
+}
+
+/// All supported resolutions, ascending in pixel count.
+pub const ALL_RESOLUTIONS: [Resolution; 4] = [
+    Resolution::Hd720,
+    Resolution::Hd900,
+    Resolution::Fhd1080,
+    Resolution::Qhd1440,
+];
+
+impl Resolution {
+    /// Total pixel count `N_pixels`.
+    pub fn pixels(self) -> f64 {
+        match self {
+            Resolution::Hd720 => 1280.0 * 720.0,
+            Resolution::Hd900 => 1600.0 * 900.0,
+            Resolution::Fhd1080 => 1920.0 * 1080.0,
+            Resolution::Qhd1440 => 2560.0 * 1440.0,
+        }
+    }
+
+    /// Pixel count in megapixels (the unit used for Eq. 2 fits).
+    pub fn megapixels(self) -> f64 {
+        self.pixels() / 1.0e6
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Resolution::Hd720 => "720p",
+            Resolution::Hd900 => "900p",
+            Resolution::Fhd1080 => "1080p",
+            Resolution::Qhd1440 => "1440p",
+        }
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Stable identifier of a game within a catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GameId(pub u32);
+
+impl fmt::Display for GameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{:03}", self.0)
+    }
+}
+
+/// Hidden per-game physics. Only this crate can read these fields; the
+/// prediction stack sees games exclusively through server measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct GroundTruth {
+    /// Eq.-2-style solo FPS slope, in FPS per megapixel.
+    pub(crate) fps_a: f64,
+    /// Eq.-2-style solo FPS intercept.
+    pub(crate) fps_b: f64,
+    /// Small quadratic curvature (FPS per megapixel²) so that Eq. 2 is an
+    /// *approximation*, as in reality, not an identity.
+    pub(crate) fps_curve: f64,
+    /// PCIe-transfer share of the solo frame time.
+    pub(crate) transfer_frac: f64,
+    /// Ratio of the non-bottleneck stage to the bottleneck stage.
+    pub(crate) minor_ratio: f64,
+    /// Whether the CPU stage is the pipeline bottleneck.
+    pub(crate) cpu_bound: bool,
+    /// Sensitivity strength per resource (inflation `1 + s·φ(x)`).
+    pub(crate) sens_strength: ResourceVec,
+    /// Sensitivity shape per resource.
+    pub(crate) sens_shape: [Shape; 7],
+    /// Pressure exerted per resource at the reference resolution.
+    pub(crate) pressure_base: ResourceVec,
+    /// Exponent of the pixel-count scaling of GPU-side pressures
+    /// (Observation 8 holds exactly at 1.0; games deviate slightly).
+    pub(crate) pixel_exponent: f64,
+    /// Fraction of pressure that persists when the game is throttled
+    /// (`p_eff = p · (ω + (1 − ω) · δ)`).
+    pub(crate) rate_coupling: f64,
+    /// Host memory demand, fraction of server capacity.
+    pub(crate) cpu_mem: f64,
+    /// GPU memory demand, fraction of server capacity.
+    pub(crate) gpu_mem: f64,
+}
+
+impl GroundTruth {
+    /// Noise-free solo frame rate at a resolution on the reference class.
+    pub(crate) fn solo_fps(&self, res: Resolution) -> f64 {
+        self.solo_fps_on(res, crate::hetero::ServerClass::Reference)
+    }
+
+    /// Noise-free solo frame rate at a resolution on a server class.
+    pub(crate) fn solo_fps_on(&self, res: Resolution, class: crate::hetero::ServerClass) -> f64 {
+        let (c, g, x) = self.stage_times_ms_on(res, class, 1.0);
+        1000.0 / (c.max(g) + x)
+    }
+
+    /// Reference-class frame time at a resolution (the calibration anchor).
+    fn reference_frame_ms(&self, res: Resolution) -> f64 {
+        let m = res.megapixels();
+        let m_ref = REF_PIXELS / 1.0e6;
+        let fps = (self.fps_b - self.fps_a * m + self.fps_curve * (m - m_ref).powi(2)).max(10.0);
+        1000.0 / fps
+    }
+
+    /// Frame-stage times in milliseconds: `(cpu, gpu, transfer)`, scaled by
+    /// the server class's per-stage speed and the momentary scene
+    /// `complexity` (1.0 = the calibrated average scene).
+    pub(crate) fn stage_times_ms_on(
+        &self,
+        res: Resolution,
+        class: crate::hetero::ServerClass,
+        complexity: f64,
+    ) -> (f64, f64, f64) {
+        let total = self.reference_frame_ms(res) * complexity;
+        let transfer = self.transfer_frac * total;
+        let bottleneck = total - transfer;
+        let minor = self.minor_ratio * bottleneck;
+        let (cpu, gpu) = if self.cpu_bound {
+            (bottleneck, minor)
+        } else {
+            (minor, bottleneck)
+        };
+        (
+            cpu / class.cpu_speed(),
+            gpu / class.gpu_speed(),
+            transfer / class.pcie_speed(),
+        )
+    }
+
+    /// Reference-class stage times at average scene complexity.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn stage_times_ms(&self, res: Resolution) -> (f64, f64, f64) {
+        self.stage_times_ms_on(res, crate::hetero::ServerClass::Reference, 1.0)
+    }
+
+    /// Pressure the game exerts per resource at a resolution, scaled by how
+    /// fast it is actually running (`rate_factor` = achieved FPS / solo FPS).
+    pub(crate) fn pressures(&self, res: Resolution, rate_factor: f64) -> ResourceVec {
+        self.pressures_on(
+            res,
+            rate_factor,
+            crate::hetero::ServerClass::Reference,
+            1.0,
+        )
+    }
+
+    /// Pressures on a server class under a momentary scene complexity: a
+    /// wider machine absorbs the same load at lower relative utilization,
+    /// a heavier scene exerts more.
+    pub(crate) fn pressures_on(
+        &self,
+        res: Resolution,
+        rate_factor: f64,
+        class: crate::hetero::ServerClass,
+        complexity: f64,
+    ) -> ResourceVec {
+        let scale_px = (res.pixels() / REF_PIXELS).powf(self.pixel_exponent);
+        let rate = self.rate_coupling + (1.0 - self.rate_coupling) * rate_factor.clamp(0.0, 1.0);
+        ResourceVec::from_fn(|r| {
+            let base = self.pressure_base[r];
+            let p = if r.scales_with_pixels() {
+                base * scale_px
+            } else {
+                base
+            };
+            (p * rate * complexity / class.headroom(r)).clamp(0.0, 0.95)
+        })
+    }
+
+    /// Stage-time inflation factor for the resources of one pipeline stage,
+    /// given effective contention levels.
+    ///
+    /// Per-resource penalties within a stage *add* rather than multiply:
+    /// a stage stalled on the cache is often the same cycles it would have
+    /// lost to memory bandwidth, so compounding the penalties would
+    /// overstate contention (and, empirically, collapses 4-game colocations
+    /// far below what the paper's testbed shows).
+    pub(crate) fn stage_inflation(
+        &self,
+        stage: crate::resource::Stage,
+        effective: &ResourceVec,
+    ) -> f64 {
+        let mut penalty = 0.0;
+        for r in ALL_RESOURCES {
+            if r.stage() == stage {
+                let phi = self.sens_shape[r.index()].eval(effective[r]);
+                penalty += self.sens_strength[r] * phi;
+            }
+        }
+        1.0 + penalty
+    }
+
+    /// Colocated frame time (ms) under per-resource effective contention on
+    /// the reference class.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn frame_time_ms(&self, res: Resolution, effective: &ResourceVec) -> f64 {
+        self.frame_time_ms_on(res, effective, crate::hetero::ServerClass::Reference, 1.0)
+    }
+
+    /// Colocated frame time (ms) on a server class at a scene complexity.
+    pub(crate) fn frame_time_ms_on(
+        &self,
+        res: Resolution,
+        effective: &ResourceVec,
+        class: crate::hetero::ServerClass,
+        complexity: f64,
+    ) -> f64 {
+        use crate::pipeline::FrameStages;
+        use crate::resource::Stage;
+        let (c, g, x) = self.stage_times_ms_on(res, class, complexity);
+        let solo = FrameStages {
+            cpu_ms: c,
+            gpu_ms: g,
+            transfer_ms: x,
+        };
+        solo.inflate(
+            self.stage_inflation(Stage::Cpu, effective),
+            self.stage_inflation(Stage::Gpu, effective),
+            self.stage_inflation(Stage::Transfer, effective),
+        )
+        .total_ms()
+    }
+}
+
+/// A game in the catalog: public identity plus hidden contention physics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Game {
+    /// Stable identifier within the catalog.
+    pub id: GameId,
+    /// Title (drawn from the paper's 100-game list).
+    pub name: String,
+    /// Genre biasing the game's generated physics.
+    pub genre: Genre,
+    pub(crate) truth: GroundTruth,
+}
+
+impl Game {
+    /// Generate a game's ground truth from a genre template, deterministically
+    /// from `(seed, id)`.
+    pub fn generate(seed: u64, id: GameId, name: &str, genre: Genre) -> Game {
+        let mut rng = rng_for(seed, &[0x6741_4d45 /* "gAME" */, id.0 as u64]);
+        let t = genre.template();
+
+        let fps_1080 = uniform(&mut rng, t.fps_1080.0, t.fps_1080.1);
+        let drop = uniform(&mut rng, t.res_drop.0, t.res_drop.1);
+        let m_1080 = REF_PIXELS / 1.0e6;
+        let m_1440 = Resolution::Qhd1440.megapixels();
+        // Solve FPS(1440p) = (1 - drop) · FPS(1080p) for the slope.
+        let fps_a = fps_1080 * drop / (m_1440 - m_1080);
+        let fps_b = fps_1080 + fps_a * m_1080;
+        let fps_curve = uniform(&mut rng, -1.5, 1.5) * (fps_1080 / 100.0);
+
+        let cpu_bound = match t.bound {
+            BoundBias::Cpu => rng.gen_bool(0.85),
+            BoundBias::Gpu => !rng.gen_bool(0.85),
+            BoundBias::Mixed => rng.gen_bool(0.5),
+        };
+
+        let mut strengths = [0.0; 7];
+        let mut shapes = [Shape::Power { gamma: 1.0 }; 7];
+        let mut pressures = [0.0; 7];
+        for r in ALL_RESOURCES {
+            let i = r.index();
+            strengths[i] = uniform(&mut rng, t.sens[i].0, t.sens[i].1);
+            pressures[i] = uniform(&mut rng, t.pressure[i].0, t.pressure[i].1);
+            shapes[i] = draw_shape(&mut rng, r);
+        }
+
+        Game {
+            id,
+            name: name.to_string(),
+            genre,
+            truth: GroundTruth {
+                fps_a,
+                fps_b,
+                fps_curve,
+                transfer_frac: uniform(&mut rng, t.transfer_frac.0, t.transfer_frac.1),
+                minor_ratio: uniform(&mut rng, t.minor_ratio.0, t.minor_ratio.1),
+                cpu_bound,
+                sens_strength: ResourceVec(strengths),
+                sens_shape: shapes,
+                pressure_base: ResourceVec(pressures),
+                pixel_exponent: uniform(&mut rng, 0.90, 1.08),
+                rate_coupling: uniform(&mut rng, 0.35, 0.65),
+                cpu_mem: uniform(&mut rng, t.cpu_mem.0, t.cpu_mem.1),
+                gpu_mem: uniform(&mut rng, t.gpu_mem.0, t.gpu_mem.1),
+            },
+        }
+    }
+
+    /// Solo resource utilization at a resolution — observable through system
+    /// performance counters on a real server, so it is public API (the VBP
+    /// baseline and Figure 2a consume it).
+    pub fn solo_utilization(&self, res: Resolution) -> ResourceVec {
+        self.truth.pressures(res, 1.0)
+    }
+
+    /// Solo resource-demand vector `(CPU, GPU, CPU-mem, GPU-mem)` at a
+    /// resolution — the quantity the paper's Section 2.2 VBP policy packs on.
+    pub fn solo_demand(&self, res: Resolution) -> DemandVector {
+        let u = self.solo_utilization(res);
+        DemandVector {
+            cpu: u[Resource::CpuCore],
+            gpu: u[Resource::GpuCore],
+            cpu_mem: self.truth.cpu_mem,
+            gpu_mem: self.truth.gpu_mem,
+        }
+    }
+}
+
+/// Draw a sensitivity shape biased by resource class (cache resources are
+/// cliff-prone, cores knee-prone, bandwidth mostly smooth power laws).
+fn draw_shape(rng: &mut impl Rng, r: Resource) -> Shape {
+    use crate::resource::ResourceClass;
+    // Knees and cliffs dominate: real games respond to contention through
+    // working-set and scheduling thresholds, so the *position* of a game's
+    // knee relative to the aggregate pressure decides its fate — the
+    // structure that defeats single-score linear predictors (Observation 4).
+    let roll: f64 = rng.gen();
+    match r.class() {
+        ResourceClass::Cache => {
+            if roll < 0.6 {
+                Shape::Cliff {
+                    at: uniform(rng, 0.20, 0.75),
+                }
+            } else if roll < 0.9 {
+                Shape::Knee {
+                    steep: uniform(rng, 10.0, 20.0),
+                    mid: uniform(rng, 0.25, 0.75),
+                }
+            } else {
+                Shape::Power {
+                    gamma: uniform(rng, 1.2, 2.8),
+                }
+            }
+        }
+        ResourceClass::Core => {
+            if roll < 0.6 {
+                Shape::Knee {
+                    steep: uniform(rng, 8.0, 18.0),
+                    mid: uniform(rng, 0.30, 0.80),
+                }
+            } else if roll < 0.9 {
+                Shape::Power {
+                    gamma: uniform(rng, 0.8, 2.5),
+                }
+            } else {
+                Shape::Power {
+                    gamma: uniform(rng, 0.4, 0.8),
+                }
+            }
+        }
+        ResourceClass::Bandwidth => {
+            if roll < 0.5 {
+                Shape::Power {
+                    gamma: uniform(rng, 0.9, 2.2),
+                }
+            } else {
+                Shape::Knee {
+                    steep: uniform(rng, 8.0, 16.0),
+                    mid: uniform(rng, 0.35, 0.80),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_game(genre: Genre) -> Game {
+        Game::generate(42, GameId(7), "Test Game", genre)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Game::generate(42, GameId(3), "X", Genre::Shooter);
+        let b = Game::generate(42, GameId(3), "X", Genre::Shooter);
+        assert_eq!(a.truth.fps_b, b.truth.fps_b);
+        assert_eq!(a.truth.pressure_base, b.truth.pressure_base);
+        let c = Game::generate(43, GameId(3), "X", Genre::Shooter);
+        assert_ne!(a.truth.fps_b, c.truth.fps_b);
+    }
+
+    #[test]
+    fn solo_fps_decreases_with_resolution() {
+        for genre in crate::genre::ALL_GENRES {
+            let g = sample_game(genre);
+            let mut prev = f64::INFINITY;
+            for res in ALL_RESOLUTIONS {
+                let fps = g.truth.solo_fps(res);
+                assert!(fps > 0.0);
+                assert!(fps < prev + 1.0, "{genre:?}: fps should fall with pixels");
+                prev = fps;
+            }
+        }
+    }
+
+    #[test]
+    fn stage_times_reconstruct_frame_time() {
+        let g = sample_game(Genre::AaaOpenWorld);
+        for res in ALL_RESOLUTIONS {
+            let (c, gp, x) = g.truth.stage_times_ms(res);
+            let total = c.max(gp) + x;
+            let expect = 1000.0 / g.truth.solo_fps(res);
+            assert!((total - expect).abs() < 1e-9);
+            assert!(c > 0.0 && gp > 0.0 && x > 0.0);
+        }
+    }
+
+    #[test]
+    fn no_contention_means_no_degradation() {
+        let g = sample_game(Genre::Moba);
+        let t = g
+            .truth
+            .frame_time_ms(Resolution::Fhd1080, &ResourceVec::ZERO);
+        let solo = 1000.0 / g.truth.solo_fps(Resolution::Fhd1080);
+        assert!((t - solo).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_inflates_frame_time_monotonically() {
+        let g = sample_game(Genre::Shooter);
+        let mut prev = 0.0;
+        for step in 0..=10 {
+            let e = ResourceVec::from_fn(|_| step as f64 / 10.0);
+            let t = g.truth.frame_time_ms(Resolution::Fhd1080, &e);
+            assert!(t >= prev - 1e-9, "frame time must not shrink with pressure");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn throttled_games_exert_less_pressure() {
+        let g = sample_game(Genre::AaaOpenWorld);
+        let full = g.truth.pressures(Resolution::Fhd1080, 1.0);
+        let half = g.truth.pressures(Resolution::Fhd1080, 0.5);
+        for r in ALL_RESOURCES {
+            assert!(half[r] < full[r] + 1e-12);
+            assert!(half[r] > 0.0, "rate coupling keeps some floor pressure");
+        }
+    }
+
+    #[test]
+    fn gpu_pressure_scales_with_pixels_cpu_does_not() {
+        let g = sample_game(Genre::Sports);
+        let lo = g.truth.pressures(Resolution::Hd720, 1.0);
+        let hi = g.truth.pressures(Resolution::Qhd1440, 1.0);
+        assert!(hi[Resource::GpuCore] > lo[Resource::GpuCore]);
+        assert!(hi[Resource::GpuBw] > lo[Resource::GpuBw]);
+        assert_eq!(hi[Resource::CpuCore], lo[Resource::CpuCore]);
+        assert_eq!(hi[Resource::Llc], lo[Resource::Llc]);
+        assert_eq!(hi[Resource::MemBw], lo[Resource::MemBw]);
+    }
+
+    #[test]
+    fn demand_vector_is_in_unit_range() {
+        for genre in crate::genre::ALL_GENRES {
+            let g = sample_game(genre);
+            let d = g.solo_demand(Resolution::Fhd1080);
+            for v in [d.cpu, d.gpu, d.cpu_mem, d.gpu_mem] {
+                assert!((0.0..=1.0).contains(&v), "{genre:?}: {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_labels_and_pixels() {
+        assert_eq!(Resolution::Fhd1080.pixels(), 2_073_600.0);
+        assert_eq!(Resolution::Hd720.label(), "720p");
+        assert!(Resolution::Qhd1440.megapixels() > 3.6);
+    }
+}

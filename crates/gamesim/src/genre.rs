@@ -1,0 +1,376 @@
+//! Genre templates biasing the ground-truth parameters of generated games.
+//!
+//! The paper evaluates "100 popular games of various genres" (Section 1) and
+//! its Figure 2 shows resource demand and solo frame rate varying wildly
+//! across them. Genres give the synthetic catalog the same structured
+//! diversity: a MOBA is CPU-lean, light on the GPU and renders at very high
+//! frame rates; an AAA open-world title saturates the GPU at 45–90 FPS; an
+//! indie title barely registers on any resource.
+
+use crate::resource::NUM_RESOURCES;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Game genre; determines the parameter ranges the generator draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Genre {
+    /// Multiplayer online battle arena (Dota2, LoL): CPU-lean, very high FPS.
+    Moba,
+    /// AAA open-world / action-adventure (Far Cry 4, The Witcher 3):
+    /// GPU-saturating, broadly sensitive.
+    AaaOpenWorld,
+    /// Online shooter (H1Z1, Call of Duty): balanced, bandwidth-hungry.
+    Shooter,
+    /// MMO (World of Warcraft, Granado Espada): CPU-bound simulation with a
+    /// light but GPU-sensitive renderer.
+    Mmo,
+    /// Strategy / simulation (StarCraft 2, Cities: Skylines): CPU and
+    /// LLC-heavy, cache-cliff prone.
+    Strategy,
+    /// Indie / 2D (Stardew Valley, Slay the Spire): light on everything.
+    Indie,
+    /// Sports / racing (NBA 2K17, Need for Speed): GPU-moderate.
+    Sports,
+    /// Action / fighting (TEKKEN 7, DmC): balanced mid-weight.
+    Action,
+}
+
+/// All genres, for iteration.
+pub const ALL_GENRES: [Genre; 8] = [
+    Genre::Moba,
+    Genre::AaaOpenWorld,
+    Genre::Shooter,
+    Genre::Mmo,
+    Genre::Strategy,
+    Genre::Indie,
+    Genre::Sports,
+    Genre::Action,
+];
+
+/// Which frame-pipeline stage tends to dominate for a genre.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BoundBias {
+    /// The CPU (simulation) stage is the bottleneck.
+    Cpu,
+    /// The GPU (render) stage is the bottleneck.
+    Gpu,
+    /// Either stage may dominate; drawn per game.
+    Mixed,
+}
+
+/// Inclusive parameter ranges from which a game's ground truth is drawn.
+///
+/// Resource-indexed arrays follow [`crate::resource::ALL_RESOURCES`] order:
+/// `[CPU-CE, LLC, MEM-BW, GPU-CE, GPU-BW, GPU-L2, PCIe-BW]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenreTemplate {
+    /// Solo frame rate at 1080p.
+    pub fps_1080: (f64, f64),
+    /// Fractional FPS drop going from 1080p to 1440p (controls the Eq. 2
+    /// slope `a`).
+    pub res_drop: (f64, f64),
+    /// Which pipeline stage dominates.
+    pub bound: BoundBias,
+    /// PCIe-transfer share of the solo frame time.
+    pub transfer_frac: (f64, f64),
+    /// Ratio of the non-bottleneck stage to the bottleneck stage.
+    pub minor_ratio: (f64, f64),
+    /// Sensitivity strength range per resource (stage-time inflation is
+    /// `1 + strength · φ(pressure)`).
+    pub sens: [(f64, f64); NUM_RESOURCES],
+    /// Base pressure (intensity ground truth) per resource at 1080p.
+    pub pressure: [(f64, f64); NUM_RESOURCES],
+    /// Host memory demand (fraction of server capacity).
+    pub cpu_mem: (f64, f64),
+    /// GPU memory demand (fraction of server capacity).
+    pub gpu_mem: (f64, f64),
+}
+
+impl Genre {
+    /// The generator template for this genre.
+    pub fn template(self) -> GenreTemplate {
+        match self {
+            Genre::Moba => GenreTemplate {
+                fps_1080: (130.0, 260.0),
+                res_drop: (0.10, 0.25),
+                bound: BoundBias::Cpu,
+                transfer_frac: (0.03, 0.08),
+                minor_ratio: (0.45, 0.80),
+                sens: [
+                    (0.8, 1.8), // CPU-CE
+                    (0.4, 1.2), // LLC
+                    (0.3, 0.9), // MEM-BW
+                    (0.5, 1.5), // GPU-CE
+                    (0.3, 0.9), // GPU-BW
+                    (0.2, 0.8), // GPU-L2
+                    (0.2, 0.6), // PCIe-BW
+                ],
+                pressure: [
+                    (0.25, 0.45),
+                    (0.15, 0.35),
+                    (0.10, 0.30),
+                    (0.20, 0.40),
+                    (0.15, 0.35),
+                    (0.15, 0.30),
+                    (0.05, 0.20),
+                ],
+                cpu_mem: (0.05, 0.12),
+                gpu_mem: (0.03, 0.08),
+            },
+            Genre::AaaOpenWorld => GenreTemplate {
+                fps_1080: (45.0, 95.0),
+                res_drop: (0.25, 0.45),
+                bound: BoundBias::Gpu,
+                transfer_frac: (0.05, 0.12),
+                minor_ratio: (0.50, 0.85),
+                sens: [
+                    (0.8, 2.0),
+                    (0.6, 1.6),
+                    (0.6, 1.6),
+                    (1.5, 3.0),
+                    (1.0, 2.4),
+                    (0.8, 2.0),
+                    (0.4, 1.2),
+                ],
+                pressure: [
+                    (0.35, 0.60),
+                    (0.30, 0.55),
+                    (0.30, 0.55),
+                    (0.55, 0.85),
+                    (0.45, 0.75),
+                    (0.40, 0.65),
+                    (0.15, 0.40),
+                ],
+                cpu_mem: (0.15, 0.28),
+                gpu_mem: (0.22, 0.40),
+            },
+            Genre::Shooter => GenreTemplate {
+                fps_1080: (75.0, 150.0),
+                res_drop: (0.20, 0.40),
+                bound: BoundBias::Mixed,
+                transfer_frac: (0.04, 0.10),
+                minor_ratio: (0.55, 0.90),
+                sens: [
+                    (0.8, 2.0),
+                    (0.5, 1.4),
+                    (0.6, 1.8),
+                    (1.0, 2.4),
+                    (0.8, 2.0),
+                    (0.5, 1.4),
+                    (0.3, 1.0),
+                ],
+                pressure: [
+                    (0.30, 0.55),
+                    (0.20, 0.45),
+                    (0.25, 0.55),
+                    (0.40, 0.70),
+                    (0.35, 0.65),
+                    (0.25, 0.50),
+                    (0.10, 0.35),
+                ],
+                cpu_mem: (0.10, 0.22),
+                gpu_mem: (0.15, 0.30),
+            },
+            Genre::Mmo => GenreTemplate {
+                fps_1080: (60, 140).map_f64(),
+                res_drop: (0.12, 0.28),
+                bound: BoundBias::Cpu,
+                transfer_frac: (0.03, 0.09),
+                minor_ratio: (0.40, 0.75),
+                sens: [
+                    (1.0, 2.2),
+                    (0.6, 1.6),
+                    (0.5, 1.3),
+                    (1.2, 2.8), // very sensitive renderer despite light GPU use
+                    (0.4, 1.2),
+                    (0.3, 1.0),
+                    (0.2, 0.8),
+                ],
+                pressure: [
+                    (0.30, 0.55),
+                    (0.25, 0.45),
+                    (0.15, 0.40),
+                    (0.15, 0.35), // light GPU intensity (Observation 2)
+                    (0.10, 0.30),
+                    (0.10, 0.30),
+                    (0.05, 0.20),
+                ],
+                cpu_mem: (0.12, 0.25),
+                gpu_mem: (0.08, 0.20),
+            },
+            Genre::Strategy => GenreTemplate {
+                fps_1080: (50.0, 115.0),
+                res_drop: (0.10, 0.25),
+                bound: BoundBias::Cpu,
+                transfer_frac: (0.03, 0.08),
+                minor_ratio: (0.35, 0.70),
+                sens: [
+                    (1.2, 2.8), // heavy CPU sensitivity (Elder-Scrolls-like 70%)
+                    (1.0, 2.4), // cache-cliff prone
+                    (0.6, 1.6),
+                    (0.6, 1.6),
+                    (0.4, 1.2),
+                    (0.4, 1.2),
+                    (0.2, 0.8),
+                ],
+                pressure: [
+                    (0.40, 0.70),
+                    (0.30, 0.60),
+                    (0.25, 0.55),
+                    (0.20, 0.45),
+                    (0.15, 0.40),
+                    (0.15, 0.40),
+                    (0.05, 0.25),
+                ],
+                cpu_mem: (0.12, 0.27),
+                gpu_mem: (0.08, 0.20),
+            },
+            Genre::Indie => GenreTemplate {
+                fps_1080: (150.0, 330.0),
+                res_drop: (0.05, 0.18),
+                bound: BoundBias::Mixed,
+                transfer_frac: (0.02, 0.06),
+                minor_ratio: (0.50, 0.90),
+                sens: [
+                    (0.2, 0.9),
+                    (0.1, 0.6),
+                    (0.1, 0.6),
+                    (0.2, 0.9),
+                    (0.1, 0.6),
+                    (0.1, 0.5),
+                    (0.1, 0.4),
+                ],
+                pressure: [
+                    (0.05, 0.20),
+                    (0.03, 0.15),
+                    (0.03, 0.15),
+                    (0.05, 0.20),
+                    (0.03, 0.15),
+                    (0.03, 0.12),
+                    (0.02, 0.10),
+                ],
+                cpu_mem: (0.03, 0.08),
+                gpu_mem: (0.03, 0.08),
+            },
+            Genre::Sports => GenreTemplate {
+                fps_1080: (60.0, 125.0),
+                res_drop: (0.15, 0.35),
+                bound: BoundBias::Gpu,
+                transfer_frac: (0.04, 0.10),
+                minor_ratio: (0.45, 0.80),
+                sens: [
+                    (0.6, 1.6),
+                    (0.4, 1.2),
+                    (0.4, 1.2),
+                    (1.0, 2.2),
+                    (0.7, 1.8),
+                    (0.5, 1.4),
+                    (0.3, 1.0),
+                ],
+                pressure: [
+                    (0.20, 0.45),
+                    (0.15, 0.40),
+                    (0.15, 0.40),
+                    (0.35, 0.65),
+                    (0.30, 0.55),
+                    (0.25, 0.45),
+                    (0.10, 0.30),
+                ],
+                cpu_mem: (0.08, 0.20),
+                gpu_mem: (0.12, 0.28),
+            },
+            Genre::Action => GenreTemplate {
+                fps_1080: (60.0, 135.0),
+                res_drop: (0.20, 0.40),
+                bound: BoundBias::Mixed,
+                transfer_frac: (0.04, 0.10),
+                minor_ratio: (0.50, 0.85),
+                sens: [
+                    (0.7, 1.8),
+                    (0.5, 1.4),
+                    (0.5, 1.4),
+                    (0.9, 2.2),
+                    (0.6, 1.6),
+                    (0.4, 1.2),
+                    (0.3, 1.0),
+                ],
+                pressure: [
+                    (0.25, 0.50),
+                    (0.20, 0.45),
+                    (0.20, 0.45),
+                    (0.35, 0.65),
+                    (0.25, 0.55),
+                    (0.20, 0.45),
+                    (0.10, 0.30),
+                ],
+                cpu_mem: (0.10, 0.22),
+                gpu_mem: (0.12, 0.25),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Genre {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Genre::Moba => "MOBA",
+            Genre::AaaOpenWorld => "AAA open-world",
+            Genre::Shooter => "shooter",
+            Genre::Mmo => "MMO",
+            Genre::Strategy => "strategy",
+            Genre::Indie => "indie",
+            Genre::Sports => "sports",
+            Genre::Action => "action",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tiny helper so the MMO tuple above reads cleanly.
+trait MapF64 {
+    fn map_f64(self) -> (f64, f64);
+}
+impl MapF64 for (i32, i32) {
+    fn map_f64(self) -> (f64, f64) {
+        (self.0 as f64, self.1 as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_templates_have_sane_ranges() {
+        for g in ALL_GENRES {
+            let t = g.template();
+            assert!(t.fps_1080.0 > 0.0 && t.fps_1080.1 >= t.fps_1080.0, "{g:?}");
+            assert!(t.res_drop.0 >= 0.0 && t.res_drop.1 < 1.0);
+            assert!(t.transfer_frac.1 < 0.5);
+            assert!(t.minor_ratio.1 <= 1.0);
+            for (lo, hi) in t.sens {
+                assert!(lo >= 0.0 && hi >= lo && hi <= 3.5);
+            }
+            for (lo, hi) in t.pressure {
+                assert!(lo >= 0.0 && hi >= lo && hi <= 0.9);
+            }
+            assert!(t.cpu_mem.1 <= 1.0 && t.gpu_mem.1 <= 1.0);
+        }
+    }
+
+    #[test]
+    fn genres_are_diverse_in_fps() {
+        let indie = Genre::Indie.template().fps_1080;
+        let aaa = Genre::AaaOpenWorld.template().fps_1080;
+        assert!(indie.0 > aaa.1, "indie floor should exceed AAA ceiling");
+    }
+
+    #[test]
+    fn mmo_reproduces_observation_2() {
+        // Granado-Espada-like: GPU-CE sensitivity can be high while GPU-CE
+        // intensity stays light.
+        let t = Genre::Mmo.template();
+        assert!(t.sens[3].1 > 2.0);
+        assert!(t.pressure[3].1 <= 0.4);
+    }
+}

@@ -1,0 +1,126 @@
+//! Heterogeneous server hardware — the paper's first future-work item:
+//! "GAugur is only tested on one server type in this paper. We wish to test
+//! GAugur on more server types in the future."
+//!
+//! A [`ServerClass`] scales the simulated machine in two ways:
+//!
+//! * **speed** — faster CPU/GPU/PCIe shrink the per-frame stage times, so
+//!   solo frame rates rise;
+//! * **headroom** — wider execution/bandwidth/cache resources mean the same
+//!   game exerts *less relative pressure*, so colocations interfere less.
+//!
+//! The reproduction's transfer experiment (see `reproduce ext`) trains
+//! GAugur on one class and evaluates on another.
+
+use crate::resource::{Resource, ResourceClass};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A server hardware generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ServerClass {
+    /// The paper's testbed class (i7-7700 + GTX 1060): the reference all
+    /// ground truths are calibrated to.
+    #[default]
+    Reference,
+    /// A mid-generation upgrade (~GTX 1080 class): noticeably faster GPU,
+    /// modestly faster CPU.
+    Performance,
+    /// A flagship box (~RTX class): much faster on both sides with wide
+    /// bandwidth headroom.
+    Flagship,
+}
+
+/// All server classes.
+pub const ALL_SERVER_CLASSES: [ServerClass; 3] = [
+    ServerClass::Reference,
+    ServerClass::Performance,
+    ServerClass::Flagship,
+];
+
+impl ServerClass {
+    /// CPU-stage speedup relative to the reference class.
+    pub fn cpu_speed(self) -> f64 {
+        match self {
+            ServerClass::Reference => 1.0,
+            ServerClass::Performance => 1.15,
+            ServerClass::Flagship => 1.35,
+        }
+    }
+
+    /// GPU-stage speedup relative to the reference class.
+    pub fn gpu_speed(self) -> f64 {
+        match self {
+            ServerClass::Reference => 1.0,
+            ServerClass::Performance => 1.40,
+            ServerClass::Flagship => 1.90,
+        }
+    }
+
+    /// Transfer-stage (PCIe) speedup relative to the reference class.
+    pub fn pcie_speed(self) -> f64 {
+        match self {
+            ServerClass::Reference => 1.0,
+            ServerClass::Performance => 1.20,
+            ServerClass::Flagship => 1.60,
+        }
+    }
+
+    /// Pressure divisor for a resource: a wider machine absorbs the same
+    /// absolute load at lower relative utilization. Caches grow less than
+    /// raw throughput across generations.
+    pub fn headroom(self, r: Resource) -> f64 {
+        let (core, bw, cache) = match self {
+            ServerClass::Reference => (1.0, 1.0, 1.0),
+            ServerClass::Performance => (1.25, 1.30, 1.10),
+            ServerClass::Flagship => (1.60, 1.70, 1.25),
+        };
+        match r.class() {
+            ResourceClass::Core => core,
+            ResourceClass::Bandwidth => bw,
+            ResourceClass::Cache => cache,
+        }
+    }
+}
+
+impl fmt::Display for ServerClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ServerClass::Reference => "reference (GTX 1060 class)",
+            ServerClass::Performance => "performance (GTX 1080 class)",
+            ServerClass::Flagship => "flagship (RTX class)",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ALL_RESOURCES;
+
+    #[test]
+    fn reference_class_is_identity() {
+        let c = ServerClass::Reference;
+        assert_eq!(c.cpu_speed(), 1.0);
+        assert_eq!(c.gpu_speed(), 1.0);
+        assert_eq!(c.pcie_speed(), 1.0);
+        for r in ALL_RESOURCES {
+            assert_eq!(c.headroom(r), 1.0);
+        }
+    }
+
+    #[test]
+    fn classes_are_strictly_ordered() {
+        for r in ALL_RESOURCES {
+            assert!(ServerClass::Performance.headroom(r) > ServerClass::Reference.headroom(r));
+            assert!(ServerClass::Flagship.headroom(r) > ServerClass::Performance.headroom(r));
+        }
+        assert!(ServerClass::Flagship.gpu_speed() > ServerClass::Performance.gpu_speed());
+        assert!(ServerClass::Performance.gpu_speed() > 1.0);
+    }
+
+    #[test]
+    fn default_is_reference() {
+        assert_eq!(ServerClass::default(), ServerClass::Reference);
+    }
+}

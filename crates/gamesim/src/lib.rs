@@ -1,0 +1,70 @@
+//! # gaugur-gamesim — the cloud-gaming server simulator substrate
+//!
+//! The GAugur paper (HPDC '19) measures real commercial games on a physical
+//! i7-7700 / GTX 1060 server. That testbed is not reproducible in software, so
+//! this crate implements the closest synthetic equivalent: a deterministic
+//! simulator of a cloud-gaming server on which *synthetic games* and *pressure
+//! microbenchmarks* can be colocated and measured, exposing exactly the same
+//! observables the paper's methodology consumes:
+//!
+//! * per-game **frame rate** (solo and colocated, with measurement noise),
+//! * per-benchmark **slowdown** under colocation,
+//! * per-game solo **resource-demand vectors** (for the VBP baseline),
+//! * tunable **pressure levels** on each of the seven shared resources.
+//!
+//! The contention physics deliberately reproduce the paper's qualitative
+//! findings (Observations 1–8 of Section 3): games are sensitive to many
+//! resources with diverse, *nonlinear* sensitivity shapes; intensity is *not
+//! additive* across colocated workloads; resolution rescales GPU-side
+//! intensity roughly linearly in pixel count while leaving sensitivity shapes
+//! untouched; and a frame-pipeline `max(cpu, gpu) + transfer` coupling makes
+//! interference non-separable across resources.
+//!
+//! Nothing outside this crate can observe a game's hidden ground truth — the
+//! prediction stack (`gaugur-core`) only sees what a real profiling harness
+//! would see, through [`Server::measure_colocation`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use gaugur_gamesim::{GameCatalog, Server, Workload, Resolution};
+//!
+//! let catalog = GameCatalog::generate(42, 100);
+//! let server = Server::reference(7);
+//! let outcome = server.measure_colocation(&[
+//!     Workload::game(&catalog[0], Resolution::Fhd1080),
+//!     Workload::game(&catalog[1], Resolution::Fhd1080),
+//! ]);
+//! let fps = outcome.game_fps(0).unwrap();
+//! assert!(fps > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bench;
+pub mod catalog;
+pub mod combine;
+pub mod demand;
+pub mod encode;
+pub mod game;
+pub mod genre;
+pub mod hetero;
+pub mod pipeline;
+pub mod resource;
+pub mod rng;
+pub mod scene;
+pub mod server;
+pub mod shape;
+
+pub use bench::Microbenchmark;
+pub use catalog::GameCatalog;
+pub use combine::Combiner;
+pub use demand::DemandVector;
+pub use encode::EncoderModel;
+pub use game::{Game, GameId, Resolution};
+pub use genre::Genre;
+pub use hetero::{ServerClass, ALL_SERVER_CLASSES};
+pub use resource::{Resource, ResourceVec, ALL_RESOURCES, NUM_RESOURCES};
+pub use scene::{FpsTimeseries, SceneTrajectory};
+pub use server::{ColocationOutcome, Server, ServerSpec, Workload, WorkloadOutcome};

@@ -1,0 +1,106 @@
+//! The frame-pipeline timing model.
+//!
+//! A game loop "consists of many tasks (e.g., processing user input, updating
+//! game state, and rendering frames), which consume many shared resources
+//! across CPU and GPU" (paper Section 1). The simulator condenses this into
+//! three stages per frame:
+//!
+//! * a **CPU stage** (input + simulation) running on CPU-CE / LLC / MEM-BW,
+//! * a **GPU stage** (rendering) running on GPU-CE / GPU-BW / GPU-L2,
+//! * a **transfer stage** (host↔device traffic) on PCIe-BW.
+//!
+//! CPU and GPU stages overlap (double-buffered pipelines), so the frame time
+//! is `max(cpu, gpu) + transfer`. This single `max` is what makes
+//! interference *non-separable* across resources: pressure on the GPU is
+//! invisible to a CPU-bound game until the GPU stage overtakes — producing
+//! exactly the nonlinear sensitivity knees the paper observes (Observation 4)
+//! and defeating per-resource-additive predictors like SMiTe.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-frame stage times in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameStages {
+    /// CPU (simulation) stage.
+    pub cpu_ms: f64,
+    /// GPU (render) stage.
+    pub gpu_ms: f64,
+    /// PCIe transfer stage.
+    pub transfer_ms: f64,
+}
+
+impl FrameStages {
+    /// Total frame time under the overlap model: `max(cpu, gpu) + transfer`.
+    pub fn total_ms(&self) -> f64 {
+        self.cpu_ms.max(self.gpu_ms) + self.transfer_ms
+    }
+
+    /// Frame rate implied by the total frame time.
+    pub fn fps(&self) -> f64 {
+        1000.0 / self.total_ms()
+    }
+
+    /// Apply per-stage inflation factors (each ≥ 1 under contention).
+    pub fn inflate(&self, cpu: f64, gpu: f64, transfer: f64) -> FrameStages {
+        FrameStages {
+            cpu_ms: self.cpu_ms * cpu,
+            gpu_ms: self.gpu_ms * gpu,
+            transfer_ms: self.transfer_ms * transfer,
+        }
+    }
+
+    /// Which stage currently bottlenecks the pipeline.
+    pub fn bottleneck(&self) -> crate::resource::Stage {
+        use crate::resource::Stage;
+        if self.cpu_ms >= self.gpu_ms {
+            Stage::Cpu
+        } else {
+            Stage::Gpu
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::Stage;
+
+    #[test]
+    fn total_uses_overlap_model() {
+        let f = FrameStages {
+            cpu_ms: 6.0,
+            gpu_ms: 9.0,
+            transfer_ms: 1.0,
+        };
+        assert_eq!(f.total_ms(), 10.0);
+        assert_eq!(f.fps(), 100.0);
+        assert_eq!(f.bottleneck(), Stage::Gpu);
+    }
+
+    #[test]
+    fn inflating_the_minor_stage_can_be_free() {
+        // A CPU-bound frame: small GPU inflation does not change the total.
+        let f = FrameStages {
+            cpu_ms: 10.0,
+            gpu_ms: 5.0,
+            transfer_ms: 1.0,
+        };
+        let g = f.inflate(1.0, 1.5, 1.0);
+        assert_eq!(g.total_ms(), f.total_ms());
+        // ...until the GPU stage overtakes.
+        let h = f.inflate(1.0, 2.5, 1.0);
+        assert!(h.total_ms() > f.total_ms());
+        assert_eq!(h.bottleneck(), Stage::Gpu);
+    }
+
+    #[test]
+    fn transfer_always_adds() {
+        let f = FrameStages {
+            cpu_ms: 10.0,
+            gpu_ms: 5.0,
+            transfer_ms: 1.0,
+        };
+        let g = f.inflate(1.0, 1.0, 2.0);
+        assert!((g.total_ms() - (f.total_ms() + 1.0)).abs() < 1e-12);
+    }
+}

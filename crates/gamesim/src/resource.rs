@@ -1,0 +1,272 @@
+//! The seven shared resources the paper identifies as the ones that matter
+//! for game interference (Section 3.2), plus a small fixed-size vector type
+//! indexed by resource.
+//!
+//! > "We identify seven shared resources which are most important for games,
+//! > including CPU cores (CPU-CE), last level cache (LLC), memory bandwidth
+//! > (MEM-BW), GPU cores (GPU-CE), GPU memory bandwidth (GPU-BW), GPU L2
+//! > cache (GPU-L2), and PCIe bandwidth (PCIe-BW)."
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Number of shared resources tracked by the simulator (the paper's `R`).
+pub const NUM_RESOURCES: usize = 7;
+
+/// A shared server resource contended by colocated games.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum Resource {
+    /// CPU cores / execution engines (CPU-CE).
+    CpuCore = 0,
+    /// CPU last-level cache (LLC).
+    Llc = 1,
+    /// CPU memory bandwidth (MEM-BW).
+    MemBw = 2,
+    /// GPU cores / streaming multiprocessors (GPU-CE).
+    GpuCore = 3,
+    /// GPU memory bandwidth (GPU-BW).
+    GpuBw = 4,
+    /// GPU L2 cache (GPU-L2).
+    GpuL2 = 5,
+    /// PCIe bandwidth between host and device (PCIe-BW).
+    PcieBw = 6,
+}
+
+/// All resources in index order; iterate this instead of hand-writing lists.
+pub const ALL_RESOURCES: [Resource; NUM_RESOURCES] = [
+    Resource::CpuCore,
+    Resource::Llc,
+    Resource::MemBw,
+    Resource::GpuCore,
+    Resource::GpuBw,
+    Resource::GpuL2,
+    Resource::PcieBw,
+];
+
+/// The broad contention class of a resource, which determines how pressures
+/// from multiple colocated workloads combine (see [`crate::combine`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceClass {
+    /// Time-shared execution units (CPU-CE, GPU-CE): pressures combine
+    /// probabilistically and sub-additively.
+    Core,
+    /// Bandwidth-like resources (MEM-BW, GPU-BW, PCIe-BW): pressures add, but
+    /// queueing blows contention up super-linearly past a knee.
+    Bandwidth,
+    /// Capacity-shared caches (LLC, GPU-L2): footprints combine
+    /// super-additively below saturation (mutual eviction / thrashing).
+    Cache,
+}
+
+/// The pipeline stage of a game frame that a resource slows down when
+/// contended. The frame-time model is `max(cpu, gpu) + transfer`
+/// (see [`crate::pipeline`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Game-logic / simulation stage on the CPU.
+    Cpu,
+    /// Rendering stage on the GPU.
+    Gpu,
+    /// Host↔device transfer stage over PCIe.
+    Transfer,
+}
+
+impl Resource {
+    /// Stable index of the resource in `0..NUM_RESOURCES`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Build a resource from its stable index. Panics if out of range.
+    #[inline]
+    pub fn from_index(i: usize) -> Resource {
+        ALL_RESOURCES[i]
+    }
+
+    /// The contention class of this resource.
+    pub fn class(self) -> ResourceClass {
+        match self {
+            Resource::CpuCore | Resource::GpuCore => ResourceClass::Core,
+            Resource::MemBw | Resource::GpuBw | Resource::PcieBw => ResourceClass::Bandwidth,
+            Resource::Llc | Resource::GpuL2 => ResourceClass::Cache,
+        }
+    }
+
+    /// The frame-pipeline stage this resource slows down.
+    pub fn stage(self) -> Stage {
+        match self {
+            Resource::CpuCore | Resource::Llc | Resource::MemBw => Stage::Cpu,
+            Resource::GpuCore | Resource::GpuBw | Resource::GpuL2 => Stage::Gpu,
+            Resource::PcieBw => Stage::Transfer,
+        }
+    }
+
+    /// True for resources on the GPU side whose intensity scales with the
+    /// rendered pixel count (Observation 8: GPU-CE, GPU-BW, GPU-L2, PCIe-BW).
+    pub fn scales_with_pixels(self) -> bool {
+        matches!(
+            self,
+            Resource::GpuCore | Resource::GpuBw | Resource::GpuL2 | Resource::PcieBw
+        )
+    }
+
+    /// The short name used in the paper's figures.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Resource::CpuCore => "CPU-CE",
+            Resource::Llc => "LLC",
+            Resource::MemBw => "MEM-BW",
+            Resource::GpuCore => "GPU-CE",
+            Resource::GpuBw => "GPU-BW",
+            Resource::GpuL2 => "GPU-L2",
+            Resource::PcieBw => "PCIe-BW",
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A fixed-size `f64` vector indexed by [`Resource`].
+///
+/// Used throughout for pressures, sensitivities, intensities and effective
+/// contention levels.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResourceVec(pub [f64; NUM_RESOURCES]);
+
+impl ResourceVec {
+    /// The all-zero vector.
+    pub const ZERO: ResourceVec = ResourceVec([0.0; NUM_RESOURCES]);
+
+    /// Build a vector from a function of each resource.
+    pub fn from_fn(mut f: impl FnMut(Resource) -> f64) -> ResourceVec {
+        let mut v = [0.0; NUM_RESOURCES];
+        for r in ALL_RESOURCES {
+            v[r.index()] = f(r);
+        }
+        ResourceVec(v)
+    }
+
+    /// Iterate `(resource, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Resource, f64)> + '_ {
+        ALL_RESOURCES.iter().map(move |&r| (r, self.0[r.index()]))
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, mut f: impl FnMut(Resource, f64) -> f64) -> ResourceVec {
+        ResourceVec::from_fn(|r| f(r, self[r]))
+    }
+
+    /// Sum of all components.
+    pub fn sum(&self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    /// Largest component.
+    pub fn max(&self) -> f64 {
+        self.0.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Clamp every component into `[lo, hi]`.
+    pub fn clamp(&self, lo: f64, hi: f64) -> ResourceVec {
+        self.map(|_, v| v.clamp(lo, hi))
+    }
+
+    /// The raw array (in [`Resource`] index order).
+    pub fn as_array(&self) -> &[f64; NUM_RESOURCES] {
+        &self.0
+    }
+}
+
+impl Index<Resource> for ResourceVec {
+    type Output = f64;
+    #[inline]
+    fn index(&self, r: Resource) -> &f64 {
+        &self.0[r.index()]
+    }
+}
+
+impl IndexMut<Resource> for ResourceVec {
+    #[inline]
+    fn index_mut(&mut self, r: Resource) -> &mut f64 {
+        &mut self.0[r.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_stable_and_dense() {
+        for (i, r) in ALL_RESOURCES.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Resource::from_index(i), *r);
+        }
+    }
+
+    #[test]
+    fn classes_match_paper_taxonomy() {
+        assert_eq!(Resource::CpuCore.class(), ResourceClass::Core);
+        assert_eq!(Resource::GpuCore.class(), ResourceClass::Core);
+        assert_eq!(Resource::Llc.class(), ResourceClass::Cache);
+        assert_eq!(Resource::GpuL2.class(), ResourceClass::Cache);
+        assert_eq!(Resource::MemBw.class(), ResourceClass::Bandwidth);
+        assert_eq!(Resource::GpuBw.class(), ResourceClass::Bandwidth);
+        assert_eq!(Resource::PcieBw.class(), ResourceClass::Bandwidth);
+    }
+
+    #[test]
+    fn stages_partition_resources() {
+        let cpu: Vec<_> = ALL_RESOURCES
+            .iter()
+            .filter(|r| r.stage() == Stage::Cpu)
+            .collect();
+        let gpu: Vec<_> = ALL_RESOURCES
+            .iter()
+            .filter(|r| r.stage() == Stage::Gpu)
+            .collect();
+        let xfer: Vec<_> = ALL_RESOURCES
+            .iter()
+            .filter(|r| r.stage() == Stage::Transfer)
+            .collect();
+        assert_eq!(cpu.len(), 3);
+        assert_eq!(gpu.len(), 3);
+        assert_eq!(xfer.len(), 1);
+    }
+
+    #[test]
+    fn pixel_scaling_resources_match_observation_8() {
+        let scaling: Vec<_> = ALL_RESOURCES
+            .iter()
+            .filter(|r| r.scales_with_pixels())
+            .map(|r| r.short_name())
+            .collect();
+        assert_eq!(scaling, vec!["GPU-CE", "GPU-BW", "GPU-L2", "PCIe-BW"]);
+    }
+
+    #[test]
+    fn resource_vec_ops() {
+        let v = ResourceVec::from_fn(|r| r.index() as f64);
+        assert_eq!(v.sum(), 21.0);
+        assert_eq!(v.max(), 6.0);
+        assert_eq!(v[Resource::PcieBw], 6.0);
+        let c = v.clamp(1.0, 3.0);
+        assert_eq!(c[Resource::CpuCore], 1.0);
+        assert_eq!(c[Resource::PcieBw], 3.0);
+        let mut m = v;
+        m[Resource::Llc] = 9.0;
+        assert_eq!(m[Resource::Llc], 9.0);
+    }
+
+    #[test]
+    fn display_matches_short_name() {
+        assert_eq!(Resource::GpuBw.to_string(), "GPU-BW");
+    }
+}

@@ -1,0 +1,160 @@
+//! Dynamic game scenes: frame-rate variation over time.
+//!
+//! Section 7 of the paper: "the frame rate may change during game play,
+//! because game scenes vary dynamically which generates different amounts of
+//! rendering workload … This could lead to temporary QoS violations when all
+//! the colocated games render complex game scenes simultaneously."
+//!
+//! Each game gets a deterministic *scene-complexity trajectory* — a smooth
+//! multi-period oscillation around 1.0 — that scales both its frame cost and
+//! the pressure it exerts. [`crate::Server::measure_timeseries`] replays a
+//! colocation tick by tick, re-solving the contention fixed point under the
+//! momentary complexities, which reproduces exactly the correlated-worst-case
+//! dips the paper warns about.
+
+use crate::game::Game;
+use crate::rng::{rng_for, uniform};
+use serde::{Deserialize, Serialize};
+
+/// A deterministic scene-complexity trajectory for one game.
+///
+/// `complexity(t)` multiplies the game's frame cost and pressure at time `t`
+/// (seconds); it averages ≈1.0 over long windows so the steady-state model
+/// remains the mean behaviour.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SceneTrajectory {
+    amp1: f64,
+    period1: f64,
+    phase1: f64,
+    amp2: f64,
+    period2: f64,
+    phase2: f64,
+    floor: f64,
+    ceil: f64,
+}
+
+impl SceneTrajectory {
+    /// Derive a game's trajectory deterministically from its identity.
+    pub fn for_game(game: &Game, seed: u64) -> SceneTrajectory {
+        let mut rng = rng_for(seed, &[0x5343_454e, game.id.0 as u64]);
+        // Long slow arcs (travelling between areas) plus short bursts
+        // (combat). Amplitudes vary by genre weight: action-heavy titles
+        // swing harder.
+        SceneTrajectory {
+            amp1: uniform(&mut rng, 0.05, 0.18),
+            period1: uniform(&mut rng, 45.0, 180.0),
+            phase1: uniform(&mut rng, 0.0, std::f64::consts::TAU),
+            amp2: uniform(&mut rng, 0.03, 0.12),
+            period2: uniform(&mut rng, 6.0, 20.0),
+            phase2: uniform(&mut rng, 0.0, std::f64::consts::TAU),
+            floor: 0.65,
+            ceil: 1.45,
+        }
+    }
+
+    /// Scene complexity at time `t` seconds.
+    pub fn complexity(&self, t: f64) -> f64 {
+        let v = 1.0
+            + self.amp1 * (std::f64::consts::TAU * t / self.period1 + self.phase1).sin()
+            + self.amp2 * (std::f64::consts::TAU * t / self.period2 + self.phase2).sin();
+        v.clamp(self.floor, self.ceil)
+    }
+}
+
+/// A per-game FPS time series measured over a window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FpsTimeseries {
+    /// One FPS sample per tick, per game (placement order).
+    pub samples: Vec<Vec<f64>>,
+    /// Tick spacing in seconds.
+    pub tick_seconds: f64,
+}
+
+impl FpsTimeseries {
+    /// Mean FPS of one game over the window.
+    pub fn mean(&self, game_idx: usize) -> f64 {
+        let s = &self.samples[game_idx];
+        s.iter().sum::<f64>() / s.len().max(1) as f64
+    }
+
+    /// Minimum FPS of one game over the window.
+    pub fn min(&self, game_idx: usize) -> f64 {
+        self.samples[game_idx]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The `q`-quantile FPS of one game (`q ∈ [0, 1]`, nearest rank).
+    pub fn quantile(&self, game_idx: usize, q: f64) -> f64 {
+        let mut s = self.samples[game_idx].clone();
+        s.sort_by(f64::total_cmp);
+        let rank = ((s.len() as f64 * q.clamp(0.0, 1.0)).ceil() as usize).clamp(1, s.len());
+        s[rank - 1]
+    }
+
+    /// Fraction of ticks during which the game fell below `qos` FPS — the
+    /// "temporary QoS violation" rate of Section 7.
+    pub fn violation_rate(&self, game_idx: usize, qos: f64) -> f64 {
+        let s = &self.samples[game_idx];
+        s.iter().filter(|&&f| f < qos).count() as f64 / s.len().max(1) as f64
+    }
+
+    /// Number of ticks in the window.
+    pub fn len(&self) -> usize {
+        self.samples.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::GameCatalog;
+
+    #[test]
+    fn complexity_is_bounded_and_deterministic() {
+        let cat = GameCatalog::generate(42, 4);
+        let t1 = SceneTrajectory::for_game(&cat[0], 5);
+        let t2 = SceneTrajectory::for_game(&cat[0], 5);
+        let t3 = SceneTrajectory::for_game(&cat[1], 5);
+        let mut differs = false;
+        for step in 0..200 {
+            let t = step as f64 * 0.7;
+            let c = t1.complexity(t);
+            assert!((0.65..=1.45).contains(&c));
+            assert_eq!(c, t2.complexity(t));
+            differs |= (c - t3.complexity(t)).abs() > 1e-9;
+        }
+        assert!(differs, "different games should get different trajectories");
+    }
+
+    #[test]
+    fn complexity_averages_near_one() {
+        let cat = GameCatalog::generate(42, 6);
+        for g in cat.games() {
+            let traj = SceneTrajectory::for_game(g, 9);
+            let mean: f64 =
+                (0..2000).map(|i| traj.complexity(i as f64 * 0.5)).sum::<f64>() / 2000.0;
+            assert!((mean - 1.0).abs() < 0.05, "{}: mean {mean}", g.name);
+        }
+    }
+
+    #[test]
+    fn timeseries_statistics() {
+        let ts = FpsTimeseries {
+            samples: vec![vec![60.0, 50.0, 70.0, 40.0]],
+            tick_seconds: 1.0,
+        };
+        assert_eq!(ts.mean(0), 55.0);
+        assert_eq!(ts.min(0), 40.0);
+        assert_eq!(ts.quantile(0, 0.5), 50.0);
+        assert_eq!(ts.violation_rate(0, 55.0), 0.5);
+        assert_eq!(ts.len(), 4);
+        assert!(!ts.is_empty());
+    }
+}

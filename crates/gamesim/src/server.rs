@@ -1,0 +1,774 @@
+//! The simulated cloud-gaming server: colocate workloads, solve the mutual
+//! contention fixed point, and return noisy measurements.
+//!
+//! This is the only gateway through which the prediction stack can observe
+//! game behaviour — exactly like the physical i7-7700/GTX-1060 testbed in
+//! the paper, which exposes frame rates and benchmark runtimes and nothing
+//! else.
+
+use crate::bench::Microbenchmark;
+use crate::combine::Combiner;
+use crate::game::{Game, Resolution};
+use crate::resource::{ResourceVec, NUM_RESOURCES};
+use crate::hetero::ServerClass;
+use crate::rng::{clipped_normal, mix, rng_for};
+use crate::scene::{FpsTimeseries, SceneTrajectory};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a server's capacity limits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Host memory capacity (demand vectors are normalized to this = 1.0).
+    pub cpu_mem_capacity: f64,
+    /// GPU memory capacity (normalized, 1.0).
+    pub gpu_mem_capacity: f64,
+    /// Multiplier applied to game performance when host memory is
+    /// oversubscribed (swap thrash).
+    pub cpu_mem_thrash: f64,
+    /// Multiplier applied when GPU memory is oversubscribed (VRAM eviction
+    /// over PCIe).
+    pub gpu_mem_thrash: f64,
+    /// Hardware video encoder attached to every game session (paper
+    /// Section 7); `None` ignores encoding, as the paper's evaluation does.
+    pub encoder: Option<crate::encode::EncoderModel>,
+}
+
+impl Default for ServerSpec {
+    fn default() -> Self {
+        ServerSpec {
+            cpu_mem_capacity: 1.0,
+            gpu_mem_capacity: 1.0,
+            cpu_mem_thrash: 0.40,
+            gpu_mem_thrash: 0.45,
+            encoder: None,
+        }
+    }
+}
+
+/// A workload placed on the server: a game at a resolution, or a pressure
+/// microbenchmark at a level.
+#[derive(Debug, Clone, Copy)]
+pub enum Workload<'a> {
+    /// A game running at a player-selected resolution.
+    Game {
+        /// The game.
+        game: &'a Game,
+        /// The selected resolution.
+        resolution: Resolution,
+    },
+    /// A calibrated pressure benchmark.
+    Bench {
+        /// The benchmark.
+        bench: Microbenchmark,
+        /// Pressure level in `[0, 1]`.
+        level: f64,
+    },
+}
+
+impl<'a> Workload<'a> {
+    /// Convenience constructor for a game workload.
+    pub fn game(game: &'a Game, resolution: Resolution) -> Workload<'a> {
+        Workload::Game { game, resolution }
+    }
+
+    /// Convenience constructor for a benchmark workload.
+    pub fn bench(bench: Microbenchmark, level: f64) -> Workload<'a> {
+        Workload::Bench { bench, level }
+    }
+
+    /// A stable 64-bit descriptor used to derive measurement-noise seeds.
+    fn descriptor(&self) -> u64 {
+        match self {
+            Workload::Game { game, resolution } => {
+                mix(0x47 ^ ((game.id.0 as u64) << 8) ^ ((resolution.pixels() as u64) << 32))
+            }
+            Workload::Bench { bench, level } => mix(
+                0x42 ^ ((bench.resource.index() as u64) << 8)
+                    ^ (((level * 1000.0).round() as u64) << 16),
+            ),
+        }
+    }
+}
+
+/// The measured result for one workload in a colocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadOutcome {
+    /// Measured game performance.
+    Game {
+        /// Average frame rate over the measurement window (noisy).
+        fps: f64,
+        /// Server-side processing delay per input, in milliseconds (noisy).
+        /// Used by the interaction-delay extension (paper Section 7).
+        processing_delay_ms: f64,
+    },
+    /// Measured benchmark performance.
+    Bench {
+        /// Runtime slowdown relative to running alone (≥ 1, noisy).
+        slowdown: f64,
+    },
+}
+
+/// The result of measuring one colocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColocationOutcome {
+    /// Per-workload outcome, in placement order.
+    pub outcomes: Vec<WorkloadOutcome>,
+    /// Fixed-point iterations the contention solver used.
+    pub iterations: usize,
+    /// Whether the solver converged (it always should; exposed for tests).
+    pub converged: bool,
+}
+
+impl ColocationOutcome {
+    /// Frame rate of the `i`-th workload, if it is a game.
+    pub fn game_fps(&self, i: usize) -> Option<f64> {
+        match self.outcomes.get(i)? {
+            WorkloadOutcome::Game { fps, .. } => Some(*fps),
+            WorkloadOutcome::Bench { .. } => None,
+        }
+    }
+
+    /// Processing delay of the `i`-th workload, if it is a game.
+    pub fn game_delay_ms(&self, i: usize) -> Option<f64> {
+        match self.outcomes.get(i)? {
+            WorkloadOutcome::Game {
+                processing_delay_ms,
+                ..
+            } => Some(*processing_delay_ms),
+            WorkloadOutcome::Bench { .. } => None,
+        }
+    }
+
+    /// Slowdown of the `i`-th workload, if it is a benchmark.
+    pub fn bench_slowdown(&self, i: usize) -> Option<f64> {
+        match self.outcomes.get(i)? {
+            WorkloadOutcome::Bench { slowdown } => Some(*slowdown),
+            WorkloadOutcome::Game { .. } => None,
+        }
+    }
+}
+
+/// A simulated cloud-gaming server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Server {
+    /// Capacity limits.
+    pub spec: ServerSpec,
+    /// Base seed for measurement noise (experiments with different seeds see
+    /// different noise realizations).
+    pub seed: u64,
+    /// Relative standard deviation of FPS / slowdown measurements.
+    pub noise_sigma: f64,
+    /// Hardware generation of the machine (future-work extension; the
+    /// paper's testbed corresponds to [`ServerClass::Reference`]).
+    pub class: ServerClass,
+    combiners: [Combiner; NUM_RESOURCES],
+}
+
+/// Result of one contention-fixed-point solve.
+struct SolveOutcome {
+    rate: Vec<f64>,
+    effective: Vec<ResourceVec>,
+    iterations: usize,
+    converged: bool,
+}
+
+/// Damping factor of the contention fixed point.
+const DAMPING: f64 = 0.5;
+/// Convergence threshold on the max rate-factor change.
+const EPSILON: f64 = 1e-10;
+/// Iteration cap (generously above what convergence needs).
+const MAX_ITERS: usize = 200;
+
+impl Server {
+    /// The reference server configuration used throughout the reproduction
+    /// (analogous to the paper's single i7-7700 + GTX 1060 testbed).
+    pub fn reference(seed: u64) -> Server {
+        Server {
+            spec: ServerSpec::default(),
+            seed,
+            noise_sigma: 0.015,
+            class: ServerClass::Reference,
+            combiners: std::array::from_fn(|i| {
+                Combiner::for_resource(crate::resource::Resource::from_index(i))
+            }),
+        }
+    }
+
+    /// A reference server of a different hardware generation.
+    pub fn of_class(seed: u64, class: ServerClass) -> Server {
+        let mut s = Server::reference(seed);
+        s.class = class;
+        s
+    }
+
+    /// A noise-free server, for tests and ground-truth evaluation.
+    pub fn noiseless(seed: u64) -> Server {
+        let mut s = Server::reference(seed);
+        s.noise_sigma = 0.0;
+        s
+    }
+
+    /// Measure a colocation of workloads: returns the noisy steady-state
+    /// frame rate of every game and slowdown of every benchmark.
+    pub fn measure_colocation(&self, workloads: &[Workload<'_>]) -> ColocationOutcome {
+        if workloads.is_empty() {
+            return ColocationOutcome {
+                outcomes: Vec::new(),
+                iterations: 0,
+                converged: true,
+            };
+        }
+
+        // --- memory oversubscription check (games only) ------------------
+        let mut cpu_mem = 0.0;
+        let mut gpu_mem = 0.0;
+        for w in workloads {
+            if let Workload::Game { game, .. } = w {
+                cpu_mem += game.truth.cpu_mem;
+                gpu_mem += game.truth.gpu_mem;
+            }
+        }
+        let mut thrash = 1.0;
+        if cpu_mem > self.spec.cpu_mem_capacity {
+            thrash *= self.spec.cpu_mem_thrash;
+        }
+        if gpu_mem > self.spec.gpu_mem_capacity {
+            thrash *= self.spec.gpu_mem_thrash;
+        }
+
+        // --- contention fixed point --------------------------------------
+        let complexities = vec![1.0_f64; workloads.len()];
+        let solved = self.solve(workloads, &complexities, thrash);
+        let (rate, effective, iterations, converged) = (
+            solved.rate,
+            solved.effective,
+            solved.iterations,
+            solved.converged,
+        );
+
+        // --- noisy observation --------------------------------------------
+        let set_hash = workloads
+            .iter()
+            .fold(0u64, |acc, w| mix(acc ^ w.descriptor()));
+        let outcomes = workloads
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let mut rng = rng_for(self.seed, &[set_hash, i as u64]);
+                let noise = |rng: &mut rand_chacha::ChaCha8Rng, sigma: f64| {
+                    1.0 + sigma * clipped_normal(rng, 3.0)
+                };
+                match w {
+                    Workload::Game { game, resolution } => {
+                        let fps = game.truth.solo_fps_on(*resolution, self.class)
+                            * rate[i]
+                            * noise(&mut rng, self.noise_sigma);
+                        // Delay = frame time + command processing, the latter
+                        // inflated by CPU-side contention.
+                        let frame_ms = 1000.0 / fps.max(1.0);
+                        let cpu_infl = game
+                            .truth
+                            .stage_inflation(crate::resource::Stage::Cpu, &effective[i]);
+                        let encode_ms = self
+                            .spec
+                            .encoder
+                            .map_or(0.0, |e| e.latency_ms);
+                        let delay = (frame_ms * 1.1 + 1.5 * cpu_infl + encode_ms)
+                            * noise(&mut rng, self.noise_sigma);
+                        WorkloadOutcome::Game {
+                            fps,
+                            processing_delay_ms: delay,
+                        }
+                    }
+                    Workload::Bench { bench, level } => {
+                        let s = bench.slowdown(&effective[i], *level)
+                            * noise(&mut rng, self.noise_sigma);
+                        WorkloadOutcome::Bench {
+                            slowdown: s.max(1.0),
+                        }
+                    }
+                }
+            })
+            .collect();
+
+        ColocationOutcome {
+            outcomes,
+            iterations,
+            converged,
+        }
+    }
+
+    /// Solve the mutual-contention fixed point for a set of workloads under
+    /// per-workload scene complexities. `rate[i]` is the achieved/solo
+    /// frame-rate factor for games (1.0 for benchmarks).
+    fn solve(
+        &self,
+        workloads: &[Workload<'_>],
+        complexities: &[f64],
+        thrash: f64,
+    ) -> SolveOutcome {
+        let n = workloads.len();
+        let mut rate = vec![1.0_f64; n];
+        let mut effective = vec![ResourceVec::ZERO; n];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for it in 0..MAX_ITERS {
+            iterations = it + 1;
+            let pressures: Vec<ResourceVec> = workloads
+                .iter()
+                .zip(&rate)
+                .zip(complexities)
+                .map(|((w, &rf), &cx)| match w {
+                    Workload::Game { game, resolution } => {
+                        let mut p = game.truth.pressures_on(*resolution, rf, self.class, cx);
+                        if let Some(enc) = &self.spec.encoder {
+                            let extra = enc.session_pressure(*resolution);
+                            p = p.map(|r, v| (v + extra[r]).clamp(0.0, 0.95));
+                        }
+                        p
+                    }
+                    Workload::Bench { bench, level } => bench.pressures(*level),
+                })
+                .collect();
+
+            let mut max_delta = 0.0_f64;
+            for i in 0..n {
+                // Effective contention on each resource from everyone else.
+                let eff = ResourceVec::from_fn(|r| {
+                    let others: Vec<f64> = (0..n)
+                        .filter(|&j| j != i)
+                        .map(|j| pressures[j][r])
+                        .collect();
+                    self.combiners[r.index()].combine(&others)
+                });
+                effective[i] = eff;
+
+                if let Workload::Game { game, resolution } = &workloads[i] {
+                    let cx = complexities[i];
+                    let solo_ms = 1000.0
+                        / game.truth.solo_fps_on(*resolution, self.class)
+                        * cx;
+                    let coloc_ms =
+                        game.truth
+                            .frame_time_ms_on(*resolution, &eff, self.class, cx);
+                    let target = (solo_ms / coloc_ms * thrash).clamp(0.0, 1.0);
+                    let next = DAMPING * rate[i] + (1.0 - DAMPING) * target;
+                    max_delta = max_delta.max((next - rate[i]).abs());
+                    rate[i] = next;
+                }
+            }
+            if max_delta < EPSILON {
+                converged = true;
+                break;
+            }
+        }
+
+        SolveOutcome {
+            rate,
+            effective,
+            iterations,
+            converged,
+        }
+    }
+
+    /// Replay a colocation over a time window with dynamically varying game
+    /// scenes (Section 7 of the paper): each tick re-solves the contention
+    /// fixed point under the games\' momentary scene complexities, exposing
+    /// the correlated dips that cause *temporary* QoS violations.
+    ///
+    /// Benchmarks in the workload list keep constant pressure.
+    pub fn measure_timeseries(
+        &self,
+        workloads: &[Workload<'_>],
+        duration_seconds: f64,
+        tick_seconds: f64,
+    ) -> FpsTimeseries {
+        assert!(tick_seconds > 0.0, "tick must be positive");
+        let n = workloads.len();
+        let trajectories: Vec<Option<SceneTrajectory>> = workloads
+            .iter()
+            .map(|w| match w {
+                Workload::Game { game, .. } => Some(SceneTrajectory::for_game(game, self.seed)),
+                Workload::Bench { .. } => None,
+            })
+            .collect();
+
+        // Memory thrash is scene-independent.
+        let mut cpu_mem = 0.0;
+        let mut gpu_mem = 0.0;
+        for w in workloads {
+            if let Workload::Game { game, .. } = w {
+                cpu_mem += game.truth.cpu_mem;
+                gpu_mem += game.truth.gpu_mem;
+            }
+        }
+        let mut thrash = 1.0;
+        if cpu_mem > self.spec.cpu_mem_capacity {
+            thrash *= self.spec.cpu_mem_thrash;
+        }
+        if gpu_mem > self.spec.gpu_mem_capacity {
+            thrash *= self.spec.gpu_mem_thrash;
+        }
+
+        let ticks = (duration_seconds / tick_seconds).ceil() as usize;
+        let mut samples = vec![Vec::with_capacity(ticks); n];
+        let set_hash = workloads
+            .iter()
+            .fold(0u64, |acc, w| mix(acc ^ w.descriptor()));
+        for tick in 0..ticks {
+            let t = tick as f64 * tick_seconds;
+            let complexities: Vec<f64> = trajectories
+                .iter()
+                .map(|tr| tr.as_ref().map_or(1.0, |tr| tr.complexity(t)))
+                .collect();
+            let solved = self.solve(workloads, &complexities, thrash);
+            for (i, w) in workloads.iter().enumerate() {
+                if let Workload::Game { game, resolution } = w {
+                    let coloc_ms = game.truth.frame_time_ms_on(
+                        *resolution,
+                        &solved.effective[i],
+                        self.class,
+                        complexities[i],
+                    );
+                    let mut rng = rng_for(self.seed, &[set_hash, i as u64, tick as u64]);
+                    // Achieved FPS is the colocated frame rate, damped by
+                    // memory thrash, with per-tick measurement jitter.
+                    let fps = 1000.0 / coloc_ms
+                        * thrash
+                        * (1.0 + self.noise_sigma * clipped_normal(&mut rng, 3.0));
+                    samples[i].push(fps);
+                } else {
+                    samples[i].push(0.0);
+                }
+            }
+        }
+        FpsTimeseries {
+            samples,
+            tick_seconds,
+        }
+    }
+
+    /// Measure a game\'s solo frame rate at a resolution (noisy).
+    pub fn measure_solo_fps(&self, game: &Game, resolution: Resolution) -> f64 {
+        self.measure_colocation(&[Workload::game(game, resolution)])
+            .game_fps(0)
+            .expect("single game workload")
+    }
+
+    /// Ground-truth (noise-free, no-contention) solo FPS. Only meaningful for
+    /// evaluation harnesses; real profiling should use
+    /// [`Server::measure_solo_fps`].
+    pub fn true_solo_fps(&self, game: &Game, resolution: Resolution) -> f64 {
+        game.truth.solo_fps(resolution)
+    }
+
+    /// The combiner used for a resource (exposed for the Figure 6 harness
+    /// and tests).
+    pub fn combiner(&self, r: crate::resource::Resource) -> Combiner {
+        self.combiners[r.index()]
+    }
+}
+
+/// Effective contention seen by one hypothetical extra observer (used by
+/// diagnostics): combine the full pressure set of `workloads` at their solo
+/// rates on each resource.
+pub fn nominal_pressure(server: &Server, workloads: &[Workload<'_>]) -> ResourceVec {
+    ResourceVec::from_fn(|r| {
+        let ps: Vec<f64> = workloads
+            .iter()
+            .map(|w| match w {
+                Workload::Game { game, resolution } => game.truth.pressures(*resolution, 1.0)[r],
+                Workload::Bench { bench, level } => bench.pressures(*level)[r],
+            })
+            .collect();
+        server.combiners[r.index()].combine(&ps)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::GameCatalog;
+    use crate::resource::Resource;
+
+    fn catalog() -> GameCatalog {
+        GameCatalog::generate(42, 100)
+    }
+
+    #[test]
+    fn solo_measurement_matches_truth_within_noise() {
+        let cat = catalog();
+        let server = Server::reference(1);
+        for g in cat.games().iter().take(20) {
+            let fps = server.measure_solo_fps(g, Resolution::Fhd1080);
+            let truth = g.truth.solo_fps(Resolution::Fhd1080);
+            assert!(
+                (fps - truth).abs() / truth < 0.06,
+                "{}: {fps} vs {truth}",
+                g.name
+            );
+        }
+    }
+
+    #[test]
+    fn noiseless_solo_equals_truth_exactly() {
+        let cat = catalog();
+        let server = Server::noiseless(1);
+        let g = &cat[0];
+        let fps = server.measure_solo_fps(g, Resolution::Fhd1080);
+        assert!((fps - g.truth.solo_fps(Resolution::Fhd1080)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measurements_are_deterministic() {
+        let cat = catalog();
+        let server = Server::reference(9);
+        let w = [
+            Workload::game(&cat[0], Resolution::Fhd1080),
+            Workload::game(&cat[1], Resolution::Hd720),
+        ];
+        let a = server.measure_colocation(&w);
+        let b = server.measure_colocation(&w);
+        assert_eq!(a.game_fps(0), b.game_fps(0));
+        assert_eq!(a.game_fps(1), b.game_fps(1));
+    }
+
+    #[test]
+    fn different_seeds_see_different_noise() {
+        let cat = catalog();
+        let w = [Workload::game(&cat[0], Resolution::Fhd1080)];
+        let a = Server::reference(1).measure_colocation(&w);
+        let b = Server::reference(2).measure_colocation(&w);
+        assert_ne!(a.game_fps(0), b.game_fps(0));
+    }
+
+    #[test]
+    fn colocation_degrades_games() {
+        let cat = catalog();
+        let server = Server::noiseless(1);
+        // Pick two heavy games (AAA) so interference is guaranteed.
+        let heavy: Vec<_> = cat
+            .games()
+            .iter()
+            .filter(|g| g.genre == crate::genre::Genre::AaaOpenWorld)
+            .take(2)
+            .collect();
+        assert_eq!(heavy.len(), 2);
+        let solo = server.measure_solo_fps(heavy[0], Resolution::Fhd1080);
+        let out = server.measure_colocation(&[
+            Workload::game(heavy[0], Resolution::Fhd1080),
+            Workload::game(heavy[1], Resolution::Fhd1080),
+        ]);
+        let coloc = out.game_fps(0).unwrap();
+        assert!(out.converged);
+        assert!(
+            coloc < 0.9 * solo,
+            "heavy pair should interfere: solo {solo}, coloc {coloc}"
+        );
+    }
+
+    #[test]
+    fn fixed_point_converges_for_large_colocations() {
+        let cat = catalog();
+        let server = Server::noiseless(3);
+        let ws: Vec<_> = cat
+            .games()
+            .iter()
+            .take(6)
+            .map(|g| Workload::game(g, Resolution::Fhd1080))
+            .collect();
+        let out = server.measure_colocation(&ws);
+        assert!(out.converged, "iterations: {}", out.iterations);
+        for i in 0..ws.len() {
+            let fps = out.game_fps(i).unwrap();
+            assert!(fps > 0.0 && fps.is_finite());
+        }
+    }
+
+    #[test]
+    fn benchmark_slowdown_increases_with_game_pressure() {
+        let cat = catalog();
+        let server = Server::noiseless(5);
+        let heavy = cat
+            .games()
+            .iter()
+            .find(|g| g.genre == crate::genre::Genre::AaaOpenWorld)
+            .unwrap();
+        let light = cat
+            .games()
+            .iter()
+            .find(|g| g.genre == crate::genre::Genre::Indie)
+            .unwrap();
+        let bench = Microbenchmark::for_resource(Resource::GpuCore);
+        let s_heavy = server
+            .measure_colocation(&[
+                Workload::bench(bench, 0.5),
+                Workload::game(heavy, Resolution::Fhd1080),
+            ])
+            .bench_slowdown(0)
+            .unwrap();
+        let s_light = server
+            .measure_colocation(&[
+                Workload::bench(bench, 0.5),
+                Workload::game(light, Resolution::Fhd1080),
+            ])
+            .bench_slowdown(0)
+            .unwrap();
+        assert!(
+            s_heavy > s_light,
+            "AAA should slow the GPU benchmark more: {s_heavy} vs {s_light}"
+        );
+    }
+
+    #[test]
+    fn memory_oversubscription_thrashes() {
+        let cat = catalog();
+        let server = Server::noiseless(7);
+        // Find a set of games whose GPU memory sums past capacity.
+        let mut set = Vec::new();
+        let mut gpu_mem = 0.0;
+        for g in cat.games() {
+            if gpu_mem <= 1.0 {
+                gpu_mem += g.truth.gpu_mem;
+                set.push(g);
+            }
+        }
+        assert!(gpu_mem > 1.0, "catalog should oversubscribe eventually");
+        let ws: Vec<_> = set
+            .iter()
+            .map(|g| Workload::game(g, Resolution::Fhd1080))
+            .collect();
+        let out = server.measure_colocation(&ws);
+        let fps = out.game_fps(0).unwrap();
+        let solo = server.measure_solo_fps(set[0], Resolution::Fhd1080);
+        assert!(fps < 0.5 * solo, "thrash should crater FPS: {fps} vs {solo}");
+    }
+
+    #[test]
+    fn faster_server_classes_raise_solo_and_colocated_fps() {
+        let cat = catalog();
+        let g = &cat[0];
+        let res = Resolution::Fhd1080;
+        let reference = Server::noiseless(1);
+        let mut perf = Server::noiseless(1);
+        perf.class = crate::hetero::ServerClass::Performance;
+        let mut flag = Server::noiseless(1);
+        flag.class = crate::hetero::ServerClass::Flagship;
+
+        let solo_ref = reference.measure_solo_fps(g, res);
+        let solo_perf = perf.measure_solo_fps(g, res);
+        let solo_flag = flag.measure_solo_fps(g, res);
+        assert!(solo_perf > solo_ref);
+        assert!(solo_flag > solo_perf);
+
+        let pair = [Workload::game(&cat[0], res), Workload::game(&cat[1], res)];
+        let coloc_ref = reference.measure_colocation(&pair).game_fps(0).unwrap();
+        let coloc_flag = flag.measure_colocation(&pair).game_fps(0).unwrap();
+        assert!(coloc_flag > coloc_ref);
+        // Wider headroom also means the *relative* degradation shrinks.
+        assert!(coloc_flag / solo_flag > coloc_ref / solo_ref - 1e-9);
+    }
+
+    #[test]
+    fn timeseries_mean_tracks_steady_state() {
+        let cat = catalog();
+        let server = Server::noiseless(2);
+        let res = Resolution::Fhd1080;
+        let pair = [Workload::game(&cat[2], res), Workload::game(&cat[3], res)];
+        let steady = server.measure_colocation(&pair).game_fps(0).unwrap();
+        let ts = server.measure_timeseries(&pair, 240.0, 2.0);
+        assert_eq!(ts.len(), 120);
+        let mean = ts.mean(0);
+        assert!(
+            (mean - steady).abs() / steady < 0.12,
+            "timeseries mean {mean} vs steady {steady}"
+        );
+        // Scenes vary, so the minimum must sit visibly below the mean.
+        assert!(ts.min(0) < mean * 0.98);
+        assert!(ts.quantile(0, 0.05) <= ts.quantile(0, 0.5));
+    }
+
+    #[test]
+    fn timeseries_is_deterministic() {
+        let cat = catalog();
+        let server = Server::reference(3);
+        let res = Resolution::Fhd1080;
+        let pair = [Workload::game(&cat[4], res), Workload::game(&cat[5], res)];
+        let a = server.measure_timeseries(&pair, 30.0, 1.0);
+        let b = server.measure_timeseries(&pair, 30.0, 1.0);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn correlated_complex_scenes_cause_temporary_violations() {
+        // A colocation measured as "just feasible" on mean FPS can still dip
+        // below the bar when scenes align — the Section 7 phenomenon.
+        let cat = catalog();
+        let server = Server::noiseless(4);
+        let res = Resolution::Fhd1080;
+        let mut found = false;
+        'outer: for i in 0..cat.len() {
+            for j in (i + 1)..cat.len() {
+                let pair = [Workload::game(&cat[i], res), Workload::game(&cat[j], res)];
+                let steady = server.measure_colocation(&pair).game_fps(0).unwrap();
+                if !(60.0..75.0).contains(&steady) {
+                    continue;
+                }
+                let ts = server.measure_timeseries(&pair, 300.0, 2.0);
+                if ts.violation_rate(0, 60.0) > 0.0 {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "expected at least one borderline pair with temporary dips");
+    }
+
+    #[test]
+    fn encoder_overhead_is_small_but_real() {
+        let cat = catalog();
+        let plain = Server::noiseless(8);
+        let mut encoding = Server::noiseless(8);
+        encoding.spec.encoder = Some(crate::encode::EncoderModel::default());
+        let res = Resolution::Fhd1080;
+        let pair = [
+            Workload::game(&cat[0], res),
+            Workload::game(&cat[1], res),
+        ];
+        let f_plain = plain.measure_colocation(&pair).game_fps(0).unwrap();
+        let f_enc = encoding.measure_colocation(&pair).game_fps(0).unwrap();
+        assert!(f_enc < f_plain, "encoding must cost something");
+        assert!(
+            f_enc > 0.90 * f_plain,
+            "…but stay insignificant as Sec. 7 claims: {f_enc} vs {f_plain}"
+        );
+        let d_plain = plain.measure_colocation(&pair).game_delay_ms(0).unwrap();
+        let d_enc = encoding.measure_colocation(&pair).game_delay_ms(0).unwrap();
+        assert!(d_enc > d_plain);
+    }
+
+    #[test]
+    fn empty_colocation_is_empty() {
+        let server = Server::reference(1);
+        let out = server.measure_colocation(&[]);
+        assert!(out.outcomes.is_empty());
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn outcome_accessors_distinguish_kinds() {
+        let cat = catalog();
+        let server = Server::reference(1);
+        let out = server.measure_colocation(&[
+            Workload::game(&cat[0], Resolution::Fhd1080),
+            Workload::bench(Microbenchmark::for_resource(Resource::Llc), 0.5),
+        ]);
+        assert!(out.game_fps(0).is_some());
+        assert!(out.bench_slowdown(0).is_none());
+        assert!(out.game_fps(1).is_none());
+        assert!(out.bench_slowdown(1).is_some());
+        assert!(out.game_fps(2).is_none());
+        assert!(out.game_delay_ms(0).unwrap() > 0.0);
+    }
+}

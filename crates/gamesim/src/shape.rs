@@ -1,0 +1,144 @@
+//! Parametric sensitivity-shape functions.
+//!
+//! Observation 4 of the paper: *"The sensitivity of a game does not
+//! necessarily change linearly with the pressure for some shared resources
+//! such as GPU-CE, LLC etc."* — so the ground-truth response of a game to
+//! contention pressure is drawn from a family of monotone, nonlinear shapes,
+//! not a single linear ramp.
+//!
+//! A shape is a function `φ: [0,1] → [0,1]` with `φ(0) = 0`, `φ(1) = 1`,
+//! monotone non-decreasing. The game's stage-time inflation under effective
+//! contention `x` on resource `r` is `1 + strength · φ(x)`.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotone nonlinear response shape `φ: [0,1] → [0,1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Shape {
+    /// Power law `x^gamma`. `gamma < 1` is concave (early pain), `gamma > 1`
+    /// convex (pain only near saturation), `gamma = 1` linear.
+    Power {
+        /// Exponent, in `[0.35, 3.5]` for generated games.
+        gamma: f64,
+    },
+    /// Logistic knee: flat, then a sharp rise around `mid`, then flat again.
+    /// Typical of cache working-set cliffs and scheduler saturation.
+    Knee {
+        /// Steepness of the transition (larger = sharper), `> 0`.
+        steep: f64,
+        /// Pressure at which the transition is centred, in `(0, 1)`.
+        mid: f64,
+    },
+    /// Piecewise cliff: negligible response below `at`, then a linear climb.
+    /// Models capacity cliffs (working set suddenly no longer fits).
+    Cliff {
+        /// Pressure below which the game barely responds, in `(0, 1)`.
+        at: f64,
+    },
+}
+
+impl Shape {
+    /// Evaluate the shape at pressure `x` (clamped into `[0, 1]`).
+    pub fn eval(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        match *self {
+            Shape::Power { gamma } => x.powf(gamma),
+            Shape::Knee { steep, mid } => {
+                // Normalized logistic so that eval(0) = 0 and eval(1) = 1.
+                let sig = |t: f64| 1.0 / (1.0 + (-steep * (t - mid)).exp());
+                let lo = sig(0.0);
+                let hi = sig(1.0);
+                (sig(x) - lo) / (hi - lo)
+            }
+            Shape::Cliff { at } => {
+                if x <= at {
+                    // A tiny slope below the cliff keeps the shape strictly
+                    // monotone (helps the learners and mirrors reality: some
+                    // interference exists at any pressure).
+                    0.02 * x / at.max(1e-9)
+                } else {
+                    0.02 + 0.98 * (x - at) / (1.0 - at)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn shapes() -> Vec<Shape> {
+        vec![
+            Shape::Power { gamma: 0.5 },
+            Shape::Power { gamma: 1.0 },
+            Shape::Power { gamma: 2.7 },
+            Shape::Knee {
+                steep: 12.0,
+                mid: 0.55,
+            },
+            Shape::Knee {
+                steep: 6.0,
+                mid: 0.3,
+            },
+            Shape::Cliff { at: 0.6 },
+            Shape::Cliff { at: 0.25 },
+        ]
+    }
+
+    #[test]
+    fn endpoints_are_zero_and_one() {
+        for s in shapes() {
+            assert!(s.eval(0.0).abs() < 1e-12, "{s:?} at 0");
+            assert!((s.eval(1.0) - 1.0).abs() < 1e-9, "{s:?} at 1");
+        }
+    }
+
+    #[test]
+    fn linear_power_is_identity() {
+        let s = Shape::Power { gamma: 1.0 };
+        for i in 0..=10 {
+            let x = i as f64 / 10.0;
+            assert!((s.eval(x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn knee_is_steep_around_mid() {
+        let s = Shape::Knee {
+            steep: 14.0,
+            mid: 0.5,
+        };
+        let below = s.eval(0.35);
+        let above = s.eval(0.65);
+        assert!(above - below > 0.5, "knee should rise sharply: {below} {above}");
+    }
+
+    #[test]
+    fn cliff_is_flat_then_rises() {
+        let s = Shape::Cliff { at: 0.6 };
+        assert!(s.eval(0.5) < 0.03);
+        assert!(s.eval(0.8) > 0.4);
+    }
+
+    proptest! {
+        #[test]
+        fn monotone_and_bounded(idx in 0usize..7, a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+            let s = shapes()[idx];
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let (ylo, yhi) = (s.eval(lo), s.eval(hi));
+            prop_assert!(ylo <= yhi + 1e-12, "monotonicity violated for {s:?}");
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ylo));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&yhi));
+        }
+
+        #[test]
+        fn out_of_range_inputs_are_clamped(x in -5.0f64..5.0) {
+            for s in shapes() {
+                let y = s.eval(x);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&y));
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Nonlinear least squares for the Sigmoid baseline (paper Section 4.1).
+//!
+//! The prior work \[6, 21\] models the frame rate of game A colocated with `n`
+//! other games as `α₁ / (1 + exp(−α₂·n + α₃))`. This module fits those three
+//! parameters to observed `(n, fps)` pairs: `α₁` is solved in closed form
+//! (it enters linearly), `(α₂, α₃)` by a deterministic coarse grid search
+//! followed by pattern-search refinement.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted 3-parameter sigmoid `f(n) = α₁ / (1 + exp(−α₂·n + α₃))`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SigmoidFit {
+    /// Scale α₁.
+    pub a1: f64,
+    /// Slope α₂.
+    pub a2: f64,
+    /// Offset α₃.
+    pub a3: f64,
+}
+
+impl SigmoidFit {
+    /// Evaluate the fitted curve at `n`.
+    pub fn eval(&self, n: f64) -> f64 {
+        self.a1 / (1.0 + (-self.a2 * n + self.a3).exp())
+    }
+
+    /// Fit to `(n, value)` observations by least squares. Returns a flat
+    /// mean fit when fewer than two distinct `n` values exist.
+    pub fn fit(points: &[(f64, f64)]) -> SigmoidFit {
+        assert!(!points.is_empty(), "cannot fit a sigmoid to no points");
+        let distinct = {
+            let mut ns: Vec<f64> = points.iter().map(|p| p.0).collect();
+            ns.sort_by(f64::total_cmp);
+            ns.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+            ns.len()
+        };
+        let mean = points.iter().map(|p| p.1).sum::<f64>() / points.len() as f64;
+        if distinct < 2 {
+            // Degenerate: a flat curve through the mean (α₃ = −700 drives
+            // the exponential to exactly 0, so eval(n) ≡ α₁).
+            return SigmoidFit {
+                a1: mean,
+                a2: 0.0,
+                a3: -700.0,
+            };
+        }
+
+        // Given (a2, a3), the optimal a1 minimizes Σ (y − a1·g(n))².
+        let best_a1 = |a2: f64, a3: f64| -> (f64, f64) {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for &(n, y) in points {
+                let g = 1.0 / (1.0 + (-a2 * n + a3).exp());
+                num += y * g;
+                den += g * g;
+            }
+            let a1 = if den > 1e-12 { num / den } else { mean };
+            let sse: f64 = points
+                .iter()
+                .map(|&(n, y)| {
+                    let g = 1.0 / (1.0 + (-a2 * n + a3).exp());
+                    let e = y - a1 * g;
+                    e * e
+                })
+                .sum();
+            (a1, sse)
+        };
+
+        // Coarse grid.
+        let mut best = (0.0, 0.0, f64::INFINITY); // (a2, a3, sse)
+        for i in -20..=20 {
+            let a2 = i as f64 * 0.25;
+            for j in -20..=20 {
+                let a3 = j as f64 * 0.5;
+                let (_, sse) = best_a1(a2, a3);
+                if sse < best.2 {
+                    best = (a2, a3, sse);
+                }
+            }
+        }
+
+        // Pattern-search refinement.
+        let (mut a2, mut a3, mut sse) = best;
+        let mut step = 0.25;
+        while step > 1e-5 {
+            let mut improved = false;
+            for (d2, d3) in [(step, 0.0), (-step, 0.0), (0.0, step), (0.0, -step)] {
+                let (_, s) = best_a1(a2 + d2, a3 + d3);
+                if s < sse - 1e-15 {
+                    a2 += d2;
+                    a3 += d3;
+                    sse = s;
+                    improved = true;
+                }
+            }
+            if !improved {
+                step *= 0.5;
+            }
+        }
+
+        let (a1, _) = best_a1(a2, a3);
+        SigmoidFit { a1, a2, a3 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_known_sigmoid() {
+        let truth = SigmoidFit {
+            a1: 100.0,
+            a2: -1.2,
+            a3: -2.0,
+        };
+        let points: Vec<(f64, f64)> = (0..=4).map(|n| (n as f64, truth.eval(n as f64))).collect();
+        let fit = SigmoidFit::fit(&points);
+        for n in 0..=4 {
+            let e = (fit.eval(n as f64) - truth.eval(n as f64)).abs() / truth.eval(n as f64);
+            assert!(e < 0.02, "n={n}: {} vs {}", fit.eval(n as f64), truth.eval(n as f64));
+        }
+    }
+
+    #[test]
+    fn fits_decreasing_fps_data() {
+        // FPS halving with each extra colocated game.
+        let points = [(1.0, 80.0), (1.0, 84.0), (2.0, 45.0), (3.0, 24.0)];
+        let fit = SigmoidFit::fit(&points);
+        assert!(fit.eval(1.0) > fit.eval(2.0));
+        assert!(fit.eval(2.0) > fit.eval(3.0));
+        let e1 = (fit.eval(1.0) - 82.0).abs() / 82.0;
+        assert!(e1 < 0.15, "{}", fit.eval(1.0));
+    }
+
+    #[test]
+    fn single_point_degenerates_to_constant() {
+        let fit = SigmoidFit::fit(&[(2.0, 50.0), (2.0, 54.0)]);
+        assert!((fit.eval(1.0) - 52.0).abs() < 1e-9);
+        assert!((fit.eval(5.0) - 52.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn empty_input_panics() {
+        let _ = SigmoidFit::fit(&[]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Datasets: feature matrices with targets, splitting and folding.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A supervised dataset: one feature vector and one real-valued target per
+/// sample. Binary classification encodes the positive class as `1.0` and the
+/// negative class as `0.0`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature vectors (all the same length).
+    pub features: Vec<Vec<f64>>,
+    /// Targets, one per feature vector.
+    pub targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Build from parallel vectors. Panics if lengths differ or feature
+    /// vectors are ragged.
+    pub fn from_parts(features: Vec<Vec<f64>>, targets: Vec<f64>) -> Dataset {
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "features/targets length mismatch"
+        );
+        if let Some(first) = features.first() {
+            let w = first.len();
+            assert!(
+                features.iter().all(|f| f.len() == w),
+                "ragged feature matrix"
+            );
+        }
+        Dataset { features, targets }
+    }
+
+    /// Append one sample. Panics on a width mismatch.
+    pub fn push(&mut self, x: Vec<f64>, y: f64) {
+        if let Some(first) = self.features.first() {
+            assert_eq!(first.len(), x.len(), "feature width mismatch");
+        }
+        self.features.push(x);
+        self.targets.push(y);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of features per sample (0 if empty).
+    pub fn width(&self) -> usize {
+        self.features.first().map_or(0, |f| f.len())
+    }
+
+    /// A new dataset containing the samples at `indices` (duplicates
+    /// allowed — this is how bootstrap resampling is expressed).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            targets: indices.iter().map(|&i| self.targets[i]).collect(),
+        }
+    }
+
+    /// The first `n` samples (or all of them, if fewer).
+    pub fn take(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        Dataset {
+            features: self.features[..n].to_vec(),
+            targets: self.targets[..n].to_vec(),
+        }
+    }
+
+    /// Deterministically shuffle the samples.
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        self.subset(&idx)
+    }
+
+    /// Split into `(train, test)` with `train_fraction` of the samples (after
+    /// a deterministic shuffle) in the training set.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_fraction));
+        let shuffled = self.shuffled(seed);
+        let n_train = (self.len() as f64 * train_fraction).round() as usize;
+        let train = shuffled.take(n_train);
+        let test = Dataset {
+            features: shuffled.features[n_train..].to_vec(),
+            targets: shuffled.targets[n_train..].to_vec(),
+        };
+        (train, test)
+    }
+
+    /// `k`-fold cross-validation indices: returns `k` (train, test) pairs.
+    pub fn kfold(&self, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+        assert!(k >= 2, "k-fold needs k >= 2");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        (0..k)
+            .map(|fold| {
+                let test_idx: Vec<usize> = idx
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|(i, _)| i % k == fold)
+                    .map(|(_, v)| v)
+                    .collect();
+                let train_idx: Vec<usize> = idx
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|(i, _)| i % k != fold)
+                    .map(|(_, v)| v)
+                    .collect();
+                (self.subset(&train_idx), self.subset(&test_idx))
+            })
+            .collect()
+    }
+
+    /// Iterate `(features, target)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], f64)> {
+        self.features
+            .iter()
+            .map(|f| f.as_slice())
+            .zip(self.targets.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let features = (0..n).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let targets = (0..n).map(|i| i as f64).collect();
+        Dataset::from_parts(features, targets)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = toy(5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.width(), 2);
+        assert!(!d.is_empty());
+        assert!(Dataset::new().is_empty());
+        assert_eq!(Dataset::new().width(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Dataset::from_parts(vec![vec![1.0]], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_features_panic() {
+        let _ = Dataset::from_parts(vec![vec![1.0], vec![1.0, 2.0]], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn push_checks_width() {
+        let mut d = toy(2);
+        d.push(vec![1.0], 0.0);
+    }
+
+    #[test]
+    fn subset_allows_duplicates() {
+        let d = toy(3);
+        let s = d.subset(&[0, 0, 2]);
+        assert_eq!(s.targets, vec![0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let d = toy(100);
+        let (train, test) = d.split(0.7, 42);
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        let mut all: Vec<f64> = train.targets.iter().chain(&test.targets).copied().collect();
+        all.sort_by(f64::total_cmp);
+        let expect: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = toy(50);
+        let (a, _) = d.split(0.5, 7);
+        let (b, _) = d.split(0.5, 7);
+        assert_eq!(a.targets, b.targets);
+        let (c, _) = d.split(0.5, 8);
+        assert_ne!(a.targets, c.targets);
+    }
+
+    #[test]
+    fn kfold_covers_each_sample_once_as_test() {
+        let d = toy(20);
+        let folds = d.kfold(4, 3);
+        assert_eq!(folds.len(), 4);
+        let mut seen: Vec<f64> = folds
+            .iter()
+            .flat_map(|(_, test)| test.targets.clone())
+            .collect();
+        seen.sort_by(f64::total_cmp);
+        let expect: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        assert_eq!(seen, expect);
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 20);
+        }
+    }
+
+    #[test]
+    fn take_caps_at_len() {
+        let d = toy(3);
+        assert_eq!(d.take(10).len(), 3);
+        assert_eq!(d.take(2).len(), 2);
+    }
+}

@@ -1,0 +1,348 @@
+//! Gradient-boosted trees: GBRT (squared loss) for regression and GBDT
+//! (logistic loss with Newton leaf updates) for binary classification.
+//!
+//! GBRT/GBDT are the algorithms the paper singles out as the most accurate —
+//! "Among all the algorithms, GBRT achieves the best performance, which
+//! produces an error of 7.9%" (Section 4.2) and "GBDT achieves as high as 95%
+//! accuracy" (classification).
+
+use crate::data::Dataset;
+use crate::tree::{Tree, TreeParams};
+use crate::{Classifier, Regressor};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Gradient-boosting hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GbdtParams {
+    /// Number of boosting rounds (trees).
+    pub n_estimators: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// Depth of the weak learners.
+    pub max_depth: usize,
+    /// Minimum samples per leaf of the weak learners.
+    pub min_samples_leaf: usize,
+    /// Fraction of the training set sampled (without replacement) per round;
+    /// `1.0` disables stochastic boosting.
+    pub subsample: f64,
+    /// Seed for subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        GbdtParams {
+            n_estimators: 200,
+            learning_rate: 0.08,
+            max_depth: 4,
+            min_samples_leaf: 3,
+            subsample: 0.9,
+            seed: 0,
+        }
+    }
+}
+
+impl GbdtParams {
+    fn tree_params(&self, seed: u64) -> TreeParams {
+        TreeParams {
+            max_depth: self.max_depth,
+            min_samples_split: self.min_samples_leaf * 2,
+            min_samples_leaf: self.min_samples_leaf,
+            max_features: None,
+            seed,
+        }
+    }
+}
+
+/// Draw a subsample of row indices for one boosting round.
+fn round_indices(n: usize, params: &GbdtParams, round: usize) -> Vec<usize> {
+    if params.subsample >= 1.0 {
+        return (0..n).collect();
+    }
+    let k = ((n as f64 * params.subsample).round() as usize).clamp(1, n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(params.seed ^ (0x4742_4454 + round as u64 * 0x9E37_79B9));
+    idx.shuffle(&mut rng);
+    idx.truncate(k);
+    idx
+}
+
+/// Gradient-boosted regression trees (the paper's GBRT).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GbrtRegressor {
+    init: f64,
+    trees: Vec<Tree>,
+    /// The hyperparameters used for training.
+    pub params: GbdtParams,
+}
+
+impl GbrtRegressor {
+    /// Fit by iteratively regressing the residuals (functional gradient of
+    /// the squared loss).
+    pub fn fit(data: &Dataset, params: GbdtParams) -> GbrtRegressor {
+        assert!(!data.is_empty(), "cannot fit GBRT on an empty dataset");
+        let n = data.len();
+        let init = data.targets.iter().sum::<f64>() / n as f64;
+        let mut current: Vec<f64> = vec![init; n];
+        let mut trees = Vec::with_capacity(params.n_estimators);
+
+        for round in 0..params.n_estimators {
+            let idx = round_indices(n, &params, round);
+            let residual_data = Dataset::from_parts(
+                idx.iter().map(|&i| data.features[i].clone()).collect(),
+                idx.iter().map(|&i| data.targets[i] - current[i]).collect(),
+            );
+            let tree = Tree::fit(&residual_data, &params.tree_params(params.seed ^ round as u64));
+            for (cur, x) in current.iter_mut().zip(&data.features) {
+                *cur += params.learning_rate * tree.predict(x);
+            }
+            trees.push(tree);
+        }
+
+        GbrtRegressor {
+            init,
+            trees,
+            params,
+        }
+    }
+
+    /// Number of boosting rounds (diagnostics).
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for GbrtRegressor {
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.init
+            + self.params.learning_rate
+                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+    }
+}
+
+/// Gradient-boosted classification trees with logistic loss (the paper's
+/// GBDT). Targets must be `0.0` / `1.0`; [`Classifier::score`] returns the
+/// predicted positive-class probability.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GbdtClassifier {
+    init: f64, // initial log-odds
+    trees: Vec<Tree>,
+    /// The hyperparameters used for training.
+    pub params: GbdtParams,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl GbdtClassifier {
+    /// Fit by boosting on the logistic-loss gradient with a Newton step per
+    /// leaf (the classic Friedman TreeBoost update).
+    pub fn fit(data: &Dataset, params: GbdtParams) -> GbdtClassifier {
+        assert!(!data.is_empty(), "cannot fit GBDT on an empty dataset");
+        debug_assert!(
+            data.targets.iter().all(|&y| y == 0.0 || y == 1.0),
+            "classification targets must be 0/1"
+        );
+        let n = data.len();
+        let pos = data.targets.iter().sum::<f64>() / n as f64;
+        let pos = pos.clamp(1e-6, 1.0 - 1e-6);
+        let init = (pos / (1.0 - pos)).ln();
+        let mut raw: Vec<f64> = vec![init; n];
+        let mut trees = Vec::with_capacity(params.n_estimators);
+
+        for round in 0..params.n_estimators {
+            let idx = round_indices(n, &params, round);
+            // Negative gradient of the logistic loss: y − p.
+            let grads: Vec<f64> = idx
+                .iter()
+                .map(|&i| data.targets[i] - sigmoid(raw[i]))
+                .collect();
+            let grad_data = Dataset::from_parts(
+                idx.iter().map(|&i| data.features[i].clone()).collect(),
+                grads,
+            );
+            let mut tree =
+                Tree::fit(&grad_data, &params.tree_params(params.seed ^ round as u64));
+
+            // Newton leaf values: Σ(y − p) / Σ p(1 − p) per leaf.
+            let mut num: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+            let mut den: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+            for &i in &idx {
+                let leaf = tree.leaf_index(&data.features[i]);
+                let p = sigmoid(raw[i]);
+                *num.entry(leaf).or_default() += data.targets[i] - p;
+                *den.entry(leaf).or_default() += (p * (1.0 - p)).max(1e-9);
+            }
+            for (leaf, s) in num {
+                tree.set_leaf_value(leaf, s / den[&leaf]);
+            }
+
+            for (r, x) in raw.iter_mut().zip(&data.features) {
+                *r += params.learning_rate * tree.predict(x);
+            }
+            trees.push(tree);
+        }
+
+        GbdtClassifier {
+            init,
+            trees,
+            params,
+        }
+    }
+
+    /// Number of boosting rounds (diagnostics).
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for GbdtClassifier {
+    fn score(&self, x: &[f64]) -> f64 {
+        let raw = self.init
+            + self.params.learning_rate
+                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>();
+        sigmoid(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_data(n: usize) -> Dataset {
+        let features: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64]).collect();
+        let targets = features.iter().map(|f| (f[0] * 6.0).sin()).collect();
+        Dataset::from_parts(features, targets)
+    }
+
+    #[test]
+    fn gbrt_fits_a_sine() {
+        let data = sine_data(300);
+        let m = GbrtRegressor::fit(
+            &data,
+            GbdtParams {
+                n_estimators: 150,
+                seed: 3,
+                ..GbdtParams::default()
+            },
+        );
+        for &x in &[0.1, 0.35, 0.6, 0.85] {
+            let p = m.predict(&[x]);
+            let y = (x * 6.0).sin();
+            assert!((p - y).abs() < 0.08, "at {x}: {p} vs {y}");
+        }
+        assert_eq!(m.n_trees(), 150);
+    }
+
+    #[test]
+    fn gbrt_beats_its_own_initial_constant() {
+        let data = sine_data(200);
+        let m = GbrtRegressor::fit(&data, GbdtParams::default());
+        let mean = data.targets.iter().sum::<f64>() / 200.0;
+        let model_err: f64 = data
+            .iter()
+            .map(|(x, y)| (m.predict(x) - y).abs())
+            .sum::<f64>();
+        let const_err: f64 = data.targets.iter().map(|y| (mean - y).abs()).sum::<f64>();
+        assert!(model_err < 0.2 * const_err);
+    }
+
+    #[test]
+    fn gbdt_learns_xor() {
+        // XOR is the canonical non-linearly-separable problem; depth-2+ trees
+        // should nail it.
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..200 {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            let jitter = ((i * 17) % 11) as f64 / 110.0 - 0.05;
+            features.push(vec![a + jitter, b - jitter]);
+            targets.push(if (a > 0.5) != (b > 0.5) { 1.0 } else { 0.0 });
+        }
+        let data = Dataset::from_parts(features, targets);
+        let m = GbdtClassifier::fit(
+            &data,
+            GbdtParams {
+                n_estimators: 80,
+                seed: 4,
+                ..GbdtParams::default()
+            },
+        );
+        assert!(m.classify(&[1.0, 0.0]));
+        assert!(m.classify(&[0.0, 1.0]));
+        assert!(!m.classify(&[0.0, 0.0]));
+        assert!(!m.classify(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn gbdt_scores_are_probabilities() {
+        let data = sine_data(50);
+        let labels = Dataset::from_parts(
+            data.features.clone(),
+            data.targets.iter().map(|&y| f64::from(y > 0.0)).collect(),
+        );
+        let m = GbdtClassifier::fit(&data_to_binary(&labels), GbdtParams::default());
+        for (x, _) in labels.iter() {
+            let s = m.score(x);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    fn data_to_binary(d: &Dataset) -> Dataset {
+        d.clone()
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = sine_data(100);
+        let p = GbdtParams {
+            n_estimators: 30,
+            seed: 9,
+            ..GbdtParams::default()
+        };
+        let a = GbrtRegressor::fit(&data, p);
+        let b = GbrtRegressor::fit(&data, p);
+        assert_eq!(a.predict(&[0.4]), b.predict(&[0.4]));
+    }
+
+    #[test]
+    fn more_rounds_reduce_training_error() {
+        let data = sine_data(150);
+        let err = |rounds: usize| {
+            let m = GbrtRegressor::fit(
+                &data,
+                GbdtParams {
+                    n_estimators: rounds,
+                    subsample: 1.0,
+                    ..GbdtParams::default()
+                },
+            );
+            data.iter()
+                .map(|(x, y)| (m.predict(x) - y).powi(2))
+                .sum::<f64>()
+        };
+        let few = err(10);
+        let many = err(120);
+        assert!(many < few * 0.5, "boosting must keep reducing train error: {few} → {many}");
+    }
+
+    #[test]
+    fn full_sample_mode_uses_all_rows() {
+        let idx = round_indices(10, &GbdtParams {
+            subsample: 1.0,
+            ..GbdtParams::default()
+        }, 0);
+        assert_eq!(idx, (0..10).collect::<Vec<_>>());
+        let idx2 = round_indices(10, &GbdtParams {
+            subsample: 0.5,
+            ..GbdtParams::default()
+        }, 0);
+        assert_eq!(idx2.len(), 5);
+    }
+}

@@ -1,0 +1,130 @@
+//! Model selection: k-fold cross-validation and grid search.
+//!
+//! The paper fixes its hyperparameters offline; this utility is how an
+//! operator would pick them on their own catalog without touching the test
+//! set (the ablation harness uses it to justify the defaults).
+
+use crate::data::Dataset;
+use crate::metrics::mean_relative_error;
+
+/// Cross-validated mean relative error of a train-then-predict procedure.
+///
+/// `fit` receives a training fold and returns a prediction function.
+pub fn cross_val_error<F, P>(data: &Dataset, k: usize, seed: u64, fit: F) -> f64
+where
+    F: Fn(&Dataset) -> P,
+    P: Fn(&[f64]) -> f64,
+{
+    let folds = data.kfold(k, seed);
+    let mut errs = Vec::with_capacity(k);
+    for (train, test) in &folds {
+        let predict = fit(train);
+        let preds: Vec<f64> = test.features.iter().map(|x| predict(x)).collect();
+        errs.push(mean_relative_error(&preds, &test.targets));
+    }
+    errs.iter().sum::<f64>() / errs.len().max(1) as f64
+}
+
+/// Evaluate every candidate with k-fold CV and return
+/// `(best index, best score, all scores)` — lowest error wins; ties go to
+/// the earliest candidate (deterministic).
+pub fn grid_search<C, F, P>(
+    data: &Dataset,
+    candidates: &[C],
+    k: usize,
+    seed: u64,
+    fit: F,
+) -> (usize, f64, Vec<f64>)
+where
+    F: Fn(&C, &Dataset) -> P,
+    P: Fn(&[f64]) -> f64,
+{
+    assert!(!candidates.is_empty(), "grid search needs candidates");
+    let scores: Vec<f64> = candidates
+        .iter()
+        .map(|c| cross_val_error(data, k, seed, |train| fit(c, train)))
+        .collect();
+    let (best, &score) = scores
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.total_cmp(b))
+        .expect("non-empty scores");
+    (best, score, scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{DecisionTreeRegressor, TreeParams};
+    use crate::Regressor;
+
+    fn quadratic(n: usize) -> Dataset {
+        let features: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64]).collect();
+        let targets = features.iter().map(|f| 1.0 + f[0] * f[0]).collect();
+        Dataset::from_parts(features, targets)
+    }
+
+    #[test]
+    fn cross_val_scores_a_reasonable_model_well() {
+        let data = quadratic(200);
+        let err = cross_val_error(&data, 5, 1, |train| {
+            let t = DecisionTreeRegressor::fit(train, TreeParams::default());
+            move |x: &[f64]| t.predict(x)
+        });
+        assert!(err < 0.05, "CV error {err}");
+    }
+
+    #[test]
+    fn grid_search_prefers_adequate_depth() {
+        let data = quadratic(200);
+        let depths = [0usize, 2, 6];
+        let (best, score, scores) = grid_search(&data, &depths, 5, 1, |&d, train| {
+            let t = DecisionTreeRegressor::fit(
+                train,
+                TreeParams {
+                    max_depth: d,
+                    ..TreeParams::default()
+                },
+            );
+            move |x: &[f64]| t.predict(x)
+        });
+        assert_eq!(scores.len(), 3);
+        // Depth 0 (a constant) must lose to real trees.
+        assert!(scores[0] > scores[2], "{scores:?}");
+        assert_ne!(best, 0);
+        assert!(score <= scores[0]);
+    }
+
+    #[test]
+    fn grid_search_is_deterministic() {
+        let data = quadratic(80);
+        let depths = [1usize, 3];
+        let run = || {
+            grid_search(&data, &depths, 4, 9, |&d, train| {
+                let t = DecisionTreeRegressor::fit(
+                    train,
+                    TreeParams {
+                        max_depth: d,
+                        ..TreeParams::default()
+                    },
+                );
+                move |x: &[f64]| t.predict(x)
+            })
+        };
+        let (a, sa, _) = run();
+        let (b, sb, _) = run();
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs candidates")]
+    fn empty_grid_panics() {
+        let data = quadratic(10);
+        let empty: [usize; 0] = [];
+        let _ = grid_search(&data, &empty, 2, 0, |_, train| {
+            let t = DecisionTreeRegressor::fit(train, TreeParams::default());
+            move |x: &[f64]| t.predict(x)
+        });
+    }
+}

@@ -1,0 +1,162 @@
+//! Ordinary / ridge least squares via the normal equations.
+//!
+//! Used by the SMiTe baseline (to fit its per-resource coefficients by
+//! regression, Eq. 8/9 of the paper) and by the resolution model's Eq. 2
+//! fits.
+
+use crate::data::Dataset;
+use crate::Regressor;
+use serde::{Deserialize, Serialize};
+
+/// A fitted linear model `y = w·x + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearRegression {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub intercept: f64,
+}
+
+impl LinearRegression {
+    /// Ordinary least squares (with a tiny ridge term for numerical safety).
+    pub fn fit(data: &Dataset) -> LinearRegression {
+        LinearRegression::fit_ridge(data, 1e-9)
+    }
+
+    /// Ridge regression with penalty `lambda` on the weights (not the
+    /// intercept).
+    pub fn fit_ridge(data: &Dataset, lambda: f64) -> LinearRegression {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let n = data.len();
+        let w = data.width();
+        // Augmented design matrix [X | 1]; solve (AᵀA + λI')θ = Aᵀy.
+        let dim = w + 1;
+        let mut ata = vec![vec![0.0_f64; dim]; dim];
+        let mut aty = vec![0.0_f64; dim];
+        for (x, y) in data.iter() {
+            for i in 0..dim {
+                let xi = if i < w { x[i] } else { 1.0 };
+                aty[i] += xi * y;
+                for j in i..dim {
+                    let xj = if j < w { x[j] } else { 1.0 };
+                    ata[i][j] += xi * xj;
+                }
+            }
+        }
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..dim {
+            for j in 0..i {
+                ata[i][j] = ata[j][i];
+            }
+        }
+        for (i, row) in ata.iter_mut().enumerate().take(w) {
+            row[i] += lambda * n as f64;
+        }
+        let theta = solve(ata, aty);
+        LinearRegression {
+            weights: theta[..w].to_vec(),
+            intercept: theta[w],
+        }
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature width mismatch");
+        self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.intercept
+    }
+}
+
+/// Solve a symmetric positive-definite-ish system by Gaussian elimination
+/// with partial pivoting.
+pub(crate) fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty system");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        if diag.abs() < 1e-12 {
+            continue; // singular direction; leave at zero
+        }
+        for row in col + 1..n {
+            let factor = a[row][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            // Indexing both the pivot row and the target row keeps the
+            // elimination readable; a split_at_mut dance would not.
+            #[allow(clippy::needless_range_loop)]
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut sum = b[col];
+        for k in col + 1..n {
+            sum -= a[col][k] * x[k];
+        }
+        x[col] = if a[col][col].abs() < 1e-12 {
+            0.0
+        } else {
+            sum / a[col][col]
+        };
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_coefficients() {
+        let features: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (i * i % 17) as f64])
+            .collect();
+        let targets: Vec<f64> = features.iter().map(|f| 3.0 * f[0] - 2.0 * f[1] + 5.0).collect();
+        let data = Dataset::from_parts(features, targets);
+        let m = LinearRegression::fit(&data);
+        assert!((m.weights[0] - 3.0).abs() < 1e-6);
+        assert!((m.weights[1] + 2.0).abs() < 1e-6);
+        assert!((m.intercept - 5.0).abs() < 1e-5);
+        assert!((m.predict(&[10.0, 4.0]) - (30.0 - 8.0 + 5.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let features: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = features.iter().map(|f| 2.0 * f[0]).collect();
+        let data = Dataset::from_parts(features, targets);
+        let ols = LinearRegression::fit(&data);
+        let ridge = LinearRegression::fit_ridge(&data, 10.0);
+        assert!(ridge.weights[0].abs() < ols.weights[0].abs());
+    }
+
+    #[test]
+    fn collinear_features_do_not_explode() {
+        // Second feature is an exact copy of the first.
+        let features: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, i as f64]).collect();
+        let targets: Vec<f64> = (0..30).map(|i| 4.0 * i as f64 + 1.0).collect();
+        let data = Dataset::from_parts(features, targets);
+        let m = LinearRegression::fit_ridge(&data, 1e-6);
+        let p = m.predict(&[10.0, 10.0]);
+        assert!((p - 41.0).abs() < 0.1, "{p}");
+        assert!(m.weights.iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn constant_target_yields_intercept_only() {
+        let features: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let data = Dataset::from_parts(features, vec![7.0; 10]);
+        let m = LinearRegression::fit(&data);
+        assert!(m.weights[0].abs() < 1e-6);
+        assert!((m.intercept - 7.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,254 @@
+//! Evaluation metrics used in the paper's Sections 4 and 5.
+//!
+//! * Regression: the **prediction error** `|δ̃ − δ| / δ` (Figure 7), plus
+//!   MAE/RMSE, and error CDFs (Figure 7c).
+//! * Classification: **accuracy**, and the confusion-matrix derived
+//!   **precision** and **recall** of Section 5.1 (Figure 9).
+
+use serde::{Deserialize, Serialize};
+
+/// Mean relative error `mean(|pred − actual| / actual)` — the paper's
+/// regression "prediction error". Samples with `actual == 0` are skipped.
+pub fn mean_relative_error(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    let errs = relative_errors(pred, actual);
+    if errs.is_empty() {
+        return 0.0;
+    }
+    errs.iter().sum::<f64>() / errs.len() as f64
+}
+
+/// Per-sample relative errors `|pred − actual| / actual`, skipping zero
+/// actuals.
+pub fn relative_errors(pred: &[f64], actual: &[f64]) -> Vec<f64> {
+    assert_eq!(pred.len(), actual.len());
+    pred.iter()
+        .zip(actual)
+        .filter(|(_, &a)| a.abs() > f64::EPSILON)
+        .map(|(&p, &a)| (p - a).abs() / a.abs())
+        .collect()
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    (pred.iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum::<f64>()
+        / pred.len() as f64)
+        .sqrt()
+}
+
+/// Coefficient of determination R².
+pub fn r2(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean) * (a - mean)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (a - p) * (a - p))
+        .sum();
+    if ss_tot <= f64::EPSILON {
+        return if ss_res <= f64::EPSILON { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// An empirical CDF over a set of values: `points()` yields
+/// `(value, fraction ≤ value)` pairs, one per sample, sorted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from raw samples.
+    pub fn new(mut values: Vec<f64>) -> Cdf {
+        values.sort_by(f64::total_cmp);
+        Cdf { sorted: values }
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`), by nearest-rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.sorted.len() as f64 * q).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// `(value, cumulative fraction)` points for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+/// Binary confusion matrix (positive = "satisfies QoS" in the paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Actual positive judged positive.
+    pub tp: usize,
+    /// Actual negative judged positive.
+    pub fp: usize,
+    /// Actual positive judged negative.
+    pub fn_: usize,
+    /// Actual negative judged negative.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against actual labels.
+    pub fn from_predictions(pred: &[bool], actual: &[bool]) -> Confusion {
+        assert_eq!(pred.len(), actual.len());
+        let mut c = Confusion::default();
+        for (&p, &a) in pred.iter().zip(actual) {
+            match (a, p) {
+                (true, true) => c.tp += 1,
+                (false, true) => c.fp += 1,
+                (true, false) => c.fn_ += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+        c
+    }
+
+    /// Total number of judgements.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// `(TP + TN) / total` — the paper's accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// `TP / (TP + FP)` — "the ability to identify only the feasible
+    /// colocations".
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// `TP / (TP + FN)` — "the ability to find all the feasible colocations".
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+}
+
+/// Classification accuracy over boolean predictions.
+pub fn accuracy(pred: &[bool], actual: &[bool]) -> f64 {
+    Confusion::from_predictions(pred, actual).accuracy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_matches_paper_definition() {
+        // Predicted 0.44 vs actual 0.40 → 10% error.
+        let e = mean_relative_error(&[0.44], &[0.40]);
+        assert!((e - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_skips_zero_actuals() {
+        let e = mean_relative_error(&[1.0, 2.0], &[0.0, 1.0]);
+        assert!((e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_rmse_r2_basics() {
+        let pred = [1.0, 2.0, 3.0];
+        let act = [1.0, 2.0, 5.0];
+        assert!((mae(&pred, &act) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&pred, &act) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(r2(&act, &act) > 0.999);
+        assert!(r2(&pred, &act) < 1.0);
+    }
+
+    #[test]
+    fn cdf_quantiles_and_points() {
+        let cdf = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(cdf.quantile(0.5), 2.0);
+        assert_eq!(cdf.quantile(1.0), 4.0);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.fraction_below(2.5), 0.5);
+        assert_eq!(cdf.points().len(), 4);
+        assert_eq!(cdf.points()[3], (4.0, 1.0));
+        assert_eq!(cdf.len(), 4);
+    }
+
+    #[test]
+    fn confusion_metrics() {
+        let pred = [true, true, false, false, true];
+        let actual = [true, false, true, false, true];
+        let c = Confusion::from_predictions(&pred, &actual);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (2, 1, 1, 1));
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.total(), 5);
+        assert!((accuracy(&pred, &actual) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_confusions_do_not_divide_by_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Low-rank matrix completion by alternating least squares (ALS).
+//!
+//! The GAugur paper's related work (Paragon \[13\] / Quasar \[14\]) reduces
+//! profiling cost with collaborative filtering: profile every application on
+//! a *subset* of benchmarks and complete the rest from the low-rank
+//! structure shared across applications. `gaugur-core`'s profile-completion
+//! extension builds on this module.
+
+use crate::linear::solve;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// ALS hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MfParams {
+    /// Latent rank.
+    pub rank: usize,
+    /// Ridge regularization on the factors.
+    pub lambda: f64,
+    /// Alternating iterations.
+    pub iters: usize,
+    /// Seed for factor initialization.
+    pub seed: u64,
+}
+
+impl Default for MfParams {
+    fn default() -> Self {
+        MfParams {
+            rank: 8,
+            lambda: 0.005,
+            iters: 80,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted low-rank model `M ≈ mean + U · Vᵀ`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatrixFactorization {
+    row_factors: Vec<Vec<f64>>,
+    col_factors: Vec<Vec<f64>>,
+    mean: f64,
+    /// The hyperparameters used for fitting.
+    pub params: MfParams,
+}
+
+impl MatrixFactorization {
+    /// Fit to the observed entries `(row, col, value)` of an
+    /// `n_rows × n_cols` matrix.
+    pub fn fit(
+        n_rows: usize,
+        n_cols: usize,
+        observed: &[(usize, usize, f64)],
+        params: MfParams,
+    ) -> MatrixFactorization {
+        assert!(!observed.is_empty(), "ALS needs at least one observation");
+        assert!(params.rank >= 1, "rank must be positive");
+        let mean = observed.iter().map(|&(_, _, v)| v).sum::<f64>() / observed.len() as f64;
+
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ 0x414c_5300);
+        let mut init = |n: usize| -> Vec<Vec<f64>> {
+            (0..n)
+                .map(|_| {
+                    (0..params.rank)
+                        .map(|_| rng.gen_range(-0.1..0.1))
+                        .collect()
+                })
+                .collect()
+        };
+        let mut rows = init(n_rows);
+        let mut cols = init(n_cols);
+
+        // Index observations both ways.
+        let mut by_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_rows];
+        let mut by_col: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_cols];
+        for &(r, c, v) in observed {
+            by_row[r].push((c, v - mean));
+            by_col[c].push((r, v - mean));
+        }
+
+        for _ in 0..params.iters {
+            als_half(&mut rows, &cols, &by_row, params);
+            als_half(&mut cols, &rows, &by_col, params);
+        }
+
+        MatrixFactorization {
+            row_factors: rows,
+            col_factors: cols,
+            mean,
+            params,
+        }
+    }
+
+    /// Predicted value of entry `(row, col)`.
+    pub fn predict(&self, row: usize, col: usize) -> f64 {
+        self.mean
+            + self.row_factors[row]
+                .iter()
+                .zip(&self.col_factors[col])
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+    }
+}
+
+/// One ALS half-step: re-solve every `target` factor against the fixed
+/// `other` factors.
+fn als_half(
+    target: &mut [Vec<f64>],
+    other: &[Vec<f64>],
+    observations: &[Vec<(usize, f64)>],
+    params: MfParams,
+) {
+    let k = params.rank;
+    for (t, obs) in target.iter_mut().zip(observations) {
+        if obs.is_empty() {
+            continue; // keep the (near-zero) initialization → predicts the mean
+        }
+        // Normal equations: (Σ v vᵀ + λI) t = Σ y v.
+        let mut a = vec![vec![0.0; k]; k];
+        let mut b = vec![0.0; k];
+        for &(j, y) in obs {
+            let v = &other[j];
+            for p in 0..k {
+                b[p] += y * v[p];
+                for q in 0..k {
+                    a[p][q] += v[p] * v[q];
+                }
+            }
+        }
+        for (p, row) in a.iter_mut().enumerate() {
+            row[p] += params.lambda * obs.len() as f64;
+        }
+        *t = solve(a, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic rank-2 matrix with known structure.
+    fn rank2(n_rows: usize, n_cols: usize) -> Vec<Vec<f64>> {
+        (0..n_rows)
+            .map(|r| {
+                (0..n_cols)
+                    .map(|c| {
+                        let u = [(r % 5) as f64 / 5.0, ((r * 3) % 7) as f64 / 7.0];
+                        let v = [(c % 4) as f64 / 4.0, ((c * 5) % 9) as f64 / 9.0];
+                        1.0 + u[0] * v[0] + u[1] * v[1]
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn completes_a_low_rank_matrix_from_60_percent_of_entries() {
+        let m = rank2(20, 15);
+        let mut observed = Vec::new();
+        let mut held_out = Vec::new();
+        for (r, row) in m.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                if (r * 31 + c * 17) % 10 < 6 {
+                    observed.push((r, c, v));
+                } else {
+                    held_out.push((r, c, v));
+                }
+            }
+        }
+        let mf = MatrixFactorization::fit(20, 15, &observed, MfParams::default());
+        let mae: f64 = held_out
+            .iter()
+            .map(|&(r, c, v)| (mf.predict(r, c) - v).abs())
+            .sum::<f64>()
+            / held_out.len() as f64;
+        assert!(mae < 0.03, "held-out MAE {mae}");
+    }
+
+    #[test]
+    fn unobserved_rows_fall_back_to_the_mean() {
+        let observed = vec![(0, 0, 2.0), (0, 1, 2.0), (1, 0, 4.0), (1, 1, 4.0)];
+        let mf = MatrixFactorization::fit(3, 2, &observed, MfParams::default());
+        // Row 2 has no observations: its prediction should hug the global
+        // mean (3.0) rather than explode.
+        let p = mf.predict(2, 0);
+        assert!((p - 3.0).abs() < 0.5, "{p}");
+    }
+
+    #[test]
+    fn fitting_is_deterministic() {
+        let observed = vec![(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (0, 2, 1.5)];
+        let a = MatrixFactorization::fit(3, 3, &observed, MfParams::default());
+        let b = MatrixFactorization::fit(3, 3, &observed, MfParams::default());
+        assert_eq!(a.predict(1, 2), b.predict(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_observations_panic() {
+        let _ = MatrixFactorization::fit(2, 2, &[], MfParams::default());
+    }
+}

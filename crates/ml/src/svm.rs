@@ -1,0 +1,501 @@
+//! Kernel support vector machines: SVC trained by simplified SMO and ε-SVR
+//! trained by pairwise dual coordinate descent.
+//!
+//! These are the paper's SVC/SVR comparators. They are the weakest of its
+//! four model families on this problem (Figures 7a / 8a), but implementing
+//! them faithfully matters for reproducing that ranking.
+//!
+//! Inputs should be standardized (see [`crate::scale::StandardScaler`]);
+//! the RBF kernel's default `gamma = 1 / width` assumes unit-variance
+//! features.
+
+use crate::data::Dataset;
+use crate::{Classifier, Regressor};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Kernel functions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Dot product (linear SVM).
+    Linear,
+    /// Gaussian RBF `exp(−γ‖a−b‖²)`.
+    Rbf {
+        /// Bandwidth γ.
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluate the kernel on two vectors.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match *self {
+            Kernel::Linear => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+                (-gamma * d2).exp()
+            }
+        }
+    }
+
+    /// The conventional default bandwidth for `width` standardized features.
+    pub fn default_rbf(width: usize) -> Kernel {
+        Kernel::Rbf {
+            gamma: 1.0 / width.max(1) as f64,
+        }
+    }
+}
+
+/// Shared SVM hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SvmParams {
+    /// Box constraint C.
+    pub c: f64,
+    /// Kernel. `None` selects the default RBF for the data width at fit time.
+    pub kernel: Option<Kernel>,
+    /// ε-tube half-width (SVR only).
+    pub epsilon: f64,
+    /// KKT tolerance.
+    pub tol: f64,
+    /// Maximum optimization epochs.
+    pub max_epochs: usize,
+    /// Seed for partner selection in SMO.
+    pub seed: u64,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        SvmParams {
+            c: 10.0,
+            kernel: None,
+            epsilon: 0.02,
+            tol: 1e-3,
+            max_epochs: 60,
+            seed: 0,
+        }
+    }
+}
+
+fn kernel_matrix(kernel: Kernel, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = xs.len();
+    let mut k = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let v = kernel.eval(&xs[i], &xs[j]);
+            k[i][j] = v;
+            k[j][i] = v;
+        }
+    }
+    k
+}
+
+/// Kernel SVC trained with simplified SMO. Targets must be `0.0` / `1.0`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SvmClassifier {
+    kernel: Kernel,
+    support: Vec<Vec<f64>>,
+    coef: Vec<f64>, // αᵢ yᵢ of the support vectors
+    bias: f64,
+    /// The hyperparameters used for training.
+    pub params: SvmParams,
+}
+
+impl SvmClassifier {
+    /// Fit on a dataset with `{0, 1}` targets.
+    pub fn fit(data: &Dataset, params: SvmParams) -> SvmClassifier {
+        assert!(!data.is_empty(), "cannot fit an SVM on an empty dataset");
+        let kernel = params.kernel.unwrap_or_else(|| Kernel::default_rbf(data.width()));
+        let n = data.len();
+        let y: Vec<f64> = data
+            .targets
+            .iter()
+            .map(|&t| if t > 0.5 { 1.0 } else { -1.0 })
+            .collect();
+        let k = kernel_matrix(kernel, &data.features);
+
+        let mut alpha = vec![0.0_f64; n];
+        let mut b = 0.0_f64;
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ 0x5356_4300);
+
+        let f = |alpha: &[f64], b: f64, k_row: &[f64], y: &[f64]| -> f64 {
+            alpha
+                .iter()
+                .zip(y)
+                .zip(k_row)
+                .map(|((&a, &yy), &kk)| a * yy * kk)
+                .sum::<f64>()
+                + b
+        };
+
+        let mut passes_without_change = 0;
+        let mut epoch = 0;
+        while passes_without_change < 3 && epoch < params.max_epochs {
+            epoch += 1;
+            let mut changed = 0;
+            for i in 0..n {
+                let ei = f(&alpha, b, &k[i], &y) - y[i];
+                let violates = (y[i] * ei < -params.tol && alpha[i] < params.c)
+                    || (y[i] * ei > params.tol && alpha[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let ej = f(&alpha, b, &k[j], &y) - y[j];
+                let (ai_old, aj_old) = (alpha[i], alpha[j]);
+                let (lo, hi) = if (y[i] - y[j]).abs() > f64::EPSILON {
+                    (
+                        (alpha[j] - alpha[i]).max(0.0),
+                        (params.c + alpha[j] - alpha[i]).min(params.c),
+                    )
+                } else {
+                    (
+                        (alpha[i] + alpha[j] - params.c).max(0.0),
+                        (alpha[i] + alpha[j]).min(params.c),
+                    )
+                };
+                if hi - lo < 1e-12 {
+                    continue;
+                }
+                let eta = 2.0 * k[i][j] - k[i][i] - k[j][j];
+                if eta >= -1e-12 {
+                    continue;
+                }
+                let mut aj = aj_old - y[j] * (ei - ej) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - aj_old).abs() < 1e-7 {
+                    continue;
+                }
+                let ai = ai_old + y[i] * y[j] * (aj_old - aj);
+                alpha[i] = ai;
+                alpha[j] = aj;
+
+                let b1 = b - ei
+                    - y[i] * (ai - ai_old) * k[i][i]
+                    - y[j] * (aj - aj_old) * k[i][j];
+                let b2 = b - ej
+                    - y[i] * (ai - ai_old) * k[i][j]
+                    - y[j] * (aj - aj_old) * k[j][j];
+                b = if ai > 0.0 && ai < params.c {
+                    b1
+                } else if aj > 0.0 && aj < params.c {
+                    b2
+                } else {
+                    0.5 * (b1 + b2)
+                };
+                changed += 1;
+            }
+            if changed == 0 {
+                passes_without_change += 1;
+            } else {
+                passes_without_change = 0;
+            }
+        }
+
+        // Keep only support vectors.
+        let mut support = Vec::new();
+        let mut coef = Vec::new();
+        for i in 0..n {
+            if alpha[i] > 1e-9 {
+                support.push(data.features[i].clone());
+                coef.push(alpha[i] * y[i]);
+            }
+        }
+        SvmClassifier {
+            kernel,
+            support,
+            coef,
+            bias: b,
+            params,
+        }
+    }
+
+    /// Signed decision value (positive = positive class).
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        self.support
+            .iter()
+            .zip(&self.coef)
+            .map(|(sv, &c)| c * self.kernel.eval(sv, x))
+            .sum::<f64>()
+            + self.bias
+    }
+
+    /// Number of support vectors (diagnostics).
+    pub fn n_support(&self) -> usize {
+        self.support.len()
+    }
+}
+
+impl Classifier for SvmClassifier {
+    fn score(&self, x: &[f64]) -> f64 {
+        // Squash the margin so 0.5 corresponds to the decision boundary.
+        1.0 / (1.0 + (-self.decision(x)).exp())
+    }
+}
+
+/// Kernel ε-SVR trained by pairwise coordinate descent on the dual
+/// (β = α − α*, box `[-C, C]`, equality constraint `Σβ = 0`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SvmRegressor {
+    kernel: Kernel,
+    support: Vec<Vec<f64>>,
+    coef: Vec<f64>, // βᵢ of the support vectors
+    bias: f64,
+    /// The hyperparameters used for training.
+    pub params: SvmParams,
+}
+
+impl SvmRegressor {
+    /// Fit on a regression dataset.
+    pub fn fit(data: &Dataset, params: SvmParams) -> SvmRegressor {
+        assert!(!data.is_empty(), "cannot fit an SVM on an empty dataset");
+        let kernel = params.kernel.unwrap_or_else(|| Kernel::default_rbf(data.width()));
+        let n = data.len();
+        let y = &data.targets;
+        let k = kernel_matrix(kernel, &data.features);
+
+        let mut beta = vec![0.0_f64; n];
+        // f_cache[i] = Σ_j β_j K_ij (without bias).
+        let mut f_cache = vec![0.0_f64; n];
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ 0x5356_5200);
+
+        for _epoch in 0..params.max_epochs {
+            let mut max_step = 0.0_f64;
+            for i in 0..n {
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let eta = k[i][i] + k[j][j] - 2.0 * k[i][j];
+                if eta < 1e-12 {
+                    continue;
+                }
+                // Direction eᵢ − eⱼ preserves Σβ = 0. ΔW(t) is piecewise
+                // quadratic with breakpoints where βᵢ + t or βⱼ − t cross 0.
+                let gi = y[i] - f_cache[i];
+                let gj = y[j] - f_cache[j];
+                let t_lo = (-params.c - beta[i]).max(beta[j] - params.c);
+                let t_hi = (params.c - beta[i]).min(beta[j] + params.c);
+                if t_hi - t_lo < 1e-12 {
+                    continue;
+                }
+                let mut candidates = vec![t_lo, t_hi];
+                for bp in [-beta[i], beta[j]] {
+                    if bp > t_lo && bp < t_hi {
+                        candidates.push(bp);
+                    }
+                }
+                // Segment-interior optima for each sign pattern.
+                for si in [-1.0, 1.0] {
+                    for sj in [-1.0, 1.0] {
+                        let t = (gi - gj - params.epsilon * si + params.epsilon * sj) / eta;
+                        if t > t_lo && t < t_hi {
+                            // Only valid if the signs are consistent at t.
+                            let ok_i = (beta[i] + t) * si >= -1e-12;
+                            let ok_j = (beta[j] - t) * sj >= -1e-12;
+                            if ok_i && ok_j {
+                                candidates.push(t);
+                            }
+                        }
+                    }
+                }
+                let delta_w = |t: f64| -> f64 {
+                    t * (gi - gj) - 0.5 * t * t * eta
+                        - params.epsilon * ((beta[i] + t).abs() - beta[i].abs())
+                        - params.epsilon * ((beta[j] - t).abs() - beta[j].abs())
+                };
+                let mut best_t = 0.0;
+                let mut best_w = 0.0;
+                for &t in &candidates {
+                    let w = delta_w(t);
+                    if w > best_w + 1e-15 {
+                        best_w = w;
+                        best_t = t;
+                    }
+                }
+                if best_t.abs() < 1e-12 {
+                    continue;
+                }
+                beta[i] += best_t;
+                beta[j] -= best_t;
+                for m in 0..n {
+                    f_cache[m] += best_t * (k[i][m] - k[j][m]);
+                }
+                max_step = max_step.max(best_t.abs());
+            }
+            if max_step < params.tol * 1e-2 {
+                break;
+            }
+        }
+
+        // Bias from free support vectors; fallback to the mean residual.
+        let mut b_sum = 0.0;
+        let mut b_cnt = 0usize;
+        for (i, &bi) in beta.iter().enumerate() {
+            if bi.abs() > 1e-8 && bi.abs() < params.c - 1e-8 {
+                b_sum += y[i] - f_cache[i] - params.epsilon * bi.signum();
+                b_cnt += 1;
+            }
+        }
+        let bias = if b_cnt > 0 {
+            b_sum / b_cnt as f64
+        } else {
+            (0..n).map(|i| y[i] - f_cache[i]).sum::<f64>() / n as f64
+        };
+
+        let mut support = Vec::new();
+        let mut coef = Vec::new();
+        for (i, &bi) in beta.iter().enumerate() {
+            if bi.abs() > 1e-9 {
+                support.push(data.features[i].clone());
+                coef.push(bi);
+            }
+        }
+        SvmRegressor {
+            kernel,
+            support,
+            coef,
+            bias,
+            params,
+        }
+    }
+
+    /// Number of support vectors (diagnostics).
+    pub fn n_support(&self) -> usize {
+        self.support.len()
+    }
+}
+
+impl Regressor for SvmRegressor {
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.support
+            .iter()
+            .zip(&self.coef)
+            .map(|(sv, &c)| c * self.kernel.eval(sv, x))
+            .sum::<f64>()
+            + self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_evaluate_correctly() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        assert_eq!(Kernel::Linear.eval(&a, &b), 11.0);
+        let rbf = Kernel::Rbf { gamma: 0.5 };
+        assert!((rbf.eval(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((rbf.eval(&a, &b) - (-0.5f64 * 8.0).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn svc_separates_linearly_separable_blobs() {
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..60 {
+            let jitter = ((i * 13) % 10) as f64 / 25.0;
+            if i % 2 == 0 {
+                features.push(vec![-1.0 - jitter, -1.0 + jitter]);
+                targets.push(0.0);
+            } else {
+                features.push(vec![1.0 + jitter, 1.0 - jitter]);
+                targets.push(1.0);
+            }
+        }
+        let data = Dataset::from_parts(features, targets);
+        let m = SvmClassifier::fit(&data, SvmParams::default());
+        assert!(m.classify(&[1.2, 1.2]));
+        assert!(!m.classify(&[-1.2, -1.2]));
+        assert!(m.n_support() > 0);
+    }
+
+    #[test]
+    fn svc_with_rbf_solves_a_ring() {
+        // Inner cluster positive, outer ring negative — not linearly
+        // separable.
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..120 {
+            let angle = i as f64 * 0.7;
+            let r = if i % 2 == 0 { 0.3 } else { 2.0 };
+            features.push(vec![r * angle.cos(), r * angle.sin()]);
+            targets.push(if i % 2 == 0 { 1.0 } else { 0.0 });
+        }
+        let data = Dataset::from_parts(features, targets);
+        let m = SvmClassifier::fit(
+            &data,
+            SvmParams {
+                kernel: Some(Kernel::Rbf { gamma: 1.0 }),
+                ..SvmParams::default()
+            },
+        );
+        assert!(m.classify(&[0.0, 0.1]));
+        assert!(!m.classify(&[2.0, 0.0]));
+    }
+
+    #[test]
+    fn svr_fits_a_linear_function() {
+        let features: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 40.0 - 1.0]).collect();
+        let targets: Vec<f64> = features.iter().map(|f| 2.0 * f[0] + 1.0).collect();
+        let data = Dataset::from_parts(features, targets);
+        let m = SvmRegressor::fit(
+            &data,
+            SvmParams {
+                kernel: Some(Kernel::Linear),
+                epsilon: 0.01,
+                ..SvmParams::default()
+            },
+        );
+        for &x in &[-0.8, 0.0, 0.7] {
+            let p = m.predict(&[x]);
+            assert!((p - (2.0 * x + 1.0)).abs() < 0.1, "at {x}: {p}");
+        }
+    }
+
+    #[test]
+    fn svr_fits_a_smooth_nonlinearity() {
+        let features: Vec<Vec<f64>> = (0..120).map(|i| vec![i as f64 / 60.0 - 1.0]).collect();
+        let targets: Vec<f64> = features.iter().map(|f| (2.5 * f[0]).tanh()).collect();
+        let data = Dataset::from_parts(features, targets);
+        let m = SvmRegressor::fit(
+            &data,
+            SvmParams {
+                kernel: Some(Kernel::Rbf { gamma: 2.0 }),
+                epsilon: 0.02,
+                ..SvmParams::default()
+            },
+        );
+        for &x in &[-0.5, 0.0, 0.5] {
+            let p = m.predict(&[x]);
+            let y = (2.5 * x).tanh();
+            assert!((p - y).abs() < 0.1, "at {x}: {p} vs {y}");
+        }
+    }
+
+    #[test]
+    fn svr_respects_sum_zero_constraint_via_bias() {
+        // A constant function: all residuals inside the ε-tube, so β ≈ 0 and
+        // the bias must carry the level.
+        let features: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let targets = vec![3.0; 20];
+        let data = Dataset::from_parts(features, targets);
+        let m = SvmRegressor::fit(&data, SvmParams::default());
+        assert!((m.predict(&[5.0]) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let features: Vec<Vec<f64>> = (0..40).map(|i| vec![(i as f64).sin(), i as f64 / 40.0]).collect();
+        let targets: Vec<f64> = (0..40).map(|i| f64::from(i % 3 == 0)).collect();
+        let data = Dataset::from_parts(features, targets);
+        let a = SvmClassifier::fit(&data, SvmParams::default());
+        let b = SvmClassifier::fit(&data, SvmParams::default());
+        assert_eq!(a.decision(&[0.5, 0.5]), b.decision(&[0.5, 0.5]));
+    }
+}

@@ -1,0 +1,190 @@
+//! Algorithm 1: Interference-aware Request Assignment (paper Section 5.1).
+//!
+//! Greedy set-cover packing: repeatedly take the largest usable feasible
+//! colocation and, while every member game still has outstanding requests,
+//! allocate a server running one request of each member. When a colocation
+//! can no longer be satisfied it is removed. The paper notes this greedy has
+//! an `ln k` approximation ratio (k = the maximum colocation size).
+//!
+//! Only colocations that are *actually* feasible among those the methodology
+//! identified are used ("using the false positives is not meaningful because
+//! those colocations violate QoS") — i.e. the true positives.
+
+use crate::coloc::ColocationTable;
+use crate::requests::RequestCounts;
+use gaugur_gamesim::GameId;
+use serde::{Deserialize, Serialize};
+
+/// Result of packing a request workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PackingResult {
+    /// The allocated servers, each holding one request of each listed game.
+    pub servers: Vec<Vec<GameId>>,
+    /// Servers allocated by the singleton fallback for games no usable
+    /// colocation covers (these may violate QoS; counted separately so the
+    /// harness can report them).
+    pub fallback_servers: usize,
+}
+
+impl PackingResult {
+    /// Total number of servers used.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+}
+
+/// Pack `requests` using the usable feasible colocations `usable` (indices
+/// into `table`), per Algorithm 1.
+pub fn pack_requests(
+    table: &ColocationTable,
+    usable: &[usize],
+    requests: &RequestCounts,
+) -> PackingResult {
+    let mut remaining = requests.clone();
+    let mut servers = Vec::new();
+
+    // F, sorted by descending size (then by index for determinism).
+    let mut active: Vec<&Vec<GameId>> = usable.iter().map(|&i| &table.sets[i]).collect();
+    active.sort_by_key(|c| std::cmp::Reverse(c.len()));
+
+    while !remaining.is_empty() && !active.is_empty() {
+        // c ← a colocation of the maximum size in F. Algorithm 1 leaves the
+        // tie-break open; among the max-size colocations we pick the one
+        // whose scarcest member has the most requests left, which spreads
+        // consumption across games instead of exhausting one set's members
+        // and stranding the rest.
+        let max_size = active[0].len();
+        let (pos, _) = active
+            .iter()
+            .take_while(|c| c.len() == max_size)
+            .enumerate()
+            .map(|(i, c)| {
+                let scarcest = c.iter().map(|&g| remaining.get(g)).min().unwrap_or(0);
+                (i, scarcest)
+            })
+            .max_by_key(|&(i, scarcest)| (scarcest, std::cmp::Reverse(i)))
+            .expect("active is non-empty");
+        let c = active[pos];
+        if remaining.consume_set(c) {
+            servers.push(c.clone());
+        } else {
+            // Some member has no requests left: remove c from F.
+            active.remove(pos);
+        }
+    }
+
+    // Games not covered by any usable colocation still need serving; fall
+    // back to dedicated servers (the "disallow colocation" policy).
+    let mut fallback_servers = 0;
+    for id in remaining.remaining_games() {
+        let n = remaining.get(id);
+        for _ in 0..n {
+            servers.push(vec![id]);
+            fallback_servers += 1;
+        }
+    }
+
+    PackingResult {
+        servers,
+        fallback_servers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloc::enumerate_subsets;
+    use gaugur_gamesim::Resolution;
+
+    /// A hand-built table: 3 games, all subsets, synthetic FPS.
+    fn tiny_table(feasible_pairs: &[(u32, u32)]) -> (ColocationTable, Vec<usize>) {
+        let ids: Vec<GameId> = (0..3).map(GameId).collect();
+        let sets = enumerate_subsets(&ids, 3);
+        // Mark singletons + listed pairs feasible (fps 100), others 10.
+        let actual_fps: Vec<Vec<f64>> = sets
+            .iter()
+            .map(|s| {
+                let ok = s.len() == 1
+                    || (s.len() == 2
+                        && feasible_pairs
+                            .iter()
+                            .any(|&(a, b)| s == &[GameId(a), GameId(b)]));
+                vec![if ok { 100.0 } else { 10.0 }; s.len()]
+            })
+            .collect();
+        let table = ColocationTable {
+            resolution: Resolution::Fhd1080,
+            sets,
+            actual_fps,
+        };
+        let usable = table.feasible_indices(60.0);
+        (table, usable)
+    }
+
+    #[test]
+    fn pairs_halve_the_server_count() {
+        let (table, usable) = tiny_table(&[(0, 1)]);
+        let requests = RequestCounts::from_counts([(GameId(0), 10), (GameId(1), 10)]);
+        let result = pack_requests(&table, &usable, &requests);
+        // All 20 requests fit on 10 servers running the {0,1} pair.
+        assert_eq!(result.server_count(), 10);
+        assert_eq!(result.fallback_servers, 0);
+        for s in &result.servers {
+            assert_eq!(s, &vec![GameId(0), GameId(1)]);
+        }
+    }
+
+    #[test]
+    fn no_pairs_means_one_server_per_request() {
+        let (table, usable) = tiny_table(&[]);
+        let requests = RequestCounts::from_counts([(GameId(0), 5), (GameId(2), 5)]);
+        let result = pack_requests(&table, &usable, &requests);
+        assert_eq!(result.server_count(), 10);
+    }
+
+    #[test]
+    fn leftover_requests_fall_back_to_singletons() {
+        let (table, usable) = tiny_table(&[(0, 1)]);
+        let requests = RequestCounts::from_counts([(GameId(0), 10), (GameId(1), 4)]);
+        let result = pack_requests(&table, &usable, &requests);
+        // 4 pair-servers, then 6 singleton {0} servers via the feasible
+        // singleton colocation (not the fallback path).
+        assert_eq!(result.server_count(), 10);
+        assert_eq!(result.fallback_servers, 0);
+    }
+
+    #[test]
+    fn every_request_is_served_exactly_once() {
+        let (table, usable) = tiny_table(&[(0, 1), (1, 2)]);
+        let requests =
+            RequestCounts::from_counts([(GameId(0), 7), (GameId(1), 11), (GameId(2), 3)]);
+        let result = pack_requests(&table, &usable, &requests);
+        let mut served: std::collections::HashMap<GameId, usize> = Default::default();
+        for s in &result.servers {
+            for &g in s {
+                *served.entry(g).or_default() += 1;
+            }
+        }
+        assert_eq!(served[&GameId(0)], 7);
+        assert_eq!(served[&GameId(1)], 11);
+        assert_eq!(served[&GameId(2)], 3);
+    }
+
+    #[test]
+    fn uncoverable_games_use_fallback() {
+        // Usable set excludes game 2 entirely (not even its singleton).
+        let (table, mut usable) = tiny_table(&[(0, 1)]);
+        usable.retain(|&i| !table.sets[i].contains(&GameId(2)));
+        let requests = RequestCounts::from_counts([(GameId(2), 3)]);
+        let result = pack_requests(&table, &usable, &requests);
+        assert_eq!(result.server_count(), 3);
+        assert_eq!(result.fallback_servers, 3);
+    }
+
+    #[test]
+    fn empty_requests_use_no_servers() {
+        let (table, usable) = tiny_table(&[(0, 1)]);
+        let result = pack_requests(&table, &usable, &RequestCounts::default());
+        assert_eq!(result.server_count(), 0);
+    }
+}

@@ -1,0 +1,373 @@
+//! Dynamic session scheduling: a discrete-event simulation of a live
+//! cloud-gaming cluster.
+//!
+//! The paper's Section 5 packs a *static* batch of requests. A real
+//! front-end faces a stream: sessions arrive (Poisson), play for a while
+//! (exponential duration) and leave. This module replays such a stream
+//! against a placement policy and measures, with the ground-truth simulator,
+//! the time-weighted FPS and QoS-violation rate the players actually
+//! experienced — the natural online extension of the paper's evaluation.
+
+use crate::maxfps::MAX_PER_SERVER;
+use crate::FpsModel;
+use gaugur_baselines::VbpPolicy;
+use gaugur_core::Placement;
+use gaugur_gamesim::rng::rng_for;
+use gaugur_gamesim::{GameCatalog, GameId, Resolution, Server, Workload};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of a dynamic-arrival experiment.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DynamicConfig {
+    /// Number of servers in the fleet.
+    pub n_servers: usize,
+    /// Mean session arrivals per simulated second.
+    pub arrival_rate: f64,
+    /// Mean session length in simulated seconds (exponential).
+    pub mean_session_seconds: f64,
+    /// Total simulated time in seconds.
+    pub duration_seconds: f64,
+    /// QoS frame-rate floor used for violation accounting.
+    pub qos: f64,
+    /// Seed for arrivals, game choice and session lengths.
+    pub seed: u64,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            n_servers: 50,
+            arrival_rate: 0.5,
+            mean_session_seconds: 600.0,
+            duration_seconds: 3600.0,
+            qos: 60.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Placement policy for arriving sessions.
+pub enum Policy<'a> {
+    /// Interference-aware: maximize the predicted cluster FPS delta
+    /// (GAugur-style, Section 5.2).
+    MaxPredictedFps(&'a dyn FpsModel),
+    /// Interference-blind worst-fit on VBP remaining capacity.
+    WorstFitVbp(&'a VbpPolicy),
+    /// Naive first-fit (lowest-index eligible server).
+    FirstFit,
+}
+
+/// Time-weighted outcome of a dynamic run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DynamicResult {
+    /// Sessions placed.
+    pub sessions_served: usize,
+    /// Sessions rejected because no eligible server existed.
+    pub sessions_rejected: usize,
+    /// Time-weighted mean FPS across all live sessions.
+    pub mean_fps: f64,
+    /// Fraction of session-time spent below the QoS floor.
+    pub violation_fraction: f64,
+    /// Time-weighted mean number of games per non-empty server.
+    pub mean_colocation_size: f64,
+}
+
+/// One live session on a server.
+#[derive(Debug, Clone, Copy)]
+struct Session {
+    game: GameId,
+    departs_at: f64,
+}
+
+/// Run a dynamic-arrival experiment.
+pub fn simulate_dynamic(
+    server: &Server,
+    catalog: &GameCatalog,
+    games: &[GameId],
+    resolution: Resolution,
+    policy: &Policy<'_>,
+    config: &DynamicConfig,
+) -> DynamicResult {
+    assert!(!games.is_empty(), "need at least one game");
+    assert!(config.arrival_rate > 0.0 && config.mean_session_seconds > 0.0);
+
+    let mut rng = rng_for(config.seed, &[0x44_594e]);
+    let mut servers: Vec<Vec<Session>> = vec![Vec::new(); config.n_servers];
+    let mut fps_cache: HashMap<Vec<u32>, Vec<f64>> = HashMap::new();
+
+    // Ground-truth FPS of every member of one server's current contents.
+    let mut measured_fps = |contents: &[Session]| -> Vec<f64> {
+        let mut key: Vec<u32> = contents.iter().map(|s| s.game.0).collect();
+        key.sort_unstable();
+        fps_cache
+            .entry(key)
+            .or_insert_with(|| {
+                let ws: Vec<Workload<'_>> = contents
+                    .iter()
+                    .map(|s| Workload::game(catalog.get(s.game).expect("id"), resolution))
+                    .collect();
+                let out = server.measure_colocation(&ws);
+                (0..contents.len())
+                    .map(|i| out.game_fps(i).expect("game"))
+                    .collect()
+            })
+            .clone()
+    };
+
+    let mut now = 0.0_f64;
+    let mut next_arrival = exponential(&mut rng, config.arrival_rate);
+    let mut served = 0usize;
+    let mut rejected = 0usize;
+
+    // Time-weighted accumulators.
+    let mut fps_time = 0.0_f64; // Σ fps · dt over all live sessions
+    let mut session_time = 0.0_f64; // Σ dt over all live sessions
+    let mut violation_time = 0.0_f64; // Σ dt where fps < qos
+    let mut size_time = 0.0_f64; // Σ size · dt over non-empty servers
+    let mut busy_time = 0.0_f64; // Σ dt over non-empty servers
+
+    while now < config.duration_seconds {
+        // Next event: an arrival or the earliest departure.
+        let next_departure = servers
+            .iter()
+            .flatten()
+            .map(|s| s.departs_at)
+            .fold(f64::INFINITY, f64::min);
+        let event_t = next_arrival.min(next_departure).min(config.duration_seconds);
+        let dt = event_t - now;
+
+        // Accumulate the interval [now, event_t).
+        if dt > 0.0 {
+            for contents in servers.iter().filter(|c| !c.is_empty()) {
+                // Borrow juggling: measure without holding `servers` mutably.
+                let fps = {
+                    let snapshot = contents.clone();
+                    measured_fps(&snapshot)
+                };
+                for f in fps {
+                    fps_time += f * dt;
+                    session_time += dt;
+                    if f < config.qos {
+                        violation_time += dt;
+                    }
+                }
+                size_time += contents.len() as f64 * dt;
+                busy_time += dt;
+            }
+        }
+        now = event_t;
+        if now >= config.duration_seconds {
+            break;
+        }
+
+        if next_departure <= next_arrival {
+            // Process the departure.
+            for contents in servers.iter_mut() {
+                if let Some(pos) = contents
+                    .iter()
+                    .position(|s| s.departs_at == next_departure)
+                {
+                    contents.remove(pos);
+                    break;
+                }
+            }
+            continue;
+        }
+
+        // Process the arrival.
+        next_arrival = now + exponential(&mut rng, config.arrival_rate);
+        let game = games[rng.gen_range(0..games.len())];
+        let eligible: Vec<usize> = (0..servers.len())
+            .filter(|&s| {
+                servers[s].len() < MAX_PER_SERVER
+                    && !servers[s].iter().any(|sess| sess.game == game)
+            })
+            .collect();
+        if eligible.is_empty() {
+            rejected += 1;
+            continue;
+        }
+        let chosen = match policy {
+            Policy::FirstFit => eligible[0],
+            Policy::WorstFitVbp(vbp) => *eligible
+                .iter()
+                .max_by(|&&a, &&b| {
+                    let cap = |s: usize| {
+                        let members: Vec<Placement> =
+                            servers[s].iter().map(|x| (x.game, resolution)).collect();
+                        vbp.remaining_capacity(&members)
+                    };
+                    cap(a).total_cmp(&cap(b))
+                })
+                .expect("non-empty eligible set"),
+            Policy::MaxPredictedFps(model) => *eligible
+                .iter()
+                .max_by(|&&a, &&b| {
+                    let delta = |s: usize| {
+                        let mut members: Vec<Placement> =
+                            servers[s].iter().map(|x| (x.game, resolution)).collect();
+                        let before: f64 = (0..members.len())
+                            .map(|i| model.predict_member_fps(&members, i))
+                            .sum();
+                        members.push((game, resolution));
+                        let after: f64 = (0..members.len())
+                            .map(|i| model.predict_member_fps(&members, i))
+                            .sum();
+                        after - before
+                    };
+                    delta(a).total_cmp(&delta(b))
+                })
+                .expect("non-empty eligible set"),
+        };
+        let length = exponential(&mut rng, 1.0 / config.mean_session_seconds);
+        servers[chosen].push(Session {
+            game,
+            departs_at: now + length,
+        });
+        served += 1;
+    }
+
+    DynamicResult {
+        sessions_served: served,
+        sessions_rejected: rejected,
+        mean_fps: fps_time / session_time.max(1e-9),
+        violation_fraction: violation_time / session_time.max(1e-9),
+        mean_colocation_size: size_time / busy_time.max(1e-9),
+    }
+}
+
+/// Exponential variate with rate `lambda`.
+fn exponential(rng: &mut impl Rng, lambda: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Server, GameCatalog, Vec<GameId>) {
+        let server = Server::reference(61);
+        let catalog = GameCatalog::generate(42, 12);
+        let games: Vec<GameId> = catalog.games().iter().take(8).map(|g| g.id).collect();
+        (server, catalog, games)
+    }
+
+    #[test]
+    fn first_fit_serves_a_light_stream_without_rejections() {
+        let (server, catalog, games) = setup();
+        let config = DynamicConfig {
+            n_servers: 40,
+            arrival_rate: 0.05,
+            mean_session_seconds: 300.0,
+            duration_seconds: 2000.0,
+            qos: 30.0,
+            seed: 1,
+        };
+        let r = simulate_dynamic(
+            &server,
+            &catalog,
+            &games,
+            Resolution::Fhd1080,
+            &Policy::FirstFit,
+            &config,
+        );
+        assert!(r.sessions_served > 30, "{r:?}");
+        assert_eq!(r.sessions_rejected, 0);
+        assert!(r.mean_fps > 0.0);
+        assert!((0.0..=1.0).contains(&r.violation_fraction));
+        assert!(r.mean_colocation_size >= 1.0);
+    }
+
+    #[test]
+    fn saturated_fleet_rejects_sessions() {
+        let (server, catalog, games) = setup();
+        let config = DynamicConfig {
+            n_servers: 2,
+            arrival_rate: 0.5,
+            mean_session_seconds: 2000.0,
+            duration_seconds: 1500.0,
+            qos: 60.0,
+            seed: 2,
+        };
+        let r = simulate_dynamic(
+            &server,
+            &catalog,
+            &games,
+            Resolution::Fhd1080,
+            &Policy::FirstFit,
+            &config,
+        );
+        assert!(r.sessions_rejected > 0, "{r:?}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let (server, catalog, games) = setup();
+        let config = DynamicConfig {
+            n_servers: 10,
+            arrival_rate: 0.1,
+            mean_session_seconds: 300.0,
+            duration_seconds: 1000.0,
+            qos: 60.0,
+            seed: 3,
+        };
+        let a = simulate_dynamic(
+            &server,
+            &catalog,
+            &games,
+            Resolution::Fhd1080,
+            &Policy::FirstFit,
+            &config,
+        );
+        let b = simulate_dynamic(
+            &server,
+            &catalog,
+            &games,
+            Resolution::Fhd1080,
+            &Policy::FirstFit,
+            &config,
+        );
+        assert_eq!(a.sessions_served, b.sessions_served);
+        assert_eq!(a.mean_fps, b.mean_fps);
+    }
+
+    #[test]
+    fn tighter_fleets_colocate_more_and_violate_more() {
+        let (server, catalog, games) = setup();
+        let base = DynamicConfig {
+            arrival_rate: 0.2,
+            mean_session_seconds: 600.0,
+            duration_seconds: 2000.0,
+            qos: 60.0,
+            seed: 4,
+            ..DynamicConfig::default()
+        };
+        let wide = simulate_dynamic(
+            &server,
+            &catalog,
+            &games,
+            Resolution::Fhd1080,
+            &Policy::FirstFit,
+            &DynamicConfig {
+                n_servers: 200,
+                ..base
+            },
+        );
+        let tight = simulate_dynamic(
+            &server,
+            &catalog,
+            &games,
+            Resolution::Fhd1080,
+            &Policy::FirstFit,
+            &DynamicConfig {
+                n_servers: 12,
+                ..base
+            },
+        );
+        assert!(tight.mean_colocation_size > wide.mean_colocation_size);
+        assert!(tight.mean_fps < wide.mean_fps);
+    }
+}

@@ -1,0 +1,176 @@
+//! # gaugur-sched — interference-aware game request assignment
+//!
+//! Section 5 of the GAugur paper applies the prediction models to two
+//! scheduling problems:
+//!
+//! 1. **Minimizing resource usage with QoS guarantees** (Section 5.1,
+//!    [`algorithm1`]): pack a stream of gaming requests onto as few servers
+//!    as possible such that every colocated game keeps its QoS frame rate —
+//!    a greedy set-cover over the feasible colocations (approximation ratio
+//!    `ln k`).
+//! 2. **Maximizing overall performance** (Section 5.2, [`maxfps`]): pack the
+//!    requests onto a *fixed* fleet so the average frame rate is maximal —
+//!    an online greedy guided by predicted FPS, against VBP worst-fit
+//!    ([`vbp_fit`]).
+//!
+//! The [`dynamic`] module extends the static problems with a discrete-event
+//! simulation of live session arrivals and departures.
+//!
+//! The [`coloc`] module enumerates and measures the candidate colocations
+//! (the 385 ≤4-game subsets of 10 games used throughout the paper's Figures
+//! 9–10) and [`eval`] scores final placements against the simulator's ground
+//! truth.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithm1;
+pub mod coloc;
+pub mod dynamic;
+pub mod eval;
+pub mod maxfps;
+pub mod requests;
+pub mod vbp_fit;
+
+pub use algorithm1::{pack_requests, PackingResult};
+pub use coloc::{enumerate_subsets, ColocationTable, FeasibilityReport};
+pub use dynamic::{simulate_dynamic, DynamicConfig, DynamicResult, Policy};
+pub use eval::{evaluate_cluster, ClusterEvaluation};
+pub use maxfps::{assign_max_fps, MaxFpsResult};
+pub use requests::{random_requests, RequestCounts};
+pub use vbp_fit::assign_worst_fit;
+
+use gaugur_baselines::DegradationPredictor;
+use gaugur_core::{GAugur, Placement, ProfileStore};
+
+/// A methodology that predicts the absolute FPS of each member of a
+/// prospective colocation (drives the Section 5.2 greedy).
+pub trait FpsModel: Sync {
+    /// Predicted FPS of `members[idx]` when all of `members` share a server.
+    fn predict_member_fps(&self, members: &[Placement], idx: usize) -> f64;
+
+    /// Display name for result tables.
+    fn model_name(&self) -> &'static str;
+}
+
+/// A methodology that judges whether an entire colocation meets a QoS floor
+/// (drives the Section 5.1 packing).
+pub trait FeasibilityModel: Sync {
+    /// Whether every member of `members` is predicted to reach `qos` FPS.
+    fn feasible(&self, qos: f64, members: &[Placement]) -> bool;
+
+    /// Display name for result tables.
+    fn judge_name(&self) -> &'static str;
+}
+
+/// GAugur's regression model as an FPS predictor.
+pub struct GaugurRm<'a>(pub &'a GAugur);
+
+impl FpsModel for GaugurRm<'_> {
+    fn predict_member_fps(&self, members: &[Placement], idx: usize) -> f64 {
+        let others: Vec<Placement> = members
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != idx)
+            .map(|(_, &p)| p)
+            .collect();
+        self.0.predict_fps(members[idx], &others)
+    }
+
+    fn model_name(&self) -> &'static str {
+        "GAugur(RM)"
+    }
+}
+
+impl FeasibilityModel for GaugurRm<'_> {
+    fn feasible(&self, qos: f64, members: &[Placement]) -> bool {
+        if let [solo] = members {
+            return solo_feasible(&self.0.profiles, *solo, qos);
+        }
+        (0..members.len()).all(|i| self.predict_member_fps(members, i) >= qos)
+    }
+
+    fn judge_name(&self) -> &'static str {
+        "GAugur(RM)"
+    }
+}
+
+/// GAugur's classification model as a feasibility judge.
+pub struct GaugurCm<'a>(pub &'a GAugur);
+
+impl FeasibilityModel for GaugurCm<'_> {
+    fn feasible(&self, qos: f64, members: &[Placement]) -> bool {
+        if let [solo] = members {
+            return solo_feasible(&self.0.profiles, *solo, qos);
+        }
+        self.0.colocation_feasible(qos, members)
+    }
+
+    fn judge_name(&self) -> &'static str {
+        "GAugur(CM)"
+    }
+}
+
+/// Adapter: any degradation predictor (Sigmoid, SMiTe) plus the profile
+/// store becomes an FPS predictor / feasibility judge.
+pub struct DegradationFps<'a, P: DegradationPredictor + Sync> {
+    /// The wrapped degradation predictor.
+    pub predictor: &'a P,
+    /// Profiles supplying Eq.-2 solo frame rates.
+    pub profiles: &'a ProfileStore,
+}
+
+impl<P: DegradationPredictor + Sync> FpsModel for DegradationFps<'_, P> {
+    fn predict_member_fps(&self, members: &[Placement], idx: usize) -> f64 {
+        let target = members[idx];
+        let others: Vec<Placement> = members
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != idx)
+            .map(|(_, &p)| p)
+            .collect();
+        let solo = self.profiles.get(target.0).solo_fps_at(target.1);
+        self.predictor.predict_degradation(target, &others) * solo
+    }
+
+    fn model_name(&self) -> &'static str {
+        match self.predictor.name() {
+            "SMiTe" => "SMiTe",
+            _ => "Sigmoid",
+        }
+    }
+}
+
+impl<P: DegradationPredictor + Sync> FeasibilityModel for DegradationFps<'_, P> {
+    fn feasible(&self, qos: f64, members: &[Placement]) -> bool {
+        if let [solo] = members {
+            return solo_feasible(self.profiles, *solo, qos);
+        }
+        (0..members.len()).all(|i| self.predict_member_fps(members, i) >= qos)
+    }
+
+    fn judge_name(&self) -> &'static str {
+        self.model_name()
+    }
+}
+
+/// A single game running alone suffers no interference, so its feasibility
+/// is simply whether its profiled solo frame rate clears the bar — no
+/// interference model is involved (they are trained on colocations of two
+/// or more games and are undefined for an empty co-runner set).
+fn solo_feasible(profiles: &ProfileStore, p: Placement, qos: f64) -> bool {
+    profiles.get(p.0).solo_fps_at(p.1) >= qos
+}
+
+/// VBP as a feasibility judge (QoS-oblivious by construction).
+pub struct VbpJudge<'a>(pub &'a gaugur_baselines::VbpPolicy);
+
+impl FeasibilityModel for VbpJudge<'_> {
+    fn feasible(&self, _qos: f64, members: &[Placement]) -> bool {
+        self.0.feasible(members)
+    }
+
+    fn judge_name(&self) -> &'static str {
+        "VBP"
+    }
+}

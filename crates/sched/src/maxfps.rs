@@ -1,0 +1,186 @@
+//! Maximizing overall performance on a fixed fleet (paper Section 5.2).
+//!
+//! "Requests are assigned one by one according to the predicted performance,
+//! each request is assigned to the server producing the maximum (predicted)
+//! average frame rate after assignment among all servers." Implemented as a
+//! delta-greedy: the chosen server maximizes the cluster-wide predicted FPS
+//! sum after the assignment, with a colocation-size cap of 4 (the models are
+//! trained on ≤4-game colocations and the paper observes larger sets are
+//! unplayable on its server).
+//!
+//! Because the request pool draws from a small game set, server contents
+//! recur constantly; predictions are memoized per content multiset, which
+//! turns the O(requests × servers) greedy into table lookups after warm-up.
+
+use crate::FpsModel;
+use gaugur_core::Placement;
+use gaugur_gamesim::{GameId, Resolution};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Maximum games per server (matches the paper's ≤4-game colocations).
+pub const MAX_PER_SERVER: usize = 4;
+
+/// Result of the max-FPS assignment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxFpsResult {
+    /// Final contents of every server.
+    pub servers: Vec<Vec<GameId>>,
+    /// Requests that could not be placed (only possible when the fleet's
+    /// total capacity is insufficient).
+    pub unplaced: usize,
+}
+
+/// Memoizing wrapper around an [`FpsModel`] keyed by server-content
+/// multisets.
+struct PredictionCache<'a> {
+    model: &'a dyn FpsModel,
+    resolution: Resolution,
+    /// content (sorted ids) → sum of predicted member FPS.
+    sums: HashMap<Vec<u32>, f64>,
+}
+
+impl<'a> PredictionCache<'a> {
+    fn new(model: &'a dyn FpsModel, resolution: Resolution) -> Self {
+        PredictionCache {
+            model,
+            resolution,
+            sums: HashMap::new(),
+        }
+    }
+
+    /// Sum of predicted FPS over a server's members.
+    fn predicted_sum(&mut self, members: &[GameId]) -> f64 {
+        if members.is_empty() {
+            return 0.0;
+        }
+        let mut key: Vec<u32> = members.iter().map(|g| g.0).collect();
+        key.sort_unstable();
+        if let Some(&v) = self.sums.get(&key) {
+            return v;
+        }
+        let placements: Vec<Placement> = members.iter().map(|&g| (g, self.resolution)).collect();
+        let sum: f64 = (0..placements.len())
+            .map(|i| self.model.predict_member_fps(&placements, i))
+            .sum();
+        self.sums.insert(key, sum);
+        sum
+    }
+}
+
+/// Assign a request stream onto `n_servers` empty servers, maximizing the
+/// predicted total FPS greedily.
+pub fn assign_max_fps(
+    model: &dyn FpsModel,
+    resolution: Resolution,
+    requests: &[GameId],
+    n_servers: usize,
+) -> MaxFpsResult {
+    let mut servers: Vec<Vec<GameId>> = vec![Vec::new(); n_servers];
+    let mut cache = PredictionCache::new(model, resolution);
+    let mut unplaced = 0;
+
+    for &game in requests {
+        let mut best: Option<(usize, f64)> = None;
+        for (s, members) in servers.iter().enumerate() {
+            if members.len() >= MAX_PER_SERVER || members.contains(&game) {
+                continue;
+            }
+            let before = cache.predicted_sum(members);
+            let mut after_members = members.clone();
+            after_members.push(game);
+            let after = cache.predicted_sum(&after_members);
+            let delta = after - before;
+            if best.is_none_or(|(_, d)| delta > d) {
+                best = Some((s, delta));
+            }
+        }
+        match best {
+            Some((s, _)) => servers[s].push(game),
+            None => unplaced += 1,
+        }
+    }
+
+    MaxFpsResult { servers, unplaced }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugur_core::Placement;
+
+    /// A toy model: every game has solo FPS 100·(id+1); each co-runner
+    /// multiplies FPS by 0.7.
+    struct ToyModel;
+
+    impl FpsModel for ToyModel {
+        fn predict_member_fps(&self, members: &[Placement], idx: usize) -> f64 {
+            let solo = 100.0 * (members[idx].0 .0 + 1) as f64;
+            solo * 0.7_f64.powi(members.len() as i32 - 1)
+        }
+
+        fn model_name(&self) -> &'static str {
+            "toy"
+        }
+    }
+
+    #[test]
+    fn spreads_requests_when_servers_are_plentiful() {
+        let requests: Vec<GameId> = (0..6).map(|i| GameId(i % 3)).collect();
+        let result = assign_max_fps(&ToyModel, Resolution::Fhd1080, &requests, 6);
+        assert_eq!(result.unplaced, 0);
+        // Colocation always costs FPS in the toy model, so with enough
+        // servers every request gets its own.
+        for s in &result.servers {
+            assert!(s.len() <= 1, "{:?}", result.servers);
+        }
+    }
+
+    #[test]
+    fn respects_capacity_and_distinctness() {
+        let requests: Vec<GameId> = (0..12).map(|i| GameId(i % 6)).collect();
+        let result = assign_max_fps(&ToyModel, Resolution::Fhd1080, &requests, 3);
+        for s in &result.servers {
+            assert!(s.len() <= MAX_PER_SERVER);
+            let mut d = s.clone();
+            d.sort();
+            d.dedup();
+            assert_eq!(d.len(), s.len(), "no duplicate game per server");
+        }
+        let placed: usize = result.servers.iter().map(Vec::len).sum();
+        // The greedy may leave a few requests unplaced when distinctness
+        // blocks them; every request must be either placed or reported.
+        assert_eq!(placed + result.unplaced, 12);
+        assert!(placed >= 10, "{:?}", result.servers);
+    }
+
+    #[test]
+    fn overflow_is_reported_not_dropped_silently() {
+        // 3 servers × 4 slots = 12 capacity, but distinctness limits a
+        // single game to 3 placements.
+        let requests: Vec<GameId> = vec![GameId(0); 5];
+        let result = assign_max_fps(&ToyModel, Resolution::Fhd1080, &requests, 3);
+        let placed: usize = result.servers.iter().map(Vec::len).sum();
+        assert_eq!(placed, 3);
+        assert_eq!(result.unplaced, 2);
+    }
+
+    #[test]
+    fn prefers_the_assignment_with_less_predicted_damage() {
+        // Server 0 holds an expensive game (id 9 → 1000 FPS), server 1 a
+        // cheap one (id 0 → 100 FPS). A new request should join the cheap
+        // server: degrading 100-FPS hurts the total less than degrading
+        // 1000-FPS.
+        let mut servers = vec![vec![GameId(9)], vec![GameId(0)]];
+        let requests = vec![GameId(1)];
+        // Rebuild via the public API: pre-seed by assigning the existing
+        // games first (ids 9 then 0 land on separate servers).
+        let all: Vec<GameId> = vec![GameId(9), GameId(0), GameId(1)];
+        let result = assign_max_fps(&ToyModel, Resolution::Fhd1080, &all, 2);
+        servers = result.servers;
+        let _ = requests;
+        // Game 1 must share with game 0, not game 9.
+        let with9 = servers.iter().find(|s| s.contains(&GameId(9))).unwrap();
+        assert_eq!(with9.len(), 1, "{servers:?}");
+    }
+}

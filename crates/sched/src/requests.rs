@@ -1,0 +1,133 @@
+//! Gaming-request workloads: "5000 gaming requests which are randomly
+//! distributed among the 10 selected games" (Sections 5.1–5.2).
+
+use gaugur_gamesim::GameId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Outstanding request counts per game (BTreeMap for deterministic
+/// iteration order).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestCounts {
+    counts: BTreeMap<GameId, usize>,
+}
+
+impl RequestCounts {
+    /// Build from explicit counts.
+    pub fn from_counts(counts: impl IntoIterator<Item = (GameId, usize)>) -> RequestCounts {
+        RequestCounts {
+            counts: counts.into_iter().filter(|&(_, c)| c > 0).collect(),
+        }
+    }
+
+    /// Remaining requests for one game.
+    pub fn get(&self, id: GameId) -> usize {
+        self.counts.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Total outstanding requests.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Whether any request remains.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Consume one request of each game in `set`; returns false (and
+    /// consumes nothing) if any game has none left.
+    pub fn consume_set(&mut self, set: &[GameId]) -> bool {
+        if set.iter().any(|id| self.get(*id) == 0) {
+            return false;
+        }
+        for id in set {
+            let c = self.counts.get_mut(id).expect("checked above");
+            *c -= 1;
+            if *c == 0 {
+                self.counts.remove(id);
+            }
+        }
+        true
+    }
+
+    /// Games that still have requests.
+    pub fn remaining_games(&self) -> Vec<GameId> {
+        self.counts.keys().copied().collect()
+    }
+
+    /// Flatten into an ordered request list (deterministically shuffled) for
+    /// online assignment.
+    pub fn as_request_stream(&self, seed: u64) -> Vec<GameId> {
+        let mut stream: Vec<GameId> = self
+            .counts
+            .iter()
+            .flat_map(|(&id, &c)| std::iter::repeat_n(id, c))
+            .collect();
+        use rand::seq::SliceRandom;
+        let mut rng = gaugur_gamesim::rng::rng_for(seed, &[0x5245_5153]);
+        stream.shuffle(&mut rng);
+        stream
+    }
+}
+
+/// Draw `total` requests uniformly at random over `ids`.
+pub fn random_requests(ids: &[GameId], total: usize, seed: u64) -> RequestCounts {
+    let mut rng = gaugur_gamesim::rng::rng_for(seed, &[0x0052_4551]);
+    let mut counts: BTreeMap<GameId, usize> = BTreeMap::new();
+    for _ in 0..total {
+        let id = ids[rng.gen_range(0..ids.len())];
+        *counts.entry(id).or_default() += 1;
+    }
+    RequestCounts { counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_requests_sum_to_total_and_cover_games() {
+        let ids: Vec<GameId> = (0..10).map(GameId).collect();
+        let r = random_requests(&ids, 5000, 1);
+        assert_eq!(r.total(), 5000);
+        // With 5000 draws over 10 games every game should appear.
+        assert_eq!(r.remaining_games().len(), 10);
+        // Roughly uniform.
+        for id in &ids {
+            let c = r.get(*id);
+            assert!((350..=650).contains(&c), "{id}: {c}");
+        }
+    }
+
+    #[test]
+    fn consume_set_is_atomic() {
+        let mut r = RequestCounts::from_counts([(GameId(0), 1), (GameId(1), 2)]);
+        assert!(r.consume_set(&[GameId(0), GameId(1)]));
+        assert_eq!(r.get(GameId(0)), 0);
+        // Game 0 exhausted: consuming the pair again must fail atomically.
+        assert!(!r.consume_set(&[GameId(0), GameId(1)]));
+        assert_eq!(r.get(GameId(1)), 1);
+        assert!(r.consume_set(&[GameId(1)]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn request_stream_is_a_deterministic_permutation() {
+        let r = RequestCounts::from_counts([(GameId(0), 3), (GameId(1), 2)]);
+        let s1 = r.as_request_stream(7);
+        let s2 = r.as_request_stream(7);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 5);
+        assert_eq!(s1.iter().filter(|id| id.0 == 0).count(), 3);
+        let s3 = r.as_request_stream(8);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn zero_counts_are_dropped() {
+        let r = RequestCounts::from_counts([(GameId(0), 0), (GameId(1), 1)]);
+        assert_eq!(r.remaining_games(), vec![GameId(1)]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Capacity planning (the paper's Section 5.1 problem): how many servers
+//! does a provider need to serve a request mix with a 60-FPS guarantee?
+//!
+//! Compares interference-aware packing (GAugur CM driving Algorithm 1)
+//! against the interference-blind VBP baseline and against dedicating a
+//! server to every request.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use gaugur::prelude::*;
+use gaugur::sched::VbpJudge;
+
+fn main() {
+    let server = Server::reference(11);
+    let catalog = GameCatalog::generate(42, 24);
+
+    println!("building GAugur (profile + train) …");
+    let config = GAugurConfig {
+        plan: ColocationPlan {
+            pairs: 150,
+            triples: 40,
+            quads: 20,
+            seed: 2,
+        },
+        ..GAugurConfig::default()
+    };
+    let gaugur = GAugur::build(&server, &catalog, config);
+    let vbp = VbpPolicy::from_catalog(&catalog);
+
+    // Eight games the provider offers (all QoS-servable alone — a game that
+    // cannot reach 60 FPS even on a dedicated server cannot be offered with
+    // a 60-FPS guarantee), and 800 outstanding requests.
+    let res = Resolution::Fhd1080;
+    let ids: Vec<GameId> = catalog
+        .games()
+        .iter()
+        .filter(|g| gaugur.profiles.get(g.id).solo_fps_at(res) > 75.0)
+        .take(8)
+        .map(|g| g.id)
+        .collect();
+    let requests = random_requests(&ids, 800, 3);
+
+    // Measure the ground truth for every candidate colocation of ≤ 4 games
+    // (the evaluation oracle — a real provider would trust the predictions).
+    println!("measuring the {}-colocation ground-truth table …", 162);
+    let table = ColocationTable::measure(&server, &catalog, &ids, res, 4);
+
+    let qos = 60.0;
+    for (name, report) in [
+        (
+            "GAugur(CM) + Algorithm 1",
+            FeasibilityReport::build(&table, &GaugurCm(&gaugur), qos),
+        ),
+        (
+            "VBP + Algorithm 1",
+            FeasibilityReport::build(&table, &VbpJudge(&vbp), qos),
+        ),
+    ] {
+        let packed = pack_requests(&table, &report.usable, &requests);
+        let eval = evaluate_cluster(&server, &catalog, &packed.servers, res);
+        println!(
+            "{name:<26} {} servers ({} usable colocations, precision {:.0}%), \
+             measured QoS satisfaction {:.1}%",
+            packed.server_count(),
+            report.usable.len(),
+            report.confusion.precision() * 100.0,
+            eval.qos_satisfaction(qos) * 100.0
+        );
+    }
+    println!("{:<26} {} servers (100% QoS)", "no colocation", requests.total());
+}

@@ -1,0 +1,41 @@
+//! Interaction-delay prediction — the paper's Section 7 extension: predict
+//! the server-side processing delay of a colocated game, not just its frame
+//! rate.
+//!
+//! ```text
+//! cargo run --release --example delay_prediction
+//! ```
+
+use gaugur::core::delay::{measure_delays, DelayModel};
+use gaugur::core::{plan_colocations, Algorithm, Profiler, ProfilingConfig};
+use gaugur::prelude::*;
+
+fn main() {
+    let server = Server::reference(23);
+    let catalog = GameCatalog::generate(42, 16);
+
+    println!("profiling and measuring a delay campaign …");
+    let profiles = ProfileStore::new(
+        Profiler::new(ProfilingConfig::default()).profile_catalog(&server, &catalog),
+    );
+    let plan = ColocationPlan {
+        pairs: 150,
+        triples: 40,
+        quads: 20,
+        seed: 8,
+    };
+    let measured = measure_delays(&server, &catalog, &plan_colocations(&catalog, &plan));
+    let model = DelayModel::train(&profiles, &measured, Algorithm::GradientBoosting, 0);
+
+    let res = Resolution::Fhd1080;
+    let target = (catalog[0].id, res);
+    println!(
+        "\npredicted processing delay for {:?} at {res}:",
+        catalog[0].name
+    );
+    for n in 0..=3 {
+        let others: Vec<Placement> = (1..=n).map(|i| (catalog[i].id, res)).collect();
+        let delay = model.predict_delay_ms(&profiles, target, &others);
+        println!("  with {n} co-located game(s): {delay:.1} ms per input");
+    }
+}

@@ -1,0 +1,60 @@
+//! Onboarding a new game: the profiling workflow an operator runs once per
+//! title (the paper's Section 3.2–3.3), printing the game's full contention
+//! profile — sensitivity curves, intensities and the resolution models.
+//!
+//! ```text
+//! cargo run --release --example onboard_game
+//! cargo run --release --example onboard_game -- "Far Cry 4"
+//! ```
+
+use gaugur::core::{Profiler, ProfilingConfig};
+use gaugur::prelude::*;
+use gaugur_gamesim::ALL_RESOURCES;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Rise of The Tomb Raider".to_string());
+
+    let server = Server::reference(17);
+    let catalog = GameCatalog::generate(42, 100);
+    let game = catalog
+        .by_name(&name)
+        .unwrap_or_else(|| panic!("{name:?} is not in the catalog"));
+
+    println!("profiling {:?} ({}) …\n", game.name, game.genre);
+    let profiler = Profiler::new(ProfilingConfig::default());
+    let profile = profiler.profile_game(&server, game);
+
+    println!("sensitivity curves (FPS retention at pressure 0.0 … 1.0):");
+    for r in ALL_RESOURCES {
+        let curve = profile.sensitivity_for(r);
+        let cells: Vec<String> = curve.samples.iter().map(|v| format!("{v:.2}")).collect();
+        println!("  {:>8}: {}", r.short_name(), cells.join(" "));
+    }
+
+    println!("\nintensity (pressure exerted on each resource's benchmark):");
+    for res in [Resolution::Hd720, Resolution::Fhd1080, Resolution::Qhd1440] {
+        let i = profile.intensity_at(res);
+        let cells: Vec<String> = ALL_RESOURCES
+            .iter()
+            .map(|&r| format!("{}={:.2}", r.short_name(), i[r]))
+            .collect();
+        println!("  {:>6}: {}", res.label(), cells.join(" "));
+    }
+
+    println!("\nEq. 2 solo-FPS model (fitted from two profiled resolutions):");
+    for res in [
+        Resolution::Hd720,
+        Resolution::Hd900,
+        Resolution::Fhd1080,
+        Resolution::Qhd1440,
+    ] {
+        println!(
+            "  {:>6}: predicted {:.0} FPS, measured {:.0} FPS",
+            res.label(),
+            profile.solo_fps_at(res),
+            server.measure_solo_fps(game, res)
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: build GAugur end-to-end on a simulated testbed and predict
+//! the performance of a colocation *before* placing it — then verify
+//! against what actually happens.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gaugur::prelude::*;
+
+fn main() {
+    // The simulated cloud-gaming server (the stand-in for the paper's
+    // i7-7700 + GTX 1060 testbed) and a catalog of 20 games.
+    let server = Server::reference(7);
+    let catalog = GameCatalog::generate(42, 20);
+
+    // Offline phase (run once): profile every game against the seven
+    // pressure microbenchmarks, measure a campaign of real colocations, and
+    // train the classification + regression models.
+    println!("profiling {} games and training models …", catalog.len());
+    let config = GAugurConfig {
+        plan: ColocationPlan {
+            pairs: 250,
+            triples: 60,
+            quads: 30,
+            seed: 1,
+        },
+        ..GAugurConfig::default()
+    };
+    let gaugur = GAugur::build(&server, &catalog, config);
+
+    // Online phase: a player requests "Borderland2" at 1080p. Which of two
+    // candidate servers should host them?
+    let res = Resolution::Fhd1080;
+    let game = catalog.by_name("Borderland2").expect("in catalog");
+    let candidate_a = [
+        (catalog.by_name("Candle").expect("in catalog").id, res),
+        (catalog.by_name("BlubBlub").expect("in catalog").id, res),
+    ];
+    let candidate_b = [(
+        catalog.by_name("ARK Survival Evolved").expect("in catalog").id,
+        res,
+    )];
+
+    for (label, others) in [("A (two indie games)", &candidate_a[..]), ("B (one AAA)", &candidate_b[..])] {
+        let fps = gaugur.predict_fps((game.id, res), others);
+        let ok = gaugur.predict_qos(60.0, (game.id, res), others);
+        println!(
+            "server {label}: predicted {fps:.0} FPS for {} → QoS 60 {}",
+            game.name,
+            if ok { "SATISFIED" } else { "VIOLATED" }
+        );
+
+        // Verify against the simulator's ground truth.
+        let mut workloads = vec![Workload::game(game, res)];
+        for &(id, r) in others {
+            workloads.push(Workload::game(catalog.get(id).expect("id"), r));
+        }
+        let actual = server
+            .measure_colocation(&workloads)
+            .game_fps(0)
+            .expect("game fps");
+        println!("                  actual    {actual:.0} FPS");
+    }
+}

@@ -1,0 +1,70 @@
+//! Shared fixtures for the cross-crate integration tests: a small profiled
+//! catalog plus a measured colocation campaign, built once per test binary.
+
+use gaugur::core::{measure_colocations, plan_colocations, MeasuredColocation};
+use gaugur::prelude::*;
+use std::sync::OnceLock;
+
+/// A small but complete experiment fixture.
+///
+/// Not every test binary touches every field, so dead-code analysis (which
+/// runs per binary) is silenced here.
+#[allow(dead_code)]
+pub struct Fixture {
+    pub server: Server,
+    pub catalog: GameCatalog,
+    pub profiles: ProfileStore,
+    pub train: Vec<MeasuredColocation>,
+    pub test: Vec<MeasuredColocation>,
+}
+
+/// Build (once) a 16-game fixture with a 220-colocation campaign.
+pub fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let server = Server::reference(101);
+        let catalog = GameCatalog::generate(42, 16);
+        let profiles = ProfileStore::new(
+            Profiler::new(ProfilingConfig::default()).profile_catalog(&server, &catalog),
+        );
+        let plan = ColocationPlan {
+            pairs: 150,
+            triples: 40,
+            quads: 30,
+            seed: 9,
+        };
+        let mut measured =
+            measure_colocations(&server, &catalog, &plan_colocations(&catalog, &plan));
+        // Deterministic split that mixes sizes in both halves.
+        let test = measured
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 4 == 0)
+            .map(|(_, m)| m.clone())
+            .collect();
+        let mut i = 0;
+        measured.retain(|_| {
+            let keep = i % 4 != 0;
+            i += 1;
+            keep
+        });
+        Fixture {
+            server,
+            catalog,
+            profiles,
+            train: measured,
+            test,
+        }
+    })
+}
+
+/// The (cached) GAugur predictor trained on the fixture. Training gradient
+/// ensembles is seconds of work, so property tests must share one instance.
+#[allow(dead_code)]
+pub fn gaugur() -> &'static GAugur {
+    static GAUGUR: OnceLock<GAugur> = OnceLock::new();
+    GAUGUR.get_or_init(|| {
+        let f = fixture();
+        GAugur::from_measurements(f.profiles.clone(), &f.train, GAugurConfig::default())
+    })
+}

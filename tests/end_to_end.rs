@@ -1,0 +1,117 @@
+//! End-to-end integration: profile → train → predict, asserting the
+//! paper-level quality bars on held-out colocations.
+
+mod common;
+
+use common::{fixture, gaugur};
+use gaugur::baselines::{DegradationPredictor, SigmoidPredictor, SmitePredictor};
+use gaugur::core::Placement;
+
+/// Per-member held-out records: (target, others, actual degradation,
+/// actual fps, solo fps).
+fn records() -> Vec<(Placement, Vec<Placement>, f64, f64, f64)> {
+    let f = fixture();
+    let mut out = Vec::new();
+    for m in &f.test {
+        for (i, &(id, res)) in m.members.iter().enumerate() {
+            let others: Vec<Placement> = m
+                .members
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &p)| p)
+                .collect();
+            let solo = f.profiles.get(id).solo_fps_at(res);
+            out.push((
+                (id, res),
+                others,
+                (m.fps[i] / solo).clamp(0.01, 1.2),
+                m.fps[i],
+                solo,
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn rm_beats_both_baselines_on_held_out_colocations() {
+    let f = fixture();
+    let g = gaugur();
+    let sigmoid = SigmoidPredictor::train(f.profiles.clone(), &f.train);
+    let smite = SmitePredictor::train(f.profiles.clone(), &f.train);
+
+    let recs = records();
+    let err = |pred: &dyn Fn(Placement, &[Placement]) -> f64| -> f64 {
+        let es: Vec<f64> = recs
+            .iter()
+            .map(|(t, o, d, _, _)| (pred(*t, o) - d).abs() / d)
+            .collect();
+        es.iter().sum::<f64>() / es.len() as f64
+    };
+
+    let e_gaugur = err(&|t, o| g.predict_degradation(t, o));
+    let e_sigmoid = err(&|t, o| sigmoid.predict_degradation(t, o));
+    let e_smite = err(&|t, o| smite.predict_degradation(t, o));
+
+    assert!(e_gaugur < 0.20, "GAugur(RM) error too high: {e_gaugur}");
+    assert!(
+        e_gaugur < e_sigmoid,
+        "GAugur {e_gaugur} should beat Sigmoid {e_sigmoid}"
+    );
+    assert!(
+        e_gaugur < e_smite,
+        "GAugur {e_gaugur} should beat SMiTe {e_smite}"
+    );
+}
+
+#[test]
+fn cm_classifies_held_out_qos_accurately() {
+    let g = gaugur();
+    let recs = records();
+    let qos = 60.0;
+    let correct = recs
+        .iter()
+        .filter(|(t, o, _, fps, _)| g.predict_qos(qos, *t, o) == (*fps >= qos))
+        .count();
+    let acc = correct as f64 / recs.len() as f64;
+    assert!(acc > 0.85, "CM accuracy too low: {acc}");
+}
+
+#[test]
+fn predicted_fps_tracks_actual_fps() {
+    let g = gaugur();
+    let recs = records();
+    // Rank correlation proxy: predictions and actuals should agree on
+    // pairwise ordering most of the time.
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in (0..recs.len()).step_by(7) {
+        for j in (i + 1..recs.len()).step_by(11) {
+            let (ti, oi, _, fi, _) = &recs[i];
+            let (tj, oj, _, fj, _) = &recs[j];
+            if (fi - fj).abs() < 5.0 {
+                continue;
+            }
+            let pi = g.predict_fps(*ti, oi);
+            let pj = g.predict_fps(*tj, oj);
+            agree += usize::from((pi > pj) == (fi > fj));
+            total += 1;
+        }
+    }
+    let rate = agree as f64 / total.max(1) as f64;
+    assert!(rate > 0.85, "ordering agreement too low: {rate} ({total} pairs)");
+}
+
+#[test]
+fn whole_predictor_serializes_and_roundtrips() {
+    let g = gaugur();
+    let f = fixture();
+    let json = serde_json::to_string(&g).expect("serialize GAugur");
+    let back: gaugur::core::GAugur = serde_json::from_str(&json).expect("deserialize GAugur");
+    let res = gaugur::gamesim::Resolution::Fhd1080;
+    let t = (f.catalog[0].id, res);
+    let o = [(f.catalog[1].id, res)];
+    assert_eq!(g.predict_degradation(t, &o), back.predict_degradation(t, &o));
+    assert_eq!(g.predict_qos(60.0, t, &o), back.predict_qos(60.0, t, &o));
+}

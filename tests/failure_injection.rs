@@ -1,0 +1,108 @@
+//! Failure injection: the pipeline must stay sane under hostile conditions —
+//! heavy measurement noise, tiny catalogs, tiny training campaigns, and
+//! degenerate colocations.
+
+mod common;
+
+use gaugur::core::{measure_colocations, plan_colocations};
+use gaugur::prelude::*;
+
+#[test]
+fn heavy_measurement_noise_degrades_but_does_not_break() {
+    let mut server = Server::reference(31);
+    server.noise_sigma = 0.10; // ~7× the reference jitter
+    let catalog = GameCatalog::generate(42, 10);
+    let config = GAugurConfig {
+        plan: ColocationPlan {
+            pairs: 60,
+            triples: 15,
+            quads: 10,
+            seed: 2,
+        },
+        ..GAugurConfig::default()
+    };
+    let gaugur = GAugur::build(&server, &catalog, config);
+    let res = Resolution::Fhd1080;
+    let d = gaugur.predict_degradation((catalog[0].id, res), &[(catalog[1].id, res)]);
+    assert!((0.01..=1.05).contains(&d));
+}
+
+#[test]
+fn tiny_training_campaign_still_produces_a_predictor() {
+    let server = Server::reference(32);
+    let catalog = GameCatalog::generate(42, 6);
+    let config = GAugurConfig {
+        plan: ColocationPlan {
+            pairs: 5,
+            triples: 1,
+            quads: 1,
+            seed: 3,
+        },
+        ..GAugurConfig::default()
+    };
+    let gaugur = GAugur::build(&server, &catalog, config);
+    let res = Resolution::Hd720;
+    let fps = gaugur.predict_fps((catalog[2].id, res), &[(catalog[3].id, res)]);
+    assert!(fps.is_finite() && fps > 0.0);
+}
+
+#[test]
+fn two_game_catalog_profiles_and_trains() {
+    let server = Server::reference(33);
+    let catalog = GameCatalog::generate(42, 2);
+    let profiles = ProfileStore::new(
+        Profiler::new(ProfilingConfig::default()).profile_catalog(&server, &catalog),
+    );
+    assert_eq!(profiles.len(), 2);
+    // Only one possible pair; measure it a few times and train.
+    let plan = ColocationPlan {
+        pairs: 8,
+        triples: 0,
+        quads: 0,
+        seed: 4,
+    };
+    let measured = measure_colocations(&server, &catalog, &plan_colocations(&catalog, &plan));
+    assert_eq!(measured.len(), 8);
+    let gaugur = GAugur::from_measurements(profiles, &measured, GAugurConfig::default());
+    let res = Resolution::Fhd1080;
+    let d = gaugur.predict_degradation((catalog[0].id, res), &[(catalog[1].id, res)]);
+    assert!((0.01..=1.05).contains(&d));
+}
+
+#[test]
+fn empty_corunner_set_predicts_no_interference_bound() {
+    let f = common::fixture();
+    let g = common::gaugur();
+    let res = Resolution::Fhd1080;
+    // With nobody else on the server the RM is extrapolating, but the
+    // prediction must remain a valid ratio and the QoS guard must respect
+    // the solo ceiling.
+    let t = (f.catalog[0].id, res);
+    let d = g.predict_degradation(t, &[]);
+    assert!((0.01..=1.05).contains(&d));
+    let solo = f.profiles.get(t.0).solo_fps_at(t.1);
+    assert!(!g.predict_qos(solo + 1.0, t, &[]));
+}
+
+#[test]
+fn oversubscribed_server_is_measured_not_rejected() {
+    let server = Server::noiseless(34);
+    let catalog = GameCatalog::generate(42, 100);
+    // Pile up eight AAA games — far beyond memory capacity.
+    let heavy: Vec<Workload<'_>> = catalog
+        .games()
+        .iter()
+        .filter(|g| g.genre == Genre::AaaOpenWorld)
+        .take(8)
+        .map(|g| Workload::game(g, Resolution::Qhd1440))
+        .collect();
+    assert!(heavy.len() >= 4);
+    let out = server.measure_colocation(&heavy);
+    assert!(out.converged);
+    for i in 0..heavy.len() {
+        let fps = out.game_fps(i).unwrap();
+        assert!(fps.is_finite() && fps > 0.0 && fps < 60.0);
+    }
+}
+
+
