@@ -96,8 +96,7 @@ mod tests {
             quads: 10,
             seed: 6,
         };
-        let measured =
-            measure_colocations(&server, &catalog, &plan_colocations(&catalog, &plan));
+        let measured = measure_colocations(&server, &catalog, &plan_colocations(&catalog, &plan));
         (catalog, SigmoidPredictor::train(profiles, &measured))
     }
 

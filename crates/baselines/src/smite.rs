@@ -27,11 +27,7 @@ pub struct SmitePredictor {
 
 /// SMiTe's feature vector: per resource, the sensitivity score of the target
 /// times the *summed* intensity of the co-runners.
-fn smite_features(
-    profiles: &ProfileStore,
-    target: Placement,
-    others: &[Placement],
-) -> Vec<f64> {
+fn smite_features(profiles: &ProfileStore, target: Placement, others: &[Placement]) -> Vec<f64> {
     let profile = profiles.get(target.0);
     let mut summed = ResourceVec::ZERO;
     for &(id, res) in others {
@@ -116,8 +112,7 @@ mod tests {
             quads: 10,
             seed: 12,
         };
-        let measured =
-            measure_colocations(&server, &catalog, &plan_colocations(&catalog, &plan));
+        let measured = measure_colocations(&server, &catalog, &plan_colocations(&catalog, &plan));
         (catalog, SmitePredictor::train(profiles, &measured))
     }
 

@@ -147,7 +147,10 @@ mod tests {
         let b = (catalog[1].id, res);
         let c = (catalog[2].id, res);
         if !policy.feasible(&[a, b]) {
-            assert!(!policy.feasible(&[a, b, c]), "superset cannot become feasible");
+            assert!(
+                !policy.feasible(&[a, b, c]),
+                "superset cannot become feasible"
+            );
         }
     }
 
@@ -176,8 +179,9 @@ mod tests {
         let (catalog, policy) = setup();
         let lo = policy.entry((catalog[5].id, Resolution::Hd720)).utilization
             [gaugur_gamesim::Resource::GpuCore];
-        let hi = policy.entry((catalog[5].id, Resolution::Qhd1440)).utilization
-            [gaugur_gamesim::Resource::GpuCore];
+        let hi = policy
+            .entry((catalog[5].id, Resolution::Qhd1440))
+            .utilization[gaugur_gamesim::Resource::GpuCore];
         assert!(hi > lo);
     }
 }

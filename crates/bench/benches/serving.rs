@@ -1,0 +1,87 @@
+//! Placement-daemon throughput over a real localhost socket.
+//!
+//! The serving story only holds if online placement keeps up with request
+//! arrival — the bar is ≥10k placement requests/s through the full stack
+//! (TCP framing, JSON decode, memoized prediction, cluster mutation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaugur_bench::ExperimentContext;
+use gaugur_core::{GAugur, GAugurConfig};
+use gaugur_gamesim::{GameId, Resolution};
+use gaugur_serve::{daemon, load, Client, DaemonConfig, LoadConfig, ModelHandle};
+
+fn bench(c: &mut Criterion) {
+    let ctx = ExperimentContext::small(1);
+    let model =
+        GAugur::from_measurements(ctx.profiles.clone(), &ctx.train, GAugurConfig::default());
+    let games: Vec<GameId> = ctx.catalog.games().iter().map(|g| g.id).collect();
+    let handle = daemon::start(
+        DaemonConfig {
+            n_servers: 64,
+            workers: 4,
+            print_stats_on_shutdown: false,
+            ..Default::default()
+        },
+        ModelHandle::from_model(model),
+    )
+    .expect("daemon starts");
+    let addr = handle.local_addr().to_string();
+
+    // Headline number first: a closed-loop driver run, reported as req/s.
+    let report = load::run(&LoadConfig {
+        addr: addr.clone(),
+        seed: 7,
+        connections: 4,
+        requests: 10_000,
+        rate: f64::INFINITY,
+        mean_session_arrivals: 4.0,
+        games: games.clone(),
+        resolutions: vec![Resolution::Fhd1080],
+        qos: 60.0,
+    });
+    eprintln!(
+        "serving_throughput: {:.0} placement req/s over localhost \
+         (4 connections, p50 {}µs, p99 {}µs, {} errors)",
+        report.achieved_rps, report.p50_us, report.p99_us, report.errors
+    );
+    assert!(report.errors == 0, "load driver hit errors");
+
+    // Single-connection round trip: one place + one depart per iteration.
+    let mut client = Client::connect(&*addr).expect("client connects");
+    c.bench_function("serve_place_depart_roundtrip", |b| {
+        b.iter(|| {
+            let placed = client
+                .place(games[0], Resolution::Fhd1080)
+                .expect("placement succeeds");
+            client.depart(placed.session).expect("departure succeeds");
+        })
+    });
+
+    // Concurrent throughput: one iteration = a 2000-request driver run.
+    let mut g = c.benchmark_group("serve_throughput");
+    g.sample_size(5);
+    g.bench_function("place_2000_over_4_connections", |b| {
+        b.iter(|| {
+            let r = load::run(&LoadConfig {
+                addr: addr.clone(),
+                seed: 7,
+                connections: 4,
+                requests: 2000,
+                rate: f64::INFINITY,
+                mean_session_arrivals: 4.0,
+                games: games.clone(),
+                resolutions: vec![Resolution::Fhd1080],
+                qos: 60.0,
+            });
+            assert_eq!(r.errors, 0);
+            r
+        })
+    });
+    g.finish();
+
+    drop(client);
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -16,7 +16,7 @@ use crate::table::{pct, Table};
 use gaugur_core::features::{aggregate_intensity, flatten_sensitivity};
 use gaugur_core::{
     measure_colocations, plan_colocations, Algorithm, ColocationPlan, GameProfile,
-    MeasuredColocation, Profiler, ProfileStore, ProfilingConfig, RegressionModel,
+    MeasuredColocation, ProfileStore, Profiler, ProfilingConfig, RegressionModel,
 };
 use gaugur_gamesim::{GameCatalog, ResourceVec, Server, ALL_RESOURCES};
 use gaugur_ml::gbdt::GbdtParams;
@@ -133,7 +133,10 @@ pub fn run(ctx: &ExperimentContext) -> String {
     out.push_str("\n== Ablation 2: feature-family ablation (GBRT error) ==\n");
     let mut t = Table::new(["features", "test error"]);
     for (name, feats) in [
-        ("sensitivity + aggregate intensity (full)", &feats_eq5 as &FeatureFn),
+        (
+            "sensitivity + aggregate intensity (full)",
+            &feats_eq5 as &FeatureFn,
+        ),
         ("sensitivity + co-runner count only", &feats_sens_only),
         ("aggregate intensity only", &feats_int_only),
     ] {
@@ -154,7 +157,12 @@ pub fn run(ctx: &ExperimentContext) -> String {
         .filter(|m| m.size() == 2)
         .cloned()
         .collect();
-    let mut t = Table::new(["training set", "test 2-games", "test 3-games", "test 4-games"]);
+    let mut t = Table::new([
+        "training set",
+        "test 2-games",
+        "test 3-games",
+        "test 4-games",
+    ]);
     for (name, train) in [("all sizes", &ctx.train), ("pairs only", &pairs_only)] {
         let mut cells = vec![format!("{name} ({} colocations)", train.len())];
         for size in [2usize, 3, 4] {
@@ -200,7 +208,11 @@ fn hyperparameter_grid(ctx: &ExperimentContext) -> Table {
             d.to_string(),
             r.to_string(),
             pct(s),
-            if i == best { "◀".to_string() } else { String::new() },
+            if i == best {
+                "◀".to_string()
+            } else {
+                String::new()
+            },
         ]);
     }
     t
@@ -233,11 +245,7 @@ fn granularity_ablation(seed: u64) -> Table {
         });
         let profiles = ProfileStore::new(profiler.profile_catalog(&server, &catalog));
         let err = gbrt_error(&profiles, train, test, &feats_eq5);
-        t.row([
-            k.to_string(),
-            format!("{}", 7 * (k + 1) + 15),
-            pct(err),
-        ]);
+        t.row([k.to_string(), format!("{}", 7 * (k + 1) + 15), pct(err)]);
     }
     t
 }

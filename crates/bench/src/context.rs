@@ -10,8 +10,8 @@
 //! split.
 
 use gaugur_core::{
-    measure_colocations, plan_colocations, ColocationPlan, MeasuredColocation, Profiler,
-    ProfileStore, ProfilingConfig,
+    measure_colocations, plan_colocations, ColocationPlan, MeasuredColocation, ProfileStore,
+    Profiler, ProfilingConfig,
 };
 use gaugur_gamesim::{GameCatalog, GameId, Resolution, Server};
 use rand::seq::SliceRandom;

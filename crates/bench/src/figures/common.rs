@@ -71,10 +71,7 @@ pub fn train_baselines(ctx: &ExperimentContext) -> (SigmoidPredictor, SmitePredi
 }
 
 /// Mean relative degradation error of a predictor over records.
-pub fn degradation_error(
-    predictor: &dyn DegradationPredictor,
-    records: &[EvalRecord],
-) -> f64 {
+pub fn degradation_error(predictor: &dyn DegradationPredictor, records: &[EvalRecord]) -> f64 {
     let errs: Vec<f64> = records
         .iter()
         .map(|r| {

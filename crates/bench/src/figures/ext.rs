@@ -18,7 +18,7 @@ use gaugur_baselines::VbpPolicy;
 use gaugur_core::cf::{profile_catalog_cf, CfConfig};
 use gaugur_core::features::rm_features;
 use gaugur_core::{
-    measure_colocations, plan_colocations, Algorithm, ColocationPlan, Profiler, ProfileStore,
+    measure_colocations, plan_colocations, Algorithm, ColocationPlan, ProfileStore, Profiler,
     ProfilingConfig, RegressionModel,
 };
 use gaugur_gamesim::{Resolution, Server, Workload, ALL_SERVER_CLASSES};
@@ -150,8 +150,10 @@ fn heterogeneity(ctx: &ExperimentContext) -> String {
                         .collect();
                     let actual =
                         (m.fps[i] / class_profiles.get(id).solo_fps_at(res)).clamp(0.01, 1.2);
-                    let pred = model
-                        .predict(&rm_features(profiles.get(id), &profiles.intensities(&others)));
+                    let pred = model.predict(&rm_features(
+                        profiles.get(id),
+                        &profiles.intensities(&others),
+                    ));
                     errs.push((pred - actual).abs() / actual);
                 }
             }
@@ -182,11 +184,7 @@ fn heterogeneity(ctx: &ExperimentContext) -> String {
 /// Extension 3: profiling-cost reduction via collaborative filtering.
 fn cf_profiling(ctx: &ExperimentContext) -> String {
     let profiler = Profiler::new(ProfilingConfig::default());
-    let mut t = Table::new([
-        "profiling scheme",
-        "sweep cost",
-        "GBRT test error",
-    ]);
+    let mut t = Table::new(["profiling scheme", "sweep cost", "GBRT test error"]);
 
     let records = eval_records(ctx, &ctx.test);
     let eval = |profiles: &ProfileStore| -> f64 {
@@ -220,8 +218,7 @@ fn cf_profiling(ctx: &ExperimentContext) -> String {
             seed: 0xCF,
             ..CfConfig::default()
         };
-        let (profiles, stats) =
-            profile_catalog_cf(&profiler, &ctx.server, &ctx.catalog, &config);
+        let (profiles, stats) = profile_catalog_cf(&profiler, &ctx.server, &ctx.catalog, &config);
         let store = ProfileStore::new(profiles);
         t.row([
             format!("CF: {:.0}% full + {per_game}/7 resources", frac * 100.0),

@@ -14,8 +14,8 @@ use crate::table::{f, Table};
 use gaugur_baselines::VbpPolicy;
 use gaugur_ml::metrics::Cdf;
 use gaugur_sched::{
-    assign_max_fps, assign_worst_fit, evaluate_cluster, random_requests, DegradationFps,
-    FpsModel, GaugurRm,
+    assign_max_fps, assign_worst_fit, evaluate_cluster, random_requests, DegradationFps, FpsModel,
+    GaugurRm,
 };
 use serde::Serialize;
 
@@ -77,7 +77,12 @@ impl Fig10 {
             let result = assign_worst_fit(&vbp, SCHED_RESOLUTION, &requests, n_servers);
             let eval =
                 evaluate_cluster(&ctx.server, &ctx.catalog, &result.servers, SCHED_RESOLUTION);
-            average_fps.push((n_servers, "VBP".to_string(), eval.average_fps(), result.unplaced));
+            average_fps.push((
+                n_servers,
+                "VBP".to_string(),
+                eval.average_fps(),
+                result.unplaced,
+            ));
             if n_servers == 2000 {
                 cdf_at_2000.push(("VBP".to_string(), quantiles(&eval.fps_cdf())));
             }

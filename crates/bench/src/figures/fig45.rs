@@ -23,9 +23,8 @@ pub const REPRESENTATIVE_GAMES: [&str; 6] = [
 
 /// Render Figure 4: per-game sensitivity curves (from the profiles).
 pub fn run_fig4(ctx: &ExperimentContext) -> String {
-    let mut out = String::from(
-        "== Figure 4: sensitivity curves (FPS retention vs pressure, k = 10) ==\n",
-    );
+    let mut out =
+        String::from("== Figure 4: sensitivity curves (FPS retention vs pressure, k = 10) ==\n");
     for name in REPRESENTATIVE_GAMES {
         let game = ctx.catalog.by_name(name).expect("game in catalog");
         let profile = ctx.profiles.get(game.id);

@@ -171,13 +171,7 @@ impl Fig7 {
         out.push_str("\n== Figure 7b: error breakdown by colocation size ==\n");
         let mut t = Table::new(["method", "overall", "2-games", "3-games", "4-games"]);
         for (name, v) in &self.by_size {
-            t.row([
-                name.clone(),
-                pct(v[0]),
-                pct(v[1]),
-                pct(v[2]),
-                pct(v[3]),
-            ]);
+            t.row([name.clone(), pct(v[0]), pct(v[1]), pct(v[2]), pct(v[3])]);
         }
         out.push_str(&t.render());
 

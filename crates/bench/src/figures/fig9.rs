@@ -53,13 +53,8 @@ impl Fig9 {
     /// Run the full Figure 9 experiment.
     pub fn run(ctx: &ExperimentContext) -> Fig9 {
         let games = ctx.scheduling_games();
-        let table = ColocationTable::measure(
-            &ctx.server,
-            &ctx.catalog,
-            &games,
-            SCHED_RESOLUTION,
-            4,
-        );
+        let table =
+            ColocationTable::measure(&ctx.server, &ctx.catalog, &games, SCHED_RESOLUTION, 4);
 
         let gaugur = build_gaugur(ctx);
         let (sigmoid, smite) = crate::figures::common::train_baselines(ctx);
@@ -144,11 +139,7 @@ impl Fig9 {
 
     /// Render the three panels as text.
     pub fn report(&self) -> String {
-        let names: Vec<String> = self
-            .games
-            .iter()
-            .map(|id| id.to_string())
-            .collect();
+        let names: Vec<String> = self.games.iter().map(|id| id.to_string()).collect();
         let mut out = format!(
             "Selected games: {} ({} candidate colocations)\n\n",
             names.join(" "),

@@ -8,6 +8,11 @@
 //! gaugur predict --model model.json --target 4 --others 8,12 --qos 60
 //! gaugur pack    --model model.json --games 1,3,5,8,9,12 --requests 600 --qos 60
 //! gaugur importance --model model.json --games 30 --seed 7
+//!
+//! gaugur serve   --model model.json --bind 127.0.0.1:7071 --servers 50
+//! gaugur session place --game 4                           # online, against the daemon
+//! gaugur session stats
+//! gaugur load    --requests 5000 --connections 4 --rate inf
 //! ```
 //!
 //! Everything runs against the simulated testbed (the seed selects the
@@ -28,6 +33,11 @@ fn main() {
         exit(2);
     }
     let command = args.remove(0);
+    if command == "session" {
+        // `session` takes a positional action before its flags.
+        session(&args);
+        return;
+    }
     let opts = parse_flags(&args);
 
     match command.as_str() {
@@ -36,6 +46,8 @@ fn main() {
         "predict" => predict(&opts),
         "pack" => pack(&opts),
         "importance" => importance(&opts),
+        "serve" => serve(&opts),
+        "load" => load_cmd(&opts),
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown command {other:?}");
@@ -53,7 +65,14 @@ fn usage() {
          \x20 catalog    --games N [--seed S]\n\
          \x20 predict    --model FILE --target ID --others ID,ID,… [--resolution 720p|900p|1080p|1440p] [--qos FPS]\n\
          \x20 pack       --model FILE --games ID,ID,… --requests N [--qos FPS] [--seed S]\n\
-         \x20 importance --model FILE --games N [--seed S]\n"
+         \x20 importance --model FILE --games N [--seed S]\n\
+         \x20 serve      --model FILE [--bind ADDR] [--servers N] [--workers N] [--queue N] [--qos FPS]\n\
+         \x20 session    place   [--addr ADDR] --game ID [--resolution R]\n\
+         \x20 session    depart  [--addr ADDR] --session ID\n\
+         \x20 session    predict [--addr ADDR] --target ID --others ID,ID,… [--resolution R] [--qos FPS]\n\
+         \x20 session    stats|reload|shutdown [--addr ADDR] [--model FILE]\n\
+         \x20 load       [--addr ADDR] [--requests N] [--connections N] [--rate R/s|inf]\n\
+         \x20            [--seed S] [--games ID,ID,…] [--mean-session N] [--qos FPS] [--resolution R]\n"
     );
 }
 
@@ -147,7 +166,10 @@ fn build(opts: &HashMap<String, String>) {
 
 fn catalog_cmd(opts: &HashMap<String, String>) {
     let (server, catalog) = testbed(opts);
-    println!("{:>4}  {:<42} {:<14} {:>9}", "id", "title", "genre", "solo FPS");
+    println!(
+        "{:>4}  {:<42} {:<14} {:>9}",
+        "id", "title", "genre", "solo FPS"
+    );
     for g in catalog.games() {
         println!(
             "{:>4}  {:<42} {:<14} {:>9.0}",
@@ -211,7 +233,9 @@ fn pack(opts: &HashMap<String, String>) {
     let mut acc = seed;
     for i in 0..n_requests {
         acc = gaugur_gamesim::rng::mix(acc ^ i as u64);
-        *counts.entry(games[(acc % games.len() as u64) as usize]).or_default() += 1;
+        *counts
+            .entry(games[(acc % games.len() as u64) as usize])
+            .or_default() += 1;
     }
 
     let sets = gaugur_sets(&games);
@@ -229,7 +253,10 @@ fn pack(opts: &HashMap<String, String>) {
     let mut remaining = counts;
     for set in &usable {
         loop {
-            if set.iter().any(|g| remaining.get(g).copied().unwrap_or(0) == 0) {
+            if set
+                .iter()
+                .any(|g| remaining.get(g).copied().unwrap_or(0) == 0)
+            {
                 break;
             }
             for g in set {
@@ -266,6 +293,144 @@ fn gaugur_sets(games: &[GameId]) -> Vec<Vec<GameId>> {
         out.push(set);
     }
     out
+}
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7071";
+
+/// Print multi-line output without panicking when stdout is a pipe that
+/// closed early (`gaugur session stats | head`): EPIPE just ends the write.
+fn print_multiline(text: &str) {
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn serve(opts: &HashMap<String, String>) {
+    let path: String = get(opts, "model", None::<String>);
+    let model = gaugur_serve::ModelHandle::load(&path).unwrap_or_else(|e| {
+        eprintln!("cannot load {path}: {e}");
+        exit(1);
+    });
+    let config = gaugur_serve::DaemonConfig {
+        bind: opts
+            .get("bind")
+            .cloned()
+            .unwrap_or_else(|| DEFAULT_ADDR.into()),
+        n_servers: get(opts, "servers", Some(50)),
+        workers: get(opts, "workers", Some(4)),
+        queue_capacity: get(opts, "queue", Some(64)),
+        qos: get(opts, "qos", Some(60.0)),
+        ..Default::default()
+    };
+    let handle = gaugur_serve::daemon::start(config, model).unwrap_or_else(|e| {
+        eprintln!("cannot start daemon: {e}");
+        exit(1);
+    });
+    println!(
+        "serving {path} on {} — stop with `gaugur session shutdown --addr {}`",
+        handle.local_addr(),
+        handle.local_addr()
+    );
+    handle.wait();
+}
+
+fn connect(opts: &HashMap<String, String>) -> gaugur_serve::Client {
+    let addr = opts
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_ADDR.into());
+    gaugur_serve::Client::connect(&*addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        exit(1);
+    })
+}
+
+fn session(args: &[String]) {
+    let Some(action) = args.first() else {
+        eprintln!("session needs an action: place | depart | predict | stats | reload | shutdown");
+        exit(2);
+    };
+    let opts = parse_flags(&args[1..]);
+    let or_die = |e: gaugur_serve::ClientError| -> ! {
+        eprintln!("{e}");
+        exit(1);
+    };
+    match action.as_str() {
+        "place" => {
+            let game = GameId(get(&opts, "game", None::<u32>));
+            let placed = connect(&opts)
+                .place(game, resolution(&opts))
+                .unwrap_or_else(|e| or_die(e));
+            println!(
+                "session {} placed on server {} — predicted {:.1} FPS (model v{})",
+                placed.session, placed.server, placed.predicted_fps, placed.model_version
+            );
+        }
+        "depart" => {
+            let id: u64 = get(&opts, "session", None::<u64>);
+            let server = connect(&opts).depart(id).unwrap_or_else(|e| or_die(e));
+            println!("session {id} departed from server {server}");
+        }
+        "predict" => {
+            let res = resolution(&opts);
+            let target = GameId(get(&opts, "target", None::<u32>));
+            let others: Vec<Placement> = id_list(&opts, "others")
+                .into_iter()
+                .map(|id| (id, res))
+                .collect();
+            let qos: f64 = get(&opts, "qos", Some(60.0));
+            let p = connect(&opts)
+                .predict(target, res, &others, qos)
+                .unwrap_or_else(|e| or_die(e));
+            println!("predicted degradation ratio: {:.3}", p.degradation);
+            println!("predicted frame rate:        {:.1} FPS", p.fps);
+            println!(
+                "QoS {qos} FPS:                 {} (model v{}{})",
+                if p.feasible { "SATISFIED" } else { "VIOLATED" },
+                p.model_version,
+                if p.cached { ", cached" } else { "" }
+            );
+        }
+        "stats" => {
+            let stats = connect(&opts).stats().unwrap_or_else(|e| or_die(e));
+            print_multiline(&stats.to_string());
+        }
+        "reload" => {
+            let version = connect(&opts)
+                .reload(opts.get("model").map(String::as_str))
+                .unwrap_or_else(|e| or_die(e));
+            println!("model reloaded, now serving version {version}");
+        }
+        "shutdown" => {
+            connect(&opts).shutdown().unwrap_or_else(|e| or_die(e));
+            println!("daemon is shutting down");
+        }
+        other => {
+            eprintln!("unknown session action {other:?}");
+            exit(2);
+        }
+    }
+}
+
+fn load_cmd(opts: &HashMap<String, String>) {
+    let mut games = id_list(opts, "games");
+    if games.is_empty() {
+        games = (0..16).map(GameId).collect();
+    }
+    let config = gaugur_serve::LoadConfig {
+        addr: opts
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| DEFAULT_ADDR.into()),
+        seed: get(opts, "seed", Some(7)),
+        connections: get(opts, "connections", Some(4)),
+        requests: get(opts, "requests", Some(1000)),
+        rate: get(opts, "rate", Some(f64::INFINITY)),
+        mean_session_arrivals: get(opts, "mean-session", Some(8.0)),
+        games,
+        resolutions: vec![resolution(opts)],
+        qos: get(opts, "qos", Some(60.0)),
+    };
+    print_multiline(&gaugur_serve::load::run(&config).to_string());
 }
 
 fn importance(opts: &HashMap<String, String>) {

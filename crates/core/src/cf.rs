@@ -81,7 +81,7 @@ pub fn profile_catalog_cf(
 
     // Seeded selection of fully profiled games.
     let mut order: Vec<usize> = (0..n_games).collect();
-    let mut rng = gaugur_gamesim::rng::rng_for(config.seed, &[0x4346_53]);
+    let mut rng = gaugur_gamesim::rng::rng_for(config.seed, &[0x0043_4653]);
     order.shuffle(&mut rng);
     let full_set: std::collections::HashSet<usize> = order[..n_full].iter().copied().collect();
 
@@ -249,8 +249,7 @@ mod tests {
     fn completed_profiles_approximate_full_profiles() {
         let (server, catalog, profiler) = setup();
         let full: Vec<GameProfile> = profiler.profile_catalog(&server, &catalog);
-        let (completed, _) =
-            profile_catalog_cf(&profiler, &server, &catalog, &CfConfig::default());
+        let (completed, _) = profile_catalog_cf(&profiler, &server, &catalog, &CfConfig::default());
 
         // Compare intensities at 1080p: completed entries should track the
         // fully measured ones reasonably well on average.
@@ -271,8 +270,7 @@ mod tests {
     #[test]
     fn completed_curves_respect_physical_invariants() {
         let (server, catalog, profiler) = setup();
-        let (completed, _) =
-            profile_catalog_cf(&profiler, &server, &catalog, &CfConfig::default());
+        let (completed, _) = profile_catalog_cf(&profiler, &server, &catalog, &CfConfig::default());
         for p in &completed {
             for r in ALL_RESOURCES {
                 let c = p.sensitivity_for(r);

@@ -135,8 +135,10 @@ impl GAugur {
             .fold(f64::NEG_INFINITY, f64::max);
 
         let intensities = self.profiles.intensities(others);
-        let cm_at =
-            |q: f64| -> bool { self.cm.classify(&cm_features(q, solo, profile, &intensities)) };
+        let cm_at = |q: f64| -> bool {
+            self.cm
+                .classify(&cm_features(q, solo, profile, &intensities))
+        };
 
         if self.config.qos_values.is_empty() || (lo..=hi).contains(&qos) {
             cm_at(qos)
@@ -160,8 +162,7 @@ impl GAugur {
     /// the artifact instead of re-profiling.
     pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let file = std::fs::File::create(path)?;
-        serde_json::to_writer(std::io::BufWriter::new(file), self)
-            .map_err(std::io::Error::other)
+        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
     }
 
     /// Load a predictor persisted with [`GAugur::save_json`].
@@ -264,7 +265,10 @@ mod tests {
             gaugur.predict_degradation(t, &o),
             loaded.predict_degradation(t, &o)
         );
-        assert_eq!(gaugur.predict_qos(60.0, t, &o), loaded.predict_qos(60.0, t, &o));
+        assert_eq!(
+            gaugur.predict_qos(60.0, t, &o),
+            loaded.predict_qos(60.0, t, &o)
+        );
         std::fs::remove_file(&path).ok();
     }
 

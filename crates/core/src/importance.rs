@@ -111,7 +111,9 @@ mod tests {
     // Local fixture helpers (kept in-module to avoid a dev-dependency cycle).
     mod gaugur_core_test_support {
         pub use crate::profile::{Profiler, ProfilingConfig};
-        pub use crate::train::{measure_colocations, plan_colocations, ColocationPlan, ProfileStore};
+        pub use crate::train::{
+            measure_colocations, plan_colocations, ColocationPlan, ProfileStore,
+        };
         pub use gaugur_gamesim::{GameCatalog, Server};
     }
 

@@ -53,11 +53,13 @@ pub mod profile;
 pub mod resolution;
 pub mod train;
 
+pub use cf::{profile_catalog_cf, CfConfig, CfStats};
 pub use gaugur::{GAugur, GAugurConfig};
 pub use importance::{permutation_importance, FeatureGroup};
 pub use model::{Algorithm, ClassificationModel, RegressionModel, ALL_ALGORITHMS};
-pub use cf::{profile_catalog_cf, CfConfig, CfStats};
-pub use profile::{GameProfile, PartialProfile, Profiler, ProfilingConfig, ProfilingStat, SensitivityCurve};
+pub use profile::{
+    GameProfile, PartialProfile, Profiler, ProfilingConfig, ProfilingStat, SensitivityCurve,
+};
 pub use resolution::{IntensityModel, SoloFpsModel};
 pub use train::{
     build_cm_samples, build_rm_samples, measure_colocations, plan_colocations, to_dataset,

@@ -160,9 +160,10 @@ impl RegressionModel {
                 RegInner::Dtr(DecisionTreeRegressor::fit(data, tree_params(seed))),
                 None,
             ),
-            Algorithm::GradientBoosting => {
-                (RegInner::Gbrt(GbrtRegressor::fit(data, gbdt_params(seed))), None)
-            }
+            Algorithm::GradientBoosting => (
+                RegInner::Gbrt(GbrtRegressor::fit(data, gbdt_params(seed))),
+                None,
+            ),
             Algorithm::RandomForest => (
                 RegInner::Rf(RandomForestRegressor::fit(data, forest_params(seed))),
                 None,

@@ -15,8 +15,8 @@
 
 use crate::resolution::{IntensityModel, SoloFpsModel};
 use gaugur_gamesim::{
-    Game, GameCatalog, GameId, Microbenchmark, Resolution, Resource, ResourceVec, Server,
-    Workload, ALL_RESOURCES,
+    Game, GameCatalog, GameId, Microbenchmark, Resolution, Resource, ResourceVec, Server, Workload,
+    ALL_RESOURCES,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -194,12 +194,7 @@ impl Profiler {
             id: game.id,
             name: game.name.clone(),
             sensitivity,
-            intensity: IntensityModel::from_two_points(
-                base,
-                &intensity_base,
-                alt,
-                &intensity_alt,
-            ),
+            intensity: IntensityModel::from_two_points(base, &intensity_base, alt, &intensity_alt),
             solo_fps: SoloFpsModel::from_two_points(base, solo_base, alt, solo_alt),
             granularity: cfg.granularity,
         }
@@ -271,19 +266,14 @@ impl Profiler {
         let mut slowdown_sum = 0.0;
         for step in 0..=k {
             let level = step as f64 / k as f64;
-            let out = server.measure_colocation(&[
-                Workload::game(game, res),
-                Workload::bench(bench, level),
-            ]);
+            let out = server
+                .measure_colocation(&[Workload::game(game, res), Workload::bench(bench, level)]);
             let fps = self.summarize(out.game_fps(0).expect("game at index 0"));
             samples.push((fps / solo_fps).min(1.05));
             slowdown_sum += out.bench_slowdown(1).expect("bench at index 1");
         }
         let mean_slowdown = slowdown_sum / (k + 1) as f64;
-        (
-            SensitivityCurve { samples },
-            (mean_slowdown - 1.0).max(0.0),
-        )
+        (SensitivityCurve { samples }, (mean_slowdown - 1.0).max(0.0))
     }
 
     /// Apply the configured frame-rate summarization to a mean measurement.
@@ -401,11 +391,8 @@ mod tests {
     #[test]
     fn partial_profiling_sweeps_only_requested_resources() {
         let (server, cat, prof) = setup();
-        let partial = prof.profile_game_partial(
-            &server,
-            &cat[2],
-            &[Resource::GpuCore, Resource::Llc],
-        );
+        let partial =
+            prof.profile_game_partial(&server, &cat[2], &[Resource::GpuCore, Resource::Llc]);
         assert_eq!(partial.swept_resources(), 2);
         assert!(partial.curves[Resource::GpuCore.index()].is_some());
         assert!(partial.curves[Resource::CpuCore.index()].is_none());

@@ -14,7 +14,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A game placement request: which game, at which resolution.
 pub type Placement = (GameId, Resolution);
@@ -60,21 +60,36 @@ impl MeasuredColocation {
 }
 
 /// Draw the colocation sets of a plan: distinct games per colocation, random
-/// resolutions, deterministic in the plan seed.
+/// resolutions, deterministic in the plan seed. Colocations are distinct as
+/// multisets of `(game, resolution)` — duplicates would waste measurement
+/// budget and, worse, leak across a later train/test split — so collisions
+/// are redrawn (bounded; tiny catalogs that exhaust the space keep the
+/// duplicate rather than loop forever).
 pub fn plan_colocations(catalog: &GameCatalog, plan: &ColocationPlan) -> Vec<Vec<Placement>> {
     let mut rng = gaugur_gamesim::rng::rng_for(plan.seed, &[0x504c_414e]);
     let resolutions = gaugur_gamesim::game::ALL_RESOLUTIONS;
     let ids: Vec<GameId> = catalog.games().iter().map(|g| g.id).collect();
     let mut out = Vec::with_capacity(plan.pairs + plan.triples + plan.quads);
+    let mut seen: HashSet<Vec<(u32, Resolution)>> = HashSet::new();
     for (count, size) in [(plan.pairs, 2), (plan.triples, 3), (plan.quads, 4)] {
         for _ in 0..count {
-            let mut pool = ids.clone();
-            pool.shuffle(&mut rng);
-            let members = pool[..size]
-                .iter()
-                .map(|&id| (id, resolutions[rng.gen_range(0..resolutions.len())]))
-                .collect();
-            out.push(members);
+            let mut attempts = 0;
+            loop {
+                let mut pool = ids.clone();
+                pool.shuffle(&mut rng);
+                let members: Vec<Placement> = pool[..size]
+                    .iter()
+                    .map(|&id| (id, resolutions[rng.gen_range(0..resolutions.len())]))
+                    .collect();
+                let mut key: Vec<(u32, Resolution)> =
+                    members.iter().map(|&(id, res)| (id.0, res)).collect();
+                key.sort_unstable_by_key(|&(id, res)| (id, res as u8));
+                attempts += 1;
+                if seen.insert(key) || attempts > 64 {
+                    out.push(members);
+                    break;
+                }
+            }
         }
     }
     out
@@ -321,12 +336,7 @@ mod tests {
             .iter()
             .filter(|g| g.id != ark)
             .take(5)
-            .map(|g| {
-                vec![
-                    (g.id, Resolution::Fhd1080),
-                    (ark, Resolution::Fhd1080),
-                ]
-            })
+            .map(|g| vec![(g.id, Resolution::Fhd1080), (ark, Resolution::Fhd1080)])
             .collect();
         let measured = measure_colocations(&server, &catalog, &colocs);
         let rm = build_rm_samples(&profiles, &measured);

@@ -265,7 +265,10 @@ mod tests {
                 / games.len().max(1) as f64
         };
         // Indies render far faster than AAA open-world titles.
-        assert!(mean_fps(crate::genre::Genre::Indie) > 2.0 * mean_fps(crate::genre::Genre::AaaOpenWorld));
+        assert!(
+            mean_fps(crate::genre::Genre::Indie)
+                > 2.0 * mean_fps(crate::genre::Genre::AaaOpenWorld)
+        );
         // AAA titles demand far more GPU than indies.
         let mean_gpu = |genre: crate::genre::Genre| -> f64 {
             let games: Vec<_> = cat.games().iter().filter(|g| g.genre == genre).collect();
@@ -275,7 +278,10 @@ mod tests {
                 .sum::<f64>()
                 / games.len().max(1) as f64
         };
-        assert!(mean_gpu(crate::genre::Genre::AaaOpenWorld) > 2.0 * mean_gpu(crate::genre::Genre::Indie));
+        assert!(
+            mean_gpu(crate::genre::Genre::AaaOpenWorld)
+                > 2.0 * mean_gpu(crate::genre::Genre::Indie)
+        );
     }
 
     #[test]

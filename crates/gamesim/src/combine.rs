@@ -88,7 +88,10 @@ mod tests {
     fn empty_set_exerts_no_pressure() {
         for c in [
             Combiner::Probabilistic,
-            Combiner::Queueing { knee: 0.65, amp: 1.9 },
+            Combiner::Queueing {
+                knee: 0.65,
+                amp: 1.9,
+            },
             Combiner::Capacity { q: 0.85 },
         ] {
             assert_eq!(c.combine(&[]), 0.0);
@@ -106,7 +109,10 @@ mod tests {
 
     #[test]
     fn singleton_queueing_below_knee_is_identity() {
-        let c = Combiner::Queueing { knee: 0.65, amp: 1.9 };
+        let c = Combiner::Queueing {
+            knee: 0.65,
+            amp: 1.9,
+        };
         assert!((c.combine(&[0.4]) - 0.4).abs() < 1e-12);
         // Above the knee even a single workload is amplified.
         assert!(c.combine(&[0.8]) > 0.8);
@@ -130,7 +136,10 @@ mod tests {
 
     #[test]
     fn queueing_blows_up_past_knee() {
-        let c = Combiner::Queueing { knee: 0.65, amp: 1.9 };
+        let c = Combiner::Queueing {
+            knee: 0.65,
+            amp: 1.9,
+        };
         let below = c.combine(&[0.3, 0.3]);
         assert!((below - 0.6).abs() < 1e-12, "additive below knee");
         let above = c.combine(&[0.45, 0.45]);

@@ -173,12 +173,7 @@ impl GroundTruth {
     /// Pressure the game exerts per resource at a resolution, scaled by how
     /// fast it is actually running (`rate_factor` = achieved FPS / solo FPS).
     pub(crate) fn pressures(&self, res: Resolution, rate_factor: f64) -> ResourceVec {
-        self.pressures_on(
-            res,
-            rate_factor,
-            crate::hetero::ServerClass::Reference,
-            1.0,
-        )
+        self.pressures_on(res, rate_factor, crate::hetero::ServerClass::Reference, 1.0)
     }
 
     /// Pressures on a server class under a momentary scene complexity: a

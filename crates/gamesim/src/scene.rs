@@ -138,8 +138,10 @@ mod tests {
         let cat = GameCatalog::generate(42, 6);
         for g in cat.games() {
             let traj = SceneTrajectory::for_game(g, 9);
-            let mean: f64 =
-                (0..2000).map(|i| traj.complexity(i as f64 * 0.5)).sum::<f64>() / 2000.0;
+            let mean: f64 = (0..2000)
+                .map(|i| traj.complexity(i as f64 * 0.5))
+                .sum::<f64>()
+                / 2000.0;
             assert!((mean - 1.0).abs() < 0.05, "{}: mean {mean}", g.name);
         }
     }

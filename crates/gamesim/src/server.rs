@@ -9,8 +9,8 @@
 use crate::bench::Microbenchmark;
 use crate::combine::Combiner;
 use crate::game::{Game, Resolution};
-use crate::resource::{ResourceVec, NUM_RESOURCES};
 use crate::hetero::ServerClass;
+use crate::resource::{ResourceVec, NUM_RESOURCES};
 use crate::rng::{clipped_normal, mix, rng_for};
 use crate::scene::{FpsTimeseries, SceneTrajectory};
 use serde::{Deserialize, Serialize};
@@ -82,10 +82,9 @@ impl<'a> Workload<'a> {
             Workload::Game { game, resolution } => {
                 mix(0x47 ^ ((game.id.0 as u64) << 8) ^ ((resolution.pixels() as u64) << 32))
             }
-            Workload::Bench { bench, level } => mix(
-                0x42 ^ ((bench.resource.index() as u64) << 8)
-                    ^ (((level * 1000.0).round() as u64) << 16),
-            ),
+            Workload::Bench { bench, level } => mix(0x42
+                ^ ((bench.resource.index() as u64) << 8)
+                ^ (((level * 1000.0).round() as u64) << 16)),
         }
     }
 }
@@ -269,10 +268,7 @@ impl Server {
                         let cpu_infl = game
                             .truth
                             .stage_inflation(crate::resource::Stage::Cpu, &effective[i]);
-                        let encode_ms = self
-                            .spec
-                            .encoder
-                            .map_or(0.0, |e| e.latency_ms);
+                        let encode_ms = self.spec.encoder.map_or(0.0, |e| e.latency_ms);
                         let delay = (frame_ms * 1.1 + 1.5 * cpu_infl + encode_ms)
                             * noise(&mut rng, self.noise_sigma);
                         WorkloadOutcome::Game {
@@ -301,12 +297,7 @@ impl Server {
     /// Solve the mutual-contention fixed point for a set of workloads under
     /// per-workload scene complexities. `rate[i]` is the achieved/solo
     /// frame-rate factor for games (1.0 for benchmarks).
-    fn solve(
-        &self,
-        workloads: &[Workload<'_>],
-        complexities: &[f64],
-        thrash: f64,
-    ) -> SolveOutcome {
+    fn solve(&self, workloads: &[Workload<'_>], complexities: &[f64], thrash: f64) -> SolveOutcome {
         let n = workloads.len();
         let mut rate = vec![1.0_f64; n];
         let mut effective = vec![ResourceVec::ZERO; n];
@@ -346,12 +337,10 @@ impl Server {
 
                 if let Workload::Game { game, resolution } = &workloads[i] {
                     let cx = complexities[i];
-                    let solo_ms = 1000.0
-                        / game.truth.solo_fps_on(*resolution, self.class)
-                        * cx;
-                    let coloc_ms =
-                        game.truth
-                            .frame_time_ms_on(*resolution, &eff, self.class, cx);
+                    let solo_ms = 1000.0 / game.truth.solo_fps_on(*resolution, self.class) * cx;
+                    let coloc_ms = game
+                        .truth
+                        .frame_time_ms_on(*resolution, &eff, self.class, cx);
                     let target = (solo_ms / coloc_ms * thrash).clamp(0.0, 1.0);
                     let next = DAMPING * rate[i] + (1.0 - DAMPING) * target;
                     max_delta = max_delta.max((next - rate[i]).abs());
@@ -642,7 +631,10 @@ mod tests {
         let out = server.measure_colocation(&ws);
         let fps = out.game_fps(0).unwrap();
         let solo = server.measure_solo_fps(set[0], Resolution::Fhd1080);
-        assert!(fps < 0.5 * solo, "thrash should crater FPS: {fps} vs {solo}");
+        assert!(
+            fps < 0.5 * solo,
+            "thrash should crater FPS: {fps} vs {solo}"
+        );
     }
 
     #[test]
@@ -722,7 +714,10 @@ mod tests {
                 }
             }
         }
-        assert!(found, "expected at least one borderline pair with temporary dips");
+        assert!(
+            found,
+            "expected at least one borderline pair with temporary dips"
+        );
     }
 
     #[test]
@@ -732,10 +727,7 @@ mod tests {
         let mut encoding = Server::noiseless(8);
         encoding.spec.encoder = Some(crate::encode::EncoderModel::default());
         let res = Resolution::Fhd1080;
-        let pair = [
-            Workload::game(&cat[0], res),
-            Workload::game(&cat[1], res),
-        ];
+        let pair = [Workload::game(&cat[0], res), Workload::game(&cat[1], res)];
         let f_plain = plain.measure_colocation(&pair).game_fps(0).unwrap();
         let f_enc = encoding.measure_colocation(&pair).game_fps(0).unwrap();
         assert!(f_enc < f_plain, "encoding must cost something");

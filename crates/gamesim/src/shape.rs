@@ -112,7 +112,10 @@ mod tests {
         };
         let below = s.eval(0.35);
         let above = s.eval(0.65);
-        assert!(above - below > 0.5, "knee should rise sharply: {below} {above}");
+        assert!(
+            above - below > 0.5,
+            "knee should rise sharply: {below} {above}"
+        );
     }
 
     #[test]

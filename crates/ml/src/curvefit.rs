@@ -119,7 +119,12 @@ mod tests {
         let fit = SigmoidFit::fit(&points);
         for n in 0..=4 {
             let e = (fit.eval(n as f64) - truth.eval(n as f64)).abs() / truth.eval(n as f64);
-            assert!(e < 0.02, "n={n}: {} vs {}", fit.eval(n as f64), truth.eval(n as f64));
+            assert!(
+                e < 0.02,
+                "n={n}: {} vs {}",
+                fit.eval(n as f64),
+                truth.eval(n as f64)
+            );
         }
     }
 

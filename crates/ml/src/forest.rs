@@ -184,13 +184,7 @@ mod tests {
         let a = RandomForestRegressor::fit(&data, p);
         let b = RandomForestRegressor::fit(&data, p);
         assert_eq!(a.predict(&[0.3]), b.predict(&[0.3]));
-        let c = RandomForestRegressor::fit(
-            &data,
-            ForestParams {
-                seed: 6,
-                ..p
-            },
-        );
+        let c = RandomForestRegressor::fit(&data, ForestParams { seed: 6, ..p });
         assert_ne!(a.predict(&[0.3]), c.predict(&[0.3]));
     }
 

@@ -96,7 +96,10 @@ impl GbrtRegressor {
                 idx.iter().map(|&i| data.features[i].clone()).collect(),
                 idx.iter().map(|&i| data.targets[i] - current[i]).collect(),
             );
-            let tree = Tree::fit(&residual_data, &params.tree_params(params.seed ^ round as u64));
+            let tree = Tree::fit(
+                &residual_data,
+                &params.tree_params(params.seed ^ round as u64),
+            );
             for (cur, x) in current.iter_mut().zip(&data.features) {
                 *cur += params.learning_rate * tree.predict(x);
             }
@@ -118,9 +121,7 @@ impl GbrtRegressor {
 
 impl Regressor for GbrtRegressor {
     fn predict(&self, x: &[f64]) -> f64 {
-        self.init
-            + self.params.learning_rate
-                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+        self.init + self.params.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
     }
 }
 
@@ -166,8 +167,7 @@ impl GbdtClassifier {
                 idx.iter().map(|&i| data.features[i].clone()).collect(),
                 grads,
             );
-            let mut tree =
-                Tree::fit(&grad_data, &params.tree_params(params.seed ^ round as u64));
+            let mut tree = Tree::fit(&grad_data, &params.tree_params(params.seed ^ round as u64));
 
             // Newton leaf values: Σ(y − p) / Σ p(1 − p) per leaf.
             let mut num: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
@@ -204,8 +204,7 @@ impl GbdtClassifier {
 impl Classifier for GbdtClassifier {
     fn score(&self, x: &[f64]) -> f64 {
         let raw = self.init
-            + self.params.learning_rate
-                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>();
+            + self.params.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>();
         sigmoid(raw)
     }
 }
@@ -329,20 +328,31 @@ mod tests {
         };
         let few = err(10);
         let many = err(120);
-        assert!(many < few * 0.5, "boosting must keep reducing train error: {few} → {many}");
+        assert!(
+            many < few * 0.5,
+            "boosting must keep reducing train error: {few} → {many}"
+        );
     }
 
     #[test]
     fn full_sample_mode_uses_all_rows() {
-        let idx = round_indices(10, &GbdtParams {
-            subsample: 1.0,
-            ..GbdtParams::default()
-        }, 0);
+        let idx = round_indices(
+            10,
+            &GbdtParams {
+                subsample: 1.0,
+                ..GbdtParams::default()
+            },
+            0,
+        );
         assert_eq!(idx, (0..10).collect::<Vec<_>>());
-        let idx2 = round_indices(10, &GbdtParams {
-            subsample: 0.5,
-            ..GbdtParams::default()
-        }, 0);
+        let idx2 = round_indices(
+            10,
+            &GbdtParams {
+                subsample: 0.5,
+                ..GbdtParams::default()
+            },
+            0,
+        );
         assert_eq!(idx2.len(), 5);
     }
 }

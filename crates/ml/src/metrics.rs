@@ -48,7 +48,8 @@ pub fn rmse(pred: &[f64], actual: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    (pred.iter()
+    (pred
+        .iter()
         .zip(actual)
         .map(|(p, a)| (p - a) * (p - a))
         .sum::<f64>()

@@ -61,11 +61,7 @@ impl MatrixFactorization {
         let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ 0x414c_5300);
         let mut init = |n: usize| -> Vec<Vec<f64>> {
             (0..n)
-                .map(|_| {
-                    (0..params.rank)
-                        .map(|_| rng.gen_range(-0.1..0.1))
-                        .collect()
-                })
+                .map(|_| (0..params.rank).map(|_| rng.gen_range(-0.1..0.1)).collect())
                 .collect()
         };
         let mut rows = init(n_rows);

@@ -105,7 +105,9 @@ impl SvmClassifier {
     /// Fit on a dataset with `{0, 1}` targets.
     pub fn fit(data: &Dataset, params: SvmParams) -> SvmClassifier {
         assert!(!data.is_empty(), "cannot fit an SVM on an empty dataset");
-        let kernel = params.kernel.unwrap_or_else(|| Kernel::default_rbf(data.width()));
+        let kernel = params
+            .kernel
+            .unwrap_or_else(|| Kernel::default_rbf(data.width()));
         let n = data.len();
         let y: Vec<f64> = data
             .targets
@@ -173,12 +175,8 @@ impl SvmClassifier {
                 alpha[i] = ai;
                 alpha[j] = aj;
 
-                let b1 = b - ei
-                    - y[i] * (ai - ai_old) * k[i][i]
-                    - y[j] * (aj - aj_old) * k[i][j];
-                let b2 = b - ej
-                    - y[i] * (ai - ai_old) * k[i][j]
-                    - y[j] * (aj - aj_old) * k[j][j];
+                let b1 = b - ei - y[i] * (ai - ai_old) * k[i][i] - y[j] * (aj - aj_old) * k[i][j];
+                let b2 = b - ej - y[i] * (ai - ai_old) * k[i][j] - y[j] * (aj - aj_old) * k[j][j];
                 b = if ai > 0.0 && ai < params.c {
                     b1
                 } else if aj > 0.0 && aj < params.c {
@@ -252,7 +250,9 @@ impl SvmRegressor {
     /// Fit on a regression dataset.
     pub fn fit(data: &Dataset, params: SvmParams) -> SvmRegressor {
         assert!(!data.is_empty(), "cannot fit an SVM on an empty dataset");
-        let kernel = params.kernel.unwrap_or_else(|| Kernel::default_rbf(data.width()));
+        let kernel = params
+            .kernel
+            .unwrap_or_else(|| Kernel::default_rbf(data.width()));
         let n = data.len();
         let y = &data.targets;
         let k = kernel_matrix(kernel, &data.features);
@@ -303,7 +303,8 @@ impl SvmRegressor {
                     }
                 }
                 let delta_w = |t: f64| -> f64 {
-                    t * (gi - gj) - 0.5 * t * t * eta
+                    t * (gi - gj)
+                        - 0.5 * t * t * eta
                         - params.epsilon * ((beta[i] + t).abs() - beta[i].abs())
                         - params.epsilon * ((beta[j] - t).abs() - beta[j].abs())
                 };
@@ -491,7 +492,9 @@ mod tests {
 
     #[test]
     fn training_is_deterministic() {
-        let features: Vec<Vec<f64>> = (0..40).map(|i| vec![(i as f64).sin(), i as f64 / 40.0]).collect();
+        let features: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i as f64).sin(), i as f64 / 40.0])
+            .collect();
         let targets: Vec<f64> = (0..40).map(|i| f64::from(i % 3 == 0)).collect();
         let data = Dataset::from_parts(features, targets);
         let a = SvmClassifier::fit(&data, SvmParams::default());

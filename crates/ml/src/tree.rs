@@ -123,7 +123,11 @@ impl Tree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -169,7 +173,9 @@ fn mean_of(data: &Dataset, indices: &[usize]) -> f64 {
 
 fn is_pure(data: &Dataset, indices: &[usize]) -> bool {
     let first = data.targets[indices[0]];
-    indices.iter().all(|&i| (data.targets[i] - first).abs() < 1e-12)
+    indices
+        .iter()
+        .all(|&i| (data.targets[i] - first).abs() < 1e-12)
 }
 
 /// Exhaustive best split by variance reduction over (a subsample of) the
@@ -219,7 +225,8 @@ fn best_split(
             }
             let right_sum = total_sum - left_sum;
             let right_sq = total_sq - left_sq;
-            let sse = (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+            let sse =
+                (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
             if best.as_ref().is_none_or(|&(_, _, b)| sse < b - 1e-15) {
                 best = Some((feature, 0.5 * (v + v_next), sse));
             }

@@ -29,6 +29,7 @@ pub mod coloc;
 pub mod dynamic;
 pub mod eval;
 pub mod maxfps;
+pub mod placement;
 pub mod requests;
 pub mod vbp_fit;
 
@@ -37,6 +38,7 @@ pub use coloc::{enumerate_subsets, ColocationTable, FeasibilityReport};
 pub use dynamic::{simulate_dynamic, DynamicConfig, DynamicResult, Policy};
 pub use eval::{evaluate_cluster, ClusterEvaluation};
 pub use maxfps::{assign_max_fps, MaxFpsResult};
+pub use placement::{eligible_servers, placement_delta, select_server};
 pub use requests::{random_requests, RequestCounts};
 pub use vbp_fit::assign_worst_fit;
 

@@ -1,0 +1,131 @@
+//! Incremental placement: score one arriving session against a live fleet.
+//!
+//! [`simulate_dynamic`](crate::dynamic::simulate_dynamic) originally held
+//! this logic inline, which made it unusable from anything that is not the
+//! discrete-event simulator. The serving daemon (`gaugur-serve`) faces the
+//! same decision — one request, one snapshot of fleet occupancy, pick a
+//! server — so the eligibility filter and the per-policy argmax live here
+//! and both callers share them.
+
+use crate::dynamic::Policy;
+use crate::maxfps::MAX_PER_SERVER;
+use gaugur_core::Placement;
+use gaugur_gamesim::GameId;
+
+/// Indices of servers that can legally accept `game`: below the per-server
+/// session cap and not already running the same game (two instances of one
+/// game on one GPU is not a configuration the paper's testbed measures, so
+/// the models are undefined on it).
+pub fn eligible_servers(occupancy: &[Vec<Placement>], game: GameId) -> Vec<usize> {
+    (0..occupancy.len())
+        .filter(|&s| {
+            occupancy[s].len() < MAX_PER_SERVER && !occupancy[s].iter().any(|&(g, _)| g == game)
+        })
+        .collect()
+}
+
+/// Predicted change in a server's summed FPS if `candidate` joins `members`.
+/// The delta-greedy objective of Section 5.2: existing sessions' predicted
+/// losses count against the newcomer's predicted gain.
+pub fn placement_delta(
+    model: &dyn crate::FpsModel,
+    members: &[Placement],
+    candidate: Placement,
+) -> f64 {
+    let before: f64 = (0..members.len())
+        .map(|i| model.predict_member_fps(members, i))
+        .sum();
+    let mut extended = members.to_vec();
+    extended.push(candidate);
+    let after: f64 = (0..extended.len())
+        .map(|i| model.predict_member_fps(&extended, i))
+        .sum();
+    after - before
+}
+
+/// Choose a server for one arriving session under `policy`, or `None` when
+/// no server is eligible. `occupancy[s]` is the multiset of placements
+/// currently running on server `s`.
+pub fn select_server(
+    occupancy: &[Vec<Placement>],
+    request: Placement,
+    policy: &Policy<'_>,
+) -> Option<usize> {
+    let eligible = eligible_servers(occupancy, request.0);
+    if eligible.is_empty() {
+        return None;
+    }
+    let chosen = match policy {
+        Policy::FirstFit => eligible[0],
+        Policy::WorstFitVbp(vbp) => *eligible
+            .iter()
+            .max_by(|&&a, &&b| {
+                vbp.remaining_capacity(&occupancy[a])
+                    .total_cmp(&vbp.remaining_capacity(&occupancy[b]))
+            })
+            .expect("non-empty eligible set"),
+        Policy::MaxPredictedFps(model) => *eligible
+            .iter()
+            .max_by(|&&a, &&b| {
+                placement_delta(*model, &occupancy[a], request).total_cmp(&placement_delta(
+                    *model,
+                    &occupancy[b],
+                    request,
+                ))
+            })
+            .expect("non-empty eligible set"),
+    };
+    Some(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugur_gamesim::Resolution;
+
+    const R: Resolution = Resolution::Fhd1080;
+
+    #[test]
+    fn eligibility_respects_cap_and_duplicates() {
+        let occupancy = vec![
+            vec![(GameId(0), R); 1],
+            vec![
+                (GameId(1), R),
+                (GameId(2), R),
+                (GameId(3), R),
+                (GameId(4), R),
+            ],
+            vec![(GameId(5), R)],
+        ];
+        // Server 1 is full; server 0 already runs game 0.
+        assert_eq!(eligible_servers(&occupancy, GameId(0)), vec![2]);
+        assert_eq!(eligible_servers(&occupancy, GameId(9)), vec![0, 2]);
+    }
+
+    #[test]
+    fn first_fit_picks_lowest_eligible_index() {
+        let occupancy = vec![vec![(GameId(7), R)], vec![], vec![]];
+        assert_eq!(
+            select_server(&occupancy, (GameId(7), R), &Policy::FirstFit),
+            Some(1)
+        );
+        assert_eq!(
+            select_server(&occupancy, (GameId(8), R), &Policy::FirstFit),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn saturated_fleet_yields_none() {
+        let full = vec![vec![
+            (GameId(1), R),
+            (GameId(2), R),
+            (GameId(3), R),
+            (GameId(4), R),
+        ]];
+        assert_eq!(
+            select_server(&full, (GameId(9), R), &Policy::FirstFit),
+            None
+        );
+    }
+}

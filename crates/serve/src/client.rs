@@ -1,0 +1,221 @@
+//! Typed client for the placement daemon's wire protocol. One blocking TCP
+//! connection per client; the CLI, the load driver and the integration tests
+//! all go through this instead of hand-rolling frames.
+
+use crate::stats::StatsSnapshot;
+use crate::wire::{read_frame, write_frame, FrameError, Request, Response, WirePlacement};
+use gaugur_gamesim::{GameId, Resolution};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side errors. Protocol-level rejections (`Overloaded`, `Rejected`,
+/// `Error`) are surfaced as typed variants so callers can branch on them.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The daemon replied, but with something this call cannot accept.
+    Protocol(String),
+    /// The daemon's queue was full; retry after the given backoff.
+    Overloaded {
+        /// Suggested backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Placement was refused (fleet saturated under the policy).
+    Rejected {
+        /// Human-readable reason from the daemon.
+        reason: String,
+    },
+    /// The daemon answered an application-level error.
+    Daemon(String),
+    /// The daemon is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "daemon overloaded, retry after {retry_after_ms} ms")
+            }
+            ClientError::Rejected { reason } => write!(f, "placement rejected: {reason}"),
+            ClientError::Daemon(m) => write!(f, "daemon error: {m}"),
+            ClientError::ShuttingDown => write!(f, "daemon shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => ClientError::Io(io),
+            FrameError::Eof => ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-reply",
+            )),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// A successful placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placed {
+    /// Daemon-assigned session id (pass to [`Client::depart`]).
+    pub session: u64,
+    /// Server index the session landed on.
+    pub server: usize,
+    /// FPS the model predicts for this session in its new colocation.
+    pub predicted_fps: f64,
+    /// Model version that made the decision.
+    pub model_version: u64,
+}
+
+/// An interference prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Predicted {
+    /// Whether the QoS floor holds for the target in this colocation.
+    pub feasible: bool,
+    /// Predicted degradation ratio δ̃.
+    pub degradation: f64,
+    /// Predicted absolute FPS.
+    pub fps: f64,
+    /// Model version that answered.
+    pub model_version: u64,
+    /// Whether the answer came from the prediction memo.
+    pub cached: bool,
+}
+
+/// Blocking client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Set a read timeout for replies (`None` blocks indefinitely).
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Send one request and read one response. The raw escape hatch — the
+    /// typed helpers below are built on it.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, request)?;
+        Ok(read_frame(&mut self.stream)?)
+    }
+
+    fn unexpected(response: Response) -> ClientError {
+        match response {
+            Response::Overloaded { retry_after_ms } => ClientError::Overloaded { retry_after_ms },
+            Response::Error { message } => ClientError::Daemon(message),
+            Response::ShuttingDown => ClientError::ShuttingDown,
+            other => ClientError::Protocol(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Place a session; returns where it landed and the predicted FPS.
+    pub fn place(&mut self, game: GameId, resolution: Resolution) -> Result<Placed, ClientError> {
+        match self.call(&Request::Place { game, resolution })? {
+            Response::Placed {
+                session,
+                server,
+                predicted_fps,
+                model_version,
+            } => Ok(Placed {
+                session,
+                server,
+                predicted_fps,
+                model_version,
+            }),
+            Response::Rejected { reason } => Err(ClientError::Rejected { reason }),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// End a session; returns the server index it freed.
+    pub fn depart(&mut self, session: u64) -> Result<usize, ClientError> {
+        match self.call(&Request::Depart { session })? {
+            Response::Departed { server, .. } => Ok(server),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Ask for an interference prediction without placing anything.
+    pub fn predict(
+        &mut self,
+        game: GameId,
+        resolution: Resolution,
+        others: &[WirePlacement],
+        qos: f64,
+    ) -> Result<Predicted, ClientError> {
+        let request = Request::Predict {
+            game,
+            resolution,
+            others: others.to_vec(),
+            qos,
+        };
+        match self.call(&request)? {
+            Response::Prediction {
+                feasible,
+                degradation,
+                fps,
+                model_version,
+                cached,
+            } => Ok(Predicted {
+                feasible,
+                degradation,
+                fps,
+                model_version,
+                cached,
+            }),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Fetch the daemon's statistics snapshot.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(snapshot) => Ok(snapshot),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Hot-reload the model (from `path`, or its original source when
+    /// `None`); returns the new model version.
+    pub fn reload(&mut self, path: Option<&str>) -> Result<u64, ClientError> {
+        let request = Request::ReloadModel {
+            path: path.map(str::to_string),
+        };
+        match self.call(&request)? {
+            Response::Reloaded { version } => Ok(version),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Ask the daemon to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Live fleet state: which session runs which game on which server.
+//!
+//! The daemon mutates this under a single mutex — placement must read the
+//! occupancy, pick a server and insert atomically, or two concurrent
+//! `Place` requests could both land on a server's last slot.
+
+use gaugur_core::Placement;
+use gaugur_sched::maxfps::MAX_PER_SERVER;
+use std::collections::HashMap;
+
+/// One placed session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacedSession {
+    /// Daemon-assigned id.
+    pub id: u64,
+    /// Game and resolution.
+    pub placement: Placement,
+    /// Server index it runs on.
+    pub server: usize,
+}
+
+/// The fleet: per-server session lists plus a session index.
+pub struct ClusterState {
+    servers: Vec<Vec<(u64, Placement)>>,
+    index: HashMap<u64, usize>,
+    next_id: u64,
+}
+
+impl ClusterState {
+    /// An empty fleet of `n_servers` servers.
+    pub fn new(n_servers: usize) -> ClusterState {
+        assert!(n_servers > 0, "fleet needs at least one server");
+        ClusterState {
+            servers: vec![Vec::new(); n_servers],
+            index: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Fleet size.
+    pub fn n_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Sessions currently placed.
+    pub fn active_sessions(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Occupancy snapshot in the shape [`gaugur_sched::select_server`]
+    /// expects: placements per server.
+    pub fn occupancy(&self) -> Vec<Vec<Placement>> {
+        self.servers
+            .iter()
+            .map(|s| s.iter().map(|&(_, p)| p).collect())
+            .collect()
+    }
+
+    /// Sessions on one server.
+    pub fn server_load(&self, server: usize) -> usize {
+        self.servers[server].len()
+    }
+
+    /// Insert a session on `server` (already chosen by the policy) and
+    /// return its id. Panics if the placement would break the per-server
+    /// invariants — the caller must have used the eligibility filter.
+    pub fn admit(&mut self, server: usize, placement: Placement) -> u64 {
+        let contents = &mut self.servers[server];
+        assert!(contents.len() < MAX_PER_SERVER, "server {server} full");
+        assert!(
+            !contents.iter().any(|&(_, (g, _))| g == placement.0),
+            "game {:?} already on server {server}",
+            placement.0
+        );
+        self.next_id += 1;
+        let id = self.next_id;
+        contents.push((id, placement));
+        self.index.insert(id, server);
+        id
+    }
+
+    /// Remove a session; returns what was removed, or `None` for an unknown
+    /// id (double-departs are client errors, not panics).
+    pub fn depart(&mut self, id: u64) -> Option<PlacedSession> {
+        let server = self.index.remove(&id)?;
+        let contents = &mut self.servers[server];
+        let pos = contents
+            .iter()
+            .position(|&(sid, _)| sid == id)
+            .expect("index and server list agree");
+        let (_, placement) = contents.remove(pos);
+        Some(PlacedSession {
+            id,
+            placement,
+            server,
+        })
+    }
+
+    /// Check internal invariants (used by tests and debug assertions).
+    pub fn check_invariants(&self) {
+        for (s, contents) in self.servers.iter().enumerate() {
+            assert!(
+                contents.len() <= MAX_PER_SERVER,
+                "server {s} exceeds MAX_PER_SERVER"
+            );
+            for (i, &(_, (g, _))) in contents.iter().enumerate() {
+                assert!(
+                    !contents[i + 1..].iter().any(|&(_, (g2, _))| g2 == g),
+                    "server {s} runs game {g:?} twice"
+                );
+            }
+        }
+        assert_eq!(
+            self.index.len(),
+            self.servers.iter().map(Vec::len).sum::<usize>()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugur_gamesim::{GameId, Resolution};
+
+    const R: Resolution = Resolution::Fhd1080;
+
+    #[test]
+    fn admit_and_depart_round_trip() {
+        let mut c = ClusterState::new(2);
+        let a = c.admit(0, (GameId(1), R));
+        let b = c.admit(0, (GameId(2), R));
+        assert_ne!(a, b);
+        assert_eq!(c.active_sessions(), 2);
+        assert_eq!(c.server_load(0), 2);
+        c.check_invariants();
+
+        let gone = c.depart(a).unwrap();
+        assert_eq!(gone.server, 0);
+        assert_eq!(gone.placement.0, GameId(1));
+        assert_eq!(c.active_sessions(), 1);
+        // Departing twice is a no-op, not a crash.
+        assert!(c.depart(a).is_none());
+        c.check_invariants();
+    }
+
+    #[test]
+    fn occupancy_reflects_sessions() {
+        let mut c = ClusterState::new(3);
+        c.admit(1, (GameId(4), R));
+        c.admit(2, (GameId(5), R));
+        let occ = c.occupancy();
+        assert!(occ[0].is_empty());
+        assert_eq!(occ[1], vec![(GameId(4), R)]);
+        assert_eq!(occ[2], vec![(GameId(5), R)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn admitting_past_capacity_panics() {
+        let mut c = ClusterState::new(1);
+        for g in 0..=MAX_PER_SERVER as u32 {
+            c.admit(0, (GameId(g), R));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already on server")]
+    fn admitting_duplicate_game_panics() {
+        let mut c = ClusterState::new(1);
+        c.admit(0, (GameId(9), R));
+        c.admit(0, (GameId(9), R));
+    }
+}

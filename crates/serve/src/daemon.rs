@@ -1,0 +1,421 @@
+//! The placement daemon: TCP acceptor, bounded work queue, worker pool.
+//!
+//! Threading model (no async runtime — std::net blocking I/O):
+//!
+//! * **Acceptor thread** — polls a non-blocking listener, admits
+//!   connections into the bounded [`WorkQueue`], and answers `Overloaded`
+//!   (with a retry hint) inline when the queue is full. Polling rather than
+//!   blocking accept keeps shutdown deterministic without self-connects.
+//! * **Worker pool** — each worker pops a connection and serves its frames
+//!   until EOF, read timeout, or protocol violation. Handlers pin the
+//!   current model `Arc` per request, so `ReloadModel` never disturbs
+//!   in-flight work.
+//! * **Shutdown** — `DaemonHandle::shutdown()` stops the acceptor, closes
+//!   the queue (which *drains*: queued connections are still served, in
+//!   drain mode answering exactly the frames already in flight), joins all
+//!   threads and returns the final stats snapshot.
+
+use crate::cluster::ClusterState;
+use crate::model::{MemoizedFps, ModelHandle, PredictionMemo};
+use crate::queue::WorkQueue;
+use crate::stats::{AtomicStats, StatsSnapshot};
+use crate::wire::{
+    self, read_frame_bytes, request_kind, write_frame, FrameError, Request, Response,
+};
+use gaugur_sched::{select_server, Policy};
+use parking_lot::Mutex;
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub bind: String,
+    /// Fleet size exposed to placement.
+    pub n_servers: usize,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Bound of the pending-connection queue.
+    pub queue_capacity: usize,
+    /// Per-connection read timeout; an idle connection is closed after it.
+    pub read_timeout: Duration,
+    /// Backoff hint sent with `Overloaded` replies.
+    pub retry_after: Duration,
+    /// QoS floor used to memo-key placement-path predictions.
+    pub qos: f64,
+    /// Prediction-memo capacity (entries).
+    pub memo_capacity: usize,
+    /// Print the stats snapshot to stdout on shutdown.
+    pub print_stats_on_shutdown: bool,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            bind: "127.0.0.1:0".into(),
+            n_servers: 50,
+            workers: 4,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(30),
+            retry_after: Duration::from_millis(50),
+            qos: 60.0,
+            memo_capacity: 1 << 16,
+            print_stats_on_shutdown: true,
+        }
+    }
+}
+
+struct Shared {
+    config: DaemonConfig,
+    model: ModelHandle,
+    memo: PredictionMemo,
+    cluster: Mutex<ClusterState>,
+    stats: AtomicStats,
+    queue: WorkQueue<TcpStream>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn snapshot(&self) -> StatsSnapshot {
+        let (hits, misses) = self.memo.counts();
+        let active = self.cluster.lock().active_sessions() as u64;
+        let mut snap = self
+            .stats
+            .snapshot(self.model.version(), active, self.config.n_servers);
+        snap.cache_hits = hits;
+        snap.cache_misses = misses;
+        snap
+    }
+}
+
+/// A running daemon; dropping the handle without calling
+/// [`shutdown`](DaemonHandle::shutdown) leaves threads running detached.
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The address the daemon is actually listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a shutdown has been requested (by handle or wire).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, drain queued and in-flight work, join every thread,
+    /// and return the final statistics.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let snap = self.shared.snapshot();
+        if self.shared.config.print_stats_on_shutdown {
+            println!("{snap}");
+        }
+        snap
+    }
+
+    /// Block until a `Shutdown` request arrives over the wire, then drain
+    /// and return the final statistics (used by `gaugur serve`).
+    pub fn wait(mut self) -> StatsSnapshot {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let snap = self.shared.snapshot();
+        if self.shared.config.print_stats_on_shutdown {
+            println!("{snap}");
+        }
+        snap
+    }
+}
+
+/// Start the daemon. Returns once the listener is bound and the worker pool
+/// is running.
+pub fn start(config: DaemonConfig, model: ModelHandle) -> io::Result<DaemonHandle> {
+    let listener = TcpListener::bind(&config.bind)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        memo: PredictionMemo::new(config.memo_capacity),
+        cluster: Mutex::new(ClusterState::new(config.n_servers)),
+        stats: AtomicStats::new(),
+        queue: WorkQueue::new(config.queue_capacity),
+        shutdown: AtomicBool::new(false),
+        model,
+        config: config.clone(),
+    });
+
+    let workers = (0..config.workers.max(1))
+        .map(|i| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("gaugur-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("gaugur-serve-acceptor".into())
+            .spawn(move || acceptor_loop(&listener, &shared))
+            .expect("spawn acceptor")
+    };
+
+    Ok(DaemonHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.stats.note_connection();
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+                if let Err(mut rejected) = shared.queue.push(stream) {
+                    shared.stats.note_overloaded();
+                    let retry = shared.config.retry_after.as_millis() as u64;
+                    let _ = write_frame(
+                        &mut rejected,
+                        &Response::Overloaded {
+                            retry_after_ms: retry,
+                        },
+                    );
+                    // Dropped: the client was told when to come back.
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // pop() drains the queue even after close, so connections admitted
+    // before shutdown still get served.
+    while let Some(stream) = shared.queue.pop() {
+        serve_connection(shared, stream);
+    }
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let draining_timeout = Duration::from_millis(100);
+    loop {
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+        if draining {
+            // Drain mode: answer frames already on the wire, but do not
+            // wait long for new ones.
+            let _ = stream.set_read_timeout(Some(draining_timeout));
+        }
+        let payload = match read_frame_bytes(&mut stream) {
+            Ok(p) => p,
+            Err(FrameError::Eof) | Err(FrameError::Io(_)) => return,
+            Err(e @ FrameError::TooLarge(_)) => {
+                // Cannot resync after a length violation: error then close.
+                shared.stats.note_malformed();
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+            Err(FrameError::Malformed(_)) => unreachable!("raw read does not parse"),
+        };
+        let request: Request = match wire::decode_payload(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // The frame was length-delimited, so the stream is intact:
+                // reply with an error and keep the connection.
+                shared.stats.note_malformed();
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+                continue;
+            }
+        };
+
+        let kind = request_kind(&request);
+        let started = Instant::now();
+        let (response, ok) = handle_request(shared, &request);
+        let latency_us = started.elapsed().as_micros() as u64;
+        shared.stats.record(kind, ok, latency_us);
+
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+        if matches!(request, Request::Shutdown) {
+            let _ = stream.flush();
+            return;
+        }
+    }
+}
+
+fn handle_request(shared: &Shared, request: &Request) -> (Response, bool) {
+    match request {
+        Request::Place { game, resolution } => {
+            let model = shared.model.get();
+            if !model.knows_game(*game) {
+                return (
+                    Response::Error {
+                        message: format!("unknown game {}", game.0),
+                    },
+                    false,
+                );
+            }
+            let placement = (*game, *resolution);
+            let fps_model = MemoizedFps {
+                model: &model,
+                memo: &shared.memo,
+                qos: shared.config.qos,
+            };
+            // Hold the cluster lock across choose + admit: the decision is
+            // only valid against the occupancy it was computed from.
+            let mut cluster = shared.cluster.lock();
+            let occupancy = cluster.occupancy();
+            match select_server(&occupancy, placement, &Policy::MaxPredictedFps(&fps_model)) {
+                Some(server) => {
+                    let session = cluster.admit(server, placement);
+                    drop(cluster);
+                    // Co-runners of the new session = prior server occupancy.
+                    let (prediction, _) = shared.memo.predict(
+                        &model,
+                        shared.config.qos,
+                        placement,
+                        &occupancy[server],
+                    );
+                    (
+                        Response::Placed {
+                            session,
+                            server,
+                            predicted_fps: prediction.fps,
+                            model_version: model.version,
+                        },
+                        true,
+                    )
+                }
+                None => (
+                    Response::Rejected {
+                        reason: "no eligible server (fleet saturated)".into(),
+                    },
+                    true,
+                ),
+            }
+        }
+        Request::Depart { session } => {
+            let mut cluster = shared.cluster.lock();
+            match cluster.depart(*session) {
+                Some(placed) => (
+                    Response::Departed {
+                        session: *session,
+                        server: placed.server,
+                    },
+                    true,
+                ),
+                None => (
+                    Response::Error {
+                        message: format!("unknown session {session}"),
+                    },
+                    false,
+                ),
+            }
+        }
+        Request::Predict {
+            game,
+            resolution,
+            others,
+            qos,
+        } => {
+            let model = shared.model.get();
+            if !model.knows_game(*game) {
+                return (
+                    Response::Error {
+                        message: format!("unknown game {}", game.0),
+                    },
+                    false,
+                );
+            }
+            if let Some(bad) = others.iter().find(|(g, _)| !model.knows_game(*g)) {
+                return (
+                    Response::Error {
+                        message: format!("unknown co-runner game {}", bad.0 .0),
+                    },
+                    false,
+                );
+            }
+            if !qos.is_finite() || *qos < 0.0 {
+                return (
+                    Response::Error {
+                        message: format!("invalid qos {qos}"),
+                    },
+                    false,
+                );
+            }
+            let (prediction, cached) =
+                shared
+                    .memo
+                    .predict(&model, *qos, (*game, *resolution), others);
+            (
+                Response::Prediction {
+                    feasible: prediction.feasible,
+                    degradation: prediction.degradation,
+                    fps: prediction.fps,
+                    model_version: model.version,
+                    cached,
+                },
+                true,
+            )
+        }
+        Request::Stats => (Response::Stats(shared.snapshot()), true),
+        Request::ReloadModel { path } => {
+            match shared.model.reload(path.as_deref().map(Path::new)) {
+                Ok(version) => (Response::Reloaded { version }, true),
+                Err(e) => (
+                    Response::Error {
+                        message: format!("reload failed: {e}"),
+                    },
+                    false,
+                ),
+            }
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue.close();
+            (Response::ShuttingDown, true)
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Deterministic Poisson load driver for the placement daemon.
+//!
+//! Each connection thread generates its own arrival stream from a seeded
+//! ChaCha8 RNG (`rng_for(seed, [LOAD_CTX, thread])`), so the *sequence* of
+//! requests — which games arrive, at which resolutions, how long each
+//! session lives — is a pure function of the seed, independently of wire
+//! timing. Session lifetimes are measured in subsequent arrivals on the same
+//! thread (not wall time), which keeps closed-loop benchmarking and
+//! rate-paced runs equally deterministic.
+
+use crate::client::{Client, ClientError};
+use gaugur_gamesim::rng::rng_for;
+use gaugur_gamesim::{GameId, Resolution};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+const LOAD_CTX: u64 = 0x4C4F_4144; // "LOAD"
+
+/// Load-driver configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon address, e.g. `127.0.0.1:7071`.
+    pub addr: String,
+    /// Seed for the arrival streams.
+    pub seed: u64,
+    /// Parallel client connections (threads).
+    pub connections: usize,
+    /// Total `Place` attempts across all connections.
+    pub requests: u64,
+    /// Target aggregate arrival rate (requests/s). `f64::INFINITY` runs
+    /// closed-loop: each thread issues its next arrival immediately.
+    pub rate: f64,
+    /// Mean session lifetime, in subsequent arrivals on the same thread
+    /// (exponentially distributed, minimum 1).
+    pub mean_session_arrivals: f64,
+    /// Games to draw arrivals from (uniformly).
+    pub games: Vec<GameId>,
+    /// Resolutions to draw arrivals from (uniformly).
+    pub resolutions: Vec<Resolution>,
+    /// QoS floor: a placement whose predicted FPS falls below this counts as
+    /// a violation in the report.
+    pub qos: f64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7071".into(),
+            seed: 7,
+            connections: 4,
+            requests: 1000,
+            rate: f64::INFINITY,
+            mean_session_arrivals: 8.0,
+            games: (0..16).map(GameId).collect(),
+            resolutions: vec![Resolution::Hd720, Resolution::Fhd1080],
+            qos: 60.0,
+        }
+    }
+}
+
+/// What one run of the driver observed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadReport {
+    /// Sessions successfully placed.
+    pub placed: u64,
+    /// Placements refused by the policy (fleet saturated).
+    pub rejected: u64,
+    /// `Overloaded` pushbacks received.
+    pub overloaded: u64,
+    /// Sessions departed (including the end-of-run drain).
+    pub departed: u64,
+    /// Transport or daemon errors.
+    pub errors: u64,
+    /// Mean predicted FPS over placed sessions.
+    pub mean_predicted_fps: f64,
+    /// Fraction of placed sessions predicted below the QoS floor.
+    pub violation_rate: f64,
+    /// Placement latency percentiles (µs), measured client-side.
+    pub p50_us: u64,
+    /// 95th percentile placement latency (µs).
+    pub p95_us: u64,
+    /// 99th percentile placement latency (µs).
+    pub p99_us: u64,
+    /// Worst placement latency (µs).
+    pub max_us: u64,
+    /// Place attempts per second of wall time, across all connections.
+    pub achieved_rps: f64,
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "load driver report")?;
+        writeln!(f, "  placed:        {}", self.placed)?;
+        writeln!(f, "  rejected:      {}", self.rejected)?;
+        writeln!(f, "  overloaded:    {}", self.overloaded)?;
+        writeln!(f, "  departed:      {}", self.departed)?;
+        writeln!(f, "  errors:        {}", self.errors)?;
+        writeln!(f, "  predicted fps: {:.2} mean", self.mean_predicted_fps)?;
+        writeln!(
+            f,
+            "  violations:    {:.2}% of placements",
+            100.0 * self.violation_rate
+        )?;
+        writeln!(
+            f,
+            "  place latency: p50 {}µs  p95 {}µs  p99 {}µs  max {}µs",
+            self.p50_us, self.p95_us, self.p99_us, self.max_us
+        )?;
+        writeln!(f, "  throughput:    {:.0} req/s", self.achieved_rps)
+    }
+}
+
+struct ThreadOutcome {
+    placed: u64,
+    rejected: u64,
+    overloaded: u64,
+    departed: u64,
+    errors: u64,
+    fps_sum: f64,
+    violations: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn exponential(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() * mean
+}
+
+fn run_thread(config: &LoadConfig, thread: usize, n_arrivals: u64) -> ThreadOutcome {
+    let mut out = ThreadOutcome {
+        placed: 0,
+        rejected: 0,
+        overloaded: 0,
+        departed: 0,
+        errors: 0,
+        fps_sum: 0.0,
+        violations: 0,
+        latencies_us: Vec::with_capacity(n_arrivals as usize),
+    };
+    let mut rng = rng_for(config.seed, &[LOAD_CTX, thread as u64]);
+    let per_thread_rate = config.rate / config.connections.max(1) as f64;
+    // Min-heap of (departure arrival-index, session id).
+    let mut departures: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+
+    let mut client = match Client::connect(&config.addr) {
+        Ok(c) => c,
+        Err(_) => {
+            out.errors += n_arrivals;
+            return out;
+        }
+    };
+    let started = Instant::now();
+    let mut next_at = Duration::ZERO;
+
+    for i in 0..n_arrivals {
+        // Draw the whole arrival *before* any I/O so the request sequence
+        // stays a pure function of the seed even when calls fail.
+        let game = config.games[rng.gen_range(0..config.games.len())];
+        let resolution = config.resolutions[rng.gen_range(0..config.resolutions.len())];
+        let lifetime = exponential(&mut rng, config.mean_session_arrivals)
+            .ceil()
+            .max(1.0) as u64;
+        if per_thread_rate.is_finite() && per_thread_rate > 0.0 {
+            next_at += Duration::from_secs_f64(exponential(&mut rng, 1.0 / per_thread_rate));
+            if let Some(wait) = next_at.checked_sub(started.elapsed()) {
+                std::thread::sleep(wait);
+            }
+        }
+
+        // Sessions whose lifetime elapsed depart before the new arrival.
+        while let Some(&Reverse((due, session))) = departures.peek() {
+            if due > i {
+                break;
+            }
+            departures.pop();
+            match client.depart(session) {
+                Ok(_) => out.departed += 1,
+                Err(_) => out.errors += 1,
+            }
+        }
+
+        let t0 = Instant::now();
+        match client.place(game, resolution) {
+            Ok(placed) => {
+                out.latencies_us.push(t0.elapsed().as_micros() as u64);
+                out.placed += 1;
+                out.fps_sum += placed.predicted_fps;
+                if placed.predicted_fps < config.qos {
+                    out.violations += 1;
+                }
+                departures.push(Reverse((i + lifetime, placed.session)));
+            }
+            Err(ClientError::Rejected { .. }) => {
+                out.latencies_us.push(t0.elapsed().as_micros() as u64);
+                out.rejected += 1;
+            }
+            Err(ClientError::Overloaded { retry_after_ms }) => {
+                out.overloaded += 1;
+                std::thread::sleep(Duration::from_millis(retry_after_ms.min(1000)));
+                // The daemon answers Overloaded at accept time, so this
+                // connection was never admitted — reconnect for the rest.
+                match Client::connect(&config.addr) {
+                    Ok(c) => client = c,
+                    Err(_) => {
+                        out.errors += n_arrivals - i;
+                        return out;
+                    }
+                }
+            }
+            Err(_) => out.errors += 1,
+        }
+    }
+
+    // Drain: everything this thread placed departs before it reports, so
+    // daemon-side active_sessions reconciles to zero after a full run.
+    while let Some(Reverse((_, session))) = departures.pop() {
+        match client.depart(session) {
+            Ok(_) => out.departed += 1,
+            Err(_) => out.errors += 1,
+        }
+    }
+    out
+}
+
+/// Run the driver against a live daemon and aggregate a [`LoadReport`].
+pub fn run(config: &LoadConfig) -> LoadReport {
+    assert!(!config.games.is_empty(), "need at least one game");
+    assert!(
+        !config.resolutions.is_empty(),
+        "need at least one resolution"
+    );
+    let threads = config.connections.max(1);
+    let base = config.requests / threads as u64;
+    let remainder = config.requests % threads as u64;
+
+    let started = Instant::now();
+    let outcomes: Vec<ThreadOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let n = base + u64::from((t as u64) < remainder);
+                scope.spawn(move || run_thread(config, t, n))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+
+    let mut report = LoadReport::default();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut violations = 0u64;
+    let mut fps_sum = 0.0;
+    for o in outcomes {
+        report.placed += o.placed;
+        report.rejected += o.rejected;
+        report.overloaded += o.overloaded;
+        report.departed += o.departed;
+        report.errors += o.errors;
+        fps_sum += o.fps_sum;
+        violations += o.violations;
+        latencies.extend(o.latencies_us);
+    }
+    report.mean_predicted_fps = if report.placed > 0 {
+        fps_sum / report.placed as f64
+    } else {
+        0.0
+    };
+    report.violation_rate = if report.placed > 0 {
+        violations as f64 / report.placed as f64
+    } else {
+        0.0
+    };
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * latencies.len() as f64).ceil().max(1.0) as usize;
+        latencies[rank.min(latencies.len()) - 1]
+    };
+    report.p50_us = pct(50.0);
+    report.p95_us = pct(95.0);
+    report.p99_us = pct(99.0);
+    report.max_us = latencies.last().copied().unwrap_or(0);
+    report.achieved_rps = (report.placed + report.rejected) as f64 / elapsed;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_streams_are_deterministic() {
+        let config = LoadConfig::default();
+        let mut a = rng_for(config.seed, &[LOAD_CTX, 0]);
+        let mut b = rng_for(config.seed, &[LOAD_CTX, 0]);
+        for _ in 0..100 {
+            assert_eq!(
+                a.gen_range(0..config.games.len()),
+                b.gen_range(0..config.games.len())
+            );
+        }
+        // Different threads draw different streams.
+        let mut c = rng_for(config.seed, &[LOAD_CTX, 1]);
+        let same = (0..100).all(|_| {
+            let mut a = rng_for(config.seed, &[LOAD_CTX, 0]);
+            a.gen_range(0..1000) == c.gen_range(0..1000)
+        });
+        assert!(!same);
+    }
+
+    #[test]
+    fn exponential_has_roughly_the_requested_mean() {
+        let mut rng = rng_for(1, &[LOAD_CTX, 99]);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut rng, 8.0)).sum::<f64>() / n as f64;
+        assert!((mean - 8.0).abs() < 0.5, "mean {mean}");
+    }
+}

@@ -1,0 +1,365 @@
+//! Model lifecycle: loading the persisted GAugur artifact, hot-swapping it
+//! behind an `RwLock`, and memoizing predictions.
+//!
+//! In-flight requests clone the current `Arc<LoadedModel>` once at dispatch
+//! and keep using it for the whole request, so a concurrent `ReloadModel`
+//! can never fail or skew a request that already started — the old model
+//! simply lives until its last request drops the Arc.
+
+use gaugur_core::{GAugur, Placement};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One immutable loaded model plus its provenance.
+pub struct LoadedModel {
+    /// The trained predictor.
+    pub gaugur: GAugur,
+    /// Monotonic version, bumped on every (re)load.
+    pub version: u64,
+    /// The artifact the model came from.
+    pub source: PathBuf,
+}
+
+impl LoadedModel {
+    /// Whether `id` is a game this model can predict for.
+    pub fn knows_game(&self, id: gaugur_gamesim::GameId) -> bool {
+        self.gaugur.profiles.contains(id)
+    }
+}
+
+/// Shared, hot-swappable reference to the current model.
+pub struct ModelHandle {
+    current: RwLock<Arc<LoadedModel>>,
+    versions: AtomicU64,
+}
+
+impl ModelHandle {
+    /// Load the initial model from a `gaugur build` JSON artifact.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<ModelHandle> {
+        let path = path.as_ref();
+        let gaugur = GAugur::load_json(path)?;
+        Ok(ModelHandle {
+            current: RwLock::new(Arc::new(LoadedModel {
+                gaugur,
+                version: 1,
+                source: path.to_path_buf(),
+            })),
+            versions: AtomicU64::new(1),
+        })
+    }
+
+    /// Wrap an already-trained model (tests, benches).
+    pub fn from_model(gaugur: GAugur) -> ModelHandle {
+        ModelHandle {
+            current: RwLock::new(Arc::new(LoadedModel {
+                gaugur,
+                version: 1,
+                source: PathBuf::from("<in-memory>"),
+            })),
+            versions: AtomicU64::new(1),
+        }
+    }
+
+    /// The current model. Cheap: one read-lock acquisition and an Arc clone.
+    pub fn get(&self) -> Arc<LoadedModel> {
+        self.current.read().clone()
+    }
+
+    /// Version of the currently served model.
+    pub fn version(&self) -> u64 {
+        self.get().version
+    }
+
+    /// Reload from `path` (or the current model's source when `None`) and
+    /// swap atomically. The swap happens only after a successful load: a
+    /// bad artifact leaves the old model serving and returns the error.
+    pub fn reload(&self, path: Option<&Path>) -> io::Result<u64> {
+        let source = match path {
+            Some(p) => p.to_path_buf(),
+            None => self.get().source.clone(),
+        };
+        let gaugur = GAugur::load_json(&source)?;
+        let version = self.versions.fetch_add(1, Ordering::SeqCst) + 1;
+        *self.current.write() = Arc::new(LoadedModel {
+            gaugur,
+            version,
+            source,
+        });
+        Ok(version)
+    }
+}
+
+/// Memo key: the full semantic input of a prediction. The colocation is
+/// keyed as a sorted multiset — co-runner order is irrelevant to the model
+/// (features are symmetric sums), so permutations share an entry. The model
+/// version is part of the key, which makes hot reloads invalidate the memo
+/// for free (stale entries age out via the size bound).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    version: u64,
+    game: u32,
+    resolution: u8,
+    others: Vec<(u32, u8)>,
+    qos_millis: u64,
+}
+
+fn memo_key(version: u64, qos: f64, target: Placement, others: &[Placement]) -> MemoKey {
+    let mut o: Vec<(u32, u8)> = others.iter().map(|&(g, r)| (g.0, r as u8)).collect();
+    o.sort_unstable();
+    MemoKey {
+        version,
+        game: target.0 .0,
+        resolution: target.1 as u8,
+        others: o,
+        // QoS floors are human-chosen values like 30/60 FPS; milli-FPS
+        // granularity keys them exactly without hashing raw f64 bits.
+        qos_millis: (qos.max(0.0) * 1000.0).round() as u64,
+    }
+}
+
+/// A memoized prediction: QoS class plus degradation ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// CM-style class: does every-member-above-floor hold for the target.
+    pub feasible: bool,
+    /// Predicted degradation ratio δ̃.
+    pub degradation: f64,
+    /// Predicted absolute FPS (δ̃ × solo FPS at the target resolution).
+    pub fps: f64,
+}
+
+/// Bounded memo of `(model, target, colocation, qos) → prediction`.
+pub struct PredictionMemo {
+    map: Mutex<HashMap<MemoKey, Prediction>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+impl PredictionMemo {
+    /// Memo bounded to `capacity` entries (cleared wholesale when full —
+    /// entries are cheap to recompute and the working set of a live fleet
+    /// is far below any sensible capacity).
+    pub fn new(capacity: usize) -> PredictionMemo {
+        PredictionMemo {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity: capacity.max(16),
+        }
+    }
+
+    /// Predict through the memo. Returns the prediction and whether it was
+    /// served from cache.
+    pub fn predict(
+        &self,
+        model: &LoadedModel,
+        qos: f64,
+        target: Placement,
+        others: &[Placement],
+    ) -> (Prediction, bool) {
+        let key = memo_key(model.version, qos, target, others);
+        if let Some(hit) = self.map.lock().get(&key).copied() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (hit, true);
+        }
+        let solo = model.gaugur.profiles.get(target.0).solo_fps_at(target.1);
+        let prediction = if others.is_empty() {
+            // Solo: no interference, no model involved.
+            Prediction {
+                feasible: solo >= qos,
+                degradation: 1.0,
+                fps: solo,
+            }
+        } else {
+            let degradation = model.gaugur.predict_degradation(target, others);
+            Prediction {
+                feasible: model.gaugur.predict_qos(qos, target, others),
+                degradation,
+                fps: degradation * solo,
+            }
+        };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock();
+        if map.len() >= self.capacity {
+            map.clear();
+        }
+        map.insert(key, prediction);
+        (prediction, false)
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// [`gaugur_sched::FpsModel`] adapter that routes every member-FPS query
+/// through the memo, so the placement greedy benefits from caching too.
+pub struct MemoizedFps<'a> {
+    /// The model snapshot this request is pinned to.
+    pub model: &'a LoadedModel,
+    /// The shared memo.
+    pub memo: &'a PredictionMemo,
+    /// QoS floor used for the feasibility half of memo entries.
+    pub qos: f64,
+}
+
+impl gaugur_sched::FpsModel for MemoizedFps<'_> {
+    fn predict_member_fps(&self, members: &[Placement], idx: usize) -> f64 {
+        let others: Vec<Placement> = members
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != idx)
+            .map(|(_, &p)| p)
+            .collect();
+        self.memo
+            .predict(self.model, self.qos, members[idx], &others)
+            .0
+            .fps
+    }
+
+    fn model_name(&self) -> &'static str {
+        "GAugur(RM, memoized)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugur_gamesim::{GameCatalog, GameId, Resolution, Server};
+
+    fn tiny_model() -> GAugur {
+        let server = Server::reference(7);
+        let catalog = GameCatalog::generate(42, 8);
+        let config = gaugur_core::GAugurConfig {
+            plan: gaugur_core::ColocationPlan {
+                pairs: 40,
+                triples: 10,
+                quads: 5,
+                seed: 3,
+            },
+            ..Default::default()
+        };
+        GAugur::build(&server, &catalog, config)
+    }
+
+    #[test]
+    fn memo_hits_on_repeat_and_permutation() {
+        let handle = ModelHandle::from_model(tiny_model());
+        let model = handle.get();
+        let memo = PredictionMemo::new(1024);
+        let t = (GameId(0), Resolution::Fhd1080);
+        let others = [
+            (GameId(1), Resolution::Hd720),
+            (GameId(2), Resolution::Fhd1080),
+        ];
+        let reversed = [others[1], others[0]];
+
+        let (p1, cached1) = memo.predict(&model, 60.0, t, &others);
+        assert!(!cached1);
+        let (p2, cached2) = memo.predict(&model, 60.0, t, &others);
+        assert!(cached2);
+        // Permutation of the co-runner multiset is the same colocation.
+        let (p3, cached3) = memo.predict(&model, 60.0, t, &reversed);
+        assert!(cached3);
+        assert_eq!(p1, p2);
+        assert_eq!(p1, p3);
+        assert_eq!(memo.counts(), (2, 1));
+
+        // A different QoS floor is a different question.
+        let (_, cached4) = memo.predict(&model, 30.0, t, &others);
+        assert!(!cached4);
+    }
+
+    #[test]
+    fn memoized_predictions_match_direct_model_calls() {
+        let handle = ModelHandle::from_model(tiny_model());
+        let model = handle.get();
+        let memo = PredictionMemo::new(1024);
+        let t = (GameId(3), Resolution::Fhd1080);
+        let others = [(GameId(5), Resolution::Fhd1080)];
+        let (p, _) = memo.predict(&model, 60.0, t, &others);
+        assert_eq!(p.degradation, model.gaugur.predict_degradation(t, &others));
+        assert_eq!(p.fps, model.gaugur.predict_fps(t, &others));
+        assert_eq!(p.feasible, model.gaugur.predict_qos(60.0, t, &others));
+    }
+
+    #[test]
+    fn solo_prediction_bypasses_the_models() {
+        let handle = ModelHandle::from_model(tiny_model());
+        let model = handle.get();
+        let memo = PredictionMemo::new(64);
+        let t = (GameId(1), Resolution::Hd720);
+        let (p, _) = memo.predict(&model, 30.0, t, &[]);
+        assert_eq!(p.degradation, 1.0);
+        let solo = model.gaugur.profiles.get(t.0).solo_fps_at(t.1);
+        assert_eq!(p.fps, solo);
+        assert_eq!(p.feasible, solo >= 30.0);
+    }
+
+    #[test]
+    fn capacity_bound_clears_instead_of_growing() {
+        let handle = ModelHandle::from_model(tiny_model());
+        let model = handle.get();
+        let memo = PredictionMemo::new(16);
+        for g in 0..8u32 {
+            for o in 0..8u32 {
+                if g != o {
+                    let _ = memo.predict(
+                        &model,
+                        60.0,
+                        (GameId(g), Resolution::Fhd1080),
+                        &[(GameId(o), Resolution::Fhd1080)],
+                    );
+                }
+            }
+        }
+        assert!(memo.len() <= 16);
+    }
+
+    #[test]
+    fn reload_swaps_version_and_survives_bad_artifacts() {
+        let dir = std::env::temp_dir().join(format!("gaugur-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let model = tiny_model();
+        model.save_json(&path).unwrap();
+
+        let handle = ModelHandle::load(&path).unwrap();
+        assert_eq!(handle.version(), 1);
+        assert_eq!(handle.reload(None).unwrap(), 2);
+        assert_eq!(handle.version(), 2);
+
+        // A bad artifact must not dislodge the serving model.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, b"{ not json").unwrap();
+        assert!(handle.reload(Some(&bad)).is_err());
+        assert_eq!(handle.version(), 2);
+
+        // Old Arcs keep working across a reload (in-flight requests).
+        let pinned = handle.get();
+        handle.reload(None).unwrap();
+        assert_eq!(pinned.version, 2);
+        assert_eq!(handle.version(), 3);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

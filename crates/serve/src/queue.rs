@@ -1,0 +1,130 @@
+//! Bounded MPMC work queue for the daemon: the acceptor pushes accepted
+//! connections, the worker pool pops them. Rejecting at the bound (instead
+//! of queueing without limit) is what turns overload into fast `Overloaded`
+//! replies rather than unbounded latency.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded queue with blocking pop and non-blocking bounded push.
+pub struct WorkQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> WorkQueue<T> {
+    /// Queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> WorkQueue<T> {
+        WorkQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue, or give the item back when the queue is full or closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available or the queue is closed *and* empty
+    /// (so closing drains: queued items are still handed out).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            self.available.wait(&mut inner);
+        }
+    }
+
+    /// Close the queue: pushes start failing, pops drain what remains and
+    /// then return `None`.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_respects_the_bound() {
+        let q = WorkQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok());
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = WorkQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push_and_close() {
+        let q = Arc::new(WorkQueue::new(4));
+        let q2 = q.clone();
+        let popper = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = q2.pop() {
+                got.push(v);
+            }
+            got
+        });
+        for i in 0..10 {
+            while q.push(i).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        // Give the popper time to drain, then close to end it.
+        while !q.is_empty() {
+            std::thread::yield_now();
+        }
+        q.close();
+        let got = popper.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,336 @@
+//! Daemon observability: lock-free request counters and fixed-bucket
+//! latency histograms, snapshotted on demand (the `Stats` request) and
+//! printed when the daemon shuts down.
+//!
+//! Everything here is updated on the request hot path, so the collection
+//! side is plain relaxed atomics — no locks, no allocation. Snapshots are
+//! not atomic across counters (a concurrent request may straddle one), which
+//! is fine for monitoring; tests that need exact reconciliation quiesce the
+//! daemon first.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::wire::REQUEST_KINDS;
+
+/// Upper bounds (µs) of the latency histogram buckets; the final implicit
+/// bucket is overflow. Spans 1 µs service times to multi-second stalls.
+pub const LATENCY_BUCKETS_US: [u64; 12] = [
+    5, 10, 25, 50, 100, 250, 500, 1_000, 5_000, 25_000, 100_000, 1_000_000,
+];
+
+/// Number of histogram counters (`LATENCY_BUCKETS_US` plus overflow).
+pub const N_BUCKETS: usize = LATENCY_BUCKETS_US.len() + 1;
+
+/// Per-request-kind counters in snapshot (wire) form.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RequestStats {
+    /// Requests answered successfully.
+    pub ok: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+    /// Histogram counts per bucket of [`LATENCY_BUCKETS_US`] (+ overflow).
+    pub latency_us: Vec<u64>,
+}
+
+impl RequestStats {
+    /// Total requests of this kind.
+    pub fn total(&self) -> u64 {
+        self.ok + self.errors
+    }
+
+    /// Approximate latency percentile (0..=100) from the histogram: the
+    /// upper bound of the bucket holding the p-th sample. Returns 0 with no
+    /// samples.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let n: u64 = self.latency_us.iter().sum();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.latency_us.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return LATENCY_BUCKETS_US.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Full daemon state snapshot, as served to `Stats` requests.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Version of the currently loaded model.
+    pub model_version: u64,
+    /// Sessions currently placed on the fleet.
+    pub active_sessions: u64,
+    /// Fleet size the daemon was configured with.
+    pub servers: usize,
+    /// Connections the acceptor has admitted.
+    pub connections_accepted: u64,
+    /// Connections turned away with `Overloaded`.
+    pub overloaded_rejections: u64,
+    /// Frames that failed to decode.
+    pub malformed_frames: u64,
+    /// Prediction-memo hits.
+    pub cache_hits: u64,
+    /// Prediction-memo misses.
+    pub cache_misses: u64,
+    /// Counters per request kind.
+    pub per_request: BTreeMap<String, RequestStats>,
+}
+
+impl StatsSnapshot {
+    /// Memo hit rate in [0, 1]; 0 with no lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "daemon statistics")?;
+        writeln!(
+            f,
+            "  uptime:            {:.1} s",
+            self.uptime_ms as f64 / 1e3
+        )?;
+        writeln!(f, "  model version:     {}", self.model_version)?;
+        writeln!(f, "  active sessions:   {}", self.active_sessions)?;
+        writeln!(f, "  servers:           {}", self.servers)?;
+        writeln!(f, "  connections:       {}", self.connections_accepted)?;
+        writeln!(f, "  overloaded:        {}", self.overloaded_rejections)?;
+        writeln!(f, "  malformed frames:  {}", self.malformed_frames)?;
+        writeln!(
+            f,
+            "  prediction memo:   {} hits / {} misses ({:.1}% hit rate)",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.cache_hit_rate()
+        )?;
+        writeln!(
+            f,
+            "  {:<14} {:>8} {:>8} {:>10} {:>10} {:>10}",
+            "request", "ok", "errors", "p50", "p95", "p99"
+        )?;
+        for (kind, rs) in &self.per_request {
+            if rs.total() == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "  {:<14} {:>8} {:>8} {:>9}µs {:>9}µs {:>9}µs",
+                kind,
+                rs.ok,
+                rs.errors,
+                rs.percentile_us(50.0),
+                rs.percentile_us(95.0),
+                rs.percentile_us(99.0)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+struct KindCounters {
+    ok: AtomicU64,
+    errors: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl KindCounters {
+    fn new() -> KindCounters {
+        KindCounters {
+            ok: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Collection-side counters; shared across workers as plain atomics.
+pub struct AtomicStats {
+    started: Instant,
+    kinds: Vec<(&'static str, KindCounters)>,
+    connections: AtomicU64,
+    overloaded: AtomicU64,
+    malformed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl Default for AtomicStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicStats {
+    /// Fresh counters with every request kind pre-registered.
+    pub fn new() -> AtomicStats {
+        AtomicStats {
+            started: Instant::now(),
+            kinds: REQUEST_KINDS
+                .iter()
+                .map(|&k| (k, KindCounters::new()))
+                .collect(),
+            connections: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+
+    fn kind(&self, kind: &str) -> &KindCounters {
+        // REQUEST_KINDS is tiny; linear scan beats hashing at this size.
+        self.kinds
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, c)| c)
+            .expect("unregistered request kind")
+    }
+
+    /// Record one handled request of `kind` with its service latency.
+    pub fn record(&self, kind: &str, ok: bool, latency_us: u64) {
+        let c = self.kind(kind);
+        if ok {
+            c.ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&b| latency_us <= b)
+            .unwrap_or(N_BUCKETS - 1);
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count an accepted connection.
+    pub fn note_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a connection turned away with `Overloaded`.
+    pub fn note_overloaded(&self) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count an undecodable frame.
+    pub fn note_malformed(&self) {
+        self.malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a prediction-memo hit or miss.
+    pub fn note_cache(&self, hit: bool) {
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot every counter. `model_version`, `active_sessions` and
+    /// `servers` come from the daemon, which owns that state.
+    pub fn snapshot(
+        &self,
+        model_version: u64,
+        active_sessions: u64,
+        servers: usize,
+    ) -> StatsSnapshot {
+        let per_request = self
+            .kinds
+            .iter()
+            .map(|(kind, c)| {
+                (
+                    kind.to_string(),
+                    RequestStats {
+                        ok: c.ok.load(Ordering::Relaxed),
+                        errors: c.errors.load(Ordering::Relaxed),
+                        latency_us: c
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                    },
+                )
+            })
+            .collect();
+        StatsSnapshot {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            model_version,
+            active_sessions,
+            servers,
+            connections_accepted: self.connections.load(Ordering::Relaxed),
+            overloaded_rejections: self.overloaded.load(Ordering::Relaxed),
+            malformed_frames: self.malformed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            per_request,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_latencies_correctly() {
+        let s = AtomicStats::new();
+        s.record("place", true, 1); // bucket 0 (≤5)
+        s.record("place", true, 5); // bucket 0 (≤5)
+        s.record("place", true, 6); // bucket 1 (≤10)
+        s.record("place", false, 2_000_000); // overflow bucket
+        let snap = s.snapshot(1, 0, 2);
+        let rs = &snap.per_request["place"];
+        assert_eq!(rs.ok, 3);
+        assert_eq!(rs.errors, 1);
+        assert_eq!(rs.latency_us[0], 2);
+        assert_eq!(rs.latency_us[1], 1);
+        assert_eq!(rs.latency_us[N_BUCKETS - 1], 1);
+        assert_eq!(rs.total(), 4);
+    }
+
+    #[test]
+    fn percentiles_track_the_histogram() {
+        let s = AtomicStats::new();
+        for _ in 0..99 {
+            s.record("predict", true, 3);
+        }
+        s.record("predict", true, 900); // one slow outlier (≤1000 bucket)
+        let rs = s.snapshot(1, 0, 1).per_request["predict"].clone();
+        assert_eq!(rs.percentile_us(50.0), 5);
+        assert_eq!(rs.percentile_us(99.0), 5);
+        assert_eq!(rs.percentile_us(100.0), 1_000);
+        assert_eq!(RequestStats::default().percentile_us(50.0), 0);
+    }
+
+    #[test]
+    fn every_kind_is_preregistered() {
+        let snap = AtomicStats::new().snapshot(0, 0, 0);
+        for kind in REQUEST_KINDS {
+            assert!(snap.per_request.contains_key(kind), "{kind}");
+        }
+    }
+
+    #[test]
+    fn display_renders_without_panicking() {
+        let s = AtomicStats::new();
+        s.record("stats", true, 10);
+        let text = s.snapshot(2, 3, 4).to_string();
+        assert!(text.contains("model version:     2"));
+        assert!(text.contains("stats"));
+    }
+}

@@ -1,0 +1,436 @@
+//! Wire protocol of the placement daemon.
+//!
+//! Frames are a 4-byte big-endian payload length followed by that many bytes
+//! of JSON — one [`Request`] or [`Response`] per frame. Length-prefixing
+//! keeps the stream self-synchronizing: a payload that fails to decode is
+//! still consumed exactly, so the daemon can reply with an error frame and
+//! keep the connection (required: malformed frames must not cost the client
+//! its connection).
+//!
+//! The decoder is hardened for untrusted input: declared lengths above
+//! [`MAX_FRAME_LEN`] are rejected before any allocation, payloads go through
+//! the depth-limited JSON parser, and no input byte sequence panics.
+
+use gaugur_gamesim::{GameId, Resolution};
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+use crate::stats::StatsSnapshot;
+
+/// Hard cap on a frame's payload size. Large enough for any real request
+/// (a full `Stats` snapshot is ~4 KiB), small enough that a hostile length
+/// cannot balloon memory.
+pub const MAX_FRAME_LEN: usize = 256 * 1024;
+
+/// A placement request: which game at which resolution.
+pub type WirePlacement = (GameId, Resolution);
+
+/// Client-to-daemon messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Admit a session: pick a server (max-predicted-FPS greedy) and place.
+    Place {
+        /// The requested game.
+        game: GameId,
+        /// The requested display resolution.
+        resolution: Resolution,
+    },
+    /// End a session previously admitted by `Place`.
+    Depart {
+        /// Session id returned by the `Placed` response.
+        session: u64,
+    },
+    /// Query the model without touching cluster state.
+    Predict {
+        /// The game whose performance is being asked about.
+        game: GameId,
+        /// Its display resolution.
+        resolution: Resolution,
+        /// The colocated games it would share a server with.
+        others: Vec<WirePlacement>,
+        /// QoS frame-rate floor for the feasibility class.
+        qos: f64,
+    },
+    /// Fetch the daemon's counters and latency histograms.
+    Stats,
+    /// Hot-swap the model: reload from `path`, or from the original
+    /// model file when `path` is `None`.
+    ReloadModel {
+        /// Optional new model artifact to load.
+        path: Option<String>,
+    },
+    /// Ask the daemon to shut down gracefully (drains in-flight work).
+    Shutdown,
+}
+
+/// Daemon-to-client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// A `Place` succeeded.
+    Placed {
+        /// Daemon-assigned session id (pass to `Depart`).
+        session: u64,
+        /// Index of the chosen server.
+        server: usize,
+        /// Predicted FPS of the new session on that server.
+        predicted_fps: f64,
+        /// Version of the model that made the decision.
+        model_version: u64,
+    },
+    /// A `Place` found no eligible server (fleet saturated).
+    Rejected {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A `Depart` succeeded.
+    Departed {
+        /// The departed session.
+        session: u64,
+        /// The server whose capacity was freed.
+        server: usize,
+    },
+    /// Answer to `Predict`.
+    Prediction {
+        /// CM/QoS class: whether the colocation keeps the target above
+        /// the requested floor.
+        feasible: bool,
+        /// Predicted degradation ratio δ̃ in (0, ~1].
+        degradation: f64,
+        /// Predicted absolute FPS (δ̃ × solo FPS).
+        fps: f64,
+        /// Version of the model that answered.
+        model_version: u64,
+        /// Whether the answer came from the prediction memo.
+        cached: bool,
+    },
+    /// Answer to `Stats`.
+    Stats(StatsSnapshot),
+    /// Answer to `ReloadModel`.
+    Reloaded {
+        /// The new model version.
+        version: u64,
+    },
+    /// The work queue is full; retry after the suggested backoff.
+    Overloaded {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The daemon is draining and will not take further work.
+    ShuttingDown,
+    /// The request could not be decoded or touched unknown entities.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean end-of-stream at a frame boundary.
+    Eof,
+    /// Transport failure, including read timeouts.
+    Io(io::Error),
+    /// The declared length exceeds [`MAX_FRAME_LEN`]; the stream cannot be
+    /// resynchronized and should be closed after an error reply.
+    TooLarge(usize),
+    /// The payload was consumed but is not a valid message; the stream is
+    /// still in sync and the connection can continue.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "end of stream"),
+            FrameError::Io(e) => write!(f, "io error: {e}"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds limit of {MAX_FRAME_LEN}")
+            }
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Serialize `msg` as one frame onto `w`.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
+    let payload = serde_json::to_string(msg)
+        .map_err(io::Error::other)?
+        .into_bytes();
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Read one frame from `r` and decode it.
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<T, FrameError> {
+    let payload = read_frame_bytes(r)?;
+    decode_payload(&payload)
+}
+
+/// Read one raw frame payload (length-checked, fully consumed).
+pub fn read_frame_bytes<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 4];
+    match r.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(FrameError::Eof),
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream closed mid-frame",
+            ))
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    Ok(payload)
+}
+
+/// Decode a fully-read payload. Never panics, for any input bytes.
+pub fn decode_payload<T: Deserialize>(payload: &[u8]) -> Result<T, FrameError> {
+    serde_json::from_slice(payload).map_err(|e| FrameError::Malformed(e.to_string()))
+}
+
+/// Stable label of a request kind, used as the stats key.
+pub fn request_kind(req: &Request) -> &'static str {
+    match req {
+        Request::Place { .. } => "place",
+        Request::Depart { .. } => "depart",
+        Request::Predict { .. } => "predict",
+        Request::Stats => "stats",
+        Request::ReloadModel { .. } => "reload_model",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// All request-kind labels, in a stable order (drives stats pre-registration
+/// so snapshots always carry every kind).
+pub const REQUEST_KINDS: [&str; 6] = [
+    "place",
+    "depart",
+    "predict",
+    "stats",
+    "reload_model",
+    "shutdown",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::AtomicStats;
+    use proptest::prelude::*;
+    use std::io::Cursor;
+
+    fn roundtrip_request(req: &Request) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, req).unwrap();
+        let back: Request = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(*req, back);
+    }
+
+    fn roundtrip_response(resp: &Response) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, resp).unwrap();
+        let back: Response = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(*resp, back);
+    }
+
+    #[test]
+    fn every_request_variant_roundtrips() {
+        roundtrip_request(&Request::Place {
+            game: GameId(3),
+            resolution: Resolution::Fhd1080,
+        });
+        roundtrip_request(&Request::Depart { session: 42 });
+        roundtrip_request(&Request::Predict {
+            game: GameId(0),
+            resolution: Resolution::Hd720,
+            others: vec![
+                (GameId(1), Resolution::Fhd1080),
+                (GameId(2), Resolution::Hd720),
+            ],
+            qos: 60.0,
+        });
+        roundtrip_request(&Request::Stats);
+        roundtrip_request(&Request::ReloadModel { path: None });
+        roundtrip_request(&Request::ReloadModel {
+            path: Some("/tmp/model.json".into()),
+        });
+        roundtrip_request(&Request::Shutdown);
+    }
+
+    #[test]
+    fn every_response_variant_roundtrips() {
+        roundtrip_response(&Response::Placed {
+            session: 7,
+            server: 3,
+            predicted_fps: 58.25,
+            model_version: 2,
+        });
+        roundtrip_response(&Response::Rejected {
+            reason: "no eligible server".into(),
+        });
+        roundtrip_response(&Response::Departed {
+            session: 7,
+            server: 3,
+        });
+        roundtrip_response(&Response::Prediction {
+            feasible: true,
+            degradation: 0.87,
+            fps: 104.4,
+            model_version: 2,
+            cached: false,
+        });
+        roundtrip_response(&Response::Stats(AtomicStats::new().snapshot(1, 0, 4)));
+        roundtrip_response(&Response::Reloaded { version: 3 });
+        roundtrip_response(&Response::Overloaded { retry_after_ms: 25 });
+        roundtrip_response(&Response::ShuttingDown);
+        roundtrip_response(&Response::Error {
+            message: "unknown game 999".into(),
+        });
+    }
+
+    #[test]
+    fn stats_snapshot_roundtrips_with_populated_histograms() {
+        let stats = AtomicStats::new();
+        for us in [3, 70, 800, 12_000, 3_000_000] {
+            stats.record("place", true, us);
+        }
+        stats.record("predict", false, 55);
+        stats.note_overloaded();
+        stats.note_malformed();
+        let snap = stats.snapshot(9, 17, 8);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Response::Stats(snap.clone())).unwrap();
+        let back: Response = read_frame(&mut Cursor::new(&buf)).unwrap();
+        match back {
+            Response::Stats(s) => {
+                assert_eq!(s, snap);
+                let place = &s.per_request["place"];
+                assert_eq!(place.ok, 5);
+                assert_eq!(place.latency_us.iter().sum::<u64>(), 5);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_header_is_eof_or_io() {
+        // Empty stream: clean EOF.
+        match read_frame::<_, Request>(&mut Cursor::new(&[] as &[u8])) {
+            Err(FrameError::Eof) => {}
+            other => panic!("{other:?}"),
+        }
+        // Partial header: also surfaces as Eof (read_exact semantics).
+        match read_frame::<_, Request>(&mut Cursor::new(&[0u8, 0][..])) {
+            Err(FrameError::Eof) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Stats).unwrap();
+        buf.truncate(buf.len() - 2);
+        match read_frame::<_, Request>(&mut Cursor::new(&buf)) {
+            Err(FrameError::Io(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_without_allocating() {
+        let mut buf = (u32::MAX).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"xxxx");
+        match read_frame::<_, Request>(&mut Cursor::new(&buf)) {
+            Err(FrameError::TooLarge(n)) => assert_eq!(n, u32::MAX as usize),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_payload_is_malformed_not_fatal() {
+        let payload = b"not json at all";
+        let mut buf = (payload.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(payload);
+        // Well-formed JSON of the wrong shape is equally malformed.
+        let mut cursor = Cursor::new(&buf);
+        match read_frame::<_, Request>(&mut cursor) {
+            Err(FrameError::Malformed(_)) => {}
+            other => panic!("{other:?}"),
+        }
+        let payload = br#"{"Place":{"game":"not a number"}}"#;
+        let mut buf = (payload.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(payload);
+        match read_frame::<_, Request>(&mut Cursor::new(&buf)) {
+            Err(FrameError::Malformed(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_frame_leaves_stream_in_sync() {
+        let mut buf = Vec::new();
+        let bad = b"garbage";
+        buf.extend_from_slice(&(bad.len() as u32).to_be_bytes());
+        buf.extend_from_slice(bad);
+        write_frame(&mut buf, &Request::Stats).unwrap();
+        let mut cursor = Cursor::new(&buf);
+        assert!(matches!(
+            read_frame::<_, Request>(&mut cursor),
+            Err(FrameError::Malformed(_))
+        ));
+        // The next frame decodes normally.
+        let next: Request = read_frame(&mut cursor).unwrap();
+        assert_eq!(next, Request::Stats);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+        #[test]
+        fn arbitrary_bytes_never_panic_the_decoder(
+            bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            // Whatever arrives, the decoder returns (it must not panic or
+            // loop); a successful parse is fine too.
+            let _ = decode_payload::<Request>(&bytes);
+            let _ = decode_payload::<Response>(&bytes);
+            let _ = read_frame::<_, Request>(&mut Cursor::new(&bytes));
+        }
+
+        #[test]
+        fn arbitrary_json_shapes_never_panic_the_decoder(
+            depth in 0usize..6,
+            n in 0usize..6,
+            seed in 0u64..1_000_000,
+        ) {
+            // Structurally valid JSON with the wrong shape.
+            fn build(depth: usize, n: usize, seed: u64) -> String {
+                if depth == 0 {
+                    return format!("{}", seed % 100);
+                }
+                let inner = build(depth - 1, n, seed / 7);
+                match seed % 3 {
+                    0 => format!("[{}]", vec![inner; n.max(1)].join(",")),
+                    1 => format!("{{\"k{}\":{}}}", seed % 10, inner),
+                    _ => format!("{{\"Place\":{inner}}}"),
+                }
+            }
+            let doc = build(depth, n, seed);
+            let _ = decode_payload::<Request>(doc.as_bytes());
+            let _ = decode_payload::<Response>(doc.as_bytes());
+        }
+    }
+}

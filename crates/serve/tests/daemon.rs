@@ -1,0 +1,284 @@
+//! End-to-end daemon tests: real TCP on an ephemeral port, real worker
+//! threads, a real trained model. Covers the placement invariants, capacity
+//! reclamation on departure, overload pushback, stats reconciliation and
+//! hot-reload under live load.
+
+use gaugur_core::GAugur;
+use gaugur_gamesim::rng::rng_for;
+use gaugur_gamesim::{GameCatalog, GameId, Resolution, Server};
+use gaugur_sched::maxfps::MAX_PER_SERVER;
+use gaugur_serve::wire::{read_frame, write_frame, Request, Response};
+use gaugur_serve::{daemon, load, Client, ClientError, DaemonConfig, LoadConfig, ModelHandle};
+use rand::Rng;
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const N_GAMES: u32 = 8;
+
+/// One trained model for the whole test binary; training dominates runtime.
+fn model() -> GAugur {
+    static MODEL: OnceLock<GAugur> = OnceLock::new();
+    MODEL
+        .get_or_init(|| {
+            let server = Server::reference(7);
+            let catalog = GameCatalog::generate(42, N_GAMES as usize);
+            let config = gaugur_core::GAugurConfig {
+                plan: gaugur_core::ColocationPlan {
+                    pairs: 40,
+                    triples: 10,
+                    quads: 5,
+                    seed: 3,
+                },
+                ..Default::default()
+            };
+            GAugur::build(&server, &catalog, config)
+        })
+        .clone()
+}
+
+fn quiet_config() -> DaemonConfig {
+    DaemonConfig {
+        print_stats_on_shutdown: false,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn two_hundred_requests_respect_fleet_invariants_and_stats_reconcile() {
+    let handle = daemon::start(
+        DaemonConfig {
+            n_servers: 3,
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // Client-side mirror of the fleet, rebuilt purely from daemon replies.
+    let mut mirror: Vec<Vec<(u64, GameId)>> = vec![Vec::new(); 3];
+    let mut sessions: Vec<u64> = Vec::new();
+    let mut rng = rng_for(0xE2E, &[1]);
+    let (mut placed_n, mut rejected_n, mut departed_n) = (0u64, 0u64, 0u64);
+
+    for _ in 0..200 {
+        let depart = !sessions.is_empty() && rng.gen_bool(0.4);
+        if depart {
+            let session = sessions.swap_remove(rng.gen_range(0..sessions.len()));
+            let server = client.depart(session).unwrap();
+            let slot = mirror[server]
+                .iter()
+                .position(|&(id, _)| id == session)
+                .expect("daemon departed a session from the server we placed it on");
+            mirror[server].remove(slot);
+            departed_n += 1;
+            continue;
+        }
+        let game = GameId(rng.gen_range(0..N_GAMES));
+        match client.place(game, Resolution::Fhd1080) {
+            Ok(p) => {
+                assert!(p.server < 3);
+                // The invariants must have held *before* this admission.
+                assert!(mirror[p.server].len() < MAX_PER_SERVER);
+                assert!(mirror[p.server].iter().all(|&(_, g)| g != game));
+                mirror[p.server].push((p.session, game));
+                sessions.push(p.session);
+                placed_n += 1;
+            }
+            Err(ClientError::Rejected { .. }) => {
+                // Rejection must mean no server could legally take the game.
+                for contents in &mirror {
+                    let eligible =
+                        contents.len() < MAX_PER_SERVER && contents.iter().all(|&(_, g)| g != game);
+                    assert!(!eligible, "rejected {game:?} with an eligible server");
+                }
+                rejected_n += 1;
+            }
+            Err(e) => panic!("unexpected place error: {e}"),
+        }
+    }
+
+    // Drain, then reconcile daemon stats against our own counts.
+    for session in sessions.drain(..) {
+        client.depart(session).unwrap();
+        departed_n += 1;
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.active_sessions, 0);
+    assert_eq!(stats.per_request["place"].ok, placed_n + rejected_n);
+    assert_eq!(stats.per_request["place"].errors, 0);
+    assert_eq!(stats.per_request["depart"].ok, departed_n);
+    assert!(stats.cache_hits + stats.cache_misses > 0);
+
+    let final_stats = handle.shutdown();
+    assert_eq!(final_stats.per_request["place"].ok, placed_n + rejected_n);
+}
+
+#[test]
+fn departures_free_capacity() {
+    let handle = daemon::start(
+        DaemonConfig {
+            n_servers: 1,
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let mut placed = HashMap::new();
+    for g in 0..MAX_PER_SERVER as u32 {
+        let p = client.place(GameId(g), Resolution::Fhd1080).unwrap();
+        assert_eq!(p.server, 0);
+        placed.insert(g, p.session);
+    }
+    // Server full: a fresh game has nowhere to go.
+    match client.place(GameId(6), Resolution::Fhd1080) {
+        Err(ClientError::Rejected { .. }) => {}
+        other => panic!("expected rejection on a full fleet, got {other:?}"),
+    }
+    // One departure frees exactly one slot.
+    client.depart(placed.remove(&0).unwrap()).unwrap();
+    let p = client.place(GameId(6), Resolution::Fhd1080).unwrap();
+    assert_eq!(p.server, 0);
+
+    // Duplicate-game exclusion also rejects even with free slots.
+    client.depart(p.session).unwrap();
+    match client.place(GameId(1), Resolution::Fhd1080) {
+        Err(ClientError::Rejected { .. }) => {}
+        other => panic!("expected duplicate-game rejection, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn overload_rejects_with_backoff_instead_of_dropping() {
+    let handle = daemon::start(
+        DaemonConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // One worker, queue of one: the first connection parks the worker (a
+    // served connection is held until EOF), the second fills the queue, and
+    // every further connection must be answered `Overloaded` — not dropped.
+    let mut streams: Vec<TcpStream> = (0..6)
+        .map(|_| {
+            let s = TcpStream::connect(addr).unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+            s
+        })
+        .collect();
+    for s in &mut streams {
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Streams already rejected by the acceptor are closed server-side;
+        // writing to them may fail with EPIPE, which is fine — the
+        // Overloaded frame is still waiting in the receive buffer.
+        let _ = write_frame(s, &Request::Stats);
+    }
+
+    // The head connection is being served and must get a real reply.
+    match read_frame::<_, Response>(&mut streams[0]).unwrap() {
+        Response::Stats(_) => {}
+        other => panic!("head connection expected stats, got {other:?}"),
+    }
+    // The tail connections must each hold an Overloaded frame with a hint.
+    let mut overloaded = 0;
+    for s in streams[2..].iter_mut() {
+        if let Ok(Response::Overloaded { retry_after_ms }) = read_frame::<_, Response>(s) {
+            assert!(retry_after_ms > 0);
+            overloaded += 1;
+        }
+    }
+    assert!(overloaded >= 1, "no connection was pushed back");
+
+    // Closing the head connection lets the queued one drain and be served.
+    drop(streams.remove(0));
+    match read_frame::<_, Response>(&mut streams[0]).unwrap() {
+        Response::Stats(stats) => assert!(stats.overloaded_rejections >= overloaded),
+        other => panic!("queued connection expected stats, got {other:?}"),
+    }
+    drop(streams);
+    handle.shutdown();
+}
+
+#[test]
+fn hot_reload_under_live_load_fails_no_inflight_request() {
+    let dir = std::env::temp_dir().join(format!("gaugur-serve-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact = dir.join("model.json");
+    model().save_json(&artifact).unwrap();
+
+    let handle = daemon::start(
+        DaemonConfig {
+            n_servers: 16,
+            ..quiet_config()
+        },
+        ModelHandle::load(&artifact).unwrap(),
+    )
+    .unwrap();
+    let addr = handle.local_addr().to_string();
+
+    let driver = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            load::run(&LoadConfig {
+                addr,
+                seed: 11,
+                connections: 3,
+                requests: 300,
+                rate: f64::INFINITY,
+                mean_session_arrivals: 6.0,
+                games: (0..N_GAMES).map(GameId).collect(),
+                resolutions: vec![Resolution::Hd720, Resolution::Fhd1080],
+                qos: 60.0,
+            })
+        }
+    });
+
+    // Hammer reloads while the driver is mid-flight.
+    let mut admin = Client::connect(&*addr).unwrap();
+    let mut last_version = 1;
+    for _ in 0..5 {
+        std::thread::sleep(Duration::from_millis(15));
+        let v = admin.reload(None).unwrap();
+        assert!(v > last_version);
+        last_version = v;
+    }
+
+    let report = driver.join().unwrap();
+    // The acceptance bar: reloading must never fail an in-flight request.
+    assert_eq!(report.errors, 0, "reload failed in-flight requests");
+    assert_eq!(report.placed + report.rejected, 300);
+    assert_eq!(report.placed, report.departed);
+
+    let stats = admin.stats().unwrap();
+    assert_eq!(stats.active_sessions, 0);
+    assert_eq!(stats.model_version, last_version);
+    assert_eq!(stats.per_request["reload_model"].ok, 5);
+    assert_eq!(
+        stats.per_request["place"].ok,
+        report.placed + report.rejected
+    );
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shutdown_request_over_the_wire_stops_the_daemon() {
+    let handle = daemon::start(quiet_config(), ModelHandle::from_model(model())).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.place(GameId(0), Resolution::Fhd1080).unwrap();
+    client.shutdown().unwrap();
+    let stats = handle.wait();
+    assert_eq!(stats.per_request["place"].ok, 1);
+    assert_eq!(stats.per_request["shutdown"].ok, 1);
+}

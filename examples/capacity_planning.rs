@@ -69,5 +69,9 @@ fn main() {
             eval.qos_satisfaction(qos) * 100.0
         );
     }
-    println!("{:<26} {} servers (100% QoS)", "no colocation", requests.total());
+    println!(
+        "{:<26} {} servers (100% QoS)",
+        "no colocation",
+        requests.total()
+    );
 }

@@ -38,11 +38,17 @@ fn main() {
         (catalog.by_name("BlubBlub").expect("in catalog").id, res),
     ];
     let candidate_b = [(
-        catalog.by_name("ARK Survival Evolved").expect("in catalog").id,
+        catalog
+            .by_name("ARK Survival Evolved")
+            .expect("in catalog")
+            .id,
         res,
     )];
 
-    for (label, others) in [("A (two indie games)", &candidate_a[..]), ("B (one AAA)", &candidate_b[..])] {
+    for (label, others) in [
+        ("A (two indie games)", &candidate_a[..]),
+        ("B (one AAA)", &candidate_b[..]),
+    ] {
         let fps = gaugur.predict_fps((game.id, res), others);
         let ok = gaugur.predict_qos(60.0, (game.id, res), others);
         println!(

@@ -14,7 +14,9 @@
 //!   CM/RM models, online prediction);
 //! * [`baselines`] — the paper's comparators (Sigmoid, SMiTe, VBP);
 //! * [`sched`] — interference-aware request assignment (Algorithm 1, the
-//!   max-FPS greedy, VBP worst-fit).
+//!   max-FPS greedy, VBP worst-fit);
+//! * [`serve`] — the online placement daemon (TCP wire protocol, live
+//!   cluster state, model hot-reload, memoized prediction, load driver).
 //!
 //! ## Quickstart
 //!
@@ -48,12 +50,11 @@ pub use gaugur_core as core;
 pub use gaugur_gamesim as gamesim;
 pub use gaugur_ml as ml;
 pub use gaugur_sched as sched;
+pub use gaugur_serve as serve;
 
 /// The most commonly used types, importable in one line.
 pub mod prelude {
-    pub use gaugur_baselines::{
-        DegradationPredictor, SigmoidPredictor, SmitePredictor, VbpPolicy,
-    };
+    pub use gaugur_baselines::{DegradationPredictor, SigmoidPredictor, SmitePredictor, VbpPolicy};
     pub use gaugur_core::{
         Algorithm, ColocationPlan, GAugur, GAugurConfig, Placement, ProfileStore, Profiler,
         ProfilingConfig,
@@ -65,4 +66,5 @@ pub mod prelude {
         assign_max_fps, assign_worst_fit, evaluate_cluster, pack_requests, random_requests,
         ColocationTable, FeasibilityReport, GaugurCm, GaugurRm,
     };
+    pub use gaugur_serve::{Client, DaemonConfig, LoadConfig, ModelHandle, StatsSnapshot};
 }

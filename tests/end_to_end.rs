@@ -100,7 +100,10 @@ fn predicted_fps_tracks_actual_fps() {
         }
     }
     let rate = agree as f64 / total.max(1) as f64;
-    assert!(rate > 0.85, "ordering agreement too low: {rate} ({total} pairs)");
+    assert!(
+        rate > 0.85,
+        "ordering agreement too low: {rate} ({total} pairs)"
+    );
 }
 
 #[test]
@@ -112,6 +115,9 @@ fn whole_predictor_serializes_and_roundtrips() {
     let res = gaugur::gamesim::Resolution::Fhd1080;
     let t = (f.catalog[0].id, res);
     let o = [(f.catalog[1].id, res)];
-    assert_eq!(g.predict_degradation(t, &o), back.predict_degradation(t, &o));
+    assert_eq!(
+        g.predict_degradation(t, &o),
+        back.predict_degradation(t, &o)
+    );
     assert_eq!(g.predict_qos(60.0, t, &o), back.predict_qos(60.0, t, &o));
 }

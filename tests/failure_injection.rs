@@ -104,5 +104,3 @@ fn oversubscribed_server_is_measured_not_rejected() {
         assert!(fps.is_finite() && fps > 0.0 && fps < 60.0);
     }
 }
-
-

@@ -1,0 +1,84 @@
+//! Facade-level serving test: train through `gaugur::prelude`, persist the
+//! artifact, serve it from the daemon, and drive it over real TCP — the
+//! full offline→online loop an operator would run.
+
+mod common;
+
+use gaugur::prelude::*;
+use gaugur::serve::{daemon, load};
+
+#[test]
+fn offline_build_serves_online_placements() {
+    let model = common::gaugur().clone();
+    let games: Vec<GameId> = common::fixture()
+        .catalog
+        .games()
+        .iter()
+        .map(|g| g.id)
+        .collect();
+
+    // Persist and reload through the artifact, exactly like `gaugur build`
+    // followed by `gaugur serve`.
+    let dir = std::env::temp_dir().join(format!("gaugur-facade-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact = dir.join("model.json");
+    model.save_json(&artifact).unwrap();
+
+    let handle = daemon::start(
+        DaemonConfig {
+            n_servers: 8,
+            print_stats_on_shutdown: false,
+            ..Default::default()
+        },
+        ModelHandle::load(&artifact).unwrap(),
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // A placement's predicted FPS must agree with the in-process model.
+    let mut client = Client::connect(addr).unwrap();
+    let placed = client.place(games[0], Resolution::Fhd1080).unwrap();
+    let solo = model
+        .profiles
+        .get(games[0])
+        .solo_fps_at(Resolution::Fhd1080);
+    assert!(
+        (placed.predicted_fps - solo).abs() < 1e-9,
+        "first placement on an empty fleet is solo: {} vs {}",
+        placed.predicted_fps,
+        solo
+    );
+    let second = client.place(games[1], Resolution::Fhd1080).unwrap();
+    let expected = model.predict_fps(
+        (games[1], Resolution::Fhd1080),
+        &[(games[0], Resolution::Fhd1080)],
+    );
+    if second.server == placed.server {
+        assert!((second.predicted_fps - expected).abs() < 1e-9);
+    }
+    client.depart(placed.session).unwrap();
+    client.depart(second.session).unwrap();
+
+    // A short driver run through the same daemon ends fully reconciled.
+    let report = load::run(&LoadConfig {
+        addr: addr.to_string(),
+        seed: 5,
+        connections: 2,
+        requests: 100,
+        rate: f64::INFINITY,
+        mean_session_arrivals: 5.0,
+        games,
+        resolutions: vec![Resolution::Hd720, Resolution::Fhd1080],
+        qos: 60.0,
+    });
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.placed + report.rejected, 100);
+    assert_eq!(report.placed, report.departed);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.active_sessions, 0);
+    assert!(stats.cache_hit_rate() > 0.0);
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

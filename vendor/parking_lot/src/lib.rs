@@ -1,0 +1,275 @@
+//! Offline shim for `parking_lot` backed by `std::sync`.
+//!
+//! Provides the non-poisoning `Mutex`/`RwLock`/`Condvar` API this workspace
+//! uses. Poisoning is translated into panics-on-propagation: a lock poisoned
+//! by a panicking holder yields its inner data anyway (`into_inner` on the
+//! poison error), matching parking_lot's semantics of not poisoning at all.
+
+use std::sync::{self, PoisonError};
+use std::time::{Duration, Instant};
+
+/// A mutual exclusion primitive (non-poisoning facade over `std`).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Option so Condvar::wait can temporarily take the std guard.
+    guard: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            guard: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { guard: Some(g) }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                guard: Some(p.into_inner()),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present")
+    }
+}
+
+/// A reader–writer lock (non-poisoning facade over `std`).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    guard: sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    guard: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            guard: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            guard: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// Result of a timed wait: did it time out?
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable compatible with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Block until notified, releasing the guard while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.guard.take().expect("guard present");
+        guard.guard = Some(self.inner.wait(g).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.guard.take().expect("guard present");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, res)) => (g, res),
+            Err(p) => {
+                let (g, res) = p.into_inner();
+                (g, res)
+            }
+        };
+        guard.guard = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// Block until notified or `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let now = Instant::now();
+        let timeout = deadline.saturating_duration_since(now);
+        self.wait_for(guard, timeout)
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) -> bool {
+        self.inner.notify_one();
+        true
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) -> usize {
+        self.inner.notify_all();
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_many_readers_one_writer() {
+        let l = Arc::new(RwLock::new(0u64));
+        {
+            let _r1 = l.read();
+            let _r2 = l.read();
+        }
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn condvar_signals_across_threads() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            *done = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            cv.wait(&mut done);
+        }
+        h.join().unwrap();
+        assert!(*done);
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(res.timed_out());
+    }
+}

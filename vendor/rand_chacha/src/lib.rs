@@ -1,0 +1,165 @@
+//! Offline vendored ChaCha-based RNG.
+//!
+//! Implements the genuine ChaCha stream cipher core (D. J. Bernstein) with
+//! 8 double-rounds driving [`ChaCha8Rng`]. The keystream is deterministic
+//! and platform-independent — exactly the property `gamesim::rng` relies
+//! on — though it is not guaranteed to be byte-identical to the upstream
+//! `rand_chacha` crate's stream (word ordering conventions differ between
+//! implementations; this workspace only ever compares against itself).
+
+use rand::{RngCore, SeedableRng};
+
+/// One 64-byte ChaCha block with `DOUBLE_ROUNDS` double-rounds.
+fn chacha_block(key: &[u32; 8], counter: u64, stream: u64, double_rounds: usize) -> [u32; 16] {
+    // "expand 32-byte k"
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    state[14] = stream as u32;
+    state[15] = (stream >> 32) as u32;
+
+    let mut x = state;
+    #[inline(always)]
+    fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+    for _ in 0..double_rounds {
+        // Column round.
+        quarter(&mut x, 0, 4, 8, 12);
+        quarter(&mut x, 1, 5, 9, 13);
+        quarter(&mut x, 2, 6, 10, 14);
+        quarter(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter(&mut x, 0, 5, 10, 15);
+        quarter(&mut x, 1, 6, 11, 12);
+        quarter(&mut x, 2, 7, 8, 13);
+        quarter(&mut x, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        x[i] = x[i].wrapping_add(state[i]);
+    }
+    x
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $double_rounds:expr, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            stream: u64,
+            block: [u32; 16],
+            /// Next word index within `block`; 16 means exhausted.
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.block = chacha_block(&self.key, self.counter, self.stream, $double_rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> Self {
+                let mut key = [0u32; 8];
+                for (i, w) in key.iter_mut().enumerate() {
+                    *w = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+                }
+                $name {
+                    key,
+                    counter: 0,
+                    stream: 0,
+                    block: [0; 16],
+                    index: 16,
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let w = self.block[self.index];
+                self.index += 1;
+                w
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 4, "ChaCha with 8 rounds (4 double-rounds).");
+chacha_rng!(ChaCha12Rng, 6, "ChaCha with 12 rounds (6 double-rounds).");
+chacha_rng!(ChaCha20Rng, 10, "ChaCha with 20 rounds (10 double-rounds).");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chacha20_matches_rfc7539_block_function_shape() {
+        // RFC 7539 test vector 2.3.2: key 00..1f, counter 1, nonce
+        // 00:00:00:09:00:00:00:4a:00:00:00:00 — our layout packs the
+        // counter/stream differently (64/64 as rand_chacha does), so
+        // instead of the full vector we check the core invariants: the
+        // block function is deterministic and counter-sensitive.
+        let key = [0u32; 8];
+        let a = chacha_block(&key, 0, 0, 10);
+        let b = chacha_block(&key, 0, 0, 10);
+        let c = chacha_block(&key, 1, 0, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn streams_reproduce_and_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniformity_is_plausible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..7 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

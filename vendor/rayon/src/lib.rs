@@ -1,0 +1,108 @@
+//! Offline sequential shim for the `rayon` API surface this workspace uses.
+//!
+//! The build container cannot fetch crates, so `par_iter`/`into_par_iter`
+//! are provided as thin wrappers returning the corresponding *sequential*
+//! standard iterators. Every adapter the callers chain (`map`, `filter`,
+//! `collect`, `sum`, …) is then the ordinary `Iterator` machinery. This
+//! trades parallel speedup for zero dependencies; call sites stay 100%
+//! source-compatible, and determinism actually improves (no nondeterministic
+//! reduction order).
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude::*`.
+
+    /// `.par_iter()` on slices and vectors.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The sequential iterator standing in for a parallel one.
+        type Iter: Iterator;
+
+        /// Sequential stand-in for rayon's `par_iter`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `.par_iter_mut()` on slices and vectors.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// The sequential iterator standing in for a parallel one.
+        type Iter: Iterator;
+
+        /// Sequential stand-in for rayon's `par_iter_mut`.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// `.into_par_iter()` on owned collections and ranges.
+    pub trait IntoParallelIterator {
+        /// The sequential iterator standing in for a parallel one.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+
+        /// Sequential stand-in for rayon's `into_par_iter`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        type Item = usize;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u32> {
+        type Iter = std::ops::Range<u32>;
+        type Item = u32;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let s: usize = (0..10usize).into_par_iter().sum();
+        assert_eq!(s, 45);
+    }
+}

@@ -1,0 +1,597 @@
+//! Offline vendored serde: a value-model serialization framework.
+//!
+//! The real `serde` is unavailable in this build container (no crates.io
+//! access), so the workspace vendors a compatible-in-spirit replacement:
+//! [`Serialize`] converts a value into a self-describing [`Value`] tree and
+//! [`Deserialize`] reconstructs it. The derive macros (feature `derive`,
+//! crate `serde_derive`) generate impls following serde's standard data
+//! model: structs as maps, newtype structs transparently, enums externally
+//! tagged (`"Unit"`, `{"Newtype": v}`, `{"Tuple": [..]}`,
+//! `{"Struct": {..}}`). `serde_json` (also vendored) renders [`Value`]
+//! to/from JSON text, so persisted artifacts look exactly like the real
+//! stack's output.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the serde data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / `Option::None` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (also covers unsigned values ≤ `i64::MAX`).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Map with string keys, preserving insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (lossy for huge u64s, exact otherwise).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Look up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// "expected X, found Y while reading T" constructor.
+    pub fn expected(what: &str, found: &Value, ty: &str) -> Error {
+        Error(format!(
+            "expected {what}, found {} while reading {ty}",
+            found.kind()
+        ))
+    }
+
+    /// Free-form constructor.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be rendered into the serde data model.
+pub trait Serialize {
+    /// Convert `self` into a [`Value`] tree.
+    fn serialize(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the serde data model.
+pub trait Deserialize: Sized {
+    /// Rebuild from a [`Value`] tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other, "bool")),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let ty = stringify!($t);
+                let n: i64 = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| Error::custom(format!("{u} out of range for {ty}")))?,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i64,
+                    // Map keys arrive as strings; accept digit strings.
+                    Value::Str(s) => s
+                        .parse::<i64>()
+                        .map_err(|_| Error::expected("integer", v, ty))?,
+                    other => return Err(Error::expected("integer", other, ty)),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom(format!("{n} out of range for {ty}")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let u = *self as u64;
+                if let Ok(i) = i64::try_from(u) { Value::Int(i) } else { Value::UInt(u) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let ty = stringify!($t);
+                let n: u64 = match v {
+                    Value::Int(i) => u64::try_from(*i)
+                        .map_err(|_| Error::custom(format!("{i} is negative, not a {ty}")))?,
+                    Value::UInt(u) => *u,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    Value::Str(s) => s
+                        .parse::<u64>()
+                        .map_err(|_| Error::expected("unsigned integer", v, ty))?,
+                    other => return Err(Error::expected("unsigned integer", other, ty)),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom(format!("{n} out of range for {ty}")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::expected("number", v, "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(f64::deserialize(v)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other, "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::expected("string", v, "char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(Error::expected("null", other, "()")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(t) => t.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", v, "Vec"))?;
+        seq.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $i:tt),+);)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$i.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let seq = v.as_seq().ok_or_else(|| Error::expected("sequence", v, "tuple"))?;
+                let expect = [$($i,)+].len();
+                if seq.len() != expect {
+                    return Err(Error::custom(format!(
+                        "expected tuple of length {expect}, got {}", seq.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&seq[$i])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+/// Render a serialized key as the string JSON maps require.
+fn key_to_string(v: Value) -> Result<String, Error> {
+    match v {
+        Value::Str(s) => Ok(s),
+        Value::Int(i) => Ok(i.to_string()),
+        Value::UInt(u) => Ok(u.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        Value::Float(f) => Ok(format_float(f)),
+        other => Err(Error::custom(format!(
+            "map key must be scalar, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Parse a map-key string back into a value a key type can deserialize.
+fn key_value(k: &str) -> Value {
+    Value::Str(k.to_string())
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        // Sort for output determinism: HashMap iteration order is random
+        // per process, and persisted artifacts should be stable.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                (
+                    key_to_string(k.serialize()).expect("scalar map key"),
+                    v.serialize(),
+                )
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| Error::expected("map", v, "HashMap"))?;
+        m.iter()
+            .map(|(k, val)| Ok((K::deserialize(&key_value(k))?, V::deserialize(val)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    (
+                        key_to_string(k.serialize()).expect("scalar map key"),
+                        v.serialize(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| Error::expected("map", v, "BTreeMap"))?;
+        m.iter()
+            .map(|(k, val)| Ok((K::deserialize(&key_value(k))?, V::deserialize(val)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize + Eq + std::hash::Hash, S> Serialize for std::collections::HashSet<T, S> {
+    fn serialize(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::serialize).collect();
+        items.sort_by_key(|v| format!("{v:?}"));
+        Value::Seq(items)
+    }
+}
+
+impl<T, S> Deserialize for std::collections::HashSet<T, S>
+where
+    T: Deserialize + Eq + std::hash::Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", v, "HashSet"))?;
+        seq.iter().map(T::deserialize).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive-support helpers (referenced by serde_derive-generated code)
+// ---------------------------------------------------------------------------
+
+/// Fetch and deserialize a struct field. A missing key is only legal for
+/// types (like `Option`) that deserialize from `Null` — the same trick the
+/// real serde uses for optional fields.
+pub fn field<T: Deserialize>(map: &Value, name: &str, ty: &str) -> Result<T, Error> {
+    match map.get(name) {
+        Some(v) => T::deserialize(v).map_err(|e| Error(format!("field `{name}` of {ty}: {e}"))),
+        None => T::deserialize(&Value::Null)
+            .map_err(|_| Error(format!("missing field `{name}` of {ty}"))),
+    }
+}
+
+/// Numeric formatting shared with `serde_json`: shortest round-trip form.
+pub fn format_float(f: f64) -> String {
+    if f.is_finite() {
+        let s = format!("{f}");
+        // `{}` omits the decimal point for integral floats; keep JSON
+        // consumers honest about the type the way serde_json does.
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        // JSON has no non-finite literals; serde_json writes null.
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::deserialize(&42u32.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-7i64).serialize()).unwrap(), -7);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn options_respect_null() {
+        assert_eq!(Option::<u32>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::deserialize(&Value::Int(3)).unwrap(), Some(3));
+        assert_eq!(Some(3u32).serialize(), Value::Int(3));
+        assert_eq!(None::<u32>.serialize(), Value::Null);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()).unwrap(), v);
+
+        let t = (1u32, 2.5f64);
+        assert_eq!(<(u32, f64)>::deserialize(&t.serialize()).unwrap(), t);
+
+        let mut m = HashMap::new();
+        m.insert(7u32, "x".to_string());
+        let back: HashMap<u32, String> = HashMap::deserialize(&m.serialize()).unwrap();
+        assert_eq!(back, m);
+
+        let a = [1.0f64, 2.0, 3.0];
+        let back: [f64; 3] = <[f64; 3]>::deserialize(&a.serialize()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn large_u64_is_exact() {
+        let big = u64::MAX - 3;
+        assert_eq!(u64::deserialize(&big.serialize()).unwrap(), big);
+    }
+
+    #[test]
+    fn missing_field_behaviour() {
+        let obj = Value::Map(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(field::<u32>(&obj, "a", "T").unwrap(), 1);
+        assert_eq!(field::<Option<u32>>(&obj, "b", "T").unwrap(), None);
+        assert!(field::<u32>(&obj, "b", "T").is_err());
+    }
+}
