@@ -6,15 +6,94 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gaugur_bench::ExperimentContext;
-use gaugur_core::{GAugur, GAugurConfig};
+use gaugur_core::{GAugur, GAugurConfig, Placement};
 use gaugur_gamesim::{GameId, Resolution};
-use gaugur_serve::{daemon, load, Client, DaemonConfig, LoadConfig, ModelHandle};
+use gaugur_sched::{select_server, select_server_incremental, Policy, ScoreCache};
+use gaugur_serve::{
+    daemon, load, Client, DaemonConfig, LoadConfig, MemoizedFps, ModelHandle, PredictionMemo,
+};
+use std::time::Instant;
+
+/// Deep-fleet placement-path comparison, in-process (no wire): the old
+/// per-request full recompute (occupancy clone + stateless scorer) against
+/// the incremental scorer with a persistent per-server score cache. Printed
+/// as µs/request and a speedup ratio; the cache is what buys the win, so the
+/// fleet is pre-loaded near-full where the quadratic cost bites.
+fn deep_fleet_comparison(model: &GAugur) {
+    const N_SERVERS: usize = 64;
+    const N_GAMES: u32 = 20;
+    const REPS: u32 = 400;
+    const R: Resolution = Resolution::Fhd1080;
+
+    let handle = ModelHandle::from_model(model.clone());
+    let loaded = handle.get();
+    let memo = PredictionMemo::new(1 << 16);
+    let fps = MemoizedFps {
+        model: &loaded,
+        memo: &memo,
+        qos: 60.0,
+    };
+
+    // Three distinct games per server (7 and 14 are coprime spacings mod 20).
+    let mut occupancy: Vec<Vec<Placement>> = (0..N_SERVERS)
+        .map(|s| {
+            [s, s + 7, s + 14]
+                .iter()
+                .map(|&g| (GameId((g % N_GAMES as usize) as u32), R))
+                .collect()
+        })
+        .collect();
+
+    // One warm-up pass per path so the shared prediction memo is equally hot
+    // before either timer starts.
+    let run_old = |occupancy: &mut Vec<Vec<Placement>>| {
+        for i in 0..REPS {
+            let request = (GameId(i % N_GAMES), R);
+            let snapshot = occupancy.clone(); // what the daemon used to do
+            if let Some(server) = select_server(&snapshot, request, &Policy::MaxPredictedFps(&fps))
+            {
+                occupancy[server].push(request);
+                occupancy[server].pop();
+            }
+        }
+    };
+    run_old(&mut occupancy);
+    let t0 = Instant::now();
+    run_old(&mut occupancy);
+    let old_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(REPS);
+
+    let mut cache = ScoreCache::new(N_SERVERS);
+    let run_new = |occupancy: &mut Vec<Vec<Placement>>, cache: &mut ScoreCache| {
+        for i in 0..REPS {
+            let request = (GameId(i % N_GAMES), R);
+            if let Some(sel) = select_server_incremental(&*occupancy, request, &fps, 1, cache) {
+                occupancy[sel.server].push(request);
+                occupancy[sel.server].pop();
+                cache.invalidate(sel.server); // the immediate depart
+            }
+        }
+    };
+    run_new(&mut occupancy, &mut cache);
+    let t1 = Instant::now();
+    run_new(&mut occupancy, &mut cache);
+    let new_us = t1.elapsed().as_secs_f64() * 1e6 / f64::from(REPS);
+
+    let (hits, misses) = cache.counts();
+    eprintln!(
+        "placement_deep_fleet ({N_SERVERS} servers, 3 games each): \
+         full recompute {old_us:.1} µs/req, incremental {new_us:.1} µs/req \
+         ({:.1}x, score cache {hits} hits / {misses} misses)",
+        old_us / new_us.max(1e-9)
+    );
+}
 
 fn bench(c: &mut Criterion) {
     let ctx = ExperimentContext::small(1);
     let model =
         GAugur::from_measurements(ctx.profiles.clone(), &ctx.train, GAugurConfig::default());
     let games: Vec<GameId> = ctx.catalog.games().iter().map(|g| g.id).collect();
+
+    deep_fleet_comparison(&model);
     let handle = daemon::start(
         DaemonConfig {
             n_servers: 64,
@@ -38,6 +117,7 @@ fn bench(c: &mut Criterion) {
         games: games.clone(),
         resolutions: vec![Resolution::Fhd1080],
         qos: 60.0,
+        batch: 1,
     });
     eprintln!(
         "serving_throughput: {:.0} placement req/s over localhost \
@@ -45,6 +125,29 @@ fn bench(c: &mut Criterion) {
         report.achieved_rps, report.p50_us, report.p99_us, report.errors
     );
     assert!(report.errors == 0, "load driver hit errors");
+
+    // Same stream batched 16 arrivals per PlaceBatch frame: fewer round
+    // trips and one fleet-lock acquisition per burst.
+    let batched = load::run(&LoadConfig {
+        addr: addr.clone(),
+        seed: 7,
+        connections: 4,
+        requests: 10_000,
+        rate: f64::INFINITY,
+        mean_session_arrivals: 4.0,
+        games: games.clone(),
+        resolutions: vec![Resolution::Fhd1080],
+        qos: 60.0,
+        batch: 16,
+    });
+    eprintln!(
+        "serving_throughput_batch16: {:.0} arrivals/s over localhost \
+         ({:.2}x vs single-place, {} errors)",
+        batched.achieved_rps,
+        batched.achieved_rps / report.achieved_rps.max(1e-9),
+        batched.errors
+    );
+    assert!(batched.errors == 0, "batched load driver hit errors");
 
     // Single-connection round trip: one place + one depart per iteration.
     let mut client = Client::connect(&*addr).expect("client connects");
@@ -72,6 +175,7 @@ fn bench(c: &mut Criterion) {
                 games: games.clone(),
                 resolutions: vec![Resolution::Fhd1080],
                 qos: 60.0,
+                batch: 1,
             });
             assert_eq!(r.errors, 0);
             r

@@ -71,7 +71,7 @@ fn usage() {
          \x20 session    depart  [--addr ADDR] --session ID\n\
          \x20 session    predict [--addr ADDR] --target ID --others ID,ID,… [--resolution R] [--qos FPS]\n\
          \x20 session    stats|reload|shutdown [--addr ADDR] [--model FILE]\n\
-         \x20 load       [--addr ADDR] [--requests N] [--connections N] [--rate R/s|inf]\n\
+         \x20 load       [--addr ADDR] [--requests N] [--connections N] [--rate R/s|inf] [--batch N]\n\
          \x20            [--seed S] [--games ID,ID,…] [--mean-session N] [--qos FPS] [--resolution R]\n"
     );
 }
@@ -429,6 +429,7 @@ fn load_cmd(opts: &HashMap<String, String>) {
         games,
         resolutions: vec![resolution(opts)],
         qos: get(opts, "qos", Some(60.0)),
+        batch: get(opts, "batch", Some(1usize)).max(1),
     };
     print_multiline(&gaugur_serve::load::run(&config).to_string());
 }

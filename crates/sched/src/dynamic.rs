@@ -8,7 +8,7 @@
 //! the time-weighted FPS and QoS-violation rate the players actually
 //! experienced — the natural online extension of the paper's evaluation.
 
-use crate::placement::select_server;
+use crate::placement::{select_server_cached, ScoreCache};
 use crate::FpsModel;
 use gaugur_baselines::VbpPolicy;
 use gaugur_core::Placement;
@@ -96,6 +96,9 @@ pub fn simulate_dynamic(
     let mut rng = rng_for(config.seed, &[0x44_594e]);
     let mut servers: Vec<Vec<Session>> = vec![Vec::new(); config.n_servers];
     let mut fps_cache: HashMap<Vec<u32>, Vec<f64>> = HashMap::new();
+    // Incremental placement scores, shared logic with the serving daemon.
+    // The simulator never reloads its model, so the version is constant.
+    let mut scores = ScoreCache::new(config.n_servers);
 
     // Ground-truth FPS of every member of one server's current contents.
     let mut measured_fps = |contents: &[Session]| -> Vec<f64> {
@@ -166,9 +169,10 @@ pub fn simulate_dynamic(
 
         if next_departure <= next_arrival {
             // Process the departure.
-            for contents in servers.iter_mut() {
+            for (idx, contents) in servers.iter_mut().enumerate() {
                 if let Some(pos) = contents.iter().position(|s| s.departs_at == next_departure) {
                     contents.remove(pos);
+                    scores.invalidate(idx);
                     break;
                 }
             }
@@ -183,7 +187,9 @@ pub fn simulate_dynamic(
             .iter()
             .map(|c| c.iter().map(|s| (s.game, resolution)).collect())
             .collect();
-        let Some(chosen) = select_server(&occupancy, (game, resolution), policy) else {
+        let Some(chosen) =
+            select_server_cached(&occupancy, (game, resolution), policy, 1, &mut scores)
+        else {
             rejected += 1;
             continue;
         };

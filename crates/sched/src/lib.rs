@@ -38,7 +38,10 @@ pub use coloc::{enumerate_subsets, ColocationTable, FeasibilityReport};
 pub use dynamic::{simulate_dynamic, DynamicConfig, DynamicResult, Policy};
 pub use eval::{evaluate_cluster, ClusterEvaluation};
 pub use maxfps::{assign_max_fps, MaxFpsResult};
-pub use placement::{eligible_servers, placement_delta, select_server};
+pub use placement::{
+    eligible_servers, placement_delta, select_server, select_server_cached,
+    select_server_incremental, OccupancyView, ScoreCache, Selection,
+};
 pub use requests::{random_requests, RequestCounts};
 pub use vbp_fit::assign_worst_fit;
 
@@ -50,6 +53,16 @@ use gaugur_core::{GAugur, Placement, ProfileStore};
 pub trait FpsModel: Sync {
     /// Predicted FPS of `members[idx]` when all of `members` share a server.
     fn predict_member_fps(&self, members: &[Placement], idx: usize) -> f64;
+
+    /// Predicted summed FPS over every member of a colocation. The default
+    /// sums per-member predictions; serving-side implementations may
+    /// override it with a whole-colocation memo so the placement hot path
+    /// pays one lookup per candidate server instead of one per member.
+    fn predict_colocation_sum(&self, members: &[Placement]) -> f64 {
+        (0..members.len())
+            .map(|i| self.predict_member_fps(members, i))
+            .sum()
+    }
 
     /// Display name for result tables.
     fn model_name(&self) -> &'static str;

@@ -3,35 +3,84 @@
 //! [`simulate_dynamic`](crate::dynamic::simulate_dynamic) originally held
 //! this logic inline, which made it unusable from anything that is not the
 //! discrete-event simulator. The serving daemon (`gaugur-serve`) faces the
-//! same decision — one request, one snapshot of fleet occupancy, pick a
-//! server — so the eligibility filter and the per-policy argmax live here
-//! and both callers share them.
+//! same decision — one request, one view of fleet occupancy, pick a server —
+//! so the eligibility filter and the per-policy argmax live here and both
+//! callers share them.
+//!
+//! Two scoring paths exist:
+//!
+//! * [`select_server`] — the stateless baseline: every candidate server's
+//!   `before` and `after` sums are predicted from scratch on every request,
+//!   O(servers × members) model predictions per placement.
+//! * [`select_server_incremental`] — the online hot path: a [`ScoreCache`]
+//!   keeps each server's current predicted summed FPS (keyed by model
+//!   version), so only the *extended* colocation is predicted per candidate
+//!   and the `before` sum is a float read. Candidates are scored in
+//!   parallel with rayon when the eligible set is wide.
+//!
+//! Both paths compute the identical delta-greedy objective (Section 5.2):
+//! the cached `before` sum is the same member-wise sum the baseline
+//! recomputes, so the two selectors always agree on the chosen server.
 
 use crate::dynamic::Policy;
 use crate::maxfps::MAX_PER_SERVER;
+use crate::FpsModel;
 use gaugur_core::Placement;
 use gaugur_gamesim::GameId;
+use rayon::prelude::*;
+
+/// Borrowed, read-only view of per-server occupancy. Implemented by the
+/// plain `Vec<Vec<Placement>>` snapshots the simulator builds and by
+/// `gaugur-serve`'s live `ClusterState`, so the daemon's hot path never
+/// clones the fleet just to score it.
+pub trait OccupancyView: Sync {
+    /// Number of servers in the fleet.
+    fn n_servers(&self) -> usize;
+
+    /// The placements currently running on `server`.
+    fn members(&self, server: usize) -> &[Placement];
+}
+
+impl OccupancyView for [Vec<Placement>] {
+    fn n_servers(&self) -> usize {
+        self.len()
+    }
+
+    fn members(&self, server: usize) -> &[Placement] {
+        &self[server]
+    }
+}
+
+impl OccupancyView for Vec<Vec<Placement>> {
+    fn n_servers(&self) -> usize {
+        self.len()
+    }
+
+    fn members(&self, server: usize) -> &[Placement] {
+        &self[server]
+    }
+}
+
+/// Whether one server can legally accept `game`: below the per-server
+/// session cap and not already running the same game.
+fn server_eligible(members: &[Placement], game: GameId) -> bool {
+    members.len() < MAX_PER_SERVER && !members.iter().any(|&(g, _)| g == game)
+}
 
 /// Indices of servers that can legally accept `game`: below the per-server
 /// session cap and not already running the same game (two instances of one
 /// game on one GPU is not a configuration the paper's testbed measures, so
 /// the models are undefined on it).
-pub fn eligible_servers(occupancy: &[Vec<Placement>], game: GameId) -> Vec<usize> {
-    (0..occupancy.len())
-        .filter(|&s| {
-            occupancy[s].len() < MAX_PER_SERVER && !occupancy[s].iter().any(|&(g, _)| g == game)
-        })
+pub fn eligible_servers<V: OccupancyView + ?Sized>(occupancy: &V, game: GameId) -> Vec<usize> {
+    (0..occupancy.n_servers())
+        .filter(|&s| server_eligible(occupancy.members(s), game))
         .collect()
 }
 
 /// Predicted change in a server's summed FPS if `candidate` joins `members`.
 /// The delta-greedy objective of Section 5.2: existing sessions' predicted
 /// losses count against the newcomer's predicted gain.
-pub fn placement_delta(
-    model: &dyn crate::FpsModel,
-    members: &[Placement],
-    candidate: Placement,
-) -> f64 {
+pub fn placement_delta(model: &dyn FpsModel, members: &[Placement], candidate: Placement) -> f64 {
     let before: f64 = (0..members.len())
         .map(|i| model.predict_member_fps(members, i))
         .sum();
@@ -43,11 +92,173 @@ pub fn placement_delta(
     after - before
 }
 
+/// Per-server cached predicted summed FPS, keyed by model version.
+///
+/// The delta-greedy only needs each candidate server's *current* summed FPS
+/// (`before`) and the sum with the newcomer added (`after`); the former is
+/// a property of the server that changes only on admit/depart/model-reload,
+/// so recomputing it per request is pure waste. This cache holds it.
+///
+/// Invalidation rules:
+/// * **Model reload** — entries carry the model version they were computed
+///   under; a version mismatch is a miss, so reloads invalidate for free.
+/// * **Admit** — [`select_server_incremental`] stores the chosen server's
+///   `after` sum at selection time, under the contract that the caller
+///   admits the candidate there (both the daemon and the simulator do, and
+///   both hold their fleet lock across select + admit).
+/// * **Depart** — the caller must call [`invalidate`](ScoreCache::invalidate)
+///   for the server that lost a session; the sum is rebuilt lazily on the
+///   server's next appearance in an eligible set.
+pub struct ScoreCache {
+    sums: Vec<Option<(u64, f64)>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScoreCache {
+    /// An empty cache for a fleet of `n_servers`.
+    pub fn new(n_servers: usize) -> ScoreCache {
+        ScoreCache {
+            sums: vec![None; n_servers],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Drop the cached sum of one server (call after a departure).
+    pub fn invalidate(&mut self, server: usize) {
+        self.sums[server] = None;
+    }
+
+    /// Drop every cached sum (rarely needed: version keying already handles
+    /// model reloads).
+    pub fn invalidate_all(&mut self) {
+        self.sums.fill(None);
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// The server's current summed FPS under `version`: cached, or computed
+    /// through the model and stored.
+    fn current_sum(
+        &mut self,
+        server: usize,
+        version: u64,
+        members: &[Placement],
+        model: &dyn FpsModel,
+    ) -> f64 {
+        if let Some((v, sum)) = self.sums[server] {
+            if v == version {
+                self.hits += 1;
+                return sum;
+            }
+        }
+        self.misses += 1;
+        let sum = model.predict_colocation_sum(members);
+        self.sums[server] = Some((version, sum));
+        sum
+    }
+
+    /// Record the sum a server will have once the pending admission lands.
+    fn record_admit(&mut self, server: usize, version: u64, sum: f64) {
+        self.sums[server] = Some((version, sum));
+    }
+}
+
+/// Outcome of an incremental selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Selection {
+    /// The chosen server.
+    pub server: usize,
+    /// Predicted change in that server's summed FPS from the admission.
+    pub delta: f64,
+    /// Predicted summed FPS of the server *with* the candidate admitted.
+    pub server_sum: f64,
+}
+
+/// Candidate sets at least this wide are scored in parallel; below it the
+/// per-task overhead outweighs the parallelism.
+const PAR_SCORE_THRESHOLD: usize = 8;
+
+/// Choose a server for one arriving session by maximum predicted FPS delta,
+/// reading `before` sums from (and maintaining) `cache`.
+///
+/// Contract: on `Some(selection)`, the cache is updated as if the caller
+/// admits the candidate on `selection.server` — the caller must do so
+/// before releasing whatever lock guards the occupancy, or call
+/// [`ScoreCache::invalidate`] on that server instead.
+pub fn select_server_incremental<V: OccupancyView + ?Sized>(
+    occupancy: &V,
+    request: Placement,
+    model: &dyn FpsModel,
+    model_version: u64,
+    cache: &mut ScoreCache,
+) -> Option<Selection> {
+    let eligible = eligible_servers(occupancy, request.0);
+    if eligible.is_empty() {
+        return None;
+    }
+    // `before` sums first: in steady state these are cache reads, and the
+    // sequential pass keeps the cache free of interior mutability.
+    let befores: Vec<f64> = eligible
+        .iter()
+        .map(|&s| cache.current_sum(s, model_version, occupancy.members(s), model))
+        .collect();
+    // `after` sums predict only the extended colocation — one prediction
+    // set per candidate instead of two — in parallel when the set is wide.
+    let extended_sum = |&s: &usize| -> f64 {
+        let members = occupancy.members(s);
+        let mut extended = Vec::with_capacity(members.len() + 1);
+        extended.extend_from_slice(members);
+        extended.push(request);
+        model.predict_colocation_sum(&extended)
+    };
+    let afters: Vec<f64> = if eligible.len() >= PAR_SCORE_THRESHOLD {
+        eligible.par_iter().map(extended_sum).collect()
+    } else {
+        eligible.iter().map(extended_sum).collect()
+    };
+    let best = (0..eligible.len())
+        .max_by(|&a, &b| (afters[a] - befores[a]).total_cmp(&(afters[b] - befores[b])))
+        .expect("non-empty eligible set");
+    let selection = Selection {
+        server: eligible[best],
+        delta: afters[best] - befores[best],
+        server_sum: afters[best],
+    };
+    cache.record_admit(selection.server, model_version, selection.server_sum);
+    Some(selection)
+}
+
+/// Policy dispatch over the incremental scorer: `MaxPredictedFps` goes
+/// through [`select_server_incremental`] (same admit contract), the
+/// model-free policies fall back to [`select_server`] and leave the cache
+/// untouched.
+pub fn select_server_cached<V: OccupancyView + ?Sized>(
+    occupancy: &V,
+    request: Placement,
+    policy: &Policy<'_>,
+    model_version: u64,
+    cache: &mut ScoreCache,
+) -> Option<usize> {
+    match policy {
+        Policy::MaxPredictedFps(model) => {
+            select_server_incremental(occupancy, request, *model, model_version, cache)
+                .map(|sel| sel.server)
+        }
+        _ => select_server(occupancy, request, policy),
+    }
+}
+
 /// Choose a server for one arriving session under `policy`, or `None` when
-/// no server is eligible. `occupancy[s]` is the multiset of placements
-/// currently running on server `s`.
-pub fn select_server(
-    occupancy: &[Vec<Placement>],
+/// no server is eligible. The stateless baseline: `MaxPredictedFps` here
+/// recomputes every candidate's full [`placement_delta`] from scratch
+/// (the online paths use [`select_server_incremental`] instead).
+pub fn select_server<V: OccupancyView + ?Sized>(
+    occupancy: &V,
     request: Placement,
     policy: &Policy<'_>,
 ) -> Option<usize> {
@@ -55,26 +266,24 @@ pub fn select_server(
     if eligible.is_empty() {
         return None;
     }
-    let chosen = match policy {
-        Policy::FirstFit => eligible[0],
-        Policy::WorstFitVbp(vbp) => *eligible
-            .iter()
-            .max_by(|&&a, &&b| {
-                vbp.remaining_capacity(&occupancy[a])
-                    .total_cmp(&vbp.remaining_capacity(&occupancy[b]))
-            })
-            .expect("non-empty eligible set"),
-        Policy::MaxPredictedFps(model) => *eligible
-            .iter()
-            .max_by(|&&a, &&b| {
-                placement_delta(*model, &occupancy[a], request).total_cmp(&placement_delta(
-                    *model,
-                    &occupancy[b],
-                    request,
-                ))
-            })
-            .expect("non-empty eligible set"),
-    };
+    let chosen =
+        match policy {
+            Policy::FirstFit => eligible[0],
+            Policy::WorstFitVbp(vbp) => *eligible
+                .iter()
+                .max_by(|&&a, &&b| {
+                    vbp.remaining_capacity(occupancy.members(a))
+                        .total_cmp(&vbp.remaining_capacity(occupancy.members(b)))
+                })
+                .expect("non-empty eligible set"),
+            Policy::MaxPredictedFps(model) => *eligible
+                .iter()
+                .max_by(|&&a, &&b| {
+                    placement_delta(*model, occupancy.members(a), request)
+                        .total_cmp(&placement_delta(*model, occupancy.members(b), request))
+                })
+                .expect("non-empty eligible set"),
+        };
     Some(chosen)
 }
 
@@ -84,6 +293,22 @@ mod tests {
     use gaugur_gamesim::Resolution;
 
     const R: Resolution = Resolution::Fhd1080;
+
+    /// Deterministic fake FPS model: a pure function of the colocation, so
+    /// the incremental and from-scratch selectors can be compared exactly.
+    struct FakeFps;
+
+    impl FpsModel for FakeFps {
+        fn predict_member_fps(&self, members: &[Placement], idx: usize) -> f64 {
+            let crowd = members.len() as f64;
+            let (g, r) = members[idx];
+            120.0 / crowd + (g.0 as f64 * 0.37) - (r as u8 as f64 * 1.5)
+        }
+
+        fn model_name(&self) -> &'static str {
+            "fake"
+        }
+    }
 
     #[test]
     fn eligibility_respects_cap_and_duplicates() {
@@ -127,5 +352,89 @@ mod tests {
             select_server(&full, (GameId(9), R), &Policy::FirstFit),
             None
         );
+        let mut cache = ScoreCache::new(1);
+        assert_eq!(
+            select_server_incremental(&full, (GameId(9), R), &FakeFps, 1, &mut cache),
+            None
+        );
+    }
+
+    #[test]
+    fn incremental_selection_matches_full_recompute() {
+        // A mixed fleet: empty, lightly and heavily loaded servers.
+        let occupancy = vec![
+            vec![],
+            vec![(GameId(3), R), (GameId(8), Resolution::Hd720)],
+            vec![(GameId(1), R)],
+            vec![(GameId(2), R), (GameId(5), R), (GameId(9), R)],
+            vec![(GameId(4), R); 1],
+        ];
+        let mut cache = ScoreCache::new(occupancy.len());
+        for g in [0u32, 6, 7, 11, 13] {
+            let request = (GameId(g), R);
+            let full = select_server(&occupancy, request, &Policy::MaxPredictedFps(&FakeFps));
+            let mut fresh = ScoreCache::new(occupancy.len());
+            let inc = select_server_incremental(&occupancy, request, &FakeFps, 1, &mut fresh)
+                .map(|s| s.server);
+            assert_eq!(full, inc, "game {g} (cold cache)");
+            // A warm cache (possibly stale from hypothetical admits) is
+            // reset here so the comparison stays against the same fleet.
+            cache.invalidate_all();
+            let warm = select_server_incremental(&occupancy, request, &FakeFps, 1, &mut cache)
+                .map(|s| s.server);
+            assert_eq!(full, warm, "game {g} (warm cache)");
+        }
+    }
+
+    #[test]
+    fn incremental_delta_equals_placement_delta() {
+        let occupancy = vec![vec![(GameId(1), R), (GameId(2), R)], vec![(GameId(3), R)]];
+        let request = (GameId(7), R);
+        let mut cache = ScoreCache::new(2);
+        let sel = select_server_incremental(&occupancy, request, &FakeFps, 1, &mut cache).unwrap();
+        let direct = placement_delta(&FakeFps, &occupancy[sel.server], request);
+        assert!((sel.delta - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_cache_hits_after_warmup_and_invalidates_on_version_bump() {
+        let occupancy = vec![vec![(GameId(1), R)], vec![(GameId(2), R)], vec![]];
+        let mut cache = ScoreCache::new(3);
+        // Cold: every eligible server misses. The selection seeds the
+        // chosen server's post-admit sum, but the occupancy here does not
+        // change, so drop that entry before re-scoring.
+        let sel =
+            select_server_incremental(&occupancy, (GameId(5), R), &FakeFps, 1, &mut cache).unwrap();
+        assert_eq!(cache.counts(), (0, 3));
+        cache.invalidate(sel.server);
+        // Warm: the untouched servers hit.
+        select_server_incremental(&occupancy, (GameId(6), R), &FakeFps, 1, &mut cache).unwrap();
+        let (hits, misses) = cache.counts();
+        assert_eq!(hits, 2);
+        assert_eq!(misses, 4);
+        // A model-version bump turns every entry stale.
+        select_server_incremental(&occupancy, (GameId(6), R), &FakeFps, 2, &mut cache).unwrap();
+        let (hits2, misses2) = cache.counts();
+        assert_eq!(hits2, hits);
+        assert_eq!(misses2, misses + 3);
+    }
+
+    #[test]
+    fn admit_contract_keeps_cache_consistent() {
+        // Simulate the daemon loop: select, admit, repeat; then verify the
+        // cached sums equal freshly computed ones.
+        let mut occupancy: Vec<Vec<Placement>> = vec![vec![], vec![], vec![]];
+        let mut cache = ScoreCache::new(3);
+        for g in 0..6u32 {
+            let request = (GameId(g), R);
+            let sel = select_server_incremental(&occupancy, request, &FakeFps, 1, &mut cache)
+                .expect("fleet has room");
+            occupancy[sel.server].push(request);
+            let fresh = FakeFps.predict_colocation_sum(&occupancy[sel.server]);
+            assert!(
+                (sel.server_sum - fresh).abs() < 1e-12,
+                "cached sum diverged after admitting game {g}"
+            );
+        }
     }
 }

@@ -3,7 +3,9 @@
 //! all go through this instead of hand-rolling frames.
 
 use crate::stats::StatsSnapshot;
-use crate::wire::{read_frame, write_frame, FrameError, Request, Response, WirePlacement};
+use crate::wire::{
+    read_frame, write_frame, BatchPlaceResult, FrameError, Request, Response, WirePlacement,
+};
 use gaugur_gamesim::{GameId, Resolution};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -147,6 +149,26 @@ impl Client {
                 model_version,
             }),
             Response::Rejected { reason } => Err(ClientError::Rejected { reason }),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Place a burst of sessions in one round-trip. The daemon decides the
+    /// whole batch under a single fleet-lock acquisition; returns the model
+    /// version that made the decisions plus one outcome per request, in
+    /// request order. Individual rejections do not fail the call.
+    pub fn place_batch(
+        &mut self,
+        requests: &[WirePlacement],
+    ) -> Result<(u64, Vec<BatchPlaceResult>), ClientError> {
+        let request = Request::PlaceBatch {
+            requests: requests.to_vec(),
+        };
+        match self.call(&request)? {
+            Response::PlacedBatch {
+                model_version,
+                results,
+            } => Ok((model_version, results)),
             other => Err(Self::unexpected(other)),
         }
     }

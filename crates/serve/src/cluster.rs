@@ -3,9 +3,15 @@
 //! The daemon mutates this under a single mutex — placement must read the
 //! occupancy, pick a server and insert atomically, or two concurrent
 //! `Place` requests could both land on a server's last slot.
+//!
+//! Session ids and placements are stored in parallel per-server arrays so
+//! the placement scorer can borrow each server's `&[Placement]` directly
+//! (via [`gaugur_sched::OccupancyView`]) instead of cloning the fleet into
+//! a `Vec<Vec<Placement>>` on every request.
 
 use gaugur_core::Placement;
 use gaugur_sched::maxfps::MAX_PER_SERVER;
+use gaugur_sched::OccupancyView;
 use std::collections::HashMap;
 
 /// One placed session.
@@ -21,7 +27,10 @@ pub struct PlacedSession {
 
 /// The fleet: per-server session lists plus a session index.
 pub struct ClusterState {
-    servers: Vec<Vec<(u64, Placement)>>,
+    /// Session ids per server; `ids[s][i]` owns `members[s][i]`.
+    ids: Vec<Vec<u64>>,
+    /// Placements per server, kept in lockstep with `ids`.
+    members: Vec<Vec<Placement>>,
     index: HashMap<u64, usize>,
     next_id: u64,
 }
@@ -31,7 +40,8 @@ impl ClusterState {
     pub fn new(n_servers: usize) -> ClusterState {
         assert!(n_servers > 0, "fleet needs at least one server");
         ClusterState {
-            servers: vec![Vec::new(); n_servers],
+            ids: vec![Vec::new(); n_servers],
+            members: vec![Vec::new(); n_servers],
             index: HashMap::new(),
             next_id: 0,
         }
@@ -39,7 +49,7 @@ impl ClusterState {
 
     /// Fleet size.
     pub fn n_servers(&self) -> usize {
-        self.servers.len()
+        self.members.len()
     }
 
     /// Sessions currently placed.
@@ -47,34 +57,40 @@ impl ClusterState {
         self.index.len()
     }
 
-    /// Occupancy snapshot in the shape [`gaugur_sched::select_server`]
-    /// expects: placements per server.
+    /// Borrowed view of one server's placements — the hot-path accessor
+    /// (also exposed through [`OccupancyView`]).
+    pub fn members(&self, server: usize) -> &[Placement] {
+        &self.members[server]
+    }
+
+    /// Occupancy snapshot in the shape the stateless
+    /// [`gaugur_sched::select_server`] expects: placements per server.
+    /// Allocates the full fleet; the serving hot path uses the borrowed
+    /// [`OccupancyView`] instead.
     pub fn occupancy(&self) -> Vec<Vec<Placement>> {
-        self.servers
-            .iter()
-            .map(|s| s.iter().map(|&(_, p)| p).collect())
-            .collect()
+        self.members.clone()
     }
 
     /// Sessions on one server.
     pub fn server_load(&self, server: usize) -> usize {
-        self.servers[server].len()
+        self.members[server].len()
     }
 
     /// Insert a session on `server` (already chosen by the policy) and
     /// return its id. Panics if the placement would break the per-server
     /// invariants — the caller must have used the eligibility filter.
     pub fn admit(&mut self, server: usize, placement: Placement) -> u64 {
-        let contents = &mut self.servers[server];
+        let contents = &mut self.members[server];
         assert!(contents.len() < MAX_PER_SERVER, "server {server} full");
         assert!(
-            !contents.iter().any(|&(_, (g, _))| g == placement.0),
+            !contents.iter().any(|&(g, _)| g == placement.0),
             "game {:?} already on server {server}",
             placement.0
         );
         self.next_id += 1;
         let id = self.next_id;
-        contents.push((id, placement));
+        contents.push(placement);
+        self.ids[server].push(id);
         self.index.insert(id, server);
         id
     }
@@ -83,12 +99,12 @@ impl ClusterState {
     /// id (double-departs are client errors, not panics).
     pub fn depart(&mut self, id: u64) -> Option<PlacedSession> {
         let server = self.index.remove(&id)?;
-        let contents = &mut self.servers[server];
-        let pos = contents
+        let pos = self.ids[server]
             .iter()
-            .position(|&(sid, _)| sid == id)
+            .position(|&sid| sid == id)
             .expect("index and server list agree");
-        let (_, placement) = contents.remove(pos);
+        self.ids[server].remove(pos);
+        let placement = self.members[server].remove(pos);
         Some(PlacedSession {
             id,
             placement,
@@ -98,22 +114,41 @@ impl ClusterState {
 
     /// Check internal invariants (used by tests and debug assertions).
     pub fn check_invariants(&self) {
-        for (s, contents) in self.servers.iter().enumerate() {
+        assert_eq!(self.ids.len(), self.members.len());
+        for (s, contents) in self.members.iter().enumerate() {
+            assert_eq!(
+                self.ids[s].len(),
+                contents.len(),
+                "server {s} id/member lists diverged"
+            );
             assert!(
                 contents.len() <= MAX_PER_SERVER,
                 "server {s} exceeds MAX_PER_SERVER"
             );
-            for (i, &(_, (g, _))) in contents.iter().enumerate() {
+            for (i, &(g, _)) in contents.iter().enumerate() {
                 assert!(
-                    !contents[i + 1..].iter().any(|&(_, (g2, _))| g2 == g),
+                    !contents[i + 1..].iter().any(|&(g2, _)| g2 == g),
                     "server {s} runs game {g:?} twice"
                 );
+            }
+            for &id in &self.ids[s] {
+                assert_eq!(self.index.get(&id), Some(&s), "session {id} misindexed");
             }
         }
         assert_eq!(
             self.index.len(),
-            self.servers.iter().map(Vec::len).sum::<usize>()
+            self.members.iter().map(Vec::len).sum::<usize>()
         );
+    }
+}
+
+impl OccupancyView for ClusterState {
+    fn n_servers(&self) -> usize {
+        self.members.len()
+    }
+
+    fn members(&self, server: usize) -> &[Placement] {
+        &self.members[server]
     }
 }
 
@@ -152,6 +187,9 @@ mod tests {
         assert!(occ[0].is_empty());
         assert_eq!(occ[1], vec![(GameId(4), R)]);
         assert_eq!(occ[2], vec![(GameId(5), R)]);
+        // Borrowed view agrees with the snapshot.
+        assert_eq!(c.members(1), &occ[1][..]);
+        assert_eq!(OccupancyView::n_servers(&c), 3);
     }
 
     #[test]

@@ -16,13 +16,15 @@
 //!   threads and returns the final stats snapshot.
 
 use crate::cluster::ClusterState;
-use crate::model::{MemoizedFps, ModelHandle, PredictionMemo};
+use crate::model::{LoadedModel, MemoizedFps, ModelHandle, PredictionMemo};
 use crate::queue::WorkQueue;
 use crate::stats::{AtomicStats, StatsSnapshot};
 use crate::wire::{
-    self, read_frame_bytes, request_kind, write_frame, FrameError, Request, Response,
+    self, read_frame_bytes, request_kind, write_frame, BatchPlaceResult, FrameError, Request,
+    Response,
 };
-use gaugur_sched::{select_server, Policy};
+use gaugur_core::Placement;
+use gaugur_sched::{select_server_incremental, ScoreCache};
 use parking_lot::Mutex;
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -71,11 +73,18 @@ impl Default for DaemonConfig {
     }
 }
 
+/// Cluster occupancy plus its per-server score cache, kept under one mutex
+/// so every placement decision and its cache update are atomic.
+struct Fleet {
+    cluster: ClusterState,
+    scores: ScoreCache,
+}
+
 struct Shared {
     config: DaemonConfig,
     model: ModelHandle,
     memo: PredictionMemo,
-    cluster: Mutex<ClusterState>,
+    fleet: Mutex<Fleet>,
     stats: AtomicStats,
     queue: WorkQueue<TcpStream>,
     shutdown: AtomicBool,
@@ -84,12 +93,18 @@ struct Shared {
 impl Shared {
     fn snapshot(&self) -> StatsSnapshot {
         let (hits, misses) = self.memo.counts();
-        let active = self.cluster.lock().active_sessions() as u64;
+        let (active, score_hits, score_misses) = {
+            let fleet = self.fleet.lock();
+            let (sh, sm) = fleet.scores.counts();
+            (fleet.cluster.active_sessions() as u64, sh, sm)
+        };
         let mut snap = self
             .stats
             .snapshot(self.model.version(), active, self.config.n_servers);
         snap.cache_hits = hits;
         snap.cache_misses = misses;
+        snap.score_hits = score_hits;
+        snap.score_misses = score_misses;
         snap
     }
 }
@@ -112,6 +127,12 @@ impl DaemonHandle {
     /// Whether a shutdown has been requested (by handle or wire).
     pub fn is_shutting_down(&self) -> bool {
         self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Assert the cluster-state invariants (session index, per-server caps,
+    /// id/member lockstep). Intended for tests; panics on violation.
+    pub fn check_invariants(&self) {
+        self.shared.fleet.lock().cluster.check_invariants();
     }
 
     /// Stop accepting, drain queued and in-flight work, join every thread,
@@ -159,7 +180,10 @@ pub fn start(config: DaemonConfig, model: ModelHandle) -> io::Result<DaemonHandl
 
     let shared = Arc::new(Shared {
         memo: PredictionMemo::new(config.memo_capacity),
-        cluster: Mutex::new(ClusterState::new(config.n_servers)),
+        fleet: Mutex::new(Fleet {
+            cluster: ClusterState::new(config.n_servers),
+            scores: ScoreCache::new(config.n_servers),
+        }),
         stats: AtomicStats::new(),
         queue: WorkQueue::new(config.queue_capacity),
         shutdown: AtomicBool::new(false),
@@ -285,6 +309,34 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
+/// Choose a server incrementally, predict the new session's FPS against the
+/// pre-admit co-runners, and admit it — the shared core of `Place` and
+/// `PlaceBatch`. The caller holds the fleet lock and has validated the game.
+fn admit_one(
+    shared: &Shared,
+    model: &LoadedModel,
+    fleet: &mut Fleet,
+    placement: Placement,
+) -> Option<(u64, usize, f64)> {
+    let fps_model = MemoizedFps {
+        model,
+        memo: &shared.memo,
+        qos: shared.config.qos,
+    };
+    let Fleet { cluster, scores } = fleet;
+    let sel = select_server_incremental(&*cluster, placement, &fps_model, model.version, scores)?;
+    // Co-runners of the new session = the server's pre-admit occupancy, so
+    // predict before admitting (borrowed — no fleet clone on the hot path).
+    let (prediction, _) = shared.memo.predict(
+        model,
+        shared.config.qos,
+        placement,
+        cluster.members(sel.server),
+    );
+    let session = cluster.admit(sel.server, placement);
+    Some((session, sel.server, prediction.fps))
+}
+
 fn handle_request(shared: &Shared, request: &Request) -> (Response, bool) {
     match request {
         Request::Place { game, resolution } => {
@@ -297,37 +349,19 @@ fn handle_request(shared: &Shared, request: &Request) -> (Response, bool) {
                     false,
                 );
             }
-            let placement = (*game, *resolution);
-            let fps_model = MemoizedFps {
-                model: &model,
-                memo: &shared.memo,
-                qos: shared.config.qos,
-            };
-            // Hold the cluster lock across choose + admit: the decision is
+            // Hold the fleet lock across choose + admit: the decision is
             // only valid against the occupancy it was computed from.
-            let mut cluster = shared.cluster.lock();
-            let occupancy = cluster.occupancy();
-            match select_server(&occupancy, placement, &Policy::MaxPredictedFps(&fps_model)) {
-                Some(server) => {
-                    let session = cluster.admit(server, placement);
-                    drop(cluster);
-                    // Co-runners of the new session = prior server occupancy.
-                    let (prediction, _) = shared.memo.predict(
-                        &model,
-                        shared.config.qos,
-                        placement,
-                        &occupancy[server],
-                    );
-                    (
-                        Response::Placed {
-                            session,
-                            server,
-                            predicted_fps: prediction.fps,
-                            model_version: model.version,
-                        },
-                        true,
-                    )
-                }
+            let mut fleet = shared.fleet.lock();
+            match admit_one(shared, &model, &mut fleet, (*game, *resolution)) {
+                Some((session, server, predicted_fps)) => (
+                    Response::Placed {
+                        session,
+                        server,
+                        predicted_fps,
+                        model_version: model.version,
+                    },
+                    true,
+                ),
                 None => (
                     Response::Rejected {
                         reason: "no eligible server (fleet saturated)".into(),
@@ -336,16 +370,53 @@ fn handle_request(shared: &Shared, request: &Request) -> (Response, bool) {
                 ),
             }
         }
+        Request::PlaceBatch { requests } => {
+            let model = shared.model.get();
+            // One lock acquisition for the whole burst; items place in
+            // order and fail independently (unknown game or saturation).
+            let mut fleet = shared.fleet.lock();
+            let results: Vec<BatchPlaceResult> = requests
+                .iter()
+                .map(|&(game, resolution)| {
+                    if !model.knows_game(game) {
+                        return BatchPlaceResult::Rejected {
+                            reason: format!("unknown game {}", game.0),
+                        };
+                    }
+                    match admit_one(shared, &model, &mut fleet, (game, resolution)) {
+                        Some((session, server, predicted_fps)) => BatchPlaceResult::Placed {
+                            session,
+                            server,
+                            predicted_fps,
+                        },
+                        None => BatchPlaceResult::Rejected {
+                            reason: "no eligible server (fleet saturated)".into(),
+                        },
+                    }
+                })
+                .collect();
+            (
+                Response::PlacedBatch {
+                    model_version: model.version,
+                    results,
+                },
+                true,
+            )
+        }
         Request::Depart { session } => {
-            let mut cluster = shared.cluster.lock();
+            let mut fleet = shared.fleet.lock();
+            let Fleet { cluster, scores } = &mut *fleet;
             match cluster.depart(*session) {
-                Some(placed) => (
-                    Response::Departed {
-                        session: *session,
-                        server: placed.server,
-                    },
-                    true,
-                ),
+                Some(placed) => {
+                    scores.invalidate(placed.server);
+                    (
+                        Response::Departed {
+                            session: *session,
+                            server: placed.server,
+                        },
+                        true,
+                    )
+                }
                 None => (
                     Response::Error {
                         message: format!("unknown session {session}"),

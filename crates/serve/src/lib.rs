@@ -72,4 +72,4 @@ pub use daemon::{start, DaemonConfig, DaemonHandle};
 pub use load::{LoadConfig, LoadReport};
 pub use model::{LoadedModel, MemoizedFps, ModelHandle, PredictionMemo};
 pub use stats::{RequestStats, StatsSnapshot};
-pub use wire::{Request, Response};
+pub use wire::{BatchPlaceResult, Request, Response, WirePlacement};

@@ -9,6 +9,7 @@
 //! rate-paced runs equally deterministic.
 
 use crate::client::{Client, ClientError};
+use crate::wire::{BatchPlaceResult, WirePlacement};
 use gaugur_gamesim::rng::rng_for;
 use gaugur_gamesim::{GameId, Resolution};
 use rand::Rng;
@@ -18,6 +19,10 @@ use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
 const LOAD_CTX: u64 = 0x4C4F_4144; // "LOAD"
+const RETRY_CTX: u64 = 0x5254_5259; // "RTRY"
+
+/// Bounded retries on `Overloaded` pushback before giving up on an arrival.
+const MAX_OVERLOAD_RETRIES: u32 = 4;
 
 /// Load-driver configuration.
 #[derive(Debug, Clone)]
@@ -43,6 +48,9 @@ pub struct LoadConfig {
     /// QoS floor: a placement whose predicted FPS falls below this counts as
     /// a violation in the report.
     pub qos: f64,
+    /// Arrivals grouped into one `PlaceBatch` frame (1 = one `Place` per
+    /// arrival; latency is then sampled per frame, not per arrival).
+    pub batch: usize,
 }
 
 impl Default for LoadConfig {
@@ -57,6 +65,7 @@ impl Default for LoadConfig {
             games: (0..16).map(GameId).collect(),
             resolutions: vec![Resolution::Hd720, Resolution::Fhd1080],
             qos: 60.0,
+            batch: 1,
         }
     }
 }
@@ -70,6 +79,9 @@ pub struct LoadReport {
     pub rejected: u64,
     /// `Overloaded` pushbacks received.
     pub overloaded: u64,
+    /// Retries issued after `Overloaded` pushback (bounded per arrival; an
+    /// arrival that exhausts its retries counts as an error, not a retry).
+    pub retries: u64,
     /// Sessions departed (including the end-of-run drain).
     pub departed: u64,
     /// Transport or daemon errors.
@@ -96,6 +108,7 @@ impl std::fmt::Display for LoadReport {
         writeln!(f, "  placed:        {}", self.placed)?;
         writeln!(f, "  rejected:      {}", self.rejected)?;
         writeln!(f, "  overloaded:    {}", self.overloaded)?;
+        writeln!(f, "  retries:       {}", self.retries)?;
         writeln!(f, "  departed:      {}", self.departed)?;
         writeln!(f, "  errors:        {}", self.errors)?;
         writeln!(f, "  predicted fps: {:.2} mean", self.mean_predicted_fps)?;
@@ -117,6 +130,7 @@ struct ThreadOutcome {
     placed: u64,
     rejected: u64,
     overloaded: u64,
+    retries: u64,
     departed: u64,
     errors: u64,
     fps_sum: f64,
@@ -129,11 +143,47 @@ fn exponential(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
     -(1.0 - u).ln() * mean
 }
 
+/// Issue `op`, retrying (bounded) on `Overloaded` pushback. The daemon
+/// answers `Overloaded` at accept time, so the connection was never admitted
+/// and each retry reconnects. Sleeps honor the daemon's hint plus jitter
+/// drawn from `retry_rng` — a *separate* stream from the arrival RNG, so the
+/// request sequence stays a pure function of the seed regardless of how many
+/// pushbacks wire timing produces.
+fn call_with_retry<T>(
+    client: &mut Client,
+    addr: &str,
+    retry_rng: &mut ChaCha8Rng,
+    overloaded: &mut u64,
+    retries: &mut u64,
+    mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    let mut attempts = 0u32;
+    loop {
+        match op(client) {
+            Err(ClientError::Overloaded { retry_after_ms }) => {
+                *overloaded += 1;
+                if attempts >= MAX_OVERLOAD_RETRIES {
+                    return Err(ClientError::Overloaded { retry_after_ms });
+                }
+                attempts += 1;
+                *retries += 1;
+                // Jitter de-synchronizes pushed-back threads; the cap keeps
+                // a hostile hint from stalling the run.
+                let jitter = retry_rng.gen_range(0..=retry_after_ms.max(1));
+                std::thread::sleep(Duration::from_millis((retry_after_ms + jitter).min(1000)));
+                *client = Client::connect(addr)?;
+            }
+            other => return other,
+        }
+    }
+}
+
 fn run_thread(config: &LoadConfig, thread: usize, n_arrivals: u64) -> ThreadOutcome {
     let mut out = ThreadOutcome {
         placed: 0,
         rejected: 0,
         overloaded: 0,
+        retries: 0,
         departed: 0,
         errors: 0,
         fps_sum: 0.0,
@@ -141,7 +191,9 @@ fn run_thread(config: &LoadConfig, thread: usize, n_arrivals: u64) -> ThreadOutc
         latencies_us: Vec::with_capacity(n_arrivals as usize),
     };
     let mut rng = rng_for(config.seed, &[LOAD_CTX, thread as u64]);
+    let mut retry_rng = rng_for(config.seed, &[LOAD_CTX, thread as u64, RETRY_CTX]);
     let per_thread_rate = config.rate / config.connections.max(1) as f64;
+    let batch = config.batch.max(1) as u64;
     // Min-heap of (departure arrival-index, session id).
     let mut departures: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
 
@@ -155,22 +207,31 @@ fn run_thread(config: &LoadConfig, thread: usize, n_arrivals: u64) -> ThreadOutc
     let started = Instant::now();
     let mut next_at = Duration::ZERO;
 
-    for i in 0..n_arrivals {
-        // Draw the whole arrival *before* any I/O so the request sequence
+    let mut i = 0u64;
+    while i < n_arrivals {
+        let group = batch.min(n_arrivals - i);
+        // Draw the whole group *before* any I/O so the request sequence
         // stays a pure function of the seed even when calls fail.
-        let game = config.games[rng.gen_range(0..config.games.len())];
-        let resolution = config.resolutions[rng.gen_range(0..config.resolutions.len())];
-        let lifetime = exponential(&mut rng, config.mean_session_arrivals)
-            .ceil()
-            .max(1.0) as u64;
+        let mut arrivals: Vec<(GameId, Resolution, u64)> = Vec::with_capacity(group as usize);
+        for _ in 0..group {
+            let game = config.games[rng.gen_range(0..config.games.len())];
+            let resolution = config.resolutions[rng.gen_range(0..config.resolutions.len())];
+            let lifetime = exponential(&mut rng, config.mean_session_arrivals)
+                .ceil()
+                .max(1.0) as u64;
+            if per_thread_rate.is_finite() && per_thread_rate > 0.0 {
+                next_at += Duration::from_secs_f64(exponential(&mut rng, 1.0 / per_thread_rate));
+            }
+            arrivals.push((game, resolution, lifetime));
+        }
+        // A batch frame fires when its *last* arrival is due.
         if per_thread_rate.is_finite() && per_thread_rate > 0.0 {
-            next_at += Duration::from_secs_f64(exponential(&mut rng, 1.0 / per_thread_rate));
             if let Some(wait) = next_at.checked_sub(started.elapsed()) {
                 std::thread::sleep(wait);
             }
         }
 
-        // Sessions whose lifetime elapsed depart before the new arrival.
+        // Sessions whose lifetime elapsed depart before the new arrivals.
         while let Some(&Reverse((due, session))) = departures.peek() {
             if due > i {
                 break;
@@ -182,36 +243,70 @@ fn run_thread(config: &LoadConfig, thread: usize, n_arrivals: u64) -> ThreadOutc
             }
         }
 
-        let t0 = Instant::now();
-        match client.place(game, resolution) {
-            Ok(placed) => {
-                out.latencies_us.push(t0.elapsed().as_micros() as u64);
-                out.placed += 1;
-                out.fps_sum += placed.predicted_fps;
-                if placed.predicted_fps < config.qos {
-                    out.violations += 1;
-                }
-                departures.push(Reverse((i + lifetime, placed.session)));
-            }
-            Err(ClientError::Rejected { .. }) => {
-                out.latencies_us.push(t0.elapsed().as_micros() as u64);
-                out.rejected += 1;
-            }
-            Err(ClientError::Overloaded { retry_after_ms }) => {
-                out.overloaded += 1;
-                std::thread::sleep(Duration::from_millis(retry_after_ms.min(1000)));
-                // The daemon answers Overloaded at accept time, so this
-                // connection was never admitted — reconnect for the rest.
-                match Client::connect(&config.addr) {
-                    Ok(c) => client = c,
-                    Err(_) => {
-                        out.errors += n_arrivals - i;
-                        return out;
+        if batch == 1 {
+            let (game, resolution, lifetime) = arrivals[0];
+            let t0 = Instant::now();
+            match call_with_retry(
+                &mut client,
+                &config.addr,
+                &mut retry_rng,
+                &mut out.overloaded,
+                &mut out.retries,
+                |c| c.place(game, resolution),
+            ) {
+                Ok(placed) => {
+                    out.latencies_us.push(t0.elapsed().as_micros() as u64);
+                    out.placed += 1;
+                    out.fps_sum += placed.predicted_fps;
+                    if placed.predicted_fps < config.qos {
+                        out.violations += 1;
                     }
+                    departures.push(Reverse((i + lifetime, placed.session)));
                 }
+                Err(ClientError::Rejected { .. }) => {
+                    out.latencies_us.push(t0.elapsed().as_micros() as u64);
+                    out.rejected += 1;
+                }
+                Err(_) => out.errors += 1,
             }
-            Err(_) => out.errors += 1,
+        } else {
+            let wire: Vec<WirePlacement> = arrivals.iter().map(|&(g, r, _)| (g, r)).collect();
+            let t0 = Instant::now();
+            match call_with_retry(
+                &mut client,
+                &config.addr,
+                &mut retry_rng,
+                &mut out.overloaded,
+                &mut out.retries,
+                |c| c.place_batch(&wire),
+            ) {
+                Ok((_version, results)) => {
+                    // One latency sample per frame, not per arrival.
+                    out.latencies_us.push(t0.elapsed().as_micros() as u64);
+                    for (k, result) in results.iter().enumerate() {
+                        match result {
+                            BatchPlaceResult::Placed {
+                                session,
+                                predicted_fps,
+                                ..
+                            } => {
+                                out.placed += 1;
+                                out.fps_sum += predicted_fps;
+                                if *predicted_fps < config.qos {
+                                    out.violations += 1;
+                                }
+                                let lifetime = arrivals[k].2;
+                                departures.push(Reverse((i + k as u64 + lifetime, *session)));
+                            }
+                            BatchPlaceResult::Rejected { .. } => out.rejected += 1,
+                        }
+                    }
+                    out.errors += (wire.len().saturating_sub(results.len())) as u64;
+                }
+                Err(_) => out.errors += group,
+            }
         }
+        i += group;
     }
 
     // Drain: everything this thread placed departs before it reports, so
@@ -256,6 +351,7 @@ pub fn run(config: &LoadConfig) -> LoadReport {
         report.placed += o.placed;
         report.rejected += o.rejected;
         report.overloaded += o.overloaded;
+        report.retries += o.retries;
         report.departed += o.departed;
         report.errors += o.errors;
         fps_sum += o.fps_sum;
@@ -309,6 +405,17 @@ mod tests {
             let mut a = rng_for(config.seed, &[LOAD_CTX, 0]);
             a.gen_range(0..1000) == c.gen_range(0..1000)
         });
+        assert!(!same);
+    }
+
+    #[test]
+    fn retry_jitter_uses_a_separate_stream() {
+        // Retry sleeps must not consume arrival-stream randomness, or wire
+        // timing would change which games arrive.
+        let config = LoadConfig::default();
+        let mut arrivals = rng_for(config.seed, &[LOAD_CTX, 0]);
+        let mut retry = rng_for(config.seed, &[LOAD_CTX, 0, RETRY_CTX]);
+        let same = (0..100).all(|_| arrivals.gen::<u64>() == retry.gen::<u64>());
         assert!(!same);
     }
 

@@ -77,19 +77,34 @@ impl ModelHandle {
     /// Reload from `path` (or the current model's source when `None`) and
     /// swap atomically. The swap happens only after a successful load: a
     /// bad artifact leaves the old model serving and returns the error.
+    ///
+    /// Concurrent reloads are safe: artifact loading (the slow part) runs
+    /// outside any lock, but the version is assigned *under* the write
+    /// lock, so whichever reload publishes later carries the strictly
+    /// higher version — a slow reload racing a fast one can never roll the
+    /// served model back while the version counter claims otherwise.
     pub fn reload(&self, path: Option<&Path>) -> io::Result<u64> {
         let source = match path {
             Some(p) => p.to_path_buf(),
             None => self.get().source.clone(),
         };
         let gaugur = GAugur::load_json(&source)?;
+        Ok(self.publish(gaugur, source))
+    }
+
+    /// Swap in an already-loaded model; returns its assigned version.
+    /// Version assignment and publication happen under one write-lock
+    /// critical section, which is what makes the served version monotonic
+    /// under concurrent reloads.
+    fn publish(&self, gaugur: GAugur, source: PathBuf) -> u64 {
+        let mut current = self.current.write();
         let version = self.versions.fetch_add(1, Ordering::SeqCst) + 1;
-        *self.current.write() = Arc::new(LoadedModel {
+        *current = Arc::new(LoadedModel {
             gaugur,
             version,
             source,
         });
-        Ok(version)
+        version
     }
 }
 
@@ -132,9 +147,30 @@ pub struct Prediction {
     pub fps: f64,
 }
 
-/// Bounded memo of `(model, target, colocation, qos) → prediction`.
+/// Memo key for a whole colocation's summed FPS: the multiset of members
+/// (sorted, so permutations share an entry) plus the model version.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SumKey {
+    version: u64,
+    members: Vec<(u32, u8)>,
+}
+
+fn sum_key(version: u64, members: &[Placement]) -> SumKey {
+    let mut m: Vec<(u32, u8)> = members.iter().map(|&(g, r)| (g.0, r as u8)).collect();
+    m.sort_unstable();
+    SumKey {
+        version,
+        members: m,
+    }
+}
+
+/// Bounded memo of `(model, target, colocation, qos) → prediction`, plus a
+/// second map memoizing whole-colocation summed FPS — the quantity the
+/// placement greedy compares per candidate server — so a steady-state
+/// placement costs one lookup per candidate instead of one per member.
 pub struct PredictionMemo {
     map: Mutex<HashMap<MemoKey, Prediction>>,
+    sums: Mutex<HashMap<SumKey, f64>>,
     hits: AtomicU64,
     misses: AtomicU64,
     capacity: usize,
@@ -147,10 +183,43 @@ impl PredictionMemo {
     pub fn new(capacity: usize) -> PredictionMemo {
         PredictionMemo {
             map: Mutex::new(HashMap::new()),
+            sums: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             capacity: capacity.max(16),
         }
+    }
+
+    /// Memoized summed FPS of every member of `members` together. Member
+    /// predictions funnel through [`predict`](PredictionMemo::predict), so
+    /// the per-member entries stay shared with `Predict` requests.
+    pub fn colocation_sum(&self, model: &LoadedModel, qos: f64, members: &[Placement]) -> f64 {
+        if members.is_empty() {
+            return 0.0;
+        }
+        let key = sum_key(model.version, members);
+        if let Some(&hit) = self.sums.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let sum: f64 = (0..members.len())
+            .map(|i| {
+                let others: Vec<Placement> = members
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &p)| p)
+                    .collect();
+                self.predict(model, qos, members[i], &others).0.fps
+            })
+            .sum();
+        let mut sums = self.sums.lock();
+        if sums.len() >= self.capacity {
+            sums.clear();
+        }
+        sums.insert(key, sum);
+        sum
     }
 
     /// Predict through the memo. Returns the prediction and whether it was
@@ -234,6 +303,10 @@ impl gaugur_sched::FpsModel for MemoizedFps<'_> {
             .predict(self.model, self.qos, members[idx], &others)
             .0
             .fps
+    }
+
+    fn predict_colocation_sum(&self, members: &[Placement]) -> f64 {
+        self.memo.colocation_sum(self.model, self.qos, members)
     }
 
     fn model_name(&self) -> &'static str {
@@ -333,6 +406,102 @@ mod tests {
             }
         }
         assert!(memo.len() <= 16);
+    }
+
+    #[test]
+    fn colocation_sum_memoizes_and_matches_member_predictions() {
+        let handle = ModelHandle::from_model(tiny_model());
+        let model = handle.get();
+        let memo = PredictionMemo::new(1024);
+        let members = [
+            (GameId(0), Resolution::Fhd1080),
+            (GameId(1), Resolution::Hd720),
+            (GameId(2), Resolution::Fhd1080),
+        ];
+        let direct: f64 = (0..members.len())
+            .map(|i| {
+                let others: Vec<Placement> = members
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &p)| p)
+                    .collect();
+                model.gaugur.predict_fps(members[i], &others)
+            })
+            .sum();
+        let sum = memo.colocation_sum(&model, 60.0, &members);
+        assert!((sum - direct).abs() < 1e-9);
+        // Repeat and permutation both hit the sum memo.
+        let (h0, _) = memo.counts();
+        let _ = memo.colocation_sum(&model, 60.0, &members);
+        let permuted = [members[2], members[0], members[1]];
+        let _ = memo.colocation_sum(&model, 60.0, &permuted);
+        let (h1, _) = memo.counts();
+        assert_eq!(h1 - h0, 2);
+        // An empty colocation sums to zero without touching the model.
+        assert_eq!(memo.colocation_sum(&model, 60.0, &[]), 0.0);
+    }
+
+    /// Regression test for the reload rollback race: two concurrent reloads
+    /// used to assign versions *before* taking the write lock, so a slow
+    /// reload could publish an older artifact over a newer one while the
+    /// version counter claimed the newer version. The served version must
+    /// never decrease, no matter how reloads interleave.
+    #[test]
+    fn concurrent_reloads_never_roll_the_served_version_back() {
+        use std::sync::atomic::AtomicBool;
+
+        let handle = std::sync::Arc::new(ModelHandle::from_model(tiny_model()));
+        let model = tiny_model();
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+
+        std::thread::scope(|scope| {
+            // Racers publish concurrently (publish is the critical section;
+            // artifact loading happens outside any lock and is irrelevant
+            // to the ordering bug).
+            for _ in 0..4 {
+                let handle = handle.clone();
+                let model = model.clone();
+                scope.spawn(move || {
+                    for _ in 0..300 {
+                        handle.publish(model.clone(), PathBuf::from("<race>"));
+                    }
+                });
+            }
+            // Observer: the served version must be monotone non-decreasing.
+            let observer = {
+                let handle = handle.clone();
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::SeqCst) {
+                        let v = handle.version();
+                        assert!(v >= last, "served version rolled back: {last} -> {v}");
+                        last = v;
+                    }
+                    // One final read: the stop flag may have been raised
+                    // between this thread's last poll and the last publish.
+                    last.max(handle.version())
+                })
+            };
+            // Scope joins the racers when they finish; flag the observer
+            // down from a watcher thread once the racers are done.
+            let watcher = {
+                let handle = handle.clone();
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    // 4 racers × 300 publishes on top of version 1.
+                    while handle.version() < 1201 {
+                        std::thread::yield_now();
+                    }
+                    stop.store(true, Ordering::SeqCst);
+                })
+            };
+            watcher.join().unwrap();
+            let final_seen = observer.join().unwrap();
+            assert_eq!(final_seen, 1201);
+        });
+        assert_eq!(handle.version(), 1201);
     }
 
     #[test]

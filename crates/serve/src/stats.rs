@@ -33,6 +33,10 @@ pub struct RequestStats {
     pub errors: u64,
     /// Histogram counts per bucket of [`LATENCY_BUCKETS_US`] (+ overflow).
     pub latency_us: Vec<u64>,
+    /// Largest observed latency (µs); bounds percentile reports when the
+    /// rank falls in the open-ended overflow bucket.
+    #[serde(default)]
+    pub max_us: u64,
 }
 
 impl RequestStats {
@@ -42,8 +46,11 @@ impl RequestStats {
     }
 
     /// Approximate latency percentile (0..=100) from the histogram: the
-    /// upper bound of the bucket holding the p-th sample. Returns 0 with no
-    /// samples.
+    /// upper bound of the bucket holding the p-th sample, or the observed
+    /// maximum when the rank falls in the open-ended overflow bucket (the
+    /// overflow bucket has no upper bound of its own; reporting `u64::MAX`
+    /// there used to poison downstream percentile aggregation). Returns 0
+    /// with no samples.
     pub fn percentile_us(&self, p: f64) -> u64 {
         let n: u64 = self.latency_us.iter().sum();
         if n == 0 {
@@ -54,10 +61,10 @@ impl RequestStats {
         for (i, &count) in self.latency_us.iter().enumerate() {
             seen += count;
             if seen >= rank {
-                return LATENCY_BUCKETS_US.get(i).copied().unwrap_or(u64::MAX);
+                return LATENCY_BUCKETS_US.get(i).copied().unwrap_or(self.max_us);
             }
         }
-        u64::MAX
+        self.max_us
     }
 }
 
@@ -82,6 +89,13 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Prediction-memo misses.
     pub cache_misses: u64,
+    /// Per-server score-cache hits (placement `before` sums served from
+    /// cache instead of recomputed).
+    #[serde(default)]
+    pub score_hits: u64,
+    /// Per-server score-cache misses (full server-sum recomputations).
+    #[serde(default)]
+    pub score_misses: u64,
     /// Counters per request kind.
     pub per_request: BTreeMap<String, RequestStats>,
 }
@@ -94,6 +108,16 @@ impl StatsSnapshot {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Score-cache hit rate in [0, 1]; 0 with no lookups.
+    pub fn score_hit_rate(&self) -> f64 {
+        let total = self.score_hits + self.score_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.score_hits as f64 / total as f64
         }
     }
 }
@@ -118,6 +142,13 @@ impl std::fmt::Display for StatsSnapshot {
             self.cache_hits,
             self.cache_misses,
             100.0 * self.cache_hit_rate()
+        )?;
+        writeln!(
+            f,
+            "  score cache:       {} hits / {} misses ({:.1}% hit rate)",
+            self.score_hits,
+            self.score_misses,
+            100.0 * self.score_hit_rate()
         )?;
         writeln!(
             f,
@@ -147,6 +178,7 @@ struct KindCounters {
     ok: AtomicU64,
     errors: AtomicU64,
     buckets: [AtomicU64; N_BUCKETS],
+    max_us: AtomicU64,
 }
 
 impl KindCounters {
@@ -155,6 +187,7 @@ impl KindCounters {
             ok: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            max_us: AtomicU64::new(0),
         }
     }
 }
@@ -215,6 +248,7 @@ impl AtomicStats {
             .position(|&b| latency_us <= b)
             .unwrap_or(N_BUCKETS - 1);
         c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.max_us.fetch_max(latency_us, Ordering::Relaxed);
     }
 
     /// Count an accepted connection.
@@ -263,6 +297,7 @@ impl AtomicStats {
                             .iter()
                             .map(|b| b.load(Ordering::Relaxed))
                             .collect(),
+                        max_us: c.max_us.load(Ordering::Relaxed),
                     },
                 )
             })
@@ -277,6 +312,10 @@ impl AtomicStats {
             malformed_frames: self.malformed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            // The score cache lives under the daemon's fleet lock; the
+            // daemon fills these in when it assembles the full snapshot.
+            score_hits: 0,
+            score_misses: 0,
             per_request,
         }
     }
@@ -315,6 +354,31 @@ mod tests {
         assert_eq!(rs.percentile_us(99.0), 5);
         assert_eq!(rs.percentile_us(100.0), 1_000);
         assert_eq!(RequestStats::default().percentile_us(50.0), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_observed_max_not_u64_max() {
+        // A latency beyond the last bucket bound used to make percentile_us
+        // return u64::MAX, which poisoned the load driver's aggregates.
+        let s = AtomicStats::new();
+        s.record("place", true, 3_456_789); // overflow (> 1s)
+        let rs = s.snapshot(1, 0, 1).per_request["place"].clone();
+        assert_eq!(rs.max_us, 3_456_789);
+        assert_eq!(rs.percentile_us(50.0), 3_456_789);
+        assert_eq!(rs.percentile_us(100.0), 3_456_789);
+
+        // Mixed: fast requests keep their bucket bounds, only ranks landing
+        // in the overflow bucket use the observed max.
+        let s = AtomicStats::new();
+        for _ in 0..9 {
+            s.record("place", true, 4);
+        }
+        s.record("place", true, 2_000_000);
+        let rs = s.snapshot(1, 0, 1).per_request["place"].clone();
+        assert_eq!(rs.percentile_us(50.0), 5);
+        assert_eq!(rs.percentile_us(90.0), 5);
+        assert_eq!(rs.percentile_us(100.0), 2_000_000);
+        assert_eq!(rs.max_us, 2_000_000);
     }
 
     #[test]

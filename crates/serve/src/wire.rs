@@ -35,6 +35,14 @@ pub enum Request {
         /// The requested display resolution.
         resolution: Resolution,
     },
+    /// Admit a burst of sessions in one frame. The whole batch is placed
+    /// under a single fleet-lock acquisition, amortizing locking and score
+    /// computation; items are placed in order and each succeeds or is
+    /// rejected independently.
+    PlaceBatch {
+        /// The arriving sessions, in placement order.
+        requests: Vec<WirePlacement>,
+    },
     /// End a session previously admitted by `Place`.
     Depart {
         /// Session id returned by the `Placed` response.
@@ -82,6 +90,13 @@ pub enum Response {
         /// Human-readable reason.
         reason: String,
     },
+    /// Answer to `PlaceBatch`: one outcome per request, in request order.
+    PlacedBatch {
+        /// Version of the model that made every decision in this batch.
+        model_version: u64,
+        /// Per-request outcomes.
+        results: Vec<BatchPlaceResult>,
+    },
     /// A `Depart` succeeded.
     Departed {
         /// The departed session.
@@ -121,6 +136,26 @@ pub enum Response {
     Error {
         /// What went wrong.
         message: String,
+    },
+}
+
+/// Outcome of one request inside a `PlaceBatch`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BatchPlaceResult {
+    /// The session was placed.
+    Placed {
+        /// Daemon-assigned session id (pass to `Depart`).
+        session: u64,
+        /// Index of the chosen server.
+        server: usize,
+        /// Predicted FPS of the new session on that server.
+        predicted_fps: f64,
+    },
+    /// The session could not be placed (fleet saturated for its game, or
+    /// the game is unknown to the model).
+    Rejected {
+        /// Human-readable reason.
+        reason: String,
     },
 }
 
@@ -206,6 +241,7 @@ pub fn decode_payload<T: Deserialize>(payload: &[u8]) -> Result<T, FrameError> {
 pub fn request_kind(req: &Request) -> &'static str {
     match req {
         Request::Place { .. } => "place",
+        Request::PlaceBatch { .. } => "place_batch",
         Request::Depart { .. } => "depart",
         Request::Predict { .. } => "predict",
         Request::Stats => "stats",
@@ -216,8 +252,9 @@ pub fn request_kind(req: &Request) -> &'static str {
 
 /// All request-kind labels, in a stable order (drives stats pre-registration
 /// so snapshots always carry every kind).
-pub const REQUEST_KINDS: [&str; 6] = [
+pub const REQUEST_KINDS: [&str; 7] = [
     "place",
+    "place_batch",
     "depart",
     "predict",
     "stats",
@@ -252,6 +289,13 @@ mod tests {
             game: GameId(3),
             resolution: Resolution::Fhd1080,
         });
+        roundtrip_request(&Request::PlaceBatch {
+            requests: vec![
+                (GameId(3), Resolution::Fhd1080),
+                (GameId(4), Resolution::Hd720),
+            ],
+        });
+        roundtrip_request(&Request::PlaceBatch { requests: vec![] });
         roundtrip_request(&Request::Depart { session: 42 });
         roundtrip_request(&Request::Predict {
             game: GameId(0),
@@ -280,6 +324,19 @@ mod tests {
         });
         roundtrip_response(&Response::Rejected {
             reason: "no eligible server".into(),
+        });
+        roundtrip_response(&Response::PlacedBatch {
+            model_version: 2,
+            results: vec![
+                BatchPlaceResult::Placed {
+                    session: 9,
+                    server: 1,
+                    predicted_fps: 61.5,
+                },
+                BatchPlaceResult::Rejected {
+                    reason: "no eligible server".into(),
+                },
+            ],
         });
         roundtrip_response(&Response::Departed {
             session: 7,

@@ -8,7 +8,9 @@ use gaugur_gamesim::rng::rng_for;
 use gaugur_gamesim::{GameCatalog, GameId, Resolution, Server};
 use gaugur_sched::maxfps::MAX_PER_SERVER;
 use gaugur_serve::wire::{read_frame, write_frame, Request, Response};
-use gaugur_serve::{daemon, load, Client, ClientError, DaemonConfig, LoadConfig, ModelHandle};
+use gaugur_serve::{
+    daemon, load, BatchPlaceResult, Client, ClientError, DaemonConfig, LoadConfig, ModelHandle,
+};
 use rand::Rng;
 use std::collections::HashMap;
 use std::net::TcpStream;
@@ -239,6 +241,7 @@ fn hot_reload_under_live_load_fails_no_inflight_request() {
                 games: (0..N_GAMES).map(GameId).collect(),
                 resolutions: vec![Resolution::Hd720, Resolution::Fhd1080],
                 qos: 60.0,
+                batch: 1,
             })
         }
     });
@@ -270,6 +273,141 @@ fn hot_reload_under_live_load_fails_no_inflight_request() {
 
     handle.shutdown();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_place_batch_depart_stress_reconciles() {
+    let handle = daemon::start(
+        DaemonConfig {
+            n_servers: 8,
+            workers: 4,
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 60;
+
+    // (placed, rejected, departed, place_calls, batch_calls) per thread.
+    let outcomes: Vec<(u64, u64, u64, u64, u64)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut rng = rng_for(0x57E55, &[t as u64]);
+                    let mut sessions: Vec<u64> = Vec::new();
+                    let (mut placed, mut rejected, mut departed) = (0u64, 0u64, 0u64);
+                    let (mut place_calls, mut batch_calls) = (0u64, 0u64);
+                    for _ in 0..ROUNDS {
+                        match rng.gen_range(0..3u32) {
+                            0 => {
+                                place_calls += 1;
+                                let game = GameId(rng.gen_range(0..N_GAMES));
+                                match client.place(game, Resolution::Fhd1080) {
+                                    Ok(p) => {
+                                        sessions.push(p.session);
+                                        placed += 1;
+                                    }
+                                    Err(ClientError::Rejected { .. }) => rejected += 1,
+                                    Err(e) => panic!("place failed: {e}"),
+                                }
+                            }
+                            1 => {
+                                batch_calls += 1;
+                                let burst: Vec<_> = (0..4)
+                                    .map(|_| {
+                                        (GameId(rng.gen_range(0..N_GAMES)), Resolution::Fhd1080)
+                                    })
+                                    .collect();
+                                let (_, results) = client.place_batch(&burst).unwrap();
+                                assert_eq!(results.len(), burst.len());
+                                for result in results {
+                                    match result {
+                                        BatchPlaceResult::Placed { session, .. } => {
+                                            sessions.push(session);
+                                            placed += 1;
+                                        }
+                                        BatchPlaceResult::Rejected { .. } => rejected += 1,
+                                    }
+                                }
+                            }
+                            _ => {
+                                if sessions.is_empty() {
+                                    continue;
+                                }
+                                let s = sessions.swap_remove(rng.gen_range(0..sessions.len()));
+                                client.depart(s).unwrap();
+                                departed += 1;
+                            }
+                        }
+                    }
+                    // Quiesce: every session this thread still owns departs.
+                    for s in sessions.drain(..) {
+                        client.depart(s).unwrap();
+                        departed += 1;
+                    }
+                    (placed, rejected, departed, place_calls, batch_calls)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // The daemon's internal bookkeeping survived the interleaving.
+    handle.check_invariants();
+
+    let placed: u64 = outcomes.iter().map(|o| o.0).sum();
+    let departed: u64 = outcomes.iter().map(|o| o.2).sum();
+    let place_calls: u64 = outcomes.iter().map(|o| o.3).sum();
+    let batch_calls: u64 = outcomes.iter().map(|o| o.4).sum();
+    assert_eq!(placed, departed, "quiesce departed every placement");
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.active_sessions, 0, "leaked sessions after quiesce");
+    assert_eq!(stats.per_request["place"].ok, place_calls);
+    assert_eq!(stats.per_request["place"].errors, 0);
+    assert_eq!(stats.per_request["place_batch"].ok, batch_calls);
+    assert_eq!(stats.per_request["place_batch"].errors, 0);
+    assert_eq!(stats.per_request["depart"].ok, departed);
+    assert_eq!(stats.per_request["depart"].errors, 0);
+    assert!(
+        stats.score_hits + stats.score_misses > 0,
+        "score cache never consulted"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn batched_load_driver_reconciles_like_singles() {
+    let handle = daemon::start(
+        DaemonConfig {
+            n_servers: 12,
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+    let report = load::run(&LoadConfig {
+        addr: handle.local_addr().to_string(),
+        seed: 23,
+        connections: 2,
+        requests: 240,
+        games: (0..N_GAMES).map(GameId).collect(),
+        batch: 8,
+        ..LoadConfig::default()
+    });
+    assert_eq!(report.errors, 0, "{report}");
+    assert_eq!(report.placed + report.rejected, 240);
+    assert_eq!(report.placed, report.departed);
+    // One latency frame per batch, so p50 exists but throughput counts arrivals.
+    assert!(report.achieved_rps > 0.0);
+    let stats = handle.shutdown();
+    assert_eq!(stats.active_sessions, 0);
+    assert_eq!(stats.per_request["place_batch"].ok, 240 / 8);
 }
 
 #[test]

@@ -70,6 +70,7 @@ fn offline_build_serves_online_placements() {
         games,
         resolutions: vec![Resolution::Hd720, Resolution::Fhd1080],
         qos: 60.0,
+        batch: 1,
     });
     assert_eq!(report.errors, 0);
     assert_eq!(report.placed + report.rejected, 100);
