@@ -13,9 +13,13 @@
 //! * [`vbp`] — Vector Bin Packing (Section 2.2): demand-vector feasibility
 //!   with no interference modelling at all.
 //!
-//! All the degradation-capable methodologies implement
-//! [`DegradationPredictor`], so the evaluation harness can sweep them
-//! uniformly.
+//! Every methodology implements the workspace-wide
+//! [`InterferencePredictor`] trait from `gaugur-core`, so the evaluation
+//! harness, the scheduler and the serving daemon sweep them uniformly —
+//! including through the batched
+//! [`predict_degradation_batch`](InterferencePredictor::predict_degradation_batch)
+//! hot path (the baselines inherit the scalar-fallback default, which is
+//! bit-identical to the per-query path by contract).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -24,20 +28,7 @@ pub mod sigmoid;
 pub mod smite;
 pub mod vbp;
 
+pub use gaugur_core::{DegradationBatch, FeatureBuffer, InterferencePredictor};
 pub use sigmoid::SigmoidPredictor;
 pub use smite::SmitePredictor;
 pub use vbp::VbpPolicy;
-
-use gaugur_core::Placement;
-
-/// A methodology that predicts the degradation ratio of a target game under
-/// colocation (GAugur's RM, Sigmoid and SMiTe all qualify; VBP does not — it
-/// only judges feasibility).
-pub trait DegradationPredictor {
-    /// Predicted degradation ratio (colocated FPS / solo FPS) of `target`
-    /// when colocated with `others`.
-    fn predict_degradation(&self, target: Placement, others: &[Placement]) -> f64;
-
-    /// Short display name for result tables.
-    fn name(&self) -> &'static str;
-}

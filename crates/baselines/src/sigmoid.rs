@@ -8,8 +8,7 @@
 //! whenever co-runner identity matters — which Figure 1 of the paper shows
 //! is the norm.
 
-use crate::DegradationPredictor;
-use gaugur_core::{MeasuredColocation, Placement, ProfileStore};
+use gaugur_core::{InterferencePredictor, MeasuredColocation, Placement, ProfileStore};
 use gaugur_gamesim::GameId;
 use gaugur_ml::curvefit::SigmoidFit;
 use serde::{Deserialize, Serialize};
@@ -65,10 +64,15 @@ impl SigmoidPredictor {
     }
 }
 
-impl DegradationPredictor for SigmoidPredictor {
+impl InterferencePredictor for SigmoidPredictor {
     fn predict_degradation(&self, target: Placement, others: &[Placement]) -> f64 {
         let solo = self.profiles.get(target.0).solo_fps_at(target.1);
         (self.predict_fps(target, others.len()) / solo).clamp(0.01, 1.05)
+    }
+
+    fn meets_qos(&self, qos: f64, target: Placement, others: &[Placement]) -> bool {
+        let solo = self.profiles.get(target.0).solo_fps_at(target.1);
+        self.predict_degradation(target, others) * solo >= qos
     }
 
     fn name(&self) -> &'static str {
@@ -140,6 +144,39 @@ mod tests {
                 assert!(d > 0.0 && d <= 1.05, "{}: {d}", g.name);
             }
         }
+    }
+
+    #[test]
+    fn batched_trait_path_matches_scalar_bit_for_bit() {
+        let (catalog, model) = setup();
+        let res = Resolution::Fhd1080;
+        let mut batch = gaugur_core::DegradationBatch::new();
+        let mut expected = Vec::new();
+        for w in catalog.games().windows(3) {
+            let target = (w[0].id, res);
+            let others = [(w[1].id, res), (w[2].id, Resolution::Hd720)];
+            batch.push(target, &others);
+            expected.push(model.predict_degradation(target, &others));
+        }
+        let mut scratch = gaugur_core::FeatureBuffer::new();
+        let mut out = Vec::new();
+        model.predict_degradation_batch(&batch, &mut scratch, &mut out);
+        assert_eq!(out.len(), expected.len());
+        for (a, b) in out.iter().zip(&expected) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn meets_qos_agrees_with_predicted_fps() {
+        let (catalog, model) = setup();
+        let res = Resolution::Fhd1080;
+        let target = (catalog[0].id, res);
+        let others = [(catalog[1].id, res), (catalog[2].id, res)];
+        let solo = model.profiles.get(target.0).solo_fps_at(target.1);
+        let fps = model.predict_degradation(target, &others) * solo;
+        assert!(model.meets_qos(fps - 1.0, target, &others));
+        assert!(!model.meets_qos(fps + 1.0, target, &others));
     }
 
     #[test]

@@ -12,8 +12,7 @@
 //! (Observation 5) — which is exactly why its error explodes for 4-game
 //! colocations in Figure 7b.
 
-use crate::DegradationPredictor;
-use gaugur_core::{MeasuredColocation, Placement, ProfileStore};
+use gaugur_core::{InterferencePredictor, MeasuredColocation, Placement, ProfileStore};
 use gaugur_gamesim::{ResourceVec, ALL_RESOURCES, NUM_RESOURCES};
 use gaugur_ml::{Dataset, LinearRegression, Regressor};
 use serde::{Deserialize, Serialize};
@@ -81,10 +80,15 @@ impl SmitePredictor {
     }
 }
 
-impl DegradationPredictor for SmitePredictor {
+impl InterferencePredictor for SmitePredictor {
     fn predict_degradation(&self, target: Placement, others: &[Placement]) -> f64 {
         let f = smite_features(&self.profiles, target, others);
         self.model.predict(&f).clamp(0.01, 1.05)
+    }
+
+    fn meets_qos(&self, qos: f64, target: Placement, others: &[Placement]) -> bool {
+        let solo = self.profiles.get(target.0).solo_fps_at(target.1);
+        self.predict_degradation(target, others) * solo >= qos
     }
 
     fn name(&self) -> &'static str {

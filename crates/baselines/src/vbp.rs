@@ -9,7 +9,7 @@
 //! is why the DDDA / Little Witch Academia example of Section 2.2 passes
 //! VBP yet violates QoS in reality.
 
-use gaugur_core::Placement;
+use gaugur_core::{InterferencePredictor, Placement};
 use gaugur_gamesim::{GameCatalog, Resolution, ResourceVec, ALL_RESOURCES};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -106,6 +106,34 @@ impl VbpPolicy {
     }
 }
 
+/// VBP as an [`InterferencePredictor`]: it cannot model interference, so its
+/// "degradation" is the all-or-nothing demand-fit judgement — 1.0 (no
+/// degradation) when the full colocation fits the server's demand vectors,
+/// 0.0 when it does not. `meets_qos` is likewise the QoS-oblivious
+/// feasibility check of the whole set. This is exactly the approximation
+/// the paper criticizes, expressed through the common interface so sweeps
+/// can include VBP without special-casing it.
+impl InterferencePredictor for VbpPolicy {
+    fn predict_degradation(&self, target: Placement, others: &[Placement]) -> f64 {
+        let mut members = Vec::with_capacity(others.len() + 1);
+        members.extend_from_slice(others);
+        members.push(target);
+        if self.feasible(&members) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn meets_qos(&self, _qos: f64, target: Placement, others: &[Placement]) -> bool {
+        self.predict_degradation(target, others) == 1.0
+    }
+
+    fn name(&self) -> &'static str {
+        "VBP"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +200,27 @@ mod tests {
         let e = policy.entry((catalog[0].id, Resolution::Fhd1080));
         assert_eq!(e.utilization[gaugur_gamesim::Resource::Llc], 0.0);
         assert_eq!(e.utilization[gaugur_gamesim::Resource::GpuL2], 0.0);
+    }
+
+    #[test]
+    fn trait_degradation_is_the_feasibility_indicator() {
+        let (catalog, policy) = setup();
+        let indie = catalog.by_name("A Walk in the Woods").unwrap();
+        let solo = (indie.id, Resolution::Hd720);
+        assert_eq!(policy.predict_degradation(solo, &[]), 1.0);
+        assert!(
+            policy.meets_qos(1e9, solo, &[]),
+            "VBP ignores the QoS floor"
+        );
+        let heavy: Vec<Placement> = catalog
+            .games()
+            .iter()
+            .filter(|g| g.genre == gaugur_gamesim::Genre::AaaOpenWorld)
+            .map(|g| (g.id, Resolution::Qhd1440))
+            .collect();
+        assert_eq!(policy.predict_degradation(heavy[0], &heavy[1..]), 0.0);
+        assert!(!policy.meets_qos(0.0, heavy[0], &heavy[1..]));
+        assert_eq!(policy.name(), "VBP");
     }
 
     #[test]

@@ -5,10 +5,96 @@
 //! prediction cost is the latency budget that matters.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use gaugur_baselines::{DegradationPredictor, SigmoidPredictor, SmitePredictor, VbpPolicy};
+use gaugur_baselines::{InterferencePredictor, SigmoidPredictor, SmitePredictor, VbpPolicy};
 use gaugur_bench::ExperimentContext;
-use gaugur_core::{GAugur, GAugurConfig, Placement};
+use gaugur_core::{DegradationBatch, FeatureBuffer, GAugur, GAugurConfig, Placement};
 use gaugur_gamesim::Resolution;
+use std::time::Instant;
+
+/// Batch sizes swept by the batched-vs-scalar comparison.
+const BATCH_SIZES: [usize; 4] = [1, 8, 32, 128];
+
+/// Time the scalar loop against the fused batch path at each batch size.
+/// Returns `(batch size, scalar ns/query, batch ns/query)` rows.
+fn batch_vs_scalar(ctx: &ExperimentContext, gaugur: &GAugur) -> Vec<(usize, f64, f64)> {
+    let res = Resolution::Fhd1080;
+    let ids: Vec<_> = ctx.catalog.games().iter().map(|g| g.id).collect();
+    let mut scratch = FeatureBuffer::new();
+    let mut out = Vec::new();
+    let mut results = Vec::new();
+    let mut sink = 0.0f64;
+    for &n in &BATCH_SIZES {
+        // n queries, each a distinct target under three co-runners — the
+        // shape one admit produces when scoring every candidate server.
+        let queries: Vec<(Placement, [Placement; 3])> = (0..n)
+            .map(|i| {
+                let t = (ids[i % ids.len()], res);
+                let o = [
+                    (ids[(i + 1) % ids.len()], res),
+                    (ids[(i + 2) % ids.len()], Resolution::Hd720),
+                    (ids[(i + 3) % ids.len()], res),
+                ];
+                (t, o)
+            })
+            .collect();
+        let mut batch = DegradationBatch::new();
+        for (t, o) in &queries {
+            batch.push(*t, o);
+        }
+        let reps = (20_000 / n).max(20);
+
+        for (t, o) in &queries {
+            sink += gaugur.predict_degradation(*t, o);
+        }
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for (t, o) in &queries {
+                sink += gaugur.predict_degradation(*t, o);
+            }
+        }
+        let scalar_ns = t0.elapsed().as_nanos() as f64 / (reps * n) as f64;
+
+        gaugur.predict_degradation_batch(&batch, &mut scratch, &mut out);
+        sink += out[0];
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            gaugur.predict_degradation_batch(&batch, &mut scratch, &mut out);
+            sink += out[0];
+        }
+        let batch_ns = t1.elapsed().as_nanos() as f64 / (reps * n) as f64;
+
+        eprintln!(
+            "prediction_batch_vs_scalar n={n}: scalar {scalar_ns:.0} ns/query, \
+             batch {batch_ns:.0} ns/query ({:.2}x)",
+            scalar_ns / batch_ns.max(1e-9)
+        );
+        results.push((n, scalar_ns, batch_ns));
+    }
+    std::hint::black_box(sink);
+    results
+}
+
+/// Write the machine-readable report the CI gate checks for.
+fn emit_report(results: &[(usize, f64, f64)]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_prediction.json");
+    let mut rows = String::new();
+    for (i, &(n, scalar_ns, batch_ns)) in results.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "\n    {{\"batch\": {n}, \"scalar_ns_per_query\": {scalar_ns:.1}, \
+             \"batch_ns_per_query\": {batch_ns:.1}, \"speedup\": {:.2}}}",
+            scalar_ns / batch_ns.max(1e-9)
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"prediction\",\n  \"unit\": \"ns/query\",\n  \
+         \"results\": [{rows}\n  ]\n}}\n"
+    );
+    std::fs::write(path, json).expect("write BENCH_prediction.json");
+    eprintln!("wrote {path}");
+}
 
 fn bench(c: &mut Criterion) {
     let ctx = ExperimentContext::small(1);
@@ -26,6 +112,8 @@ fn bench(c: &mut Criterion) {
         (ctx.catalog[3].id, res),
     ];
     let members: Vec<Placement> = std::iter::once(target).chain(others.clone()).collect();
+
+    emit_report(&batch_vs_scalar(&ctx, &gaugur));
 
     let mut g = c.benchmark_group("online_prediction");
     g.bench_function("gaugur_cm_qos", |b| {

@@ -18,8 +18,9 @@ use std::time::Instant;
 /// per-request full recompute (occupancy clone + stateless scorer) against
 /// the incremental scorer with a persistent per-server score cache. Printed
 /// as µs/request and a speedup ratio; the cache is what buys the win, so the
-/// fleet is pre-loaded near-full where the quadratic cost bites.
-fn deep_fleet_comparison(model: &GAugur) {
+/// fleet is pre-loaded near-full where the quadratic cost bites. Returns
+/// `(full-recompute µs/req, incremental µs/req)` for the JSON report.
+fn deep_fleet_comparison(model: &GAugur) -> (f64, f64) {
     const N_SERVERS: usize = 64;
     const N_GAMES: u32 = 20;
     const REPS: u32 = 400;
@@ -85,6 +86,26 @@ fn deep_fleet_comparison(model: &GAugur) {
          ({:.1}x, score cache {hits} hits / {misses} misses)",
         old_us / new_us.max(1e-9)
     );
+    (old_us, new_us)
+}
+
+/// Write the machine-readable report the CI gate checks for.
+fn emit_report(placement_us: (f64, f64), single_rps: f64, batch_rps: f64, p50: u64, p99: u64) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    let (old_us, new_us) = placement_us;
+    let json = format!(
+        "{{\n  \"benchmark\": \"serving\",\n  \
+         \"placement_full_recompute_us_per_req\": {old_us:.1},\n  \
+         \"placement_incremental_us_per_req\": {new_us:.1},\n  \
+         \"placement_speedup\": {:.2},\n  \
+         \"throughput_rps\": {single_rps:.0},\n  \
+         \"throughput_batch16_rps\": {batch_rps:.0},\n  \
+         \"latency_p50_us\": {p50},\n  \
+         \"latency_p99_us\": {p99}\n}}\n",
+        old_us / new_us.max(1e-9)
+    );
+    std::fs::write(path, json).expect("write BENCH_serving.json");
+    eprintln!("wrote {path}");
 }
 
 fn bench(c: &mut Criterion) {
@@ -93,7 +114,7 @@ fn bench(c: &mut Criterion) {
         GAugur::from_measurements(ctx.profiles.clone(), &ctx.train, GAugurConfig::default());
     let games: Vec<GameId> = ctx.catalog.games().iter().map(|g| g.id).collect();
 
-    deep_fleet_comparison(&model);
+    let placement_us = deep_fleet_comparison(&model);
     let handle = daemon::start(
         DaemonConfig {
             n_servers: 64,
@@ -148,6 +169,14 @@ fn bench(c: &mut Criterion) {
         batched.errors
     );
     assert!(batched.errors == 0, "batched load driver hit errors");
+
+    emit_report(
+        placement_us,
+        report.achieved_rps,
+        batched.achieved_rps,
+        report.p50_us,
+        report.p99_us,
+    );
 
     // Single-connection round trip: one place + one depart per iteration.
     let mut client = Client::connect(&*addr).expect("client connects");

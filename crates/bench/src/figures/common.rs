@@ -1,7 +1,7 @@
 //! Shared evaluation plumbing for the Figure 7/8 accuracy experiments.
 
 use crate::context::ExperimentContext;
-use gaugur_baselines::{DegradationPredictor, SigmoidPredictor, SmitePredictor};
+use gaugur_baselines::{InterferencePredictor, SigmoidPredictor, SmitePredictor};
 use gaugur_core::{build_rm_samples, to_dataset, MeasuredColocation, Placement, TaggedSample};
 use gaugur_gamesim::rng::rng_for;
 use rand::seq::SliceRandom;
@@ -71,7 +71,7 @@ pub fn train_baselines(ctx: &ExperimentContext) -> (SigmoidPredictor, SmitePredi
 }
 
 /// Mean relative degradation error of a predictor over records.
-pub fn degradation_error(predictor: &dyn DegradationPredictor, records: &[EvalRecord]) -> f64 {
+pub fn degradation_error(predictor: &dyn InterferencePredictor, records: &[EvalRecord]) -> f64 {
     let errs: Vec<f64> = records
         .iter()
         .map(|r| {

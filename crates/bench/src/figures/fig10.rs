@@ -14,8 +14,8 @@ use crate::table::{f, Table};
 use gaugur_baselines::VbpPolicy;
 use gaugur_ml::metrics::Cdf;
 use gaugur_sched::{
-    assign_max_fps, assign_worst_fit, evaluate_cluster, random_requests, DegradationFps, FpsModel,
-    GaugurRm,
+    assign_max_fps, assign_worst_fit, evaluate_cluster, random_requests, FpsModel, GaugurRm,
+    PredictorFps,
 };
 use serde::Serialize;
 
@@ -46,11 +46,11 @@ impl Fig10 {
         let vbp = VbpPolicy::from_catalog(&ctx.catalog);
 
         let rm = GaugurRm(&gaugur);
-        let sig = DegradationFps {
+        let sig = PredictorFps {
             predictor: &sigmoid,
             profiles: &ctx.profiles,
         };
-        let smi = DegradationFps {
+        let smi = PredictorFps {
             predictor: &smite,
             profiles: &ctx.profiles,
         };

@@ -14,7 +14,7 @@ use crate::figures::common::{
     degradation_error, eval_records, rm_training_pool, take_dataset, EvalRecord,
 };
 use crate::table::{pct, Table};
-use gaugur_baselines::DegradationPredictor;
+use gaugur_baselines::InterferencePredictor;
 use gaugur_core::features::rm_features;
 use gaugur_core::{Algorithm, RegressionModel, ALL_ALGORITHMS};
 use gaugur_ml::metrics::Cdf;
@@ -40,7 +40,7 @@ struct RmPredictor<'a> {
     model: &'a RegressionModel,
 }
 
-impl DegradationPredictor for RmPredictor<'_> {
+impl InterferencePredictor for RmPredictor<'_> {
     fn predict_degradation(
         &self,
         target: gaugur_core::Placement,
@@ -49,6 +49,16 @@ impl DegradationPredictor for RmPredictor<'_> {
         let profile = self.ctx.profiles.get(target.0);
         let intensities = self.ctx.profiles.intensities(others);
         self.model.predict(&rm_features(profile, &intensities))
+    }
+
+    fn meets_qos(
+        &self,
+        qos: f64,
+        target: gaugur_core::Placement,
+        others: &[gaugur_core::Placement],
+    ) -> bool {
+        let solo = self.ctx.profiles.get(target.0).solo_fps_at(target.1);
+        self.predict_degradation(target, others) * solo >= qos
     }
 
     fn name(&self) -> &'static str {
@@ -85,7 +95,7 @@ impl Fig7 {
         let rm = RmPredictor { ctx, model: &gbrt };
         let (sigmoid, smite) = crate::figures::common::train_baselines(ctx);
 
-        let methods: Vec<(&str, &dyn DegradationPredictor)> = vec![
+        let methods: Vec<(&str, &dyn InterferencePredictor)> = vec![
             ("GAugur(RM)", &rm),
             ("Sigmoid", &sigmoid),
             ("SMiTe", &smite),
@@ -94,7 +104,7 @@ impl Fig7 {
         let mut by_size = Vec::new();
         let mut cdfs = Vec::new();
         for (name, m) in &methods {
-            let split = |pred: &dyn DegradationPredictor, size: Option<usize>| -> f64 {
+            let split = |pred: &dyn InterferencePredictor, size: Option<usize>| -> f64 {
                 let subset: Vec<EvalRecord> = records
                     .iter()
                     .filter(|r| size.is_none_or(|s| r.size == s))

@@ -12,7 +12,7 @@
 use crate::context::ExperimentContext;
 use crate::figures::common::{eval_records, train_baselines, EvalRecord};
 use crate::table::{pct, Table};
-use gaugur_baselines::DegradationPredictor;
+use gaugur_baselines::InterferencePredictor;
 use gaugur_core::features::{cm_features, rm_features};
 use gaugur_core::{
     build_cm_samples, to_dataset, Algorithm, ClassificationModel, RegressionModel, TaggedSample,
@@ -103,7 +103,7 @@ impl Fig8 {
             let intensities = ctx.profiles.intensities(&r.others);
             rm.predict(&rm_features(profile, &intensities)) * r.solo_fps >= qos
         };
-        let judge_deg = |m: &dyn DegradationPredictor, r: &EvalRecord| {
+        let judge_deg = |m: &dyn InterferencePredictor, r: &EvalRecord| {
             m.predict_degradation(r.target, &r.others) * r.solo_fps >= qos
         };
 

@@ -15,8 +15,8 @@ use gaugur_core::{GAugur, GAugurConfig};
 use gaugur_gamesim::{GameId, Resolution};
 use gaugur_ml::metrics::Confusion;
 use gaugur_sched::{
-    pack_requests, random_requests, ColocationTable, DegradationFps, FeasibilityReport, GaugurCm,
-    GaugurRm, VbpJudge,
+    pack_requests, random_requests, ColocationTable, FeasibilityReport, GaugurCm, GaugurRm,
+    PredictorFps, VbpJudge,
 };
 use serde::Serialize;
 
@@ -62,11 +62,11 @@ impl Fig9 {
 
         let cm = GaugurCm(&gaugur);
         let rm = GaugurRm(&gaugur);
-        let sig = DegradationFps {
+        let sig = PredictorFps {
             predictor: &sigmoid,
             profiles: &ctx.profiles,
         };
-        let smi = DegradationFps {
+        let smi = PredictorFps {
             predictor: &smite,
             profiles: &ctx.profiles,
         };

@@ -43,6 +43,7 @@ fn main() {
     match command.as_str() {
         "build" => build(&opts),
         "catalog" => catalog_cmd(&opts),
+        "inspect" => inspect(&opts),
         "predict" => predict(&opts),
         "pack" => pack(&opts),
         "importance" => importance(&opts),
@@ -63,6 +64,7 @@ fn usage() {
          commands:\n\
          \x20 build      --games N [--seed S] [--pairs N --triples N --quads N] --out FILE\n\
          \x20 catalog    --games N [--seed S]\n\
+         \x20 inspect    --model FILE\n\
          \x20 predict    --model FILE --target ID --others ID,ID,… [--resolution 720p|900p|1080p|1440p] [--qos FPS]\n\
          \x20 pack       --model FILE --games ID,ID,… --requests N [--qos FPS] [--seed S]\n\
          \x20 importance --model FILE --games N [--seed S]\n\
@@ -187,6 +189,37 @@ fn load_model(opts: &HashMap<String, String>) -> GAugur {
         eprintln!("cannot load {path}: {e}");
         exit(1);
     })
+}
+
+/// Print the provenance of a `gaugur build` artifact without serving it:
+/// schema version, catalog coverage, feature dimensionality, and the
+/// hyperparameters of both trained models.
+fn inspect(opts: &HashMap<String, String>) {
+    let path: String = get(opts, "model", None::<String>);
+    let gaugur = GAugur::load_json(&path).unwrap_or_else(|e| {
+        eprintln!("cannot load {path}: {e}");
+        exit(1);
+    });
+    let plan = &gaugur.config.plan;
+    println!("artifact:          {path}");
+    println!("schema version:    {}", gaugur_core::ARTIFACT_SCHEMA);
+    println!("games profiled:    {}", gaugur.profiles.len());
+    println!("resource dims:     {}", gaugur_gamesim::NUM_RESOURCES);
+    println!(
+        "RM ({}):  {}",
+        gaugur.config.rm_algorithm,
+        gaugur.rm.hyperparameters()
+    );
+    println!(
+        "CM ({}):  {}",
+        gaugur.config.cm_algorithm,
+        gaugur.cm.hyperparameters()
+    );
+    println!("CM QoS floors:     {:?}", gaugur.config.qos_values);
+    println!(
+        "training plan:     {} pairs + {} triples + {} quads (seed {})",
+        plan.pairs, plan.triples, plan.quads, plan.seed
+    );
 }
 
 fn predict(opts: &HashMap<String, String>) {

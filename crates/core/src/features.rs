@@ -12,31 +12,76 @@
 //! than a textbook variance — and we follow the paper's formula exactly.
 
 use crate::profile::GameProfile;
+use crate::train::Placement;
 use gaugur_gamesim::{ResourceVec, ALL_RESOURCES, NUM_RESOURCES};
 
 /// Number of features of the aggregate-intensity transform (`2R + 1`).
 pub const AGGREGATE_INTENSITY_WIDTH: usize = 2 * NUM_RESOURCES + 1;
 
+/// Sentinel for "exclude no index" in the `*_excluding` aggregations.
+pub(crate) const NO_SKIP: usize = usize::MAX;
+
 /// Paper Eq. (5): fold the per-game intensity vectors of a colocated set into
 /// `[|G|, (mean_r, var_r) …]`.
 pub fn aggregate_intensity(intensities: &[ResourceVec]) -> Vec<f64> {
-    let n = intensities.len() as f64;
     let mut out = Vec::with_capacity(AGGREGATE_INTENSITY_WIDTH);
-    out.push(intensities.len() as f64);
+    aggregate_intensity_into(intensities, &mut out);
+    out
+}
+
+/// [`aggregate_intensity`] appended to a reusable buffer (bit-identical
+/// output, no allocation once `out` has capacity).
+pub fn aggregate_intensity_into(intensities: &[ResourceVec], out: &mut Vec<f64>) {
+    aggregate_excluding(intensities, NO_SKIP, out);
+}
+
+/// [`aggregate_intensity`] over all intensities *except* index `skip`,
+/// appended to `out`. Bit-identical to filtering the slice first: the
+/// non-skipped elements are visited in the same order, so every float
+/// summation runs in the same order. This is what lets one colocation's
+/// intensity gather be shared across its members (member `i`'s co-runner
+/// set is "everyone but `i`").
+pub fn aggregate_intensity_excluding_into(
+    intensities: &[ResourceVec],
+    skip: usize,
+    out: &mut Vec<f64>,
+) {
+    debug_assert!(skip < intensities.len(), "skip index out of range");
+    aggregate_excluding(intensities, skip, out);
+}
+
+fn aggregate_excluding(intensities: &[ResourceVec], skip: usize, out: &mut Vec<f64>) {
+    let count = if skip < intensities.len() {
+        intensities.len() - 1
+    } else {
+        intensities.len()
+    };
+    let n = count as f64;
+    out.push(count as f64);
     for r in ALL_RESOURCES {
-        if intensities.is_empty() {
+        if count == 0 {
             out.push(0.0);
             out.push(0.0);
             continue;
         }
-        let mean = intensities.iter().map(|i| i[r]).sum::<f64>() / n;
-        let sumsq: f64 = intensities.iter().map(|i| (i[r] - mean).powi(2)).sum();
+        let mean = intensities
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != skip)
+            .map(|(_, i)| i[r])
+            .sum::<f64>()
+            / n;
+        let sumsq: f64 = intensities
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != skip)
+            .map(|(_, i)| (i[r] - mean).powi(2))
+            .sum();
         // The paper's formula: (1/|G|)·sqrt(Σ(I − mean)²).
         let var = sumsq.sqrt() / n;
         out.push(mean);
         out.push(var);
     }
-    out
 }
 
 /// Width of the flattened sensitivity-curve block for granularity `k`.
@@ -47,18 +92,46 @@ pub fn sensitivity_width(granularity: usize) -> usize {
 /// Flatten a game's sensitivity curves into one block (resource-major).
 pub fn flatten_sensitivity(profile: &GameProfile) -> Vec<f64> {
     let mut out = Vec::with_capacity(sensitivity_width(profile.granularity));
+    flatten_sensitivity_into(profile, &mut out);
+    out
+}
+
+/// [`flatten_sensitivity`] appended to a reusable buffer.
+pub fn flatten_sensitivity_into(profile: &GameProfile, out: &mut Vec<f64>) {
     for curve in &profile.sensitivity {
         out.extend_from_slice(&curve.samples);
     }
-    out
 }
 
 /// Regression-model features (paper Eq. 4): the target game's sensitivity
 /// curves plus the aggregate intensity of the co-runners.
 pub fn rm_features(target: &GameProfile, corunner_intensities: &[ResourceVec]) -> Vec<f64> {
-    let mut out = flatten_sensitivity(target);
-    out.extend(aggregate_intensity(corunner_intensities));
+    let mut out = Vec::with_capacity(rm_width(target.granularity));
+    rm_features_into(target, corunner_intensities, &mut out);
     out
+}
+
+/// [`rm_features`] appended to a reusable buffer (bit-identical output).
+pub fn rm_features_into(
+    target: &GameProfile,
+    corunner_intensities: &[ResourceVec],
+    out: &mut Vec<f64>,
+) {
+    flatten_sensitivity_into(target, out);
+    aggregate_intensity_into(corunner_intensities, out);
+}
+
+/// RM features where the co-runner set is `colocation_intensities` minus
+/// index `skip` (the target's own slot). Appended to `out`; bit-identical
+/// to filtering the slice and calling [`rm_features`].
+pub fn rm_features_excluding_into(
+    target: &GameProfile,
+    colocation_intensities: &[ResourceVec],
+    skip: usize,
+    out: &mut Vec<f64>,
+) {
+    flatten_sensitivity_into(target, out);
+    aggregate_intensity_excluding_into(colocation_intensities, skip, out);
 }
 
 /// Width of the RM feature vector for granularity `k`.
@@ -81,16 +154,52 @@ pub fn cm_features(
     corunner_intensities: &[ResourceVec],
 ) -> Vec<f64> {
     let mut out = Vec::with_capacity(cm_width(target.granularity));
+    cm_features_into(qos, solo_fps, target, corunner_intensities, &mut out);
+    out
+}
+
+/// [`cm_features`] appended to a reusable buffer (bit-identical output).
+pub fn cm_features_into(
+    qos: f64,
+    solo_fps: f64,
+    target: &GameProfile,
+    corunner_intensities: &[ResourceVec],
+    out: &mut Vec<f64>,
+) {
     out.push(qos);
     out.push(solo_fps);
     out.push(qos / solo_fps.max(1.0));
-    out.extend(rm_features(target, corunner_intensities));
-    out
+    rm_features_into(target, corunner_intensities, out);
 }
 
 /// Width of the CM feature vector for granularity `k`.
 pub fn cm_width(granularity: usize) -> usize {
     rm_width(granularity) + 3
+}
+
+/// Reusable scratch space for the zero-allocation inference path.
+///
+/// One `FeatureBuffer` is owned exclusively by one worker (thread-local in
+/// the serving daemon, stack-local elsewhere); the predictor borrows it for
+/// the duration of one batch call and leaves its capacity behind for the
+/// next call. Nothing in it is meaningful between calls.
+#[derive(Debug, Default)]
+pub struct FeatureBuffer {
+    /// Gathered intensity vectors of one colocation.
+    pub(crate) intensities: Vec<ResourceVec>,
+    /// Packed feature rows (row-major).
+    pub(crate) rows: Vec<f64>,
+    /// Standardized copy of a feature row (SVM models only).
+    pub(crate) scaled: Vec<f64>,
+    /// Materialized co-runner sets for the scalar fallback path.
+    pub(crate) others: Vec<Placement>,
+}
+
+impl FeatureBuffer {
+    /// A fresh, empty buffer. Capacity grows on first use and is retained.
+    pub fn new() -> FeatureBuffer {
+        FeatureBuffer::default()
+    }
 }
 
 #[cfg(test)]
@@ -158,5 +267,77 @@ mod tests {
         let f = cm_features(60.0, 123.0, &p, &[ResourceVec::ZERO]);
         assert_eq!(f[0], 60.0);
         assert_eq!(f[1], 123.0);
+    }
+
+    mod bit_identity {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        fn cached_profile() -> &'static GameProfile {
+            static PROFILE: OnceLock<GameProfile> = OnceLock::new();
+            PROFILE.get_or_init(profile)
+        }
+
+        fn bits(v: &[f64]) -> Vec<u64> {
+            v.iter().map(|x| x.to_bits()).collect()
+        }
+
+        fn to_resource_vecs(raw: Vec<Vec<f64>>) -> Vec<ResourceVec> {
+            raw.into_iter()
+                .map(|v| ResourceVec(v.try_into().expect("7-wide")))
+                .collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn into_variants_match_allocating_variants(
+                raw in proptest::collection::vec(
+                    proptest::collection::vec(0.0f64..1.0, NUM_RESOURCES), 0..6),
+                qos in 10.0f64..120.0,
+                solo in 30.0f64..200.0,
+            ) {
+                let p = cached_profile();
+                let ints = to_resource_vecs(raw);
+
+                let mut out = vec![999.0]; // pre-existing content must survive
+                aggregate_intensity_into(&ints, &mut out);
+                prop_assert_eq!(bits(&out[1..]), bits(&aggregate_intensity(&ints)));
+
+                let mut out = Vec::new();
+                rm_features_into(p, &ints, &mut out);
+                prop_assert_eq!(bits(&out), bits(&rm_features(p, &ints)));
+
+                let mut out = Vec::new();
+                cm_features_into(qos, solo, p, &ints, &mut out);
+                prop_assert_eq!(bits(&out), bits(&cm_features(qos, solo, p, &ints)));
+            }
+
+            #[test]
+            fn excluding_aggregate_matches_filtering_first(
+                raw in proptest::collection::vec(
+                    proptest::collection::vec(0.0f64..1.0, NUM_RESOURCES), 1..6),
+                skip_seed in 0usize..1_000_000,
+            ) {
+                let p = cached_profile();
+                let ints = to_resource_vecs(raw);
+                let skip = skip_seed % ints.len();
+                let filtered: Vec<ResourceVec> = ints
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != skip)
+                    .map(|(_, &i)| i)
+                    .collect();
+
+                let mut out = Vec::new();
+                aggregate_intensity_excluding_into(&ints, skip, &mut out);
+                prop_assert_eq!(bits(&out), bits(&aggregate_intensity(&filtered)));
+
+                let mut out = Vec::new();
+                rm_features_excluding_into(p, &ints, skip, &mut out);
+                prop_assert_eq!(bits(&out), bits(&rm_features(p, &filtered)));
+            }
+        }
     }
 }

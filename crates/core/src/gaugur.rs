@@ -16,6 +16,14 @@ use crate::train::{
 use gaugur_gamesim::{GameCatalog, Server};
 use serde::{Deserialize, Serialize};
 
+/// Version of the on-disk artifact layout written by [`GAugur::save_json`].
+///
+/// Bump this whenever the serialized shape of [`GAugur`] (or the envelope
+/// around it) changes incompatibly; [`GAugur::load_json`] refuses artifacts
+/// whose version does not match, so a serving daemon can never hot-reload a
+/// stale or future artifact into memory.
+pub const ARTIFACT_SCHEMA: u32 = 1;
+
 /// Configuration of the offline pipeline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GAugurConfig {
@@ -156,19 +164,65 @@ impl GAugur {
         self.predict_fps(target, others) >= qos
     }
 
-    /// Persist the whole trained predictor (profiles + both models) as JSON.
+    /// Persist the whole trained predictor (profiles + both models) as a
+    /// versioned JSON artifact: `{"schema": N, "model": {…}}`.
     ///
     /// The offline pipeline runs once per catalog; production front-ends load
     /// the artifact instead of re-profiling.
     pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let envelope = serde::Value::Map(vec![
+            (
+                "schema".to_string(),
+                serde::Value::Int(i64::from(ARTIFACT_SCHEMA)),
+            ),
+            ("model".to_string(), self.serialize()),
+        ]);
         let file = std::fs::File::create(path)?;
-        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
+        serde_json::to_writer(std::io::BufWriter::new(file), &envelope)
+            .map_err(std::io::Error::other)
     }
 
     /// Load a predictor persisted with [`GAugur::save_json`].
+    ///
+    /// Rejects artifacts with a missing or mismatched `schema` field with a
+    /// descriptive [`std::io::ErrorKind::InvalidData`] error, so operators
+    /// see "wrong artifact version", not a serde shape error.
     pub fn load_json(path: impl AsRef<std::path::Path>) -> std::io::Result<GAugur> {
-        let file = std::fs::File::open(path)?;
-        serde_json::from_reader(std::io::BufReader::new(file)).map_err(std::io::Error::other)
+        let path = path.as_ref();
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let text = std::fs::read_to_string(path)?;
+        let value = serde_json::parse_value_str(&text)
+            .map_err(|e| invalid(format!("artifact {}: not valid JSON: {e}", path.display())))?;
+        let schema = value.get("schema").ok_or_else(|| {
+            invalid(format!(
+                "artifact {}: missing `schema` field — this artifact predates \
+                 versioning (expected schema {ARTIFACT_SCHEMA}); re-export it \
+                 with the current `gaugur train`/`GAugur::save_json`",
+                path.display()
+            ))
+        })?;
+        let found = schema.as_f64().ok_or_else(|| {
+            invalid(format!(
+                "artifact {}: `schema` must be an integer, found {}",
+                path.display(),
+                schema.kind()
+            ))
+        })?;
+        if found != f64::from(ARTIFACT_SCHEMA) {
+            return Err(invalid(format!(
+                "artifact {}: schema version {found} does not match this \
+                 build's supported version {ARTIFACT_SCHEMA}",
+                path.display()
+            )));
+        }
+        let model = value.get("model").ok_or_else(|| {
+            invalid(format!(
+                "artifact {}: missing `model` field",
+                path.display()
+            ))
+        })?;
+        GAugur::deserialize(model)
+            .map_err(|e| invalid(format!("artifact {}: malformed model: {e}", path.display())))
     }
 
     /// Whether an entire colocation is *feasible*: every member satisfies
@@ -275,6 +329,66 @@ mod tests {
     #[test]
     fn load_missing_file_errors() {
         assert!(GAugur::load_json("/nonexistent/gaugur.json").is_err());
+    }
+
+    fn write_artifact(name: &str, contents: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("gaugur-test-schema");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn old_shape_artifact_gets_a_clear_schema_message() {
+        // A pre-versioning artifact was the bare GAugur map — no `schema`.
+        let path = write_artifact("old-shape.json", r#"{"profiles": {}, "cm": {}, "rm": {}}"#);
+        let err = GAugur::load_json(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("schema"), "unhelpful message: {msg}");
+        assert!(msg.contains("predates"), "unhelpful message: {msg}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_schema_version_is_rejected_with_both_versions() {
+        let path = write_artifact("future.json", r#"{"schema": 999, "model": {}}"#);
+        let err = GAugur::load_json(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("999"), "should name the found version: {msg}");
+        assert!(
+            msg.contains(&ARTIFACT_SCHEMA.to_string()),
+            "should name the supported version: {msg}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_integer_schema_is_rejected() {
+        let path = write_artifact("bad-type.json", r#"{"schema": "one", "model": {}}"#);
+        let err = GAugur::load_json(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("integer"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn saved_artifact_carries_the_schema_version() {
+        let (_, _, gaugur) = quick_build();
+        let dir = std::env::temp_dir().join("gaugur-test-schema");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("versioned.json");
+        gaugur.save_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value = serde_json::parse_value_str(&text).unwrap();
+        assert_eq!(
+            value.get("schema").and_then(|v| v.as_f64()),
+            Some(f64::from(ARTIFACT_SCHEMA))
+        );
+        assert!(value.get("model").is_some());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

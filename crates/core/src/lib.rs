@@ -49,14 +49,17 @@ pub mod features;
 pub mod gaugur;
 pub mod importance;
 pub mod model;
+pub mod predictor;
 pub mod profile;
 pub mod resolution;
 pub mod train;
 
 pub use cf::{profile_catalog_cf, CfConfig, CfStats};
-pub use gaugur::{GAugur, GAugurConfig};
+pub use features::FeatureBuffer;
+pub use gaugur::{GAugur, GAugurConfig, ARTIFACT_SCHEMA};
 pub use importance::{permutation_importance, FeatureGroup};
 pub use model::{Algorithm, ClassificationModel, RegressionModel, ALL_ALGORITHMS};
+pub use predictor::{DegradationBatch, InterferencePredictor};
 pub use profile::{
     GameProfile, PartialProfile, Profiler, ProfilingConfig, ProfilingStat, SensitivityCurve,
 };

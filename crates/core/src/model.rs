@@ -11,7 +11,7 @@ use gaugur_ml::gbdt::GbdtParams;
 use gaugur_ml::svm::SvmParams;
 use gaugur_ml::{
     Classifier, Dataset, DecisionTreeClassifier, DecisionTreeRegressor, GbdtClassifier,
-    GbrtRegressor, RandomForestClassifier, RandomForestRegressor, Regressor, StandardScaler,
+    GbrtRegressor, RandomForestClassifier, RandomForestRegressor, Regressor, Rows, StandardScaler,
     SvmClassifier, SvmRegressor, TreeParams,
 };
 use serde::{Deserialize, Serialize};
@@ -196,13 +196,83 @@ impl RegressionModel {
             }
             None => x,
         };
-        let raw = match &self.inner {
+        self.raw_predict(x).clamp(self.bounds.0, self.bounds.1)
+    }
+
+    /// [`RegressionModel::predict`] with caller-provided scratch for the
+    /// standardized copy (only the SVM family needs it); bit-identical and
+    /// allocation-free once `scaled` has capacity.
+    pub fn predict_into(&self, x: &[f64], scaled: &mut Vec<f64>) -> f64 {
+        let raw = match &self.scaler {
+            Some(s) => {
+                s.transform_into(x, scaled);
+                self.raw_predict(scaled)
+            }
+            None => self.raw_predict(x),
+        };
+        raw.clamp(self.bounds.0, self.bounds.1)
+    }
+
+    /// Batched prediction of a flat row-major batch into `out`. The tree
+    /// ensembles evaluate tree-major over the whole batch; every row's
+    /// result is bit-identical to [`RegressionModel::predict`] on that row.
+    pub fn predict_rows(&self, rows: Rows<'_>, scaled: &mut Vec<f64>, out: &mut Vec<f64>) {
+        match &self.scaler {
+            Some(s) => {
+                scaled.clear();
+                for row in rows.iter() {
+                    s.transform_extend(row, scaled);
+                }
+                self.raw_predict_rows(Rows::new(scaled, rows.width()), out);
+            }
+            None => self.raw_predict_rows(rows, out),
+        }
+        for v in out.iter_mut() {
+            *v = v.clamp(self.bounds.0, self.bounds.1);
+        }
+    }
+
+    fn raw_predict(&self, x: &[f64]) -> f64 {
+        match &self.inner {
             RegInner::Dtr(m) => m.predict(x),
             RegInner::Gbrt(m) => m.predict(x),
             RegInner::Rf(m) => m.predict(x),
             RegInner::Svr(m) => m.predict(x),
-        };
-        raw.clamp(self.bounds.0, self.bounds.1)
+        }
+    }
+
+    fn raw_predict_rows(&self, rows: Rows<'_>, out: &mut Vec<f64>) {
+        match &self.inner {
+            RegInner::Dtr(m) => m.predict_batch(rows, out),
+            RegInner::Gbrt(m) => m.predict_batch(rows, out),
+            RegInner::Rf(m) => m.predict_batch(rows, out),
+            RegInner::Svr(m) => Regressor::predict_rows(m, rows, out),
+        }
+    }
+
+    /// Human-readable hyperparameter summary (for `gaugur inspect`).
+    pub fn hyperparameters(&self) -> String {
+        match &self.inner {
+            RegInner::Dtr(m) => format!(
+                "DTR(max_depth={}, min_samples_split={}, min_samples_leaf={})",
+                m.params.max_depth, m.params.min_samples_split, m.params.min_samples_leaf
+            ),
+            RegInner::Gbrt(m) => format!(
+                "GBRT(n_estimators={}, learning_rate={}, max_depth={}, subsample={})",
+                m.params.n_estimators,
+                m.params.learning_rate,
+                m.params.max_depth,
+                m.params.subsample
+            ),
+            RegInner::Rf(m) => format!(
+                "RF(n_trees={}, max_depth={})",
+                m.params.n_trees, m.params.tree.max_depth
+            ),
+            RegInner::Svr(m) => format!(
+                "SVR(C={}, epsilon={}, max_epochs={})",
+                m.params.c, m.params.epsilon, m.params.max_epochs
+            ),
+        }
     }
 }
 
@@ -266,6 +336,25 @@ impl ClassificationModel {
             }
             None => x,
         };
+        self.raw_score(x)
+    }
+
+    /// Batched scoring of a flat row-major batch into `out`; every row's
+    /// result is bit-identical to [`ClassificationModel::score`] on it.
+    pub fn score_rows(&self, rows: Rows<'_>, scaled: &mut Vec<f64>, out: &mut Vec<f64>) {
+        match &self.scaler {
+            Some(s) => {
+                scaled.clear();
+                for row in rows.iter() {
+                    s.transform_extend(row, scaled);
+                }
+                self.raw_score_rows(Rows::new(scaled, rows.width()), out);
+            }
+            None => self.raw_score_rows(rows, out),
+        }
+    }
+
+    fn raw_score(&self, x: &[f64]) -> f64 {
         match &self.inner {
             ClsInner::Dtc(m) => m.score(x),
             ClsInner::Gbdt(m) => m.score(x),
@@ -274,9 +363,43 @@ impl ClassificationModel {
         }
     }
 
+    fn raw_score_rows(&self, rows: Rows<'_>, out: &mut Vec<f64>) {
+        match &self.inner {
+            ClsInner::Dtc(m) => m.score_batch(rows, out),
+            ClsInner::Gbdt(m) => m.score_batch(rows, out),
+            ClsInner::Rf(m) => m.score_batch(rows, out),
+            ClsInner::Svc(m) => Classifier::score_rows(m, rows, out),
+        }
+    }
+
     /// Hard decision: does the game satisfy the QoS requirement?
     pub fn classify(&self, x: &[f64]) -> bool {
         self.score(x) >= 0.5
+    }
+
+    /// Human-readable hyperparameter summary (for `gaugur inspect`).
+    pub fn hyperparameters(&self) -> String {
+        match &self.inner {
+            ClsInner::Dtc(m) => format!(
+                "DTC(max_depth={}, min_samples_split={}, min_samples_leaf={})",
+                m.params.max_depth, m.params.min_samples_split, m.params.min_samples_leaf
+            ),
+            ClsInner::Gbdt(m) => format!(
+                "GBDT(n_estimators={}, learning_rate={}, max_depth={}, subsample={})",
+                m.params.n_estimators,
+                m.params.learning_rate,
+                m.params.max_depth,
+                m.params.subsample
+            ),
+            ClsInner::Rf(m) => format!(
+                "RF(n_trees={}, max_depth={})",
+                m.params.n_trees, m.params.tree.max_depth
+            ),
+            ClsInner::Svc(m) => format!(
+                "SVC(C={}, tol={}, max_epochs={})",
+                m.params.c, m.params.tol, m.params.max_epochs
+            ),
+        }
     }
 }
 

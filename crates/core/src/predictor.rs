@@ -1,0 +1,350 @@
+//! The unified online-prediction interface and its batched query plan.
+//!
+//! Every interference model in the workspace — [`GAugur`] here, the
+//! Sigmoid/SMiTe/VBP baselines in `gaugur-baselines` — answers the same
+//! three questions: how much does a target degrade under a co-runner set,
+//! does it still meet a QoS floor, and (for the hot path) both of those
+//! over a whole batch of queries at once. [`InterferencePredictor`] is
+//! that contract; the scheduler and serving daemon program against it
+//! instead of concrete model types.
+//!
+//! [`DegradationBatch`] is the query plan: co-runner sets are stored as
+//! spans into one shared placement pool, so scoring every member of one
+//! colocation ([`DegradationBatch::push_colocation`]) shares a single
+//! intensity gather instead of materializing `k` filtered `Vec`s.
+//!
+//! Scratch-buffer ownership: the caller owns a [`FeatureBuffer`] (and the
+//! output `Vec`), one per worker; a batch call borrows them, overwrites
+//! their contents, and leaves the grown capacity behind. Predictors never
+//! keep internal mutable state, so one immutable predictor can serve any
+//! number of workers, each with its own scratch.
+
+use crate::features::{rm_features_excluding_into, rm_features_into, FeatureBuffer, NO_SKIP};
+use crate::gaugur::GAugur;
+use crate::train::Placement;
+use gaugur_ml::Rows;
+
+/// One co-runner span inside a [`DegradationBatch`]: `len` placements
+/// starting at `start` in the pool, with `skip` (an index *within the
+/// span*) excluded, or nothing excluded when `skip == NO_SKIP`.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    start: usize,
+    len: usize,
+    skip: usize,
+}
+
+/// A batch of degradation queries against one predictor.
+///
+/// Reusable: `clear` and refill each decision round; the backing storage
+/// is retained.
+#[derive(Debug, Default)]
+pub struct DegradationBatch {
+    targets: Vec<Placement>,
+    pool: Vec<Placement>,
+    spans: Vec<Span>,
+}
+
+impl DegradationBatch {
+    /// A fresh, empty batch.
+    pub fn new() -> DegradationBatch {
+        DegradationBatch::default()
+    }
+
+    /// Drop all queries, keeping capacity.
+    pub fn clear(&mut self) {
+        self.targets.clear();
+        self.pool.clear();
+        self.spans.clear();
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when no queries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Queue one query: degradation of `target` under co-runners `others`.
+    pub fn push(&mut self, target: Placement, others: &[Placement]) {
+        let start = self.pool.len();
+        self.pool.extend_from_slice(others);
+        self.targets.push(target);
+        self.spans.push(Span {
+            start,
+            len: others.len(),
+            skip: NO_SKIP,
+        });
+    }
+
+    /// Queue one query per member of a colocation: member `i`'s co-runner
+    /// set is the other `members`. The members are pooled once and shared
+    /// by all `members.len()` queries, so a batched predictor can reuse
+    /// one intensity gather across them.
+    pub fn push_colocation(&mut self, members: &[Placement]) {
+        let start = self.pool.len();
+        self.pool.extend_from_slice(members);
+        for (i, &m) in members.iter().enumerate() {
+            self.targets.push(m);
+            self.spans.push(Span {
+                start,
+                len: members.len(),
+                skip: i,
+            });
+        }
+    }
+
+    /// The target of query `i`.
+    pub fn target(&self, i: usize) -> Placement {
+        self.targets[i]
+    }
+
+    /// Materialize query `i`'s co-runner set into `out` (cleared first).
+    /// Used by the scalar fallback; batched implementations read the span
+    /// directly instead.
+    pub fn copy_others_into(&self, i: usize, out: &mut Vec<Placement>) {
+        out.clear();
+        let span = self.spans[i];
+        for (j, &p) in self.pool[span.start..span.start + span.len]
+            .iter()
+            .enumerate()
+        {
+            if j != span.skip {
+                out.push(p);
+            }
+        }
+    }
+
+    fn span(&self, i: usize) -> Span {
+        self.spans[i]
+    }
+
+    fn pool_slice(&self, span: Span) -> &[Placement] {
+        &self.pool[span.start..span.start + span.len]
+    }
+}
+
+/// The unified online interface of every interference model.
+///
+/// Implementations must be immutable (`&self`) and [`Sync`]: the scheduler
+/// shares one predictor across workers, each bringing its own scratch.
+pub trait InterferencePredictor: Sync {
+    /// Predicted degradation ratio (colocated FPS / solo FPS) of `target`
+    /// under the co-runner set `others`.
+    fn predict_degradation(&self, target: Placement, others: &[Placement]) -> f64;
+
+    /// Does `target` meet `qos` FPS under the co-runner set `others`?
+    fn meets_qos(&self, qos: f64, target: Placement, others: &[Placement]) -> bool;
+
+    /// Short display name ("GAugur", "Sigmoid", …) for tables and logs.
+    fn name(&self) -> &'static str;
+
+    /// Answer every query in `batch`, writing `batch.len()` degradation
+    /// ratios into `out` (cleared first) in query order. Must be
+    /// bit-identical to calling [`predict_degradation`] per query.
+    ///
+    /// The default materializes each co-runner set into the scratch and
+    /// loops; batched models override this with one fused evaluation.
+    ///
+    /// [`predict_degradation`]: InterferencePredictor::predict_degradation
+    fn predict_degradation_batch(
+        &self,
+        batch: &DegradationBatch,
+        scratch: &mut FeatureBuffer,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        let mut others = std::mem::take(&mut scratch.others);
+        for i in 0..batch.len() {
+            batch.copy_others_into(i, &mut others);
+            out.push(self.predict_degradation(batch.target(i), &others));
+        }
+        scratch.others = others;
+    }
+}
+
+impl InterferencePredictor for GAugur {
+    fn predict_degradation(&self, target: Placement, others: &[Placement]) -> f64 {
+        GAugur::predict_degradation(self, target, others)
+    }
+
+    fn meets_qos(&self, qos: f64, target: Placement, others: &[Placement]) -> bool {
+        self.predict_qos(qos, target, others)
+    }
+
+    fn name(&self) -> &'static str {
+        "GAugur"
+    }
+
+    /// Fused batch path: one intensity gather per distinct colocation span,
+    /// all RM feature rows packed into one flat matrix, one tree-major
+    /// ensemble evaluation. Bit-identical to the scalar path because rows
+    /// are assembled by the same (`*_into`) feature code and the ensemble
+    /// batch evaluators preserve the scalar summation order.
+    fn predict_degradation_batch(
+        &self,
+        batch: &DegradationBatch,
+        scratch: &mut FeatureBuffer,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        if batch.is_empty() {
+            return;
+        }
+        scratch.rows.clear();
+        let mut gathered: Option<(usize, usize)> = None;
+        for i in 0..batch.len() {
+            let span = batch.span(i);
+            if gathered != Some((span.start, span.len)) {
+                scratch.intensities.clear();
+                for &(id, res) in batch.pool_slice(span) {
+                    scratch
+                        .intensities
+                        .push(self.profiles.get(id).intensity_at(res));
+                }
+                gathered = Some((span.start, span.len));
+            }
+            let profile = self.profiles.get(batch.target(i).0);
+            if span.skip == NO_SKIP {
+                rm_features_into(profile, &scratch.intensities, &mut scratch.rows);
+            } else {
+                rm_features_excluding_into(
+                    profile,
+                    &scratch.intensities,
+                    span.skip,
+                    &mut scratch.rows,
+                );
+            }
+        }
+        let width = scratch.rows.len() / batch.len();
+        let FeatureBuffer { rows, scaled, .. } = scratch;
+        self.rm.predict_rows(Rows::new(rows, width), scaled, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaugur::GAugurConfig;
+    use crate::train::ColocationPlan;
+    use gaugur_gamesim::{GameCatalog, GameId, Resolution, Server};
+
+    fn quick_build() -> (GameCatalog, GAugur) {
+        let server = Server::reference(31);
+        let catalog = GameCatalog::generate(42, 10);
+        let config = GAugurConfig {
+            plan: ColocationPlan {
+                pairs: 25,
+                triples: 8,
+                quads: 0,
+                seed: 2,
+            },
+            ..GAugurConfig::default()
+        };
+        let gaugur = GAugur::build(&server, &catalog, config);
+        (catalog, gaugur)
+    }
+
+    #[test]
+    fn batched_degradation_is_bit_identical_to_scalar() {
+        let (catalog, gaugur) = quick_build();
+        let ids: Vec<GameId> = catalog.games().iter().map(|g| g.id).collect();
+        let res = Resolution::Fhd1080;
+
+        let mut batch = DegradationBatch::new();
+        let mut expected = Vec::new();
+
+        // Explicit-others queries, including the empty co-runner set.
+        for w in ids.windows(3) {
+            let target = (w[0], res);
+            let others = [(w[1], res), (w[2], Resolution::Hd720)];
+            batch.push(target, &others);
+            expected.push(gaugur.predict_degradation(target, &others));
+            batch.push(target, &[]);
+            expected.push(gaugur.predict_degradation(target, &[]));
+        }
+        // Shared-colocation queries: every member of one group.
+        for w in ids.windows(4) {
+            let members: Vec<Placement> = w.iter().map(|&g| (g, res)).collect();
+            batch.push_colocation(&members);
+            for i in 0..members.len() {
+                let others: Vec<Placement> = members
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &p)| p)
+                    .collect();
+                expected.push(gaugur.predict_degradation(members[i], &others));
+            }
+        }
+
+        let mut scratch = FeatureBuffer::new();
+        let mut out = Vec::new();
+        gaugur.predict_degradation_batch(&batch, &mut scratch, &mut out);
+        assert_eq!(out.len(), expected.len());
+        for (i, (a, b)) in out.iter().zip(&expected).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "query {i}: {a} vs {b}");
+        }
+
+        // The scalar-fallback default must agree too (it is the reference
+        // the baselines inherit).
+        struct ScalarOnly<'a>(&'a GAugur);
+        impl InterferencePredictor for ScalarOnly<'_> {
+            fn predict_degradation(&self, t: Placement, o: &[Placement]) -> f64 {
+                self.0.predict_degradation(t, o)
+            }
+            fn meets_qos(&self, q: f64, t: Placement, o: &[Placement]) -> bool {
+                self.0.predict_qos(q, t, o)
+            }
+            fn name(&self) -> &'static str {
+                "scalar"
+            }
+        }
+        let mut fallback = Vec::new();
+        ScalarOnly(&gaugur).predict_degradation_batch(&batch, &mut scratch, &mut fallback);
+        assert_eq!(fallback.len(), expected.len());
+        for (a, b) in fallback.iter().zip(&expected) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn trait_meets_qos_is_the_cm_judgement() {
+        let (catalog, gaugur) = quick_build();
+        let res = Resolution::Fhd1080;
+        let t = (catalog[0].id, res);
+        let o = [(catalog[1].id, res)];
+        let p: &dyn InterferencePredictor = &gaugur;
+        assert_eq!(p.meets_qos(60.0, t, &o), gaugur.predict_qos(60.0, t, &o));
+        assert_eq!(p.name(), "GAugur");
+    }
+
+    #[test]
+    fn batch_reuse_after_clear_is_clean() {
+        let (catalog, gaugur) = quick_build();
+        let res = Resolution::Fhd1080;
+        let t = (catalog[0].id, res);
+        let o = [(catalog[1].id, res)];
+
+        let mut batch = DegradationBatch::new();
+        let mut scratch = FeatureBuffer::new();
+        let mut out = Vec::new();
+
+        batch.push_colocation(&[t, o[0], (catalog[2].id, res)]);
+        gaugur.predict_degradation_batch(&batch, &mut scratch, &mut out);
+        assert_eq!(out.len(), 3);
+
+        batch.clear();
+        assert!(batch.is_empty());
+        batch.push(t, &o);
+        gaugur.predict_degradation_batch(&batch, &mut scratch, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].to_bits(),
+            gaugur.predict_degradation(t, &o).to_bits()
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! Batched, allocation-free evaluation of the tree ensembles.
+//!
+//! The serving hot path scores many feature rows per placement decision
+//! (one per candidate server per colocation member). Walking an ensemble
+//! one sample at a time re-reads every tree's node array per row AND stalls
+//! on each row's dependent root-to-leaf load chain. The batched evaluators
+//! here walk **tree-major** over a whole row batch (each tree's nodes stay
+//! hot in cache across rows) with **interleaved lane traversal** (several
+//! independent rows descend a tree in lockstep, keeping multiple node loads
+//! in flight). Past [`PAR_ROW_THRESHOLD`] rows the batch is split into
+//! tiles processed rayon-parallel, each tile still tree-major.
+//!
+//! Bit-identity contract: for every evaluator, the batched result of row
+//! `i` is exactly `predict(rows.row(i))` bit for bit. Both the tree-major
+//! loop and the row-parallel loop accumulate tree contributions in tree
+//! order starting from `0.0`, which is the same float summation order as
+//! the scalar `iter().map(|t| t.predict(x)).sum::<f64>()`.
+
+use crate::tree::Tree;
+use rayon::prelude::*;
+
+/// Row count at and above which ensemble evaluation goes row-parallel.
+pub const PAR_ROW_THRESHOLD: usize = 64;
+
+/// A borrowed, row-major matrix of feature rows: `len × width` values in
+/// one flat slice. This is the zero-copy batch input type — callers pack
+/// rows into a reusable `Vec<f64>` and pass a `Rows` view of it.
+#[derive(Debug, Clone, Copy)]
+pub struct Rows<'a> {
+    data: &'a [f64],
+    width: usize,
+}
+
+impl<'a> Rows<'a> {
+    /// View `data` as rows of `width` features each. `data.len()` must be
+    /// a multiple of `width`.
+    pub fn new(data: &'a [f64], width: usize) -> Rows<'a> {
+        assert!(width > 0, "row width must be positive");
+        assert!(
+            data.len().is_multiple_of(width),
+            "flat data length {} is not a multiple of row width {width}",
+            data.len()
+        );
+        Rows { data, width }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.width
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Features per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The `i`-th row.
+    pub fn row(&self, i: usize) -> &'a [f64] {
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Iterate over rows in order.
+    pub fn iter(&self) -> std::slice::ChunksExact<'a, f64> {
+        self.data.chunks_exact(self.width)
+    }
+}
+
+/// Clear `out` and size it to hold one value per row.
+pub(crate) fn reset_out(out: &mut Vec<f64>, n: usize) {
+    out.clear();
+    out.resize(n, 0.0);
+}
+
+/// Tree-major over one tile of rows: each tree's nodes stay hot in cache
+/// while its interleaved lane traversal walks every row of the tile.
+/// Accumulation is in tree order starting from `0.0` — the scalar
+/// `iter().map(|t| t.predict(x)).sum::<f64>()` order, bit for bit.
+///
+/// Below one traversal block ([`crate::tree::LANES`] rows) the interleaving
+/// cannot engage and per-tree stores into `out` would round-trip memory per
+/// tree, so tiny batches accumulate row-major in a register instead — the
+/// same additions in the same order.
+fn tree_major_sum(trees: &[Tree], rows: Rows<'_>, out: &mut [f64]) {
+    if rows.len() < crate::tree::LANES {
+        for (acc, x) in out.iter_mut().zip(rows.iter()) {
+            let mut sum = 0.0;
+            for tree in trees {
+                sum += tree.predict(x);
+            }
+            *acc = sum;
+        }
+        return;
+    }
+    out.fill(0.0);
+    for tree in trees {
+        tree.accumulate_rows(rows, out);
+    }
+}
+
+/// Sum of every tree's prediction per row, written into `out`
+/// (`out[i] = Σ_t trees[t].predict(rows.row(i))`, accumulated in tree
+/// order). One tree-major pass below the parallel threshold; above it the
+/// batch is cut into tiles of [`PAR_ROW_THRESHOLD`] rows processed in
+/// parallel, each tile still tree-major — locality inside a tile,
+/// parallelism across tiles.
+pub(crate) fn sum_trees_into(trees: &[Tree], rows: Rows<'_>, out: &mut [f64]) {
+    debug_assert_eq!(rows.len(), out.len());
+    if rows.len() >= PAR_ROW_THRESHOLD {
+        let width = rows.width;
+        out.par_chunks_mut(PAR_ROW_THRESHOLD)
+            .zip(rows.data.chunks(PAR_ROW_THRESHOLD * width))
+            .for_each(|(out_tile, data_tile)| {
+                tree_major_sum(trees, Rows::new(data_tile, width), out_tile)
+            });
+    } else {
+        tree_major_sum(trees, rows, out);
+    }
+}
+
+/// Per-row prediction of a single tree, written into `out`.
+pub(crate) fn single_tree_into(tree: &Tree, rows: Rows<'_>, out: &mut [f64]) {
+    debug_assert_eq!(rows.len(), out.len());
+    if rows.len() >= PAR_ROW_THRESHOLD {
+        let width = rows.width;
+        out.par_chunks_mut(PAR_ROW_THRESHOLD)
+            .zip(rows.data.chunks(PAR_ROW_THRESHOLD * width))
+            .for_each(|(out_tile, data_tile)| {
+                tree.assign_rows(Rows::new(data_tile, width), out_tile)
+            });
+    } else {
+        tree.assign_rows(rows, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_view_slices_correctly() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let rows = Rows::new(&data, 3);
+        assert_eq!(rows.len(), 2);
+        assert!(!rows.is_empty());
+        assert_eq!(rows.width(), 3);
+        assert_eq!(rows.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(rows.row(1), &[4.0, 5.0, 6.0]);
+        let collected: Vec<&[f64]> = rows.iter().collect();
+        assert_eq!(collected, vec![&[1.0, 2.0, 3.0][..], &[4.0, 5.0, 6.0][..]]);
+    }
+
+    #[test]
+    fn empty_rows_are_allowed() {
+        let rows = Rows::new(&[], 5);
+        assert_eq!(rows.len(), 0);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn ragged_data_panics() {
+        let data = [1.0, 2.0, 3.0];
+        let _ = Rows::new(&data, 2);
+    }
+}
+
+#[cfg(test)]
+mod bit_identity_tests {
+    use super::Rows;
+    use crate::data::Dataset;
+    use crate::forest::{ForestParams, RandomForestClassifier, RandomForestRegressor};
+    use crate::gbdt::{GbdtClassifier, GbdtParams, GbrtRegressor};
+    use crate::tree::{DecisionTreeClassifier, DecisionTreeRegressor, TreeParams};
+    use crate::{Classifier, Regressor};
+    use proptest::prelude::*;
+
+    fn training_sets(ys: &[f64]) -> (Dataset, Dataset) {
+        let n = ys.len();
+        let features: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64, ((i * 7) % 13) as f64])
+            .collect();
+        let regression = Dataset::from_parts(features.clone(), ys.to_vec());
+        let labels: Vec<f64> = ys.iter().map(|&y| f64::from(y > 0.0)).collect();
+        let classification = Dataset::from_parts(features, labels);
+        (regression, classification)
+    }
+
+    fn flat_probes(probes: &[(f64, f64)]) -> Vec<f64> {
+        probes.iter().flat_map(|&(a, b)| [a, b]).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn batched_regressors_match_scalar_bit_for_bit(
+            ys in proptest::collection::vec(-5.0f64..5.0, 16..40),
+            probes in proptest::collection::vec((-2.0f64..2.0, -1.0f64..14.0), 1..24),
+            seed in 0u64..1000,
+        ) {
+            let (regression, _) = training_sets(&ys);
+            let flat = flat_probes(&probes);
+            let rows = Rows::new(&flat, 2);
+            let mut out = Vec::new();
+
+            let dtr = DecisionTreeRegressor::fit(
+                &regression,
+                TreeParams { seed, ..TreeParams::default() },
+            );
+            dtr.predict_batch(rows, &mut out);
+            for (i, &(a, b)) in probes.iter().enumerate() {
+                prop_assert_eq!(out[i].to_bits(), dtr.predict(&[a, b]).to_bits());
+            }
+
+            let rf = RandomForestRegressor::fit(
+                &regression,
+                ForestParams { n_trees: 7, seed, ..ForestParams::default() },
+            );
+            rf.predict_batch(rows, &mut out);
+            for (i, &(a, b)) in probes.iter().enumerate() {
+                prop_assert_eq!(out[i].to_bits(), rf.predict(&[a, b]).to_bits());
+            }
+
+            let gbrt = GbrtRegressor::fit(
+                &regression,
+                GbdtParams { n_estimators: 12, seed, ..GbdtParams::default() },
+            );
+            gbrt.predict_batch(rows, &mut out);
+            for (i, &(a, b)) in probes.iter().enumerate() {
+                prop_assert_eq!(out[i].to_bits(), gbrt.predict(&[a, b]).to_bits());
+            }
+        }
+
+        #[test]
+        fn batched_classifiers_match_scalar_bit_for_bit(
+            ys in proptest::collection::vec(-5.0f64..5.0, 16..40),
+            probes in proptest::collection::vec((-2.0f64..2.0, -1.0f64..14.0), 1..24),
+            seed in 0u64..1000,
+        ) {
+            let (_, classification) = training_sets(&ys);
+            let flat = flat_probes(&probes);
+            let rows = Rows::new(&flat, 2);
+            let mut out = Vec::new();
+
+            let dtc = DecisionTreeClassifier::fit(
+                &classification,
+                TreeParams { seed, ..TreeParams::default() },
+            );
+            dtc.score_batch(rows, &mut out);
+            for (i, &(a, b)) in probes.iter().enumerate() {
+                prop_assert_eq!(out[i].to_bits(), dtc.score(&[a, b]).to_bits());
+            }
+
+            let rfc = RandomForestClassifier::fit(
+                &classification,
+                ForestParams { n_trees: 7, seed, ..ForestParams::default() },
+            );
+            rfc.score_batch(rows, &mut out);
+            for (i, &(a, b)) in probes.iter().enumerate() {
+                prop_assert_eq!(out[i].to_bits(), rfc.score(&[a, b]).to_bits());
+            }
+
+            let gbdt = GbdtClassifier::fit(
+                &classification,
+                GbdtParams { n_estimators: 12, seed, ..GbdtParams::default() },
+            );
+            gbdt.score_batch(rows, &mut out);
+            for (i, &(a, b)) in probes.iter().enumerate() {
+                prop_assert_eq!(out[i].to_bits(), gbdt.score(&[a, b]).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn row_parallel_path_matches_scalar_bit_for_bit() {
+        // Enough probes to cross PAR_ROW_THRESHOLD and exercise the
+        // parallel branch of both ensemble evaluators.
+        let ys: Vec<f64> = (0..40).map(|i| ((i * 29) % 17) as f64 - 8.0).collect();
+        let (regression, _) = training_sets(&ys);
+        let probes: Vec<(f64, f64)> = (0..(2 * super::PAR_ROW_THRESHOLD))
+            .map(|i| (i as f64 / 50.0 - 0.5, ((i * 5) % 13) as f64))
+            .collect();
+        let flat = flat_probes(&probes);
+        let rows = Rows::new(&flat, 2);
+        let mut out = Vec::new();
+
+        let gbrt = GbrtRegressor::fit(
+            &regression,
+            GbdtParams {
+                n_estimators: 20,
+                seed: 7,
+                ..GbdtParams::default()
+            },
+        );
+        gbrt.predict_batch(rows, &mut out);
+        assert_eq!(out.len(), probes.len());
+        for (i, &(a, b)) in probes.iter().enumerate() {
+            assert_eq!(out[i].to_bits(), gbrt.predict(&[a, b]).to_bits());
+        }
+
+        let dtr = DecisionTreeRegressor::fit(&regression, TreeParams::default());
+        dtr.predict_batch(rows, &mut out);
+        for (i, &(a, b)) in probes.iter().enumerate() {
+            assert_eq!(out[i].to_bits(), dtr.predict(&[a, b]).to_bits());
+        }
+    }
+}

@@ -77,6 +77,17 @@ impl Forest {
     fn mean_prediction(&self, x: &[f64]) -> f64 {
         self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
     }
+
+    /// Batched tree-mean: sum per row in tree order, then one division —
+    /// the same float operation order as [`Forest::mean_prediction`].
+    fn mean_prediction_batch(&self, rows: crate::batch::Rows<'_>, out: &mut Vec<f64>) {
+        crate::batch::reset_out(out, rows.len());
+        crate::batch::sum_trees_into(&self.trees, rows, out);
+        let n = self.trees.len() as f64;
+        for v in out.iter_mut() {
+            *v /= n;
+        }
+    }
 }
 
 /// Random-forest regressor (the paper's RF for the regression model).
@@ -101,11 +112,21 @@ impl RandomForestRegressor {
     pub fn n_trees(&self) -> usize {
         self.forest.trees.len()
     }
+
+    /// Batched prediction into a reusable output buffer; bit-identical to
+    /// calling [`Regressor::predict`] per row.
+    pub fn predict_batch(&self, rows: crate::batch::Rows<'_>, out: &mut Vec<f64>) {
+        self.forest.mean_prediction_batch(rows, out);
+    }
 }
 
 impl Regressor for RandomForestRegressor {
     fn predict(&self, x: &[f64]) -> f64 {
         self.forest.mean_prediction(x)
+    }
+
+    fn predict_rows(&self, rows: crate::batch::Rows<'_>, out: &mut Vec<f64>) {
+        self.predict_batch(rows, out);
     }
 }
 
@@ -132,11 +153,21 @@ impl RandomForestClassifier {
             params,
         }
     }
+
+    /// Batched scoring into a reusable output buffer; bit-identical to
+    /// calling [`Classifier::score`] per row.
+    pub fn score_batch(&self, rows: crate::batch::Rows<'_>, out: &mut Vec<f64>) {
+        self.forest.mean_prediction_batch(rows, out);
+    }
 }
 
 impl Classifier for RandomForestClassifier {
     fn score(&self, x: &[f64]) -> f64 {
         self.forest.mean_prediction(x)
+    }
+
+    fn score_rows(&self, rows: crate::batch::Rows<'_>, out: &mut Vec<f64>) {
+        self.score_batch(rows, out);
     }
 }
 

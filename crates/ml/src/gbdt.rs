@@ -117,11 +117,26 @@ impl GbrtRegressor {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// Batched prediction into a reusable output buffer; bit-identical to
+    /// calling [`Regressor::predict`] per row (per row:
+    /// `init + learning_rate * Σ_t tree_t(x)`, summed in tree order).
+    pub fn predict_batch(&self, rows: crate::batch::Rows<'_>, out: &mut Vec<f64>) {
+        crate::batch::reset_out(out, rows.len());
+        crate::batch::sum_trees_into(&self.trees, rows, out);
+        for v in out.iter_mut() {
+            *v = self.init + self.params.learning_rate * *v;
+        }
+    }
 }
 
 impl Regressor for GbrtRegressor {
     fn predict(&self, x: &[f64]) -> f64 {
         self.init + self.params.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+    }
+
+    fn predict_rows(&self, rows: crate::batch::Rows<'_>, out: &mut Vec<f64>) {
+        self.predict_batch(rows, out);
     }
 }
 
@@ -199,6 +214,16 @@ impl GbdtClassifier {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// Batched scoring into a reusable output buffer; bit-identical to
+    /// calling [`Classifier::score`] per row.
+    pub fn score_batch(&self, rows: crate::batch::Rows<'_>, out: &mut Vec<f64>) {
+        crate::batch::reset_out(out, rows.len());
+        crate::batch::sum_trees_into(&self.trees, rows, out);
+        for v in out.iter_mut() {
+            *v = sigmoid(self.init + self.params.learning_rate * *v);
+        }
+    }
 }
 
 impl Classifier for GbdtClassifier {
@@ -206,6 +231,10 @@ impl Classifier for GbdtClassifier {
         let raw = self.init
             + self.params.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>();
         sigmoid(raw)
+    }
+
+    fn score_rows(&self, rows: crate::batch::Rows<'_>, out: &mut Vec<f64>) {
+        self.score_batch(rows, out);
     }
 }
 

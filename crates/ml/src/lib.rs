@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod curvefit;
 pub mod data;
 pub mod forest;
@@ -41,6 +42,7 @@ pub mod scale;
 pub mod svm;
 pub mod tree;
 
+pub use batch::{Rows, PAR_ROW_THRESHOLD};
 pub use data::Dataset;
 pub use forest::{RandomForestClassifier, RandomForestRegressor};
 pub use gbdt::{GbdtClassifier, GbrtRegressor};
@@ -60,6 +62,15 @@ pub trait Regressor: Send + Sync {
     fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
         xs.iter().map(|x| self.predict(x)).collect()
     }
+
+    /// Predict a flat row-major batch into a reusable output buffer. The
+    /// default is a per-row loop; the tree ensembles override it with
+    /// tree-major batched evaluation. Always bit-identical to calling
+    /// [`Regressor::predict`] per row.
+    fn predict_rows(&self, rows: Rows<'_>, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(rows.iter().map(|x| self.predict(x)));
+    }
 }
 
 /// A trained binary classifier: maps a feature vector to a boolean decision
@@ -77,5 +88,14 @@ pub trait Classifier: Send + Sync {
     /// Classify a batch.
     fn classify_batch(&self, xs: &[Vec<f64>]) -> Vec<bool> {
         xs.iter().map(|x| self.classify(x)).collect()
+    }
+
+    /// Score a flat row-major batch into a reusable output buffer. The
+    /// default is a per-row loop; the tree ensembles override it with
+    /// tree-major batched evaluation. Always bit-identical to calling
+    /// [`Classifier::score`] per row.
+    fn score_rows(&self, rows: Rows<'_>, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(rows.iter().map(|x| self.score(x)));
     }
 }

@@ -7,6 +7,7 @@
 //! Leaves store the target mean, which doubles as the positive-class
 //! probability for classification.
 
+use crate::batch::Rows;
 use crate::data::Dataset;
 use crate::{Classifier, Regressor};
 use rand::seq::SliceRandom;
@@ -60,6 +61,11 @@ enum Node {
 pub(crate) struct Tree {
     nodes: Vec<Node>,
 }
+
+/// Rows walked through a tree simultaneously by the batched evaluators:
+/// enough independent root-to-leaf chains to keep several node loads in
+/// flight per core, small enough that the lane state lives in registers.
+pub(crate) const LANES: usize = 8;
 
 impl Tree {
     /// Fit a tree by recursive variance-reduction splitting.
@@ -138,6 +144,100 @@ impl Tree {
         match &self.nodes[self.leaf_index(x)] {
             Node::Leaf { value } => *value,
             Node::Split { .. } => unreachable!("leaf_index returns leaves"),
+        }
+    }
+
+    /// Advance one traversal lane a single level; returns `true` while the
+    /// lane is still on a split node.
+    #[inline]
+    fn step(&self, idx: &mut usize, x: &[f64]) -> bool {
+        match &self.nodes[*idx] {
+            Node::Leaf { .. } => false,
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                *idx = if x[*feature] <= *threshold {
+                    *left
+                } else {
+                    *right
+                };
+                true
+            }
+        }
+    }
+
+    /// Leaf value at node `i` (must be a leaf).
+    #[inline]
+    fn leaf_value(&self, i: usize) -> f64 {
+        match &self.nodes[i] {
+            Node::Leaf { value } => *value,
+            Node::Split { .. } => unreachable!("traversal ends on leaves"),
+        }
+    }
+
+    /// Walk a block of [`LANES`] rows through the tree in lockstep, level
+    /// by level. The lanes are independent root-to-leaf chains, so the CPU
+    /// keeps several node loads in flight instead of stalling on one
+    /// dependent chain per row — the main single-thread win of the batched
+    /// evaluators. A lane that reaches its leaf early just stays there.
+    #[inline]
+    fn leaf_block(&self, rows: Rows<'_>, base: usize) -> [usize; LANES] {
+        let mut idx = [0usize; LANES];
+        let mut xs: [&[f64]; LANES] = [&[]; LANES];
+        for (l, x) in xs.iter_mut().enumerate() {
+            *x = rows.row(base + l);
+        }
+        loop {
+            let mut descending = false;
+            for (i, &x) in idx.iter_mut().zip(&xs) {
+                descending |= self.step(i, x);
+            }
+            if !descending {
+                return idx;
+            }
+        }
+    }
+
+    /// `out[i] += self.predict(rows.row(i))` for every row, with the bulk
+    /// of the rows going through the interleaved [`leaf_block`] traversal.
+    /// Bit-identical to the scalar loop: the leaf reached and the value
+    /// added are exactly the scalar ones.
+    ///
+    /// [`leaf_block`]: Tree::leaf_block
+    pub(crate) fn accumulate_rows(&self, rows: Rows<'_>, out: &mut [f64]) {
+        debug_assert_eq!(rows.len(), out.len());
+        let n = rows.len();
+        let mut i = 0;
+        while i + LANES <= n {
+            let leaves = self.leaf_block(rows, i);
+            for (l, &leaf) in leaves.iter().enumerate() {
+                out[i + l] += self.leaf_value(leaf);
+            }
+            i += LANES;
+        }
+        for (j, acc) in out.iter_mut().enumerate().skip(i) {
+            *acc += self.predict(rows.row(j));
+        }
+    }
+
+    /// `out[i] = self.predict(rows.row(i))` for every row (assignment, not
+    /// accumulation — single-tree models write their answer directly).
+    pub(crate) fn assign_rows(&self, rows: Rows<'_>, out: &mut [f64]) {
+        debug_assert_eq!(rows.len(), out.len());
+        let n = rows.len();
+        let mut i = 0;
+        while i + LANES <= n {
+            let leaves = self.leaf_block(rows, i);
+            for (l, &leaf) in leaves.iter().enumerate() {
+                out[i + l] = self.leaf_value(leaf);
+            }
+            i += LANES;
+        }
+        for (j, slot) in out.iter_mut().enumerate().skip(i) {
+            *slot = self.predict(rows.row(j));
         }
     }
 
@@ -258,11 +358,22 @@ impl DecisionTreeRegressor {
     pub fn depth(&self) -> usize {
         self.tree.depth()
     }
+
+    /// Batched prediction into a reusable output buffer; bit-identical to
+    /// calling [`Regressor::predict`] per row.
+    pub fn predict_batch(&self, rows: crate::batch::Rows<'_>, out: &mut Vec<f64>) {
+        crate::batch::reset_out(out, rows.len());
+        crate::batch::single_tree_into(&self.tree, rows, out);
+    }
 }
 
 impl Regressor for DecisionTreeRegressor {
     fn predict(&self, x: &[f64]) -> f64 {
         self.tree.predict(x)
+    }
+
+    fn predict_rows(&self, rows: crate::batch::Rows<'_>, out: &mut Vec<f64>) {
+        self.predict_batch(rows, out);
     }
 }
 
@@ -287,11 +398,22 @@ impl DecisionTreeClassifier {
             params,
         }
     }
+
+    /// Batched scoring into a reusable output buffer; bit-identical to
+    /// calling [`Classifier::score`] per row.
+    pub fn score_batch(&self, rows: crate::batch::Rows<'_>, out: &mut Vec<f64>) {
+        crate::batch::reset_out(out, rows.len());
+        crate::batch::single_tree_into(&self.tree, rows, out);
+    }
 }
 
 impl Classifier for DecisionTreeClassifier {
     fn score(&self, x: &[f64]) -> f64 {
         self.tree.predict(x)
+    }
+
+    fn score_rows(&self, rows: crate::batch::Rows<'_>, out: &mut Vec<f64>) {
+        self.score_batch(rows, out);
     }
 }
 

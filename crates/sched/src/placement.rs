@@ -12,22 +12,29 @@
 //! * [`select_server`] — the stateless baseline: every candidate server's
 //!   `before` and `after` sums are predicted from scratch on every request,
 //!   O(servers × members) model predictions per placement.
-//! * [`select_server_incremental`] — the online hot path: a [`ScoreCache`]
-//!   keeps each server's current predicted summed FPS (keyed by model
-//!   version), so only the *extended* colocation is predicted per candidate
-//!   and the `before` sum is a float read. Candidates are scored in
-//!   parallel with rayon when the eligible set is wide.
+//! * [`select_server_incremental_with`] — the online hot path: a
+//!   [`ScoreCache`] keeps each server's current predicted summed FPS (keyed
+//!   by model version), so only the *extended* colocations are predicted
+//!   per request — and those are assembled into **one**
+//!   [`FpsModel::predict_colocation_sums`] batch call over all candidates
+//!   (likewise the cache misses among the `before` sums), so a batched
+//!   model pays one feature-matrix assembly and one ensemble pass per
+//!   admit instead of a prediction per candidate. All buffers live in a
+//!   caller-owned [`PlacementScratch`], one per worker: the hot path
+//!   allocates nothing once the buffers have grown.
 //!
 //! Both paths compute the identical delta-greedy objective (Section 5.2):
 //! the cached `before` sum is the same member-wise sum the baseline
-//! recomputes, so the two selectors always agree on the chosen server.
+//! recomputes, and the batched sums are bit-identical to the scalar ones by
+//! the [`FpsModel::predict_colocation_sums`] contract, so the selectors
+//! always agree on the chosen server.
 
 use crate::dynamic::Policy;
 use crate::maxfps::MAX_PER_SERVER;
-use crate::FpsModel;
+use crate::{ColocationBatch, FpsModel, PredictScratch};
 use gaugur_core::Placement;
 use gaugur_gamesim::GameId;
-use rayon::prelude::*;
+use std::cell::RefCell;
 
 /// Borrowed, read-only view of per-server occupancy. Implemented by the
 /// plain `Vec<Vec<Placement>>` snapshots the simulator builds and by
@@ -102,7 +109,7 @@ pub fn placement_delta(model: &dyn FpsModel, members: &[Placement], candidate: P
 /// Invalidation rules:
 /// * **Model reload** — entries carry the model version they were computed
 ///   under; a version mismatch is a miss, so reloads invalidate for free.
-/// * **Admit** — [`select_server_incremental`] stores the chosen server's
+/// * **Admit** — the incremental selectors store the chosen server's
 ///   `after` sum at selection time, under the contract that the caller
 ///   admits the candidate there (both the daemon and the simulator do, and
 ///   both hold their fleet lock across select + admit).
@@ -141,29 +148,23 @@ impl ScoreCache {
         (self.hits, self.misses)
     }
 
-    /// The server's current summed FPS under `version`: cached, or computed
-    /// through the model and stored.
-    fn current_sum(
-        &mut self,
-        server: usize,
-        version: u64,
-        members: &[Placement],
-        model: &dyn FpsModel,
-    ) -> f64 {
+    /// The server's cached sum under `version`, counting a hit; `None`
+    /// counts a miss and the caller is expected to compute and
+    /// [`store`](ScoreCache::store) it.
+    fn probe(&mut self, server: usize, version: u64) -> Option<f64> {
         if let Some((v, sum)) = self.sums[server] {
             if v == version {
                 self.hits += 1;
-                return sum;
+                return Some(sum);
             }
         }
         self.misses += 1;
-        let sum = model.predict_colocation_sum(members);
-        self.sums[server] = Some((version, sum));
-        sum
+        None
     }
 
-    /// Record the sum a server will have once the pending admission lands.
-    fn record_admit(&mut self, server: usize, version: u64, sum: f64) {
+    /// Record a server's summed FPS under `version` (freshly computed, or
+    /// the post-admit sum of a pending admission).
+    fn store(&mut self, server: usize, version: u64, sum: f64) {
         self.sums[server] = Some((version, sum));
     }
 }
@@ -179,48 +180,98 @@ pub struct Selection {
     pub server_sum: f64,
 }
 
-/// Candidate sets at least this wide are scored in parallel; below it the
-/// per-task overhead outweighs the parallelism.
-const PAR_SCORE_THRESHOLD: usize = 8;
+/// Caller-owned scratch for [`select_server_incremental_with`]: eligibility
+/// and score buffers plus the model's [`PredictScratch`]. One per worker
+/// (the daemon keeps one per thread); every buffer is overwritten each call
+/// and retains its capacity, so steady-state selection allocates nothing.
+#[derive(Default)]
+pub struct PlacementScratch {
+    eligible: Vec<usize>,
+    befores: Vec<f64>,
+    afters: Vec<f64>,
+    miss_at: Vec<usize>,
+    coloc: ColocationBatch,
+    sums: Vec<f64>,
+    /// Scratch threaded into the model's batched scoring; also usable by
+    /// callers for their own batched predictions between selections.
+    pub predict: PredictScratch,
+}
+
+impl PlacementScratch {
+    /// A fresh scratch; buffers grow on first use and are then reused.
+    pub fn new() -> PlacementScratch {
+        PlacementScratch::default()
+    }
+}
 
 /// Choose a server for one arriving session by maximum predicted FPS delta,
-/// reading `before` sums from (and maintaining) `cache`.
+/// reading `before` sums from (and maintaining) `cache`, with all buffers
+/// supplied by the caller.
+///
+/// Scoring is fully batched: the cache-missing `before` sums are computed
+/// in one [`FpsModel::predict_colocation_sums`] call, and the `after` sums
+/// of every candidate in another, so a batched model evaluates two fused
+/// batches per admission regardless of fleet width.
 ///
 /// Contract: on `Some(selection)`, the cache is updated as if the caller
 /// admits the candidate on `selection.server` — the caller must do so
 /// before releasing whatever lock guards the occupancy, or call
 /// [`ScoreCache::invalidate`] on that server instead.
-pub fn select_server_incremental<V: OccupancyView + ?Sized>(
+pub fn select_server_incremental_with<V: OccupancyView + ?Sized>(
     occupancy: &V,
     request: Placement,
     model: &dyn FpsModel,
     model_version: u64,
     cache: &mut ScoreCache,
+    scratch: &mut PlacementScratch,
 ) -> Option<Selection> {
-    let eligible = eligible_servers(occupancy, request.0);
+    let PlacementScratch {
+        eligible,
+        befores,
+        afters,
+        miss_at,
+        coloc,
+        sums,
+        predict,
+    } = scratch;
+    eligible.clear();
+    eligible.extend(
+        (0..occupancy.n_servers()).filter(|&s| server_eligible(occupancy.members(s), request.0)),
+    );
     if eligible.is_empty() {
         return None;
     }
-    // `before` sums first: in steady state these are cache reads, and the
-    // sequential pass keeps the cache free of interior mutability.
-    let befores: Vec<f64> = eligible
-        .iter()
-        .map(|&s| cache.current_sum(s, model_version, occupancy.members(s), model))
-        .collect();
-    // `after` sums predict only the extended colocation — one prediction
-    // set per candidate instead of two — in parallel when the set is wide.
-    let extended_sum = |&s: &usize| -> f64 {
-        let members = occupancy.members(s);
-        let mut extended = Vec::with_capacity(members.len() + 1);
-        extended.extend_from_slice(members);
-        extended.push(request);
-        model.predict_colocation_sum(&extended)
-    };
-    let afters: Vec<f64> = if eligible.len() >= PAR_SCORE_THRESHOLD {
-        eligible.par_iter().map(extended_sum).collect()
-    } else {
-        eligible.iter().map(extended_sum).collect()
-    };
+
+    // `before` sums: in steady state these are cache reads; the misses are
+    // gathered into one batch call.
+    befores.clear();
+    befores.resize(eligible.len(), 0.0);
+    miss_at.clear();
+    coloc.clear();
+    for (i, &s) in eligible.iter().enumerate() {
+        match cache.probe(s, model_version) {
+            Some(sum) => befores[i] = sum,
+            None => {
+                miss_at.push(i);
+                coloc.push(occupancy.members(s));
+            }
+        }
+    }
+    if !miss_at.is_empty() {
+        model.predict_colocation_sums(coloc, predict, sums);
+        for (k, &i) in miss_at.iter().enumerate() {
+            befores[i] = sums[k];
+            cache.store(eligible[i], model_version, sums[k]);
+        }
+    }
+
+    // `after` sums: every candidate's extended colocation, one batch call.
+    coloc.clear();
+    for &s in eligible.iter() {
+        coloc.push_extended(occupancy.members(s), request);
+    }
+    model.predict_colocation_sums(coloc, predict, afters);
+
     let best = (0..eligible.len())
         .max_by(|&a, &b| (afters[a] - befores[a]).total_cmp(&(afters[b] - befores[b])))
         .expect("non-empty eligible set");
@@ -229,8 +280,38 @@ pub fn select_server_incremental<V: OccupancyView + ?Sized>(
         delta: afters[best] - befores[best],
         server_sum: afters[best],
     };
-    cache.record_admit(selection.server, model_version, selection.server_sum);
+    cache.store(selection.server, model_version, selection.server_sum);
     Some(selection)
+}
+
+thread_local! {
+    /// Scratch backing the convenience wrapper below: one per thread, so
+    /// callers that never manage scratch explicitly (the simulator, tests)
+    /// still run the zero-allocation path.
+    static LOCAL_SCRATCH: RefCell<PlacementScratch> = RefCell::new(PlacementScratch::new());
+}
+
+/// [`select_server_incremental_with`] with a thread-local scratch — the
+/// drop-in API for callers that do not thread their own buffers. Workers
+/// that own a [`PlacementScratch`] (the serving daemon) should call the
+/// `_with` variant directly.
+pub fn select_server_incremental<V: OccupancyView + ?Sized>(
+    occupancy: &V,
+    request: Placement,
+    model: &dyn FpsModel,
+    model_version: u64,
+    cache: &mut ScoreCache,
+) -> Option<Selection> {
+    LOCAL_SCRATCH.with(|scratch| {
+        select_server_incremental_with(
+            occupancy,
+            request,
+            model,
+            model_version,
+            cache,
+            &mut scratch.borrow_mut(),
+        )
+    })
 }
 
 /// Policy dispatch over the incremental scorer: `MaxPredictedFps` goes
@@ -256,7 +337,7 @@ pub fn select_server_cached<V: OccupancyView + ?Sized>(
 /// Choose a server for one arriving session under `policy`, or `None` when
 /// no server is eligible. The stateless baseline: `MaxPredictedFps` here
 /// recomputes every candidate's full [`placement_delta`] from scratch
-/// (the online paths use [`select_server_incremental`] instead).
+/// (the online paths use [`select_server_incremental_with`] instead).
 pub fn select_server<V: OccupancyView + ?Sized>(
     occupancy: &V,
     request: Placement,
@@ -383,6 +464,33 @@ mod tests {
             let warm = select_server_incremental(&occupancy, request, &FakeFps, 1, &mut cache)
                 .map(|s| s.server);
             assert_eq!(full, warm, "game {g} (warm cache)");
+        }
+    }
+
+    #[test]
+    fn explicit_scratch_selection_matches_the_wrapper() {
+        let occupancy = vec![
+            vec![],
+            vec![(GameId(3), R), (GameId(8), Resolution::Hd720)],
+            vec![(GameId(1), R)],
+            vec![(GameId(2), R), (GameId(5), R), (GameId(9), R)],
+        ];
+        let mut scratch = PlacementScratch::new();
+        for g in [0u32, 6, 7, 11, 13] {
+            let request = (GameId(g), R);
+            let mut c1 = ScoreCache::new(occupancy.len());
+            let mut c2 = ScoreCache::new(occupancy.len());
+            let wrapped = select_server_incremental(&occupancy, request, &FakeFps, 1, &mut c1);
+            let explicit = select_server_incremental_with(
+                &occupancy,
+                request,
+                &FakeFps,
+                1,
+                &mut c2,
+                &mut scratch,
+            );
+            assert_eq!(wrapped, explicit, "game {g}");
+            assert_eq!(c1.counts(), c2.counts(), "game {g}");
         }
     }
 

@@ -24,8 +24,9 @@ use crate::wire::{
     Response,
 };
 use gaugur_core::Placement;
-use gaugur_sched::{select_server_incremental, ScoreCache};
+use gaugur_sched::{select_server_incremental_with, PlacementScratch, ScoreCache};
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
@@ -309,13 +310,24 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
+thread_local! {
+    /// Per-worker placement scratch: colocation batches, degradation query
+    /// plans, feature buffers. Each daemon worker thread owns one, so the
+    /// steady-state `Place`/`PlaceBatch`/`Predict` path allocates nothing —
+    /// buffers grow on the first request and are reused for the thread's
+    /// lifetime.
+    static SCRATCH: RefCell<PlacementScratch> = RefCell::new(PlacementScratch::new());
+}
+
 /// Choose a server incrementally, predict the new session's FPS against the
 /// pre-admit co-runners, and admit it — the shared core of `Place` and
 /// `PlaceBatch`. The caller holds the fleet lock and has validated the game.
+/// All model queries route through the batch API via the worker's `scratch`.
 fn admit_one(
     shared: &Shared,
     model: &LoadedModel,
     fleet: &mut Fleet,
+    scratch: &mut PlacementScratch,
     placement: Placement,
 ) -> Option<(u64, usize, f64)> {
     let fps_model = MemoizedFps {
@@ -324,14 +336,22 @@ fn admit_one(
         qos: shared.config.qos,
     };
     let Fleet { cluster, scores } = fleet;
-    let sel = select_server_incremental(&*cluster, placement, &fps_model, model.version, scores)?;
+    let sel = select_server_incremental_with(
+        &*cluster,
+        placement,
+        &fps_model,
+        model.version,
+        scores,
+        scratch,
+    )?;
     // Co-runners of the new session = the server's pre-admit occupancy, so
     // predict before admitting (borrowed — no fleet clone on the hot path).
-    let (prediction, _) = shared.memo.predict(
+    let (prediction, _) = shared.memo.predict_with(
         model,
         shared.config.qos,
         placement,
         cluster.members(sel.server),
+        &mut scratch.predict,
     );
     let session = cluster.admit(sel.server, placement);
     Some((session, sel.server, prediction.fps))
@@ -352,7 +372,15 @@ fn handle_request(shared: &Shared, request: &Request) -> (Response, bool) {
             // Hold the fleet lock across choose + admit: the decision is
             // only valid against the occupancy it was computed from.
             let mut fleet = shared.fleet.lock();
-            match admit_one(shared, &model, &mut fleet, (*game, *resolution)) {
+            match SCRATCH.with(|s| {
+                admit_one(
+                    shared,
+                    &model,
+                    &mut fleet,
+                    &mut s.borrow_mut(),
+                    (*game, *resolution),
+                )
+            }) {
                 Some((session, server, predicted_fps)) => (
                     Response::Placed {
                         session,
@@ -372,29 +400,33 @@ fn handle_request(shared: &Shared, request: &Request) -> (Response, bool) {
         }
         Request::PlaceBatch { requests } => {
             let model = shared.model.get();
-            // One lock acquisition for the whole burst; items place in
-            // order and fail independently (unknown game or saturation).
+            // One lock acquisition (and one scratch borrow) for the whole
+            // burst; items place in order and fail independently (unknown
+            // game or saturation).
             let mut fleet = shared.fleet.lock();
-            let results: Vec<BatchPlaceResult> = requests
-                .iter()
-                .map(|&(game, resolution)| {
-                    if !model.knows_game(game) {
-                        return BatchPlaceResult::Rejected {
-                            reason: format!("unknown game {}", game.0),
-                        };
-                    }
-                    match admit_one(shared, &model, &mut fleet, (game, resolution)) {
-                        Some((session, server, predicted_fps)) => BatchPlaceResult::Placed {
-                            session,
-                            server,
-                            predicted_fps,
-                        },
-                        None => BatchPlaceResult::Rejected {
-                            reason: "no eligible server (fleet saturated)".into(),
-                        },
-                    }
-                })
-                .collect();
+            let results: Vec<BatchPlaceResult> = SCRATCH.with(|s| {
+                let scratch = &mut *s.borrow_mut();
+                requests
+                    .iter()
+                    .map(|&(game, resolution)| {
+                        if !model.knows_game(game) {
+                            return BatchPlaceResult::Rejected {
+                                reason: format!("unknown game {}", game.0),
+                            };
+                        }
+                        match admit_one(shared, &model, &mut fleet, scratch, (game, resolution)) {
+                            Some((session, server, predicted_fps)) => BatchPlaceResult::Placed {
+                                session,
+                                server,
+                                predicted_fps,
+                            },
+                            None => BatchPlaceResult::Rejected {
+                                reason: "no eligible server (fleet saturated)".into(),
+                            },
+                        }
+                    })
+                    .collect()
+            });
             (
                 Response::PlacedBatch {
                     model_version: model.version,
@@ -456,10 +488,15 @@ fn handle_request(shared: &Shared, request: &Request) -> (Response, bool) {
                     false,
                 );
             }
-            let (prediction, cached) =
-                shared
-                    .memo
-                    .predict(&model, *qos, (*game, *resolution), others);
+            let (prediction, cached) = SCRATCH.with(|s| {
+                shared.memo.predict_with(
+                    &model,
+                    *qos,
+                    (*game, *resolution),
+                    others,
+                    &mut s.borrow_mut().predict,
+                )
+            });
             (
                 Response::Prediction {
                     feasible: prediction.feasible,

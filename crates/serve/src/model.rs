@@ -6,7 +6,8 @@
 //! can never fail or skew a request that already started — the old model
 //! simply lives until its last request drops the Arc.
 
-use gaugur_core::{GAugur, Placement};
+use gaugur_core::{GAugur, InterferencePredictor, Placement};
+use gaugur_sched::{ColocationBatch, PredictScratch};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io;
@@ -222,6 +223,84 @@ impl PredictionMemo {
         sum
     }
 
+    /// Batched counterpart of [`colocation_sum`]: answer every colocation in
+    /// `batch` at once, writing `batch.len()` summed-FPS values into `out`
+    /// (cleared first) in batch order. Hits are served from the sum memo;
+    /// all misses are assembled into one [`DegradationBatch`] query plan and
+    /// answered by a single fused model call through `scratch`. Bit-identical
+    /// to the scalar path, including the `-0.0` empty-set sum identity.
+    ///
+    /// [`colocation_sum`]: PredictionMemo::colocation_sum
+    /// [`DegradationBatch`]: gaugur_core::DegradationBatch
+    pub fn colocation_sums(
+        &self,
+        model: &LoadedModel,
+        batch: &ColocationBatch,
+        scratch: &mut PredictScratch,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(batch.len(), 0.0);
+        let mut miss_at = std::mem::take(&mut scratch.indices);
+        miss_at.clear();
+        scratch.queries.clear();
+        {
+            let sums = self.sums.lock();
+            for (i, slot) in out.iter_mut().enumerate() {
+                let members = batch.members(i);
+                if members.is_empty() {
+                    // `out[i]` stays 0.0, matching the scalar early return
+                    // (which touches neither the memo nor the counters).
+                    continue;
+                }
+                match sums.get(&sum_key(model.version, members)) {
+                    Some(&hit) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        *slot = hit;
+                    }
+                    None => {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        miss_at.push(i);
+                        scratch.queries.push_colocation(members);
+                    }
+                }
+            }
+        }
+        if !miss_at.is_empty() {
+            model.gaugur.predict_degradation_batch(
+                &scratch.queries,
+                &mut scratch.features,
+                &mut scratch.values,
+            );
+            let mut q = 0;
+            let mut sums = self.sums.lock();
+            for &i in &miss_at {
+                let members = batch.members(i);
+                // -0.0 is `Iterator::sum`'s additive identity; seeding with
+                // it keeps the accumulation bit-identical to the scalar path.
+                let mut sum = -0.0;
+                for &(id, res) in members {
+                    let solo = model.gaugur.profiles.get(id).solo_fps_at(res);
+                    // A lone member has no co-runners: the scalar path serves
+                    // its solo FPS without consulting the model.
+                    let fps = if members.len() == 1 {
+                        solo
+                    } else {
+                        scratch.values[q] * solo
+                    };
+                    sum += fps;
+                    q += 1;
+                }
+                if sums.len() >= self.capacity {
+                    sums.clear();
+                }
+                sums.insert(sum_key(model.version, members), sum);
+                out[i] = sum;
+            }
+        }
+        scratch.indices = miss_at;
+    }
+
     /// Predict through the memo. Returns the prediction and whether it was
     /// served from cache.
     pub fn predict(
@@ -230,6 +309,45 @@ impl PredictionMemo {
         qos: f64,
         target: Placement,
         others: &[Placement],
+    ) -> (Prediction, bool) {
+        self.predict_inner(model, qos, target, others, |gaugur| {
+            gaugur.predict_degradation(target, others)
+        })
+    }
+
+    /// [`predict`](PredictionMemo::predict) routed through the batch API: on
+    /// a miss, the degradation is computed as a one-query
+    /// [`DegradationBatch`](gaugur_core::DegradationBatch) through the
+    /// caller's scratch buffers, so a daemon worker allocates nothing on the
+    /// steady-state path. Memo entries are shared with the scalar entry
+    /// point (the batch evaluator is bit-identical).
+    pub fn predict_with(
+        &self,
+        model: &LoadedModel,
+        qos: f64,
+        target: Placement,
+        others: &[Placement],
+        scratch: &mut PredictScratch,
+    ) -> (Prediction, bool) {
+        self.predict_inner(model, qos, target, others, |gaugur| {
+            scratch.queries.clear();
+            scratch.queries.push(target, others);
+            gaugur.predict_degradation_batch(
+                &scratch.queries,
+                &mut scratch.features,
+                &mut scratch.values,
+            );
+            scratch.values[0]
+        })
+    }
+
+    fn predict_inner(
+        &self,
+        model: &LoadedModel,
+        qos: f64,
+        target: Placement,
+        others: &[Placement],
+        degradation: impl FnOnce(&GAugur) -> f64,
     ) -> (Prediction, bool) {
         let key = memo_key(model.version, qos, target, others);
         if let Some(hit) = self.map.lock().get(&key).copied() {
@@ -245,7 +363,7 @@ impl PredictionMemo {
                 fps: solo,
             }
         } else {
-            let degradation = model.gaugur.predict_degradation(target, others);
+            let degradation = degradation(&model.gaugur);
             Prediction {
                 feasible: model.gaugur.predict_qos(qos, target, others),
                 degradation,
@@ -307,6 +425,15 @@ impl gaugur_sched::FpsModel for MemoizedFps<'_> {
 
     fn predict_colocation_sum(&self, members: &[Placement]) -> f64 {
         self.memo.colocation_sum(self.model, self.qos, members)
+    }
+
+    fn predict_colocation_sums(
+        &self,
+        batch: &ColocationBatch,
+        scratch: &mut PredictScratch,
+        out: &mut Vec<f64>,
+    ) {
+        self.memo.colocation_sums(self.model, batch, scratch, out);
     }
 
     fn model_name(&self) -> &'static str {
@@ -442,6 +569,86 @@ mod tests {
         assert_eq!(memo.colocation_sum(&model, 60.0, &[]), 0.0);
     }
 
+    #[test]
+    fn batched_colocation_sums_are_bit_identical_to_scalar() {
+        let handle = ModelHandle::from_model(tiny_model());
+        let model = handle.get();
+        // Separate memos so the batched path computes rather than replaying
+        // values the scalar path already cached.
+        let scalar_memo = PredictionMemo::new(1024);
+        let batch_memo = PredictionMemo::new(1024);
+
+        let mut batch = ColocationBatch::new();
+        batch.push(&[]);
+        batch.push(&[(GameId(0), Resolution::Fhd1080)]);
+        batch.push(&[
+            (GameId(1), Resolution::Hd720),
+            (GameId(2), Resolution::Fhd1080),
+        ]);
+        batch.push(&[
+            (GameId(3), Resolution::Fhd1080),
+            (GameId(4), Resolution::Qhd1440),
+            (GameId(5), Resolution::Hd720),
+        ]);
+
+        let mut scratch = PredictScratch::new();
+        let mut out = Vec::new();
+        batch_memo.colocation_sums(&model, &batch, &mut scratch, &mut out);
+        assert_eq!(out.len(), batch.len());
+        for (i, &got) in out.iter().enumerate() {
+            let direct = scalar_memo.colocation_sum(&model, 60.0, batch.members(i));
+            assert_eq!(
+                got.to_bits(),
+                direct.to_bits(),
+                "colocation {i}: {got} vs {direct}"
+            );
+        }
+
+        // A second pass hits the sum memo for every non-empty colocation;
+        // the empty one touches neither the memo nor the counters.
+        let (h0, m0) = batch_memo.counts();
+        let mut again = Vec::new();
+        batch_memo.colocation_sums(&model, &batch, &mut scratch, &mut again);
+        let (h1, m1) = batch_memo.counts();
+        assert_eq!(h1 - h0, 3);
+        assert_eq!(m1, m0);
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn predict_with_shares_memo_entries_with_the_scalar_path() {
+        let handle = ModelHandle::from_model(tiny_model());
+        let model = handle.get();
+        let memo = PredictionMemo::new(1024);
+        let mut scratch = PredictScratch::new();
+        let t = (GameId(2), Resolution::Fhd1080);
+        let others = [
+            (GameId(4), Resolution::Hd720),
+            (GameId(6), Resolution::Fhd1080),
+        ];
+
+        let (p, cached) = memo.predict_with(&model, 60.0, t, &others, &mut scratch);
+        assert!(!cached);
+        assert_eq!(
+            p.degradation.to_bits(),
+            model.gaugur.predict_degradation(t, &others).to_bits()
+        );
+        assert_eq!(p.feasible, model.gaugur.predict_qos(60.0, t, &others));
+
+        // The entry it stored serves the scalar entry point, and vice versa.
+        let (p2, cached2) = memo.predict(&model, 60.0, t, &others);
+        assert!(cached2);
+        assert_eq!(p, p2);
+        let s = (GameId(7), Resolution::Hd900);
+        let _ = memo.predict(&model, 30.0, s, &others);
+        let (_, cached3) = memo.predict_with(&model, 30.0, s, &others, &mut scratch);
+        assert!(cached3);
+
+        // Solo queries bypass the model in both entry points.
+        let (solo, _) = memo.predict_with(&model, 30.0, t, &[], &mut scratch);
+        assert_eq!(solo.degradation, 1.0);
+    }
+
     /// Regression test for the reload rollback race: two concurrent reloads
     /// used to assign versions *before* taking the write lock, so a slow
     /// reload could publish an older artifact over a newer one while the
@@ -528,6 +735,48 @@ mod tests {
         handle.reload(None).unwrap();
         assert_eq!(pinned.version, 2);
         assert_eq!(handle.version(), 3);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A schema-mismatched artifact (e.g. produced by a newer `gaugur
+    /// build`) must be rejected by `load_json` with a descriptive error, and
+    /// a reload pointed at one must leave the old model serving.
+    #[test]
+    fn reload_of_mismatched_schema_artifact_leaves_old_model_serving() {
+        let dir =
+            std::env::temp_dir().join(format!("gaugur-serve-schema-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        tiny_model().save_json(&path).unwrap();
+
+        let handle = ModelHandle::load(&path).unwrap();
+        assert_eq!(handle.version(), 1);
+
+        // Forge a "future" artifact by bumping the schema marker in place.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("\"schema\":1", "\"schema\":999", 1);
+        assert_ne!(text, tampered, "artifact must carry the schema marker");
+        let future = dir.join("future.json");
+        std::fs::write(&future, tampered).unwrap();
+
+        let err = handle.reload(Some(&future)).unwrap_err();
+        assert!(
+            err.to_string().contains("999"),
+            "undescriptive error: {err}"
+        );
+        assert_eq!(handle.version(), 1, "failed reload must not swap");
+
+        // The old model keeps serving predictions untouched.
+        let pinned = handle.get();
+        let memo = PredictionMemo::new(64);
+        let (p, _) = memo.predict(
+            &pinned,
+            60.0,
+            (GameId(0), Resolution::Fhd1080),
+            &[(GameId(1), Resolution::Hd720)],
+        );
+        assert!(p.fps > 0.0 && p.degradation > 0.0);
 
         std::fs::remove_dir_all(&dir).ok();
     }

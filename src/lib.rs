@@ -54,7 +54,9 @@ pub use gaugur_serve as serve;
 
 /// The most commonly used types, importable in one line.
 pub mod prelude {
-    pub use gaugur_baselines::{DegradationPredictor, SigmoidPredictor, SmitePredictor, VbpPolicy};
+    pub use gaugur_baselines::{
+        InterferencePredictor, SigmoidPredictor, SmitePredictor, VbpPolicy,
+    };
     pub use gaugur_core::{
         Algorithm, ColocationPlan, GAugur, GAugurConfig, Placement, ProfileStore, Profiler,
         ProfilingConfig,

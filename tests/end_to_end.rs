@@ -4,7 +4,7 @@
 mod common;
 
 use common::{fixture, gaugur};
-use gaugur::baselines::{DegradationPredictor, SigmoidPredictor, SmitePredictor};
+use gaugur::baselines::{InterferencePredictor, SigmoidPredictor, SmitePredictor};
 use gaugur::core::Placement;
 
 /// Per-member held-out records: (target, others, actual degradation,

@@ -91,6 +91,30 @@ pub mod prelude {
             self
         }
     }
+
+    /// `.par_chunks()` on slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for rayon's `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `.par_chunks_mut()` on slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for rayon's `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
 }
 
 #[cfg(test)]
