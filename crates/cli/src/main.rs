@@ -49,6 +49,7 @@ fn main() {
         "importance" => importance(&opts),
         "serve" => serve(&opts),
         "load" => load_cmd(&opts),
+        "chaos" => chaos(&opts),
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown command {other:?}");
@@ -74,7 +75,8 @@ fn usage() {
          \x20 session    predict [--addr ADDR] --target ID --others ID,ID,… [--resolution R] [--qos FPS]\n\
          \x20 session    stats|reload|shutdown [--addr ADDR] [--model FILE]\n\
          \x20 load       [--addr ADDR] [--requests N] [--connections N] [--rate R/s|inf] [--batch N]\n\
-         \x20            [--seed S] [--games ID,ID,…] [--mean-session N] [--qos FPS] [--resolution R]\n"
+         \x20            [--seed S] [--games ID,ID,…] [--mean-session N] [--qos FPS] [--resolution R]\n\
+         \x20 chaos      --seed S [--scenarios N] [--ops N] [--servers N] [--games N] [--model FILE]\n"
     );
 }
 
@@ -465,6 +467,72 @@ fn load_cmd(opts: &HashMap<String, String>) {
         batch: get(opts, "batch", Some(1usize)).max(1),
     };
     print_multiline(&gaugur_serve::load::run(&config).to_string());
+}
+
+/// Run seeded chaos scenarios against an in-process daemon and report the
+/// invariant-oracle verdicts. A failing seed reproduces exactly:
+/// `gaugur chaos --seed <N>` replays the identical fault schedule.
+fn chaos(opts: &HashMap<String, String>) {
+    let seed: u64 = get(opts, "seed", Some(0));
+    let scenarios: u64 = get(opts, "scenarios", Some(1));
+    let n_games: u32 = get(opts, "games", Some(8));
+    let artifact: std::path::PathBuf = match opts.get("model") {
+        Some(path) => path.into(),
+        None => {
+            // No artifact given: train a small model on the simulated
+            // testbed, exactly like `gaugur build`, into a temp file.
+            eprintln!("training a {n_games}-game model for the chaos run …");
+            let server = Server::reference(7);
+            let catalog = GameCatalog::generate(42, n_games as usize);
+            let config = GAugurConfig {
+                plan: ColocationPlan {
+                    pairs: 40,
+                    triples: 10,
+                    quads: 5,
+                    seed: 3,
+                },
+                ..GAugurConfig::default()
+            };
+            let model = GAugur::build(&server, &catalog, config);
+            let dir = std::env::temp_dir().join(format!("gaugur-chaos-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+                eprintln!("cannot create {}: {e}", dir.display());
+                exit(1);
+            });
+            let path = dir.join("model.json");
+            model.save_json(&path).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", path.display());
+                exit(1);
+            });
+            path
+        }
+    };
+
+    let mut config = gaugur_serve::chaos::ChaosConfig::for_seed(
+        seed,
+        artifact,
+        (0..n_games).map(GameId).collect(),
+    );
+    config.ops = get(opts, "ops", Some(40));
+    config.n_servers = get(opts, "servers", Some(6));
+    config.qos = get(opts, "qos", Some(60.0));
+
+    let reports = gaugur_serve::chaos::run_suite(&config, scenarios);
+    let mut failed = 0u64;
+    for report in &reports {
+        println!("{report}");
+        if !report.passed() {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!(
+            "{failed} of {} scenarios violated an invariant",
+            reports.len()
+        );
+        exit(1);
+    }
+    println!("all {} scenarios passed every oracle", reports.len());
 }
 
 fn importance(opts: &HashMap<String, String>) {

@@ -167,6 +167,28 @@ impl ScoreCache {
     fn store(&mut self, server: usize, version: u64, sum: f64) {
         self.sums[server] = Some((version, sum));
     }
+
+    /// Undo an admit-contract store after the caller undoes the admission
+    /// itself — the serving daemon departs a session whose reply never
+    /// reached the client, then calls this so the cache matches the
+    /// restored occupancy. `after_sum`/`before_sum` are the
+    /// [`Selection::server_sum`]/[`Selection::before_sum`] of the admission
+    /// being rolled back.
+    ///
+    /// The pre-admit sum is restored only when the current entry still
+    /// bit-matches `(version, after_sum)`; anything else means the server
+    /// has moved on (another admit, a depart, a reload) and the entry is
+    /// dropped instead, falling back to lazy recomputation. The bit-exact
+    /// guard is what keeps rolled-back admissions byte-invisible: a restored
+    /// sum is always identical to what a fresh recomputation would produce.
+    pub fn rollback(&mut self, server: usize, version: u64, after_sum: f64, before_sum: f64) {
+        match self.sums[server] {
+            Some((v, sum)) if v == version && sum.to_bits() == after_sum.to_bits() => {
+                self.sums[server] = Some((version, before_sum));
+            }
+            _ => self.sums[server] = None,
+        }
+    }
 }
 
 /// Outcome of an incremental selection.
@@ -178,6 +200,12 @@ pub struct Selection {
     pub delta: f64,
     /// Predicted summed FPS of the server *with* the candidate admitted.
     pub server_sum: f64,
+    /// Predicted summed FPS of the server *before* the admission — the
+    /// exact `before` term the delta was computed from, preserved so a
+    /// caller that rolls the admission back can hand
+    /// [`ScoreCache::rollback`] the bit-identical pre-admit sum
+    /// (recomputing it as `server_sum - delta` is not bit-exact).
+    pub before_sum: f64,
 }
 
 /// Caller-owned scratch for [`select_server_incremental_with`]: eligibility
@@ -279,6 +307,7 @@ pub fn select_server_incremental_with<V: OccupancyView + ?Sized>(
         server: eligible[best],
         delta: afters[best] - befores[best],
         server_sum: afters[best],
+        before_sum: befores[best],
     };
     cache.store(selection.server, model_version, selection.server_sum);
     Some(selection)
@@ -525,6 +554,41 @@ mod tests {
         let (hits2, misses2) = cache.counts();
         assert_eq!(hits2, hits);
         assert_eq!(misses2, misses + 3);
+    }
+
+    #[test]
+    fn rollback_restores_the_pre_admit_sum_bit_exactly() {
+        let occupancy: Vec<Vec<Placement>> = vec![vec![(GameId(1), R)], vec![(GameId(2), R)]];
+        let mut cache = ScoreCache::new(2);
+        let sel =
+            select_server_incremental(&occupancy, (GameId(5), R), &FakeFps, 1, &mut cache).unwrap();
+        cache.rollback(sel.server, 1, sel.server_sum, sel.before_sum);
+        // The restored entry must be indistinguishable from a fresh cache:
+        // re-scoring the unchanged fleet picks the same server with the same
+        // sums, and it does so from a cache *hit* on the rolled-back server.
+        let (_, misses_before) = cache.counts();
+        let again =
+            select_server_incremental(&occupancy, (GameId(5), R), &FakeFps, 1, &mut cache).unwrap();
+        assert_eq!(sel, again);
+        let (_, misses_after) = cache.counts();
+        assert_eq!(
+            misses_before, misses_after,
+            "rollback should restore, not invalidate"
+        );
+    }
+
+    #[test]
+    fn rollback_of_a_superseded_entry_invalidates_instead() {
+        let mut cache = ScoreCache::new(1);
+        // Another admission already replaced the entry being rolled back.
+        cache.store(0, 1, 10.0);
+        cache.rollback(0, 1, 11.0, 9.0);
+        assert_eq!(cache.probe(0, 1), None);
+        // A version bump likewise drops the entry rather than restoring a
+        // sum computed under a stale model.
+        cache.store(0, 2, 11.0);
+        cache.rollback(0, 1, 11.0, 9.0);
+        assert_eq!(cache.probe(0, 2), None);
     }
 
     #[test]

@@ -1,0 +1,1095 @@
+//! Seeded chaos scenarios against a live daemon, with invariant oracles.
+//!
+//! A scenario is a pure function of its seed: one ChaCha8 stream
+//! (`rng_for(seed, [CHAOS_CTX])`) generates the operation mix, a second
+//! (the [`FaultInjector`]'s, seeded from the same scenario seed) decides
+//! which operations get faulted and how. The chaos client is strictly
+//! sequential and only `Place`/`PlaceBatch` replies consult the injector on
+//! the daemon side, so the interleaving of fault decisions — and therefore
+//! every byte on the wire — is reproducible from the seed alone.
+//!
+//! After the run, four oracle families check the daemon never lied:
+//!
+//! 1. **Stats conservation** — every admitted placement was either
+//!    confirmed to the client or rolled back
+//!    (`placements_admitted == confirmed + placements_rolled_back`), every
+//!    malformed frame was one the client deliberately poisoned, and every
+//!    connection the runner opened was eventually closed.
+//! 2. **No leaked placements** — after the drain, `active_sessions == 0`:
+//!    a client that died mid-request must not leave sessions in the fleet.
+//! 3. **Monotone model version** — the version observed across replies
+//!    never decreases, and the final version is exactly
+//!    `1 + successful reloads`.
+//! 4. **Byte-identical replay** — the surviving operations, replayed
+//!    against a fresh fault-free daemon, make bit-for-bit the same
+//!    decisions (server choice, predicted-FPS bits, degradation bits).
+//!    This is the strongest oracle: it holds only because lost placements
+//!    are rolled back to a *bit-exact* pre-admit state (occupancy and
+//!    score-cache sums), making every fault a net no-op.
+//!
+//! Reproducing a failure locally: `gaugur chaos --seed <N>` re-runs the
+//! scenario with the identical fault schedule and prints the report.
+
+use crate::daemon::{self, DaemonConfig};
+use crate::fault::{FaultAction, FaultEvent, FaultInjector, FaultPlan, InjectionPoint};
+use crate::model::ModelHandle;
+use crate::stats::StatsSnapshot;
+use crate::wire::{read_frame, write_frame, BatchPlaceResult, Request, Response, WirePlacement};
+use gaugur_gamesim::rng::rng_for;
+use gaugur_gamesim::{GameId, Resolution};
+use rand::Rng;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// RNG context tag for the operation stream (distinct from the fault
+/// stream's [`crate::fault::FAULT_CTX`]).
+pub const CHAOS_CTX: u64 = 0x4348_414F; // "CHAO"
+
+/// Configuration of one chaos scenario.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Scenario seed; drives both the operation mix and the fault schedule.
+    pub seed: u64,
+    /// Operations to issue (each is a place, batch, depart, predict or
+    /// reload drawn from the op stream).
+    pub ops: u64,
+    /// Fleet size of the daemon under test.
+    pub n_servers: usize,
+    /// Games to draw operations from (must all be known to the model).
+    pub games: Vec<GameId>,
+    /// Resolutions to draw operations from.
+    pub resolutions: Vec<Resolution>,
+    /// Path to the saved model artifact the daemon loads (and reloads).
+    pub artifact: PathBuf,
+    /// QoS floor for the daemon and for `Predict` operations.
+    pub qos: f64,
+    /// Fault probabilities; `plan.seed` is overridden with the scenario
+    /// seed so one number reproduces everything.
+    pub plan: FaultPlan,
+    /// Daemon read deadline. Kept short: every `StalledFrame` fault costs
+    /// one full deadline of wall time.
+    pub read_timeout: Duration,
+}
+
+impl ChaosConfig {
+    /// A scenario over `games` with the default chaos mix.
+    pub fn for_seed(seed: u64, artifact: PathBuf, games: Vec<GameId>) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            ops: 40,
+            n_servers: 6,
+            games,
+            resolutions: vec![Resolution::Hd720, Resolution::Fhd1080],
+            artifact,
+            qos: 60.0,
+            plan: FaultPlan::chaos(seed),
+            read_timeout: Duration::from_millis(400),
+        }
+    }
+}
+
+/// What one scenario observed and whether its oracles held.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The scenario seed.
+    pub seed: u64,
+    /// Full fault-decision log, in order (identical across re-runs of the
+    /// same seed).
+    pub events: Vec<FaultEvent>,
+    /// Placements whose reply reached the client (batch items count
+    /// individually).
+    pub confirmed: u64,
+    /// Placement attempts the policy rejected (reply delivered).
+    pub rejected: u64,
+    /// Operations whose request never reached the daemon's handler
+    /// (dropped, torn, stalled, corrupted or oversized on the way in).
+    pub lost_requests: u64,
+    /// Placement operations the daemon applied and then rolled back
+    /// because the reply could not be delivered.
+    pub lost_replies: u64,
+    /// Successful model reloads.
+    pub reloads_ok: u64,
+    /// Reloads the injector pointed at a nonexistent artifact.
+    pub reloads_failed: u64,
+    /// Operations replayed against the fault-free daemon.
+    pub replayed: u64,
+    /// Hash of every decision (servers, FPS bits, degradation bits) made
+    /// during the faulted run; excludes all wall-clock measurements.
+    pub decision_digest: u64,
+    /// Daemon stats after drain and shutdown.
+    pub final_stats: StatsSnapshot,
+    /// Oracle violations; empty means the scenario passed.
+    pub violations: Vec<String>,
+}
+
+impl ScenarioReport {
+    /// Whether every oracle held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Deterministic digest of everything seed-determined in the report:
+    /// the fault schedule, the outcome counters, every decision bit and the
+    /// deterministic subset of the final stats. Two runs of the same seed
+    /// produce equal digests; wall-clock fields (latencies, uptime) are
+    /// excluded.
+    pub fn digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.seed.hash(&mut h);
+        for e in &self.events {
+            format!("{e:?}").hash(&mut h);
+        }
+        (
+            self.confirmed,
+            self.rejected,
+            self.lost_requests,
+            self.lost_replies,
+            self.reloads_ok,
+            self.reloads_failed,
+            self.replayed,
+            self.decision_digest,
+        )
+            .hash(&mut h);
+        for v in &self.violations {
+            v.hash(&mut h);
+        }
+        let s = &self.final_stats;
+        (
+            s.model_version,
+            s.active_sessions,
+            s.connections_accepted,
+            s.connections_closed,
+            s.overloaded_rejections,
+            s.shutdown_rejections,
+            s.malformed_frames,
+            s.placements_admitted,
+            s.placements_rolled_back,
+        )
+            .hash(&mut h);
+        h.finish()
+    }
+}
+
+impl std::fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "seed {:>4}  {}  confirmed {:>3}  rejected {:>2}  lost req/reply {:>2}/{:>2}  \
+             reloads {}+{}f  replayed {:>3}  digest {:016x}",
+            self.seed,
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.confirmed,
+            self.rejected,
+            self.lost_requests,
+            self.lost_replies,
+            self.reloads_ok,
+            self.reloads_failed,
+            self.replayed,
+            self.digest(),
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  violation: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What a confirmed placement decision looked like on the wire. FPS is kept
+/// as raw bits: the replay oracle demands bit-identity, not closeness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlaceOutcome {
+    Placed {
+        logical: u64,
+        server: usize,
+        fps: u64,
+    },
+    Rejected,
+}
+
+/// One delivered operation, recorded for the fault-free replay.
+#[derive(Debug, Clone)]
+enum TraceOp {
+    Place {
+        game: GameId,
+        resolution: Resolution,
+        outcome: PlaceOutcome,
+    },
+    Batch {
+        reqs: Vec<WirePlacement>,
+        outcomes: Vec<PlaceOutcome>,
+    },
+    Depart {
+        logical: u64,
+        server: usize,
+    },
+    Predict {
+        game: GameId,
+        resolution: Resolution,
+        others: Vec<WirePlacement>,
+        feasible: bool,
+        degradation: u64,
+        fps: u64,
+    },
+}
+
+/// How an injected (or clean) send ended.
+enum Delivery {
+    /// The daemon handled the request and the reply arrived.
+    Reply(Response),
+    /// The daemon never parsed the request — a guaranteed net no-op.
+    RequestLost,
+    /// The daemon handled a placement but the reply died; the daemon must
+    /// have rolled the placement back.
+    ReplyLost,
+}
+
+/// The sequential chaos client: one data connection at a time, request-side
+/// fault injection before every operation, and a stats-based quiesce after
+/// every reconnect so a dead connection's rollback lands before the next
+/// operation reads fleet state.
+struct Runner {
+    addr: SocketAddr,
+    stream: TcpStream,
+    injector: Arc<FaultInjector>,
+    max_frame_len: usize,
+    client_timeout: Duration,
+    connects: u64,
+    corrupt_sent: u64,
+    oversized_sent: u64,
+}
+
+fn connect(addr: SocketAddr, timeout: Duration) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    Ok(stream)
+}
+
+fn encode(request: &Request) -> Vec<u8> {
+    let payload = serde_json::to_string(request)
+        .expect("request serializes")
+        .into_bytes();
+    let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+impl Runner {
+    fn new(
+        addr: SocketAddr,
+        injector: Arc<FaultInjector>,
+        max_frame_len: usize,
+    ) -> Result<Runner, String> {
+        let client_timeout = Duration::from_secs(10);
+        Ok(Runner {
+            addr,
+            stream: connect(addr, client_timeout)?,
+            injector,
+            max_frame_len,
+            client_timeout,
+            connects: 1,
+            corrupt_sent: 0,
+            oversized_sent: 0,
+        })
+    }
+
+    /// One clean request/response round-trip, no injection. Used for stats
+    /// polling and the drain, which must never draw on the fault stream.
+    fn raw_call(&mut self, request: &Request) -> Result<Response, String> {
+        write_frame(&mut self.stream, request).map_err(|e| format!("raw write failed: {e}"))?;
+        read_frame(&mut self.stream).map_err(|e| format!("raw read failed: {e}"))
+    }
+
+    fn raw_stats(&mut self) -> Result<StatsSnapshot, String> {
+        match self.raw_call(&Request::Stats)? {
+            Response::Stats(snapshot) => Ok(snapshot),
+            other => Err(format!("stats answered {other:?}")),
+        }
+    }
+
+    /// Open a fresh data connection and wait until the daemon has finished
+    /// with every previous one. The wait is what makes reply-loss rollbacks
+    /// *happen-before* the next operation — without it, a racing worker
+    /// could still hold a doomed session while the next placement decides,
+    /// and determinism (and the replay oracle) would be lost.
+    fn reconnect(&mut self) -> Result<(), String> {
+        self.stream = connect(self.addr, self.client_timeout)?;
+        self.connects += 1;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let snapshot = self.raw_stats()?;
+            if snapshot.connections_closed + 1 >= self.connects {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(format!(
+                    "quiesce timeout: {} of {} prior connections closed",
+                    snapshot.connections_closed,
+                    self.connects - 1
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Read until the daemon closes the connection (used after stalled and
+    /// oversized frames, where the daemon must cut the link).
+    fn wait_for_close(&mut self) -> Result<(), String> {
+        let mut buf = [0u8; 256];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Ok(()),
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err("daemon did not close a dead connection in time".into());
+                }
+                Err(_) => return Ok(()),
+            }
+        }
+    }
+
+    /// Issue one operation with request-side fault injection.
+    /// `reply_faultable` marks operations whose replies the daemon may
+    /// fault (placements); reply loss on any other operation is an oracle
+    /// violation, not a tolerated fault.
+    fn send_op(&mut self, request: &Request, reply_faultable: bool) -> Result<Delivery, String> {
+        match self.injector.decide(InjectionPoint::Request) {
+            FaultAction::DropConnection => {
+                let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                self.reconnect()?;
+                Ok(Delivery::RequestLost)
+            }
+            FaultAction::TornFrame => {
+                let frame = encode(request);
+                let cut = frame.len() / 2;
+                let _ = self.stream.write_all(&frame[..cut]);
+                let _ = self.stream.flush();
+                let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                self.reconnect()?;
+                Ok(Delivery::RequestLost)
+            }
+            FaultAction::StalledFrame => {
+                // Header plus half the payload, then silence: only the
+                // daemon's read deadline can end this connection.
+                let frame = encode(request);
+                let cut = 4 + (frame.len() - 4) / 2;
+                let _ = self.stream.write_all(&frame[..cut]);
+                let _ = self.stream.flush();
+                self.wait_for_close()?;
+                self.reconnect()?;
+                Ok(Delivery::RequestLost)
+            }
+            FaultAction::OversizedFrame => {
+                // A header declaring one byte more than the daemon's cap;
+                // it must answer a typed error *without allocating* and
+                // close, because resync after a length violation is
+                // impossible.
+                let bogus = ((self.max_frame_len + 1) as u32).to_be_bytes();
+                let _ = self.stream.write_all(&bogus);
+                let _ = self.stream.flush();
+                self.oversized_sent += 1;
+                match read_frame(&mut self.stream) {
+                    Ok(Response::Error { .. }) => {}
+                    other => return Err(format!("oversized frame answered {other:?}, want Error")),
+                }
+                self.wait_for_close()?;
+                self.reconnect()?;
+                Ok(Delivery::RequestLost)
+            }
+            FaultAction::CorruptFrame => {
+                // Correct length, poisoned payload: the stream stays
+                // framed, so the daemon must answer an error and *keep*
+                // the connection.
+                let mut frame = encode(request);
+                frame[4] = 0xFF;
+                self.stream
+                    .write_all(&frame)
+                    .map_err(|e| format!("corrupt-frame write failed: {e}"))?;
+                self.stream.flush().map_err(|e| e.to_string())?;
+                self.corrupt_sent += 1;
+                match read_frame(&mut self.stream) {
+                    Ok(Response::Error { .. }) => Ok(Delivery::RequestLost),
+                    other => Err(format!("corrupt frame answered {other:?}, want Error")),
+                }
+            }
+            _ => {
+                write_frame(&mut self.stream, request)
+                    .map_err(|e| format!("request write failed: {e}"))?;
+                match read_frame(&mut self.stream) {
+                    Ok(response) => Ok(Delivery::Reply(response)),
+                    Err(crate::wire::FrameError::Eof) | Err(crate::wire::FrameError::Io(_)) => {
+                        if !reply_faultable {
+                            return Err(format!("reply lost on a non-placement op ({request:?})"));
+                        }
+                        self.reconnect()?;
+                        Ok(Delivery::ReplyLost)
+                    }
+                    Err(e) => Err(format!("reply decode failed: {e}")),
+                }
+            }
+        }
+    }
+}
+
+/// Everything the faulted run produced, pre-oracle.
+struct FaultedRun {
+    trace: Vec<TraceOp>,
+    confirmed: u64,
+    rejected: u64,
+    lost_requests: u64,
+    lost_replies: u64,
+    reloads_ok: u64,
+    reloads_failed: u64,
+    final_stats: StatsSnapshot,
+    violations: Vec<String>,
+}
+
+fn fps_bits(fps: f64) -> u64 {
+    fps.to_bits()
+}
+
+/// Drive the op mix against the daemon with fault injection, drain, run
+/// the stats oracles, and shut the daemon down.
+fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<FaultedRun, String> {
+    let model = ModelHandle::load(&config.artifact)
+        .map_err(|e| format!("loading {} failed: {e}", config.artifact.display()))?;
+    let daemon_config = DaemonConfig {
+        bind: "127.0.0.1:0".into(),
+        n_servers: config.n_servers,
+        workers: 2,
+        queue_capacity: 64,
+        read_timeout: config.read_timeout,
+        max_frame_len: 1024,
+        qos: config.qos,
+        print_stats_on_shutdown: false,
+        fault: Some(injector.clone()),
+        ..Default::default()
+    };
+    let max_frame_len = daemon_config.max_frame_len;
+    let handle = daemon::start(daemon_config, model).map_err(|e| format!("start failed: {e}"))?;
+    let mut runner = Runner::new(handle.local_addr(), injector, max_frame_len)?;
+
+    let mut op_rng = rng_for(config.seed, &[CHAOS_CTX]);
+    let mut violations: Vec<String> = Vec::new();
+    let mut trace: Vec<TraceOp> = Vec::new();
+    // Confirmed sessions as (runner-assigned logical id, wire session id);
+    // wire ids are not comparable across runs (rolled-back admissions
+    // consume them), logical ids are.
+    let mut live: Vec<(u64, u64)> = Vec::new();
+    let mut next_logical = 0u64;
+    let mut versions_seen: Vec<u64> = Vec::new();
+    let mut observe_version = |v: u64, violations: &mut Vec<String>| {
+        if let Some(&last) = versions_seen.last() {
+            if v < last {
+                violations.push(format!("model version rolled back: {last} -> {v}"));
+            }
+        }
+        versions_seen.push(v);
+    };
+
+    let mut run = FaultedRun {
+        trace: Vec::new(),
+        confirmed: 0,
+        rejected: 0,
+        lost_requests: 0,
+        lost_replies: 0,
+        reloads_ok: 0,
+        reloads_failed: 0,
+        final_stats: StatsSnapshot::default(),
+        violations: Vec::new(),
+    };
+
+    let draw_placement = |rng: &mut rand_chacha::ChaCha8Rng, config: &ChaosConfig| {
+        let game = config.games[rng.gen_range(0..config.games.len())];
+        let resolution = config.resolutions[rng.gen_range(0..config.resolutions.len())];
+        (game, resolution)
+    };
+
+    for _ in 0..config.ops {
+        let roll: f64 = op_rng.gen();
+        if roll < 0.40 {
+            // Place one session.
+            let (game, resolution) = draw_placement(&mut op_rng, config);
+            match runner.send_op(&Request::Place { game, resolution }, true)? {
+                Delivery::Reply(Response::Placed {
+                    session,
+                    server,
+                    predicted_fps,
+                    model_version,
+                }) => {
+                    observe_version(model_version, &mut violations);
+                    let logical = next_logical;
+                    next_logical += 1;
+                    live.push((logical, session));
+                    run.confirmed += 1;
+                    trace.push(TraceOp::Place {
+                        game,
+                        resolution,
+                        outcome: PlaceOutcome::Placed {
+                            logical,
+                            server,
+                            fps: fps_bits(predicted_fps),
+                        },
+                    });
+                }
+                Delivery::Reply(Response::Rejected { .. }) => {
+                    run.rejected += 1;
+                    trace.push(TraceOp::Place {
+                        game,
+                        resolution,
+                        outcome: PlaceOutcome::Rejected,
+                    });
+                }
+                Delivery::Reply(other) => {
+                    violations.push(format!("place answered {other:?}"));
+                }
+                Delivery::RequestLost => run.lost_requests += 1,
+                Delivery::ReplyLost => run.lost_replies += 1,
+            }
+        } else if roll < 0.55 {
+            // Place a small batch.
+            let n = op_rng.gen_range(2..=3usize);
+            let reqs: Vec<WirePlacement> = (0..n)
+                .map(|_| draw_placement(&mut op_rng, config))
+                .collect();
+            let request = Request::PlaceBatch {
+                requests: reqs.clone(),
+            };
+            match runner.send_op(&request, true)? {
+                Delivery::Reply(Response::PlacedBatch {
+                    model_version,
+                    results,
+                }) => {
+                    observe_version(model_version, &mut violations);
+                    let mut outcomes = Vec::with_capacity(results.len());
+                    for result in &results {
+                        match result {
+                            BatchPlaceResult::Placed {
+                                session,
+                                server,
+                                predicted_fps,
+                            } => {
+                                let logical = next_logical;
+                                next_logical += 1;
+                                live.push((logical, *session));
+                                run.confirmed += 1;
+                                outcomes.push(PlaceOutcome::Placed {
+                                    logical,
+                                    server: *server,
+                                    fps: fps_bits(*predicted_fps),
+                                });
+                            }
+                            BatchPlaceResult::Rejected { .. } => {
+                                run.rejected += 1;
+                                outcomes.push(PlaceOutcome::Rejected);
+                            }
+                        }
+                    }
+                    trace.push(TraceOp::Batch { reqs, outcomes });
+                }
+                Delivery::Reply(other) => {
+                    violations.push(format!("place_batch answered {other:?}"));
+                }
+                Delivery::RequestLost => run.lost_requests += 1,
+                Delivery::ReplyLost => run.lost_replies += 1,
+            }
+        } else if roll < 0.72 && !live.is_empty() {
+            // Depart a random live session. The emptiness check is
+            // seed-deterministic (live contents are a function of the fault
+            // schedule), so the draw sequence stays reproducible.
+            let idx = op_rng.gen_range(0..live.len());
+            let (logical, session) = live.swap_remove(idx);
+            match runner.send_op(&Request::Depart { session }, false)? {
+                Delivery::Reply(Response::Departed { server, .. }) => {
+                    trace.push(TraceOp::Depart { logical, server });
+                }
+                Delivery::Reply(other) => {
+                    violations.push(format!("depart of live session answered {other:?}"));
+                }
+                Delivery::RequestLost => {
+                    // Never reached the daemon: the session is still live.
+                    live.push((logical, session));
+                    run.lost_requests += 1;
+                }
+                Delivery::ReplyLost => unreachable!("send_op rejects reply loss on departs"),
+            }
+        } else if roll < 0.88 {
+            // Predict against 0–2 co-runners.
+            let (game, resolution) = draw_placement(&mut op_rng, config);
+            let n_others = op_rng.gen_range(0..=2usize);
+            let others: Vec<WirePlacement> = (0..n_others)
+                .map(|_| draw_placement(&mut op_rng, config))
+                .collect();
+            let request = Request::Predict {
+                game,
+                resolution,
+                others: others.clone(),
+                qos: config.qos,
+            };
+            match runner.send_op(&request, false)? {
+                Delivery::Reply(Response::Prediction {
+                    feasible,
+                    degradation,
+                    fps,
+                    model_version,
+                    ..
+                }) => {
+                    observe_version(model_version, &mut violations);
+                    trace.push(TraceOp::Predict {
+                        game,
+                        resolution,
+                        others,
+                        feasible,
+                        degradation: fps_bits(degradation),
+                        fps: fps_bits(fps),
+                    });
+                }
+                Delivery::Reply(other) => {
+                    violations.push(format!("predict answered {other:?}"));
+                }
+                Delivery::RequestLost => run.lost_requests += 1,
+                Delivery::ReplyLost => unreachable!("send_op rejects reply loss on predicts"),
+            }
+        } else {
+            // Hot reload; the Reload injection point decides up front
+            // whether this one targets a nonexistent artifact.
+            let fail = runner.injector.decide(InjectionPoint::Reload) == FaultAction::FailReload;
+            let path = fail.then(|| "/nonexistent/gaugur-chaos/model.json".to_string());
+            match runner.send_op(&Request::ReloadModel { path }, false)? {
+                Delivery::Reply(Response::Reloaded { version }) => {
+                    if fail {
+                        violations.push(format!(
+                            "reload of a nonexistent artifact answered Reloaded v{version}"
+                        ));
+                    } else {
+                        observe_version(version, &mut violations);
+                        run.reloads_ok += 1;
+                    }
+                }
+                Delivery::Reply(Response::Error { message }) => {
+                    if fail {
+                        run.reloads_failed += 1;
+                    } else {
+                        violations.push(format!("clean reload answered Error: {message}"));
+                    }
+                }
+                Delivery::Reply(other) => {
+                    violations.push(format!("reload answered {other:?}"));
+                }
+                Delivery::RequestLost => run.lost_requests += 1,
+                Delivery::ReplyLost => unreachable!("send_op rejects reply loss on reloads"),
+            }
+        }
+    }
+
+    // Drain every confirmed session (no injection: the drain is
+    // bookkeeping, not part of the scenario).
+    while let Some((logical, session)) = live.pop() {
+        match runner.raw_call(&Request::Depart { session })? {
+            Response::Departed { server, .. } => trace.push(TraceOp::Depart { logical, server }),
+            other => violations.push(format!("drain depart answered {other:?}")),
+        }
+    }
+
+    // Stats oracles against the live daemon, post-drain.
+    let snapshot = runner.raw_stats()?;
+    if snapshot.placements_admitted != run.confirmed + snapshot.placements_rolled_back {
+        violations.push(format!(
+            "placement conservation broken: admitted {} != confirmed {} + rolled back {}",
+            snapshot.placements_admitted, run.confirmed, snapshot.placements_rolled_back
+        ));
+    }
+    if snapshot.active_sessions != 0 {
+        violations.push(format!(
+            "leaked placements: {} sessions active after full drain",
+            snapshot.active_sessions
+        ));
+    }
+    if snapshot.malformed_frames != runner.corrupt_sent + runner.oversized_sent {
+        violations.push(format!(
+            "malformed accounting: daemon counted {}, client sent {} corrupt + {} oversized",
+            snapshot.malformed_frames, runner.corrupt_sent, runner.oversized_sent
+        ));
+    }
+    if snapshot.model_version != 1 + run.reloads_ok {
+        violations.push(format!(
+            "version arithmetic: v{} after {} successful reloads (want v{})",
+            snapshot.model_version,
+            run.reloads_ok,
+            1 + run.reloads_ok
+        ));
+    }
+    let connects = runner.connects;
+    if snapshot.connections_accepted != connects {
+        violations.push(format!(
+            "accept accounting: daemon accepted {}, client connected {} times",
+            snapshot.connections_accepted, connects
+        ));
+    }
+
+    // Graceful shutdown must finish in-flight work and close every
+    // connection — including the runner's, dropped here.
+    drop(runner);
+    let final_stats = handle.shutdown();
+    if final_stats.connections_closed != connects {
+        violations.push(format!(
+            "close accounting after shutdown: closed {}, accepted {}",
+            final_stats.connections_closed, connects
+        ));
+    }
+    if final_stats.active_sessions != 0 {
+        violations.push(format!(
+            "leaked placements after shutdown: {}",
+            final_stats.active_sessions
+        ));
+    }
+
+    run.trace = trace;
+    run.final_stats = final_stats;
+    run.violations = violations;
+    Ok(run)
+}
+
+/// Replay the surviving operations against a fresh fault-free daemon and
+/// demand bit-identical decisions. Lost operations were net no-ops (rolled
+/// back or never parsed), so the fleet trajectories must coincide exactly.
+fn replay(config: &ChaosConfig, trace: &[TraceOp]) -> Result<(u64, Vec<String>), String> {
+    let model = ModelHandle::load(&config.artifact).map_err(|e| format!("replay load: {e}"))?;
+    let daemon_config = DaemonConfig {
+        bind: "127.0.0.1:0".into(),
+        n_servers: config.n_servers,
+        workers: 2,
+        queue_capacity: 64,
+        read_timeout: config.read_timeout,
+        max_frame_len: 1024,
+        qos: config.qos,
+        print_stats_on_shutdown: false,
+        fault: None,
+        ..Default::default()
+    };
+    let handle =
+        daemon::start(daemon_config, model).map_err(|e| format!("replay start failed: {e}"))?;
+    let mut stream = connect(handle.local_addr(), Duration::from_secs(10))?;
+    let mut call = |request: &Request| -> Result<Response, String> {
+        write_frame(&mut stream, request).map_err(|e| format!("replay write: {e}"))?;
+        read_frame(&mut stream).map_err(|e| format!("replay read: {e}"))
+    };
+
+    let mut violations = Vec::new();
+    let mut sessions: HashMap<u64, u64> = HashMap::new();
+    let mut replayed = 0u64;
+    let check_place = |expected: &PlaceOutcome,
+                       got_server: usize,
+                       got_fps: f64,
+                       label: &str,
+                       violations: &mut Vec<String>|
+     -> Option<u64> {
+        match expected {
+            PlaceOutcome::Placed {
+                server,
+                fps,
+                logical,
+            } => {
+                if got_server != *server || fps_bits(got_fps) != *fps {
+                    violations.push(format!(
+                        "{label} diverged: faulted run chose server {server} fps bits {fps:016x}, \
+                         replay chose server {got_server} fps bits {:016x}",
+                        fps_bits(got_fps)
+                    ));
+                }
+                Some(*logical)
+            }
+            PlaceOutcome::Rejected => {
+                violations.push(format!("{label}: faulted run rejected, replay placed"));
+                None
+            }
+        }
+    };
+
+    for op in trace {
+        replayed += 1;
+        match op {
+            TraceOp::Place {
+                game,
+                resolution,
+                outcome,
+            } => match call(&Request::Place {
+                game: *game,
+                resolution: *resolution,
+            })? {
+                Response::Placed {
+                    session,
+                    server,
+                    predicted_fps,
+                    ..
+                } => {
+                    if let Some(logical) =
+                        check_place(outcome, server, predicted_fps, "place", &mut violations)
+                    {
+                        sessions.insert(logical, session);
+                    }
+                }
+                Response::Rejected { .. } => {
+                    if *outcome != PlaceOutcome::Rejected {
+                        violations.push("place: faulted run placed, replay rejected".into());
+                    }
+                }
+                other => return Err(format!("replay place answered {other:?}")),
+            },
+            TraceOp::Batch { reqs, outcomes } => match call(&Request::PlaceBatch {
+                requests: reqs.clone(),
+            })? {
+                Response::PlacedBatch { results, .. } => {
+                    if results.len() != outcomes.len() {
+                        violations.push(format!(
+                            "batch cardinality diverged: {} vs {}",
+                            outcomes.len(),
+                            results.len()
+                        ));
+                        continue;
+                    }
+                    for (expected, result) in outcomes.iter().zip(&results) {
+                        match result {
+                            BatchPlaceResult::Placed {
+                                session,
+                                server,
+                                predicted_fps,
+                            } => {
+                                if let Some(logical) = check_place(
+                                    expected,
+                                    *server,
+                                    *predicted_fps,
+                                    "batch item",
+                                    &mut violations,
+                                ) {
+                                    sessions.insert(logical, *session);
+                                }
+                            }
+                            BatchPlaceResult::Rejected { .. } => {
+                                if *expected != PlaceOutcome::Rejected {
+                                    violations.push(
+                                        "batch item: faulted run placed, replay rejected".into(),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                other => return Err(format!("replay batch answered {other:?}")),
+            },
+            TraceOp::Depart { logical, server } => {
+                let Some(session) = sessions.remove(logical) else {
+                    violations.push(format!("depart of unmapped logical session {logical}"));
+                    continue;
+                };
+                match call(&Request::Depart { session })? {
+                    Response::Departed {
+                        server: got_server, ..
+                    } => {
+                        if got_server != *server {
+                            violations.push(format!(
+                                "depart diverged: freed server {got_server}, faulted run freed {server}"
+                            ));
+                        }
+                    }
+                    other => return Err(format!("replay depart answered {other:?}")),
+                }
+            }
+            TraceOp::Predict {
+                game,
+                resolution,
+                others,
+                feasible,
+                degradation,
+                fps,
+            } => match call(&Request::Predict {
+                game: *game,
+                resolution: *resolution,
+                others: others.clone(),
+                qos: config.qos,
+            })? {
+                Response::Prediction {
+                    feasible: got_feasible,
+                    degradation: got_degradation,
+                    fps: got_fps,
+                    ..
+                } => {
+                    if got_feasible != *feasible
+                        || fps_bits(got_degradation) != *degradation
+                        || fps_bits(got_fps) != *fps
+                    {
+                        violations.push(format!(
+                            "predict diverged for game {} at {resolution:?} vs {others:?}",
+                            game.0
+                        ));
+                    }
+                }
+                other => return Err(format!("replay predict answered {other:?}")),
+            },
+        }
+    }
+
+    // The trace ends fully drained, so the replay fleet must be empty too.
+    match call(&Request::Stats)? {
+        Response::Stats(snapshot) => {
+            if snapshot.active_sessions != 0 {
+                violations.push(format!(
+                    "replay leaked {} sessions after the drained trace",
+                    snapshot.active_sessions
+                ));
+            }
+        }
+        other => return Err(format!("replay stats answered {other:?}")),
+    }
+    drop(stream);
+    handle.shutdown();
+    Ok((replayed, violations))
+}
+
+/// Run one seeded scenario end to end: faulted run, stats oracles, then the
+/// byte-identical replay. Never panics on oracle violations — they come
+/// back in the report.
+pub fn run_scenario(config: &ChaosConfig) -> ScenarioReport {
+    let mut plan = config.plan;
+    plan.seed = config.seed;
+    let injector = Arc::new(FaultInjector::new(plan));
+
+    let mut report = ScenarioReport {
+        seed: config.seed,
+        events: Vec::new(),
+        confirmed: 0,
+        rejected: 0,
+        lost_requests: 0,
+        lost_replies: 0,
+        reloads_ok: 0,
+        reloads_failed: 0,
+        replayed: 0,
+        decision_digest: 0,
+        final_stats: StatsSnapshot::default(),
+        violations: Vec::new(),
+    };
+
+    match faulted_run(config, injector.clone()) {
+        Ok(run) => {
+            report.confirmed = run.confirmed;
+            report.rejected = run.rejected;
+            report.lost_requests = run.lost_requests;
+            report.lost_replies = run.lost_replies;
+            report.reloads_ok = run.reloads_ok;
+            report.reloads_failed = run.reloads_failed;
+            report.final_stats = run.final_stats;
+            report.violations = run.violations;
+            let mut h = DefaultHasher::new();
+            for op in &run.trace {
+                format!("{op:?}").hash(&mut h);
+            }
+            report.decision_digest = h.finish();
+            match replay(config, &run.trace) {
+                Ok((replayed, mut replay_violations)) => {
+                    report.replayed = replayed;
+                    report.violations.append(&mut replay_violations);
+                }
+                Err(e) => report.violations.push(format!("replay harness error: {e}")),
+            }
+        }
+        Err(e) => report.violations.push(format!("harness error: {e}")),
+    }
+    report.events = injector.events();
+    report
+}
+
+/// Run `scenarios` consecutive seeds starting at `base.seed`, returning one
+/// report per seed.
+pub fn run_suite(base: &ChaosConfig, scenarios: u64) -> Vec<ScenarioReport> {
+    (0..scenarios)
+        .map(|i| {
+            let mut config = base.clone();
+            config.seed = base.seed + i;
+            run_scenario(&config)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugur_core::{ColocationPlan, GAugur, GAugurConfig};
+    use gaugur_gamesim::{GameCatalog, Server};
+    use std::sync::OnceLock;
+
+    fn artifact() -> PathBuf {
+        static PATH: OnceLock<PathBuf> = OnceLock::new();
+        PATH.get_or_init(|| {
+            let server = Server::reference(7);
+            let catalog = GameCatalog::generate(42, 6);
+            let config = GAugurConfig {
+                plan: ColocationPlan {
+                    pairs: 24,
+                    triples: 6,
+                    quads: 3,
+                    seed: 3,
+                },
+                ..Default::default()
+            };
+            let model = GAugur::build(&server, &catalog, config);
+            let dir =
+                std::env::temp_dir().join(format!("gaugur-chaos-unit-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("model.json");
+            model.save_json(&path).unwrap();
+            path
+        })
+        .clone()
+    }
+
+    fn small_config(seed: u64) -> ChaosConfig {
+        let mut config = ChaosConfig::for_seed(seed, artifact(), (0..6).map(GameId).collect());
+        config.ops = 15;
+        config
+    }
+
+    #[test]
+    fn a_quiet_scenario_passes_every_oracle() {
+        let mut config = small_config(11);
+        config.plan = FaultPlan::quiet(11);
+        let report = run_scenario(&config);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.lost_requests + report.lost_replies, 0);
+        assert!(report.confirmed > 0, "quiet run placed nothing");
+        assert!(report.replayed > 0, "nothing survived to replay");
+    }
+
+    #[test]
+    fn the_same_seed_reproduces_events_and_digest() {
+        let config = small_config(5);
+        let a = run_scenario(&config);
+        let b = run_scenario(&config);
+        assert!(a.passed(), "violations: {:?}", a.violations);
+        assert_eq!(a.events, b.events, "fault schedule must be seed-pure");
+        assert_eq!(a.digest(), b.digest(), "report digest must be seed-pure");
+    }
+
+    #[test]
+    fn the_op_stream_is_independent_of_the_fault_stream() {
+        // The op mix draws from CHAOS_CTX, faults from FAULT_CTX: the same
+        // seed must produce different streams, or fault decisions would
+        // warp which operations run.
+        let mut ops = rng_for(9, &[CHAOS_CTX]);
+        let mut faults = rng_for(9, &[crate::fault::FAULT_CTX]);
+        let same = (0..64).all(|_| ops.gen::<u64>() == faults.gen::<u64>());
+        assert!(!same);
+    }
+}

@@ -17,6 +17,12 @@ use std::time::Duration;
 pub enum ClientError {
     /// Transport failure.
     Io(io::Error),
+    /// The daemon closed the connection cleanly before answering (EOF at a
+    /// frame boundary). The request may or may not have been applied.
+    Disconnected,
+    /// The connection died mid-reply frame (partial read on a half-closed
+    /// socket). The daemon handled the request but the answer is lost.
+    TornReply(String),
     /// The daemon replied, but with something this call cannot accept.
     Protocol(String),
     /// The daemon's queue was full; retry after the given backoff.
@@ -39,6 +45,10 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Disconnected => {
+                write!(f, "connection closed before the reply (outcome unknown)")
+            }
+            ClientError::TornReply(m) => write!(f, "connection died mid-reply: {m}"),
             ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
             ClientError::Overloaded { retry_after_ms } => {
                 write!(f, "daemon overloaded, retry after {retry_after_ms} ms")
@@ -47,6 +57,20 @@ impl std::fmt::Display for ClientError {
             ClientError::Daemon(m) => write!(f, "daemon error: {m}"),
             ClientError::ShuttingDown => write!(f, "daemon shutting down"),
         }
+    }
+}
+
+impl ClientError {
+    /// Whether the request's outcome is unknown: the transport failed
+    /// before a reply was read, so the daemon may or may not have applied
+    /// it. Blindly retrying a non-idempotent request (a `Place`) after one
+    /// of these can double-apply it — the load driver reconnects and counts
+    /// an error instead of retrying.
+    pub fn is_ambiguous(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Io(_) | ClientError::Disconnected | ClientError::TornReply(_)
+        )
     }
 }
 
@@ -61,11 +85,16 @@ impl From<io::Error> for ClientError {
 impl From<FrameError> for ClientError {
     fn from(e: FrameError) -> Self {
         match e {
+            // Clean EOF at a frame boundary vs a half-closed socket killing
+            // a reply mid-frame are distinct conditions — callers that
+            // retry must know the difference from a plain transport error
+            // (both are ambiguous; a timeout, say, is too, but reads
+            // differently in logs and reports).
+            FrameError::Eof => ClientError::Disconnected,
+            FrameError::Io(io) if io.kind() == io::ErrorKind::UnexpectedEof => {
+                ClientError::TornReply(io.to_string())
+            }
             FrameError::Io(io) => ClientError::Io(io),
-            FrameError::Eof => ClientError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed mid-reply",
-            )),
             other => ClientError::Protocol(other.to_string()),
         }
     }
@@ -239,5 +268,68 @@ impl Client {
             Response::ShuttingDown => Ok(()),
             other => Err(Self::unexpected(other)),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::TcpListener;
+
+    #[test]
+    fn clean_close_before_the_reply_maps_to_disconnected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _: Request = read_frame(&mut stream).unwrap();
+            // Close without answering: the client sees a frame-boundary EOF.
+        });
+        let mut client = Client::connect(addr).unwrap();
+        client.set_timeout(Some(Duration::from_secs(5))).unwrap();
+        match client.call(&Request::Stats) {
+            Err(ClientError::Disconnected) => {}
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn half_closed_socket_mid_reply_maps_to_torn_reply() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _: Request = read_frame(&mut stream).unwrap();
+            // A header promising 64 bytes, then only 3 — a torn write.
+            stream.write_all(&64u32.to_be_bytes()).unwrap();
+            stream.write_all(b"xyz").unwrap();
+            stream.flush().unwrap();
+        });
+        let mut client = Client::connect(addr).unwrap();
+        client.set_timeout(Some(Duration::from_secs(5))).unwrap();
+        match client.call(&Request::Stats) {
+            Err(ClientError::TornReply(_)) => {}
+            other => panic!("expected TornReply, got {other:?}"),
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn ambiguity_classification_guards_the_retry_loop() {
+        assert!(ClientError::Disconnected.is_ambiguous());
+        assert!(ClientError::TornReply("mid-frame".into()).is_ambiguous());
+        assert!(ClientError::Io(io::Error::other("down")).is_ambiguous());
+        // Typed daemon replies are definitive: the request was *not*
+        // applied (or was answered), so retrying them is safe or moot.
+        assert!(!ClientError::Overloaded { retry_after_ms: 5 }.is_ambiguous());
+        assert!(!ClientError::Rejected {
+            reason: String::new()
+        }
+        .is_ambiguous());
+        assert!(!ClientError::ShuttingDown.is_ambiguous());
+        assert!(!ClientError::Daemon(String::new()).is_ambiguous());
+        assert!(!ClientError::Protocol(String::new()).is_ambiguous());
     }
 }

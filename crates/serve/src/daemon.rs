@@ -16,12 +16,13 @@
 //!   threads and returns the final stats snapshot.
 
 use crate::cluster::ClusterState;
+use crate::fault::{FaultAction, FaultInjector, InjectionPoint};
 use crate::model::{LoadedModel, MemoizedFps, ModelHandle, PredictionMemo};
-use crate::queue::WorkQueue;
+use crate::queue::{PushError, WorkQueue};
 use crate::stats::{AtomicStats, StatsSnapshot};
 use crate::wire::{
-    self, read_frame_bytes, request_kind, write_frame, BatchPlaceResult, FrameError, Request,
-    Response,
+    self, read_frame_bytes_capped, request_kind, write_frame, BatchPlaceResult, FrameError,
+    Request, Response,
 };
 use gaugur_core::Placement;
 use gaugur_sched::{select_server_incremental_with, PlacementScratch, ScoreCache};
@@ -46,8 +47,16 @@ pub struct DaemonConfig {
     pub workers: usize,
     /// Bound of the pending-connection queue.
     pub queue_capacity: usize,
-    /// Per-connection read timeout; an idle connection is closed after it.
+    /// Per-connection read timeout; an idle or stalled connection is closed
+    /// after it (a half-written frame counts as stalled).
     pub read_timeout: Duration,
+    /// Per-connection write timeout; a reply stalled on a non-reading
+    /// client fails after it, and the placements it carried are rolled back.
+    pub write_timeout: Duration,
+    /// Largest accepted request payload (bytes), at most
+    /// [`wire::MAX_FRAME_LEN`]; a frame declaring more gets an `Error`
+    /// reply — before any allocation — and the connection is closed.
+    pub max_frame_len: usize,
     /// Backoff hint sent with `Overloaded` replies.
     pub retry_after: Duration,
     /// QoS floor used to memo-key placement-path predictions.
@@ -56,6 +65,11 @@ pub struct DaemonConfig {
     pub memo_capacity: usize,
     /// Print the stats snapshot to stdout on shutdown.
     pub print_stats_on_shutdown: bool,
+    /// Deterministic fault injector for chaos testing; `None` (production)
+    /// makes every injection point a no-op. Only `Place`/`PlaceBatch`
+    /// replies consult it, so control-plane traffic never draws from the
+    /// injector's seeded stream.
+    pub fault: Option<Arc<FaultInjector>>,
 }
 
 impl Default for DaemonConfig {
@@ -66,10 +80,13 @@ impl Default for DaemonConfig {
             workers: 4,
             queue_capacity: 64,
             read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+            max_frame_len: wire::MAX_FRAME_LEN,
             retry_after: Duration::from_millis(50),
             qos: 60.0,
             memo_capacity: 1 << 16,
             print_stats_on_shutdown: true,
+            fault: None,
         }
     }
 }
@@ -225,16 +242,29 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
                 shared.stats.note_connection();
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-                if let Err(mut rejected) = shared.queue.push(stream) {
-                    shared.stats.note_overloaded();
-                    let retry = shared.config.retry_after.as_millis() as u64;
-                    let _ = write_frame(
-                        &mut rejected,
-                        &Response::Overloaded {
-                            retry_after_ms: retry,
-                        },
-                    );
-                    // Dropped: the client was told when to come back.
+                let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+                match shared.queue.push(stream) {
+                    Ok(()) => {}
+                    Err(PushError::Full(mut rejected)) => {
+                        // Transient: shed with a retry hint.
+                        shared.stats.note_overloaded();
+                        let retry = shared.config.retry_after.as_millis() as u64;
+                        let _ = write_frame(
+                            &mut rejected,
+                            &Response::Overloaded {
+                                retry_after_ms: retry,
+                            },
+                        );
+                        shared.stats.note_connection_closed();
+                        // Dropped: the client was told when to come back.
+                    }
+                    Err(PushError::Closed(mut rejected)) => {
+                        // Terminal: the daemon is draining; a retry can
+                        // never succeed, so say so instead of `Overloaded`.
+                        shared.stats.note_shutdown_rejected();
+                        let _ = write_frame(&mut rejected, &Response::ShuttingDown);
+                        shared.stats.note_connection_closed();
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -250,11 +280,89 @@ fn worker_loop(shared: &Shared) {
     // before shutdown still get served.
     while let Some(stream) = shared.queue.pop() {
         serve_connection(shared, stream);
+        shared.stats.note_connection_closed();
     }
+}
+
+/// A pending admission made while handling the current request. If the
+/// reply cannot be delivered, these are rolled back — a client that died
+/// mid-request must not leak sessions into the fleet, and the score cache
+/// must forget the admissions it pre-stored under the admit contract.
+struct Admitted {
+    session: u64,
+    server: usize,
+    version: u64,
+    before_sum: f64,
+    after_sum: f64,
+}
+
+/// Depart every admission whose reply never reached the client, newest
+/// first, restoring the score cache to its bit-exact pre-admit state. Lost
+/// placements thus become net no-ops: occupancy, cached sums and therefore
+/// every later placement decision are identical to a run in which the lost
+/// request never happened (the chaos harness's replay oracle relies on
+/// exactly this).
+fn rollback_admissions(shared: &Shared, admitted: &[Admitted]) {
+    if admitted.is_empty() {
+        return;
+    }
+    let mut fleet = shared.fleet.lock();
+    let Fleet { cluster, scores } = &mut *fleet;
+    for a in admitted.iter().rev() {
+        if cluster.depart(a.session).is_some() {
+            scores.rollback(a.server, a.version, a.after_sum, a.before_sum);
+            shared.stats.note_rolled_back();
+        }
+    }
+}
+
+/// Write one reply frame, applying reply-side fault injection when the
+/// request is a placement (`faultable`). Restricting injection to placement
+/// replies keeps control-plane round-trips (stats polling in particular)
+/// from drawing on the injector's stream, which the chaos harness's
+/// determinism depends on.
+fn write_reply(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    response: &Response,
+    faultable: bool,
+) -> io::Result<()> {
+    if faultable {
+        if let Some(injector) = &shared.config.fault {
+            match injector.decide(InjectionPoint::Reply) {
+                FaultAction::DropConnection => {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "injected reply drop",
+                    ));
+                }
+                FaultAction::TornFrame => {
+                    let payload = serde_json::to_string(response)
+                        .map_err(io::Error::other)?
+                        .into_bytes();
+                    let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+                    frame.extend_from_slice(&payload);
+                    let cut = frame.len() / 2;
+                    let _ = stream.write_all(&frame[..cut]);
+                    let _ = stream.flush();
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "injected torn reply",
+                    ));
+                }
+                FaultAction::Stall(ms) => std::thread::sleep(Duration::from_millis(ms)),
+                _ => {}
+            }
+        }
+    }
+    write_frame(stream, response)
 }
 
 fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     let draining_timeout = Duration::from_millis(100);
+    let mut admitted: Vec<Admitted> = Vec::new();
     loop {
         let draining = shared.shutdown.load(Ordering::SeqCst);
         if draining {
@@ -262,10 +370,10 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
             // wait long for new ones.
             let _ = stream.set_read_timeout(Some(draining_timeout));
         }
-        let payload = match read_frame_bytes(&mut stream) {
+        let payload = match read_frame_bytes_capped(&mut stream, shared.config.max_frame_len) {
             Ok(p) => p,
             Err(FrameError::Eof) | Err(FrameError::Io(_)) => return,
-            Err(e @ FrameError::TooLarge(_)) => {
+            Err(e @ FrameError::TooLarge { .. }) => {
                 // Cannot resync after a length violation: error then close.
                 shared.stats.note_malformed();
                 let _ = write_frame(
@@ -296,11 +404,15 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
 
         let kind = request_kind(&request);
         let started = Instant::now();
-        let (response, ok) = handle_request(shared, &request);
+        admitted.clear();
+        let (response, ok) = handle_request(shared, &request, &mut admitted);
         let latency_us = started.elapsed().as_micros() as u64;
         shared.stats.record(kind, ok, latency_us);
 
-        if write_frame(&mut stream, &response).is_err() {
+        let faultable = matches!(request, Request::Place { .. } | Request::PlaceBatch { .. });
+        if write_reply(shared, &mut stream, &response, faultable).is_err() {
+            // The client never learned its sessions exist; un-admit them.
+            rollback_admissions(shared, &admitted);
             return;
         }
         if matches!(request, Request::Shutdown) {
@@ -329,6 +441,7 @@ fn admit_one(
     fleet: &mut Fleet,
     scratch: &mut PlacementScratch,
     placement: Placement,
+    admitted: &mut Vec<Admitted>,
 ) -> Option<(u64, usize, f64)> {
     let fps_model = MemoizedFps {
         model,
@@ -354,10 +467,22 @@ fn admit_one(
         &mut scratch.predict,
     );
     let session = cluster.admit(sel.server, placement);
+    shared.stats.note_admitted();
+    admitted.push(Admitted {
+        session,
+        server: sel.server,
+        version: model.version,
+        before_sum: sel.before_sum,
+        after_sum: sel.server_sum,
+    });
     Some((session, sel.server, prediction.fps))
 }
 
-fn handle_request(shared: &Shared, request: &Request) -> (Response, bool) {
+fn handle_request(
+    shared: &Shared,
+    request: &Request,
+    admitted: &mut Vec<Admitted>,
+) -> (Response, bool) {
     match request {
         Request::Place { game, resolution } => {
             let model = shared.model.get();
@@ -379,6 +504,7 @@ fn handle_request(shared: &Shared, request: &Request) -> (Response, bool) {
                     &mut fleet,
                     &mut s.borrow_mut(),
                     (*game, *resolution),
+                    admitted,
                 )
             }) {
                 Some((session, server, predicted_fps)) => (
@@ -414,7 +540,14 @@ fn handle_request(shared: &Shared, request: &Request) -> (Response, bool) {
                                 reason: format!("unknown game {}", game.0),
                             };
                         }
-                        match admit_one(shared, &model, &mut fleet, scratch, (game, resolution)) {
+                        match admit_one(
+                            shared,
+                            &model,
+                            &mut fleet,
+                            scratch,
+                            (game, resolution),
+                            admitted,
+                        ) {
                             Some((session, server, predicted_fps)) => BatchPlaceResult::Placed {
                                 session,
                                 server,

@@ -1,0 +1,314 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! A [`FaultPlan`] gives per-injection-point probabilities; a
+//! [`FaultInjector`] turns the plan into a *deterministic* schedule by
+//! drawing every decision from one seeded ChaCha8 stream and logging it.
+//! The same injector is shared between the chaos client (request-side
+//! faults, reload failures) and the daemon (reply-side faults), and because
+//! the chaos client is strictly sequential, the interleaving of decisions —
+//! and therefore the entire fault schedule — is a pure function of the seed.
+//! Re-running a seed replays the identical [`FaultEvent`] sequence, which is
+//! what makes a failing chaos scenario reproducible from its seed alone.
+//!
+//! Determinism rule: only `Place`/`PlaceBatch` replies consult the injector
+//! on the daemon side. Control-plane traffic (`Stats` polling, the drain
+//! departs) never draws from the stream, so bookkeeping round-trips cannot
+//! shift the schedule.
+
+use gaugur_gamesim::rng::rng_for;
+use parking_lot::Mutex;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// RNG context tag for fault streams (distinct from the load driver's and
+/// the chaos op stream's contexts).
+pub const FAULT_CTX: u64 = 0x4641_554C; // "FAUL"
+
+/// Where in the request lifecycle a fault decision is being made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectionPoint {
+    /// The chaos client is about to send a data-plane request frame.
+    Request,
+    /// The daemon is about to write a `Place`/`PlaceBatch` reply frame.
+    Reply,
+    /// The chaos client is about to issue a model reload.
+    Reload,
+}
+
+/// What the injector decided to do at a point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Proceed normally.
+    None,
+    /// Close the connection without sending (request) or before the reply
+    /// reaches the client (reply).
+    DropConnection,
+    /// Write roughly half the frame, then close — a torn write the peer
+    /// sees as a mid-frame EOF.
+    TornFrame,
+    /// Request only: deliver the frame with its payload poisoned so it can
+    /// never decode (the stream stays framed, so the daemon must answer an
+    /// error and keep the connection).
+    CorruptFrame,
+    /// Request only: write a partial frame and then go silent, holding the
+    /// socket open — the daemon's read deadline must cut the connection.
+    StalledFrame,
+    /// Request only: declare a frame length above the daemon's cap.
+    OversizedFrame,
+    /// Sleep this many milliseconds, then proceed normally.
+    Stall(u64),
+    /// Reload only: point the reload at a nonexistent artifact so it fails.
+    FailReload,
+}
+
+/// Per-point fault probabilities. Each decision draws one uniform sample
+/// and walks the point's actions cumulatively, so a plan is valid as long
+/// as the probabilities at each point sum to at most 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the decision stream.
+    pub seed: u64,
+    /// P(drop the connection instead of sending a request).
+    pub drop_request: f64,
+    /// P(tear a request frame mid-write).
+    pub torn_request: f64,
+    /// P(deliver a corrupt, undecodable request payload).
+    pub corrupt_request: f64,
+    /// P(stall mid-frame until the daemon's read deadline fires).
+    pub stalled_request: f64,
+    /// P(declare a request length above the daemon's frame cap).
+    pub oversized_request: f64,
+    /// P(daemon drops the connection instead of writing a placement reply).
+    pub drop_reply: f64,
+    /// P(daemon tears a placement reply mid-write).
+    pub torn_reply: f64,
+    /// P(daemon stalls [`FaultPlan::stall_ms`] before a placement reply).
+    pub stall_reply: f64,
+    /// P(a reload targets a nonexistent artifact and fails).
+    pub fail_reload: f64,
+    /// Stall duration for `Stall` actions, in milliseconds.
+    pub stall_ms: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (every decision is `None`); useful as a
+    /// baseline and for fault-free replays.
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_request: 0.0,
+            torn_request: 0.0,
+            corrupt_request: 0.0,
+            stalled_request: 0.0,
+            oversized_request: 0.0,
+            drop_reply: 0.0,
+            torn_reply: 0.0,
+            stall_reply: 0.0,
+            fail_reload: 0.0,
+            stall_ms: 0,
+        }
+    }
+
+    /// The default chaos mix: every fault kind is probable enough to appear
+    /// across a small suite of seeds, while most operations still succeed
+    /// (so the scenarios exercise recovery, not just rejection). Stalled
+    /// requests are kept rare because each one costs a full daemon read
+    /// deadline of wall time.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_request: 0.06,
+            torn_request: 0.06,
+            corrupt_request: 0.06,
+            stalled_request: 0.02,
+            oversized_request: 0.04,
+            drop_reply: 0.08,
+            torn_reply: 0.06,
+            stall_reply: 0.05,
+            fail_reload: 0.35,
+            stall_ms: 15,
+        }
+    }
+}
+
+/// One logged decision: the `seq`-th draw of the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Position in the global decision sequence (0-based).
+    pub seq: u64,
+    /// Where the decision was made.
+    pub point: InjectionPoint,
+    /// What was decided.
+    pub action: FaultAction,
+}
+
+/// A seeded fault-decision stream with a full event log.
+///
+/// Shared (via `Arc`) between the chaos client and the daemon config; every
+/// [`decide`](FaultInjector::decide) call draws exactly one sample from the
+/// stream and appends one event, whatever the outcome — so the draw count,
+/// and with it the whole schedule, depends only on the sequence of decision
+/// points, never on which faults happened to fire.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: Mutex<(ChaCha8Rng, Vec<FaultEvent>)>,
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .field("decisions", &self.state.lock().1.len())
+            .finish()
+    }
+}
+
+fn pick(draw: f64, table: &[(f64, FaultAction)]) -> FaultAction {
+    let mut acc = 0.0;
+    for &(p, action) in table {
+        acc += p;
+        if draw < acc {
+            return action;
+        }
+    }
+    FaultAction::None
+}
+
+impl FaultInjector {
+    /// A fresh injector for `plan`, seeded from `plan.seed`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            state: Mutex::new((rng_for(plan.seed, &[FAULT_CTX]), Vec::new())),
+        }
+    }
+
+    /// The plan this injector runs.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide what happens at `point`, logging the decision. Exactly one
+    /// RNG draw per call, fault or not.
+    pub fn decide(&self, point: InjectionPoint) -> FaultAction {
+        let mut state = self.state.lock();
+        let (rng, events) = &mut *state;
+        let draw: f64 = rng.gen();
+        let p = &self.plan;
+        let action = match point {
+            InjectionPoint::Request => pick(
+                draw,
+                &[
+                    (p.drop_request, FaultAction::DropConnection),
+                    (p.torn_request, FaultAction::TornFrame),
+                    (p.corrupt_request, FaultAction::CorruptFrame),
+                    (p.stalled_request, FaultAction::StalledFrame),
+                    (p.oversized_request, FaultAction::OversizedFrame),
+                ],
+            ),
+            InjectionPoint::Reply => pick(
+                draw,
+                &[
+                    (p.drop_reply, FaultAction::DropConnection),
+                    (p.torn_reply, FaultAction::TornFrame),
+                    (p.stall_reply, FaultAction::Stall(p.stall_ms)),
+                ],
+            ),
+            InjectionPoint::Reload => pick(draw, &[(p.fail_reload, FaultAction::FailReload)]),
+        };
+        events.push(FaultEvent {
+            seq: events.len() as u64,
+            point,
+            action,
+        });
+        action
+    }
+
+    /// The full decision log so far, in order.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.state.lock().1.clone()
+    }
+
+    /// Number of decisions made so far.
+    pub fn decisions(&self) -> u64 {
+        self.state.lock().1.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_replays_the_identical_schedule() {
+        let points = [
+            InjectionPoint::Request,
+            InjectionPoint::Reply,
+            InjectionPoint::Request,
+            InjectionPoint::Reload,
+            InjectionPoint::Reply,
+        ];
+        let run = |seed: u64| {
+            let injector = FaultInjector::new(FaultPlan::chaos(seed));
+            for _ in 0..40 {
+                for p in points {
+                    injector.decide(p);
+                }
+            }
+            injector.events()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds must schedule differently");
+    }
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let injector = FaultInjector::new(FaultPlan::quiet(3));
+        for _ in 0..100 {
+            assert_eq!(injector.decide(InjectionPoint::Request), FaultAction::None);
+            assert_eq!(injector.decide(InjectionPoint::Reply), FaultAction::None);
+            assert_eq!(injector.decide(InjectionPoint::Reload), FaultAction::None);
+        }
+        assert!(injector
+            .events()
+            .iter()
+            .all(|e| e.action == FaultAction::None));
+    }
+
+    #[test]
+    fn chaos_plan_covers_every_action_kind() {
+        let injector = FaultInjector::new(FaultPlan::chaos(1));
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..2000 {
+            seen.insert(format!("{:?}", injector.decide(InjectionPoint::Request)));
+            seen.insert(format!("{:?}", injector.decide(InjectionPoint::Reply)));
+            seen.insert(format!("{:?}", injector.decide(InjectionPoint::Reload)));
+        }
+        for action in [
+            "DropConnection",
+            "TornFrame",
+            "CorruptFrame",
+            "StalledFrame",
+            "OversizedFrame",
+            "Stall(15)",
+            "FailReload",
+            "None",
+        ] {
+            assert!(seen.contains(action), "never drew {action}");
+        }
+    }
+
+    #[test]
+    fn every_decision_is_logged_with_its_sequence_number() {
+        let injector = FaultInjector::new(FaultPlan::chaos(5));
+        injector.decide(InjectionPoint::Request);
+        injector.decide(InjectionPoint::Reply);
+        let events = injector.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[0].point, InjectionPoint::Request);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].point, InjectionPoint::Reply);
+        assert_eq!(injector.decisions(), 2);
+    }
+}

@@ -25,6 +25,8 @@
 //! * [`stats`] — atomic counters and latency histograms.
 //! * [`client`] — typed blocking client over one connection.
 //! * [`load`] — deterministic Poisson load driver.
+//! * [`fault`] — seeded fault plans and the deterministic injector.
+//! * [`chaos`] — seeded fault scenarios with invariant oracles and replay.
 //!
 //! ## Quick example
 //!
@@ -57,18 +59,22 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod client;
 pub mod cluster;
 pub mod daemon;
+pub mod fault;
 pub mod load;
 pub mod model;
 pub mod queue;
 pub mod stats;
 pub mod wire;
 
+pub use chaos::{ChaosConfig, ScenarioReport};
 pub use client::{Client, ClientError, Placed, Predicted};
 pub use cluster::ClusterState;
 pub use daemon::{start, DaemonConfig, DaemonHandle};
+pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultPlan, InjectionPoint};
 pub use load::{LoadConfig, LoadReport};
 pub use model::{LoadedModel, MemoizedFps, ModelHandle, PredictionMemo};
 pub use stats::{RequestStats, StatsSnapshot};

@@ -143,6 +143,19 @@ fn exponential(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
     -(1.0 - u).ln() * mean
 }
 
+/// Count an error and, when its outcome is ambiguous (the transport died
+/// before a reply — see [`ClientError::is_ambiguous`]), reconnect so the
+/// thread keeps going on a fresh stream. Ambiguous failures are *never*
+/// retried: a `Place` the daemon may already have applied would double-place
+/// on retry. The arrival is simply charged as an error and the run moves on.
+fn note_error(client: &mut Client, addr: &str, error: &ClientError) {
+    if error.is_ambiguous() {
+        if let Ok(fresh) = Client::connect(addr) {
+            *client = fresh;
+        }
+    }
+}
+
 /// Issue `op`, retrying (bounded) on `Overloaded` pushback. The daemon
 /// answers `Overloaded` at accept time, so the connection was never admitted
 /// and each retry reconnects. Sleeps honor the daemon's hint plus jitter
@@ -239,7 +252,10 @@ fn run_thread(config: &LoadConfig, thread: usize, n_arrivals: u64) -> ThreadOutc
             departures.pop();
             match client.depart(session) {
                 Ok(_) => out.departed += 1,
-                Err(_) => out.errors += 1,
+                Err(e) => {
+                    out.errors += 1;
+                    note_error(&mut client, &config.addr, &e);
+                }
             }
         }
 
@@ -267,7 +283,10 @@ fn run_thread(config: &LoadConfig, thread: usize, n_arrivals: u64) -> ThreadOutc
                     out.latencies_us.push(t0.elapsed().as_micros() as u64);
                     out.rejected += 1;
                 }
-                Err(_) => out.errors += 1,
+                Err(e) => {
+                    out.errors += 1;
+                    note_error(&mut client, &config.addr, &e);
+                }
             }
         } else {
             let wire: Vec<WirePlacement> = arrivals.iter().map(|&(g, r, _)| (g, r)).collect();
@@ -303,7 +322,10 @@ fn run_thread(config: &LoadConfig, thread: usize, n_arrivals: u64) -> ThreadOutc
                     }
                     out.errors += (wire.len().saturating_sub(results.len())) as u64;
                 }
-                Err(_) => out.errors += group,
+                Err(e) => {
+                    out.errors += group;
+                    note_error(&mut client, &config.addr, &e);
+                }
             }
         }
         i += group;
@@ -314,7 +336,10 @@ fn run_thread(config: &LoadConfig, thread: usize, n_arrivals: u64) -> ThreadOutc
     while let Some(Reverse((_, session))) = departures.pop() {
         match client.depart(session) {
             Ok(_) => out.departed += 1,
-            Err(_) => out.errors += 1,
+            Err(e) => {
+                out.errors += 1;
+                note_error(&mut client, &config.addr, &e);
+            }
         }
     }
     out

@@ -11,6 +11,27 @@ struct Inner<T> {
     closed: bool,
 }
 
+/// Why a push was refused; the item is handed back either way so the caller
+/// can still answer the connection. The two cases demand different replies:
+/// a full queue is transient (`Overloaded` + retry hint), a closed queue is
+/// terminal (`ShuttingDown` — no retry will ever succeed).
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; shed load and invite a retry.
+    Full(T),
+    /// The queue is closed (the daemon is draining).
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// The rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
 /// A bounded queue with blocking pop and non-blocking bounded push.
 pub struct WorkQueue<T> {
     inner: Mutex<Inner<T>>,
@@ -31,11 +52,15 @@ impl<T> WorkQueue<T> {
         }
     }
 
-    /// Enqueue, or give the item back when the queue is full or closed.
-    pub fn push(&self, item: T) -> Result<(), T> {
+    /// Enqueue, or give the item back when the queue is full or closed —
+    /// the error says which, so the caller can shed with the right reply.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
         let mut inner = self.inner.lock();
-        if inner.closed || inner.items.len() >= self.capacity {
-            return Err(item);
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
         }
         inner.items.push_back(item);
         drop(inner);
@@ -86,7 +111,7 @@ mod tests {
         let q = WorkQueue::new(2);
         assert!(q.push(1).is_ok());
         assert!(q.push(2).is_ok());
-        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.push(3), Err(PushError::Full(3)));
         assert_eq!(q.pop(), Some(1));
         assert!(q.push(3).is_ok());
     }
@@ -97,10 +122,24 @@ mod tests {
         q.push(1).unwrap();
         q.push(2).unwrap();
         q.close();
-        assert_eq!(q.push(3), Err(3));
+        // A closed queue is distinguishable from a full one: the daemon
+        // answers `ShuttingDown` here, `Overloaded` there.
+        assert_eq!(q.push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.push(3).unwrap_err().into_inner(), 3);
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_beats_closed_only_when_open() {
+        // Closed wins even when the queue is also at capacity: there is no
+        // point inviting a retry that can never succeed.
+        let q = WorkQueue::new(1);
+        q.push(1).unwrap();
+        assert_eq!(q.push(2), Err(PushError::Full(2)));
+        q.close();
+        assert_eq!(q.push(2), Err(PushError::Closed(2)));
     }
 
     #[test]

@@ -81,10 +81,28 @@ pub struct StatsSnapshot {
     pub servers: usize,
     /// Connections the acceptor has admitted.
     pub connections_accepted: u64,
+    /// Connections fully disposed of — served to EOF/error, or shed with a
+    /// terminal reply. After a quiesced shutdown this reconciles with
+    /// `connections_accepted`.
+    #[serde(default)]
+    pub connections_closed: u64,
     /// Connections turned away with `Overloaded`.
     pub overloaded_rejections: u64,
+    /// Connections turned away with `ShuttingDown` (queue closed for drain).
+    #[serde(default)]
+    pub shutdown_rejections: u64,
     /// Frames that failed to decode.
     pub malformed_frames: u64,
+    /// Sessions admitted into the fleet (`Place` and `PlaceBatch` items).
+    /// Conservation invariant: `placements_admitted` = placements confirmed
+    /// to clients + `placements_rolled_back`.
+    #[serde(default)]
+    pub placements_admitted: u64,
+    /// Admitted sessions departed again by the daemon itself because the
+    /// reply carrying them could not be delivered (dead client); these never
+    /// leak into `active_sessions`.
+    #[serde(default)]
+    pub placements_rolled_back: u64,
     /// Prediction-memo hits.
     pub cache_hits: u64,
     /// Prediction-memo misses.
@@ -133,9 +151,19 @@ impl std::fmt::Display for StatsSnapshot {
         writeln!(f, "  model version:     {}", self.model_version)?;
         writeln!(f, "  active sessions:   {}", self.active_sessions)?;
         writeln!(f, "  servers:           {}", self.servers)?;
-        writeln!(f, "  connections:       {}", self.connections_accepted)?;
+        writeln!(
+            f,
+            "  connections:       {} accepted / {} closed",
+            self.connections_accepted, self.connections_closed
+        )?;
         writeln!(f, "  overloaded:        {}", self.overloaded_rejections)?;
+        writeln!(f, "  shed at shutdown:  {}", self.shutdown_rejections)?;
         writeln!(f, "  malformed frames:  {}", self.malformed_frames)?;
+        writeln!(
+            f,
+            "  placements:        {} admitted / {} rolled back",
+            self.placements_admitted, self.placements_rolled_back
+        )?;
         writeln!(
             f,
             "  prediction memo:   {} hits / {} misses ({:.1}% hit rate)",
@@ -197,8 +225,12 @@ pub struct AtomicStats {
     started: Instant,
     kinds: Vec<(&'static str, KindCounters)>,
     connections: AtomicU64,
+    connections_closed: AtomicU64,
     overloaded: AtomicU64,
+    shutdown_rejected: AtomicU64,
     malformed: AtomicU64,
+    admitted: AtomicU64,
+    rolled_back: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
 }
@@ -219,8 +251,12 @@ impl AtomicStats {
                 .map(|&k| (k, KindCounters::new()))
                 .collect(),
             connections: AtomicU64::new(0),
+            connections_closed: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
+            shutdown_rejected: AtomicU64::new(0),
             malformed: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rolled_back: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
         }
@@ -256,9 +292,30 @@ impl AtomicStats {
         self.connections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count an accepted connection fully disposed of (served to EOF/error,
+    /// or shed with a terminal reply).
+    pub fn note_connection_closed(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Count a connection turned away with `Overloaded`.
     pub fn note_overloaded(&self) {
         self.overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a connection turned away with `ShuttingDown`.
+    pub fn note_shutdown_rejected(&self) {
+        self.shutdown_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a session admitted into the fleet.
+    pub fn note_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count an admission rolled back because its reply was undeliverable.
+    pub fn note_rolled_back(&self) {
+        self.rolled_back.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count an undecodable frame.
@@ -308,8 +365,12 @@ impl AtomicStats {
             active_sessions,
             servers,
             connections_accepted: self.connections.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
             overloaded_rejections: self.overloaded.load(Ordering::Relaxed),
+            shutdown_rejections: self.shutdown_rejected.load(Ordering::Relaxed),
             malformed_frames: self.malformed.load(Ordering::Relaxed),
+            placements_admitted: self.admitted.load(Ordering::Relaxed),
+            placements_rolled_back: self.rolled_back.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             // The score cache lives under the daemon's fleet lock; the
@@ -379,6 +440,27 @@ mod tests {
         assert_eq!(rs.percentile_us(90.0), 5);
         assert_eq!(rs.percentile_us(100.0), 2_000_000);
         assert_eq!(rs.max_us, 2_000_000);
+    }
+
+    #[test]
+    fn lifecycle_counters_reach_the_snapshot() {
+        let s = AtomicStats::new();
+        s.note_connection();
+        s.note_connection();
+        s.note_connection_closed();
+        s.note_admitted();
+        s.note_admitted();
+        s.note_rolled_back();
+        s.note_shutdown_rejected();
+        let snap = s.snapshot(1, 1, 1);
+        assert_eq!(snap.connections_accepted, 2);
+        assert_eq!(snap.connections_closed, 1);
+        assert_eq!(snap.placements_admitted, 2);
+        assert_eq!(snap.placements_rolled_back, 1);
+        assert_eq!(snap.shutdown_rejections, 1);
+        // Conservation: admitted = confirmed + rolled back, with one
+        // confirmed placement here.
+        assert_eq!(snap.placements_admitted, 1 + snap.placements_rolled_back);
     }
 
     #[test]

@@ -7,9 +7,11 @@
 //! keep the connection (required: malformed frames must not cost the client
 //! its connection).
 //!
-//! The decoder is hardened for untrusted input: declared lengths above
-//! [`MAX_FRAME_LEN`] are rejected before any allocation, payloads go through
-//! the depth-limited JSON parser, and no input byte sequence panics.
+//! The decoder is hardened for untrusted input: declared lengths above the
+//! caller's cap ([`MAX_FRAME_LEN`] by default, configurable via
+//! [`read_frame_bytes_capped`]) are rejected with a typed error before any
+//! allocation, payloads go through the depth-limited JSON parser, and no
+//! input byte sequence panics or reads past its own frame.
 
 use gaugur_gamesim::{GameId, Resolution};
 use serde::{Deserialize, Serialize};
@@ -166,9 +168,15 @@ pub enum FrameError {
     Eof,
     /// Transport failure, including read timeouts.
     Io(io::Error),
-    /// The declared length exceeds [`MAX_FRAME_LEN`]; the stream cannot be
-    /// resynchronized and should be closed after an error reply.
-    TooLarge(usize),
+    /// The declared length exceeds the reader's cap; the stream cannot be
+    /// resynchronized and should be closed after an error reply. Raised
+    /// before any allocation is attempted.
+    TooLarge {
+        /// The length the frame header declared.
+        len: usize,
+        /// The cap it violated.
+        cap: usize,
+    },
     /// The payload was consumed but is not a valid message; the stream is
     /// still in sync and the connection can continue.
     Malformed(String),
@@ -179,8 +187,8 @@ impl std::fmt::Display for FrameError {
         match self {
             FrameError::Eof => write!(f, "end of stream"),
             FrameError::Io(e) => write!(f, "io error: {e}"),
-            FrameError::TooLarge(n) => {
-                write!(f, "frame of {n} bytes exceeds limit of {MAX_FRAME_LEN}")
+            FrameError::TooLarge { len, cap } => {
+                write!(f, "frame of {len} bytes exceeds limit of {cap}")
             }
             FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
         }
@@ -206,8 +214,17 @@ pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<T, FrameError> {
     decode_payload(&payload)
 }
 
-/// Read one raw frame payload (length-checked, fully consumed).
+/// Read one raw frame payload (length-checked against [`MAX_FRAME_LEN`],
+/// fully consumed).
 pub fn read_frame_bytes<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
+    read_frame_bytes_capped(r, MAX_FRAME_LEN)
+}
+
+/// Read one raw frame payload, rejecting declared lengths above `cap` with
+/// [`FrameError::TooLarge`] *before* attempting the allocation. The daemon
+/// reads with its configured cap so an operator can bound per-connection
+/// memory below the protocol maximum.
+pub fn read_frame_bytes_capped<R: Read>(r: &mut R, cap: usize) -> Result<Vec<u8>, FrameError> {
     let mut header = [0u8; 4];
     match r.read_exact(&mut header) {
         Ok(()) => {}
@@ -215,8 +232,8 @@ pub fn read_frame_bytes<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
         Err(e) => return Err(FrameError::Io(e)),
     }
     let len = u32::from_be_bytes(header) as usize;
-    if len > MAX_FRAME_LEN {
-        return Err(FrameError::TooLarge(len));
+    if len > cap {
+        return Err(FrameError::TooLarge { len, cap });
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload).map_err(|e| {
@@ -412,8 +429,129 @@ mod tests {
         let mut buf = (u32::MAX).to_be_bytes().to_vec();
         buf.extend_from_slice(b"xxxx");
         match read_frame::<_, Request>(&mut Cursor::new(&buf)) {
-            Err(FrameError::TooLarge(n)) => assert_eq!(n, u32::MAX as usize),
+            Err(FrameError::TooLarge { len, cap }) => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(cap, MAX_FRAME_LEN);
+            }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn configurable_cap_rejects_frames_the_default_accepts() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Stats).unwrap();
+        match read_frame_bytes_capped(&mut Cursor::new(&buf), 4) {
+            Err(FrameError::TooLarge { len, cap }) => {
+                assert_eq!(cap, 4);
+                assert!(len > 4);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The identical bytes pass under the default cap.
+        assert!(read_frame_bytes(&mut Cursor::new(&buf)).is_ok());
+    }
+
+    /// One encoded frame per request variant, covering every payload shape
+    /// the protocol can put on the wire.
+    fn sample_frames() -> Vec<Vec<u8>> {
+        let requests = [
+            Request::Place {
+                game: GameId(3),
+                resolution: Resolution::Fhd1080,
+            },
+            Request::PlaceBatch {
+                requests: vec![
+                    (GameId(3), Resolution::Fhd1080),
+                    (GameId(4), Resolution::Hd720),
+                ],
+            },
+            Request::Depart { session: 42 },
+            Request::Predict {
+                game: GameId(0),
+                resolution: Resolution::Hd720,
+                others: vec![(GameId(1), Resolution::Fhd1080)],
+                qos: 60.0,
+            },
+            Request::Stats,
+            Request::ReloadModel {
+                path: Some("/tmp/model.json".into()),
+            },
+            Request::Shutdown,
+        ];
+        requests
+            .iter()
+            .map(|r| {
+                let mut buf = Vec::new();
+                write_frame(&mut buf, r).unwrap();
+                buf
+            })
+            .collect()
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_fails_cleanly() {
+        for frame in sample_frames() {
+            for cut in 0..frame.len() {
+                let mut cursor = Cursor::new(&frame[..cut]);
+                match read_frame::<_, Request>(&mut cursor) {
+                    // Inside the header: clean EOF. Inside the payload: the
+                    // mid-frame io error. Never a successful decode, never a
+                    // panic.
+                    Err(FrameError::Eof) | Err(FrameError::Io(_)) => {}
+                    Ok(r) => panic!("decoded {r:?} from a frame cut at {cut}/{}", frame.len()),
+                    Err(e) => panic!("unexpected error at cut {cut}: {e}"),
+                }
+                // Never over-reads: the decoder consumed at most the bytes
+                // that exist.
+                assert!(cursor.position() as usize <= cut);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn payload_mutations_decode_cleanly_and_keep_the_stream_in_sync(
+            which in 0usize..7,
+            offset_seed in any::<u64>(),
+            bit in 0u8..8,
+        ) {
+            let frames = sample_frames();
+            let mut frame = frames[which % frames.len()].clone();
+            // Flip one payload bit (the header stays intact, so framing is
+            // preserved and the decoder must consume exactly this frame).
+            let pos = 4 + (offset_seed as usize) % (frame.len() - 4);
+            frame[pos] ^= 1 << bit;
+            let frame_len = frame.len();
+            write_frame(&mut frame, &Request::Stats).unwrap();
+            let mut cursor = Cursor::new(frame.as_slice());
+            match read_frame::<_, Request>(&mut cursor) {
+                // A flip can still be valid JSON of the right shape; any
+                // other outcome must be Malformed — never an io error, a
+                // panic, or an over-read.
+                Ok(_) | Err(FrameError::Malformed(_)) => {}
+                Err(e) => prop_assert!(false, "payload flip produced {e}"),
+            }
+            prop_assert_eq!(cursor.position() as usize, frame_len);
+            let next: Request = read_frame(&mut cursor).unwrap();
+            prop_assert_eq!(next, Request::Stats);
+        }
+
+        #[test]
+        fn header_mutations_never_panic_or_read_past_the_input(
+            which in 0usize..7,
+            pos in 0usize..4,
+            bit in 0u8..8,
+        ) {
+            let frames = sample_frames();
+            let mut frame = frames[which % frames.len()].clone();
+            frame[pos] ^= 1 << bit;
+            let mut cursor = Cursor::new(frame.as_slice());
+            // A corrupted length can declare anything; whatever happens the
+            // decoder returns an error or a value without reading past the
+            // bytes that exist.
+            let _ = read_frame::<_, Request>(&mut cursor);
+            prop_assert!(cursor.position() as usize <= frame.len());
         }
     }
 

@@ -410,6 +410,193 @@ fn batched_load_driver_reconciles_like_singles() {
     assert_eq!(stats.per_request["place_batch"].ok, 240 / 8);
 }
 
+/// Poll stats on fresh connections until `pred` holds (rollbacks race the
+/// client-visible EOF, so assertions on them must wait).
+fn await_stats(
+    addr: std::net::SocketAddr,
+    pred: impl Fn(&gaugur_serve::StatsSnapshot) -> bool,
+) -> gaugur_serve::StatsSnapshot {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut client = Client::connect(addr).unwrap();
+        let stats = client.stats().unwrap();
+        if pred(&stats) || std::time::Instant::now() > deadline {
+            return stats;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn a_dropped_reply_rolls_the_admission_back() {
+    use gaugur_serve::{FaultInjector, FaultPlan};
+    let plan = FaultPlan {
+        drop_reply: 1.0,
+        ..FaultPlan::quiet(1)
+    };
+    let handle = daemon::start(
+        DaemonConfig {
+            n_servers: 2,
+            fault: Some(std::sync::Arc::new(FaultInjector::new(plan))),
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(5))).unwrap();
+    match client.place(GameId(0), Resolution::Fhd1080) {
+        Err(e) if e.is_ambiguous() => {}
+        other => panic!("expected an ambiguous transport error, got {other:?}"),
+    }
+
+    // The daemon admitted the session, failed the reply, and must depart it
+    // again — the client never learned the id, so anything else is a leak.
+    let stats = await_stats(addr, |s| s.placements_rolled_back == 1);
+    assert_eq!(stats.placements_admitted, 1);
+    assert_eq!(stats.placements_rolled_back, 1);
+    assert_eq!(
+        stats.active_sessions, 0,
+        "leaked a session the client never saw"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn a_torn_batch_reply_rolls_back_every_admission_in_the_batch() {
+    use gaugur_serve::{FaultInjector, FaultPlan};
+    let plan = FaultPlan {
+        torn_reply: 1.0,
+        ..FaultPlan::quiet(2)
+    };
+    let handle = daemon::start(
+        DaemonConfig {
+            n_servers: 4,
+            fault: Some(std::sync::Arc::new(FaultInjector::new(plan))),
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(5))).unwrap();
+    let burst = [
+        (GameId(0), Resolution::Fhd1080),
+        (GameId(1), Resolution::Fhd1080),
+        (GameId(2), Resolution::Hd720),
+    ];
+    match client.place_batch(&burst) {
+        Err(ClientError::TornReply(_)) => {}
+        other => panic!("expected TornReply, got {other:?}"),
+    }
+
+    // All three admissions of the half-written reply must unwind, newest
+    // first, leaving the fleet exactly as before the batch.
+    let stats = await_stats(addr, |s| s.placements_rolled_back == 3);
+    assert_eq!(stats.placements_admitted, 3);
+    assert_eq!(stats.placements_rolled_back, 3);
+    assert_eq!(stats.active_sessions, 0);
+
+    // The fleet is clean enough to take the identical batch again (every
+    // reply tears under this plan, so it unwinds again): admissions and
+    // rollbacks stay in lockstep and nothing accumulates.
+    let mut retry = Client::connect(addr).unwrap();
+    retry.set_timeout(Some(Duration::from_secs(5))).unwrap();
+    match retry.place_batch(&burst) {
+        Err(ClientError::TornReply(_)) => {}
+        other => panic!("expected TornReply on the retry, got {other:?}"),
+    }
+    let stats = await_stats(addr, |s| s.placements_rolled_back == 6);
+    assert_eq!(stats.placements_admitted, 6);
+    assert_eq!(stats.placements_rolled_back, 6);
+    assert_eq!(stats.active_sessions, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn frames_above_the_configured_cap_get_a_typed_error_then_close() {
+    let handle = daemon::start(
+        DaemonConfig {
+            max_frame_len: 64,
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // Small control frames still fit under the tightened cap.
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.stats().unwrap().malformed_frames, 0);
+    drop(client);
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    use std::io::{Read as _, Write as _};
+    // A header declaring one byte over the cap: rejected before allocation,
+    // answered with a typed error, then the connection is cut (no resync is
+    // possible after a length violation).
+    stream.write_all(&65u32.to_be_bytes()).unwrap();
+    match read_frame::<_, Response>(&mut stream).unwrap() {
+        Response::Error { message } => {
+            assert!(message.contains("exceeds"), "unhelpful error: {message}")
+        }
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    let mut buf = [0u8; 16];
+    assert_eq!(
+        stream.read(&mut buf).unwrap(),
+        0,
+        "daemon kept a dead stream"
+    );
+
+    let stats = await_stats(addr, |s| s.malformed_frames == 1);
+    assert_eq!(stats.malformed_frames, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn the_read_deadline_cuts_a_stalled_half_frame() {
+    let handle = daemon::start(
+        DaemonConfig {
+            read_timeout: Duration::from_millis(300),
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+
+    let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    use std::io::{Read as _, Write as _};
+    // A header promising 100 bytes, then silence: only the daemon's read
+    // deadline can end this connection, and it must.
+    stream.write_all(&100u32.to_be_bytes()).unwrap();
+    stream.write_all(b"{\"partial\":").unwrap();
+    stream.flush().unwrap();
+    let started = std::time::Instant::now();
+    let mut buf = [0u8; 16];
+    assert_eq!(
+        stream.read(&mut buf).unwrap(),
+        0,
+        "daemon never cut the stalled connection"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(8),
+        "deadline took {:?}",
+        started.elapsed()
+    );
+    handle.shutdown();
+}
+
 #[test]
 fn shutdown_request_over_the_wire_stops_the_daemon() {
     let handle = daemon::start(quiet_config(), ModelHandle::from_model(model())).unwrap();

@@ -84,6 +84,156 @@ fn empty_corunner_set_predicts_no_interference_bound() {
     assert!(!g.predict_qos(solo + 1.0, t, &[]));
 }
 
+/// Hot reload racing a faulted client burst must never serve a prediction
+/// from mixed old/new model state: every reply tagged with model version
+/// `v` must match what the model installed as `v` — and only that model —
+/// computes in-process, even while another connection floods the daemon
+/// with corrupt and oversized frames.
+#[test]
+fn hot_reload_under_chaos_never_serves_mixed_model_state() {
+    use gaugur::serve::daemon;
+    use gaugur::serve::wire::{read_frame, write_frame, Request, Response};
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    let server = Server::reference(51);
+    let catalog = GameCatalog::generate(42, 6);
+    let build = |seed: u64| {
+        GAugur::build(
+            &server,
+            &catalog,
+            GAugurConfig {
+                plan: ColocationPlan {
+                    pairs: 24,
+                    triples: 6,
+                    quads: 3,
+                    seed,
+                },
+                ..GAugurConfig::default()
+            },
+        )
+    };
+    let model_a = build(3);
+    let model_b = build(9);
+
+    let probe = (catalog[0].id, Resolution::Fhd1080);
+    let others = [
+        (catalog[1].id, Resolution::Fhd1080),
+        (catalog[2].id, Resolution::Hd720),
+    ];
+    let exp_a = model_a.predict_fps(probe, &others);
+    let exp_b = model_b.predict_fps(probe, &others);
+    assert!(
+        (exp_a - exp_b).abs() > 1e-6,
+        "fixture models must disagree on the probe ({exp_a} vs {exp_b})"
+    );
+
+    let dir = std::env::temp_dir().join(format!("gaugur-reload-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path_a = dir.join("a.json");
+    let path_b = dir.join("b.json");
+    model_a.save_json(&path_a).unwrap();
+    model_b.save_json(&path_b).unwrap();
+
+    let handle = daemon::start(
+        DaemonConfig {
+            n_servers: 4,
+            workers: 8,
+            max_frame_len: 4096,
+            print_stats_on_shutdown: false,
+            ..Default::default()
+        },
+        ModelHandle::load(&path_a).unwrap(),
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    const RELOADS: u64 = 8;
+    let samples: Vec<Vec<(u64, f64)>> = std::thread::scope(|scope| {
+        // Predict burst: three connections hammer the same probe and tag
+        // each answer with the version the daemon claims produced it.
+        let predictors: Vec<_> = (0..3)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut seen = Vec::with_capacity(80);
+                    for _ in 0..80 {
+                        let p = client
+                            .predict(probe.0, probe.1, &others, 60.0)
+                            .expect("predict under reload chaos");
+                        seen.push((p.model_version, p.fps));
+                    }
+                    seen
+                })
+            })
+            .collect();
+
+        // Garbage burst: corrupt payloads (connection survives) and
+        // oversized headers (connection is cut) interleaved with the
+        // predict traffic and the reloads.
+        let garbage = scope.spawn(move || {
+            for _ in 0..25 {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(5)))
+                    .unwrap();
+                stream.write_all(&8u32.to_be_bytes()).unwrap();
+                stream.write_all(&[0xFF; 8]).unwrap();
+                match read_frame::<_, Response>(&mut stream).unwrap() {
+                    Response::Error { .. } => {}
+                    other => panic!("corrupt frame answered {other:?}"),
+                }
+                // The stream resynchronized: a real request still works.
+                write_frame(&mut stream, &Request::Stats).unwrap();
+                assert!(matches!(
+                    read_frame::<_, Response>(&mut stream).unwrap(),
+                    Response::Stats(_)
+                ));
+                stream.write_all(&4097u32.to_be_bytes()).unwrap();
+                match read_frame::<_, Response>(&mut stream).unwrap() {
+                    Response::Error { .. } => {}
+                    other => panic!("oversized frame answered {other:?}"),
+                }
+                let mut buf = [0u8; 8];
+                assert_eq!(stream.read(&mut buf).unwrap(), 0);
+            }
+        });
+
+        // Meanwhile: alternate the served artifact B, A, B, A, ...
+        let mut admin = Client::connect(addr).unwrap();
+        for i in 0..RELOADS {
+            std::thread::sleep(Duration::from_millis(8));
+            let path = if i % 2 == 0 { &path_b } else { &path_a };
+            let v = admin.reload(Some(path.to_str().unwrap())).unwrap();
+            assert_eq!(v, i + 2, "reloads are sequential, versions dense");
+        }
+        garbage.join().unwrap();
+        predictors.into_iter().map(|p| p.join().unwrap()).collect()
+    });
+
+    // Version v was installed by a known reload: v=1 is A, then B and A
+    // alternate. Every sampled answer must match that model exactly — a
+    // value between exp_a and exp_b (or A's answer tagged with B's
+    // version) would mean a prediction straddled a reload.
+    for (version, fps) in samples.into_iter().flatten() {
+        assert!(
+            (1..=1 + RELOADS).contains(&version),
+            "impossible version {version}"
+        );
+        let expected = if version % 2 == 1 { exp_a } else { exp_b };
+        assert!(
+            (fps - expected).abs() < 1e-9,
+            "version {version} answered {fps}, want {expected} (A={exp_a}, B={exp_b})"
+        );
+    }
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.malformed_frames, 50, "25 corrupt + 25 oversized");
+    assert_eq!(stats.model_version, 1 + RELOADS);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn oversubscribed_server_is_measured_not_rejected() {
     let server = Server::noiseless(34);
