@@ -139,6 +139,7 @@ fn bench(c: &mut Criterion) {
         resolutions: vec![Resolution::Fhd1080],
         qos: 60.0,
         batch: 1,
+        ..Default::default()
     });
     eprintln!(
         "serving_throughput: {:.0} placement req/s over localhost \
@@ -160,6 +161,7 @@ fn bench(c: &mut Criterion) {
         resolutions: vec![Resolution::Fhd1080],
         qos: 60.0,
         batch: 16,
+        ..Default::default()
     });
     eprintln!(
         "serving_throughput_batch16: {:.0} arrivals/s over localhost \
@@ -205,6 +207,7 @@ fn bench(c: &mut Criterion) {
                 resolutions: vec![Resolution::Fhd1080],
                 qos: 60.0,
                 batch: 1,
+                ..Default::default()
             });
             assert_eq!(r.errors, 0);
             r

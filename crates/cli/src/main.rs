@@ -74,8 +74,11 @@ fn usage() {
          \x20 session    depart  [--addr ADDR] --session ID\n\
          \x20 session    predict [--addr ADDR] --target ID --others ID,ID,… [--resolution R] [--qos FPS]\n\
          \x20 session    stats|reload|shutdown [--addr ADDR] [--model FILE]\n\
+         \x20 session    report  [--addr ADDR] --session ID --observed FPS --predicted FPS [--version V]\n\
+         \x20 session    retrain [--addr ADDR] [--min-samples N] [--extra-rounds N]\n\
          \x20 load       [--addr ADDR] [--requests N] [--connections N] [--rate R/s|inf] [--batch N]\n\
          \x20            [--seed S] [--games ID,ID,…] [--mean-session N] [--qos FPS] [--resolution R]\n\
+         \x20            [--report-outcomes true] [--observe-noise F] [--drift F]\n\
          \x20 chaos      --seed S [--scenarios N] [--ops N] [--servers N] [--games N] [--model FILE]\n"
     );
 }
@@ -381,7 +384,10 @@ fn connect(opts: &HashMap<String, String>) -> gaugur_serve::Client {
 
 fn session(args: &[String]) {
     let Some(action) = args.first() else {
-        eprintln!("session needs an action: place | depart | predict | stats | reload | shutdown");
+        eprintln!(
+            "session needs an action: place | depart | predict | stats | reload | report | \
+             retrain | shutdown"
+        );
         exit(2);
     };
     let opts = parse_flags(&args[1..]);
@@ -435,6 +441,44 @@ fn session(args: &[String]) {
                 .unwrap_or_else(|e| or_die(e));
             println!("model reloaded, now serving version {version}");
         }
+        "report" => {
+            // Feed one observed-FPS outcome back into the daemon's
+            // feedback buffer (the load driver automates this with
+            // --report-outcomes; this is the manual path).
+            let report = gaugur_serve::OutcomeReport {
+                session: get(&opts, "session", None::<u64>),
+                observed_fps: get(&opts, "observed", None::<f64>),
+                predicted_fps: get(&opts, "predicted", None::<f64>),
+                model_version: get(&opts, "version", Some(u64::MAX)),
+            };
+            let (accepted, stale, dropped) = connect(&opts)
+                .report_outcome(report)
+                .unwrap_or_else(|e| or_die(e));
+            println!("outcome recorded: {accepted} accepted ({stale} stale), {dropped} dropped");
+        }
+        "retrain" => {
+            let min_samples = opts.get("min-samples").map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--min-samples: cannot parse {v:?}");
+                    exit(2);
+                })
+            });
+            let extra_rounds = opts.get("extra-rounds").map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--extra-rounds: cannot parse {v:?}");
+                    exit(2);
+                })
+            });
+            let queued = connect(&opts)
+                .trigger_retrain(min_samples, extra_rounds)
+                .unwrap_or_else(|e| or_die(e));
+            if queued {
+                println!("retrain queued — watch `gaugur session stats` for completion");
+            } else {
+                eprintln!("daemon refused to queue a retrain (shutting down?)");
+                exit(1);
+            }
+        }
         "shutdown" => {
             connect(&opts).shutdown().unwrap_or_else(|e| or_die(e));
             println!("daemon is shutting down");
@@ -465,6 +509,9 @@ fn load_cmd(opts: &HashMap<String, String>) {
         resolutions: vec![resolution(opts)],
         qos: get(opts, "qos", Some(60.0)),
         batch: get(opts, "batch", Some(1usize)).max(1),
+        report_outcomes: get(opts, "report-outcomes", Some(false)),
+        observe_noise: get(opts, "observe-noise", Some(0.05)),
+        drift: get(opts, "drift", Some(1.0)),
     };
     print_multiline(&gaugur_serve::load::run(&config).to_string());
 }

@@ -117,6 +117,60 @@ pub fn complete_profiles(
     config: &CfConfig,
 ) -> Vec<GameProfile> {
     assert_eq!(partials.len(), games.len());
+    complete_partials(partials, profiler, config)
+}
+
+/// Express a fully profiled game as an all-entries-observed
+/// [`PartialProfile`], so it can anchor a completion matrix.
+fn to_observed_partial(p: &GameProfile, profiler: &Profiler) -> PartialProfile {
+    let cfg = &profiler.config;
+    let int_base = p.intensity_at(cfg.base_resolution);
+    let int_alt = p.intensity_at(cfg.alt_resolution);
+    PartialProfile {
+        id: p.id,
+        name: p.name.clone(),
+        solo_base: p.solo_fps_at(cfg.base_resolution),
+        solo_alt: p.solo_fps_at(cfg.alt_resolution),
+        curves: p.sensitivity.iter().cloned().map(Some).collect(),
+        intensity_base: ALL_RESOURCES.iter().map(|&r| Some(int_base[r])).collect(),
+        intensity_alt: ALL_RESOURCES.iter().map(|&r| Some(int_alt[r])).collect(),
+        granularity: p.granularity,
+    }
+}
+
+/// Fold one sparsely profiled newcomer into an established catalog of full
+/// profiles: the known games become fully observed rows of the completion
+/// matrix, the newcomer contributes only the entries its partial sweep
+/// measured, and the same ALS factorization as [`complete_profiles`] fills
+/// in the rest. This is the online-feedback path for a game that arrives
+/// with little or no profiling budget — `O(known)` work, no re-profiling of
+/// the existing catalog.
+///
+/// `known` must be in a deterministic order (e.g.
+/// [`crate::train::ProfileStore::sorted`]) for the fold-in to be
+/// reproducible under a fixed [`CfConfig::seed`].
+pub fn fold_in_profile(
+    known: &[&GameProfile],
+    partial: &PartialProfile,
+    profiler: &Profiler,
+    config: &CfConfig,
+) -> GameProfile {
+    let mut partials: Vec<PartialProfile> = known
+        .iter()
+        .map(|p| to_observed_partial(p, profiler))
+        .collect();
+    partials.push(partial.clone());
+    let mut completed = complete_partials(&partials, profiler, config);
+    completed.pop().expect("one profile per partial")
+}
+
+/// The completion core shared by [`complete_profiles`] and
+/// [`fold_in_profile`].
+fn complete_partials(
+    partials: &[PartialProfile],
+    profiler: &Profiler,
+    config: &CfConfig,
+) -> Vec<GameProfile> {
     let k = profiler.config.granularity;
     let per_res = entries_per_resource(k);
     let n_cols = ALL_RESOURCES.len() * per_res;
@@ -283,6 +337,72 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fold_in_recovers_a_sparsely_profiled_newcomer() {
+        let (server, catalog, profiler) = setup();
+        // Profile everyone but the last game fully; the newcomer gets two
+        // resource sweeps only.
+        let known: Vec<GameProfile> = catalog.games()[..39]
+            .iter()
+            .map(|g| profiler.profile_game(&server, g))
+            .collect();
+        let newcomer = &catalog.games()[39];
+        let partial = profiler.profile_game_partial(
+            &server,
+            newcomer,
+            &[
+                gaugur_gamesim::Resource::GpuCore,
+                gaugur_gamesim::Resource::CpuCore,
+            ],
+        );
+        let refs: Vec<&GameProfile> = known.iter().collect();
+        let folded = fold_in_profile(&refs, &partial, &profiler, &CfConfig::default());
+        assert_eq!(folded.id, newcomer.id);
+
+        // Measured entries are preserved verbatim; completed curves obey the
+        // physical invariants.
+        let full = profiler.profile_game(&server, newcomer);
+        assert_eq!(
+            folded.sensitivity_for(gaugur_gamesim::Resource::GpuCore),
+            full.sensitivity_for(gaugur_gamesim::Resource::GpuCore)
+        );
+        let res = Resolution::Fhd1080;
+        let (fi, gi) = (full.intensity_at(res), folded.intensity_at(res));
+        let mae: f64 = ALL_RESOURCES
+            .iter()
+            .map(|&r| (fi[r] - gi[r]).abs())
+            .sum::<f64>()
+            / ALL_RESOURCES.len() as f64;
+        assert!(mae < 0.3, "fold-in intensity MAE {mae}");
+        for r in ALL_RESOURCES {
+            for w in folded.sensitivity_for(r).samples.windows(2) {
+                assert!(
+                    w[1] <= w[0] + 0.08,
+                    "{r}: {:?}",
+                    folded.sensitivity_for(r).samples
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_in_is_deterministic() {
+        let (server, catalog, profiler) = setup();
+        let known: Vec<GameProfile> = catalog.games()[..10]
+            .iter()
+            .map(|g| profiler.profile_game(&server, g))
+            .collect();
+        let partial = profiler.profile_game_partial(
+            &server,
+            &catalog.games()[10],
+            &[gaugur_gamesim::Resource::Llc],
+        );
+        let refs: Vec<&GameProfile> = known.iter().collect();
+        let a = fold_in_profile(&refs, &partial, &profiler, &CfConfig::default());
+        let b = fold_in_profile(&refs, &partial, &profiler, &CfConfig::default());
+        assert_eq!(a.sensitivity, b.sensitivity);
     }
 
     #[test]

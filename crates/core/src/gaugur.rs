@@ -6,14 +6,16 @@
 //! [`GAugur::predict_degradation`], [`GAugur::predict_fps`]) serves
 //! continuously arriving prediction requests with negligible overhead.
 
+use crate::cf::{fold_in_profile, CfConfig};
 use crate::features::{cm_features, rm_features};
 use crate::model::{Algorithm, ClassificationModel, RegressionModel};
-use crate::profile::{Profiler, ProfilingConfig};
+use crate::profile::{PartialProfile, Profiler, ProfilingConfig};
 use crate::train::{
     build_cm_samples, build_rm_samples, measure_colocations, plan_colocations, to_dataset,
     ColocationPlan, MeasuredColocation, Placement, ProfileStore,
 };
 use gaugur_gamesim::{GameCatalog, Server};
+use gaugur_ml::Dataset;
 use serde::{Deserialize, Serialize};
 
 /// Version of the on-disk artifact layout written by [`GAugur::save_json`].
@@ -52,6 +54,35 @@ impl Default for GAugurConfig {
             seed: 0,
         }
     }
+}
+
+/// One observed colocation outcome reported back from the serving plane:
+/// what the paper's offline measurement campaign produces, but harvested
+/// from live sessions instead of a testbed sweep. A batch of these is the
+/// training increment of [`GAugur::retrain_from_outcomes`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionOutcome {
+    /// The observed session's own game and resolution.
+    pub target: Placement,
+    /// The co-runners it shared the server with while the FPS was measured.
+    pub others: Vec<Placement>,
+    /// The frame rate the session actually achieved.
+    pub observed_fps: f64,
+}
+
+/// What one [`GAugur::retrain_from_outcomes`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetrainReport {
+    /// Outcomes converted into training samples.
+    pub samples_used: usize,
+    /// Outcomes discarded (unprofiled game, non-finite or non-positive FPS).
+    pub samples_skipped: usize,
+    /// Boosting rounds appended to the regression ensemble (or the refit
+    /// round budget for non-boosted families).
+    pub extra_rounds: usize,
+    /// Whether the ensemble was warm-started (gradient boosting) rather
+    /// than refit from scratch.
+    pub warm_started: bool,
 }
 
 /// A fully built GAugur predictor.
@@ -225,6 +256,83 @@ impl GAugur {
             .map_err(|e| invalid(format!("artifact {}: malformed model: {e}", path.display())))
     }
 
+    /// Continuous retraining: warm-start the regression model on observed
+    /// session outcomes. Each usable outcome becomes one RM sample exactly
+    /// as in the offline pipeline — features from the target's profile and
+    /// the co-runners' intensities, target `observed_fps / solo_fps` clamped
+    /// to `[0.01, 1.2]` — and the RM continues boosting `extra_rounds`
+    /// rounds on those fresh residuals
+    /// ([`RegressionModel::warm_start`]). Profiles, the CM, and the config
+    /// are carried over unchanged, so the result serializes under the same
+    /// [`ARTIFACT_SCHEMA`] and hot-reloads like any other artifact.
+    ///
+    /// Outcomes naming unprofiled games or carrying unusable FPS values are
+    /// skipped (and counted); returns `None` when nothing usable remains,
+    /// so a retrain on garbage can never produce a model.
+    pub fn retrain_from_outcomes(
+        &self,
+        outcomes: &[SessionOutcome],
+        extra_rounds: usize,
+    ) -> Option<(GAugur, RetrainReport)> {
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        let mut skipped = 0usize;
+        for o in outcomes {
+            let known = self.profiles.contains(o.target.0)
+                && o.others.iter().all(|&(id, _)| self.profiles.contains(id));
+            if !known || !o.observed_fps.is_finite() || o.observed_fps <= 0.0 {
+                skipped += 1;
+                continue;
+            }
+            let profile = self.profiles.get(o.target.0);
+            let intensities = self.profiles.intensities(&o.others);
+            let solo = profile.solo_fps_at(o.target.1);
+            features.push(rm_features(profile, &intensities));
+            targets.push((o.observed_fps / solo).clamp(0.01, 1.2));
+        }
+        if features.is_empty() {
+            return None;
+        }
+        let data = Dataset::from_parts(features, targets);
+        let report = RetrainReport {
+            samples_used: data.len(),
+            samples_skipped: skipped,
+            extra_rounds,
+            warm_started: self.rm.supports_warm_start(),
+        };
+        let rm = self.rm.warm_start(&data, extra_rounds, self.config.seed);
+        Some((
+            GAugur {
+                profiles: self.profiles.clone(),
+                cm: self.cm.clone(),
+                rm,
+                config: self.config.clone(),
+            },
+            report,
+        ))
+    }
+
+    /// Fold a sparsely profiled newcomer into the predictor without a full
+    /// profiling campaign: the existing catalog anchors an ALS completion
+    /// matrix ([`crate::cf::fold_in_profile`]) that fills the newcomer's
+    /// unmeasured sensitivity curves and intensities. The returned predictor
+    /// can serve the new game immediately; its next
+    /// [`GAugur::retrain_from_outcomes`] will then pick up the newcomer's
+    /// observed outcomes as training signal.
+    pub fn fold_in_game(&self, partial: &PartialProfile, cf: &CfConfig) -> GAugur {
+        let profiler = Profiler::new(self.config.profiling);
+        let known = self.profiles.sorted();
+        let folded = fold_in_profile(&known, partial, &profiler, cf);
+        let mut profiles = self.profiles.clone();
+        profiles.insert(folded);
+        GAugur {
+            profiles,
+            cm: self.cm.clone(),
+            rm: self.rm.clone(),
+            config: self.config.clone(),
+        }
+    }
+
     /// Whether an entire colocation is *feasible*: every member satisfies
     /// the QoS requirement (Section 5.1), judged by the CM.
     pub fn colocation_feasible(&self, qos: f64, members: &[Placement]) -> bool {
@@ -389,6 +497,139 @@ mod tests {
         );
         assert!(value.get("model").is_some());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retrain_from_outcomes_warm_starts_and_keeps_the_envelope() {
+        let (server, catalog, gaugur) = quick_build();
+        let res = Resolution::Fhd1080;
+        // Harvest "observed" outcomes from the simulator, exactly what the
+        // serving feedback loop would report.
+        let ids: Vec<_> = catalog.games().iter().map(|g| g.id).collect();
+        let mut outcomes = Vec::new();
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                let out = server.measure_colocation(&[
+                    gaugur_gamesim::Workload::game(catalog.get(ids[i]).unwrap(), res),
+                    gaugur_gamesim::Workload::game(catalog.get(ids[j]).unwrap(), res),
+                ]);
+                outcomes.push(SessionOutcome {
+                    target: (ids[i], res),
+                    others: vec![(ids[j], res)],
+                    observed_fps: out.game_fps(0).unwrap(),
+                });
+            }
+        }
+        let (tuned, report) = gaugur.retrain_from_outcomes(&outcomes, 60).unwrap();
+        assert!(report.warm_started);
+        assert_eq!(report.samples_used, outcomes.len());
+        assert_eq!(report.samples_skipped, 0);
+
+        // The retrained artifact round-trips through the same envelope.
+        let dir = std::env::temp_dir().join("gaugur-test-retrain");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("retrained.json");
+        tuned.save_json(&path).unwrap();
+        let loaded = GAugur::load_json(&path).unwrap();
+        let t = (ids[0], res);
+        let o = [(ids[1], res)];
+        assert_eq!(
+            tuned.predict_degradation(t, &o),
+            loaded.predict_degradation(t, &o)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retrain_with_zero_rounds_changes_nothing() {
+        let (_, catalog, gaugur) = quick_build();
+        let res = Resolution::Fhd1080;
+        let outcomes = vec![SessionOutcome {
+            target: (catalog[0].id, res),
+            others: vec![(catalog[1].id, res)],
+            observed_fps: 40.0,
+        }];
+        let (same, _) = gaugur.retrain_from_outcomes(&outcomes, 0).unwrap();
+        let t = (catalog[0].id, res);
+        let o = [(catalog[1].id, res)];
+        assert_eq!(
+            gaugur.predict_degradation(t, &o).to_bits(),
+            same.predict_degradation(t, &o).to_bits()
+        );
+    }
+
+    #[test]
+    fn retrain_skips_unusable_outcomes_and_refuses_all_garbage() {
+        let (_, catalog, gaugur) = quick_build();
+        let res = Resolution::Fhd1080;
+        let unknown = gaugur_gamesim::GameId(9_999);
+        let garbage = vec![
+            SessionOutcome {
+                target: (unknown, res),
+                others: vec![],
+                observed_fps: 50.0,
+            },
+            SessionOutcome {
+                target: (catalog[0].id, res),
+                others: vec![(unknown, res)],
+                observed_fps: 50.0,
+            },
+            SessionOutcome {
+                target: (catalog[0].id, res),
+                others: vec![],
+                observed_fps: f64::NAN,
+            },
+            SessionOutcome {
+                target: (catalog[0].id, res),
+                others: vec![],
+                observed_fps: -3.0,
+            },
+        ];
+        assert!(gaugur.retrain_from_outcomes(&garbage, 10).is_none());
+
+        let mut mixed = garbage.clone();
+        mixed.push(SessionOutcome {
+            target: (catalog[0].id, res),
+            others: vec![(catalog[1].id, res)],
+            observed_fps: 45.0,
+        });
+        let (_, report) = gaugur.retrain_from_outcomes(&mixed, 10).unwrap();
+        assert_eq!(report.samples_used, 1);
+        assert_eq!(report.samples_skipped, 4);
+    }
+
+    #[test]
+    fn fold_in_game_makes_a_newcomer_predictable() {
+        let (server, _, gaugur) = quick_build();
+        // A 15th game the model has never seen, sparsely profiled.
+        let big_catalog = GameCatalog::generate(42, 15);
+        let newcomer = &big_catalog.games()[14];
+        assert!(!gaugur.profiles.contains(newcomer.id));
+        let profiler = Profiler::new(gaugur.config.profiling);
+        let partial = server_partial(&profiler, &server, newcomer);
+        let extended = gaugur.fold_in_game(&partial, &crate::cf::CfConfig::default());
+        assert!(extended.profiles.contains(newcomer.id));
+        let res = Resolution::Fhd1080;
+        let d = extended.predict_degradation(
+            (newcomer.id, res),
+            &[(extended.profiles.sorted()[0].id, res)],
+        );
+        assert!(d > 0.0 && d <= 1.05, "folded-in prediction {d}");
+    }
+
+    fn server_partial(
+        profiler: &Profiler,
+        server: &Server,
+        game: &gaugur_gamesim::Game,
+    ) -> PartialProfile {
+        profiler.profile_game_partial(
+            server,
+            game,
+            &[
+                gaugur_gamesim::Resource::GpuCore,
+                gaugur_gamesim::Resource::CpuCore,
+            ],
+        )
     }
 
     #[test]

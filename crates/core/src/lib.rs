@@ -54,9 +54,9 @@ pub mod profile;
 pub mod resolution;
 pub mod train;
 
-pub use cf::{profile_catalog_cf, CfConfig, CfStats};
+pub use cf::{fold_in_profile, profile_catalog_cf, CfConfig, CfStats};
 pub use features::FeatureBuffer;
-pub use gaugur::{GAugur, GAugurConfig, ARTIFACT_SCHEMA};
+pub use gaugur::{GAugur, GAugurConfig, RetrainReport, SessionOutcome, ARTIFACT_SCHEMA};
 pub use importance::{permutation_importance, FeatureGroup};
 pub use model::{Algorithm, ClassificationModel, RegressionModel, ALL_ALGORITHMS};
 pub use predictor::{DegradationBatch, InterferencePredictor};

@@ -185,6 +185,34 @@ impl RegressionModel {
         }
     }
 
+    /// Warm-start the model on fresh observations: gradient-boosted models
+    /// keep their trained ensemble and continue boosting `extra_rounds`
+    /// more rounds against `data`'s residuals (see
+    /// [`GbrtRegressor::continue_fit`]); the other families have no
+    /// incremental form, so they refit from scratch on `data` alone. The
+    /// algorithm, scaler policy, and clamp bounds are preserved either way.
+    ///
+    /// With `extra_rounds == 0` a gradient-boosted model is returned
+    /// bit-identical — the serving retrainer relies on this as its no-op
+    /// baseline.
+    pub fn warm_start(&self, data: &Dataset, extra_rounds: usize, seed: u64) -> RegressionModel {
+        match &self.inner {
+            RegInner::Gbrt(m) => RegressionModel {
+                algorithm: self.algorithm,
+                inner: RegInner::Gbrt(m.continue_fit(data, extra_rounds)),
+                scaler: None,
+                bounds: self.bounds,
+            },
+            _ => RegressionModel::train_with_bounds(data, self.algorithm, seed, self.bounds),
+        }
+    }
+
+    /// Whether [`RegressionModel::warm_start`] continues boosting in place
+    /// (gradient boosting) rather than refitting from scratch.
+    pub fn supports_warm_start(&self) -> bool {
+        matches!(self.inner, RegInner::Gbrt(_))
+    }
+
     /// Predict the target for one feature vector (clamped to the model's
     /// physical bounds).
     pub fn predict(&self, x: &[f64]) -> f64 {
@@ -467,6 +495,59 @@ mod tests {
         assert_eq!(Algorithm::Svm.classification_name(), "SVC");
         assert_eq!(Algorithm::DecisionTree.regression_name(), "DTR");
         assert_eq!(Algorithm::RandomForest.classification_name(), "RF");
+    }
+
+    #[test]
+    fn warm_start_zero_rounds_is_bit_identical_for_gbrt() {
+        let data = toy_regression();
+        let m = RegressionModel::train(&data, Algorithm::GradientBoosting, 4);
+        assert!(m.supports_warm_start());
+        let same = m.warm_start(&data, 0, 4);
+        for i in 0..20 {
+            let x = [i as f64 / 20.0, (i as f64 * 0.37) % 1.0];
+            assert_eq!(m.predict(&x).to_bits(), same.predict(&x).to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_start_adapts_gbrt_to_shifted_targets() {
+        let data = toy_regression();
+        let shifted = Dataset::from_parts(
+            data.features.clone(),
+            data.targets.iter().map(|y| (y + 0.2).min(1.05)).collect(),
+        );
+        let m = RegressionModel::train(&data, Algorithm::GradientBoosting, 4);
+        let tuned = m.warm_start(&shifted, 150, 4);
+        let mae = |model: &RegressionModel| {
+            shifted
+                .iter()
+                .map(|(x, y)| (model.predict(x) - y).abs())
+                .sum::<f64>()
+                / shifted.len() as f64
+        };
+        assert!(
+            mae(&tuned) < mae(&m) * 0.5,
+            "warm start must reduce error on drifted data: {} vs {}",
+            mae(&tuned),
+            mae(&m)
+        );
+    }
+
+    #[test]
+    fn warm_start_falls_back_to_refit_for_other_families() {
+        let data = toy_regression();
+        for algo in [
+            Algorithm::DecisionTree,
+            Algorithm::RandomForest,
+            Algorithm::Svm,
+        ] {
+            let m = RegressionModel::train(&data, algo, 1);
+            assert!(!m.supports_warm_start(), "{algo}");
+            let refit = m.warm_start(&data, 10, 1);
+            assert_eq!(refit.algorithm, algo);
+            let p = refit.predict(&[0.5, 0.5]);
+            assert!((p - 0.35).abs() < 0.12, "{algo}: refit predicted {p}");
+        }
     }
 
     #[test]

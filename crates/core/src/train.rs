@@ -158,6 +158,20 @@ impl ProfileStore {
         self.profiles.is_empty()
     }
 
+    /// All profiles sorted by game id — the deterministic iteration order
+    /// (the backing map is hashed, so raw iteration order is not stable
+    /// across runs; anything feeding seeded numerics must use this).
+    pub fn sorted(&self) -> Vec<&GameProfile> {
+        let mut out: Vec<&GameProfile> = self.profiles.values().collect();
+        out.sort_by_key(|p| p.id.0);
+        out
+    }
+
+    /// Add (or replace) one game's profile.
+    pub fn insert(&mut self, profile: GameProfile) {
+        self.profiles.insert(profile.id, profile);
+    }
+
     /// Intensity vectors of a set of placements.
     pub fn intensities(&self, placements: &[Placement]) -> Vec<ResourceVec> {
         placements

@@ -113,6 +113,51 @@ impl GbrtRegressor {
         }
     }
 
+    /// Warm-start: continue boosting this ensemble for `extra_rounds` more
+    /// rounds against `data`, returning the extended model. The existing
+    /// trees and init are kept verbatim — with `extra_rounds == 0` the
+    /// returned ensemble is bit-identical to `self` — and new rounds are
+    /// numbered from `n_trees()`, so their subsample and tree seeds never
+    /// collide with the original fit's.
+    ///
+    /// The running prediction is seeded with the current ensemble's output
+    /// on `data`, so each new tree regresses the *fresh residuals*: what the
+    /// deployed model still gets wrong on the new observations. This is the
+    /// retraining primitive of the serving feedback loop.
+    pub fn continue_fit(&self, data: &Dataset, extra_rounds: usize) -> GbrtRegressor {
+        assert!(
+            !data.is_empty(),
+            "cannot warm-start GBRT on an empty dataset"
+        );
+        let n = data.len();
+        let params = self.params;
+        let mut current: Vec<f64> = data.features.iter().map(|x| self.predict(x)).collect();
+        let mut trees = self.trees.clone();
+        let start = trees.len();
+
+        for round in start..start + extra_rounds {
+            let idx = round_indices(n, &params, round);
+            let residual_data = Dataset::from_parts(
+                idx.iter().map(|&i| data.features[i].clone()).collect(),
+                idx.iter().map(|&i| data.targets[i] - current[i]).collect(),
+            );
+            let tree = Tree::fit(
+                &residual_data,
+                &params.tree_params(params.seed ^ round as u64),
+            );
+            for (cur, x) in current.iter_mut().zip(&data.features) {
+                *cur += params.learning_rate * tree.predict(x);
+            }
+            trees.push(tree);
+        }
+
+        GbrtRegressor {
+            init: self.init,
+            trees,
+            params,
+        }
+    }
+
     /// Number of boosting rounds (diagnostics).
     pub fn n_trees(&self) -> usize {
         self.trees.len()
@@ -360,6 +405,101 @@ mod tests {
         assert!(
             many < few * 0.5,
             "boosting must keep reducing train error: {few} → {many}"
+        );
+    }
+
+    #[test]
+    fn warm_start_with_zero_rounds_is_bit_identical() {
+        let data = sine_data(120);
+        let m = GbrtRegressor::fit(
+            &data,
+            GbdtParams {
+                n_estimators: 40,
+                seed: 11,
+                ..GbdtParams::default()
+            },
+        );
+        let same = m.continue_fit(&sine_data(60), 0);
+        assert_eq!(same.n_trees(), m.n_trees());
+        for i in 0..50 {
+            let x = [i as f64 / 50.0];
+            assert_eq!(
+                m.predict(&x).to_bits(),
+                same.predict(&x).to_bits(),
+                "0-round warm start must not perturb the ensemble at {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_is_deterministic() {
+        let data = sine_data(100);
+        let shifted = Dataset::from_parts(
+            data.features.clone(),
+            data.targets.iter().map(|y| y + 0.25).collect(),
+        );
+        let m = GbrtRegressor::fit(
+            &data,
+            GbdtParams {
+                n_estimators: 25,
+                seed: 5,
+                ..GbdtParams::default()
+            },
+        );
+        let a = m.continue_fit(&shifted, 30);
+        let b = m.continue_fit(&shifted, 30);
+        assert_eq!(a.predict(&[0.3]).to_bits(), b.predict(&[0.3]).to_bits());
+        assert_eq!(a.n_trees(), 55);
+    }
+
+    #[test]
+    fn warm_start_fits_drifted_targets() {
+        // Train on sin(6x), then drift the world by +0.4; continued boosting
+        // must adapt to the drift far better than the frozen ensemble.
+        let data = sine_data(200);
+        let drifted = Dataset::from_parts(
+            data.features.clone(),
+            data.targets.iter().map(|y| y + 0.4).collect(),
+        );
+        let m = GbrtRegressor::fit(
+            &data,
+            GbdtParams {
+                n_estimators: 80,
+                seed: 2,
+                ..GbdtParams::default()
+            },
+        );
+        let tuned = m.continue_fit(&drifted, 80);
+        let err = |model: &GbrtRegressor| {
+            drifted
+                .iter()
+                .map(|(x, y)| (model.predict(x) - y).abs())
+                .sum::<f64>()
+                / drifted.len() as f64
+        };
+        let stale = err(&m);
+        let fresh = err(&tuned);
+        assert!(
+            fresh < stale * 0.25,
+            "warm start must chase the drift: stale MAE {stale}, tuned MAE {fresh}"
+        );
+    }
+
+    #[test]
+    fn warm_start_round_numbering_never_reuses_early_seeds() {
+        // The subsample draws of continued rounds must differ from round 0's:
+        // the round counter keeps advancing past the original fit.
+        let params = GbdtParams {
+            n_estimators: 10,
+            subsample: 0.5,
+            seed: 7,
+            ..GbdtParams::default()
+        };
+        let first = round_indices(40, &params, 0);
+        let continued = round_indices(40, &params, 10);
+        assert_ne!(
+            first, continued,
+            "continued rounds must draw fresh subsamples"
         );
     }
 

@@ -32,9 +32,12 @@
 
 use crate::daemon::{self, DaemonConfig};
 use crate::fault::{FaultAction, FaultEvent, FaultInjector, FaultPlan, InjectionPoint};
+use crate::feedback::FeedbackConfig;
 use crate::model::ModelHandle;
 use crate::stats::StatsSnapshot;
-use crate::wire::{read_frame, write_frame, BatchPlaceResult, Request, Response, WirePlacement};
+use crate::wire::{
+    read_frame, write_frame, BatchPlaceResult, OutcomeReport, Request, Response, WirePlacement,
+};
 use gaugur_gamesim::rng::rng_for;
 use gaugur_gamesim::{GameId, Resolution};
 use rand::Rng;
@@ -117,6 +120,16 @@ pub struct ScenarioReport {
     pub reloads_ok: u64,
     /// Reloads the injector pointed at a nonexistent artifact.
     pub reloads_failed: u64,
+    /// Background retrains that completed and published a new version.
+    pub retrains_ok: u64,
+    /// Background retrains the injector forced to fail (unsatisfiable
+    /// sample floor); these must never bump the model version.
+    pub retrains_failed: u64,
+    /// Outcome reports the daemon accepted.
+    pub outcomes_accepted: u64,
+    /// Outcome reports the daemon dropped (bogus session ids the scenario
+    /// sent deliberately).
+    pub outcomes_dropped: u64,
     /// Operations replayed against the fault-free daemon.
     pub replayed: u64,
     /// Hash of every decision (servers, FPS bits, degradation bits) made
@@ -152,6 +165,10 @@ impl ScenarioReport {
             self.lost_replies,
             self.reloads_ok,
             self.reloads_failed,
+            self.retrains_ok,
+            self.retrains_failed,
+            self.outcomes_accepted,
+            self.outcomes_dropped,
             self.replayed,
             self.decision_digest,
         )
@@ -172,6 +189,16 @@ impl ScenarioReport {
             s.placements_rolled_back,
         )
             .hash(&mut h);
+        (
+            s.feedback_accepted,
+            s.feedback_stale,
+            s.feedback_dropped,
+            s.feedback_buffered,
+            s.feedback_evicted,
+            s.retrains_ok,
+            s.retrains_failed,
+        )
+            .hash(&mut h);
         h.finish()
     }
 }
@@ -181,7 +208,7 @@ impl std::fmt::Display for ScenarioReport {
         write!(
             f,
             "seed {:>4}  {}  confirmed {:>3}  rejected {:>2}  lost req/reply {:>2}/{:>2}  \
-             reloads {}+{}f  replayed {:>3}  digest {:016x}",
+             reloads {}+{}f  retrains {}+{}f  outcomes {}/{}d  replayed {:>3}  digest {:016x}",
             self.seed,
             if self.passed() { "PASS" } else { "FAIL" },
             self.confirmed,
@@ -190,6 +217,10 @@ impl std::fmt::Display for ScenarioReport {
             self.lost_replies,
             self.reloads_ok,
             self.reloads_failed,
+            self.retrains_ok,
+            self.retrains_failed,
+            self.outcomes_accepted,
+            self.outcomes_dropped,
             self.replayed,
             self.digest(),
         )?;
@@ -310,7 +341,7 @@ impl Runner {
 
     fn raw_stats(&mut self) -> Result<StatsSnapshot, String> {
         match self.raw_call(&Request::Stats)? {
-            Response::Stats(snapshot) => Ok(snapshot),
+            Response::Stats(snapshot) => Ok(*snapshot),
             other => Err(format!("stats answered {other:?}")),
         }
     }
@@ -453,12 +484,26 @@ struct FaultedRun {
     lost_replies: u64,
     reloads_ok: u64,
     reloads_failed: u64,
+    retrains_ok: u64,
+    retrains_failed: u64,
+    outcomes_accepted: u64,
+    outcomes_dropped: u64,
     final_stats: StatsSnapshot,
     violations: Vec<String>,
 }
 
 fn fps_bits(fps: f64) -> u64 {
     fps.to_bits()
+}
+
+/// Record a model version observed on the wire, checking monotonicity.
+fn note_version(versions_seen: &mut Vec<u64>, v: u64, violations: &mut Vec<String>) {
+    if let Some(&last) = versions_seen.last() {
+        if v < last {
+            violations.push(format!("model version rolled back: {last} -> {v}"));
+        }
+    }
+    versions_seen.push(v);
 }
 
 /// Drive the op mix against the daemon with fault injection, drain, run
@@ -476,6 +521,14 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
         qos: config.qos,
         print_stats_on_shutdown: false,
         fault: Some(injector.clone()),
+        // Retrains fire only through explicit TriggerRetrain ops, decided
+        // client-side on the fault stream — a drift-tripped auto-retrain
+        // would fire at a wall-clock-dependent point and break determinism.
+        feedback: FeedbackConfig {
+            auto_retrain: false,
+            min_retrain_samples: 1,
+            ..FeedbackConfig::default()
+        },
         ..Default::default()
     };
     let max_frame_len = daemon_config.max_frame_len;
@@ -485,20 +538,13 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
     let mut op_rng = rng_for(config.seed, &[CHAOS_CTX]);
     let mut violations: Vec<String> = Vec::new();
     let mut trace: Vec<TraceOp> = Vec::new();
-    // Confirmed sessions as (runner-assigned logical id, wire session id);
-    // wire ids are not comparable across runs (rolled-back admissions
-    // consume them), logical ids are.
-    let mut live: Vec<(u64, u64)> = Vec::new();
+    // Confirmed sessions as (runner-assigned logical id, wire session id,
+    // predicted-fps bits); wire ids are not comparable across runs
+    // (rolled-back admissions consume them), logical ids are. The fps bits
+    // seed deterministic outcome reports.
+    let mut live: Vec<(u64, u64, u64)> = Vec::new();
     let mut next_logical = 0u64;
     let mut versions_seen: Vec<u64> = Vec::new();
-    let mut observe_version = |v: u64, violations: &mut Vec<String>| {
-        if let Some(&last) = versions_seen.last() {
-            if v < last {
-                violations.push(format!("model version rolled back: {last} -> {v}"));
-            }
-        }
-        versions_seen.push(v);
-    };
 
     let mut run = FaultedRun {
         trace: Vec::new(),
@@ -508,6 +554,10 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
         lost_replies: 0,
         reloads_ok: 0,
         reloads_failed: 0,
+        retrains_ok: 0,
+        retrains_failed: 0,
+        outcomes_accepted: 0,
+        outcomes_dropped: 0,
         final_stats: StatsSnapshot::default(),
         violations: Vec::new(),
     };
@@ -520,7 +570,7 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
 
     for _ in 0..config.ops {
         let roll: f64 = op_rng.gen();
-        if roll < 0.40 {
+        if roll < 0.34 {
             // Place one session.
             let (game, resolution) = draw_placement(&mut op_rng, config);
             match runner.send_op(&Request::Place { game, resolution }, true)? {
@@ -530,10 +580,10 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
                     predicted_fps,
                     model_version,
                 }) => {
-                    observe_version(model_version, &mut violations);
+                    note_version(&mut versions_seen, model_version, &mut violations);
                     let logical = next_logical;
                     next_logical += 1;
-                    live.push((logical, session));
+                    live.push((logical, session, fps_bits(predicted_fps)));
                     run.confirmed += 1;
                     trace.push(TraceOp::Place {
                         game,
@@ -559,7 +609,7 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
                 Delivery::RequestLost => run.lost_requests += 1,
                 Delivery::ReplyLost => run.lost_replies += 1,
             }
-        } else if roll < 0.55 {
+        } else if roll < 0.48 {
             // Place a small batch.
             let n = op_rng.gen_range(2..=3usize);
             let reqs: Vec<WirePlacement> = (0..n)
@@ -573,7 +623,7 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
                     model_version,
                     results,
                 }) => {
-                    observe_version(model_version, &mut violations);
+                    note_version(&mut versions_seen, model_version, &mut violations);
                     let mut outcomes = Vec::with_capacity(results.len());
                     for result in &results {
                         match result {
@@ -584,7 +634,7 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
                             } => {
                                 let logical = next_logical;
                                 next_logical += 1;
-                                live.push((logical, *session));
+                                live.push((logical, *session, fps_bits(*predicted_fps)));
                                 run.confirmed += 1;
                                 outcomes.push(PlaceOutcome::Placed {
                                     logical,
@@ -606,12 +656,12 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
                 Delivery::RequestLost => run.lost_requests += 1,
                 Delivery::ReplyLost => run.lost_replies += 1,
             }
-        } else if roll < 0.72 && !live.is_empty() {
+        } else if roll < 0.62 && !live.is_empty() {
             // Depart a random live session. The emptiness check is
             // seed-deterministic (live contents are a function of the fault
             // schedule), so the draw sequence stays reproducible.
             let idx = op_rng.gen_range(0..live.len());
-            let (logical, session) = live.swap_remove(idx);
+            let (logical, session, fps) = live.swap_remove(idx);
             match runner.send_op(&Request::Depart { session }, false)? {
                 Delivery::Reply(Response::Departed { server, .. }) => {
                     trace.push(TraceOp::Depart { logical, server });
@@ -621,12 +671,12 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
                 }
                 Delivery::RequestLost => {
                     // Never reached the daemon: the session is still live.
-                    live.push((logical, session));
+                    live.push((logical, session, fps));
                     run.lost_requests += 1;
                 }
                 Delivery::ReplyLost => unreachable!("send_op rejects reply loss on departs"),
             }
-        } else if roll < 0.88 {
+        } else if roll < 0.74 {
             // Predict against 0–2 co-runners.
             let (game, resolution) = draw_placement(&mut op_rng, config);
             let n_others = op_rng.gen_range(0..=2usize);
@@ -647,7 +697,7 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
                     model_version,
                     ..
                 }) => {
-                    observe_version(model_version, &mut violations);
+                    note_version(&mut versions_seen, model_version, &mut violations);
                     trace.push(TraceOp::Predict {
                         game,
                         resolution,
@@ -663,6 +713,116 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
                 Delivery::RequestLost => run.lost_requests += 1,
                 Delivery::ReplyLost => unreachable!("send_op rejects reply loss on predicts"),
             }
+        } else if roll < 0.86 && !live.is_empty() {
+            // Report observed FPS for 1–2 live sessions. Reports are pure
+            // bookkeeping for the feedback buffer (chaos retrains append
+            // zero trees, so the published model never changes), which is
+            // why they stay out of the replay trace. A slice of reports
+            // targets a bogus session id on purpose to exercise the
+            // dropped path.
+            let n = op_rng.gen_range(1..=2usize).min(live.len());
+            let latest = versions_seen.last().copied().unwrap_or(1);
+            let mut reports = Vec::with_capacity(n);
+            for _ in 0..n {
+                let (_, session, fps) = live[op_rng.gen_range(0..live.len())];
+                let bogus = op_rng.gen::<f64>() < 0.2;
+                let predicted = f64::from_bits(fps);
+                reports.push(OutcomeReport {
+                    session: if bogus { u64::MAX } else { session },
+                    observed_fps: predicted * op_rng.gen_range(0.7..1.1),
+                    predicted_fps: predicted,
+                    model_version: latest,
+                });
+            }
+            let request = if reports.len() == 1 {
+                Request::ReportOutcome {
+                    report: reports.pop().expect("one report"),
+                }
+            } else {
+                Request::ReportOutcomeBatch { reports }
+            };
+            match runner.send_op(&request, false)? {
+                Delivery::Reply(Response::OutcomeRecorded {
+                    accepted, dropped, ..
+                }) => {
+                    run.outcomes_accepted += accepted;
+                    run.outcomes_dropped += dropped;
+                }
+                Delivery::Reply(other) => {
+                    violations.push(format!("report_outcome answered {other:?}"));
+                }
+                Delivery::RequestLost => run.lost_requests += 1,
+                Delivery::ReplyLost => unreachable!("send_op rejects reply loss on reports"),
+            }
+        } else if roll < 0.93 {
+            // Trigger a background retrain. The Retrain injection point
+            // decides up front (client-side, so the daemon never draws on
+            // the fault stream from its retrainer thread) whether this one
+            // demands an unsatisfiable sample floor and fails. Successful
+            // retrains append zero extra boosting rounds: the republished
+            // model is bit-identical, so swap timing cannot perturb any
+            // placement decision the replay will check.
+            let fail = runner.injector.decide(InjectionPoint::Retrain) == FaultAction::FailRetrain;
+            let before = runner.raw_stats()?;
+            let expect_ok = !fail && before.feedback_buffered > 0;
+            let min_samples = if fail { Some(u64::MAX) } else { None };
+            let request = Request::TriggerRetrain {
+                min_samples,
+                extra_rounds: Some(0),
+            };
+            match runner.send_op(&request, false)? {
+                Delivery::Reply(Response::RetrainQueued { queued: true }) => {
+                    // The retrainer runs asynchronously; wait for this job
+                    // to settle so the model version is deterministic
+                    // before the next op. Stats polling is control-plane
+                    // and never draws on the fault stream.
+                    let target = before.retrains_ok + before.retrains_failed + 1;
+                    let deadline = Instant::now() + Duration::from_secs(30);
+                    let snap = loop {
+                        let snap = runner.raw_stats()?;
+                        if snap.retrains_ok + snap.retrains_failed >= target {
+                            break snap;
+                        }
+                        if Instant::now() > deadline {
+                            return Err("retrain did not settle within 30s".into());
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    };
+                    if expect_ok {
+                        if snap.retrains_ok == before.retrains_ok + 1 {
+                            run.retrains_ok += 1;
+                            note_version(&mut versions_seen, snap.model_version, &mut violations);
+                        } else {
+                            violations.push(format!(
+                                "retrain over {} buffered outcomes failed",
+                                before.feedback_buffered
+                            ));
+                        }
+                    } else {
+                        if snap.retrains_failed == before.retrains_failed + 1 {
+                            run.retrains_failed += 1;
+                        } else {
+                            violations.push(
+                                "a retrain that cannot meet its sample floor succeeded".into(),
+                            );
+                        }
+                        if snap.model_version != before.model_version {
+                            violations.push(format!(
+                                "failed retrain bumped the model version: v{} -> v{}",
+                                before.model_version, snap.model_version
+                            ));
+                        }
+                    }
+                }
+                Delivery::Reply(Response::RetrainQueued { queued: false }) => {
+                    violations.push("daemon refused to queue a retrain".into());
+                }
+                Delivery::Reply(other) => {
+                    violations.push(format!("trigger_retrain answered {other:?}"));
+                }
+                Delivery::RequestLost => run.lost_requests += 1,
+                Delivery::ReplyLost => unreachable!("send_op rejects reply loss on retrains"),
+            }
         } else {
             // Hot reload; the Reload injection point decides up front
             // whether this one targets a nonexistent artifact.
@@ -675,7 +835,7 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
                             "reload of a nonexistent artifact answered Reloaded v{version}"
                         ));
                     } else {
-                        observe_version(version, &mut violations);
+                        note_version(&mut versions_seen, version, &mut violations);
                         run.reloads_ok += 1;
                     }
                 }
@@ -697,7 +857,7 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
 
     // Drain every confirmed session (no injection: the drain is
     // bookkeeping, not part of the scenario).
-    while let Some((logical, session)) = live.pop() {
+    while let Some((logical, session, _)) = live.pop() {
         match runner.raw_call(&Request::Depart { session })? {
             Response::Departed { server, .. } => trace.push(TraceOp::Depart { logical, server }),
             other => violations.push(format!("drain depart answered {other:?}")),
@@ -724,12 +884,37 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
             snapshot.malformed_frames, runner.corrupt_sent, runner.oversized_sent
         ));
     }
-    if snapshot.model_version != 1 + run.reloads_ok {
+    if snapshot.model_version != 1 + run.reloads_ok + run.retrains_ok {
         violations.push(format!(
-            "version arithmetic: v{} after {} successful reloads (want v{})",
+            "version arithmetic: v{} after {} successful reloads + {} successful retrains \
+             (want v{})",
             snapshot.model_version,
             run.reloads_ok,
-            1 + run.reloads_ok
+            run.retrains_ok,
+            1 + run.reloads_ok + run.retrains_ok
+        ));
+    }
+    if snapshot.feedback_accepted != run.outcomes_accepted
+        || snapshot.feedback_dropped != run.outcomes_dropped
+    {
+        violations.push(format!(
+            "outcome accounting: daemon accepted {} / dropped {}, client was acked {} / {}",
+            snapshot.feedback_accepted,
+            snapshot.feedback_dropped,
+            run.outcomes_accepted,
+            run.outcomes_dropped
+        ));
+    }
+    if snapshot.feedback_accepted != snapshot.feedback_buffered + snapshot.feedback_evicted {
+        violations.push(format!(
+            "feedback conservation broken: accepted {} != buffered {} + evicted {}",
+            snapshot.feedback_accepted, snapshot.feedback_buffered, snapshot.feedback_evicted
+        ));
+    }
+    if snapshot.retrains_ok != run.retrains_ok || snapshot.retrains_failed != run.retrains_failed {
+        violations.push(format!(
+            "retrain accounting: daemon counted {}ok/{}f, client observed {}ok/{}f",
+            snapshot.retrains_ok, snapshot.retrains_failed, run.retrains_ok, run.retrains_failed
         ));
     }
     let connects = runner.connects;
@@ -778,6 +963,11 @@ fn replay(config: &ChaosConfig, trace: &[TraceOp]) -> Result<(u64, Vec<String>),
         qos: config.qos,
         print_stats_on_shutdown: false,
         fault: None,
+        feedback: FeedbackConfig {
+            auto_retrain: false,
+            min_retrain_samples: 1,
+            ..FeedbackConfig::default()
+        },
         ..Default::default()
     };
     let handle =
@@ -976,6 +1166,10 @@ pub fn run_scenario(config: &ChaosConfig) -> ScenarioReport {
         lost_replies: 0,
         reloads_ok: 0,
         reloads_failed: 0,
+        retrains_ok: 0,
+        retrains_failed: 0,
+        outcomes_accepted: 0,
+        outcomes_dropped: 0,
         replayed: 0,
         decision_digest: 0,
         final_stats: StatsSnapshot::default(),
@@ -990,6 +1184,10 @@ pub fn run_scenario(config: &ChaosConfig) -> ScenarioReport {
             report.lost_replies = run.lost_replies;
             report.reloads_ok = run.reloads_ok;
             report.reloads_failed = run.reloads_failed;
+            report.retrains_ok = run.retrains_ok;
+            report.retrains_failed = run.retrains_failed;
+            report.outcomes_accepted = run.outcomes_accepted;
+            report.outcomes_dropped = run.outcomes_dropped;
             report.final_stats = run.final_stats;
             report.violations = run.violations;
             let mut h = DefaultHasher::new();

@@ -4,7 +4,8 @@
 
 use crate::stats::StatsSnapshot;
 use crate::wire::{
-    read_frame, write_frame, BatchPlaceResult, FrameError, Request, Response, WirePlacement,
+    read_frame, write_frame, BatchPlaceResult, FrameError, OutcomeReport, Request, Response,
+    WirePlacement,
 };
 use gaugur_gamesim::{GameId, Resolution};
 use std::io;
@@ -242,10 +243,67 @@ impl Client {
         }
     }
 
+    /// Report one session's observed frame rate; returns
+    /// `(accepted, stale, dropped)` counts (each 0 or 1 for a single
+    /// report).
+    pub fn report_outcome(
+        &mut self,
+        report: OutcomeReport,
+    ) -> Result<(u64, u64, u64), ClientError> {
+        match self.call(&Request::ReportOutcome { report })? {
+            Response::OutcomeRecorded {
+                accepted,
+                stale,
+                dropped,
+            } => Ok((accepted, stale, dropped)),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Report a batch of observed frame rates in one round-trip; returns
+    /// `(accepted, stale, dropped)` counts over the whole batch.
+    pub fn report_outcomes(
+        &mut self,
+        reports: &[OutcomeReport],
+    ) -> Result<(u64, u64, u64), ClientError> {
+        let request = Request::ReportOutcomeBatch {
+            reports: reports.to_vec(),
+        };
+        match self.call(&request)? {
+            Response::OutcomeRecorded {
+                accepted,
+                stale,
+                dropped,
+            } => Ok((accepted, stale, dropped)),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Queue a background retrain from the buffered outcome dataset.
+    /// `min_samples` / `extra_rounds` override the daemon's feedback
+    /// defaults for this one retrain. Returns whether the job was queued
+    /// (`false` once the daemon is shutting down); the retrain itself runs
+    /// asynchronously — poll [`stats`](Client::stats) for
+    /// `retrains_ok`/`retrains_failed` to observe completion.
+    pub fn trigger_retrain(
+        &mut self,
+        min_samples: Option<u64>,
+        extra_rounds: Option<u64>,
+    ) -> Result<bool, ClientError> {
+        let request = Request::TriggerRetrain {
+            min_samples,
+            extra_rounds,
+        };
+        match self.call(&request)? {
+            Response::RetrainQueued { queued } => Ok(queued),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
     /// Fetch the daemon's statistics snapshot.
     pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
         match self.call(&Request::Stats)? {
-            Response::Stats(snapshot) => Ok(snapshot),
+            Response::Stats(snapshot) => Ok(*snapshot),
             other => Err(Self::unexpected(other)),
         }
     }

@@ -95,6 +95,19 @@ impl ClusterState {
         id
     }
 
+    /// Look up a live session without removing it (`None` for unknown or
+    /// already-departed ids). The outcome-ingestion path uses this to
+    /// attribute an observed frame rate to the session's game and server.
+    pub fn lookup(&self, id: u64) -> Option<PlacedSession> {
+        let &server = self.index.get(&id)?;
+        let pos = self.ids[server].iter().position(|&sid| sid == id)?;
+        Some(PlacedSession {
+            id,
+            placement: self.members[server][pos],
+            server,
+        })
+    }
+
     /// Remove a session; returns what was removed, or `None` for an unknown
     /// id (double-departs are client errors, not panics).
     pub fn depart(&mut self, id: u64) -> Option<PlacedSession> {

@@ -17,12 +17,13 @@
 
 use crate::cluster::ClusterState;
 use crate::fault::{FaultAction, FaultInjector, InjectionPoint};
+use crate::feedback::{Feedback, FeedbackConfig, OutcomeRecord};
 use crate::model::{LoadedModel, MemoizedFps, ModelHandle, PredictionMemo};
 use crate::queue::{PushError, WorkQueue};
 use crate::stats::{AtomicStats, StatsSnapshot};
 use crate::wire::{
     self, read_frame_bytes_capped, request_kind, write_frame, BatchPlaceResult, FrameError,
-    Request, Response,
+    OutcomeReport, Request, Response,
 };
 use gaugur_core::Placement;
 use gaugur_sched::{select_server_incremental_with, PlacementScratch, ScoreCache};
@@ -30,9 +31,9 @@ use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -70,6 +71,9 @@ pub struct DaemonConfig {
     /// replies consult it, so control-plane traffic never draws from the
     /// injector's seeded stream.
     pub fault: Option<Arc<FaultInjector>>,
+    /// Feedback-subsystem tuning: outcome buffering, drift detection, and
+    /// background retraining.
+    pub feedback: FeedbackConfig,
 }
 
 impl Default for DaemonConfig {
@@ -87,8 +91,18 @@ impl Default for DaemonConfig {
             memo_capacity: 1 << 16,
             print_stats_on_shutdown: true,
             fault: None,
+            feedback: FeedbackConfig::default(),
         }
     }
+}
+
+/// One queued background retrain. `None` fields fall back to the
+/// [`FeedbackConfig`] defaults; explicit values let operators (and the
+/// chaos harness) pin the retrain's behaviour per request.
+#[derive(Debug, Clone, Copy)]
+struct RetrainJob {
+    min_samples: Option<u64>,
+    extra_rounds: Option<u64>,
 }
 
 /// Cluster occupancy plus its per-server score cache, kept under one mutex
@@ -106,6 +120,10 @@ struct Shared {
     stats: AtomicStats,
     queue: WorkQueue<TcpStream>,
     shutdown: AtomicBool,
+    feedback: Feedback,
+    /// Sender side of the retrainer's job queue; `None` once shutdown has
+    /// begun (taking it is what lets the retrainer thread exit).
+    retrain_tx: Mutex<Option<mpsc::Sender<RetrainJob>>>,
 }
 
 impl Shared {
@@ -123,7 +141,31 @@ impl Shared {
         snap.cache_misses = misses;
         snap.score_hits = score_hits;
         snap.score_misses = score_misses;
+        let fc = self.feedback.counters();
+        let (drift_score, windowed_mae) = self.feedback.drift_stats();
+        snap.feedback_accepted = fc.accepted;
+        snap.feedback_stale = fc.stale;
+        snap.feedback_dropped = fc.dropped;
+        snap.feedback_buffered = fc.buffered;
+        snap.feedback_evicted = fc.evicted;
+        snap.feedback_pairs = fc.pairs;
+        snap.drift_score = drift_score;
+        snap.windowed_mae = windowed_mae;
+        snap.drift_trips = fc.drift_trips;
+        snap.retrains_ok = fc.retrains_ok;
+        snap.retrains_failed = fc.retrains_failed;
+        snap.last_retrain_ms = fc.last_retrain_ms;
+        snap.last_retrain_samples = fc.last_retrain_samples;
         snap
+    }
+
+    /// Enqueue a background retrain; `false` when the retrainer has already
+    /// shut down (the job would never run).
+    fn queue_retrain(&self, job: RetrainJob) -> bool {
+        match self.retrain_tx.lock().as_ref() {
+            Some(tx) => tx.send(job).is_ok(),
+            None => false,
+        }
     }
 }
 
@@ -134,6 +176,7 @@ pub struct DaemonHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    retrainer: Option<JoinHandle<()>>,
 }
 
 impl DaemonHandle {
@@ -164,6 +207,11 @@ impl DaemonHandle {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Dropping the sender lets the retrainer finish queued jobs and exit.
+        self.shared.retrain_tx.lock().take();
+        if let Some(r) = self.retrainer.take() {
+            let _ = r.join();
+        }
         let snap = self.shared.snapshot();
         if self.shared.config.print_stats_on_shutdown {
             println!("{snap}");
@@ -181,6 +229,10 @@ impl DaemonHandle {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        self.shared.retrain_tx.lock().take();
+        if let Some(r) = self.retrainer.take() {
+            let _ = r.join();
+        }
         let snap = self.shared.snapshot();
         if self.shared.config.print_stats_on_shutdown {
             println!("{snap}");
@@ -196,6 +248,7 @@ pub fn start(config: DaemonConfig, model: ModelHandle) -> io::Result<DaemonHandl
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
+    let (retrain_tx, retrain_rx) = mpsc::channel::<RetrainJob>();
     let shared = Arc::new(Shared {
         memo: PredictionMemo::new(config.memo_capacity),
         fleet: Mutex::new(Fleet {
@@ -205,9 +258,19 @@ pub fn start(config: DaemonConfig, model: ModelHandle) -> io::Result<DaemonHandl
         stats: AtomicStats::new(),
         queue: WorkQueue::new(config.queue_capacity),
         shutdown: AtomicBool::new(false),
+        feedback: Feedback::new(config.feedback),
+        retrain_tx: Mutex::new(Some(retrain_tx)),
         model,
         config: config.clone(),
     });
+
+    let retrainer = {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("gaugur-serve-retrainer".into())
+            .spawn(move || retrainer_loop(&shared, &retrain_rx))
+            .expect("spawn retrainer")
+    };
 
     let workers = (0..config.workers.max(1))
         .map(|i| {
@@ -232,7 +295,75 @@ pub fn start(config: DaemonConfig, model: ModelHandle) -> io::Result<DaemonHandl
         shared,
         acceptor: Some(acceptor),
         workers,
+        retrainer: Some(retrainer),
     })
+}
+
+/// Monotone sequence for retrain artifact directories; combined with the
+/// pid it keeps concurrent daemons (and successive retrains) from ever
+/// writing over each other's artifacts.
+static RETRAIN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn retrain_artifact_path() -> PathBuf {
+    let seq = RETRAIN_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "gaugur-retrain-{}-{seq}/model.json",
+        std::process::id()
+    ))
+}
+
+/// The retrainer thread: serve queued jobs until the sender is dropped at
+/// shutdown (queued jobs still run — shutdown drains, it does not abort).
+fn retrainer_loop(shared: &Shared, rx: &mpsc::Receiver<RetrainJob>) {
+    while let Ok(job) = rx.recv() {
+        run_retrain(shared, job);
+    }
+}
+
+/// One background retrain: snapshot the outcome dataset, warm-start the
+/// regression model, persist a fresh versioned artifact, and publish it
+/// through the hot-reload path. Every failure mode — too few samples, no
+/// usable outcomes, artifact I/O, reload rejection — leaves the serving
+/// model (and its version) untouched and only bumps `retrains_failed`.
+fn run_retrain(shared: &Shared, job: RetrainJob) {
+    let started = Instant::now();
+    let fb = &shared.feedback;
+    let cfg = fb.config();
+    let min_samples = job.min_samples.unwrap_or(cfg.min_retrain_samples);
+    let extra_rounds = job
+        .extra_rounds
+        .map(|r| r as usize)
+        .unwrap_or(cfg.extra_rounds);
+
+    let outcomes = fb.snapshot_outcomes();
+    if (outcomes.len() as u64) < min_samples {
+        fb.note_retrain_failed();
+        return;
+    }
+    let model = shared.model.get();
+    let Some((retrained, report)) = model.gaugur.retrain_from_outcomes(&outcomes, extra_rounds)
+    else {
+        fb.note_retrain_failed();
+        return;
+    };
+    // Publish through the artifact + reload path rather than swapping
+    // in-memory: the on-disk artifact stays the source of truth (a daemon
+    // restart or an operator `reload` sees the retrained model), and the
+    // swap inherits reload's monotone-version guarantee.
+    let path = retrain_artifact_path();
+    let published = path
+        .parent()
+        .map(std::fs::create_dir_all)
+        .transpose()
+        .and_then(|_| retrained.save_json(&path))
+        .and_then(|_| shared.model.reload(Some(&path)));
+    match published {
+        Ok(_version) => fb.note_retrain_ok(
+            started.elapsed().as_millis() as u64,
+            report.samples_used as u64,
+        ),
+        Err(_) => fb.note_retrain_failed(),
+    }
 }
 
 fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
@@ -478,6 +609,82 @@ fn admit_one(
     Some((session, sel.server, prediction.fps))
 }
 
+/// Ingest a batch of outcome reports (the shared body of `ReportOutcome`
+/// and `ReportOutcomeBatch`). Each report's session is resolved against the
+/// live fleet to recover the colocation the observation belongs to; unknown
+/// sessions (already departed, or never placed) and non-finite frame rates
+/// are dropped. Reports tagged with an older model version are buffered as
+/// training data but kept out of the drift statistics — their prediction
+/// error describes a model that is no longer serving.
+fn ingest_reports(shared: &Shared, reports: &[OutcomeReport]) -> (Response, bool) {
+    let current_version = shared.model.version();
+    let mut accepted = 0u64;
+    let mut stale_count = 0u64;
+    let mut dropped = 0u64;
+    let mut tripped = false;
+    for report in reports {
+        if !report.observed_fps.is_finite() || report.observed_fps <= 0.0 {
+            shared.feedback.note_dropped();
+            dropped += 1;
+            continue;
+        }
+        // Resolve under the fleet lock, ingest outside it: ingestion takes
+        // its own (feedback) locks and must not extend the placement
+        // critical section.
+        let resolved = {
+            let fleet = shared.fleet.lock();
+            fleet.cluster.lookup(report.session).map(|placed| {
+                // Co-runners = the server's occupancy minus the session
+                // itself (game ids are unique per server by invariant).
+                let others: Vec<Placement> = fleet
+                    .cluster
+                    .members(placed.server)
+                    .iter()
+                    .filter(|&&(g, _)| g != placed.placement.0)
+                    .copied()
+                    .collect();
+                (placed.placement, others)
+            })
+        };
+        match resolved {
+            Some((target, others)) => {
+                let stale = report.model_version < current_version;
+                tripped |= shared.feedback.ingest(
+                    OutcomeRecord {
+                        target,
+                        others,
+                        observed_fps: report.observed_fps,
+                    },
+                    report.predicted_fps,
+                    stale,
+                );
+                accepted += 1;
+                if stale {
+                    stale_count += 1;
+                }
+            }
+            None => {
+                shared.feedback.note_dropped();
+                dropped += 1;
+            }
+        }
+    }
+    if tripped && shared.feedback.config().auto_retrain {
+        let _ = shared.queue_retrain(RetrainJob {
+            min_samples: None,
+            extra_rounds: None,
+        });
+    }
+    (
+        Response::OutcomeRecorded {
+            accepted,
+            stale: stale_count,
+            dropped,
+        },
+        true,
+    )
+}
+
 fn handle_request(
     shared: &Shared,
     request: &Request,
@@ -641,7 +848,19 @@ fn handle_request(
                 true,
             )
         }
-        Request::Stats => (Response::Stats(shared.snapshot()), true),
+        Request::ReportOutcome { report } => ingest_reports(shared, std::slice::from_ref(report)),
+        Request::ReportOutcomeBatch { reports } => ingest_reports(shared, reports),
+        Request::TriggerRetrain {
+            min_samples,
+            extra_rounds,
+        } => {
+            let queued = shared.queue_retrain(RetrainJob {
+                min_samples: *min_samples,
+                extra_rounds: *extra_rounds,
+            });
+            (Response::RetrainQueued { queued }, queued)
+        }
+        Request::Stats => (Response::Stats(Box::new(shared.snapshot())), true),
         Request::ReloadModel { path } => {
             match shared.model.reload(path.as_deref().map(Path::new)) {
                 Ok(version) => (Response::Reloaded { version }, true),

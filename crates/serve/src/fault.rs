@@ -33,6 +33,8 @@ pub enum InjectionPoint {
     Reply,
     /// The chaos client is about to issue a model reload.
     Reload,
+    /// The chaos client is about to trigger a background retrain.
+    Retrain,
 }
 
 /// What the injector decided to do at a point.
@@ -59,6 +61,9 @@ pub enum FaultAction {
     Stall(u64),
     /// Reload only: point the reload at a nonexistent artifact so it fails.
     FailReload,
+    /// Retrain only: request a retrain that cannot satisfy its sample
+    /// floor, so the background job fails without touching the model.
+    FailRetrain,
 }
 
 /// Per-point fault probabilities. Each decision draws one uniform sample
@@ -86,6 +91,9 @@ pub struct FaultPlan {
     pub stall_reply: f64,
     /// P(a reload targets a nonexistent artifact and fails).
     pub fail_reload: f64,
+    /// P(a triggered retrain demands an unsatisfiable sample floor and
+    /// fails in the background).
+    pub fail_retrain: f64,
     /// Stall duration for `Stall` actions, in milliseconds.
     pub stall_ms: u64,
 }
@@ -105,6 +113,7 @@ impl FaultPlan {
             torn_reply: 0.0,
             stall_reply: 0.0,
             fail_reload: 0.0,
+            fail_retrain: 0.0,
             stall_ms: 0,
         }
     }
@@ -126,6 +135,7 @@ impl FaultPlan {
             torn_reply: 0.06,
             stall_reply: 0.05,
             fail_reload: 0.35,
+            fail_retrain: 0.35,
             stall_ms: 15,
         }
     }
@@ -215,6 +225,7 @@ impl FaultInjector {
                 ],
             ),
             InjectionPoint::Reload => pick(draw, &[(p.fail_reload, FaultAction::FailReload)]),
+            InjectionPoint::Retrain => pick(draw, &[(p.fail_retrain, FaultAction::FailRetrain)]),
         };
         events.push(FaultEvent {
             seq: events.len() as u64,
@@ -283,6 +294,7 @@ mod tests {
             seen.insert(format!("{:?}", injector.decide(InjectionPoint::Request)));
             seen.insert(format!("{:?}", injector.decide(InjectionPoint::Reply)));
             seen.insert(format!("{:?}", injector.decide(InjectionPoint::Reload)));
+            seen.insert(format!("{:?}", injector.decide(InjectionPoint::Retrain)));
         }
         for action in [
             "DropConnection",
@@ -292,6 +304,7 @@ mod tests {
             "OversizedFrame",
             "Stall(15)",
             "FailReload",
+            "FailRetrain",
             "None",
         ] {
             assert!(seen.contains(action), "never drew {action}");

@@ -23,6 +23,7 @@
 //! * [`cluster`] — live fleet occupancy and session bookkeeping.
 //! * [`queue`] — the bounded work queue between acceptor and workers.
 //! * [`stats`] — atomic counters and latency histograms.
+//! * [`feedback`] — outcome ingestion, drift detection, retrain dataset.
 //! * [`client`] — typed blocking client over one connection.
 //! * [`load`] — deterministic Poisson load driver.
 //! * [`fault`] — seeded fault plans and the deterministic injector.
@@ -64,6 +65,7 @@ pub mod client;
 pub mod cluster;
 pub mod daemon;
 pub mod fault;
+pub mod feedback;
 pub mod load;
 pub mod model;
 pub mod queue;
@@ -75,7 +77,8 @@ pub use client::{Client, ClientError, Placed, Predicted};
 pub use cluster::ClusterState;
 pub use daemon::{start, DaemonConfig, DaemonHandle};
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultPlan, InjectionPoint};
+pub use feedback::{DriftDetector, Feedback, FeedbackConfig, FeedbackCounters, OutcomeRecord};
 pub use load::{LoadConfig, LoadReport};
 pub use model::{LoadedModel, MemoizedFps, ModelHandle, PredictionMemo};
 pub use stats::{RequestStats, StatsSnapshot};
-pub use wire::{BatchPlaceResult, Request, Response, WirePlacement};
+pub use wire::{BatchPlaceResult, OutcomeReport, Request, Response, WirePlacement};

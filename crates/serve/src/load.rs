@@ -9,7 +9,7 @@
 //! rate-paced runs equally deterministic.
 
 use crate::client::{Client, ClientError};
-use crate::wire::{BatchPlaceResult, WirePlacement};
+use crate::wire::{BatchPlaceResult, OutcomeReport, WirePlacement};
 use gaugur_gamesim::rng::rng_for;
 use gaugur_gamesim::{GameId, Resolution};
 use rand::Rng;
@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 
 const LOAD_CTX: u64 = 0x4C4F_4144; // "LOAD"
 const RETRY_CTX: u64 = 0x5254_5259; // "RTRY"
+const NOISE_CTX: u64 = 0x4E4F_4953; // "NOIS"
 
 /// Bounded retries on `Overloaded` pushback before giving up on an arrival.
 const MAX_OVERLOAD_RETRIES: u32 = 4;
@@ -51,6 +52,18 @@ pub struct LoadConfig {
     /// Arrivals grouped into one `PlaceBatch` frame (1 = one `Place` per
     /// arrival; latency is then sampled per frame, not per arrival).
     pub batch: usize,
+    /// Report a simulated observed frame rate for every placed session,
+    /// closing the feedback loop (`ReportOutcome` / `ReportOutcomeBatch`).
+    pub report_outcomes: bool,
+    /// Multiplicative noise amplitude on simulated observations: observed
+    /// FPS is drawn uniformly from `predicted × drift × [1−ε, 1+ε]`. Drawn
+    /// from its own seeded stream (`NOISE_CTX`), so enabling reports never
+    /// perturbs the arrival sequence.
+    pub observe_noise: f64,
+    /// World-drift multiplier applied to simulated observations; values
+    /// away from 1.0 emulate a workload shift the serving model has not
+    /// seen, which is what drives the drift detector and retraining.
+    pub drift: f64,
 }
 
 impl Default for LoadConfig {
@@ -66,6 +79,9 @@ impl Default for LoadConfig {
             resolutions: vec![Resolution::Hd720, Resolution::Fhd1080],
             qos: 60.0,
             batch: 1,
+            report_outcomes: false,
+            observe_noise: 0.05,
+            drift: 1.0,
         }
     }
 }
@@ -86,6 +102,13 @@ pub struct LoadReport {
     pub departed: u64,
     /// Transport or daemon errors.
     pub errors: u64,
+    /// Outcome reports the daemon accepted (when `report_outcomes` is on).
+    pub outcomes_reported: u64,
+    /// Accepted outcome reports tagged with an outdated model version.
+    pub outcomes_stale: u64,
+    /// Outcome reports the daemon dropped (e.g. the session had already
+    /// departed by the time the report arrived).
+    pub outcomes_dropped: u64,
     /// Mean predicted FPS over placed sessions.
     pub mean_predicted_fps: f64,
     /// Fraction of placed sessions predicted below the QoS floor.
@@ -111,6 +134,13 @@ impl std::fmt::Display for LoadReport {
         writeln!(f, "  retries:       {}", self.retries)?;
         writeln!(f, "  departed:      {}", self.departed)?;
         writeln!(f, "  errors:        {}", self.errors)?;
+        if self.outcomes_reported + self.outcomes_dropped > 0 {
+            writeln!(
+                f,
+                "  outcomes:      {} reported ({} stale) / {} dropped",
+                self.outcomes_reported, self.outcomes_stale, self.outcomes_dropped
+            )?;
+        }
         writeln!(f, "  predicted fps: {:.2} mean", self.mean_predicted_fps)?;
         writeln!(
             f,
@@ -136,6 +166,51 @@ struct ThreadOutcome {
     fps_sum: f64,
     violations: u64,
     latencies_us: Vec<u64>,
+    outcomes_reported: u64,
+    outcomes_stale: u64,
+    outcomes_dropped: u64,
+}
+
+/// Simulate the frame rate the session "actually" achieved: the model's
+/// prediction, scaled by the configured world drift, with uniform
+/// multiplicative noise.
+fn observe_fps(noise_rng: &mut ChaCha8Rng, config: &LoadConfig, predicted: f64) -> f64 {
+    let eps = config.observe_noise.max(0.0);
+    let noise = if eps > 0.0 {
+        noise_rng.gen_range(-eps..=eps)
+    } else {
+        0.0
+    };
+    predicted * config.drift * (1.0 + noise)
+}
+
+/// Send one outcome-report batch, folding the daemon's accounting into the
+/// thread's tallies.
+fn send_reports(
+    client: &mut Client,
+    config: &LoadConfig,
+    reports: &[OutcomeReport],
+    out: &mut ThreadOutcome,
+) {
+    if reports.is_empty() {
+        return;
+    }
+    let result = if reports.len() == 1 {
+        client.report_outcome(reports[0].clone())
+    } else {
+        client.report_outcomes(reports)
+    };
+    match result {
+        Ok((accepted, stale, dropped)) => {
+            out.outcomes_reported += accepted;
+            out.outcomes_stale += stale;
+            out.outcomes_dropped += dropped;
+        }
+        Err(e) => {
+            out.errors += 1;
+            note_error(client, &config.addr, &e);
+        }
+    }
 }
 
 fn exponential(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
@@ -202,9 +277,13 @@ fn run_thread(config: &LoadConfig, thread: usize, n_arrivals: u64) -> ThreadOutc
         fps_sum: 0.0,
         violations: 0,
         latencies_us: Vec::with_capacity(n_arrivals as usize),
+        outcomes_reported: 0,
+        outcomes_stale: 0,
+        outcomes_dropped: 0,
     };
     let mut rng = rng_for(config.seed, &[LOAD_CTX, thread as u64]);
     let mut retry_rng = rng_for(config.seed, &[LOAD_CTX, thread as u64, RETRY_CTX]);
+    let mut noise_rng = rng_for(config.seed, &[LOAD_CTX, thread as u64, NOISE_CTX]);
     let per_thread_rate = config.rate / config.connections.max(1) as f64;
     let batch = config.batch.max(1) as u64;
     // Min-heap of (departure arrival-index, session id).
@@ -278,6 +357,15 @@ fn run_thread(config: &LoadConfig, thread: usize, n_arrivals: u64) -> ThreadOutc
                         out.violations += 1;
                     }
                     departures.push(Reverse((i + lifetime, placed.session)));
+                    if config.report_outcomes {
+                        let report = OutcomeReport {
+                            session: placed.session,
+                            observed_fps: observe_fps(&mut noise_rng, config, placed.predicted_fps),
+                            predicted_fps: placed.predicted_fps,
+                            model_version: placed.model_version,
+                        };
+                        send_reports(&mut client, config, &[report], &mut out);
+                    }
                 }
                 Err(ClientError::Rejected { .. }) => {
                     out.latencies_us.push(t0.elapsed().as_micros() as u64);
@@ -299,9 +387,10 @@ fn run_thread(config: &LoadConfig, thread: usize, n_arrivals: u64) -> ThreadOutc
                 &mut out.retries,
                 |c| c.place_batch(&wire),
             ) {
-                Ok((_version, results)) => {
+                Ok((version, results)) => {
                     // One latency sample per frame, not per arrival.
                     out.latencies_us.push(t0.elapsed().as_micros() as u64);
+                    let mut reports: Vec<OutcomeReport> = Vec::new();
                     for (k, result) in results.iter().enumerate() {
                         match result {
                             BatchPlaceResult::Placed {
@@ -316,10 +405,23 @@ fn run_thread(config: &LoadConfig, thread: usize, n_arrivals: u64) -> ThreadOutc
                                 }
                                 let lifetime = arrivals[k].2;
                                 departures.push(Reverse((i + k as u64 + lifetime, *session)));
+                                if config.report_outcomes {
+                                    reports.push(OutcomeReport {
+                                        session: *session,
+                                        observed_fps: observe_fps(
+                                            &mut noise_rng,
+                                            config,
+                                            *predicted_fps,
+                                        ),
+                                        predicted_fps: *predicted_fps,
+                                        model_version: version,
+                                    });
+                                }
                             }
                             BatchPlaceResult::Rejected { .. } => out.rejected += 1,
                         }
                     }
+                    send_reports(&mut client, config, &reports, &mut out);
                     out.errors += (wire.len().saturating_sub(results.len())) as u64;
                 }
                 Err(e) => {
@@ -379,6 +481,9 @@ pub fn run(config: &LoadConfig) -> LoadReport {
         report.retries += o.retries;
         report.departed += o.departed;
         report.errors += o.errors;
+        report.outcomes_reported += o.outcomes_reported;
+        report.outcomes_stale += o.outcomes_stale;
+        report.outcomes_dropped += o.outcomes_dropped;
         fps_sum += o.fps_sum;
         violations += o.violations;
         latencies.extend(o.latencies_us);
@@ -442,6 +547,31 @@ mod tests {
         let mut retry = rng_for(config.seed, &[LOAD_CTX, 0, RETRY_CTX]);
         let same = (0..100).all(|_| arrivals.gen::<u64>() == retry.gen::<u64>());
         assert!(!same);
+    }
+
+    #[test]
+    fn observation_noise_uses_a_separate_stream_and_respects_drift() {
+        // Enabling outcome reports must not perturb the arrival sequence.
+        let config = LoadConfig::default();
+        let mut arrivals = rng_for(config.seed, &[LOAD_CTX, 0]);
+        let mut noise = rng_for(config.seed, &[LOAD_CTX, 0, NOISE_CTX]);
+        let same = (0..100).all(|_| arrivals.gen::<u64>() == noise.gen::<u64>());
+        assert!(!same);
+
+        // Observations track predicted × drift within the noise envelope.
+        let mut config = LoadConfig {
+            drift: 0.8,
+            observe_noise: 0.05,
+            ..LoadConfig::default()
+        };
+        let mut rng = rng_for(config.seed, &[LOAD_CTX, 0, NOISE_CTX]);
+        for _ in 0..200 {
+            let obs = observe_fps(&mut rng, &config, 100.0);
+            assert!((76.0..=84.0).contains(&obs), "{obs}");
+        }
+        // Zero noise is exact.
+        config.observe_noise = 0.0;
+        assert_eq!(observe_fps(&mut rng, &config, 50.0), 40.0);
     }
 
     #[test]

@@ -114,6 +114,50 @@ pub struct StatsSnapshot {
     /// Per-server score-cache misses (full server-sum recomputations).
     #[serde(default)]
     pub score_misses: u64,
+    /// Outcome reports accepted into the feedback buffer (fresh or stale).
+    #[serde(default)]
+    pub feedback_accepted: u64,
+    /// Accepted reports whose `model_version` predated the current model;
+    /// buffered as training data but excluded from drift statistics.
+    #[serde(default)]
+    pub feedback_stale: u64,
+    /// Outcome reports rejected (unknown session or non-finite FPS).
+    #[serde(default)]
+    pub feedback_dropped: u64,
+    /// Outcome records currently buffered for the next retrain.
+    #[serde(default)]
+    pub feedback_buffered: u64,
+    /// Outcome records evicted from full ring shards. Conservation
+    /// invariant: `feedback_accepted` = `feedback_buffered` +
+    /// `feedback_evicted` + records consumed by snapshots (snapshots do not
+    /// drain, so accepted = buffered + evicted at all times).
+    #[serde(default)]
+    pub feedback_evicted: u64,
+    /// Distinct (game, game) colocation pairs with outcome aggregates.
+    #[serde(default)]
+    pub feedback_pairs: u64,
+    /// Current overall Page–Hinkley drift score (0 when quiescent).
+    #[serde(default)]
+    pub drift_score: f64,
+    /// Mean absolute relative FPS error over the sliding feedback window.
+    #[serde(default)]
+    pub windowed_mae: f64,
+    /// Times the drift detector tripped since startup.
+    #[serde(default)]
+    pub drift_trips: u64,
+    /// Background retrains that completed and published a new model version.
+    #[serde(default)]
+    pub retrains_ok: u64,
+    /// Background retrains that failed (too few samples, unusable data, or
+    /// injected faults); these never bump the model version.
+    #[serde(default)]
+    pub retrains_failed: u64,
+    /// Wall-clock duration of the most recent successful retrain (ms).
+    #[serde(default)]
+    pub last_retrain_ms: u64,
+    /// Outcome samples used by the most recent successful retrain.
+    #[serde(default)]
+    pub last_retrain_samples: u64,
     /// Counters per request kind.
     pub per_request: BTreeMap<String, RequestStats>,
 }
@@ -177,6 +221,26 @@ impl std::fmt::Display for StatsSnapshot {
             self.score_hits,
             self.score_misses,
             100.0 * self.score_hit_rate()
+        )?;
+        writeln!(
+            f,
+            "  feedback:          {} accepted ({} stale) / {} dropped, {} buffered / {} evicted, {} pairs",
+            self.feedback_accepted,
+            self.feedback_stale,
+            self.feedback_dropped,
+            self.feedback_buffered,
+            self.feedback_evicted,
+            self.feedback_pairs
+        )?;
+        writeln!(
+            f,
+            "  drift:             score {:.4}, windowed MAE {:.4}, {} trips",
+            self.drift_score, self.windowed_mae, self.drift_trips
+        )?;
+        writeln!(
+            f,
+            "  retrains:          {} ok / {} failed, last {} ms over {} samples",
+            self.retrains_ok, self.retrains_failed, self.last_retrain_ms, self.last_retrain_samples
         )?;
         writeln!(
             f,
@@ -373,10 +437,24 @@ impl AtomicStats {
             placements_rolled_back: self.rolled_back.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            // The score cache lives under the daemon's fleet lock; the
-            // daemon fills these in when it assembles the full snapshot.
+            // The score cache and the feedback subsystem live outside these
+            // atomics; the daemon fills all of the below in when it
+            // assembles the full snapshot.
             score_hits: 0,
             score_misses: 0,
+            feedback_accepted: 0,
+            feedback_stale: 0,
+            feedback_dropped: 0,
+            feedback_buffered: 0,
+            feedback_evicted: 0,
+            feedback_pairs: 0,
+            drift_score: 0.0,
+            windowed_mae: 0.0,
+            drift_trips: 0,
+            retrains_ok: 0,
+            retrains_failed: 0,
+            last_retrain_ms: 0,
+            last_retrain_samples: 0,
             per_request,
         }
     }

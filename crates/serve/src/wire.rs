@@ -61,6 +61,27 @@ pub enum Request {
         /// QoS frame-rate floor for the feasibility class.
         qos: f64,
     },
+    /// Report one observed session outcome into the feedback loop.
+    ReportOutcome {
+        /// The observation.
+        report: OutcomeReport,
+    },
+    /// Report a burst of observed outcomes in one frame; reports are
+    /// ingested in order and each is accepted or dropped independently.
+    ReportOutcomeBatch {
+        /// The observations.
+        reports: Vec<OutcomeReport>,
+    },
+    /// Snapshot the accumulated outcome buffer and retrain + hot-swap the
+    /// model on the background retrainer thread.
+    TriggerRetrain {
+        /// Fail the retrain when the snapshot holds fewer outcomes than
+        /// this; `None` uses the daemon's configured floor.
+        min_samples: Option<u64>,
+        /// Boosting rounds to append to the ensemble; `None` uses the
+        /// daemon's configured default.
+        extra_rounds: Option<u64>,
+    },
     /// Fetch the daemon's counters and latency histograms.
     Stats,
     /// Hot-swap the model: reload from `path`, or from the original
@@ -71,6 +92,26 @@ pub enum Request {
     },
     /// Ask the daemon to shut down gracefully (drains in-flight work).
     Shutdown,
+}
+
+/// One observed session outcome as reported over the wire.
+///
+/// The daemon resolves `session` against the live fleet to recover the
+/// game, resolution, server, and co-runners — a reporter only needs what
+/// the `Placed` reply gave it plus its own frame-rate measurement. Carrying
+/// `predicted_fps` and `model_version` back lets the drift detector compare
+/// prediction against observation and discount reports whose prediction
+/// came from a model that has since been replaced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutcomeReport {
+    /// The session the observation belongs to (from the `Placed` reply).
+    pub session: u64,
+    /// The frame rate the session actually achieved.
+    pub observed_fps: f64,
+    /// The frame rate predicted at placement time.
+    pub predicted_fps: f64,
+    /// Version of the model that made that prediction.
+    pub model_version: u64,
 }
 
 /// Daemon-to-client messages.
@@ -120,8 +161,24 @@ pub enum Response {
         /// Whether the answer came from the prediction memo.
         cached: bool,
     },
+    /// Answer to `ReportOutcome` / `ReportOutcomeBatch`.
+    OutcomeRecorded {
+        /// Reports buffered as training outcomes.
+        accepted: u64,
+        /// Reports buffered but excluded from drift statistics because the
+        /// serving model is newer than the one that made their prediction.
+        stale: u64,
+        /// Reports dropped entirely (session not live, non-finite FPS).
+        dropped: u64,
+    },
+    /// Answer to `TriggerRetrain`.
+    RetrainQueued {
+        /// Whether the retrainer accepted the job (`false`: another
+        /// retrain is already pending or running).
+        queued: bool,
+    },
     /// Answer to `Stats`.
-    Stats(StatsSnapshot),
+    Stats(Box<StatsSnapshot>),
     /// Answer to `ReloadModel`.
     Reloaded {
         /// The new model version.
@@ -261,6 +318,9 @@ pub fn request_kind(req: &Request) -> &'static str {
         Request::PlaceBatch { .. } => "place_batch",
         Request::Depart { .. } => "depart",
         Request::Predict { .. } => "predict",
+        Request::ReportOutcome { .. } => "report_outcome",
+        Request::ReportOutcomeBatch { .. } => "report_outcome_batch",
+        Request::TriggerRetrain { .. } => "trigger_retrain",
         Request::Stats => "stats",
         Request::ReloadModel { .. } => "reload_model",
         Request::Shutdown => "shutdown",
@@ -269,11 +329,14 @@ pub fn request_kind(req: &Request) -> &'static str {
 
 /// All request-kind labels, in a stable order (drives stats pre-registration
 /// so snapshots always carry every kind).
-pub const REQUEST_KINDS: [&str; 7] = [
+pub const REQUEST_KINDS: [&str; 10] = [
     "place",
     "place_batch",
     "depart",
     "predict",
+    "report_outcome",
+    "report_outcome_batch",
+    "trigger_retrain",
     "stats",
     "reload_model",
     "shutdown",
@@ -323,6 +386,39 @@ mod tests {
             ],
             qos: 60.0,
         });
+        roundtrip_request(&Request::ReportOutcome {
+            report: OutcomeReport {
+                session: 7,
+                observed_fps: 54.5,
+                predicted_fps: 58.25,
+                model_version: 2,
+            },
+        });
+        roundtrip_request(&Request::ReportOutcomeBatch {
+            reports: vec![
+                OutcomeReport {
+                    session: 7,
+                    observed_fps: 54.5,
+                    predicted_fps: 58.25,
+                    model_version: 2,
+                },
+                OutcomeReport {
+                    session: 9,
+                    observed_fps: 61.0,
+                    predicted_fps: 59.5,
+                    model_version: 1,
+                },
+            ],
+        });
+        roundtrip_request(&Request::ReportOutcomeBatch { reports: vec![] });
+        roundtrip_request(&Request::TriggerRetrain {
+            min_samples: None,
+            extra_rounds: None,
+        });
+        roundtrip_request(&Request::TriggerRetrain {
+            min_samples: Some(64),
+            extra_rounds: Some(120),
+        });
         roundtrip_request(&Request::Stats);
         roundtrip_request(&Request::ReloadModel { path: None });
         roundtrip_request(&Request::ReloadModel {
@@ -366,7 +462,15 @@ mod tests {
             model_version: 2,
             cached: false,
         });
-        roundtrip_response(&Response::Stats(AtomicStats::new().snapshot(1, 0, 4)));
+        roundtrip_response(&Response::OutcomeRecorded {
+            accepted: 2,
+            stale: 1,
+            dropped: 0,
+        });
+        roundtrip_response(&Response::RetrainQueued { queued: true });
+        roundtrip_response(&Response::Stats(Box::new(
+            AtomicStats::new().snapshot(1, 0, 4),
+        )));
         roundtrip_response(&Response::Reloaded { version: 3 });
         roundtrip_response(&Response::Overloaded { retry_after_ms: 25 });
         roundtrip_response(&Response::ShuttingDown);
@@ -386,11 +490,11 @@ mod tests {
         stats.note_malformed();
         let snap = stats.snapshot(9, 17, 8);
         let mut buf = Vec::new();
-        write_frame(&mut buf, &Response::Stats(snap.clone())).unwrap();
+        write_frame(&mut buf, &Response::Stats(Box::new(snap.clone()))).unwrap();
         let back: Response = read_frame(&mut Cursor::new(&buf)).unwrap();
         match back {
             Response::Stats(s) => {
-                assert_eq!(s, snap);
+                assert_eq!(*s, snap);
                 let place = &s.per_request["place"];
                 assert_eq!(place.ok, 5);
                 assert_eq!(place.latency_us.iter().sum::<u64>(), 5);
@@ -473,6 +577,34 @@ mod tests {
                 others: vec![(GameId(1), Resolution::Fhd1080)],
                 qos: 60.0,
             },
+            Request::ReportOutcome {
+                report: OutcomeReport {
+                    session: 42,
+                    observed_fps: 55.5,
+                    predicted_fps: 58.0,
+                    model_version: 1,
+                },
+            },
+            Request::ReportOutcomeBatch {
+                reports: vec![
+                    OutcomeReport {
+                        session: 42,
+                        observed_fps: 55.5,
+                        predicted_fps: 58.0,
+                        model_version: 1,
+                    },
+                    OutcomeReport {
+                        session: 43,
+                        observed_fps: 61.25,
+                        predicted_fps: 60.0,
+                        model_version: 2,
+                    },
+                ],
+            },
+            Request::TriggerRetrain {
+                min_samples: Some(16),
+                extra_rounds: Some(40),
+            },
             Request::Stats,
             Request::ReloadModel {
                 path: Some("/tmp/model.json".into()),
@@ -512,7 +644,7 @@ mod tests {
     proptest! {
         #[test]
         fn payload_mutations_decode_cleanly_and_keep_the_stream_in_sync(
-            which in 0usize..7,
+            which in 0usize..10,
             offset_seed in any::<u64>(),
             bit in 0u8..8,
         ) {
@@ -539,7 +671,7 @@ mod tests {
 
         #[test]
         fn header_mutations_never_panic_or_read_past_the_input(
-            which in 0usize..7,
+            which in 0usize..10,
             pos in 0usize..4,
             bit in 0u8..8,
         ) {

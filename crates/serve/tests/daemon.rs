@@ -242,6 +242,9 @@ fn hot_reload_under_live_load_fails_no_inflight_request() {
                 resolutions: vec![Resolution::Hd720, Resolution::Fhd1080],
                 qos: 60.0,
                 batch: 1,
+                report_outcomes: false,
+                observe_noise: 0.0,
+                drift: 1.0,
             })
         }
     });
@@ -606,4 +609,113 @@ fn shutdown_request_over_the_wire_stops_the_daemon() {
     let stats = handle.wait();
     assert_eq!(stats.per_request["place"].ok, 1);
     assert_eq!(stats.per_request["shutdown"].ok, 1);
+}
+
+#[test]
+fn drifted_outcomes_feed_a_retrain_that_lowers_the_windowed_error() {
+    // The closed loop end to end: the "real" environment delivers a constant
+    // fraction of what the seed model predicts; outcome reports feed the
+    // daemon's feedback buffer, a triggered retrain warm-starts on them and
+    // hot-swaps the refreshed artifact, and the windowed relative error over
+    // fresh reports must come down afterwards.
+    const DRIFT: f64 = 0.8;
+    let truth = model(); // frozen copy for computing ground-truth FPS
+    let handle = daemon::start(
+        DaemonConfig {
+            // One server: the second placement of each round is forced to
+            // colocate, so its prediction runs through the regression model
+            // (solo placements short-circuit to the profiled solo FPS and
+            // can never improve with retraining).
+            n_servers: 1,
+            feedback: gaugur_serve::FeedbackConfig {
+                window: 16,
+                min_retrain_samples: 16,
+                auto_retrain: false,
+                ..Default::default()
+            },
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let res = Resolution::Fhd1080;
+    let mut rng = rng_for(0xFEED, &[1]);
+
+    // One phase = 20 rounds of: place a session, colocate a second beside
+    // it, report the second one's observed FPS, then drain both. Reporting
+    // before the fleet changes keeps the report's predicted FPS consistent
+    // with the co-runner set the daemon resolves at ingest time.
+    let phase = |client: &mut Client, rng: &mut rand_chacha::ChaCha8Rng| {
+        for _ in 0..20 {
+            let ga = GameId(rng.gen_range(0..N_GAMES));
+            let gb = loop {
+                let g = rng.gen_range(0..N_GAMES);
+                if g != ga.0 {
+                    break GameId(g);
+                }
+            };
+            let pa = client.place(ga, res).unwrap();
+            let pb = client.place(gb, res).unwrap();
+            assert_eq!(pb.server, pa.server, "one server: must colocate");
+            let (accepted, _, dropped) = client
+                .report_outcome(gaugur_serve::OutcomeReport {
+                    session: pb.session,
+                    observed_fps: DRIFT * truth.predict_fps((gb, res), &[(ga, res)]),
+                    predicted_fps: pb.predicted_fps,
+                    model_version: pb.model_version,
+                })
+                .unwrap();
+            assert_eq!((accepted, dropped), (1, 0));
+            client.depart(pb.session).unwrap();
+            client.depart(pa.session).unwrap();
+        }
+    };
+
+    phase(&mut client, &mut rng);
+    let pre = client.stats().unwrap();
+    assert_eq!(pre.feedback_accepted, 20);
+    assert_eq!(pre.feedback_dropped, 0);
+    assert!(
+        pre.windowed_mae > 0.15,
+        "the drifted environment should show up as windowed error, got {}",
+        pre.windowed_mae
+    );
+
+    assert!(client.trigger_retrain(None, None).unwrap());
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let settled = loop {
+        let snap = client.stats().unwrap();
+        if snap.retrains_ok + snap.retrains_failed > 0 {
+            break snap;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "retrain did not settle"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(settled.retrains_ok, 1, "retrain over 20 outcomes failed");
+    assert_eq!(
+        settled.model_version, 2,
+        "retrain must publish a new version"
+    );
+    assert_eq!(settled.last_retrain_samples, 20);
+
+    // Fresh reports against the retrained model; the window (16) is smaller
+    // than one phase's 20 reports, so the post snapshot is all-new data.
+    phase(&mut client, &mut rng);
+    let post = client.stats().unwrap();
+    assert_eq!(post.feedback_dropped, 0);
+    assert!(
+        post.windowed_mae < pre.windowed_mae / 2.0,
+        "retrain must at least halve the windowed error: pre {} post {}",
+        pre.windowed_mae,
+        post.windowed_mae
+    );
+    let final_stats = handle.shutdown();
+    // Every request this test sent was answered successfully.
+    for (kind, counters) in &final_stats.per_request {
+        assert_eq!(counters.errors, 0, "{kind} requests failed");
+    }
 }

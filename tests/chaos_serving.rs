@@ -46,12 +46,15 @@ fn every_seeded_scenario_passes_all_oracles() {
     let mut failures = Vec::new();
     let mut kinds = std::collections::BTreeSet::new();
     let (mut confirmed, mut lost) = (0u64, 0u64);
+    let (mut retrains, mut outcomes) = (0u64, 0u64);
     for report in &reports {
         if !report.passed() {
             failures.push(format!("{report}"));
         }
         confirmed += report.confirmed;
         lost += report.lost_requests + report.lost_replies;
+        retrains += report.retrains_ok + report.retrains_failed;
+        outcomes += report.outcomes_accepted;
         for event in &report.events {
             kinds.insert(format!("{:?}", event.action));
         }
@@ -67,6 +70,14 @@ fn every_seeded_scenario_passes_all_oracles() {
     // *and* faults actually fired, covering every injection kind.
     assert!(confirmed > 0, "no placement survived any scenario");
     assert!(lost > 0, "no fault ever fired across {SCENARIOS} seeds");
+    assert!(
+        retrains > 0,
+        "no retrain ever settled across {SCENARIOS} seeds"
+    );
+    assert!(
+        outcomes > 0,
+        "no outcome report was ever accepted across {SCENARIOS} seeds"
+    );
     for kind in [
         "DropConnection",
         "TornFrame",
@@ -74,6 +85,7 @@ fn every_seeded_scenario_passes_all_oracles() {
         "StalledFrame",
         "OversizedFrame",
         "FailReload",
+        "FailRetrain",
         "None",
     ] {
         assert!(kinds.contains(kind), "suite never drew {kind}: {kinds:?}");

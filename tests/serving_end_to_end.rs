@@ -71,6 +71,9 @@ fn offline_build_serves_online_placements() {
         resolutions: vec![Resolution::Hd720, Resolution::Fhd1080],
         qos: 60.0,
         batch: 1,
+        report_outcomes: false,
+        observe_noise: 0.0,
+        drift: 1.0,
     });
     assert_eq!(report.errors, 0);
     assert_eq!(report.placed + report.rejected, 100);
