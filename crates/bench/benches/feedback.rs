@@ -88,6 +88,16 @@ fn drift_observe_ns() -> f64 {
     }
     let ns = t0.elapsed().as_secs_f64() * 1e9 / N as f64;
     assert!(detector.observations() as usize == N);
+    // Drift updates ride the request path (one per fresh outcome report), so
+    // they share tracing's overhead budget: well under a microsecond each.
+    assert!(
+        ns < 1_000.0,
+        "drift observation blew its overhead budget: {ns:.1} ns"
+    );
+    // The post-retrain reset clears the whole state, window included.
+    detector.reset();
+    assert_eq!(detector.windowed_mae(), 0.0);
+    assert_eq!(detector.observations(), 0);
     ns
 }
 

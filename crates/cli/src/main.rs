@@ -13,6 +13,8 @@
 //! gaugur session place --game 4                           # online, against the daemon
 //! gaugur session stats
 //! gaugur load    --requests 5000 --connections 4 --rate inf
+//! gaugur metrics                                          # Prometheus text exposition
+//! gaugur top --interval 2                                 # live stage/latency view
 //! ```
 //!
 //! Everything runs against the simulated testbed (the seed selects the
@@ -49,6 +51,8 @@ fn main() {
         "importance" => importance(&opts),
         "serve" => serve(&opts),
         "load" => load_cmd(&opts),
+        "metrics" => metrics_cmd(&opts),
+        "top" => top_cmd(&opts),
         "chaos" => chaos(&opts),
         "help" | "--help" | "-h" => usage(),
         other => {
@@ -78,7 +82,9 @@ fn usage() {
          \x20 session    retrain [--addr ADDR] [--min-samples N] [--extra-rounds N]\n\
          \x20 load       [--addr ADDR] [--requests N] [--connections N] [--rate R/s|inf] [--batch N]\n\
          \x20            [--seed S] [--games ID,ID,…] [--mean-session N] [--qos FPS] [--resolution R]\n\
-         \x20            [--report-outcomes true] [--observe-noise F] [--drift F]\n\
+         \x20            [--report-outcomes true] [--observe-noise F] [--drift F] [--verify-trace true]\n\
+         \x20 metrics    [--addr ADDR]\n\
+         \x20 top        [--addr ADDR] [--interval SECS] [--iterations N]\n\
          \x20 chaos      --seed S [--scenarios N] [--ops N] [--servers N] [--games N] [--model FILE]\n"
     );
 }
@@ -512,8 +518,54 @@ fn load_cmd(opts: &HashMap<String, String>) {
         report_outcomes: get(opts, "report-outcomes", Some(false)),
         observe_noise: get(opts, "observe-noise", Some(0.05)),
         drift: get(opts, "drift", Some(1.0)),
+        verify_trace: get(opts, "verify-trace", Some(false)),
     };
-    print_multiline(&gaugur_serve::load::run(&config).to_string());
+    let report = gaugur_serve::load::run(&config);
+    let violated = report.trace_violation.is_some();
+    print_multiline(&report.to_string());
+    if violated {
+        exit(1);
+    }
+}
+
+/// Scrape the daemon's Prometheus text exposition (the `Metrics` wire op)
+/// and print it verbatim — pipe it to a file, a pushgateway, or a scrape
+/// shim when the daemon is not directly reachable by Prometheus.
+fn metrics_cmd(opts: &HashMap<String, String>) {
+    let text = connect(opts).metrics().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1);
+    });
+    print_multiline(&text);
+}
+
+/// Live operator view: repaint the daemon's stats table — per-op latency,
+/// per-stage timings, slow-request log — every `--interval` seconds.
+/// `--iterations 0` (the default) refreshes until interrupted.
+fn top_cmd(opts: &HashMap<String, String>) {
+    let interval: f64 = get(opts, "interval", Some(2.0));
+    let iterations: u64 = get(opts, "iterations", Some(0));
+    let mut client = connect(opts);
+    let or_die = |e: gaugur_serve::ClientError| -> ! {
+        eprintln!("{e}");
+        exit(1);
+    };
+    let mut i = 0u64;
+    loop {
+        let stats = client.stats().unwrap_or_else(|e| or_die(e));
+        // Clear + home, like `watch`: each refresh repaints in place.
+        print!("\x1b[2J\x1b[H");
+        println!(
+            "gaugur top — {} — refresh {interval}s (ctrl-c to quit)\n",
+            client.peer_addr()
+        );
+        print_multiline(&stats.to_string());
+        i += 1;
+        if iterations != 0 && i >= iterations {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval.max(0.1)));
+    }
 }
 
 /// Run seeded chaos scenarios against an in-process daemon and report the

@@ -924,6 +924,12 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
             snapshot.connections_accepted, connects
         ));
     }
+    // Per-stage tracing must reconcile exactly even under injected faults:
+    // every handled request — including those whose replies were dropped,
+    // torn, or stalled — holds exactly one sample in each request stage.
+    if let Err(v) = crate::trace::verify_stage_accounting(&snapshot) {
+        violations.push(format!("stage accounting (post-drain): {v}"));
+    }
 
     // Graceful shutdown must finish in-flight work and close every
     // connection — including the runner's, dropped here.
@@ -940,6 +946,9 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
             "leaked placements after shutdown: {}",
             final_stats.active_sessions
         ));
+    }
+    if let Err(v) = crate::trace::verify_stage_accounting(&final_stats) {
+        violations.push(format!("stage accounting (after shutdown): {v}"));
     }
 
     run.trace = trace;

@@ -9,7 +9,7 @@ use crate::wire::{
 };
 use gaugur_gamesim::{GameId, Resolution};
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// Client-side errors. Protocol-level rejections (`Overloaded`, `Rejected`,
@@ -129,9 +129,52 @@ pub struct Predicted {
     pub cached: bool,
 }
 
+/// Backoff policy for [`Client::call_with_retry`]. The daemon's
+/// `Overloaded { retry_after_ms }` reply carries a backoff hint sized from
+/// its own queue depth; a polite client honors it (plus jitter, so a herd of
+/// pushed-back clients doesn't return in lockstep) but caps it, so a
+/// corrupted or hostile hint cannot stall the caller indefinitely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per call before the `Overloaded` error is surfaced.
+    pub max_retries: u32,
+    /// Backoff when the daemon's hint is zero (a hint of "now" still
+    /// deserves a beat — the queue was full a microsecond ago).
+    pub fallback_ms: u64,
+    /// Upper bound on any single sleep, hint plus jitter included.
+    pub cap_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            fallback_ms: 25,
+            cap_ms: 1_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep for one pushback: the daemon's hint (or the fallback when
+    /// the hint is zero), stretched by `jitter_frac` ∈ [0, 1] of itself,
+    /// capped at `cap_ms`. Pure — callers supply the randomness, which keeps
+    /// seeded load runs a deterministic function of their RNG streams.
+    pub fn backoff_ms(&self, retry_after_ms: u64, jitter_frac: f64) -> u64 {
+        let hint = if retry_after_ms == 0 {
+            self.fallback_ms
+        } else {
+            retry_after_ms
+        };
+        let jitter = (hint as f64 * jitter_frac.clamp(0.0, 1.0)) as u64;
+        hint.saturating_add(jitter).min(self.cap_ms)
+    }
+}
+
 /// Blocking client over one TCP connection.
 pub struct Client {
     stream: TcpStream,
+    peer: SocketAddr,
 }
 
 impl Client {
@@ -139,7 +182,52 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        let peer = stream.peer_addr()?;
+        Ok(Client { stream, peer })
+    }
+
+    /// The daemon address this client is connected to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Replace the connection with a fresh one to the same daemon. Needed
+    /// after `Overloaded` pushback: the daemon sheds the connection right
+    /// after the reply, so the old stream is dead.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        *self = Client::connect(self.peer)?;
+        Ok(())
+    }
+
+    /// Issue `op`, retrying on `Overloaded` pushback with the policy's
+    /// backoff — honoring the daemon's `retry_after_ms` hint (jittered via
+    /// `jitter_frac`, capped) instead of ignoring it. Each retry reconnects;
+    /// every other error (including ambiguous transport failures, which must
+    /// not be blindly retried — see [`ClientError::is_ambiguous`]) is
+    /// returned as-is. `jitter_frac` is called once per sleep and should
+    /// return a value in `[0, 1]`; pass `&mut || 0.0` for deterministic
+    /// tests.
+    pub fn call_with_retry<T>(
+        &mut self,
+        policy: RetryPolicy,
+        jitter_frac: &mut dyn FnMut() -> f64,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempts = 0u32;
+        loop {
+            match op(self) {
+                Err(ClientError::Overloaded { retry_after_ms }) => {
+                    if attempts >= policy.max_retries {
+                        return Err(ClientError::Overloaded { retry_after_ms });
+                    }
+                    attempts += 1;
+                    let sleep_ms = policy.backoff_ms(retry_after_ms, jitter_frac());
+                    std::thread::sleep(Duration::from_millis(sleep_ms));
+                    self.reconnect()?;
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Set a read timeout for replies (`None` blocks indefinitely).
@@ -308,6 +396,14 @@ impl Client {
         }
     }
 
+    /// Fetch the Prometheus text exposition of the daemon's metrics.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
     /// Hot-reload the model (from `path`, or its original source when
     /// `None`); returns the new model version.
     pub fn reload(&mut self, path: Option<&str>) -> Result<u64, ClientError> {
@@ -370,6 +466,131 @@ mod tests {
         match client.call(&Request::Stats) {
             Err(ClientError::TornReply(_)) => {}
             other => panic!("expected TornReply, got {other:?}"),
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn backoff_honors_the_hint_and_caps_hostile_ones() {
+        let p = RetryPolicy::default();
+        // The hint is the floor of the sleep…
+        assert_eq!(p.backoff_ms(120, 0.0), 120);
+        // …jitter stretches it proportionally…
+        assert_eq!(p.backoff_ms(100, 0.5), 150);
+        assert_eq!(p.backoff_ms(100, 1.0), 200);
+        // …out-of-range jitter is clamped, not trusted…
+        assert_eq!(p.backoff_ms(100, 7.0), 200);
+        assert_eq!(p.backoff_ms(100, -3.0), 100);
+        // …a zero hint falls back to a polite beat…
+        assert_eq!(p.backoff_ms(0, 0.0), 25);
+        // …and a hostile hint cannot stall the caller past the cap.
+        assert_eq!(p.backoff_ms(60_000, 0.0), 1_000);
+        assert_eq!(p.backoff_ms(u64::MAX, 1.0), 1_000);
+    }
+
+    /// A fake daemon that pushes back `overloads` times (one connection
+    /// each, shed after the reply, as the real acceptor does) and then
+    /// answers `ShuttingDown` for real.
+    fn pushback_server(
+        listener: TcpListener,
+        overloads: usize,
+        retry_after_ms: u64,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            for _ in 0..overloads {
+                let (mut s, _) = listener.accept().unwrap();
+                let _: Request = read_frame(&mut s).unwrap();
+                write_frame(&mut s, &Response::Overloaded { retry_after_ms }).unwrap();
+            }
+            let (mut s, _) = listener.accept().unwrap();
+            let _: Request = read_frame(&mut s).unwrap();
+            write_frame(&mut s, &Response::ShuttingDown).unwrap();
+        })
+    }
+
+    #[test]
+    fn retry_waits_at_least_the_server_hint() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = pushback_server(listener, 1, 120);
+
+        let mut client = Client::connect(addr).unwrap();
+        let started = std::time::Instant::now();
+        client
+            .call_with_retry(RetryPolicy::default(), &mut || 0.0, |c| c.shutdown())
+            .expect("retry after pushback should succeed");
+        assert!(
+            started.elapsed() >= Duration::from_millis(120),
+            "client ignored the retry_after_ms hint: {:?}",
+            started.elapsed()
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn hostile_hint_is_capped_so_the_call_still_completes_quickly() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // A one-hour hint; the cap turns it into 50 ms.
+        let server = pushback_server(listener, 1, 3_600_000);
+
+        let policy = RetryPolicy {
+            cap_ms: 50,
+            ..RetryPolicy::default()
+        };
+        let mut client = Client::connect(addr).unwrap();
+        let started = std::time::Instant::now();
+        client
+            .call_with_retry(policy, &mut || 1.0, |c| c.shutdown())
+            .expect("capped retry should succeed");
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "hostile hint stalled the client: {:?}",
+            started.elapsed()
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn retries_are_bounded_and_surface_the_last_pushback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let policy = RetryPolicy {
+            max_retries: 2,
+            fallback_ms: 1,
+            cap_ms: 5,
+        };
+        // Serves exactly max_retries + 1 pushbacks; a client that retried
+        // more would hang on accept, so completion itself proves the bound.
+        let server = std::thread::spawn(move || {
+            for _ in 0..3 {
+                let (mut s, _) = listener.accept().unwrap();
+                let _: Request = read_frame(&mut s).unwrap();
+                write_frame(&mut s, &Response::Overloaded { retry_after_ms: 1 }).unwrap();
+            }
+        });
+        let mut client = Client::connect(addr).unwrap();
+        match client.call_with_retry(policy, &mut || 0.0, |c| c.shutdown()) {
+            Err(ClientError::Overloaded { retry_after_ms: 1 }) => {}
+            other => panic!("expected bounded Overloaded, got {other:?}"),
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn ambiguous_failures_are_not_retried() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _: Request = read_frame(&mut s).unwrap();
+            drop(s); // die without answering: ambiguous
+        });
+        let mut client = Client::connect(addr).unwrap();
+        client.set_timeout(Some(Duration::from_secs(5))).unwrap();
+        match client.call_with_retry(RetryPolicy::default(), &mut || 0.0, |c| c.shutdown()) {
+            Err(ClientError::Disconnected) => {}
+            other => panic!("ambiguous failure must surface unretried, got {other:?}"),
         }
         server.join().unwrap();
     }

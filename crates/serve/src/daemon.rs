@@ -21,6 +21,7 @@ use crate::feedback::{Feedback, FeedbackConfig, OutcomeRecord};
 use crate::model::{LoadedModel, MemoizedFps, ModelHandle, PredictionMemo};
 use crate::queue::{PushError, WorkQueue};
 use crate::stats::{AtomicStats, StatsSnapshot};
+use crate::trace::{elapsed_us, RequestTrace, Stage, TraceCollector};
 use crate::wire::{
     self, read_frame_bytes_capped, request_kind, write_frame, BatchPlaceResult, FrameError,
     OutcomeReport, Request, Response,
@@ -112,13 +113,19 @@ struct Fleet {
     scores: ScoreCache,
 }
 
+/// Worst-N capacity of the slow-request ring exposed via `slow_requests`.
+const SLOW_LOG_CAPACITY: usize = 16;
+
 struct Shared {
     config: DaemonConfig,
     model: ModelHandle,
     memo: PredictionMemo,
     fleet: Mutex<Fleet>,
     stats: AtomicStats,
-    queue: WorkQueue<TcpStream>,
+    trace: TraceCollector,
+    /// Each queued connection carries its enqueue instant so the dequeuing
+    /// worker can attribute the wait to the `queue_wait` stage.
+    queue: WorkQueue<(TcpStream, Instant)>,
     shutdown: AtomicBool,
     feedback: Feedback,
     /// Sender side of the retrainer's job queue; `None` once shutdown has
@@ -156,6 +163,8 @@ impl Shared {
         snap.retrains_failed = fc.retrains_failed;
         snap.last_retrain_ms = fc.last_retrain_ms;
         snap.last_retrain_samples = fc.last_retrain_samples;
+        snap.per_stage = self.trace.stage_snapshot();
+        snap.slow_requests = self.trace.slow_snapshot();
         snap
     }
 
@@ -241,14 +250,58 @@ impl DaemonHandle {
     }
 }
 
+/// How the daemon creates its threads; injectable so tests can force spawn
+/// failures at any position without exhausting real OS threads.
+type ThreadSpawner<'a> =
+    dyn FnMut(String, Box<dyn FnOnce() + Send + 'static>) -> io::Result<JoinHandle<()>> + 'a;
+
 /// Start the daemon. Returns once the listener is bound and the worker pool
-/// is running.
+/// is running. A thread-spawn failure (OS thread limit, memory pressure) is
+/// returned as an error — never a panic — with every already-spawned thread
+/// joined and the listener socket released before returning.
 pub fn start(config: DaemonConfig, model: ModelHandle) -> io::Result<DaemonHandle> {
+    start_with(config, model, &mut |name, body| {
+        std::thread::Builder::new().name(name).spawn(body)
+    })
+}
+
+/// Wrap a spawn failure with which daemon thread could not start.
+fn spawn_failure(what: &str, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("failed to spawn {what} thread: {e}"))
+}
+
+/// Unwind a partially started daemon after a spawn failure: request
+/// shutdown, close the queue so workers fall out of `pop`, join everything
+/// that did start, and release the retrainer by dropping its sender. The
+/// caller still owns the listener, which drops (releasing the port) when it
+/// returns the error.
+fn teardown_after_spawn_failure(
+    shared: &Shared,
+    workers: Vec<JoinHandle<()>>,
+    retrainer: Option<JoinHandle<()>>,
+) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.queue.close();
+    for w in workers {
+        let _ = w.join();
+    }
+    shared.retrain_tx.lock().take();
+    if let Some(r) = retrainer {
+        let _ = r.join();
+    }
+}
+
+fn start_with(
+    config: DaemonConfig,
+    model: ModelHandle,
+    spawn: &mut ThreadSpawner<'_>,
+) -> io::Result<DaemonHandle> {
     let listener = TcpListener::bind(&config.bind)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
     let (retrain_tx, retrain_rx) = mpsc::channel::<RetrainJob>();
+    let workers_n = config.workers.max(1);
     let shared = Arc::new(Shared {
         memo: PredictionMemo::new(config.memo_capacity),
         fleet: Mutex::new(Fleet {
@@ -256,6 +309,7 @@ pub fn start(config: DaemonConfig, model: ModelHandle) -> io::Result<DaemonHandl
             scores: ScoreCache::new(config.n_servers),
         }),
         stats: AtomicStats::new(),
+        trace: TraceCollector::new(workers_n, SLOW_LOG_CAPACITY),
         queue: WorkQueue::new(config.queue_capacity),
         shutdown: AtomicBool::new(false),
         feedback: Feedback::new(config.feedback),
@@ -265,29 +319,46 @@ pub fn start(config: DaemonConfig, model: ModelHandle) -> io::Result<DaemonHandl
     });
 
     let retrainer = {
-        let shared = shared.clone();
-        std::thread::Builder::new()
-            .name("gaugur-serve-retrainer".into())
-            .spawn(move || retrainer_loop(&shared, &retrain_rx))
-            .expect("spawn retrainer")
+        let shared_r = shared.clone();
+        match spawn(
+            "gaugur-serve-retrainer".into(),
+            Box::new(move || retrainer_loop(&shared_r, &retrain_rx)),
+        ) {
+            Ok(h) => h,
+            Err(e) => {
+                shared.retrain_tx.lock().take();
+                return Err(spawn_failure("retrainer", e));
+            }
+        }
     };
 
-    let workers = (0..config.workers.max(1))
-        .map(|i| {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name(format!("gaugur-serve-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
-                .expect("spawn worker")
-        })
-        .collect();
+    let mut workers = Vec::with_capacity(workers_n);
+    for i in 0..workers_n {
+        let shared_w = shared.clone();
+        match spawn(
+            format!("gaugur-serve-worker-{i}"),
+            Box::new(move || worker_loop(&shared_w, i)),
+        ) {
+            Ok(h) => workers.push(h),
+            Err(e) => {
+                teardown_after_spawn_failure(&shared, workers, Some(retrainer));
+                return Err(spawn_failure("worker", e));
+            }
+        }
+    }
 
     let acceptor = {
-        let shared = shared.clone();
-        std::thread::Builder::new()
-            .name("gaugur-serve-acceptor".into())
-            .spawn(move || acceptor_loop(&listener, &shared))
-            .expect("spawn acceptor")
+        let shared_a = shared.clone();
+        match spawn(
+            "gaugur-serve-acceptor".into(),
+            Box::new(move || acceptor_loop(&listener, &shared_a)),
+        ) {
+            Ok(h) => h,
+            Err(e) => {
+                teardown_after_spawn_failure(&shared, workers, Some(retrainer));
+                return Err(spawn_failure("acceptor", e));
+            }
+        }
     };
 
     Ok(DaemonHandle {
@@ -358,10 +429,19 @@ fn run_retrain(shared: &Shared, job: RetrainJob) {
         .and_then(|_| retrained.save_json(&path))
         .and_then(|_| shared.model.reload(Some(&path)));
     match published {
-        Ok(_version) => fb.note_retrain_ok(
-            started.elapsed().as_millis() as u64,
-            report.samples_used as u64,
-        ),
+        Ok(_version) => {
+            // The new model's accuracy starts from a clean slate: drop the
+            // sliding error window along with the Page–Hinkley state, so
+            // `windowed_mae` no longer reflects the replaced model's errors
+            // and recovery shows up immediately. Reset *before* bumping
+            // `retrains_ok` — anyone polling for retrain completion must
+            // never observe the success with stale drift statistics.
+            fb.reset_drift();
+            fb.note_retrain_ok(
+                started.elapsed().as_millis() as u64,
+                report.samples_used as u64,
+            );
+        }
         Err(_) => fb.note_retrain_failed(),
     }
 }
@@ -374,9 +454,9 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
                 let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-                match shared.queue.push(stream) {
+                match shared.queue.push((stream, Instant::now())) {
                     Ok(()) => {}
-                    Err(PushError::Full(mut rejected)) => {
+                    Err(PushError::Full((mut rejected, _))) => {
                         // Transient: shed with a retry hint.
                         shared.stats.note_overloaded();
                         let retry = shared.config.retry_after.as_millis() as u64;
@@ -389,7 +469,7 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
                         shared.stats.note_connection_closed();
                         // Dropped: the client was told when to come back.
                     }
-                    Err(PushError::Closed(mut rejected)) => {
+                    Err(PushError::Closed((mut rejected, _))) => {
                         // Terminal: the daemon is draining; a retry can
                         // never succeed, so say so instead of `Overloaded`.
                         shared.stats.note_shutdown_rejected();
@@ -406,11 +486,14 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: usize) {
     // pop() drains the queue even after close, so connections admitted
     // before shutdown still get served.
-    while let Some(stream) = shared.queue.pop() {
-        serve_connection(shared, stream);
+    while let Some((stream, enqueued)) = shared.queue.pop() {
+        shared
+            .trace
+            .record_stage(worker, Stage::QueueWait, elapsed_us(enqueued));
+        serve_connection(shared, worker, stream);
         shared.stats.note_connection_closed();
     }
 }
@@ -457,11 +540,14 @@ fn write_reply(
     stream: &mut TcpStream,
     response: &Response,
     faultable: bool,
+    trace: &mut RequestTrace,
 ) -> io::Result<()> {
     if faultable {
         if let Some(injector) = &shared.config.fault {
             match injector.decide(InjectionPoint::Reply) {
                 FaultAction::DropConnection => {
+                    // Nothing was encoded or written: the request's encode
+                    // and write-reply stages keep zero-duration samples.
                     let _ = stream.shutdown(std::net::Shutdown::Both);
                     return Err(io::Error::new(
                         io::ErrorKind::ConnectionAborted,
@@ -469,29 +555,51 @@ fn write_reply(
                     ));
                 }
                 FaultAction::TornFrame => {
+                    let encode_started = Instant::now();
                     let payload = serde_json::to_string(response)
                         .map_err(io::Error::other)?
                         .into_bytes();
+                    trace.add(Stage::Encode, elapsed_us(encode_started));
                     let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
                     frame.extend_from_slice(&payload);
                     let cut = frame.len() / 2;
+                    let write_started = Instant::now();
                     let _ = stream.write_all(&frame[..cut]);
                     let _ = stream.flush();
+                    trace.add(Stage::WriteReply, elapsed_us(write_started));
                     let _ = stream.shutdown(std::net::Shutdown::Both);
                     return Err(io::Error::new(
                         io::ErrorKind::ConnectionAborted,
                         "injected torn reply",
                     ));
                 }
-                FaultAction::Stall(ms) => std::thread::sleep(Duration::from_millis(ms)),
+                FaultAction::Stall(ms) => {
+                    // The stall models a stalled reply write, so its wait is
+                    // honest reply-delivery time.
+                    let stall_started = Instant::now();
+                    std::thread::sleep(Duration::from_millis(ms));
+                    trace.add(Stage::WriteReply, elapsed_us(stall_started));
+                }
                 _ => {}
             }
         }
     }
-    write_frame(stream, response)
+    let encode_started = Instant::now();
+    let payload = serde_json::to_string(response)
+        .map_err(io::Error::other)?
+        .into_bytes();
+    trace.add(Stage::Encode, elapsed_us(encode_started));
+    debug_assert!(payload.len() <= wire::MAX_FRAME_LEN);
+    let write_started = Instant::now();
+    let result = stream
+        .write_all(&(payload.len() as u32).to_be_bytes())
+        .and_then(|()| stream.write_all(&payload))
+        .and_then(|()| stream.flush());
+    trace.add(Stage::WriteReply, elapsed_us(write_started));
+    result
 }
 
-fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+fn serve_connection(shared: &Shared, worker: usize, mut stream: TcpStream) {
     let draining_timeout = Duration::from_millis(100);
     let mut admitted: Vec<Admitted> = Vec::new();
     loop {
@@ -517,11 +625,15 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
             }
             Err(FrameError::Malformed(_)) => unreachable!("raw read does not parse"),
         };
-        let request: Request = match wire::decode_payload(&payload) {
+        let decode_started = Instant::now();
+        let decoded: Result<Request, FrameError> = wire::decode_payload(&payload);
+        let decode_us = elapsed_us(decode_started);
+        let request: Request = match decoded {
             Ok(r) => r,
             Err(e) => {
                 // The frame was length-delimited, so the stream is intact:
-                // reply with an error and keep the connection.
+                // reply with an error and keep the connection. Undecodable
+                // frames have no request kind and are not traced.
                 shared.stats.note_malformed();
                 let _ = write_frame(
                     &mut stream,
@@ -534,14 +646,22 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
         };
 
         let kind = request_kind(&request);
+        let mut trace = RequestTrace::new();
+        trace.add(Stage::Decode, decode_us);
         let started = Instant::now();
         admitted.clear();
-        let (response, ok) = handle_request(shared, &request, &mut admitted);
+        let (response, ok) = handle_request(shared, &request, &mut admitted, &mut trace);
         let latency_us = started.elapsed().as_micros() as u64;
         shared.stats.record(kind, ok, latency_us);
 
         let faultable = matches!(request, Request::Place { .. } | Request::PlaceBatch { .. });
-        if write_reply(shared, &mut stream, &response, faultable).is_err() {
+        let delivered = write_reply(shared, &mut stream, &response, faultable, &mut trace);
+        // Stage samples flush after the write attempt so a `Stats` or
+        // `Metrics` request's own snapshot excludes itself on both the
+        // per-op and the per-stage side — the accounting stays reconciled
+        // at every sequential observation point.
+        shared.trace.record_request(worker, kind, &trace);
+        if delivered.is_err() {
             // The client never learned its sessions exist; un-admit them.
             rollback_admissions(shared, &admitted);
             return;
@@ -573,6 +693,7 @@ fn admit_one(
     scratch: &mut PlacementScratch,
     placement: Placement,
     admitted: &mut Vec<Admitted>,
+    trace: &mut RequestTrace,
 ) -> Option<(u64, usize, f64)> {
     let fps_model = MemoizedFps {
         model,
@@ -580,6 +701,7 @@ fn admit_one(
         qos: shared.config.qos,
     };
     let Fleet { cluster, scores } = fleet;
+    let place_started = Instant::now();
     let sel = select_server_incremental_with(
         &*cluster,
         placement,
@@ -587,9 +709,12 @@ fn admit_one(
         model.version,
         scores,
         scratch,
-    )?;
+    );
+    trace.add(Stage::Place, elapsed_us(place_started));
+    let sel = sel?;
     // Co-runners of the new session = the server's pre-admit occupancy, so
     // predict before admitting (borrowed — no fleet clone on the hot path).
+    let predict_started = Instant::now();
     let (prediction, _) = shared.memo.predict_with(
         model,
         shared.config.qos,
@@ -597,6 +722,7 @@ fn admit_one(
         cluster.members(sel.server),
         &mut scratch.predict,
     );
+    trace.add(Stage::Predict, elapsed_us(predict_started));
     let session = cluster.admit(sel.server, placement);
     shared.stats.note_admitted();
     admitted.push(Admitted {
@@ -689,6 +815,7 @@ fn handle_request(
     shared: &Shared,
     request: &Request,
     admitted: &mut Vec<Admitted>,
+    trace: &mut RequestTrace,
 ) -> (Response, bool) {
     match request {
         Request::Place { game, resolution } => {
@@ -712,6 +839,7 @@ fn handle_request(
                     &mut s.borrow_mut(),
                     (*game, *resolution),
                     admitted,
+                    trace,
                 )
             }) {
                 Some((session, server, predicted_fps)) => (
@@ -754,6 +882,7 @@ fn handle_request(
                             scratch,
                             (game, resolution),
                             admitted,
+                            trace,
                         ) {
                             Some((session, server, predicted_fps)) => BatchPlaceResult::Placed {
                                 session,
@@ -828,6 +957,7 @@ fn handle_request(
                     false,
                 );
             }
+            let predict_started = Instant::now();
             let (prediction, cached) = SCRATCH.with(|s| {
                 shared.memo.predict_with(
                     &model,
@@ -837,6 +967,7 @@ fn handle_request(
                     &mut s.borrow_mut().predict,
                 )
             });
+            trace.add(Stage::Predict, elapsed_us(predict_started));
             (
                 Response::Prediction {
                     feasible: prediction.feasible,
@@ -861,6 +992,14 @@ fn handle_request(
             (Response::RetrainQueued { queued }, queued)
         }
         Request::Stats => (Response::Stats(Box::new(shared.snapshot())), true),
+        Request::Metrics => (
+            // Control-plane like `Stats`: rendered from the same snapshot,
+            // never fault-injected, so scrapes cannot perturb chaos replay.
+            Response::Metrics {
+                text: crate::trace::render_prometheus(&shared.snapshot()),
+            },
+            true,
+        ),
         Request::ReloadModel { path } => {
             match shared.model.reload(path.as_deref().map(Path::new)) {
                 Ok(version) => (Response::Reloaded { version }, true),
@@ -877,5 +1016,123 @@ fn handle_request(
             shared.queue.close();
             (Response::ShuttingDown, true)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugur_gamesim::{GameCatalog, Server};
+
+    /// `DaemonHandle` is not `Debug` (it owns join handles), so
+    /// `expect_err` can't be used directly on `start_with`'s result.
+    fn must_fail(r: io::Result<DaemonHandle>, what: &str) -> io::Error {
+        match r {
+            Ok(_) => panic!("{what}: expected a spawn failure, daemon started"),
+            Err(e) => e,
+        }
+    }
+
+    fn test_model() -> ModelHandle {
+        let server = Server::reference(7);
+        let catalog = GameCatalog::generate(42, 6);
+        let config = gaugur_core::GAugurConfig {
+            plan: gaugur_core::ColocationPlan {
+                pairs: 12,
+                triples: 4,
+                quads: 2,
+                seed: 3,
+            },
+            ..Default::default()
+        };
+        ModelHandle::from_model(gaugur_core::GAugur::build(&server, &catalog, config))
+    }
+
+    // A thread-spawn failure used to `.expect()` (panic) *after* the
+    // listener was bound, leaking the already-spawned threads. It must be a
+    // returned error with every spawned thread joined and the port released.
+    #[test]
+    fn worker_spawn_failure_tears_down_cleanly_and_frees_the_port() {
+        // Reserve a concrete port so the release is provable afterwards.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+
+        let config = DaemonConfig {
+            bind: addr.to_string(),
+            workers: 4,
+            print_stats_on_shutdown: false,
+            ..Default::default()
+        };
+        let mut spawned = 0u32;
+        let err = must_fail(
+            start_with(config, test_model(), &mut |name, body| {
+                spawned += 1;
+                // Call 1 is the retrainer; fail on the third worker. The
+                // first two workers really run, so teardown must make them
+                // exit.
+                if spawned == 4 {
+                    assert!(name.contains("worker"), "{name}");
+                    return Err(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        "thread limit reached",
+                    ));
+                }
+                std::thread::Builder::new().name(name).spawn(body)
+            }),
+            "worker spawn",
+        );
+        assert!(err.to_string().contains("worker"), "{err}");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        // start_with returned, so teardown joined the live workers and the
+        // retrainer; the listener dropped with it — the port binds again.
+        TcpListener::bind(addr).expect("port released after teardown");
+    }
+
+    #[test]
+    fn acceptor_spawn_failure_is_an_error_not_a_panic() {
+        let mut calls = 0u32;
+        let err = must_fail(
+            start_with(
+                DaemonConfig {
+                    workers: 2,
+                    print_stats_on_shutdown: false,
+                    ..Default::default()
+                },
+                test_model(),
+                &mut |name, body| {
+                    calls += 1;
+                    if name.contains("acceptor") {
+                        return Err(io::Error::other("no more threads"));
+                    }
+                    std::thread::Builder::new().name(name).spawn(body)
+                },
+            ),
+            "acceptor spawn",
+        );
+        assert!(err.to_string().contains("acceptor"), "{err}");
+        // Retrainer + both workers were attempted before the acceptor.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn retrainer_spawn_failure_fails_fast_without_spawning_workers() {
+        let mut calls = 0u32;
+        let err = must_fail(
+            start_with(
+                DaemonConfig {
+                    print_stats_on_shutdown: false,
+                    ..Default::default()
+                },
+                test_model(),
+                &mut |_name, _body| {
+                    calls += 1;
+                    Err(io::Error::other("nope"))
+                },
+            ),
+            "retrainer spawn",
+        );
+        assert!(err.to_string().contains("retrainer"), "{err}");
+        assert_eq!(calls, 1, "no workers attempted after the retrainer fails");
     }
 }

@@ -157,6 +157,19 @@ impl DriftDetector {
         self.n
     }
 
+    /// Full reset: Page–Hinkley state *and* the sliding error window.
+    ///
+    /// `observe` on a trip only resets the PH accumulator — the window keeps
+    /// sliding so the MAE stays observable through the bad regime. After a
+    /// successful retrain the old errors are no longer evidence about the
+    /// *new* model, so the window must be cleared too; otherwise
+    /// `windowed_mae` keeps reporting pre-retrain errors until `window_cap`
+    /// fresh reports have displaced them.
+    pub fn reset(&mut self) {
+        self.reset_ph();
+        self.window.clear();
+    }
+
     fn reset_ph(&mut self) {
         self.n = 0;
         self.mean = 0.0;
@@ -368,6 +381,18 @@ impl Feedback {
         (drift.overall.score(), drift.overall.windowed_mae())
     }
 
+    /// Reset every drift detector (overall and per-game) after a successful
+    /// retrain. The buffered outcome records are untouched — they remain
+    /// valid training data — but error statistics accumulated against the
+    /// *previous* model must not colour judgement of the new one.
+    pub fn reset_drift(&self) {
+        let mut drift = self.drift.lock();
+        drift.overall.reset();
+        for detector in drift.per_game.values_mut() {
+            detector.reset();
+        }
+    }
+
     /// Mean relative error per observed game pair (for diagnostics).
     pub fn pair_errors(&self) -> Vec<((u32, u32), f64, u64)> {
         let pairs = self.pairs.lock();
@@ -532,6 +557,55 @@ mod tests {
         assert_eq!(errs[0].2, 2);
         assert!((errs[0].1 - 0.1).abs() < 1e-12);
         assert_eq!(errs[1].0, (1, 3));
+    }
+
+    #[test]
+    fn reset_clears_the_window_not_just_ph_state() {
+        let mut d = DriftDetector::new(64, 0.005, 2.5);
+        for _ in 0..50 {
+            d.observe(0.25);
+        }
+        assert!(d.windowed_mae() > 0.2);
+
+        // The buggy behaviour: reset_ph alone leaves the window populated,
+        // so the MAE still reflects the old regime.
+        d.reset_ph();
+        assert!(
+            d.windowed_mae() > 0.2,
+            "reset_ph is PH-only by design; the window keeps sliding"
+        );
+
+        d.reset();
+        assert_eq!(d.windowed_mae(), 0.0);
+        assert_eq!(d.score(), 0.0);
+        assert_eq!(d.observations(), 0);
+    }
+
+    #[test]
+    fn reset_drift_clears_overall_and_per_game_detectors() {
+        let fb = Feedback::new(small_config());
+        for _ in 0..20 {
+            fb.ingest(record(3, &[4], 40.0), 60.0, false);
+            fb.ingest(record(5, &[6], 45.0), 60.0, false);
+        }
+        let (_, mae) = fb.drift_stats();
+        assert!(mae > 0.2, "bad regime should show in the windowed MAE");
+
+        fb.reset_drift();
+        let (score, mae) = fb.drift_stats();
+        assert_eq!(score, 0.0);
+        assert_eq!(
+            mae, 0.0,
+            "post-retrain MAE must not reflect pre-retrain errors"
+        );
+
+        // Buffered training data survives the reset.
+        assert!(fb.counters().buffered > 0);
+
+        // Fresh reports repopulate the statistics from scratch.
+        fb.ingest(record(3, &[4], 54.0), 60.0, false);
+        let (_, mae) = fb.drift_stats();
+        assert!((mae - 0.1).abs() < 1e-12, "mae={mae}");
     }
 
     #[test]

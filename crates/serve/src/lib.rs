@@ -23,6 +23,8 @@
 //! * [`cluster`] — live fleet occupancy and session bookkeeping.
 //! * [`queue`] — the bounded work queue between acceptor and workers.
 //! * [`stats`] — atomic counters and latency histograms.
+//! * [`trace`] — per-request stage timings, slow-request ring, Prometheus
+//!   exposition.
 //! * [`feedback`] — outcome ingestion, drift detection, retrain dataset.
 //! * [`client`] — typed blocking client over one connection.
 //! * [`load`] — deterministic Poisson load driver.
@@ -70,10 +72,11 @@ pub mod load;
 pub mod model;
 pub mod queue;
 pub mod stats;
+pub mod trace;
 pub mod wire;
 
 pub use chaos::{ChaosConfig, ScenarioReport};
-pub use client::{Client, ClientError, Placed, Predicted};
+pub use client::{Client, ClientError, Placed, Predicted, RetryPolicy};
 pub use cluster::ClusterState;
 pub use daemon::{start, DaemonConfig, DaemonHandle};
 pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultPlan, InjectionPoint};
@@ -81,4 +84,8 @@ pub use feedback::{DriftDetector, Feedback, FeedbackConfig, FeedbackCounters, Ou
 pub use load::{LoadConfig, LoadReport};
 pub use model::{LoadedModel, MemoizedFps, ModelHandle, PredictionMemo};
 pub use stats::{RequestStats, StatsSnapshot};
+pub use trace::{
+    render_prometheus, verify_stage_accounting, RequestTrace, SlowRequest, Stage, StageStats,
+    TraceCollector,
+};
 pub use wire::{BatchPlaceResult, OutcomeReport, Request, Response, WirePlacement};

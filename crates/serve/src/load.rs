@@ -8,7 +8,7 @@
 //! thread (not wall time), which keeps closed-loop benchmarking and
 //! rate-paced runs equally deterministic.
 
-use crate::client::{Client, ClientError};
+use crate::client::{Client, ClientError, RetryPolicy};
 use crate::wire::{BatchPlaceResult, OutcomeReport, WirePlacement};
 use gaugur_gamesim::rng::rng_for;
 use gaugur_gamesim::{GameId, Resolution};
@@ -64,6 +64,13 @@ pub struct LoadConfig {
     /// away from 1.0 emulate a workload shift the serving model has not
     /// seen, which is what drives the drift detector and retraining.
     pub drift: f64,
+    /// After the run, scrape the daemon's stats and check the per-stage
+    /// accounting invariant ([`crate::trace::verify_stage_accounting`]):
+    /// every request stage must hold exactly one sample per handled request.
+    /// The result lands in [`LoadReport::trace_violation`]. Requires the
+    /// daemon to be otherwise idle once the run drains (true for tests and
+    /// benches; leave off when other clients share the daemon).
+    pub verify_trace: bool,
 }
 
 impl Default for LoadConfig {
@@ -82,6 +89,7 @@ impl Default for LoadConfig {
             report_outcomes: false,
             observe_noise: 0.05,
             drift: 1.0,
+            verify_trace: false,
         }
     }
 }
@@ -123,6 +131,12 @@ pub struct LoadReport {
     pub max_us: u64,
     /// Place attempts per second of wall time, across all connections.
     pub achieved_rps: f64,
+    /// Requests the daemon handled with stage traces, per its post-run
+    /// snapshot (0 when `verify_trace` is off or the scrape failed).
+    pub traced_requests: u64,
+    /// Stage-accounting violation found by the post-run check, if any
+    /// (`None` = invariant held, or `verify_trace` was off).
+    pub trace_violation: Option<String>,
 }
 
 impl std::fmt::Display for LoadReport {
@@ -152,7 +166,16 @@ impl std::fmt::Display for LoadReport {
             "  place latency: p50 {}µs  p95 {}µs  p99 {}µs  max {}µs",
             self.p50_us, self.p95_us, self.p99_us, self.max_us
         )?;
-        writeln!(f, "  throughput:    {:.0} req/s", self.achieved_rps)
+        writeln!(f, "  throughput:    {:.0} req/s", self.achieved_rps)?;
+        match &self.trace_violation {
+            Some(v) => writeln!(f, "  tracing:       VIOLATION: {v}"),
+            None if self.traced_requests > 0 => writeln!(
+                f,
+                "  tracing:       {} requests traced, stage accounting reconciled",
+                self.traced_requests
+            ),
+            None => Ok(()),
+        }
     }
 }
 
@@ -255,10 +278,13 @@ fn call_with_retry<T>(
                 }
                 attempts += 1;
                 *retries += 1;
-                // Jitter de-synchronizes pushed-back threads; the cap keeps
-                // a hostile hint from stalling the run.
-                let jitter = retry_rng.gen_range(0..=retry_after_ms.max(1));
-                std::thread::sleep(Duration::from_millis((retry_after_ms + jitter).min(1000)));
+                // Jitter de-synchronizes pushed-back threads; the policy
+                // caps a hostile hint so it cannot stall the run. One
+                // backoff policy for the typed client and the driver keeps
+                // their pushback behavior from drifting apart.
+                let sleep_ms =
+                    RetryPolicy::default().backoff_ms(retry_after_ms, retry_rng.gen::<f64>());
+                std::thread::sleep(Duration::from_millis(sleep_ms));
                 *client = Client::connect(addr)?;
             }
             other => return other,
@@ -511,6 +537,21 @@ pub fn run(config: &LoadConfig) -> LoadReport {
     report.p99_us = pct(99.0);
     report.max_us = latencies.last().copied().unwrap_or(0);
     report.achieved_rps = (report.placed + report.rejected) as f64 / elapsed;
+
+    if config.verify_trace {
+        // The run has drained: every driver connection is closed, so the
+        // daemon is quiesced and the stage-accounting invariant must hold
+        // exactly. (The scrape's own Stats request is excluded from its own
+        // snapshot on both the per-op and per-stage side, so it does not
+        // skew the check.)
+        match Client::connect(&config.addr).and_then(|mut c| c.stats()) {
+            Ok(snap) => {
+                report.traced_requests = snap.per_request.values().map(|r| r.total()).sum();
+                report.trace_violation = crate::trace::verify_stage_accounting(&snap).err();
+            }
+            Err(e) => report.trace_violation = Some(format!("stats scrape failed: {e}")),
+        }
+    }
     report
 }
 

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use crate::trace::{SlowRequest, StageStats};
 use crate::wire::REQUEST_KINDS;
 
 /// Upper bounds (µs) of the latency histogram buckets; the final implicit
@@ -23,6 +24,37 @@ pub const LATENCY_BUCKETS_US: [u64; 12] = [
 
 /// Number of histogram counters (`LATENCY_BUCKETS_US` plus overflow).
 pub const N_BUCKETS: usize = LATENCY_BUCKETS_US.len() + 1;
+
+/// Index into an [`N_BUCKETS`]-wide histogram for a duration in µs: the
+/// first bucket whose upper bound contains it, or the overflow bucket.
+pub fn bucket_index(us: u64) -> usize {
+    LATENCY_BUCKETS_US
+        .iter()
+        .position(|&b| us <= b)
+        .unwrap_or(N_BUCKETS - 1)
+}
+
+/// Approximate percentile (0..=100) over a fixed-bucket histogram laid out
+/// like [`LATENCY_BUCKETS_US`] (+ overflow): the upper bound of the bucket
+/// holding the p-th sample, or `max_us` when the rank falls in the
+/// open-ended overflow bucket (reporting `u64::MAX` there used to poison
+/// downstream aggregation). Returns 0 with no samples. Shared by the per-op
+/// and per-stage snapshot types so their semantics cannot drift apart.
+pub fn histogram_percentile_us(buckets: &[u64], max_us: u64, p: f64) -> u64 {
+    let n: u64 = buckets.iter().sum();
+    if n == 0 {
+        return 0;
+    }
+    let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return LATENCY_BUCKETS_US.get(i).copied().unwrap_or(max_us);
+        }
+    }
+    max_us
+}
 
 /// Per-request-kind counters in snapshot (wire) form.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -37,6 +69,10 @@ pub struct RequestStats {
     /// rank falls in the open-ended overflow bucket.
     #[serde(default)]
     pub max_us: u64,
+    /// Sum of all observed latencies (µs); feeds the Prometheus histogram
+    /// `_sum` series.
+    #[serde(default)]
+    pub sum_us: u64,
 }
 
 impl RequestStats {
@@ -52,19 +88,7 @@ impl RequestStats {
     /// there used to poison downstream percentile aggregation). Returns 0
     /// with no samples.
     pub fn percentile_us(&self, p: f64) -> u64 {
-        let n: u64 = self.latency_us.iter().sum();
-        if n == 0 {
-            return 0;
-        }
-        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &count) in self.latency_us.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                return LATENCY_BUCKETS_US.get(i).copied().unwrap_or(self.max_us);
-            }
-        }
-        self.max_us
+        histogram_percentile_us(&self.latency_us, self.max_us, p)
     }
 }
 
@@ -160,6 +184,13 @@ pub struct StatsSnapshot {
     pub last_retrain_samples: u64,
     /// Counters per request kind.
     pub per_request: BTreeMap<String, RequestStats>,
+    /// Merged per-stage pipeline timings (see [`crate::trace`]); keyed by
+    /// [`crate::trace::STAGES`] names.
+    #[serde(default)]
+    pub per_stage: BTreeMap<String, StageStats>,
+    /// Worst-N slowest requests with per-stage breakdowns, slowest first.
+    #[serde(default)]
+    pub slow_requests: Vec<SlowRequest>,
 }
 
 impl StatsSnapshot {
@@ -262,6 +293,45 @@ impl std::fmt::Display for StatsSnapshot {
                 rs.percentile_us(99.0)
             )?;
         }
+        if self.per_stage.values().any(|st| st.count > 0) {
+            writeln!(
+                f,
+                "  {:<14} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                "stage", "count", "mean", "p50", "p99", "max"
+            )?;
+            for (stage, st) in &self.per_stage {
+                if st.count == 0 {
+                    continue;
+                }
+                writeln!(
+                    f,
+                    "  {:<14} {:>8} {:>8.1}µs {:>9}µs {:>9}µs {:>9}µs",
+                    stage,
+                    st.count,
+                    st.mean_us(),
+                    st.percentile_us(50.0),
+                    st.percentile_us(99.0),
+                    st.max_us
+                )?;
+            }
+        }
+        if !self.slow_requests.is_empty() {
+            writeln!(f, "  slowest requests (stage breakdown, µs)")?;
+            for slow in &self.slow_requests {
+                let breakdown = crate::trace::STAGES
+                    .iter()
+                    .zip(&slow.stage_us)
+                    .filter(|(_, &us)| us > 0)
+                    .map(|(name, us)| format!("{name} {us}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                writeln!(
+                    f,
+                    "    #{:<8} {:<14} {:>9}µs  [{breakdown}]",
+                    slow.seq, slow.kind, slow.total_us
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -271,6 +341,7 @@ struct KindCounters {
     errors: AtomicU64,
     buckets: [AtomicU64; N_BUCKETS],
     max_us: AtomicU64,
+    sum_us: AtomicU64,
 }
 
 impl KindCounters {
@@ -280,6 +351,7 @@ impl KindCounters {
             errors: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             max_us: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
         }
     }
 }
@@ -343,12 +415,9 @@ impl AtomicStats {
         } else {
             c.errors.fetch_add(1, Ordering::Relaxed);
         }
-        let idx = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&b| latency_us <= b)
-            .unwrap_or(N_BUCKETS - 1);
-        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.buckets[bucket_index(latency_us)].fetch_add(1, Ordering::Relaxed);
         c.max_us.fetch_max(latency_us, Ordering::Relaxed);
+        c.sum_us.fetch_add(latency_us, Ordering::Relaxed);
     }
 
     /// Count an accepted connection.
@@ -419,6 +488,7 @@ impl AtomicStats {
                             .map(|b| b.load(Ordering::Relaxed))
                             .collect(),
                         max_us: c.max_us.load(Ordering::Relaxed),
+                        sum_us: c.sum_us.load(Ordering::Relaxed),
                     },
                 )
             })
@@ -456,6 +526,10 @@ impl AtomicStats {
             last_retrain_ms: 0,
             last_retrain_samples: 0,
             per_request,
+            // Stage timings live in the TraceCollector; the daemon merges
+            // them in alongside the score/feedback fields above.
+            per_stage: BTreeMap::new(),
+            slow_requests: Vec::new(),
         }
     }
 }
@@ -518,6 +592,43 @@ mod tests {
         assert_eq!(rs.percentile_us(90.0), 5);
         assert_eq!(rs.percentile_us(100.0), 2_000_000);
         assert_eq!(rs.max_us, 2_000_000);
+    }
+
+    // Satellite: percentile bucket-boundary behavior for the per-op
+    // histograms (the stage-histogram mirror lives in `trace::tests`).
+    #[test]
+    fn per_op_percentile_bucket_boundaries() {
+        let s = AtomicStats::new();
+        // 10 samples exactly on bucket 0's upper bound (≤5µs), 10 in the
+        // next bucket (≤10µs).
+        for _ in 0..10 {
+            s.record("place", true, 5);
+        }
+        for _ in 0..10 {
+            s.record("place", true, 6);
+        }
+        let rs = s.snapshot(1, 0, 1).per_request["place"].clone();
+        // p=50 → rank 10, which is the *last* sample of bucket 0: a rank
+        // landing exactly on a bucket edge stays in the lower bucket.
+        assert_eq!(rs.percentile_us(50.0), 5);
+        // Any rank past the edge crosses into the next bucket's bound.
+        assert_eq!(rs.percentile_us(50.1), 10);
+        // p=0 clamps the rank to 1: the first bucket with samples.
+        assert_eq!(rs.percentile_us(0.0), 5);
+        // p=100 is the last bucket with samples.
+        assert_eq!(rs.percentile_us(100.0), 10);
+        // The sum feeds the exporter's `_sum` series.
+        assert_eq!(rs.sum_us, 10 * 5 + 10 * 6);
+
+        // Overflow-bucket rank reports the observed max, not a bound.
+        let s = AtomicStats::new();
+        s.record("place", true, 1_000_000); // edge of the last real bucket
+        s.record("place", true, 1_000_001); // first value past it: overflow
+        let rs = s.snapshot(1, 0, 1).per_request["place"].clone();
+        assert_eq!(rs.latency_us[N_BUCKETS - 2], 1);
+        assert_eq!(rs.latency_us[N_BUCKETS - 1], 1);
+        assert_eq!(rs.percentile_us(50.0), 1_000_000);
+        assert_eq!(rs.percentile_us(100.0), 1_000_001);
     }
 
     #[test]

@@ -1,0 +1,954 @@
+//! Per-request stage tracing: where does a request's time go?
+//!
+//! The whole-request latency histograms in [`crate::stats`] say *how slow* a
+//! request was; this module says *why*. Every handled request is split into
+//! pipeline stages — queue wait, decode, predict, place, encode, write-reply
+//! — and each stage's duration lands in a fixed-bucket histogram sharded per
+//! worker thread, so the hot path touches only its own cache lines with
+//! relaxed atomics. Shards merge on demand into [`crate::StatsSnapshot`].
+//!
+//! Accounting contract (the "stage-sum invariant", oracle-checked by the
+//! chaos suite): [`TraceCollector::record_request`] records exactly one
+//! sample for *each* of the five request stages per handled request — a
+//! stage that did not run (e.g. `predict` on a `Depart`) contributes a
+//! zero-duration sample. Therefore every request stage's `count` equals the
+//! total of `per_request` ok + errors at any quiesced snapshot. `queue_wait`
+//! is sampled once per *connection* when a worker dequeues it, so its count
+//! equals accepted connections minus those shed at the acceptor.
+//!
+//! Determinism: tracing draws no randomness, takes no fault-injection
+//! decisions, and influences no placement — it only reads the clock and
+//! bumps atomics — so fault-free chaos replay stays byte-identical with
+//! tracing enabled. The slow-request ring keeps the worst-N requests by
+//! total service time under a mutex that is only taken when a request beats
+//! the current floor; entries are ordered by a monotone admission sequence,
+//! never wall-clock identity.
+
+use crate::stats::{bucket_index, histogram_percentile_us, StatsSnapshot, N_BUCKETS};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of traced stages.
+pub const N_STAGES: usize = 6;
+
+/// Stage names in pipeline order; index is `Stage as usize`.
+pub const STAGES: [&str; N_STAGES] = [
+    "queue_wait",
+    "decode",
+    "predict",
+    "place",
+    "encode",
+    "write_reply",
+];
+
+/// One timed slice of the request pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Accepted-to-dequeued wait in the bounded work queue (per connection).
+    QueueWait = 0,
+    /// JSON payload decode of an already-read frame.
+    Decode = 1,
+    /// Model inference (memoized FPS predictions).
+    Predict = 2,
+    /// Placement scoring: picking the best server under the fleet lock.
+    Place = 3,
+    /// Response serialization.
+    Encode = 4,
+    /// Writing the reply frame to the socket.
+    WriteReply = 5,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; N_STAGES] = [
+        Stage::QueueWait,
+        Stage::Decode,
+        Stage::Predict,
+        Stage::Place,
+        Stage::Encode,
+        Stage::WriteReply,
+    ];
+
+    /// Exposition/snapshot name of this stage.
+    pub fn name(self) -> &'static str {
+        STAGES[self as usize]
+    }
+}
+
+/// The five per-request stages — everything except [`Stage::QueueWait`],
+/// which is sampled once per connection rather than once per request.
+pub const REQUEST_STAGES: [Stage; 5] = [
+    Stage::Decode,
+    Stage::Predict,
+    Stage::Place,
+    Stage::Encode,
+    Stage::WriteReply,
+];
+
+/// Microseconds elapsed since `t` (saturating; u64 µs is ~584k years).
+pub fn elapsed_us(t: Instant) -> u64 {
+    t.elapsed().as_micros() as u64
+}
+
+/// Merged per-stage timing statistics in snapshot (wire) form.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Samples recorded for this stage.
+    pub count: u64,
+    /// Sum of all sample durations (µs).
+    pub total_us: u64,
+    /// Largest observed sample (µs).
+    pub max_us: u64,
+    /// Histogram counts per bucket of
+    /// [`crate::stats::LATENCY_BUCKETS_US`] (+ overflow).
+    pub buckets: Vec<u64>,
+}
+
+impl StageStats {
+    /// Mean sample duration (µs); 0 with no samples.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate duration percentile (0..=100) — same semantics as
+    /// [`crate::RequestStats::percentile_us`]: the upper bound of the bucket
+    /// holding the p-th sample, the observed max in the overflow bucket, 0
+    /// with no samples.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        histogram_percentile_us(&self.buckets, self.max_us, p)
+    }
+}
+
+/// One entry of the slow-request ring: a whole-request trace with its
+/// per-stage breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowRequest {
+    /// Monotone admission sequence number (arrival order of handled
+    /// requests, 0-based) — stable across identical runs, unlike wall-clock.
+    pub seq: u64,
+    /// Request kind (see [`crate::wire::REQUEST_KINDS`]).
+    pub kind: String,
+    /// Whole-request service time: sum of the request stages (µs).
+    pub total_us: u64,
+    /// Per-stage durations (µs), indexed like [`STAGES`]; the `queue_wait`
+    /// slot is always 0 (it is per-connection, not per-request).
+    pub stage_us: Vec<u64>,
+}
+
+/// Per-request stage accumulator, filled on a worker's stack while the
+/// request is handled and flushed once via
+/// [`TraceCollector::record_request`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestTrace {
+    us: [u64; N_STAGES],
+}
+
+impl RequestTrace {
+    /// Fresh all-zero trace.
+    pub fn new() -> RequestTrace {
+        RequestTrace::default()
+    }
+
+    /// Add `us` microseconds to `stage` (accumulates — a batched placement
+    /// sums its per-item predict/place slices into one sample each).
+    pub fn add(&mut self, stage: Stage, us: u64) {
+        self.us[stage as usize] += us;
+    }
+
+    /// Accumulated duration of `stage` (µs).
+    pub fn get(&self, stage: Stage) -> u64 {
+        self.us[stage as usize]
+    }
+
+    /// Whole-request service time: sum over the request stages (excludes
+    /// `queue_wait`, which is per-connection).
+    pub fn total_us(&self) -> u64 {
+        REQUEST_STAGES.iter().map(|&s| self.us[s as usize]).sum()
+    }
+}
+
+struct StageShard {
+    counts: [AtomicU64; N_STAGES],
+    totals: [AtomicU64; N_STAGES],
+    maxes: [AtomicU64; N_STAGES],
+    buckets: [[AtomicU64; N_BUCKETS]; N_STAGES],
+}
+
+impl StageShard {
+    fn new() -> StageShard {
+        StageShard {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            totals: std::array::from_fn(|_| AtomicU64::new(0)),
+            maxes: std::array::from_fn(|_| AtomicU64::new(0)),
+            buckets: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
+
+    fn record(&self, stage: Stage, us: u64) {
+        let i = stage as usize;
+        self.counts[i].fetch_add(1, Ordering::Relaxed);
+        self.totals[i].fetch_add(us, Ordering::Relaxed);
+        self.maxes[i].fetch_max(us, Ordering::Relaxed);
+        self.buckets[i][bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct SlowEntry {
+    seq: u64,
+    kind: &'static str,
+    total_us: u64,
+    us: [u64; N_STAGES],
+}
+
+/// Worst-N requests by total service time. The `floor_us` fast path skips
+/// the lock for requests that cannot displace anything once the ring is
+/// full; ties keep the incumbent, so admission is deterministic given the
+/// offered sequence.
+struct SlowLog {
+    capacity: usize,
+    seq: AtomicU64,
+    floor_us: AtomicU64,
+    ring: Mutex<Vec<SlowEntry>>,
+}
+
+impl SlowLog {
+    fn new(capacity: usize) -> SlowLog {
+        SlowLog {
+            capacity,
+            seq: AtomicU64::new(0),
+            floor_us: AtomicU64::new(0),
+            ring: Mutex::new(Vec::with_capacity(capacity)),
+        }
+    }
+
+    fn offer(&self, kind: &'static str, trace: &RequestTrace) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if self.capacity == 0 {
+            return;
+        }
+        let total_us = trace.total_us();
+        // floor_us stays 0 until the ring fills, so this never rejects early.
+        if total_us > 0 && total_us <= self.floor_us.load(Ordering::Relaxed) {
+            return;
+        }
+        let entry = SlowEntry {
+            seq,
+            kind,
+            total_us,
+            us: trace.us,
+        };
+        let mut ring = self.ring.lock();
+        if ring.len() < self.capacity {
+            ring.push(entry);
+            if ring.len() == self.capacity {
+                let floor = ring.iter().map(|e| e.total_us).min().unwrap_or(0);
+                self.floor_us.store(floor, Ordering::Relaxed);
+            }
+            return;
+        }
+        let (min_idx, min_total) = ring
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.total_us, std::cmp::Reverse(e.seq)))
+            .map(|(i, e)| (i, e.total_us))
+            .expect("non-empty full ring");
+        if total_us > min_total {
+            ring[min_idx] = entry;
+            let floor = ring.iter().map(|e| e.total_us).min().unwrap_or(0);
+            self.floor_us.store(floor, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> Vec<SlowRequest> {
+        let ring = self.ring.lock();
+        let mut entries: Vec<SlowRequest> = ring
+            .iter()
+            .map(|e| SlowRequest {
+                seq: e.seq,
+                kind: e.kind.to_string(),
+                total_us: e.total_us,
+                stage_us: e.us.to_vec(),
+            })
+            .collect();
+        drop(ring);
+        entries.sort_by_key(|e| (std::cmp::Reverse(e.total_us), e.seq));
+        entries
+    }
+}
+
+/// Per-worker sharded stage histograms plus the slow-request ring. One
+/// instance lives in the daemon's shared state; workers record into their
+/// own shard by index.
+pub struct TraceCollector {
+    shards: Vec<StageShard>,
+    slow: SlowLog,
+}
+
+impl TraceCollector {
+    /// Collector with one shard per worker and a worst-`slow_capacity`
+    /// slow-request ring.
+    pub fn new(workers: usize, slow_capacity: usize) -> TraceCollector {
+        TraceCollector {
+            shards: (0..workers.max(1)).map(|_| StageShard::new()).collect(),
+            slow: SlowLog::new(slow_capacity),
+        }
+    }
+
+    /// Record a single stage sample into `worker`'s shard (used for
+    /// `queue_wait`, which has no surrounding request).
+    pub fn record_stage(&self, worker: usize, stage: Stage, us: u64) {
+        self.shards[worker % self.shards.len()].record(stage, us);
+    }
+
+    /// Record a fully handled request: one sample per request stage (stages
+    /// that did not run contribute zero-duration samples, keeping all five
+    /// request-stage counts equal to the number of handled requests), and an
+    /// offer to the slow-request ring.
+    pub fn record_request(&self, worker: usize, kind: &'static str, trace: &RequestTrace) {
+        let shard = &self.shards[worker % self.shards.len()];
+        for &stage in REQUEST_STAGES.iter() {
+            shard.record(stage, trace.get(stage));
+        }
+        self.slow.offer(kind, trace);
+    }
+
+    /// Merge every shard into per-stage snapshot statistics. All stages are
+    /// always present (zeroed when unobserved) so consumers see a stable key
+    /// set.
+    pub fn stage_snapshot(&self) -> BTreeMap<String, StageStats> {
+        Stage::ALL
+            .iter()
+            .map(|&stage| {
+                let i = stage as usize;
+                let mut st = StageStats {
+                    buckets: vec![0; N_BUCKETS],
+                    ..StageStats::default()
+                };
+                for shard in &self.shards {
+                    st.count += shard.counts[i].load(Ordering::Relaxed);
+                    st.total_us += shard.totals[i].load(Ordering::Relaxed);
+                    st.max_us = st.max_us.max(shard.maxes[i].load(Ordering::Relaxed));
+                    for (b, bucket) in shard.buckets[i].iter().enumerate() {
+                        st.buckets[b] += bucket.load(Ordering::Relaxed);
+                    }
+                }
+                (stage.name().to_string(), st)
+            })
+            .collect()
+    }
+
+    /// The current worst-N slow requests, slowest first (ties by arrival).
+    pub fn slow_snapshot(&self) -> Vec<SlowRequest> {
+        self.slow.snapshot()
+    }
+}
+
+/// Check the stage accounting contract on a **quiesced** snapshot (no
+/// requests mid-flight — e.g. post-drain in the chaos harness, or after a
+/// load run finished): every request stage's count equals the per-op
+/// request total, bucket sums equal counts, and `queue_wait` samples equal
+/// connections that reached a worker.
+pub fn verify_stage_accounting(s: &StatsSnapshot) -> Result<(), String> {
+    let handled: u64 = s.per_request.values().map(|r| r.total()).sum();
+    for &stage in REQUEST_STAGES.iter() {
+        let st = s.per_stage.get(stage.name()).cloned().unwrap_or_default();
+        if st.count != handled {
+            return Err(format!(
+                "stage `{}` count {} != {} handled requests",
+                stage.name(),
+                st.count,
+                handled
+            ));
+        }
+        let in_buckets: u64 = st.buckets.iter().sum();
+        if in_buckets != st.count {
+            return Err(format!(
+                "stage `{}` bucket sum {} != count {}",
+                stage.name(),
+                in_buckets,
+                st.count
+            ));
+        }
+    }
+    let served = s
+        .connections_accepted
+        .saturating_sub(s.overloaded_rejections)
+        .saturating_sub(s.shutdown_rejections);
+    let qw = s
+        .per_stage
+        .get(Stage::QueueWait.name())
+        .cloned()
+        .unwrap_or_default();
+    if qw.count != served {
+        return Err(format!(
+            "queue_wait count {} != {} worker-served connections",
+            qw.count, served
+        ));
+    }
+    Ok(())
+}
+
+fn write_metric(out: &mut String, name: &str, labels: &str, value: impl std::fmt::Display) {
+    use std::fmt::Write as _;
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}}} {value}");
+    }
+}
+
+fn write_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn write_histogram(
+    out: &mut String,
+    name: &str,
+    label: &str,
+    buckets: &[u64],
+    sum_us: u64,
+    count: u64,
+) {
+    use std::fmt::Write as _;
+    let mut cumulative = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cumulative += c;
+        let le = crate::stats::LATENCY_BUCKETS_US
+            .get(i)
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "+Inf".to_string());
+        let _ = writeln!(out, "{name}_bucket{{{label},le=\"{le}\"}} {cumulative}");
+    }
+    write_metric(out, &format!("{name}_sum"), label, sum_us);
+    write_metric(out, &format!("{name}_count"), label, count);
+}
+
+/// Render a snapshot in Prometheus text-exposition format (version 0.0.4):
+/// counters, per-op and per-stage histograms, feedback/drift gauges,
+/// score-cache and retrain counters. Served by the `Metrics` wire op.
+pub fn render_prometheus(s: &StatsSnapshot) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+
+    write_header(
+        &mut out,
+        "gaugur_uptime_seconds",
+        "gauge",
+        "Seconds since the daemon started.",
+    );
+    write_metric(
+        &mut out,
+        "gaugur_uptime_seconds",
+        "",
+        s.uptime_ms as f64 / 1e3,
+    );
+    write_header(
+        &mut out,
+        "gaugur_model_version",
+        "gauge",
+        "Version of the currently loaded model.",
+    );
+    write_metric(&mut out, "gaugur_model_version", "", s.model_version);
+    write_header(
+        &mut out,
+        "gaugur_active_sessions",
+        "gauge",
+        "Sessions currently placed on the fleet.",
+    );
+    write_metric(&mut out, "gaugur_active_sessions", "", s.active_sessions);
+    write_header(
+        &mut out,
+        "gaugur_servers",
+        "gauge",
+        "Configured fleet size.",
+    );
+    write_metric(&mut out, "gaugur_servers", "", s.servers);
+
+    let counters: [(&str, &str, u64); 9] = [
+        (
+            "gaugur_connections_accepted_total",
+            "Connections the acceptor admitted.",
+            s.connections_accepted,
+        ),
+        (
+            "gaugur_connections_closed_total",
+            "Connections fully disposed of.",
+            s.connections_closed,
+        ),
+        (
+            "gaugur_overloaded_rejections_total",
+            "Connections turned away with Overloaded.",
+            s.overloaded_rejections,
+        ),
+        (
+            "gaugur_shutdown_rejections_total",
+            "Connections turned away during drain.",
+            s.shutdown_rejections,
+        ),
+        (
+            "gaugur_malformed_frames_total",
+            "Frames that failed to decode.",
+            s.malformed_frames,
+        ),
+        (
+            "gaugur_placements_admitted_total",
+            "Sessions admitted into the fleet.",
+            s.placements_admitted,
+        ),
+        (
+            "gaugur_placements_rolled_back_total",
+            "Admissions undone after undeliverable replies.",
+            s.placements_rolled_back,
+        ),
+        (
+            "gaugur_feedback_evicted_total",
+            "Outcome records evicted from full ring shards.",
+            s.feedback_evicted,
+        ),
+        (
+            "gaugur_drift_trips_total",
+            "Times the drift detector tripped.",
+            s.drift_trips,
+        ),
+    ];
+    for (name, help, v) in counters {
+        write_header(&mut out, name, "counter", help);
+        write_metric(&mut out, name, "", v);
+    }
+
+    write_header(
+        &mut out,
+        "gaugur_prediction_memo_total",
+        "counter",
+        "Prediction-memo lookups by result.",
+    );
+    write_metric(
+        &mut out,
+        "gaugur_prediction_memo_total",
+        "result=\"hit\"",
+        s.cache_hits,
+    );
+    write_metric(
+        &mut out,
+        "gaugur_prediction_memo_total",
+        "result=\"miss\"",
+        s.cache_misses,
+    );
+    write_header(
+        &mut out,
+        "gaugur_score_cache_total",
+        "counter",
+        "Per-server score-cache lookups by result.",
+    );
+    write_metric(
+        &mut out,
+        "gaugur_score_cache_total",
+        "result=\"hit\"",
+        s.score_hits,
+    );
+    write_metric(
+        &mut out,
+        "gaugur_score_cache_total",
+        "result=\"miss\"",
+        s.score_misses,
+    );
+    write_header(
+        &mut out,
+        "gaugur_feedback_reports_total",
+        "counter",
+        "Outcome reports by disposition (fresh+stale are buffered).",
+    );
+    write_metric(
+        &mut out,
+        "gaugur_feedback_reports_total",
+        "result=\"fresh\"",
+        s.feedback_accepted.saturating_sub(s.feedback_stale),
+    );
+    write_metric(
+        &mut out,
+        "gaugur_feedback_reports_total",
+        "result=\"stale\"",
+        s.feedback_stale,
+    );
+    write_metric(
+        &mut out,
+        "gaugur_feedback_reports_total",
+        "result=\"dropped\"",
+        s.feedback_dropped,
+    );
+    write_header(
+        &mut out,
+        "gaugur_retrains_total",
+        "counter",
+        "Background retrains by outcome.",
+    );
+    write_metric(
+        &mut out,
+        "gaugur_retrains_total",
+        "result=\"ok\"",
+        s.retrains_ok,
+    );
+    write_metric(
+        &mut out,
+        "gaugur_retrains_total",
+        "result=\"failed\"",
+        s.retrains_failed,
+    );
+
+    let gauges: [(&str, &str, f64); 5] = [
+        (
+            "gaugur_feedback_buffered",
+            "Outcome records buffered for the next retrain.",
+            s.feedback_buffered as f64,
+        ),
+        (
+            "gaugur_feedback_pairs",
+            "Distinct colocation pairs with outcome aggregates.",
+            s.feedback_pairs as f64,
+        ),
+        (
+            "gaugur_drift_score",
+            "Current overall Page-Hinkley drift score.",
+            s.drift_score,
+        ),
+        (
+            "gaugur_drift_windowed_mae",
+            "Mean absolute relative FPS error over the sliding window.",
+            s.windowed_mae,
+        ),
+        (
+            "gaugur_last_retrain_ms",
+            "Duration of the most recent successful retrain.",
+            s.last_retrain_ms as f64,
+        ),
+    ];
+    for (name, help, v) in gauges {
+        write_header(&mut out, name, "gauge", help);
+        write_metric(&mut out, name, "", v);
+    }
+
+    write_header(
+        &mut out,
+        "gaugur_requests_total",
+        "counter",
+        "Handled requests by kind and outcome.",
+    );
+    for (kind, rs) in &s.per_request {
+        write_metric(
+            &mut out,
+            "gaugur_requests_total",
+            &format!("kind=\"{kind}\",outcome=\"ok\""),
+            rs.ok,
+        );
+        write_metric(
+            &mut out,
+            "gaugur_requests_total",
+            &format!("kind=\"{kind}\",outcome=\"error\""),
+            rs.errors,
+        );
+    }
+    write_header(
+        &mut out,
+        "gaugur_request_latency_us",
+        "histogram",
+        "Whole-request handler latency by kind (microseconds).",
+    );
+    for (kind, rs) in &s.per_request {
+        write_histogram(
+            &mut out,
+            "gaugur_request_latency_us",
+            &format!("kind=\"{kind}\""),
+            &rs.latency_us,
+            rs.sum_us,
+            rs.total(),
+        );
+    }
+    write_header(
+        &mut out,
+        "gaugur_stage_duration_us",
+        "histogram",
+        "Per-stage request pipeline durations (microseconds).",
+    );
+    for (stage, st) in &s.per_stage {
+        write_histogram(
+            &mut out,
+            "gaugur_stage_duration_us",
+            &format!("stage=\"{stage}\""),
+            &st.buckets,
+            st.total_us,
+            st.count,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{RequestStats, LATENCY_BUCKETS_US};
+
+    fn trace_with(decode: u64, predict: u64, place: u64, encode: u64, write: u64) -> RequestTrace {
+        let mut t = RequestTrace::new();
+        t.add(Stage::Decode, decode);
+        t.add(Stage::Predict, predict);
+        t.add(Stage::Place, place);
+        t.add(Stage::Encode, encode);
+        t.add(Stage::WriteReply, write);
+        t
+    }
+
+    #[test]
+    fn request_total_excludes_queue_wait() {
+        let mut t = trace_with(1, 2, 3, 4, 5);
+        t.add(Stage::QueueWait, 1_000);
+        assert_eq!(t.total_us(), 15);
+        assert_eq!(t.get(Stage::QueueWait), 1_000);
+    }
+
+    #[test]
+    fn every_request_stage_gets_one_sample_per_request() {
+        let c = TraceCollector::new(3, 4);
+        // A request that never predicts or places still contributes
+        // zero-duration samples to those stages.
+        c.record_request(0, "depart", &trace_with(7, 0, 0, 2, 3));
+        c.record_request(1, "place", &trace_with(5, 40, 60, 3, 4));
+        c.record_request(2, "place", &trace_with(6, 30, 50, 2, 9));
+        let snap = c.stage_snapshot();
+        for stage in REQUEST_STAGES {
+            assert_eq!(snap[stage.name()].count, 3, "{}", stage.name());
+            let bucket_sum: u64 = snap[stage.name()].buckets.iter().sum();
+            assert_eq!(bucket_sum, 3);
+        }
+        assert_eq!(snap["predict"].total_us, 70);
+        assert_eq!(snap["place"].max_us, 60);
+        assert_eq!(snap["queue_wait"].count, 0);
+        // Shards merge: workers 0..3 each recorded one request.
+        assert_eq!(snap["decode"].total_us, 18);
+    }
+
+    #[test]
+    fn queue_wait_is_per_connection() {
+        let c = TraceCollector::new(2, 4);
+        c.record_stage(0, Stage::QueueWait, 11);
+        c.record_stage(1, Stage::QueueWait, 3);
+        let snap = c.stage_snapshot();
+        assert_eq!(snap["queue_wait"].count, 2);
+        assert_eq!(snap["queue_wait"].total_us, 14);
+        assert_eq!(snap["queue_wait"].max_us, 11);
+    }
+
+    #[test]
+    fn slow_ring_keeps_the_worst_n_in_order() {
+        let c = TraceCollector::new(1, 3);
+        for (i, total) in [10u64, 50, 20, 90, 5, 50].into_iter().enumerate() {
+            let kind = if i % 2 == 0 { "place" } else { "predict" };
+            c.record_request(0, kind, &trace_with(total, 0, 0, 0, 0));
+        }
+        let slow = c.slow_snapshot();
+        assert_eq!(slow.len(), 3);
+        // Worst three of [10, 50, 20, 90, 5, 50] are 90, 50, 50; the seq-1
+        // entry was admitted first and keeps its slot on the tie.
+        assert_eq!(
+            slow.iter().map(|e| e.total_us).collect::<Vec<_>>(),
+            vec![90, 50, 50]
+        );
+        assert_eq!(slow[0].seq, 3);
+        assert_eq!(slow[1].seq, 1); // earlier arrival sorts first on ties
+        assert_eq!(slow[0].kind, "predict");
+        assert_eq!(slow[0].stage_us[Stage::Decode as usize], 90);
+    }
+
+    #[test]
+    fn zero_capacity_slow_ring_records_nothing() {
+        let c = TraceCollector::new(1, 0);
+        c.record_request(0, "place", &trace_with(99, 0, 0, 0, 0));
+        assert!(c.slow_snapshot().is_empty());
+        // Stage histograms still work.
+        assert_eq!(c.stage_snapshot()["decode"].count, 1);
+    }
+
+    // Satellite: percentile bucket-boundary behavior for stage histograms,
+    // mirroring the per-op cases in `stats::tests`.
+    #[test]
+    fn stage_percentile_bucket_boundaries() {
+        let c = TraceCollector::new(1, 0);
+        // 10 samples at 5µs (exactly on bucket 0's upper bound) and 10 at
+        // 6µs (bucket 1).
+        for _ in 0..10 {
+            c.record_request(0, "place", &trace_with(5, 0, 0, 0, 0));
+        }
+        for _ in 0..10 {
+            c.record_request(0, "place", &trace_with(6, 0, 0, 0, 0));
+        }
+        let st = c.stage_snapshot()["decode"].clone();
+        // p=50 → rank 10, the last sample of bucket 0: boundary stays in the
+        // lower bucket.
+        assert_eq!(st.percentile_us(50.0), 5);
+        // One sample past the edge crosses into bucket 1's bound.
+        assert_eq!(st.percentile_us(50.1), 10);
+        // p=0 clamps to rank 1 (the fastest bucket with samples).
+        assert_eq!(st.percentile_us(0.0), 5);
+        // p=100 is the last bucket with samples.
+        assert_eq!(st.percentile_us(100.0), 10);
+        // Empty stage → 0.
+        assert_eq!(StageStats::default().percentile_us(50.0), 0);
+
+        // Overflow bucket reports the observed max, not a bucket bound.
+        let c = TraceCollector::new(1, 0);
+        c.record_request(0, "place", &trace_with(2_000_000, 0, 0, 0, 0));
+        let st = c.stage_snapshot()["decode"].clone();
+        assert_eq!(st.max_us, 2_000_000);
+        assert_eq!(st.percentile_us(50.0), 2_000_000);
+        assert_eq!(st.percentile_us(100.0), 2_000_000);
+        assert_eq!(
+            st.buckets[crate::stats::N_BUCKETS - 1],
+            1,
+            "lands in the overflow bucket"
+        );
+    }
+
+    #[test]
+    fn stage_and_op_percentiles_share_semantics() {
+        // The shared helper keeps RequestStats and StageStats in lockstep on
+        // every boundary case.
+        let mut buckets = vec![0u64; N_BUCKETS];
+        buckets[0] = 4;
+        buckets[3] = 4; // ≤50µs bucket
+        let rs = RequestStats {
+            ok: 8,
+            errors: 0,
+            latency_us: buckets.clone(),
+            max_us: 48,
+            sum_us: 0,
+        };
+        let st = StageStats {
+            count: 8,
+            total_us: 0,
+            max_us: 48,
+            buckets,
+        };
+        for p in [0.0, 12.5, 50.0, 50.1, 99.9, 100.0] {
+            assert_eq!(rs.percentile_us(p), st.percentile_us(p), "p={p}");
+        }
+    }
+
+    fn populated_snapshot() -> StatsSnapshot {
+        let stats = crate::stats::AtomicStats::new();
+        stats.note_connection();
+        stats.note_connection();
+        stats.record("place", true, 40);
+        stats.record("depart", true, 7);
+        stats.record("stats", false, 3);
+        let c = TraceCollector::new(2, 4);
+        c.record_stage(0, Stage::QueueWait, 2);
+        c.record_stage(1, Stage::QueueWait, 4);
+        c.record_request(0, "place", &trace_with(5, 20, 10, 2, 3));
+        c.record_request(1, "depart", &trace_with(4, 0, 0, 1, 2));
+        c.record_request(0, "stats", &trace_with(2, 0, 0, 1, 0));
+        let mut snap = stats.snapshot(3, 1, 8);
+        snap.per_stage = c.stage_snapshot();
+        snap.slow_requests = c.slow_snapshot();
+        snap
+    }
+
+    #[test]
+    fn stage_accounting_reconciles_on_a_quiesced_snapshot() {
+        let snap = populated_snapshot();
+        verify_stage_accounting(&snap).expect("accounting holds");
+    }
+
+    #[test]
+    fn stage_accounting_catches_missing_samples() {
+        let mut snap = populated_snapshot();
+        snap.per_stage.get_mut("encode").unwrap().count -= 1;
+        let err = verify_stage_accounting(&snap).unwrap_err();
+        assert!(err.contains("encode"), "{err}");
+
+        let mut snap = populated_snapshot();
+        snap.per_stage.get_mut("queue_wait").unwrap().count += 1;
+        let err = verify_stage_accounting(&snap).unwrap_err();
+        assert!(err.contains("queue_wait"), "{err}");
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let snap = populated_snapshot();
+        let text = render_prometheus(&snap);
+        let mut seen_series = 0usize;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "{line}"
+                );
+                continue;
+            }
+            // Every sample line is `name[{labels}] value` with a finite value.
+            let (series, value) = line.rsplit_once(' ').expect(line);
+            assert!(!series.is_empty(), "{line}");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.starts_with("gaugur_")
+                    && name
+                        .chars()
+                        .all(|ch| ch.is_ascii_alphanumeric() || ch == '_'),
+                "{line}"
+            );
+            assert!(value.parse::<f64>().expect(line).is_finite(), "{line}");
+            seen_series += 1;
+        }
+        assert!(seen_series > 50, "exposition too small: {seen_series}");
+
+        // Spot checks: the series the CI smoke job validates.
+        assert!(text.contains("gaugur_requests_total{kind=\"place\",outcome=\"ok\"} 1"));
+        assert!(text.contains("gaugur_stage_duration_us_count{stage=\"decode\"} 3"));
+        assert!(text.contains("gaugur_stage_duration_us_count{stage=\"queue_wait\"} 2"));
+        assert!(text.contains("gaugur_retrains_total{result=\"ok\"} 0"));
+        assert!(text.contains("gaugur_score_cache_total{result=\"hit\"} 0"));
+        assert!(text.contains("gaugur_drift_windowed_mae"));
+        assert!(text.contains("le=\"+Inf\""));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let snap = populated_snapshot();
+        let text = render_prometheus(&snap);
+        let mut last: Option<u64> = None;
+        let mut inf: Option<u64> = None;
+        for line in text.lines() {
+            if let Some(rest) =
+                line.strip_prefix("gaugur_stage_duration_us_bucket{stage=\"decode\",le=\"")
+            {
+                let (le, v) = rest.split_once("\"} ").unwrap();
+                let v: u64 = v.parse().unwrap();
+                if let Some(prev) = last {
+                    assert!(v >= prev, "bucket counts must be cumulative: {line}");
+                }
+                last = Some(v);
+                if le == "+Inf" {
+                    inf = Some(v);
+                }
+            }
+        }
+        assert_eq!(inf, Some(3), "+Inf bucket equals the sample count");
+        assert_eq!(LATENCY_BUCKETS_US.len() + 1, N_BUCKETS);
+    }
+
+    #[test]
+    fn slow_requests_survive_the_snapshot_roundtrip() {
+        let snap = populated_snapshot();
+        assert_eq!(snap.slow_requests.len(), 3);
+        assert_eq!(snap.slow_requests[0].total_us, 40);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

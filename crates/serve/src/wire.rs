@@ -84,6 +84,10 @@ pub enum Request {
     },
     /// Fetch the daemon's counters and latency histograms.
     Stats,
+    /// Fetch the same state rendered as Prometheus text exposition.
+    /// Control-plane like `Stats`: never subject to fault injection, so a
+    /// scrape cannot perturb deterministic chaos replay.
+    Metrics,
     /// Hot-swap the model: reload from `path`, or from the original
     /// model file when `path` is `None`.
     ReloadModel {
@@ -179,6 +183,11 @@ pub enum Response {
     },
     /// Answer to `Stats`.
     Stats(Box<StatsSnapshot>),
+    /// Answer to `Metrics`: the Prometheus text-exposition document.
+    Metrics {
+        /// Exposition-format body (one metric sample or comment per line).
+        text: String,
+    },
     /// Answer to `ReloadModel`.
     Reloaded {
         /// The new model version.
@@ -322,6 +331,7 @@ pub fn request_kind(req: &Request) -> &'static str {
         Request::ReportOutcomeBatch { .. } => "report_outcome_batch",
         Request::TriggerRetrain { .. } => "trigger_retrain",
         Request::Stats => "stats",
+        Request::Metrics => "metrics",
         Request::ReloadModel { .. } => "reload_model",
         Request::Shutdown => "shutdown",
     }
@@ -329,7 +339,7 @@ pub fn request_kind(req: &Request) -> &'static str {
 
 /// All request-kind labels, in a stable order (drives stats pre-registration
 /// so snapshots always carry every kind).
-pub const REQUEST_KINDS: [&str; 10] = [
+pub const REQUEST_KINDS: [&str; 11] = [
     "place",
     "place_batch",
     "depart",
@@ -338,6 +348,7 @@ pub const REQUEST_KINDS: [&str; 10] = [
     "report_outcome_batch",
     "trigger_retrain",
     "stats",
+    "metrics",
     "reload_model",
     "shutdown",
 ];
@@ -420,6 +431,7 @@ mod tests {
             extra_rounds: Some(120),
         });
         roundtrip_request(&Request::Stats);
+        roundtrip_request(&Request::Metrics);
         roundtrip_request(&Request::ReloadModel { path: None });
         roundtrip_request(&Request::ReloadModel {
             path: Some("/tmp/model.json".into()),
@@ -471,6 +483,9 @@ mod tests {
         roundtrip_response(&Response::Stats(Box::new(
             AtomicStats::new().snapshot(1, 0, 4),
         )));
+        roundtrip_response(&Response::Metrics {
+            text: "# TYPE gaugur_requests_total counter\ngaugur_requests_total 7\n".into(),
+        });
         roundtrip_response(&Response::Reloaded { version: 3 });
         roundtrip_response(&Response::Overloaded { retry_after_ms: 25 });
         roundtrip_response(&Response::ShuttingDown);
@@ -606,6 +621,7 @@ mod tests {
                 extra_rounds: Some(40),
             },
             Request::Stats,
+            Request::Metrics,
             Request::ReloadModel {
                 path: Some("/tmp/model.json".into()),
             },
@@ -644,7 +660,7 @@ mod tests {
     proptest! {
         #[test]
         fn payload_mutations_decode_cleanly_and_keep_the_stream_in_sync(
-            which in 0usize..10,
+            which in 0usize..11,
             offset_seed in any::<u64>(),
             bit in 0u8..8,
         ) {
@@ -671,7 +687,7 @@ mod tests {
 
         #[test]
         fn header_mutations_never_panic_or_read_past_the_input(
-            which in 0usize..10,
+            which in 0usize..11,
             pos in 0usize..4,
             bit in 0u8..8,
         ) {

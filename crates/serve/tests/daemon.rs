@@ -245,6 +245,7 @@ fn hot_reload_under_live_load_fails_no_inflight_request() {
                 report_outcomes: false,
                 observe_noise: 0.0,
                 drift: 1.0,
+                verify_trace: false,
             })
         }
     });
@@ -612,6 +613,59 @@ fn shutdown_request_over_the_wire_stops_the_daemon() {
 }
 
 #[test]
+fn metrics_scrape_exposes_stage_timings_that_reconcile() {
+    let handle = daemon::start(quiet_config(), ModelHandle::from_model(model())).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // A small mixed workload so every request stage has real samples.
+    let mut sessions = Vec::new();
+    for g in 0..4 {
+        sessions.push(
+            client
+                .place(GameId(g), Resolution::Fhd1080)
+                .unwrap()
+                .session,
+        );
+    }
+    client
+        .predict(GameId(5), Resolution::Fhd1080, &[], 60.0)
+        .unwrap();
+    for s in sessions {
+        client.depart(s).unwrap();
+    }
+
+    let text = client.metrics().unwrap();
+    for needle in [
+        "# TYPE gaugur_requests_total counter",
+        "# TYPE gaugur_stage_duration_us histogram",
+        "gaugur_requests_total{kind=\"place\",outcome=\"ok\"} 4",
+        "gaugur_stage_duration_us_count{stage=\"place\"}",
+        "gaugur_stage_duration_us_bucket{stage=\"decode\",le=\"+Inf\"}",
+        "gaugur_active_sessions 0",
+    ] {
+        assert!(
+            text.contains(needle),
+            "exposition missing {needle:?}:\n{text}"
+        );
+    }
+
+    // The snapshot behind the exposition satisfies the stage-accounting
+    // invariant at this quiesced observation point, and a second scrape sees
+    // counters that only moved forward.
+    let snap = client.stats().unwrap();
+    gaugur_serve::verify_stage_accounting(&snap).unwrap();
+    let again = client.stats().unwrap();
+    for (kind, rs) in &snap.per_request {
+        assert!(
+            again.per_request[kind].total() >= rs.total(),
+            "{kind} went backwards"
+        );
+    }
+
+    handle.shutdown();
+}
+
+#[test]
 fn drifted_outcomes_feed_a_retrain_that_lowers_the_windowed_error() {
     // The closed loop end to end: the "real" environment delivers a constant
     // fraction of what the seed model predicts; outcome reports feed the
@@ -701,6 +755,14 @@ fn drifted_outcomes_feed_a_retrain_that_lowers_the_windowed_error() {
         "retrain must publish a new version"
     );
     assert_eq!(settled.last_retrain_samples, 20);
+    // A successful retrain clears the *whole* drift state, sliding window
+    // included — before any fresh report arrives, the windowed MAE must
+    // read zero rather than keep echoing the replaced model's errors.
+    assert_eq!(
+        settled.windowed_mae, 0.0,
+        "windowed MAE still reflects pre-retrain errors after the retrain"
+    );
+    assert_eq!(settled.drift_score, 0.0);
 
     // Fresh reports against the retrained model; the window (16) is smaller
     // than one phase's 20 reports, so the post snapshot is all-new data.

@@ -74,10 +74,16 @@ fn offline_build_serves_online_placements() {
         report_outcomes: false,
         observe_noise: 0.0,
         drift: 1.0,
+        verify_trace: true,
     });
     assert_eq!(report.errors, 0);
     assert_eq!(report.placed + report.rejected, 100);
     assert_eq!(report.placed, report.departed);
+    assert!(report.traced_requests > 0);
+    assert_eq!(
+        report.trace_violation, None,
+        "per-stage accounting must reconcile after a drained run"
+    );
 
     let stats = client.stats().unwrap();
     assert_eq!(stats.active_sessions, 0);
