@@ -132,7 +132,60 @@ fn metrics_render_us(client: &mut Client) -> f64 {
     us
 }
 
+/// Contended `Place` scaling curve: the same closed-loop driver at
+/// 1/2/4/8 workers against a single-lock fleet (`shards = 1`) and a
+/// sharded one (`shards = 4`). A fresh daemon per cell so score caches
+/// and session counters start cold; best-of-`RUNS` per cell to damp
+/// scheduler noise. Returns `(workers, shards, req/s)` rows.
+fn contended_scaling(model: &GAugur, games: &[GameId]) -> Vec<(usize, usize, f64)> {
+    const RUNS: usize = 3;
+    let mut curve = Vec::new();
+    for &workers in &[1usize, 2, 4, 8] {
+        for &shards in &[1usize, 4] {
+            let mut best = 0f64;
+            for run in 0..RUNS {
+                let handle = daemon::start(
+                    DaemonConfig {
+                        n_servers: 64,
+                        workers,
+                        shards,
+                        print_stats_on_shutdown: false,
+                        ..Default::default()
+                    },
+                    ModelHandle::from_model(model.clone()),
+                )
+                .expect("daemon starts");
+                let report = load::run(&LoadConfig {
+                    addr: handle.local_addr().to_string(),
+                    seed: 7 + run as u64,
+                    connections: workers,
+                    requests: 4_000,
+                    rate: f64::INFINITY,
+                    mean_session_arrivals: 4.0,
+                    games: games.to_vec(),
+                    resolutions: vec![Resolution::Fhd1080],
+                    qos: 60.0,
+                    batch: 1,
+                    expect_shards: Some(shards),
+                    ..Default::default()
+                });
+                assert_eq!(report.errors, 0, "contended run hit errors");
+                assert_eq!(report.shard_violation, None, "{report}");
+                best = best.max(report.achieved_rps);
+                handle.shutdown();
+            }
+            eprintln!(
+                "contended_place: {workers} worker(s) x {shards} shard(s): \
+                 {best:.0} req/s (best of {RUNS})"
+            );
+            curve.push((workers, shards, best));
+        }
+    }
+    curve
+}
+
 /// Write the machine-readable report the CI gate checks for.
+#[allow(clippy::too_many_arguments)]
 fn emit_report(
     placement_us: (f64, f64),
     single_rps: f64,
@@ -141,9 +194,22 @@ fn emit_report(
     p99: u64,
     trace_ns: f64,
     render_us: f64,
+    curve: &[(usize, usize, f64)],
 ) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
     let (old_us, new_us) = placement_us;
+    let mut curve_json = String::new();
+    for &(workers, shards, rps) in curve {
+        curve_json.push_str(&format!(
+            "  \"contended_place_w{workers}_s{shards}_rps\": {rps:.0},\n"
+        ));
+    }
+    let rps_at = |w: usize, s: usize| {
+        curve
+            .iter()
+            .find(|&&(cw, cs, _)| cw == w && cs == s)
+            .map_or(0.0, |&(_, _, r)| r)
+    };
     let json = format!(
         "{{\n  \"benchmark\": \"serving\",\n  \
          \"placement_full_recompute_us_per_req\": {old_us:.1},\n  \
@@ -152,10 +218,13 @@ fn emit_report(
          \"throughput_rps\": {single_rps:.0},\n  \
          \"throughput_batch16_rps\": {batch_rps:.0},\n  \
          \"latency_p50_us\": {p50},\n  \
-         \"latency_p99_us\": {p99},\n  \
+         \"latency_p99_us\": {p99},\n\
+         {curve_json}  \
+         \"contended_speedup_w8_s4_vs_s1\": {:.3},\n  \
          \"trace_record_ns_per_request\": {trace_ns:.0},\n  \
          \"metrics_render_us\": {render_us:.1}\n}}\n",
-        old_us / new_us.max(1e-9)
+        old_us / new_us.max(1e-9),
+        rps_at(8, 4) / rps_at(8, 1).max(1e-9),
     );
     std::fs::write(path, json).expect("write BENCH_serving.json");
     eprintln!("wrote {path}");
@@ -169,6 +238,7 @@ fn bench(c: &mut Criterion) {
 
     let placement_us = deep_fleet_comparison(&model);
     let trace_ns = trace_overhead_ns();
+    let curve = contended_scaling(&model, &games);
     let handle = daemon::start(
         DaemonConfig {
             n_servers: 64,
@@ -243,6 +313,7 @@ fn bench(c: &mut Criterion) {
         report.p99_us,
         trace_ns,
         render_us,
+        &curve,
     );
     c.bench_function("serve_place_depart_roundtrip", |b| {
         b.iter(|| {

@@ -73,7 +73,7 @@ fn usage() {
          \x20 predict    --model FILE --target ID --others ID,ID,… [--resolution 720p|900p|1080p|1440p] [--qos FPS]\n\
          \x20 pack       --model FILE --games ID,ID,… --requests N [--qos FPS] [--seed S]\n\
          \x20 importance --model FILE --games N [--seed S]\n\
-         \x20 serve      --model FILE [--bind ADDR] [--servers N] [--workers N] [--queue N] [--qos FPS]\n\
+         \x20 serve      --model FILE [--bind ADDR] [--servers N] [--shards N] [--workers N] [--queue N] [--qos FPS]\n\
          \x20 session    place   [--addr ADDR] --game ID [--resolution R]\n\
          \x20 session    depart  [--addr ADDR] --session ID\n\
          \x20 session    predict [--addr ADDR] --target ID --others ID,ID,… [--resolution R] [--qos FPS]\n\
@@ -83,6 +83,7 @@ fn usage() {
          \x20 load       [--addr ADDR] [--requests N] [--connections N] [--rate R/s|inf] [--batch N]\n\
          \x20            [--seed S] [--games ID,ID,…] [--mean-session N] [--qos FPS] [--resolution R]\n\
          \x20            [--report-outcomes true] [--observe-noise F] [--drift F] [--verify-trace true]\n\
+         \x20            [--shards N]  (verify the daemon's shard layout and conservation after the run)\n\
          \x20 metrics    [--addr ADDR]\n\
          \x20 top        [--addr ADDR] [--interval SECS] [--iterations N]\n\
          \x20 chaos      --seed S [--scenarios N] [--ops N] [--servers N] [--games N] [--model FILE]\n"
@@ -360,6 +361,7 @@ fn serve(opts: &HashMap<String, String>) {
             .cloned()
             .unwrap_or_else(|| DEFAULT_ADDR.into()),
         n_servers: get(opts, "servers", Some(50)),
+        shards: get(opts, "shards", Some(1)),
         workers: get(opts, "workers", Some(4)),
         queue_capacity: get(opts, "queue", Some(64)),
         qos: get(opts, "qos", Some(60.0)),
@@ -519,9 +521,12 @@ fn load_cmd(opts: &HashMap<String, String>) {
         observe_noise: get(opts, "observe-noise", Some(0.05)),
         drift: get(opts, "drift", Some(1.0)),
         verify_trace: get(opts, "verify-trace", Some(false)),
+        expect_shards: opts
+            .get("shards")
+            .map(|_| get(opts, "shards", None::<usize>)),
     };
     let report = gaugur_serve::load::run(&config);
-    let violated = report.trace_violation.is_some();
+    let violated = report.trace_violation.is_some() || report.shard_violation.is_some();
     print_multiline(&report.to_string());
     if violated {
         exit(1);

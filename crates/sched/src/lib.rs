@@ -51,7 +51,7 @@ pub use dynamic::{simulate_dynamic, DynamicConfig, DynamicResult, Policy};
 pub use eval::{evaluate_cluster, ClusterEvaluation};
 pub use maxfps::{assign_max_fps, MaxFpsResult};
 pub use placement::{
-    eligible_servers, placement_delta, select_server, select_server_cached,
+    eligible_servers, placement_delta, rank_shard_selections, select_server, select_server_cached,
     select_server_incremental, select_server_incremental_with, OccupancyView, PlacementScratch,
     ScoreCache, Selection,
 };

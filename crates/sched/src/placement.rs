@@ -313,6 +313,34 @@ pub fn select_server_incremental_with<V: OccupancyView + ?Sized>(
     Some(selection)
 }
 
+/// Cross-shard argmax for sharded placement: rank per-shard candidate
+/// [`Selection`]s best-first by predicted FPS delta, writing the shard
+/// indices of the `Some` entries into `out` (cleared first, so a
+/// caller-owned buffer makes this allocation-free in steady state).
+///
+/// Ties break toward the lower shard index, which keeps the ranking
+/// deterministic regardless of the order shard scoring finished in. The
+/// full ranking (not just the winner) is what the two-phase admit path
+/// needs: when the best shard loses its re-validation race too many times,
+/// admission falls back to the next entry.
+pub fn rank_shard_selections(candidates: &[Option<Selection>], out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(
+        candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_some())
+            .map(|(shard, _)| shard),
+    );
+    // Stable sort on descending delta: equal deltas keep ascending shard
+    // order.
+    out.sort_by(|&a, &b| {
+        let da = candidates[a].as_ref().expect("filtered Some").delta;
+        let db = candidates[b].as_ref().expect("filtered Some").delta;
+        db.total_cmp(&da)
+    });
+}
+
 thread_local! {
     /// Scratch backing the convenience wrapper below: one per thread, so
     /// callers that never manage scratch explicitly (the simulator, tests)
@@ -589,6 +617,62 @@ mod tests {
         cache.store(0, 2, 11.0);
         cache.rollback(0, 1, 11.0, 9.0);
         assert_eq!(cache.probe(0, 2), None);
+    }
+
+    #[test]
+    fn shard_ranking_orders_by_delta_with_low_shard_ties() {
+        let sel = |delta: f64| {
+            Some(Selection {
+                server: 0,
+                delta,
+                server_sum: 0.0,
+                before_sum: 0.0,
+            })
+        };
+        let mut out = Vec::new();
+        rank_shard_selections(&[sel(1.0), None, sel(5.0), sel(1.0), sel(-2.0)], &mut out);
+        // 5.0 first, then the two tied 1.0s in ascending shard order, then
+        // the negative delta; the shard with no candidate never appears.
+        assert_eq!(out, vec![2, 0, 3, 4]);
+
+        rank_shard_selections(&[None, None], &mut out);
+        assert!(out.is_empty());
+
+        // NaN-free total order: -0.0 and 0.0 rank deterministically.
+        rank_shard_selections(&[sel(0.0), sel(-0.0)], &mut out);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn sharded_scoring_agrees_with_whole_fleet_scoring() {
+        // Score a 6-server fleet as one domain and as 3 two-server shards;
+        // the cross-shard argmax must land on the same global server.
+        let occupancy: Vec<Vec<Placement>> = vec![
+            vec![(GameId(1), R), (GameId(2), R)],
+            vec![],
+            vec![(GameId(3), R)],
+            vec![(GameId(4), R), (GameId(5), R), (GameId(6), R)],
+            vec![(GameId(7), R)],
+            vec![(GameId(8), R), (GameId(9), R)],
+        ];
+        for g in [0u32, 5, 10, 12] {
+            let request = (GameId(g), R);
+            let whole = select_server(&occupancy, request, &Policy::MaxPredictedFps(&FakeFps));
+
+            let candidates: Vec<Option<Selection>> = occupancy
+                .chunks(2)
+                .map(|shard_occ| {
+                    let mut cache = ScoreCache::new(shard_occ.len());
+                    select_server_incremental(shard_occ, request, &FakeFps, 1, &mut cache)
+                })
+                .collect();
+            let mut ranked = Vec::new();
+            rank_shard_selections(&candidates, &mut ranked);
+            let global = ranked
+                .first()
+                .map(|&shard| shard * 2 + candidates[shard].as_ref().expect("ranked Some").server);
+            assert_eq!(whole, global, "game {g}");
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! the daemon side, so the interleaving of fault decisions — and therefore
 //! every byte on the wire — is reproducible from the seed alone.
 //!
-//! After the run, four oracle families check the daemon never lied:
+//! After the run, five oracle families check the daemon never lied:
 //!
 //! 1. **Stats conservation** — every admitted placement was either
 //!    confirmed to the client or rolled back
@@ -26,6 +26,11 @@
 //!    This is the strongest oracle: it holds only because lost placements
 //!    are rolled back to a *bit-exact* pre-admit state (occupancy and
 //!    score-cache sums), making every fault a net no-op.
+//! 5. **Per-shard conservation** — the daemon under chaos runs *two*
+//!    placement shards (single worker, so runs stay strictly sequential
+//!    and seed-pure); at both quiesce points (post-drain, post-shutdown)
+//!    the per-shard active counts must sum to the global count and every
+//!    session id must route to exactly the shard that holds it.
 //!
 //! Reproducing a failure locally: `gaugur chaos --seed <N>` re-runs the
 //! scenario with the identical fault schedule and prints the report.
@@ -496,6 +501,34 @@ fn fps_bits(fps: f64) -> u64 {
     fps.to_bits()
 }
 
+/// The per-shard conservation oracle: the per-shard active counts must
+/// cover every shard, sum to the global active count, and no session may
+/// sit in a shard its id does not route to. Only meaningful at quiesce
+/// points — between them a placement may land on one shard after another
+/// was already read into the snapshot.
+fn check_shard_conservation(snapshot: &StatsSnapshot, when: &str, violations: &mut Vec<String>) {
+    if snapshot.shard_active_sessions.len() != snapshot.shards {
+        violations.push(format!(
+            "{when}: {} per-shard counters for {} shards",
+            snapshot.shard_active_sessions.len(),
+            snapshot.shards
+        ));
+    }
+    let sum: u64 = snapshot.shard_active_sessions.iter().sum();
+    if sum != snapshot.active_sessions {
+        violations.push(format!(
+            "{when}: per-shard active sessions sum to {sum}, global count says {}",
+            snapshot.active_sessions
+        ));
+    }
+    if snapshot.shard_misrouted_sessions != 0 {
+        violations.push(format!(
+            "{when}: {} sessions live in a shard their id does not route to",
+            snapshot.shard_misrouted_sessions
+        ));
+    }
+}
+
 /// Record a model version observed on the wire, checking monotonicity.
 fn note_version(versions_seen: &mut Vec<u64>, v: u64, violations: &mut Vec<String>) {
     if let Some(&last) = versions_seen.last() {
@@ -514,7 +547,13 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
     let daemon_config = DaemonConfig {
         bind: "127.0.0.1:0".into(),
         n_servers: config.n_servers,
-        workers: 2,
+        // One worker and two shards: the sequential runner keeps at most
+        // one request in flight, so the two-phase admit never races (its
+        // epoch checks always pass) and every decision stays seed-pure —
+        // while the shard routing, id interleaving and per-shard rollback
+        // paths are all exercised under fault injection.
+        workers: 1,
+        shards: 2,
         queue_capacity: 64,
         read_timeout: config.read_timeout,
         max_frame_len: 1024,
@@ -930,6 +969,11 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
     if let Err(v) = crate::trace::verify_stage_accounting(&snapshot) {
         violations.push(format!("stage accounting (post-drain): {v}"));
     }
+    check_shard_conservation(
+        &snapshot,
+        "shard conservation (post-drain)",
+        &mut violations,
+    );
 
     // Graceful shutdown must finish in-flight work and close every
     // connection — including the runner's, dropped here.
@@ -950,6 +994,11 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
     if let Err(v) = crate::trace::verify_stage_accounting(&final_stats) {
         violations.push(format!("stage accounting (after shutdown): {v}"));
     }
+    check_shard_conservation(
+        &final_stats,
+        "shard conservation (after shutdown)",
+        &mut violations,
+    );
 
     run.trace = trace;
     run.final_stats = final_stats;
@@ -965,7 +1014,11 @@ fn replay(config: &ChaosConfig, trace: &[TraceOp]) -> Result<(u64, Vec<String>),
     let daemon_config = DaemonConfig {
         bind: "127.0.0.1:0".into(),
         n_servers: config.n_servers,
-        workers: 2,
+        // Identical threading and shard layout to the faulted run: replay
+        // demands bit-identical decisions, so the fleets must partition
+        // (and mint session ids) exactly the same way.
+        workers: 1,
+        shards: 2,
         queue_capacity: 64,
         read_timeout: config.read_timeout,
         max_frame_len: 1024,

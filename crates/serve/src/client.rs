@@ -38,6 +38,12 @@ pub enum ClientError {
     },
     /// The daemon answered an application-level error.
     Daemon(String),
+    /// A `Depart` named a session the daemon does not know (already
+    /// departed, rolled back, or never issued).
+    UnknownSession {
+        /// The session id the request named.
+        session: u64,
+    },
     /// The daemon is shutting down.
     ShuttingDown,
 }
@@ -56,6 +62,9 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::Rejected { reason } => write!(f, "placement rejected: {reason}"),
             ClientError::Daemon(m) => write!(f, "daemon error: {m}"),
+            ClientError::UnknownSession { session } => {
+                write!(f, "unknown session {session} (already departed?)")
+            }
             ClientError::ShuttingDown => write!(f, "daemon shutting down"),
         }
     }
@@ -247,6 +256,7 @@ impl Client {
         match response {
             Response::Overloaded { retry_after_ms } => ClientError::Overloaded { retry_after_ms },
             Response::Error { message } => ClientError::Daemon(message),
+            Response::UnknownSession { session } => ClientError::UnknownSession { session },
             Response::ShuttingDown => ClientError::ShuttingDown,
             other => ClientError::Protocol(format!("unexpected response {other:?}")),
         }
@@ -609,6 +619,7 @@ mod tests {
         .is_ambiguous());
         assert!(!ClientError::ShuttingDown.is_ambiguous());
         assert!(!ClientError::Daemon(String::new()).is_ambiguous());
+        assert!(!ClientError::UnknownSession { session: 7 }.is_ambiguous());
         assert!(!ClientError::Protocol(String::new()).is_ambiguous());
     }
 }

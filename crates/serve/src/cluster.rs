@@ -25,25 +25,43 @@ pub struct PlacedSession {
     pub server: usize,
 }
 
-/// The fleet: per-server session lists plus a session index.
+/// The fleet (or one shard of it): per-server session lists plus a session
+/// index.
 pub struct ClusterState {
     /// Session ids per server; `ids[s][i]` owns `members[s][i]`.
     ids: Vec<Vec<u64>>,
     /// Placements per server, kept in lockstep with `ids`.
     members: Vec<Vec<Placement>>,
     index: HashMap<u64, usize>,
-    next_id: u64,
+    /// Sessions ever admitted by this instance; the k-th admission gets id
+    /// `k * id_stride + id_offset + 1`.
+    admissions: u64,
+    id_offset: u64,
+    id_stride: u64,
 }
 
 impl ClusterState {
-    /// An empty fleet of `n_servers` servers.
+    /// An empty fleet of `n_servers` servers minting ids 1, 2, 3, ….
     pub fn new(n_servers: usize) -> ClusterState {
+        ClusterState::new_sharded(n_servers, 0, 1)
+    }
+
+    /// An empty fleet of `n_servers` servers minting the interleaved id
+    /// stream `offset + 1, offset + 1 + stride, offset + 1 + 2·stride, …`.
+    /// With one instance per placement shard (`offset` = shard index,
+    /// `stride` = shard count) every id maps back to its shard as
+    /// `(id - 1) % stride`, and `(0, 1)` degenerates to the classic
+    /// 1, 2, 3, … sequence.
+    pub fn new_sharded(n_servers: usize, offset: u64, stride: u64) -> ClusterState {
         assert!(n_servers > 0, "fleet needs at least one server");
+        assert!(stride > 0 && offset < stride, "bad id scheme");
         ClusterState {
             ids: vec![Vec::new(); n_servers],
             members: vec![Vec::new(); n_servers],
             index: HashMap::new(),
-            next_id: 0,
+            admissions: 0,
+            id_offset: offset,
+            id_stride: stride,
         }
     }
 
@@ -87,8 +105,8 @@ impl ClusterState {
             "game {:?} already on server {server}",
             placement.0
         );
-        self.next_id += 1;
-        let id = self.next_id;
+        let id = self.admissions * self.id_stride + self.id_offset + 1;
+        self.admissions += 1;
         contents.push(placement);
         self.ids[server].push(id);
         self.index.insert(id, server);
@@ -125,6 +143,20 @@ impl ClusterState {
         })
     }
 
+    /// Sessions indexed here whose id does not belong to this instance's id
+    /// stream. Structurally impossible (every id is minted by [`admit`])
+    /// and therefore always zero — exported so the chaos harness's
+    /// conservation oracle can assert that routing by `(id - 1) % stride`
+    /// and actual shard membership never diverge.
+    ///
+    /// [`admit`]: ClusterState::admit
+    pub fn misrouted_sessions(&self) -> u64 {
+        self.index
+            .keys()
+            .filter(|&&id| id == 0 || (id - 1) % self.id_stride != self.id_offset)
+            .count() as u64
+    }
+
     /// Check internal invariants (used by tests and debug assertions).
     pub fn check_invariants(&self) {
         assert_eq!(self.ids.len(), self.members.len());
@@ -146,6 +178,11 @@ impl ClusterState {
             }
             for &id in &self.ids[s] {
                 assert_eq!(self.index.get(&id), Some(&s), "session {id} misindexed");
+                assert_eq!(
+                    (id - 1) % self.id_stride,
+                    self.id_offset,
+                    "session {id} does not belong to this id stream"
+                );
             }
         }
         assert_eq!(
@@ -203,6 +240,32 @@ mod tests {
         // Borrowed view agrees with the snapshot.
         assert_eq!(c.members(1), &occ[1][..]);
         assert_eq!(OccupancyView::n_servers(&c), 3);
+    }
+
+    #[test]
+    fn default_id_stream_is_sequential_from_one() {
+        let mut c = ClusterState::new(2);
+        assert_eq!(c.admit(0, (GameId(1), R)), 1);
+        assert_eq!(c.admit(1, (GameId(2), R)), 2);
+        assert_eq!(c.admit(0, (GameId(3), R)), 3);
+    }
+
+    #[test]
+    fn sharded_id_streams_interleave_and_route_back() {
+        let stride = 3u64;
+        let mut shards: Vec<ClusterState> = (0..stride)
+            .map(|s| ClusterState::new_sharded(1, s, stride))
+            .collect();
+        for (s, shard) in shards.iter_mut().enumerate() {
+            for g in 0..2u32 {
+                let id = shard.admit(0, (GameId(10 * s as u32 + g), R));
+                assert_eq!((id - 1) % stride, s as u64, "id {id} routes to its shard");
+            }
+            shard.check_invariants();
+        }
+        // Shard 0 mints 1, 4; shard 1 mints 2, 5; shard 2 mints 3, 6.
+        assert_eq!(shards[1].lookup(2).map(|p| p.placement.0), Some(GameId(10)));
+        assert!(shards[1].lookup(1).is_none());
     }
 
     #[test]

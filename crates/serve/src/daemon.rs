@@ -14,6 +14,14 @@
 //!   the queue (which *drains*: queued connections are still served, in
 //!   drain mode answering exactly the frames already in flight), joins all
 //!   threads and returns the final stats snapshot.
+//!
+//! Fleet state is partitioned into [`DaemonConfig::shards`] placement
+//! domains, each owning a contiguous disjoint server range behind its own
+//! mutex (occupancy + score cache + epoch counter). `Place` scores every
+//! shard under that shard's lock only and admits under the winning shard's
+//! lock with epoch re-validation — no global fleet lock exists anywhere on
+//! the `Place`/`Depart` hot path. With `shards = 1` the daemon runs the
+//! classic single-lock path bit-identically.
 
 use crate::cluster::ClusterState;
 use crate::fault::{FaultAction, FaultInjector, InjectionPoint};
@@ -27,7 +35,9 @@ use crate::wire::{
     OutcomeReport, Request, Response,
 };
 use gaugur_core::Placement;
-use gaugur_sched::{select_server_incremental_with, PlacementScratch, ScoreCache};
+use gaugur_sched::{
+    rank_shard_selections, select_server_incremental_with, PlacementScratch, ScoreCache, Selection,
+};
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::io::{self, Write as _};
@@ -75,6 +85,12 @@ pub struct DaemonConfig {
     /// Feedback-subsystem tuning: outcome buffering, drift detection, and
     /// background retraining.
     pub feedback: FeedbackConfig,
+    /// Placement shard count. Servers are partitioned into this many
+    /// contiguous disjoint ranges, each behind its own lock, so concurrent
+    /// placements on different shards never contend. Clamped to
+    /// `[1, n_servers]`; `1` (the default) reproduces the single-lock
+    /// daemon bit-identically.
+    pub shards: usize,
 }
 
 impl Default for DaemonConfig {
@@ -93,6 +109,7 @@ impl Default for DaemonConfig {
             print_stats_on_shutdown: true,
             fault: None,
             feedback: FeedbackConfig::default(),
+            shards: 1,
         }
     }
 }
@@ -106,11 +123,19 @@ struct RetrainJob {
     extra_rounds: Option<u64>,
 }
 
-/// Cluster occupancy plus its per-server score cache, kept under one mutex
-/// so every placement decision and its cache update are atomic.
-struct Fleet {
+/// One placement domain: the occupancy of a contiguous server range plus
+/// its score cache, kept under one mutex so every placement decision and
+/// its cache update are atomic *within the shard*. Server indices inside
+/// are shard-local; the daemon translates to global fleet indices (local +
+/// the shard's base offset) before anything reaches the wire or the stats.
+struct Shard {
     cluster: ClusterState,
     scores: ScoreCache,
+    /// Bumped on every occupancy mutation (admit, depart, rollback) under
+    /// this shard's lock. The two-phase admit records it while scoring and
+    /// re-checks it before admitting: an unchanged epoch proves the ranking
+    /// was computed from the occupancy still in force.
+    epoch: u64,
 }
 
 /// Worst-N capacity of the slow-request ring exposed via `slow_requests`.
@@ -120,7 +145,13 @@ struct Shared {
     config: DaemonConfig,
     model: ModelHandle,
     memo: PredictionMemo,
-    fleet: Mutex<Fleet>,
+    /// The fleet, partitioned into independently locked placement domains
+    /// over disjoint contiguous server ranges. Exactly one entry when
+    /// `config.shards` is 1 — the classic single-lock fleet.
+    shards: Vec<Mutex<Shard>>,
+    /// Global index of each shard's first server; global server =
+    /// `shard_base[s] + local`.
+    shard_base: Vec<usize>,
     stats: AtomicStats,
     trace: TraceCollector,
     /// Each queued connection carries its enqueue instant so the dequeuing
@@ -134,16 +165,42 @@ struct Shared {
 }
 
 impl Shared {
+    /// The shard owning session `id` under the interleaved id scheme
+    /// (shard `s` mints ids with `(id - 1) % n_shards == s`). Total: any
+    /// id — including 0 and ids the daemon never issued — maps to some
+    /// shard, whose cluster then answers "unknown" for ids it never minted.
+    fn shard_of_session(&self, id: u64) -> usize {
+        (id.wrapping_sub(1) % self.shards.len() as u64) as usize
+    }
+
     fn snapshot(&self) -> StatsSnapshot {
         let (hits, misses) = self.memo.counts();
-        let (active, score_hits, score_misses) = {
-            let fleet = self.fleet.lock();
-            let (sh, sm) = fleet.scores.counts();
-            (fleet.cluster.active_sessions() as u64, sh, sm)
-        };
+        // Sequential per-shard reads, each internally consistent under its
+        // own lock. There is deliberately no stop-the-world global lock:
+        // placements may land on shard B after shard A was read, so the
+        // merged totals are only exact at quiesce points — which is where
+        // the conservation oracles assert them.
+        let mut active = 0u64;
+        let mut score_hits = 0u64;
+        let mut score_misses = 0u64;
+        let mut misrouted = 0u64;
+        let mut shard_active = Vec::with_capacity(self.shards.len());
+        for m in &self.shards {
+            let shard = m.lock();
+            let (sh, sm) = shard.scores.counts();
+            let a = shard.cluster.active_sessions() as u64;
+            score_hits += sh;
+            score_misses += sm;
+            misrouted += shard.cluster.misrouted_sessions();
+            active += a;
+            shard_active.push(a);
+        }
         let mut snap = self
             .stats
             .snapshot(self.model.version(), active, self.config.n_servers);
+        snap.shards = self.shards.len();
+        snap.shard_active_sessions = shard_active;
+        snap.shard_misrouted_sessions = misrouted;
         snap.cache_hits = hits;
         snap.cache_misses = misses;
         snap.score_hits = score_hits;
@@ -200,9 +257,12 @@ impl DaemonHandle {
     }
 
     /// Assert the cluster-state invariants (session index, per-server caps,
-    /// id/member lockstep). Intended for tests; panics on violation.
+    /// id/member lockstep, id-stream membership) on every shard. Intended
+    /// for tests; panics on violation.
     pub fn check_invariants(&self) {
-        self.shared.fleet.lock().cluster.check_invariants();
+        for shard in &self.shared.shards {
+            shard.lock().cluster.check_invariants();
+        }
     }
 
     /// Stop accepting, drain queued and in-flight work, join every thread,
@@ -302,12 +362,29 @@ fn start_with(
 
     let (retrain_tx, retrain_rx) = mpsc::channel::<RetrainJob>();
     let workers_n = config.workers.max(1);
+    // Partition the fleet into contiguous disjoint shard ranges; the first
+    // `n_servers % n_shards` shards absorb the remainder so sizes differ by
+    // at most one. Shard s mints the interleaved id stream with offset s.
+    let n_shards = config.shards.max(1).min(config.n_servers.max(1));
+    let base_size = config.n_servers / n_shards;
+    let remainder = config.n_servers % n_shards;
+    let mut shards = Vec::with_capacity(n_shards);
+    let mut shard_base = Vec::with_capacity(n_shards);
+    let mut next_base = 0usize;
+    for s in 0..n_shards {
+        let size = base_size + usize::from(s < remainder);
+        shard_base.push(next_base);
+        next_base += size;
+        shards.push(Mutex::new(Shard {
+            cluster: ClusterState::new_sharded(size, s as u64, n_shards as u64),
+            scores: ScoreCache::new(size),
+            epoch: 0,
+        }));
+    }
     let shared = Arc::new(Shared {
         memo: PredictionMemo::new(config.memo_capacity),
-        fleet: Mutex::new(Fleet {
-            cluster: ClusterState::new(config.n_servers),
-            scores: ScoreCache::new(config.n_servers),
-        }),
+        shards,
+        shard_base,
         stats: AtomicStats::new(),
         trace: TraceCollector::new(workers_n, SLOW_LOG_CAPACITY),
         queue: WorkQueue::new(config.queue_capacity),
@@ -504,6 +581,8 @@ fn worker_loop(shared: &Shared, worker: usize) {
 /// must forget the admissions it pre-stored under the admit contract.
 struct Admitted {
     session: u64,
+    /// Global server index (shard base + local); rollback re-derives the
+    /// shard from the session id and subtracts the base again.
     server: usize,
     version: u64,
     before_sum: f64,
@@ -516,16 +595,38 @@ struct Admitted {
 /// every later placement decision are identical to a run in which the lost
 /// request never happened (the chaos harness's replay oracle relies on
 /// exactly this).
+///
+/// Admissions are grouped by owning shard — one lock acquisition per shard
+/// that has anything to undo. Shards hold disjoint sessions, so only the
+/// within-shard unwind order (newest first) matters.
 fn rollback_admissions(shared: &Shared, admitted: &[Admitted]) {
     if admitted.is_empty() {
         return;
     }
-    let mut fleet = shared.fleet.lock();
-    let Fleet { cluster, scores } = &mut *fleet;
-    for a in admitted.iter().rev() {
-        if cluster.depart(a.session).is_some() {
-            scores.rollback(a.server, a.version, a.after_sum, a.before_sum);
-            shared.stats.note_rolled_back();
+    for s in 0..shared.shards.len() {
+        if !admitted
+            .iter()
+            .any(|a| shared.shard_of_session(a.session) == s)
+        {
+            continue;
+        }
+        let base = shared.shard_base[s];
+        let mut shard = shared.shards[s].lock();
+        let Shard {
+            cluster,
+            scores,
+            epoch,
+        } = &mut *shard;
+        for a in admitted
+            .iter()
+            .rev()
+            .filter(|a| shared.shard_of_session(a.session) == s)
+        {
+            if cluster.depart(a.session).is_some() {
+                scores.rollback(a.server - base, a.version, a.after_sum, a.before_sum);
+                *epoch += 1;
+                shared.stats.note_rolled_back();
+            }
         }
     }
 }
@@ -673,6 +774,16 @@ fn serve_connection(shared: &Shared, worker: usize, mut stream: TcpStream) {
     }
 }
 
+/// Per-worker buffers for the multi-shard two-phase admit: one candidate
+/// slot per shard, the epochs those candidates were scored at, and the
+/// cross-shard ranking. Lives beside [`SCRATCH`] so the multi-shard path
+/// stays allocation-free in steady state too.
+struct ShardScratch {
+    candidates: Vec<Option<Selection>>,
+    epochs: Vec<u64>,
+    order: Vec<usize>,
+}
+
 thread_local! {
     /// Per-worker placement scratch: colocation batches, degradation query
     /// plans, feature buffers. Each daemon worker thread owns one, so the
@@ -680,16 +791,33 @@ thread_local! {
     /// buffers grow on the first request and are reused for the thread's
     /// lifetime.
     static SCRATCH: RefCell<PlacementScratch> = RefCell::new(PlacementScratch::new());
+
+    /// Per-worker two-phase admit buffers (see [`ShardScratch`]).
+    static SHARD_SCRATCH: RefCell<ShardScratch> = const {
+        RefCell::new(ShardScratch {
+            candidates: Vec::new(),
+            epochs: Vec::new(),
+            order: Vec::new(),
+        })
+    };
 }
+
+/// Lost-race budget for the two-phase admit: how many times a `Place` will
+/// re-score the fleet after its winning shard's occupancy changed under it
+/// before settling for the best shard that still admits.
+const MAX_ADMIT_RETRIES: u32 = 3;
 
 /// Choose a server incrementally, predict the new session's FPS against the
 /// pre-admit co-runners, and admit it — the shared core of `Place` and
-/// `PlaceBatch`. The caller holds the fleet lock and has validated the game.
-/// All model queries route through the batch API via the worker's `scratch`.
-fn admit_one(
+/// `PlaceBatch`. The caller holds this shard's lock and has validated the
+/// game; the returned server index is global (`shard_base` + local). All
+/// model queries route through the batch API via the worker's `scratch`.
+#[allow(clippy::too_many_arguments)]
+fn admit_one_in_shard(
     shared: &Shared,
     model: &LoadedModel,
-    fleet: &mut Fleet,
+    shard: &mut Shard,
+    shard_base: usize,
     scratch: &mut PlacementScratch,
     placement: Placement,
     admitted: &mut Vec<Admitted>,
@@ -700,7 +828,11 @@ fn admit_one(
         memo: &shared.memo,
         qos: shared.config.qos,
     };
-    let Fleet { cluster, scores } = fleet;
+    let Shard {
+        cluster,
+        scores,
+        epoch,
+    } = shard;
     let place_started = Instant::now();
     let sel = select_server_incremental_with(
         &*cluster,
@@ -724,15 +856,153 @@ fn admit_one(
     );
     trace.add(Stage::Predict, elapsed_us(predict_started));
     let session = cluster.admit(sel.server, placement);
+    *epoch += 1;
     shared.stats.note_admitted();
     admitted.push(Admitted {
         session,
-        server: sel.server,
+        server: shard_base + sel.server,
         version: model.version,
         before_sum: sel.before_sum,
         after_sum: sel.server_sum,
     });
-    Some((session, sel.server, prediction.fps))
+    Some((session, shard_base + sel.server, prediction.fps))
+}
+
+/// Two-phase admit across >1 shards. Phase 1 scores every shard under that
+/// shard's own (briefly held) lock, invalidating the speculative winner
+/// entry before unlocking — the score cache's admit-or-invalidate contract
+/// does not survive a lock release. Phase 2 ranks the candidates and admits
+/// under only the winning shard's lock, re-validating via the shard epoch
+/// that the occupancy the ranking was computed from is still in force; a
+/// lost race re-scores (bounded by [`MAX_ADMIT_RETRIES`]), after which the
+/// request settles for the best-ranked shard that still admits.
+fn place_multi(
+    shared: &Shared,
+    model: &LoadedModel,
+    scratch: &mut PlacementScratch,
+    ss: &mut ShardScratch,
+    placement: Placement,
+    admitted: &mut Vec<Admitted>,
+    trace: &mut RequestTrace,
+) -> Option<(u64, usize, f64)> {
+    let fps_model = MemoizedFps {
+        model,
+        memo: &shared.memo,
+        qos: shared.config.qos,
+    };
+    for attempt in 0..=MAX_ADMIT_RETRIES {
+        ss.candidates.clear();
+        ss.epochs.clear();
+        for s in 0..shared.shards.len() {
+            let wait_started = Instant::now();
+            let mut shard = shared.shards[s].lock();
+            trace.add(Stage::PlaceAdmitWait, elapsed_us(wait_started));
+            let place_started = Instant::now();
+            let Shard {
+                cluster,
+                scores,
+                epoch,
+            } = &mut *shard;
+            let sel = select_server_incremental_with(
+                &*cluster,
+                placement,
+                &fps_model,
+                model.version,
+                scores,
+                scratch,
+            );
+            if let Some(sel) = &sel {
+                // We may never come back to this shard: drop the
+                // speculatively stored post-admit sum now, under the lock.
+                scores.invalidate(sel.server);
+            }
+            trace.add(Stage::Place, elapsed_us(place_started));
+            ss.epochs.push(*epoch);
+            ss.candidates.push(sel);
+        }
+        rank_shard_selections(&ss.candidates, &mut ss.order);
+        let Some(&winner) = ss.order.first() else {
+            return None; // every shard is saturated for this game
+        };
+        let wait_started = Instant::now();
+        let mut shard = shared.shards[winner].lock();
+        trace.add(Stage::PlaceAdmitWait, elapsed_us(wait_started));
+        if shard.epoch == ss.epochs[winner] {
+            // Occupancy unchanged since scoring, so the under-lock re-score
+            // deterministically reproduces the phase-1 selection (and
+            // restores the cache entry invalidated above) before admitting.
+            return admit_one_in_shard(
+                shared,
+                model,
+                &mut shard,
+                shared.shard_base[winner],
+                scratch,
+                placement,
+                admitted,
+                trace,
+            );
+        }
+        drop(shard);
+        if attempt < MAX_ADMIT_RETRIES {
+            shared.stats.note_admit_retry();
+        }
+    }
+    // Out of retries under sustained contention: give up on cross-shard
+    // optimality and take the best-ranked shard that still admits.
+    shared.stats.note_admit_fallback();
+    for i in 0..ss.order.len() {
+        let s = ss.order[i];
+        let wait_started = Instant::now();
+        let mut shard = shared.shards[s].lock();
+        trace.add(Stage::PlaceAdmitWait, elapsed_us(wait_started));
+        if let Some(placed) = admit_one_in_shard(
+            shared,
+            model,
+            &mut shard,
+            shared.shard_base[s],
+            scratch,
+            placement,
+            admitted,
+            trace,
+        ) {
+            return Some(placed);
+        }
+    }
+    None
+}
+
+/// Place one session: the single-shard fast path is exactly the classic
+/// single-lock daemon — one lock held across choose + admit, no speculative
+/// invalidation — so its decisions, predictions and score-cache hit/miss
+/// streams are bit-identical to the unsharded implementation. Multi-shard
+/// fleets go through the two-phase [`place_multi`].
+fn place_one(
+    shared: &Shared,
+    model: &LoadedModel,
+    scratch: &mut PlacementScratch,
+    placement: Placement,
+    admitted: &mut Vec<Admitted>,
+    trace: &mut RequestTrace,
+) -> Option<(u64, usize, f64)> {
+    if shared.shards.len() == 1 {
+        let wait_started = Instant::now();
+        let mut shard = shared.shards[0].lock();
+        trace.add(Stage::PlaceAdmitWait, elapsed_us(wait_started));
+        return admit_one_in_shard(
+            shared, model, &mut shard, 0, scratch, placement, admitted, trace,
+        );
+    }
+    SHARD_SCRATCH.with(|ss| {
+        place_multi(
+            shared,
+            model,
+            scratch,
+            &mut ss.borrow_mut(),
+            placement,
+            admitted,
+            trace,
+        )
+    })
 }
 
 /// Ingest a batch of outcome reports (the shared body of `ReportOutcome`
@@ -754,15 +1024,15 @@ fn ingest_reports(shared: &Shared, reports: &[OutcomeReport]) -> (Response, bool
             dropped += 1;
             continue;
         }
-        // Resolve under the fleet lock, ingest outside it: ingestion takes
-        // its own (feedback) locks and must not extend the placement
-        // critical section.
+        // Resolve under the owning shard's lock only, ingest outside it:
+        // ingestion takes its own (feedback) locks and must not extend any
+        // placement critical section.
         let resolved = {
-            let fleet = shared.fleet.lock();
-            fleet.cluster.lookup(report.session).map(|placed| {
+            let shard = shared.shards[shared.shard_of_session(report.session)].lock();
+            shard.cluster.lookup(report.session).map(|placed| {
                 // Co-runners = the server's occupancy minus the session
                 // itself (game ids are unique per server by invariant).
-                let others: Vec<Placement> = fleet
+                let others: Vec<Placement> = shard
                     .cluster
                     .members(placed.server)
                     .iter()
@@ -828,14 +1098,10 @@ fn handle_request(
                     false,
                 );
             }
-            // Hold the fleet lock across choose + admit: the decision is
-            // only valid against the occupancy it was computed from.
-            let mut fleet = shared.fleet.lock();
             match SCRATCH.with(|s| {
-                admit_one(
+                place_one(
                     shared,
                     &model,
-                    &mut fleet,
                     &mut s.borrow_mut(),
                     (*game, *resolution),
                     admitted,
@@ -861,12 +1127,19 @@ fn handle_request(
         }
         Request::PlaceBatch { requests } => {
             let model = shared.model.get();
-            // One lock acquisition (and one scratch borrow) for the whole
-            // burst; items place in order and fail independently (unknown
-            // game or saturation).
-            let mut fleet = shared.fleet.lock();
+            // Items place in order and fail independently (unknown game or
+            // saturation). Single-shard fleets take one lock acquisition
+            // (and one scratch borrow) for the whole burst — the classic
+            // batch path; sharded fleets run each item's two-phase admit so
+            // a long burst never pins any one shard.
             let results: Vec<BatchPlaceResult> = SCRATCH.with(|s| {
                 let scratch = &mut *s.borrow_mut();
+                let mut single = (shared.shards.len() == 1).then(|| {
+                    let wait_started = Instant::now();
+                    let shard = shared.shards[0].lock();
+                    trace.add(Stage::PlaceAdmitWait, elapsed_us(wait_started));
+                    shard
+                });
                 requests
                     .iter()
                     .map(|&(game, resolution)| {
@@ -875,15 +1148,30 @@ fn handle_request(
                                 reason: format!("unknown game {}", game.0),
                             };
                         }
-                        match admit_one(
-                            shared,
-                            &model,
-                            &mut fleet,
-                            scratch,
-                            (game, resolution),
-                            admitted,
-                            trace,
-                        ) {
+                        let placed = match &mut single {
+                            Some(shard) => admit_one_in_shard(
+                                shared,
+                                &model,
+                                shard,
+                                0,
+                                scratch,
+                                (game, resolution),
+                                admitted,
+                                trace,
+                            ),
+                            None => SHARD_SCRATCH.with(|ss| {
+                                place_multi(
+                                    shared,
+                                    &model,
+                                    scratch,
+                                    &mut ss.borrow_mut(),
+                                    (game, resolution),
+                                    admitted,
+                                    trace,
+                                )
+                            }),
+                        };
+                        match placed {
                             Some((session, server, predicted_fps)) => BatchPlaceResult::Placed {
                                 session,
                                 server,
@@ -905,25 +1193,36 @@ fn handle_request(
             )
         }
         Request::Depart { session } => {
-            let mut fleet = shared.fleet.lock();
-            let Fleet { cluster, scores } = &mut *fleet;
+            // The id scheme routes every session to exactly one shard, so a
+            // depart touches one lock — never the whole fleet.
+            let owner = shared.shard_of_session(*session);
+            let wait_started = Instant::now();
+            let mut shard = shared.shards[owner].lock();
+            trace.add(Stage::PlaceAdmitWait, elapsed_us(wait_started));
+            let Shard {
+                cluster,
+                scores,
+                epoch,
+            } = &mut *shard;
             match cluster.depart(*session) {
                 Some(placed) => {
                     scores.invalidate(placed.server);
+                    *epoch += 1;
                     (
                         Response::Departed {
                             session: *session,
-                            server: placed.server,
+                            server: shared.shard_base[owner] + placed.server,
                         },
                         true,
                     )
                 }
-                None => (
-                    Response::Error {
-                        message: format!("unknown session {session}"),
-                    },
-                    false,
-                ),
+                None => {
+                    // Typed, counted, and not a protocol error: departing an
+                    // id that is already gone (double-depart, rolled back,
+                    // or never issued) is a client-visible state, not noise.
+                    shared.stats.note_depart_unknown();
+                    (Response::UnknownSession { session: *session }, false)
+                }
             }
         }
         Request::Predict {

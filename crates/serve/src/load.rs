@@ -71,6 +71,12 @@ pub struct LoadConfig {
     /// daemon to be otherwise idle once the run drains (true for tests and
     /// benches; leave off when other clients share the daemon).
     pub verify_trace: bool,
+    /// After the run, scrape the daemon's stats and verify its shard
+    /// layout: exactly this many placement shards, per-shard active counts
+    /// summing to the global count, and zero misrouted sessions. `None`
+    /// skips the check. Same quiesce requirement as `verify_trace`; the
+    /// result lands in [`LoadReport::shard_violation`].
+    pub expect_shards: Option<usize>,
 }
 
 impl Default for LoadConfig {
@@ -90,6 +96,7 @@ impl Default for LoadConfig {
             observe_noise: 0.05,
             drift: 1.0,
             verify_trace: false,
+            expect_shards: None,
         }
     }
 }
@@ -137,6 +144,12 @@ pub struct LoadReport {
     /// Stage-accounting violation found by the post-run check, if any
     /// (`None` = invariant held, or `verify_trace` was off).
     pub trace_violation: Option<String>,
+    /// Shard layout the daemon reported in the post-run scrape (0 when
+    /// `expect_shards` was off or the scrape failed).
+    pub shards_seen: usize,
+    /// Shard-layout violation found by the post-run check, if any (`None` =
+    /// layout and conservation held, or `expect_shards` was off).
+    pub shard_violation: Option<String>,
 }
 
 impl std::fmt::Display for LoadReport {
@@ -168,11 +181,20 @@ impl std::fmt::Display for LoadReport {
         )?;
         writeln!(f, "  throughput:    {:.0} req/s", self.achieved_rps)?;
         match &self.trace_violation {
-            Some(v) => writeln!(f, "  tracing:       VIOLATION: {v}"),
+            Some(v) => writeln!(f, "  tracing:       VIOLATION: {v}")?,
             None if self.traced_requests > 0 => writeln!(
                 f,
                 "  tracing:       {} requests traced, stage accounting reconciled",
                 self.traced_requests
+            )?,
+            None => {}
+        }
+        match &self.shard_violation {
+            Some(v) => writeln!(f, "  shards:        VIOLATION: {v}"),
+            None if self.shards_seen > 0 => writeln!(
+                f,
+                "  shards:        {} placement shards, conservation held",
+                self.shards_seen
             ),
             None => Ok(()),
         }
@@ -538,21 +560,69 @@ pub fn run(config: &LoadConfig) -> LoadReport {
     report.max_us = latencies.last().copied().unwrap_or(0);
     report.achieved_rps = (report.placed + report.rejected) as f64 / elapsed;
 
-    if config.verify_trace {
+    if config.verify_trace || config.expect_shards.is_some() {
         // The run has drained: every driver connection is closed, so the
-        // daemon is quiesced and the stage-accounting invariant must hold
-        // exactly. (The scrape's own Stats request is excluded from its own
-        // snapshot on both the per-op and per-stage side, so it does not
-        // skew the check.)
+        // daemon is quiesced and the stage-accounting and shard-conservation
+        // invariants must hold exactly. (The scrape's own Stats request is
+        // excluded from its own snapshot on both the per-op and per-stage
+        // side, so it does not skew the checks.)
         match Client::connect(&config.addr).and_then(|mut c| c.stats()) {
             Ok(snap) => {
-                report.traced_requests = snap.per_request.values().map(|r| r.total()).sum();
-                report.trace_violation = crate::trace::verify_stage_accounting(&snap).err();
+                if config.verify_trace {
+                    report.traced_requests = snap.per_request.values().map(|r| r.total()).sum();
+                    report.trace_violation = crate::trace::verify_stage_accounting(&snap).err();
+                }
+                if let Some(want) = config.expect_shards {
+                    report.shards_seen = snap.shards;
+                    report.shard_violation = verify_shard_layout(&snap, want).err();
+                }
             }
-            Err(e) => report.trace_violation = Some(format!("stats scrape failed: {e}")),
+            Err(e) => {
+                let msg = format!("stats scrape failed: {e}");
+                if config.verify_trace {
+                    report.trace_violation = Some(msg.clone());
+                }
+                if config.expect_shards.is_some() {
+                    report.shard_violation = Some(msg);
+                }
+            }
         }
     }
     report
+}
+
+/// The post-run shard check behind [`LoadConfig::expect_shards`]: the
+/// daemon must report exactly the expected number of placement shards, one
+/// per-shard counter per shard, per-shard active counts summing to the
+/// global count, and zero misrouted sessions.
+fn verify_shard_layout(snap: &crate::stats::StatsSnapshot, want: usize) -> Result<(), String> {
+    if snap.shards != want {
+        return Err(format!(
+            "daemon reports {} placement shards, expected {want}",
+            snap.shards
+        ));
+    }
+    if snap.shard_active_sessions.len() != snap.shards {
+        return Err(format!(
+            "{} per-shard counters for {} shards",
+            snap.shard_active_sessions.len(),
+            snap.shards
+        ));
+    }
+    let sum: u64 = snap.shard_active_sessions.iter().sum();
+    if sum != snap.active_sessions {
+        return Err(format!(
+            "per-shard active sessions sum to {sum}, global count says {}",
+            snap.active_sessions
+        ));
+    }
+    if snap.shard_misrouted_sessions != 0 {
+        return Err(format!(
+            "{} sessions live in a shard their id does not route to",
+            snap.shard_misrouted_sessions
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

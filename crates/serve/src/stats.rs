@@ -127,6 +127,30 @@ pub struct StatsSnapshot {
     /// leak into `active_sessions`.
     #[serde(default)]
     pub placements_rolled_back: u64,
+    /// Placement shards the fleet is partitioned into (1 = the classic
+    /// single-lock fleet).
+    #[serde(default)]
+    pub shards: usize,
+    /// Sessions currently placed, per shard (indexed by shard id).
+    /// Conservation invariant: sums to `active_sessions` at any quiesced
+    /// snapshot.
+    #[serde(default)]
+    pub shard_active_sessions: Vec<u64>,
+    /// Sessions whose id did not route back to the shard that owns them
+    /// (must stay 0; anything else is an id-scheme bug).
+    #[serde(default)]
+    pub shard_misrouted_sessions: u64,
+    /// Two-phase admits that lost the re-validation race and re-scored.
+    #[serde(default)]
+    pub place_admit_retries: u64,
+    /// Two-phase admits that exhausted their retries and fell back to the
+    /// next-best shard's candidate.
+    #[serde(default)]
+    pub place_admit_fallbacks: u64,
+    /// `Depart` requests naming a session id that was not placed (already
+    /// departed, rolled back, or never existed).
+    #[serde(default)]
+    pub depart_unknown_sessions: u64,
     /// Prediction-memo hits.
     pub cache_hits: u64,
     /// Prediction-memo misses.
@@ -239,6 +263,19 @@ impl std::fmt::Display for StatsSnapshot {
             "  placements:        {} admitted / {} rolled back",
             self.placements_admitted, self.placements_rolled_back
         )?;
+        if self.shards > 1 {
+            writeln!(
+                f,
+                "  shards:            {} ({} admit retries / {} fallbacks), per-shard active {:?}",
+                self.shards,
+                self.place_admit_retries,
+                self.place_admit_fallbacks,
+                self.shard_active_sessions
+            )?;
+        }
+        if self.depart_unknown_sessions > 0 {
+            writeln!(f, "  unknown departs:   {}", self.depart_unknown_sessions)?;
+        }
         writeln!(
             f,
             "  prediction memo:   {} hits / {} misses ({:.1}% hit rate)",
@@ -369,6 +406,9 @@ pub struct AtomicStats {
     rolled_back: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    admit_retries: AtomicU64,
+    admit_fallbacks: AtomicU64,
+    depart_unknown: AtomicU64,
 }
 
 impl Default for AtomicStats {
@@ -395,6 +435,9 @@ impl AtomicStats {
             rolled_back: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            admit_retries: AtomicU64::new(0),
+            admit_fallbacks: AtomicU64::new(0),
+            depart_unknown: AtomicU64::new(0),
         }
     }
 
@@ -451,6 +494,23 @@ impl AtomicStats {
         self.rolled_back.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count a two-phase admit that lost its re-validation race and
+    /// re-scored the fleet.
+    pub fn note_admit_retry(&self) {
+        self.admit_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a two-phase admit that exhausted its retries and fell back to
+    /// a next-best shard candidate.
+    pub fn note_admit_fallback(&self) {
+        self.admit_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a `Depart` naming an unknown session id.
+    pub fn note_depart_unknown(&self) {
+        self.depart_unknown.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Count an undecodable frame.
     pub fn note_malformed(&self) {
         self.malformed.fetch_add(1, Ordering::Relaxed);
@@ -505,11 +565,17 @@ impl AtomicStats {
             malformed_frames: self.malformed.load(Ordering::Relaxed),
             placements_admitted: self.admitted.load(Ordering::Relaxed),
             placements_rolled_back: self.rolled_back.load(Ordering::Relaxed),
+            place_admit_retries: self.admit_retries.load(Ordering::Relaxed),
+            place_admit_fallbacks: self.admit_fallbacks.load(Ordering::Relaxed),
+            depart_unknown_sessions: self.depart_unknown.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            // The score cache and the feedback subsystem live outside these
-            // atomics; the daemon fills all of the below in when it
-            // assembles the full snapshot.
+            // The score cache, shard layout and the feedback subsystem live
+            // outside these atomics; the daemon fills all of the below in
+            // when it assembles the full snapshot.
+            shards: 0,
+            shard_active_sessions: Vec::new(),
+            shard_misrouted_sessions: 0,
             score_hits: 0,
             score_misses: 0,
             feedback_accepted: 0,
@@ -641,12 +707,19 @@ mod tests {
         s.note_admitted();
         s.note_rolled_back();
         s.note_shutdown_rejected();
+        s.note_admit_retry();
+        s.note_admit_retry();
+        s.note_admit_fallback();
+        s.note_depart_unknown();
         let snap = s.snapshot(1, 1, 1);
         assert_eq!(snap.connections_accepted, 2);
         assert_eq!(snap.connections_closed, 1);
         assert_eq!(snap.placements_admitted, 2);
         assert_eq!(snap.placements_rolled_back, 1);
         assert_eq!(snap.shutdown_rejections, 1);
+        assert_eq!(snap.place_admit_retries, 2);
+        assert_eq!(snap.place_admit_fallbacks, 1);
+        assert_eq!(snap.depart_unknown_sessions, 1);
         // Conservation: admitted = confirmed + rolled back, with one
         // confirmed placement here.
         assert_eq!(snap.placements_admitted, 1 + snap.placements_rolled_back);

@@ -2,14 +2,15 @@
 //!
 //! The whole-request latency histograms in [`crate::stats`] say *how slow* a
 //! request was; this module says *why*. Every handled request is split into
-//! pipeline stages — queue wait, decode, predict, place, encode, write-reply
-//! — and each stage's duration lands in a fixed-bucket histogram sharded per
-//! worker thread, so the hot path touches only its own cache lines with
-//! relaxed atomics. Shards merge on demand into [`crate::StatsSnapshot`].
+//! pipeline stages — queue wait, decode, predict, place, admit-lock wait,
+//! encode, write-reply — and each stage's duration lands in a fixed-bucket
+//! histogram sharded per worker thread, so the hot path touches only its own
+//! cache lines with relaxed atomics. Shards merge on demand into
+//! [`crate::StatsSnapshot`].
 //!
 //! Accounting contract (the "stage-sum invariant", oracle-checked by the
 //! chaos suite): [`TraceCollector::record_request`] records exactly one
-//! sample for *each* of the five request stages per handled request — a
+//! sample for *each* of the six request stages per handled request — a
 //! stage that did not run (e.g. `predict` on a `Depart`) contributes a
 //! zero-duration sample. Therefore every request stage's `count` equals the
 //! total of `per_request` ok + errors at any quiesced snapshot. `queue_wait`
@@ -32,7 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Number of traced stages.
-pub const N_STAGES: usize = 6;
+pub const N_STAGES: usize = 7;
 
 /// Stage names in pipeline order; index is `Stage as usize`.
 pub const STAGES: [&str; N_STAGES] = [
@@ -40,6 +41,7 @@ pub const STAGES: [&str; N_STAGES] = [
     "decode",
     "predict",
     "place",
+    "place_admit_wait",
     "encode",
     "write_reply",
 ];
@@ -53,12 +55,15 @@ pub enum Stage {
     Decode = 1,
     /// Model inference (memoized FPS predictions).
     Predict = 2,
-    /// Placement scoring: picking the best server under the fleet lock.
+    /// Placement scoring: picking the best server per shard.
     Place = 3,
+    /// Waiting to acquire fleet/shard locks on the admit and depart paths —
+    /// the contention signal the sharded fleet exists to shrink.
+    PlaceAdmitWait = 4,
     /// Response serialization.
-    Encode = 4,
+    Encode = 5,
     /// Writing the reply frame to the socket.
-    WriteReply = 5,
+    WriteReply = 6,
 }
 
 impl Stage {
@@ -68,6 +73,7 @@ impl Stage {
         Stage::Decode,
         Stage::Predict,
         Stage::Place,
+        Stage::PlaceAdmitWait,
         Stage::Encode,
         Stage::WriteReply,
     ];
@@ -78,12 +84,13 @@ impl Stage {
     }
 }
 
-/// The five per-request stages — everything except [`Stage::QueueWait`],
+/// The six per-request stages — everything except [`Stage::QueueWait`],
 /// which is sampled once per connection rather than once per request.
-pub const REQUEST_STAGES: [Stage; 5] = [
+pub const REQUEST_STAGES: [Stage; 6] = [
     Stage::Decode,
     Stage::Predict,
     Stage::Place,
+    Stage::PlaceAdmitWait,
     Stage::Encode,
     Stage::WriteReply,
 ];
@@ -308,7 +315,7 @@ impl TraceCollector {
     }
 
     /// Record a fully handled request: one sample per request stage (stages
-    /// that did not run contribute zero-duration samples, keeping all five
+    /// that did not run contribute zero-duration samples, keeping all six
     /// request-stage counts equal to the number of handled requests), and an
     /// offer to the slow-request ring.
     pub fn record_request(&self, worker: usize, kind: &'static str, trace: &RequestTrace) {
@@ -472,7 +479,7 @@ pub fn render_prometheus(s: &StatsSnapshot) -> String {
     );
     write_metric(&mut out, "gaugur_servers", "", s.servers);
 
-    let counters: [(&str, &str, u64); 9] = [
+    let counters: [(&str, &str, u64); 13] = [
         (
             "gaugur_connections_accepted_total",
             "Connections the acceptor admitted.",
@@ -507,6 +514,26 @@ pub fn render_prometheus(s: &StatsSnapshot) -> String {
             "gaugur_placements_rolled_back_total",
             "Admissions undone after undeliverable replies.",
             s.placements_rolled_back,
+        ),
+        (
+            "gaugur_place_admit_retries_total",
+            "Two-phase admits that lost the re-validation race and re-scored.",
+            s.place_admit_retries,
+        ),
+        (
+            "gaugur_place_admit_fallbacks_total",
+            "Two-phase admits that fell back to a next-best shard.",
+            s.place_admit_fallbacks,
+        ),
+        (
+            "gaugur_depart_unknown_sessions_total",
+            "Depart requests naming an unknown session id.",
+            s.depart_unknown_sessions,
+        ),
+        (
+            "gaugur_shard_misrouted_sessions_total",
+            "Sessions whose id routed to the wrong shard (must be 0).",
+            s.shard_misrouted_sessions,
         ),
         (
             "gaugur_feedback_evicted_total",
@@ -637,6 +664,28 @@ pub fn render_prometheus(s: &StatsSnapshot) -> String {
 
     write_header(
         &mut out,
+        "gaugur_placement_shards",
+        "gauge",
+        "Placement shards the fleet is partitioned into.",
+    );
+    write_metric(&mut out, "gaugur_placement_shards", "", s.shards);
+    write_header(
+        &mut out,
+        "gaugur_shard_active_sessions",
+        "gauge",
+        "Sessions currently placed, per placement shard.",
+    );
+    for (shard, active) in s.shard_active_sessions.iter().enumerate() {
+        write_metric(
+            &mut out,
+            "gaugur_shard_active_sessions",
+            &format!("shard=\"{shard}\""),
+            active,
+        );
+    }
+
+    write_header(
+        &mut out,
         "gaugur_requests_total",
         "counter",
         "Handled requests by kind and outcome.",
@@ -711,6 +760,24 @@ mod tests {
         t.add(Stage::QueueWait, 1_000);
         assert_eq!(t.total_us(), 15);
         assert_eq!(t.get(Stage::QueueWait), 1_000);
+        // Admit-lock wait is a request stage: it counts toward the total.
+        t.add(Stage::PlaceAdmitWait, 6);
+        assert_eq!(t.total_us(), 21);
+    }
+
+    #[test]
+    fn admit_wait_is_a_first_class_request_stage() {
+        let c = TraceCollector::new(1, 4);
+        let mut t = trace_with(1, 2, 3, 0, 0);
+        t.add(Stage::PlaceAdmitWait, 9);
+        c.record_request(0, "place", &t);
+        // A request that never touched a shard lock still contributes a
+        // zero-duration sample, so the stage-sum invariant holds.
+        c.record_request(0, "stats", &trace_with(1, 0, 0, 1, 1));
+        let snap = c.stage_snapshot();
+        assert_eq!(snap["place_admit_wait"].count, 2);
+        assert_eq!(snap["place_admit_wait"].total_us, 9);
+        assert_eq!(snap["place_admit_wait"].max_us, 9);
     }
 
     #[test]

@@ -200,6 +200,13 @@ pub enum Response {
     },
     /// The daemon is draining and will not take further work.
     ShuttingDown,
+    /// A `Depart` named a session id that is not placed (already departed,
+    /// rolled back after an undeliverable reply, or never issued). Typed so
+    /// clients can distinguish a double-depart from a protocol error.
+    UnknownSession {
+        /// The id the request named.
+        session: u64,
+    },
     /// The request could not be decoded or touched unknown entities.
     Error {
         /// What went wrong.
@@ -489,6 +496,7 @@ mod tests {
         roundtrip_response(&Response::Reloaded { version: 3 });
         roundtrip_response(&Response::Overloaded { retry_after_ms: 25 });
         roundtrip_response(&Response::ShuttingDown);
+        roundtrip_response(&Response::UnknownSession { session: 99 });
         roundtrip_response(&Response::Error {
             message: "unknown game 999".into(),
         });

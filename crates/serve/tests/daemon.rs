@@ -246,6 +246,7 @@ fn hot_reload_under_live_load_fails_no_inflight_request() {
                 observe_noise: 0.0,
                 drift: 1.0,
                 verify_trace: false,
+                expect_shards: None,
             })
         }
     });
@@ -412,6 +413,163 @@ fn batched_load_driver_reconciles_like_singles() {
     let stats = handle.shutdown();
     assert_eq!(stats.active_sessions, 0);
     assert_eq!(stats.per_request["place_batch"].ok, 240 / 8);
+}
+
+#[test]
+fn departing_an_unknown_session_is_a_typed_counted_error() {
+    let handle = daemon::start(
+        DaemonConfig {
+            n_servers: 2,
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // Never-issued id: typed, not a generic protocol error.
+    match client.depart(424242) {
+        Err(ClientError::UnknownSession { session: 424242 }) => {}
+        other => panic!("expected UnknownSession, got {other:?}"),
+    }
+    // Double-depart: the first succeeds, the second is typed too.
+    let p = client.place(GameId(0), Resolution::Fhd1080).unwrap();
+    client.depart(p.session).unwrap();
+    match client.depart(p.session) {
+        Err(ClientError::UnknownSession { session }) => assert_eq!(session, p.session),
+        other => panic!("expected UnknownSession on double-depart, got {other:?}"),
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.depart_unknown_sessions, 2);
+    assert_eq!(stats.per_request["depart"].ok, 1);
+    assert_eq!(stats.per_request["depart"].errors, 2);
+    assert_eq!(stats.active_sessions, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn sharded_daemon_stress_reconciles_and_conserves_per_shard() {
+    // The multi-shard two-phase admit under real contention: 4 workers
+    // hammer a 4-shard fleet with places, batches and departs. Whatever
+    // interleaving (including lost admit races and fallbacks) occurs, the
+    // quiesced fleet must reconcile globally AND per shard.
+    let handle = daemon::start(
+        DaemonConfig {
+            n_servers: 8,
+            shards: 4,
+            workers: 4,
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 60;
+    let outcomes: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut rng = rng_for(0x5AD5, &[t as u64]);
+                    let mut sessions: Vec<u64> = Vec::new();
+                    let (mut placed, mut departed) = (0u64, 0u64);
+                    for _ in 0..ROUNDS {
+                        match rng.gen_range(0..3u32) {
+                            0 => {
+                                let game = GameId(rng.gen_range(0..N_GAMES));
+                                match client.place(game, Resolution::Fhd1080) {
+                                    Ok(p) => {
+                                        assert!(p.server < 8, "global index on the wire");
+                                        sessions.push(p.session);
+                                        placed += 1;
+                                    }
+                                    Err(ClientError::Rejected { .. }) => {}
+                                    Err(e) => panic!("place failed: {e}"),
+                                }
+                            }
+                            1 => {
+                                let burst: Vec<_> = (0..3)
+                                    .map(|_| {
+                                        (GameId(rng.gen_range(0..N_GAMES)), Resolution::Fhd1080)
+                                    })
+                                    .collect();
+                                let (_, results) = client.place_batch(&burst).unwrap();
+                                for result in results {
+                                    if let BatchPlaceResult::Placed { session, .. } = result {
+                                        sessions.push(session);
+                                        placed += 1;
+                                    }
+                                }
+                            }
+                            _ => {
+                                if sessions.is_empty() {
+                                    continue;
+                                }
+                                let s = sessions.swap_remove(rng.gen_range(0..sessions.len()));
+                                client.depart(s).unwrap();
+                                departed += 1;
+                            }
+                        }
+                    }
+                    for s in sessions.drain(..) {
+                        client.depart(s).unwrap();
+                        departed += 1;
+                    }
+                    (placed, departed)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    handle.check_invariants();
+    let placed: u64 = outcomes.iter().map(|o| o.0).sum();
+    let departed: u64 = outcomes.iter().map(|o| o.1).sum();
+    assert_eq!(placed, departed);
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.shards, 4);
+    assert_eq!(stats.shard_active_sessions.len(), 4);
+    assert_eq!(stats.shard_active_sessions.iter().sum::<u64>(), 0);
+    assert_eq!(stats.active_sessions, 0, "leaked sessions after quiesce");
+    assert_eq!(stats.shard_misrouted_sessions, 0);
+    assert_eq!(stats.depart_unknown_sessions, 0);
+    assert_eq!(stats.per_request["depart"].errors, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn sharded_load_driver_verifies_layout_and_tracing() {
+    let handle = daemon::start(
+        DaemonConfig {
+            n_servers: 12,
+            shards: 4,
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+    let report = load::run(&LoadConfig {
+        addr: handle.local_addr().to_string(),
+        seed: 31,
+        connections: 4,
+        requests: 200,
+        games: (0..N_GAMES).map(GameId).collect(),
+        verify_trace: true,
+        expect_shards: Some(4),
+        ..LoadConfig::default()
+    });
+    assert_eq!(report.errors, 0, "{report}");
+    assert_eq!(report.trace_violation, None, "{report}");
+    assert_eq!(report.shard_violation, None, "{report}");
+    assert_eq!(report.shards_seen, 4);
+    assert!(report.traced_requests > 0);
+    let stats = handle.shutdown();
+    assert_eq!(stats.active_sessions, 0);
 }
 
 /// Poll stats on fresh connections until `pred` holds (rollbacks race the

@@ -75,6 +75,7 @@ fn offline_build_serves_online_placements() {
         observe_noise: 0.0,
         drift: 1.0,
         verify_trace: true,
+        expect_shards: Some(1),
     });
     assert_eq!(report.errors, 0);
     assert_eq!(report.placed + report.rejected, 100);
@@ -83,6 +84,10 @@ fn offline_build_serves_online_placements() {
     assert_eq!(
         report.trace_violation, None,
         "per-stage accounting must reconcile after a drained run"
+    );
+    assert_eq!(
+        report.shard_violation, None,
+        "a default daemon is one shard and conserves its sessions"
     );
 
     let stats = client.stats().unwrap();
