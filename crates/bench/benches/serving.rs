@@ -10,8 +10,8 @@ use gaugur_core::{GAugur, GAugurConfig, Placement};
 use gaugur_gamesim::{GameId, Resolution};
 use gaugur_sched::{select_server, select_server_incremental, Policy, ScoreCache};
 use gaugur_serve::{
-    daemon, load, Client, DaemonConfig, LoadConfig, MemoizedFps, ModelHandle, PredictionMemo,
-    RequestTrace, Stage, TraceCollector,
+    daemon, load, Client, DaemonConfig, LoadConfig, MemoizedFps, ModelHandle, MonotonicClock,
+    PredictionMemo, RequestTrace, SlowMeta, Stage, TraceCollector, WindowedCollector,
 };
 use std::time::Instant;
 
@@ -106,7 +106,7 @@ fn trace_overhead_ns() -> f64 {
         trace.add(Stage::Place, 60);
         trace.add(Stage::Encode, 5);
         trace.add(Stage::WriteReply, 7 + (i & 63));
-        collector.record_request((i % 4) as usize, "place", &trace);
+        collector.record_request((i % 4) as usize, "place", &trace, SlowMeta::default());
     }
     let ns = t0.elapsed().as_nanos() as f64 / REPS as f64;
     std::hint::black_box(collector.stage_snapshot());
@@ -114,6 +114,33 @@ fn trace_overhead_ns() -> f64 {
     assert!(
         ns < 1_000.0,
         "tracing blew its overhead budget: {ns:.0} ns/request"
+    );
+    ns
+}
+
+/// Per-request cost of the windowed-telemetry path, in-process: one
+/// `record_request` into the recording worker's ring of per-second buckets
+/// (request counters, per-stage latency histograms, place tallies). This
+/// rides the same hot path as `trace_record`; its budget is ≤100 ns on top.
+fn windowed_overhead_ns() -> f64 {
+    const REPS: u64 = 1_000_000;
+    let collector = WindowedCollector::new(4, 2, std::sync::Arc::new(MonotonicClock::new()));
+    let mut trace = RequestTrace::new();
+    trace.add(Stage::Decode, 3);
+    trace.add(Stage::Predict, 40);
+    trace.add(Stage::Place, 60);
+    trace.add(Stage::Encode, 5);
+    trace.add(Stage::WriteReply, 7);
+    let t0 = Instant::now();
+    for i in 0..REPS {
+        collector.record_request((i % 4) as usize, true, true, &trace);
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / REPS as f64;
+    std::hint::black_box(collector.views());
+    eprintln!("windowed_record: {ns:.0} ns per request");
+    assert!(
+        ns < 500.0,
+        "windowed telemetry blew its overhead budget: {ns:.0} ns/request"
     );
     ns
 }
@@ -193,6 +220,7 @@ fn emit_report(
     p50: u64,
     p99: u64,
     trace_ns: f64,
+    windowed_ns: f64,
     render_us: f64,
     curve: &[(usize, usize, f64)],
 ) {
@@ -222,6 +250,7 @@ fn emit_report(
          {curve_json}  \
          \"contended_speedup_w8_s4_vs_s1\": {:.3},\n  \
          \"trace_record_ns_per_request\": {trace_ns:.0},\n  \
+         \"windowed_record_ns_per_request\": {windowed_ns:.0},\n  \
          \"metrics_render_us\": {render_us:.1}\n}}\n",
         old_us / new_us.max(1e-9),
         rps_at(8, 4) / rps_at(8, 1).max(1e-9),
@@ -238,6 +267,7 @@ fn bench(c: &mut Criterion) {
 
     let placement_us = deep_fleet_comparison(&model);
     let trace_ns = trace_overhead_ns();
+    let windowed_ns = windowed_overhead_ns();
     let curve = contended_scaling(&model, &games);
     let handle = daemon::start(
         DaemonConfig {
@@ -312,6 +342,7 @@ fn bench(c: &mut Criterion) {
         report.p50_us,
         report.p99_us,
         trace_ns,
+        windowed_ns,
         render_us,
         &curve,
     );

@@ -14,6 +14,7 @@
 //! gaugur session stats
 //! gaugur load    --requests 5000 --connections 4 --rate inf
 //! gaugur metrics                                          # Prometheus text exposition
+//! gaugur slo                                              # burn rates + alert states
 //! gaugur top --interval 2                                 # live stage/latency view
 //! ```
 //!
@@ -52,6 +53,7 @@ fn main() {
         "serve" => serve(&opts),
         "load" => load_cmd(&opts),
         "metrics" => metrics_cmd(&opts),
+        "slo" => slo_cmd(&opts),
         "top" => top_cmd(&opts),
         "chaos" => chaos(&opts),
         "help" | "--help" | "-h" => usage(),
@@ -74,6 +76,7 @@ fn usage() {
          \x20 pack       --model FILE --games ID,ID,… --requests N [--qos FPS] [--seed S]\n\
          \x20 importance --model FILE --games N [--seed S]\n\
          \x20 serve      --model FILE [--bind ADDR] [--servers N] [--shards N] [--workers N] [--queue N] [--qos FPS]\n\
+         \x20            [--recorder-dump FILE]  (write the flight-recorder JSONL here when an alert goes critical)\n\
          \x20 session    place   [--addr ADDR] --game ID [--resolution R]\n\
          \x20 session    depart  [--addr ADDR] --session ID\n\
          \x20 session    predict [--addr ADDR] --target ID --others ID,ID,… [--resolution R] [--qos FPS]\n\
@@ -84,7 +87,9 @@ fn usage() {
          \x20            [--seed S] [--games ID,ID,…] [--mean-session N] [--qos FPS] [--resolution R]\n\
          \x20            [--report-outcomes true] [--observe-noise F] [--drift F] [--verify-trace true]\n\
          \x20            [--shards N]  (verify the daemon's shard layout and conservation after the run)\n\
-         \x20 metrics    [--addr ADDR]\n\
+         \x20            [--expect-slo ok|warn|critical]  (fail unless the fleet alert reached this severity)\n\
+         \x20 metrics    [--addr ADDR] [--json true]\n\
+         \x20 slo        [--addr ADDR] [--json true] [--dump FILE [--deterministic true]]\n\
          \x20 top        [--addr ADDR] [--interval SECS] [--iterations N]\n\
          \x20 chaos      --seed S [--scenarios N] [--ops N] [--servers N] [--games N] [--model FILE]\n"
     );
@@ -365,6 +370,7 @@ fn serve(opts: &HashMap<String, String>) {
         workers: get(opts, "workers", Some(4)),
         queue_capacity: get(opts, "queue", Some(64)),
         qos: get(opts, "qos", Some(60.0)),
+        recorder_dump_path: opts.get("recorder-dump").map(std::path::PathBuf::from),
         ..Default::default()
     };
     let handle = gaugur_serve::daemon::start(config, model).unwrap_or_else(|e| {
@@ -524,9 +530,12 @@ fn load_cmd(opts: &HashMap<String, String>) {
         expect_shards: opts
             .get("shards")
             .map(|_| get(opts, "shards", None::<usize>)),
+        expect_slo: opts.get("expect-slo").map(|v| alert_state(v)),
     };
     let report = gaugur_serve::load::run(&config);
-    let violated = report.trace_violation.is_some() || report.shard_violation.is_some();
+    let violated = report.trace_violation.is_some()
+        || report.shard_violation.is_some()
+        || report.slo_violation.is_some();
     print_multiline(&report.to_string());
     if violated {
         exit(1);
@@ -535,13 +544,81 @@ fn load_cmd(opts: &HashMap<String, String>) {
 
 /// Scrape the daemon's Prometheus text exposition (the `Metrics` wire op)
 /// and print it verbatim — pipe it to a file, a pushgateway, or a scrape
-/// shim when the daemon is not directly reachable by Prometheus.
+/// shim when the daemon is not directly reachable by Prometheus. With
+/// `--json true`, fetch the stats snapshot instead and print it as JSON for
+/// machine consumers that do not speak the Prometheus text format.
 fn metrics_cmd(opts: &HashMap<String, String>) {
-    let text = connect(opts).metrics().unwrap_or_else(|e| {
+    let or_die = |e: gaugur_serve::ClientError| -> ! {
         eprintln!("{e}");
         exit(1);
-    });
+    };
+    if get(opts, "json", Some(false)) {
+        let stats = connect(opts).stats().unwrap_or_else(|e| or_die(e));
+        let mut json = serde_json::to_string_pretty(&stats).unwrap_or_else(|e| {
+            eprintln!("cannot serialize snapshot: {e}");
+            exit(1);
+        });
+        json.push('\n');
+        print_multiline(&json);
+        return;
+    }
+    let text = connect(opts).metrics().unwrap_or_else(|e| or_die(e));
     print_multiline(&text);
+}
+
+/// Parse an `--expect-slo` / alert-state argument.
+fn alert_state(v: &str) -> gaugur_serve::AlertState {
+    match v.to_ascii_lowercase().as_str() {
+        "ok" => gaugur_serve::AlertState::Ok,
+        "warn" => gaugur_serve::AlertState::Warn,
+        "critical" => gaugur_serve::AlertState::Critical,
+        other => {
+            eprintln!("unknown alert state {other:?} (want ok|warn|critical)");
+            exit(2);
+        }
+    }
+}
+
+/// Fetch and print the daemon's SLO report: per-objective burn rates over
+/// the fast and slow windows, alert states, and the rolling window views
+/// they were computed from. `--json true` prints the raw report; `--dump
+/// FILE` also snapshots the flight recorder to FILE (`--deterministic true`
+/// strips wall-clock and identity noise for byte-comparable dumps).
+fn slo_cmd(opts: &HashMap<String, String>) {
+    let or_die = |e: gaugur_serve::ClientError| -> ! {
+        eprintln!("{e}");
+        exit(1);
+    };
+    let mut client = connect(opts);
+    let report = client.slo_status().unwrap_or_else(|e| or_die(e));
+    if get(opts, "json", Some(false)) {
+        let mut json = serde_json::to_string_pretty(&report).unwrap_or_else(|e| {
+            eprintln!("cannot serialize report: {e}");
+            exit(1);
+        });
+        json.push('\n');
+        print_multiline(&json);
+    } else {
+        print_multiline(&report.to_string());
+    }
+    if let Some(path) = opts.get("dump") {
+        let deterministic = get(opts, "deterministic", Some(false));
+        let (jsonl, events, truncated) = client
+            .dump_recorder(deterministic)
+            .unwrap_or_else(|e| or_die(e));
+        std::fs::write(path, jsonl).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        eprintln!(
+            "flight recorder: {events} events written to {path}{}",
+            if truncated {
+                " (ring wrapped; oldest events lost)"
+            } else {
+                ""
+            }
+        );
+    }
 }
 
 /// Live operator view: repaint the daemon's stats table — per-op latency,

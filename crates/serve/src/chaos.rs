@@ -142,6 +142,11 @@ pub struct ScenarioReport {
     pub decision_digest: u64,
     /// Daemon stats after drain and shutdown.
     pub final_stats: StatsSnapshot,
+    /// Deterministic flight-recorder dump (JSONL) from the faulted run —
+    /// admit/depart events with all wall-clock and identity noise struck.
+    /// `run_scenario` demands it byte-identical with the fault-free
+    /// replay's dump; a mismatch is an oracle violation.
+    pub recorder_dump: String,
     /// Oracle violations; empty means the scenario passed.
     pub violations: Vec<String>,
 }
@@ -178,6 +183,7 @@ impl ScenarioReport {
             self.decision_digest,
         )
             .hash(&mut h);
+        self.recorder_dump.hash(&mut h);
         for v in &self.violations {
             v.hash(&mut h);
         }
@@ -494,6 +500,7 @@ struct FaultedRun {
     outcomes_accepted: u64,
     outcomes_dropped: u64,
     final_stats: StatsSnapshot,
+    recorder_dump: String,
     violations: Vec<String>,
 }
 
@@ -598,6 +605,7 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
         outcomes_accepted: 0,
         outcomes_dropped: 0,
         final_stats: StatsSnapshot::default(),
+        recorder_dump: String::new(),
         violations: Vec::new(),
     };
 
@@ -975,6 +983,24 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
         &mut violations,
     );
 
+    // Snapshot the flight recorder's deterministic view before shutdown.
+    // `run_scenario` demands these bytes identical to the fault-free
+    // replay's dump: admissions whose replies were lost were rolled back,
+    // so they appear in neither.
+    match runner.raw_call(&Request::DumpRecorder {
+        deterministic: true,
+    })? {
+        Response::RecorderDump {
+            jsonl, truncated, ..
+        } => {
+            if truncated {
+                violations.push("recorder dump truncated: ring too small for the scenario".into());
+            }
+            run.recorder_dump = jsonl;
+        }
+        other => violations.push(format!("dump_recorder answered {other:?}")),
+    }
+
     // Graceful shutdown must finish in-flight work and close every
     // connection — including the runner's, dropped here.
     drop(runner);
@@ -1009,7 +1035,8 @@ fn faulted_run(config: &ChaosConfig, injector: Arc<FaultInjector>) -> Result<Fau
 /// Replay the surviving operations against a fresh fault-free daemon and
 /// demand bit-identical decisions. Lost operations were net no-ops (rolled
 /// back or never parsed), so the fleet trajectories must coincide exactly.
-fn replay(config: &ChaosConfig, trace: &[TraceOp]) -> Result<(u64, Vec<String>), String> {
+/// Returns `(replayed, violations, deterministic recorder dump)`.
+fn replay(config: &ChaosConfig, trace: &[TraceOp]) -> Result<(u64, Vec<String>, String), String> {
     let model = ModelHandle::load(&config.artifact).map_err(|e| format!("replay load: {e}"))?;
     let daemon_config = DaemonConfig {
         bind: "127.0.0.1:0".into(),
@@ -1206,9 +1233,15 @@ fn replay(config: &ChaosConfig, trace: &[TraceOp]) -> Result<(u64, Vec<String>),
         }
         other => return Err(format!("replay stats answered {other:?}")),
     }
+    let dump = match call(&Request::DumpRecorder {
+        deterministic: true,
+    })? {
+        Response::RecorderDump { jsonl, .. } => jsonl,
+        other => return Err(format!("replay dump_recorder answered {other:?}")),
+    };
     drop(stream);
     handle.shutdown();
-    Ok((replayed, violations))
+    Ok((replayed, violations, dump))
 }
 
 /// Run one seeded scenario end to end: faulted run, stats oracles, then the
@@ -1235,6 +1268,7 @@ pub fn run_scenario(config: &ChaosConfig) -> ScenarioReport {
         replayed: 0,
         decision_digest: 0,
         final_stats: StatsSnapshot::default(),
+        recorder_dump: String::new(),
         violations: Vec::new(),
     };
 
@@ -1251,6 +1285,7 @@ pub fn run_scenario(config: &ChaosConfig) -> ScenarioReport {
             report.outcomes_accepted = run.outcomes_accepted;
             report.outcomes_dropped = run.outcomes_dropped;
             report.final_stats = run.final_stats;
+            report.recorder_dump = run.recorder_dump;
             report.violations = run.violations;
             let mut h = DefaultHasher::new();
             for op in &run.trace {
@@ -1258,9 +1293,17 @@ pub fn run_scenario(config: &ChaosConfig) -> ScenarioReport {
             }
             report.decision_digest = h.finish();
             match replay(config, &run.trace) {
-                Ok((replayed, mut replay_violations)) => {
+                Ok((replayed, mut replay_violations, replay_dump)) => {
                     report.replayed = replayed;
                     report.violations.append(&mut replay_violations);
+                    if replay_dump != report.recorder_dump {
+                        report.violations.push(format!(
+                            "recorder dump diverged: faulted run {} bytes, fault-free replay \
+                             {} bytes",
+                            report.recorder_dump.len(),
+                            replay_dump.len()
+                        ));
+                    }
                 }
                 Err(e) => report.violations.push(format!("replay harness error: {e}")),
             }
@@ -1330,6 +1373,28 @@ mod tests {
         assert_eq!(report.lost_requests + report.lost_replies, 0);
         assert!(report.confirmed > 0, "quiet run placed nothing");
         assert!(report.replayed > 0, "nothing survived to replay");
+    }
+
+    #[test]
+    fn recorder_dump_is_nonempty_schema_valid_and_survives_faults() {
+        // run_scenario itself byte-compares the faulted dump against the
+        // fault-free replay's — a divergence would fail passed(). Here we
+        // additionally check the dump carries real events and every line
+        // is valid standalone JSON.
+        let report = run_scenario(&small_config(23));
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(
+            !report.recorder_dump.is_empty(),
+            "a scenario with confirmed placements must record admits"
+        );
+        for line in report.recorder_dump.lines() {
+            let parsed = serde_json::parse_value_str(line);
+            assert!(parsed.is_ok(), "unparseable dump line: {line}");
+            assert!(
+                line.contains("\"kind\":\"admit\"") || line.contains("\"kind\":\"depart\""),
+                "deterministic dump leaked a non-deterministic event: {line}"
+            );
+        }
     }
 
     #[test]

@@ -414,6 +414,35 @@ impl Client {
         }
     }
 
+    /// Fetch the daemon's SLO report: per-objective burn rates, alert
+    /// states, and the rolling window views they were computed from. Forces
+    /// a fresh evaluation on the daemon — the answer is never stale.
+    pub fn slo_status(&mut self) -> Result<crate::slo::SloReport, ClientError> {
+        match self.call(&Request::SloStatus)? {
+            Response::Slo(report) => Ok(*report),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Snapshot the daemon's flight recorder as JSONL. `deterministic`
+    /// strips non-deterministic fields (timestamps, worker ids, sequence
+    /// numbers, control events) so the dump is byte-comparable across
+    /// replayed runs; `false` keeps everything an operator wants. Returns
+    /// `(jsonl, events, truncated)`.
+    pub fn dump_recorder(
+        &mut self,
+        deterministic: bool,
+    ) -> Result<(String, u64, bool), ClientError> {
+        match self.call(&Request::DumpRecorder { deterministic })? {
+            Response::RecorderDump {
+                jsonl,
+                events,
+                truncated,
+            } => Ok((jsonl, events, truncated)),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
     /// Hot-reload the model (from `path`, or its original source when
     /// `None`); returns the new model version.
     pub fn reload(&mut self, path: Option<&str>) -> Result<u64, ClientError> {

@@ -28,8 +28,12 @@ use crate::fault::{FaultAction, FaultInjector, InjectionPoint};
 use crate::feedback::{Feedback, FeedbackConfig, OutcomeRecord};
 use crate::model::{LoadedModel, MemoizedFps, ModelHandle, PredictionMemo};
 use crate::queue::{PushError, WorkQueue};
+use crate::recorder::{Event, Recorder};
+use crate::slo::{
+    AlertState, Clock, MonotonicClock, SloConfig, SloEngine, SloReport, WindowedCollector,
+};
 use crate::stats::{AtomicStats, StatsSnapshot};
-use crate::trace::{elapsed_us, RequestTrace, Stage, TraceCollector};
+use crate::trace::{elapsed_us, RequestTrace, SlowMeta, Stage, TraceCollector};
 use crate::wire::{
     self, read_frame_bytes_capped, request_kind, write_frame, BatchPlaceResult, FrameError,
     OutcomeReport, Request, Response,
@@ -91,6 +95,19 @@ pub struct DaemonConfig {
     /// `[1, n_servers]`; `1` (the default) reproduces the single-lock
     /// daemon bit-identically.
     pub shards: usize,
+    /// SLO-engine tuning: error budgets, the place-latency target, and the
+    /// warn/critical burn-rate thresholds.
+    pub slo: SloConfig,
+    /// Per-worker flight-recorder ring capacity (events). The recorder is
+    /// always on; this only bounds how far back a dump can see.
+    pub recorder_capacity: usize,
+    /// When set, an alert transition to `Critical` snapshots the flight
+    /// recorder to this path as an operator (non-deterministic) JSONL dump.
+    pub recorder_dump_path: Option<PathBuf>,
+    /// Clock behind uptime, windowed telemetry and recorder timestamps.
+    /// `None` (production) uses a monotonic clock; tests inject a
+    /// [`crate::ManualClock`] to drive the rolling windows deterministically.
+    pub clock: Option<Arc<dyn Clock>>,
 }
 
 impl Default for DaemonConfig {
@@ -110,6 +127,10 @@ impl Default for DaemonConfig {
             fault: None,
             feedback: FeedbackConfig::default(),
             shards: 1,
+            slo: SloConfig::default(),
+            recorder_capacity: 512,
+            recorder_dump_path: None,
+            clock: None,
         }
     }
 }
@@ -162,6 +183,15 @@ struct Shared {
     /// Sender side of the retrainer's job queue; `None` once shutdown has
     /// begun (taking it is what lets the retrainer thread exit).
     retrain_tx: Mutex<Option<mpsc::Sender<RetrainJob>>>,
+    /// Clock behind uptime, windowed slots and recorder timestamps (shared
+    /// with `stats`, `windowed` and `recorder`).
+    clock: Arc<dyn Clock>,
+    /// Per-worker per-second telemetry rings merged into rolling views.
+    windowed: WindowedCollector,
+    /// Burn-rate evaluation + alert state machine over the rolling views.
+    slo_engine: SloEngine,
+    /// Always-on flight recorder (per-worker event rings + control buffer).
+    recorder: Recorder,
 }
 
 impl Shared {
@@ -222,7 +252,32 @@ impl Shared {
         snap.last_retrain_samples = fc.last_retrain_samples;
         snap.per_stage = self.trace.stage_snapshot();
         snap.slow_requests = self.trace.slow_snapshot();
+        snap.slo = Some(self.evaluate_slo());
         snap
+    }
+
+    /// Evaluate every SLO objective against the rolling windows right now,
+    /// advance the alert state machine, and feed the side effects through:
+    /// transitions land in the flight recorder, and a transition *into*
+    /// `Critical` snapshots the recorder to
+    /// [`DaemonConfig::recorder_dump_path`] so the incident's event history
+    /// is captured at the moment it fired, not when an operator gets around
+    /// to asking.
+    fn evaluate_slo(&self) -> SloReport {
+        let (report, transitions) = self
+            .slo_engine
+            .evaluate(&self.windowed.views(), self.windowed.per_game());
+        for t in &transitions {
+            self.recorder
+                .record_control(crate::recorder::alert_event(t.objective, t.from, t.to));
+        }
+        if transitions.iter().any(|t| t.to == AlertState::Critical) {
+            if let Some(path) = &self.config.recorder_dump_path {
+                let dump = self.recorder.dump(false);
+                let _ = std::fs::write(path, dump.jsonl);
+            }
+        }
+        report
     }
 
     /// Enqueue a background retrain; `false` when the retrainer has already
@@ -381,16 +436,24 @@ fn start_with(
             epoch: 0,
         }));
     }
+    let clock: Arc<dyn Clock> = config
+        .clock
+        .clone()
+        .unwrap_or_else(|| Arc::new(MonotonicClock::new()));
     let shared = Arc::new(Shared {
         memo: PredictionMemo::new(config.memo_capacity),
         shards,
         shard_base,
-        stats: AtomicStats::new(),
+        stats: AtomicStats::new_with_clock(clock.clone()),
         trace: TraceCollector::new(workers_n, SLOW_LOG_CAPACITY),
         queue: WorkQueue::new(config.queue_capacity),
         shutdown: AtomicBool::new(false),
         feedback: Feedback::new(config.feedback),
         retrain_tx: Mutex::new(Some(retrain_tx)),
+        windowed: WindowedCollector::new(workers_n, n_shards, clock.clone()),
+        slo_engine: SloEngine::new(config.slo),
+        recorder: Recorder::new(workers_n, config.recorder_capacity, clock.clone()),
+        clock,
         model,
         config: config.clone(),
     });
@@ -474,7 +537,7 @@ fn retrainer_loop(shared: &Shared, rx: &mpsc::Receiver<RetrainJob>) {
 /// usable outcomes, artifact I/O, reload rejection — leaves the serving
 /// model (and its version) untouched and only bumps `retrains_failed`.
 fn run_retrain(shared: &Shared, job: RetrainJob) {
-    let started = Instant::now();
+    let started_us = shared.clock.now_us();
     let fb = &shared.feedback;
     let cfg = fb.config();
     let min_samples = job.min_samples.unwrap_or(cfg.min_retrain_samples);
@@ -486,12 +549,14 @@ fn run_retrain(shared: &Shared, job: RetrainJob) {
     let outcomes = fb.snapshot_outcomes();
     if (outcomes.len() as u64) < min_samples {
         fb.note_retrain_failed();
+        shared.recorder.record_control(Event::RetrainFailed);
         return;
     }
     let model = shared.model.get();
     let Some((retrained, report)) = model.gaugur.retrain_from_outcomes(&outcomes, extra_rounds)
     else {
         fb.note_retrain_failed();
+        shared.recorder.record_control(Event::RetrainFailed);
         return;
     };
     // Publish through the artifact + reload path rather than swapping
@@ -506,7 +571,7 @@ fn run_retrain(shared: &Shared, job: RetrainJob) {
         .and_then(|_| retrained.save_json(&path))
         .and_then(|_| shared.model.reload(Some(&path)));
     match published {
-        Ok(_version) => {
+        Ok(version) => {
             // The new model's accuracy starts from a clean slate: drop the
             // sliding error window along with the Page–Hinkley state, so
             // `windowed_mae` no longer reflects the replaced model's errors
@@ -515,11 +580,18 @@ fn run_retrain(shared: &Shared, job: RetrainJob) {
             // never observe the success with stale drift statistics.
             fb.reset_drift();
             fb.note_retrain_ok(
-                started.elapsed().as_millis() as u64,
+                shared.clock.now_us().saturating_sub(started_us) / 1_000,
                 report.samples_used as u64,
             );
+            shared.recorder.record_control(Event::RetrainOk {
+                version,
+                samples: report.samples_used as u64,
+            });
         }
-        Err(_) => fb.note_retrain_failed(),
+        Err(_) => {
+            fb.note_retrain_failed();
+            shared.recorder.record_control(Event::RetrainFailed);
+        }
     }
 }
 
@@ -567,9 +639,9 @@ fn worker_loop(shared: &Shared, worker: usize) {
     // pop() drains the queue even after close, so connections admitted
     // before shutdown still get served.
     while let Some((stream, enqueued)) = shared.queue.pop() {
-        shared
-            .trace
-            .record_stage(worker, Stage::QueueWait, elapsed_us(enqueued));
+        let wait_us = elapsed_us(enqueued);
+        shared.trace.record_stage(worker, Stage::QueueWait, wait_us);
+        shared.windowed.record_queue_wait(worker, wait_us);
         serve_connection(shared, worker, stream);
         shared.stats.note_connection_closed();
     }
@@ -585,6 +657,8 @@ struct Admitted {
     /// shard from the session id and subtracts the base again.
     server: usize,
     version: u64,
+    /// Admitted game id, carried into the flight-recorder `admit` event.
+    game: u64,
     before_sum: f64,
     after_sum: f64,
 }
@@ -649,6 +723,7 @@ fn write_reply(
                 FaultAction::DropConnection => {
                     // Nothing was encoded or written: the request's encode
                     // and write-reply stages keep zero-duration samples.
+                    shared.recorder.record_control(Event::Fault { point: 0 });
                     let _ = stream.shutdown(std::net::Shutdown::Both);
                     return Err(io::Error::new(
                         io::ErrorKind::ConnectionAborted,
@@ -656,6 +731,7 @@ fn write_reply(
                     ));
                 }
                 FaultAction::TornFrame => {
+                    shared.recorder.record_control(Event::Fault { point: 1 });
                     let encode_started = Instant::now();
                     let payload = serde_json::to_string(response)
                         .map_err(io::Error::other)?
@@ -677,6 +753,7 @@ fn write_reply(
                 FaultAction::Stall(ms) => {
                     // The stall models a stalled reply write, so its wait is
                     // honest reply-delivery time.
+                    shared.recorder.record_control(Event::Fault { point: 2 });
                     let stall_started = Instant::now();
                     std::thread::sleep(Duration::from_millis(ms));
                     trace.add(Stage::WriteReply, elapsed_us(stall_started));
@@ -751,7 +828,15 @@ fn serve_connection(shared: &Shared, worker: usize, mut stream: TcpStream) {
         trace.add(Stage::Decode, decode_us);
         let started = Instant::now();
         admitted.clear();
-        let (response, ok) = handle_request(shared, &request, &mut admitted, &mut trace);
+        let mut effects = RequestSideEffects::default();
+        let (response, ok) = handle_request(
+            shared,
+            worker,
+            &request,
+            &mut admitted,
+            &mut trace,
+            &mut effects,
+        );
         let latency_us = started.elapsed().as_micros() as u64;
         shared.stats.record(kind, ok, latency_us);
 
@@ -761,10 +846,53 @@ fn serve_connection(shared: &Shared, worker: usize, mut stream: TcpStream) {
         // `Metrics` request's own snapshot excludes itself on both the
         // per-op and the per-stage side — the accounting stays reconciled
         // at every sequential observation point.
-        shared.trace.record_request(worker, kind, &trace);
-        if delivered.is_err() {
+        shared
+            .trace
+            .record_request(worker, kind, &trace, effects.meta);
+        shared
+            .windowed
+            .record_request(worker, ok, faultable, &trace);
+        if delivered.is_ok() {
+            // Admit events exist exactly when the client learned its
+            // sessions do — the flight recorder's event stream mirrors the
+            // conservation oracle (admitted = confirmed + rolled back).
+            for a in admitted.iter() {
+                shared.recorder.record(
+                    worker,
+                    Event::Admit {
+                        session: a.session,
+                        server: a.server as u64,
+                        shard: shared.shard_of_session(a.session) as u64,
+                        version: a.version,
+                        game: a.game,
+                    },
+                );
+            }
+        } else {
             // The client never learned its sessions exist; un-admit them.
             rollback_admissions(shared, &admitted);
+            for a in admitted.iter() {
+                shared.recorder.record(
+                    worker,
+                    Event::Rollback {
+                        session: a.session,
+                        server: a.server as u64,
+                        shard: shared.shard_of_session(a.session) as u64,
+                    },
+                );
+            }
+        }
+        // Non-placement side effects (departs, reloads) happened whether or
+        // not the reply made it out, so they are recorded unconditionally.
+        for ev in effects.events.drain(..) {
+            shared.recorder.record(worker, ev);
+        }
+        // At most one worker a second pays for a full SLO evaluation, so
+        // alerts fire during steady traffic without any dedicated thread.
+        if shared.slo_engine.tick_due(shared.windowed.now_sec()) {
+            let _ = shared.evaluate_slo();
+        }
+        if delivered.is_err() {
             return;
         }
         if matches!(request, Request::Shutdown) {
@@ -772,6 +900,17 @@ fn serve_connection(shared: &Shared, worker: usize, mut stream: TcpStream) {
             return;
         }
     }
+}
+
+/// Observability side effects of one handled request, applied by the worker
+/// *after* the reply write so the recorder's admit/rollback accounting can
+/// depend on delivery.
+#[derive(Default)]
+struct RequestSideEffects {
+    /// Identity attached to the slow-request ring entry.
+    meta: SlowMeta,
+    /// Flight-recorder events to emit post-write (departs, reloads).
+    events: Vec<Event>,
 }
 
 /// Per-worker buffers for the multi-shard two-phase admit: one candidate
@@ -862,6 +1001,7 @@ fn admit_one_in_shard(
         session,
         server: shard_base + sel.server,
         version: model.version,
+        game: placement.0 .0 as u64,
         before_sum: sel.before_sum,
         after_sum: sel.server_sum,
     });
@@ -876,8 +1016,10 @@ fn admit_one_in_shard(
 /// that the occupancy the ranking was computed from is still in force; a
 /// lost race re-scores (bounded by [`MAX_ADMIT_RETRIES`]), after which the
 /// request settles for the best-ranked shard that still admits.
+#[allow(clippy::too_many_arguments)]
 fn place_multi(
     shared: &Shared,
+    worker: usize,
     model: &LoadedModel,
     scratch: &mut PlacementScratch,
     ss: &mut ShardScratch,
@@ -965,6 +1107,7 @@ fn place_multi(
             admitted,
             trace,
         ) {
+            shared.windowed.record_fallback(worker, s);
             return Some(placed);
         }
     }
@@ -978,6 +1121,7 @@ fn place_multi(
 /// fleets go through the two-phase [`place_multi`].
 fn place_one(
     shared: &Shared,
+    worker: usize,
     model: &LoadedModel,
     scratch: &mut PlacementScratch,
     placement: Placement,
@@ -995,6 +1139,7 @@ fn place_one(
     SHARD_SCRATCH.with(|ss| {
         place_multi(
             shared,
+            worker,
             model,
             scratch,
             &mut ss.borrow_mut(),
@@ -1012,7 +1157,7 @@ fn place_one(
 /// are dropped. Reports tagged with an older model version are buffered as
 /// training data but kept out of the drift statistics — their prediction
 /// error describes a model that is no longer serving.
-fn ingest_reports(shared: &Shared, reports: &[OutcomeReport]) -> (Response, bool) {
+fn ingest_reports(shared: &Shared, worker: usize, reports: &[OutcomeReport]) -> (Response, bool) {
     let current_version = shared.model.version();
     let mut accepted = 0u64;
     let mut stale_count = 0u64;
@@ -1054,6 +1199,15 @@ fn ingest_reports(shared: &Shared, reports: &[OutcomeReport]) -> (Response, bool
                     report.predicted_fps,
                     stale,
                 );
+                // The observed-FPS SLO objective and the windowed MAE both
+                // feed off every accepted report (observed_fps > 0 was
+                // checked above, so the relative error is well-defined).
+                shared.windowed.record_outcome(
+                    worker,
+                    target.0 .0 as u64,
+                    report.observed_fps < shared.config.qos,
+                    (report.predicted_fps - report.observed_fps).abs() / report.observed_fps,
+                );
                 accepted += 1;
                 if stale {
                     stale_count += 1;
@@ -1083,13 +1237,16 @@ fn ingest_reports(shared: &Shared, reports: &[OutcomeReport]) -> (Response, bool
 
 fn handle_request(
     shared: &Shared,
+    worker: usize,
     request: &Request,
     admitted: &mut Vec<Admitted>,
     trace: &mut RequestTrace,
+    effects: &mut RequestSideEffects,
 ) -> (Response, bool) {
     match request {
         Request::Place { game, resolution } => {
             let model = shared.model.get();
+            effects.meta.model_version = Some(model.version);
             if !model.knows_game(*game) {
                 return (
                     Response::Error {
@@ -1101,6 +1258,7 @@ fn handle_request(
             match SCRATCH.with(|s| {
                 place_one(
                     shared,
+                    worker,
                     &model,
                     &mut s.borrow_mut(),
                     (*game, *resolution),
@@ -1108,25 +1266,41 @@ fn handle_request(
                     trace,
                 )
             }) {
-                Some((session, server, predicted_fps)) => (
-                    Response::Placed {
-                        session,
-                        server,
-                        predicted_fps,
-                        model_version: model.version,
-                    },
-                    true,
-                ),
-                None => (
-                    Response::Rejected {
-                        reason: "no eligible server (fleet saturated)".into(),
-                    },
-                    true,
-                ),
+                Some((session, server, predicted_fps)) => {
+                    let shard = shared.shard_of_session(session);
+                    shared
+                        .windowed
+                        .record_place_attempt(worker, game.0 as u64, Some(shard));
+                    effects.meta.session = Some(session);
+                    effects.meta.shard = Some(shard as u64);
+                    (
+                        Response::Placed {
+                            session,
+                            server,
+                            predicted_fps,
+                            model_version: model.version,
+                        },
+                        true,
+                    )
+                }
+                None => {
+                    // Saturation *is* the QoS floor biting: no server keeps
+                    // this game above its floor — the admit-time SLO signal.
+                    shared
+                        .windowed
+                        .record_place_attempt(worker, game.0 as u64, None);
+                    (
+                        Response::Rejected {
+                            reason: "no eligible server (fleet saturated)".into(),
+                        },
+                        true,
+                    )
+                }
             }
         }
         Request::PlaceBatch { requests } => {
             let model = shared.model.get();
+            effects.meta.model_version = Some(model.version);
             // Items place in order and fail independently (unknown game or
             // saturation). Single-shard fleets take one lock acquisition
             // (and one scratch borrow) for the whole burst — the classic
@@ -1162,6 +1336,7 @@ fn handle_request(
                             None => SHARD_SCRATCH.with(|ss| {
                                 place_multi(
                                     shared,
+                                    worker,
                                     &model,
                                     scratch,
                                     &mut ss.borrow_mut(),
@@ -1172,14 +1347,34 @@ fn handle_request(
                             }),
                         };
                         match placed {
-                            Some((session, server, predicted_fps)) => BatchPlaceResult::Placed {
-                                session,
-                                server,
-                                predicted_fps,
-                            },
-                            None => BatchPlaceResult::Rejected {
-                                reason: "no eligible server (fleet saturated)".into(),
-                            },
+                            Some((session, server, predicted_fps)) => {
+                                let shard = shared.shard_of_session(session);
+                                shared.windowed.record_place_attempt(
+                                    worker,
+                                    game.0 as u64,
+                                    Some(shard),
+                                );
+                                // The ring entry points at the batch's first
+                                // admitted session — one concrete session to
+                                // start debugging a slow burst from.
+                                if effects.meta.session.is_none() {
+                                    effects.meta.session = Some(session);
+                                    effects.meta.shard = Some(shard as u64);
+                                }
+                                BatchPlaceResult::Placed {
+                                    session,
+                                    server,
+                                    predicted_fps,
+                                }
+                            }
+                            None => {
+                                shared
+                                    .windowed
+                                    .record_place_attempt(worker, game.0 as u64, None);
+                                BatchPlaceResult::Rejected {
+                                    reason: "no eligible server (fleet saturated)".into(),
+                                }
+                            }
                         }
                     })
                     .collect()
@@ -1208,10 +1403,18 @@ fn handle_request(
                 Some(placed) => {
                     scores.invalidate(placed.server);
                     *epoch += 1;
+                    let server = shared.shard_base[owner] + placed.server;
+                    effects.meta.session = Some(*session);
+                    effects.meta.shard = Some(owner as u64);
+                    effects.events.push(Event::Depart {
+                        session: *session,
+                        server: server as u64,
+                        shard: owner as u64,
+                    });
                     (
                         Response::Departed {
                             session: *session,
-                            server: shared.shard_base[owner] + placed.server,
+                            server,
                         },
                         true,
                     )
@@ -1278,8 +1481,10 @@ fn handle_request(
                 true,
             )
         }
-        Request::ReportOutcome { report } => ingest_reports(shared, std::slice::from_ref(report)),
-        Request::ReportOutcomeBatch { reports } => ingest_reports(shared, reports),
+        Request::ReportOutcome { report } => {
+            ingest_reports(shared, worker, std::slice::from_ref(report))
+        }
+        Request::ReportOutcomeBatch { reports } => ingest_reports(shared, worker, reports),
         Request::TriggerRetrain {
             min_samples,
             extra_rounds,
@@ -1299,9 +1504,25 @@ fn handle_request(
             },
             true,
         ),
+        Request::SloStatus => (Response::Slo(Box::new(shared.evaluate_slo())), true),
+        Request::DumpRecorder { deterministic } => {
+            let dump = shared.recorder.dump(*deterministic);
+            (
+                Response::RecorderDump {
+                    jsonl: dump.jsonl,
+                    events: dump.events,
+                    truncated: dump.truncated,
+                },
+                true,
+            )
+        }
         Request::ReloadModel { path } => {
             match shared.model.reload(path.as_deref().map(Path::new)) {
-                Ok(version) => (Response::Reloaded { version }, true),
+                Ok(version) => {
+                    effects.meta.model_version = Some(version);
+                    effects.events.push(Event::Reload { version });
+                    (Response::Reloaded { version }, true)
+                }
                 Err(e) => (
                     Response::Error {
                         message: format!("reload failed: {e}"),

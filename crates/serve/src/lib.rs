@@ -25,6 +25,10 @@
 //! * [`stats`] — atomic counters and latency histograms.
 //! * [`trace`] — per-request stage timings, slow-request ring, Prometheus
 //!   exposition.
+//! * [`slo`] — windowed telemetry rings, rolling views, burn-rate SLO
+//!   engine and alert state machine.
+//! * [`recorder`] — always-on flight recorder with deterministic JSONL
+//!   dumps.
 //! * [`feedback`] — outcome ingestion, drift detection, retrain dataset.
 //! * [`client`] — typed blocking client over one connection.
 //! * [`load`] — deterministic Poisson load driver.
@@ -71,6 +75,8 @@ pub mod feedback;
 pub mod load;
 pub mod model;
 pub mod queue;
+pub mod recorder;
+pub mod slo;
 pub mod stats;
 pub mod trace;
 pub mod wire;
@@ -83,9 +89,14 @@ pub use fault::{FaultAction, FaultEvent, FaultInjector, FaultPlan, InjectionPoin
 pub use feedback::{DriftDetector, Feedback, FeedbackConfig, FeedbackCounters, OutcomeRecord};
 pub use load::{LoadConfig, LoadReport};
 pub use model::{LoadedModel, MemoizedFps, ModelHandle, PredictionMemo};
+pub use recorder::{Event, Recorder, RecorderDump};
+pub use slo::{
+    AlertState, Clock, ManualClock, MonotonicClock, SloConfig, SloEngine, SloReport, WindowView,
+    WindowedCollector,
+};
 pub use stats::{RequestStats, StatsSnapshot};
 pub use trace::{
-    render_prometheus, verify_stage_accounting, RequestTrace, SlowRequest, Stage, StageStats,
-    TraceCollector,
+    render_prometheus, verify_stage_accounting, RequestTrace, SlowMeta, SlowRequest, Stage,
+    StageStats, TraceCollector,
 };
 pub use wire::{BatchPlaceResult, OutcomeReport, Request, Response, WirePlacement};

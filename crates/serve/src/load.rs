@@ -9,6 +9,7 @@
 //! rate-paced runs equally deterministic.
 
 use crate::client::{Client, ClientError, RetryPolicy};
+use crate::slo::AlertState;
 use crate::wire::{BatchPlaceResult, OutcomeReport, WirePlacement};
 use gaugur_gamesim::rng::rng_for;
 use gaugur_gamesim::{GameId, Resolution};
@@ -77,6 +78,13 @@ pub struct LoadConfig {
     /// skips the check. Same quiesce requirement as `verify_trace`; the
     /// result lands in [`LoadReport::shard_violation`].
     pub expect_shards: Option<usize>,
+    /// After the run, fetch the daemon's SLO report and demand the fleet
+    /// alert state reached *at least* this severity. `Some(AlertState::Ok)`
+    /// just scrapes and records the state; `Some(AlertState::Critical)` is
+    /// how CI asserts an injected QoS violation actually fired the alert.
+    /// The result lands in [`LoadReport::slo_state`] /
+    /// [`LoadReport::slo_violation`].
+    pub expect_slo: Option<AlertState>,
 }
 
 impl Default for LoadConfig {
@@ -97,6 +105,7 @@ impl Default for LoadConfig {
             drift: 1.0,
             verify_trace: false,
             expect_shards: None,
+            expect_slo: None,
         }
     }
 }
@@ -150,6 +159,12 @@ pub struct LoadReport {
     /// Shard-layout violation found by the post-run check, if any (`None` =
     /// layout and conservation held, or `expect_shards` was off).
     pub shard_violation: Option<String>,
+    /// Fleet-wide alert state from the post-run SLO scrape (`None` when
+    /// `expect_slo` was off or the scrape failed).
+    pub slo_state: Option<AlertState>,
+    /// SLO expectation failure, if any (`None` = the fleet alert state
+    /// reached the expected severity, or `expect_slo` was off).
+    pub slo_violation: Option<String>,
 }
 
 impl std::fmt::Display for LoadReport {
@@ -190,13 +205,18 @@ impl std::fmt::Display for LoadReport {
             None => {}
         }
         match &self.shard_violation {
-            Some(v) => writeln!(f, "  shards:        VIOLATION: {v}"),
+            Some(v) => writeln!(f, "  shards:        VIOLATION: {v}")?,
             None if self.shards_seen > 0 => writeln!(
                 f,
                 "  shards:        {} placement shards, conservation held",
                 self.shards_seen
-            ),
-            None => Ok(()),
+            )?,
+            None => {}
+        }
+        match (&self.slo_violation, self.slo_state) {
+            (Some(v), _) => writeln!(f, "  slo:           VIOLATION: {v}"),
+            (None, Some(state)) => writeln!(f, "  slo:           fleet alert state {state}"),
+            (None, None) => Ok(()),
         }
     }
 }
@@ -586,6 +606,20 @@ pub fn run(config: &LoadConfig) -> LoadReport {
                     report.shard_violation = Some(msg);
                 }
             }
+        }
+    }
+    if let Some(want) = config.expect_slo {
+        match Client::connect(&config.addr).and_then(|mut c| c.slo_status()) {
+            Ok(slo) => {
+                report.slo_state = Some(slo.state);
+                if slo.state < want {
+                    report.slo_violation = Some(format!(
+                        "fleet alert state {} never reached {want}",
+                        slo.state
+                    ));
+                }
+            }
+            Err(e) => report.slo_violation = Some(format!("slo scrape failed: {e}")),
         }
     }
     report

@@ -11,8 +11,9 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
 
+use crate::slo::{Clock, MonotonicClock, SloReport};
 use crate::trace::{SlowRequest, StageStats};
 use crate::wire::REQUEST_KINDS;
 
@@ -215,6 +216,10 @@ pub struct StatsSnapshot {
     /// Worst-N slowest requests with per-stage breakdowns, slowest first.
     #[serde(default)]
     pub slow_requests: Vec<SlowRequest>,
+    /// Windowed SLO evaluation (burn rates, alert states, rolling views);
+    /// `None` from stats sources that predate the SLO engine.
+    #[serde(default)]
+    pub slo: Option<SloReport>,
 }
 
 impl StatsSnapshot {
@@ -310,6 +315,24 @@ impl std::fmt::Display for StatsSnapshot {
             "  retrains:          {} ok / {} failed, last {} ms over {} samples",
             self.retrains_ok, self.retrains_failed, self.last_retrain_ms, self.last_retrain_samples
         )?;
+        if let Some(slo) = &self.slo {
+            let burns = slo
+                .objectives
+                .iter()
+                .map(|o| {
+                    format!(
+                        "{} {} ({:.1}/{:.1})",
+                        o.name, o.state, o.fast_burn, o.slow_burn
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            writeln!(
+                f,
+                "  slo:               {} — {burns}, {} transitions",
+                slo.state, slo.transitions
+            )?;
+        }
         writeln!(
             f,
             "  {:<14} {:>8} {:>8} {:>10} {:>10} {:>10}",
@@ -395,7 +418,8 @@ impl KindCounters {
 
 /// Collection-side counters; shared across workers as plain atomics.
 pub struct AtomicStats {
-    started: Instant,
+    clock: Arc<dyn Clock>,
+    started_us: u64,
     kinds: Vec<(&'static str, KindCounters)>,
     connections: AtomicU64,
     connections_closed: AtomicU64,
@@ -418,10 +442,19 @@ impl Default for AtomicStats {
 }
 
 impl AtomicStats {
-    /// Fresh counters with every request kind pre-registered.
+    /// Fresh counters with every request kind pre-registered, timed by a
+    /// monotonic clock.
     pub fn new() -> AtomicStats {
+        AtomicStats::new_with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// Fresh counters reading uptime from an injected [`Clock`] (the
+    /// daemon shares one clock across stats, windowed telemetry and the
+    /// recorder; tests use a [`crate::slo::ManualClock`]).
+    pub fn new_with_clock(clock: Arc<dyn Clock>) -> AtomicStats {
         AtomicStats {
-            started: Instant::now(),
+            started_us: clock.now_us(),
+            clock,
             kinds: REQUEST_KINDS
                 .iter()
                 .map(|&k| (k, KindCounters::new()))
@@ -554,7 +587,7 @@ impl AtomicStats {
             })
             .collect();
         StatsSnapshot {
-            uptime_ms: self.started.elapsed().as_millis() as u64,
+            uptime_ms: self.clock.now_us().saturating_sub(self.started_us) / 1_000,
             model_version,
             active_sessions,
             servers,
@@ -596,6 +629,7 @@ impl AtomicStats {
             // them in alongside the score/feedback fields above.
             per_stage: BTreeMap::new(),
             slow_requests: Vec::new(),
+            slo: None,
         }
     }
 }
@@ -740,5 +774,17 @@ mod tests {
         let text = s.snapshot(2, 3, 4).to_string();
         assert!(text.contains("model version:     2"));
         assert!(text.contains("stats"));
+    }
+
+    #[test]
+    fn uptime_follows_the_injected_clock() {
+        let clock = Arc::new(crate::slo::ManualClock::new(5_000_000));
+        let s = AtomicStats::new_with_clock(clock.clone());
+        assert_eq!(s.snapshot(1, 0, 0).uptime_ms, 0);
+        clock.advance_us(2_500_000);
+        assert_eq!(s.snapshot(1, 0, 0).uptime_ms, 2_500);
+        // A clock that jumps backwards must not underflow.
+        clock.set_us(0);
+        assert_eq!(s.snapshot(1, 0, 0).uptime_ms, 0);
     }
 }

@@ -147,6 +147,24 @@ pub struct SlowRequest {
     /// Per-stage durations (µs), indexed like [`STAGES`]; the `queue_wait`
     /// slot is always 0 (it is per-connection, not per-request).
     pub stage_us: Vec<u64>,
+    /// Session id the request touched (admitted/departed), if any.
+    pub session: Option<u64>,
+    /// Placement shard the request landed on, if any.
+    pub shard: Option<u64>,
+    /// Model version that served the request, when one was involved.
+    pub model_version: Option<u64>,
+}
+
+/// Request identity attached to a slow-ring entry so `gaugur top` output is
+/// actionable on sharded fleets: which session, which shard, which model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlowMeta {
+    /// Session id the request touched, if any.
+    pub session: Option<u64>,
+    /// Placement shard the request landed on, if any.
+    pub shard: Option<u64>,
+    /// Model version that served the request, when one was involved.
+    pub model_version: Option<u64>,
 }
 
 /// Per-request stage accumulator, filled on a worker's stack while the
@@ -212,6 +230,7 @@ struct SlowEntry {
     kind: &'static str,
     total_us: u64,
     us: [u64; N_STAGES],
+    meta: SlowMeta,
 }
 
 /// Worst-N requests by total service time. The `floor_us` fast path skips
@@ -235,7 +254,7 @@ impl SlowLog {
         }
     }
 
-    fn offer(&self, kind: &'static str, trace: &RequestTrace) {
+    fn offer(&self, kind: &'static str, trace: &RequestTrace, meta: SlowMeta) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         if self.capacity == 0 {
             return;
@@ -250,6 +269,7 @@ impl SlowLog {
             kind,
             total_us,
             us: trace.us,
+            meta,
         };
         let mut ring = self.ring.lock();
         if ring.len() < self.capacity {
@@ -282,6 +302,9 @@ impl SlowLog {
                 kind: e.kind.to_string(),
                 total_us: e.total_us,
                 stage_us: e.us.to_vec(),
+                session: e.meta.session,
+                shard: e.meta.shard,
+                model_version: e.meta.model_version,
             })
             .collect();
         drop(ring);
@@ -317,13 +340,20 @@ impl TraceCollector {
     /// Record a fully handled request: one sample per request stage (stages
     /// that did not run contribute zero-duration samples, keeping all six
     /// request-stage counts equal to the number of handled requests), and an
-    /// offer to the slow-request ring.
-    pub fn record_request(&self, worker: usize, kind: &'static str, trace: &RequestTrace) {
+    /// offer to the slow-request ring carrying the request's identity
+    /// (`meta`: session, shard, model version).
+    pub fn record_request(
+        &self,
+        worker: usize,
+        kind: &'static str,
+        trace: &RequestTrace,
+        meta: SlowMeta,
+    ) {
         let shard = &self.shards[worker % self.shards.len()];
         for &stage in REQUEST_STAGES.iter() {
             shard.record(stage, trace.get(stage));
         }
-        self.slow.offer(kind, trace);
+        self.slow.offer(kind, trace, meta);
     }
 
     /// Merge every shard into per-stage snapshot statistics. All stages are
@@ -445,6 +475,26 @@ fn write_histogram(
 pub fn render_prometheus(s: &StatsSnapshot) -> String {
     let mut out = String::with_capacity(16 * 1024);
 
+    write_header(
+        &mut out,
+        "gaugur_build_info",
+        "gauge",
+        "Build metadata of the running daemon; value is always 1.",
+    );
+    write_metric(
+        &mut out,
+        "gaugur_build_info",
+        &format!(
+            "version=\"{}\",profile=\"{}\"",
+            env!("CARGO_PKG_VERSION"),
+            if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            }
+        ),
+        1,
+    );
     write_header(
         &mut out,
         "gaugur_uptime_seconds",
@@ -736,7 +786,148 @@ pub fn render_prometheus(s: &StatsSnapshot) -> String {
             st.count,
         );
     }
+
+    if let Some(slo) = &s.slo {
+        render_slo(&mut out, slo);
+    }
     out
+}
+
+/// Human label for a rolling-window length (10 → "10s", 60 → "1m",
+/// 300 → "5m").
+fn window_label(secs: u64) -> String {
+    if secs >= 60 && secs.is_multiple_of(60) {
+        format!("{}m", secs / 60)
+    } else {
+        format!("{secs}s")
+    }
+}
+
+/// Append the `gaugur_slo_*` gauges and windowed `gaugur_window_*` series
+/// for an evaluated [`crate::SloReport`].
+fn render_slo(out: &mut String, slo: &crate::slo::SloReport) {
+    write_header(
+        out,
+        "gaugur_slo_state",
+        "gauge",
+        "Alert severity per objective (0 = ok, 1 = warn, 2 = critical).",
+    );
+    for o in &slo.objectives {
+        write_metric(
+            out,
+            "gaugur_slo_state",
+            &format!("objective=\"{}\"", o.name),
+            o.state.as_u8(),
+        );
+    }
+    write_metric(
+        out,
+        "gaugur_slo_state",
+        "objective=\"fleet\"",
+        slo.state.as_u8(),
+    );
+    write_header(
+        out,
+        "gaugur_slo_burn_rate",
+        "gauge",
+        "Error-budget burn rate per objective and evaluation window.",
+    );
+    write_header(
+        out,
+        "gaugur_slo_objective_value",
+        "gauge",
+        "Raw objective value (ratio, or p99 µs) per evaluation window.",
+    );
+    for o in &slo.objectives {
+        for (window, burn, value) in [
+            ("10s", o.fast_burn, o.fast_value),
+            ("5m", o.slow_burn, o.slow_value),
+        ] {
+            write_metric(
+                out,
+                "gaugur_slo_burn_rate",
+                &format!("objective=\"{}\",window=\"{window}\"", o.name),
+                burn,
+            );
+            write_metric(
+                out,
+                "gaugur_slo_objective_value",
+                &format!("objective=\"{}\",window=\"{window}\"", o.name),
+                value,
+            );
+        }
+    }
+    write_header(
+        out,
+        "gaugur_slo_target",
+        "gauge",
+        "Error budget / target the burn rates are measured against.",
+    );
+    for o in &slo.objectives {
+        write_metric(
+            out,
+            "gaugur_slo_target",
+            &format!("objective=\"{}\"", o.name),
+            o.target,
+        );
+    }
+    write_header(
+        out,
+        "gaugur_slo_transitions_total",
+        "counter",
+        "Alert state transitions since startup.",
+    );
+    write_metric(out, "gaugur_slo_transitions_total", "", slo.transitions);
+
+    type WindowGauge = fn(&crate::slo::WindowView) -> f64;
+    let windowed: [(&str, &str, WindowGauge); 7] = [
+        (
+            "gaugur_window_request_rate",
+            "Handled requests per second over the rolling window.",
+            |w| w.request_rate(),
+        ),
+        (
+            "gaugur_window_error_rate",
+            "Error responses per second over the rolling window.",
+            |w| w.error_rate(),
+        ),
+        (
+            "gaugur_window_place_p99_us",
+            "p99 place service time over the rolling window (µs).",
+            |w| w.place_p99_us() as f64,
+        ),
+        (
+            "gaugur_window_qos_reject_ratio",
+            "Fraction of placement attempts rejected at the QoS floor.",
+            |w| w.qos_reject_ratio(),
+        ),
+        (
+            "gaugur_window_outcome_below_floor_ratio",
+            "Fraction of reported outcomes below the QoS floor.",
+            |w| w.outcome_below_floor_ratio(),
+        ),
+        (
+            "gaugur_window_mae",
+            "Mean absolute relative FPS error over the rolling window.",
+            |w| w.windowed_mae(),
+        ),
+        (
+            "gaugur_window_active_seconds",
+            "Seconds inside the rolling window that recorded telemetry.",
+            |w| w.active_secs as f64,
+        ),
+    ];
+    for (name, help, f) in windowed {
+        write_header(out, name, "gauge", help);
+        for w in &slo.windows {
+            write_metric(
+                out,
+                name,
+                &format!("window=\"{}\"", window_label(w.window_secs)),
+                f(w),
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -770,10 +961,10 @@ mod tests {
         let c = TraceCollector::new(1, 4);
         let mut t = trace_with(1, 2, 3, 0, 0);
         t.add(Stage::PlaceAdmitWait, 9);
-        c.record_request(0, "place", &t);
+        c.record_request(0, "place", &t, SlowMeta::default());
         // A request that never touched a shard lock still contributes a
         // zero-duration sample, so the stage-sum invariant holds.
-        c.record_request(0, "stats", &trace_with(1, 0, 0, 1, 1));
+        c.record_request(0, "stats", &trace_with(1, 0, 0, 1, 1), SlowMeta::default());
         let snap = c.stage_snapshot();
         assert_eq!(snap["place_admit_wait"].count, 2);
         assert_eq!(snap["place_admit_wait"].total_us, 9);
@@ -785,9 +976,19 @@ mod tests {
         let c = TraceCollector::new(3, 4);
         // A request that never predicts or places still contributes
         // zero-duration samples to those stages.
-        c.record_request(0, "depart", &trace_with(7, 0, 0, 2, 3));
-        c.record_request(1, "place", &trace_with(5, 40, 60, 3, 4));
-        c.record_request(2, "place", &trace_with(6, 30, 50, 2, 9));
+        c.record_request(0, "depart", &trace_with(7, 0, 0, 2, 3), SlowMeta::default());
+        c.record_request(
+            1,
+            "place",
+            &trace_with(5, 40, 60, 3, 4),
+            SlowMeta::default(),
+        );
+        c.record_request(
+            2,
+            "place",
+            &trace_with(6, 30, 50, 2, 9),
+            SlowMeta::default(),
+        );
         let snap = c.stage_snapshot();
         for stage in REQUEST_STAGES {
             assert_eq!(snap[stage.name()].count, 3, "{}", stage.name());
@@ -817,7 +1018,7 @@ mod tests {
         let c = TraceCollector::new(1, 3);
         for (i, total) in [10u64, 50, 20, 90, 5, 50].into_iter().enumerate() {
             let kind = if i % 2 == 0 { "place" } else { "predict" };
-            c.record_request(0, kind, &trace_with(total, 0, 0, 0, 0));
+            c.record_request(0, kind, &trace_with(total, 0, 0, 0, 0), SlowMeta::default());
         }
         let slow = c.slow_snapshot();
         assert_eq!(slow.len(), 3);
@@ -836,7 +1037,7 @@ mod tests {
     #[test]
     fn zero_capacity_slow_ring_records_nothing() {
         let c = TraceCollector::new(1, 0);
-        c.record_request(0, "place", &trace_with(99, 0, 0, 0, 0));
+        c.record_request(0, "place", &trace_with(99, 0, 0, 0, 0), SlowMeta::default());
         assert!(c.slow_snapshot().is_empty());
         // Stage histograms still work.
         assert_eq!(c.stage_snapshot()["decode"].count, 1);
@@ -850,10 +1051,10 @@ mod tests {
         // 10 samples at 5µs (exactly on bucket 0's upper bound) and 10 at
         // 6µs (bucket 1).
         for _ in 0..10 {
-            c.record_request(0, "place", &trace_with(5, 0, 0, 0, 0));
+            c.record_request(0, "place", &trace_with(5, 0, 0, 0, 0), SlowMeta::default());
         }
         for _ in 0..10 {
-            c.record_request(0, "place", &trace_with(6, 0, 0, 0, 0));
+            c.record_request(0, "place", &trace_with(6, 0, 0, 0, 0), SlowMeta::default());
         }
         let st = c.stage_snapshot()["decode"].clone();
         // p=50 → rank 10, the last sample of bucket 0: boundary stays in the
@@ -870,7 +1071,12 @@ mod tests {
 
         // Overflow bucket reports the observed max, not a bucket bound.
         let c = TraceCollector::new(1, 0);
-        c.record_request(0, "place", &trace_with(2_000_000, 0, 0, 0, 0));
+        c.record_request(
+            0,
+            "place",
+            &trace_with(2_000_000, 0, 0, 0, 0),
+            SlowMeta::default(),
+        );
         let st = c.stage_snapshot()["decode"].clone();
         assert_eq!(st.max_us, 2_000_000);
         assert_eq!(st.percentile_us(50.0), 2_000_000);
@@ -917,9 +1123,14 @@ mod tests {
         let c = TraceCollector::new(2, 4);
         c.record_stage(0, Stage::QueueWait, 2);
         c.record_stage(1, Stage::QueueWait, 4);
-        c.record_request(0, "place", &trace_with(5, 20, 10, 2, 3));
-        c.record_request(1, "depart", &trace_with(4, 0, 0, 1, 2));
-        c.record_request(0, "stats", &trace_with(2, 0, 0, 1, 0));
+        c.record_request(
+            0,
+            "place",
+            &trace_with(5, 20, 10, 2, 3),
+            SlowMeta::default(),
+        );
+        c.record_request(1, "depart", &trace_with(4, 0, 0, 1, 2), SlowMeta::default());
+        c.record_request(0, "stats", &trace_with(2, 0, 0, 1, 0), SlowMeta::default());
         let mut snap = stats.snapshot(3, 1, 8);
         snap.per_stage = c.stage_snapshot();
         snap.slow_requests = c.slow_snapshot();
@@ -1017,5 +1228,93 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn slow_meta_propagates_to_the_snapshot() {
+        let c = TraceCollector::new(1, 4);
+        let meta = SlowMeta {
+            session: Some(41),
+            shard: Some(2),
+            model_version: Some(3),
+        };
+        c.record_request(0, "place", &trace_with(9, 0, 0, 0, 0), meta);
+        c.record_request(0, "stats", &trace_with(1, 0, 0, 0, 0), SlowMeta::default());
+        let slow = c.slow_snapshot();
+        assert_eq!(slow[0].session, Some(41));
+        assert_eq!(slow[0].shard, Some(2));
+        assert_eq!(slow[0].model_version, Some(3));
+        assert_eq!(slow[1].session, None);
+        assert_eq!(slow[1].shard, None);
+        assert_eq!(slow[1].model_version, None);
+    }
+
+    #[test]
+    fn slow_request_decodes_pre_meta_json() {
+        // Snapshots serialized before the identity fields existed must still
+        // deserialize (serde defaults).
+        let old = r#"{"seq":4,"kind":"place","total_us":12,"stage_us":[0,12,0,0,0,0,0]}"#;
+        let back: SlowRequest = serde_json::from_str(old).unwrap();
+        assert_eq!(back.session, None);
+        assert_eq!(back.shard, None);
+        assert_eq!(back.model_version, None);
+    }
+
+    #[test]
+    fn prometheus_exposes_build_info() {
+        let text = render_prometheus(&populated_snapshot());
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("gaugur_build_info{"))
+            .expect("build_info series present");
+        assert!(line.contains(&format!("version=\"{}\"", env!("CARGO_PKG_VERSION"))));
+        assert!(line.contains("profile=\""));
+        assert!(line.ends_with(" 1"));
+    }
+
+    #[test]
+    fn prometheus_slo_section_renders_when_evaluated() {
+        use crate::slo::{ManualClock, SloConfig, SloEngine, WindowedCollector};
+        use std::sync::Arc;
+
+        let mut snap = populated_snapshot();
+        // Without an SLO report the section is absent entirely.
+        assert!(!render_prometheus(&snap).contains("gaugur_slo_state"));
+
+        let clock = Arc::new(ManualClock::new(0));
+        let w = WindowedCollector::new(2, 2, clock.clone());
+        w.record_place_attempt(0, 1, Some(0));
+        w.record_place_attempt(1, 1, None); // QoS-rejected
+        w.record_outcome(0, 1, true, 0.5);
+        let engine = SloEngine::new(SloConfig::default());
+        let (report, _) = engine.evaluate(&w.views(), w.per_game());
+        snap.slo = Some(report);
+
+        let text = render_prometheus(&snap);
+        assert!(text.contains("gaugur_slo_state{objective=\"fleet\"}"));
+        assert!(text.contains("gaugur_slo_state{objective=\"admit_qos\"}"));
+        assert!(text.contains("gaugur_slo_burn_rate{objective=\"observed_fps\",window=\"10s\"}"));
+        assert!(text.contains("gaugur_slo_burn_rate{objective=\"place_latency\",window=\"5m\"}"));
+        assert!(
+            text.contains("gaugur_slo_objective_value{objective=\"admit_qos\",window=\"10s\"} 0.5")
+        );
+        assert!(text.contains("gaugur_slo_transitions_total "));
+        assert!(text.contains("gaugur_window_request_rate{window=\"10s\"}"));
+        assert!(text.contains("gaugur_window_qos_reject_ratio{window=\"1m\"} 0.5"));
+        assert!(text.contains("gaugur_window_outcome_below_floor_ratio{window=\"5m\"} 1"));
+        assert!(text.contains("gaugur_window_active_seconds{window=\"5m\"} 1"));
+        // The well-formedness contract holds with the section present.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect(line);
+            assert!(value.parse::<f64>().expect(line).is_finite(), "{line}");
+        }
+    }
+
+    #[test]
+    fn window_labels_are_humanized() {
+        assert_eq!(window_label(10), "10s");
+        assert_eq!(window_label(60), "1m");
+        assert_eq!(window_label(300), "5m");
+        assert_eq!(window_label(45), "45s");
     }
 }

@@ -88,6 +88,18 @@ pub enum Request {
     /// Control-plane like `Stats`: never subject to fault injection, so a
     /// scrape cannot perturb deterministic chaos replay.
     Metrics,
+    /// Evaluate the SLO engine now and fetch the full burn-rate report
+    /// (objectives, rolling windows, per-game QoS counters). Control-plane:
+    /// never fault-injected.
+    SloStatus,
+    /// Snapshot the flight recorder as a JSONL dump. Control-plane: never
+    /// fault-injected.
+    DumpRecorder {
+        /// `true` strips run-varying fields (session ids, model versions,
+        /// timestamps) and keeps only seed-pure events, so dumps are
+        /// byte-comparable across a faulted run and its fault-free replay.
+        deterministic: bool,
+    },
     /// Hot-swap the model: reload from `path`, or from the original
     /// model file when `path` is `None`.
     ReloadModel {
@@ -192,6 +204,17 @@ pub enum Response {
     Reloaded {
         /// The new model version.
         version: u64,
+    },
+    /// Answer to `SloStatus`: the full burn-rate evaluation.
+    Slo(Box<crate::slo::SloReport>),
+    /// Answer to `DumpRecorder`: the flight-recorder snapshot.
+    RecorderDump {
+        /// One JSON object per line, oldest event first.
+        jsonl: String,
+        /// Events included in the dump.
+        events: u64,
+        /// Whether oldest events were dropped to fit the frame budget.
+        truncated: bool,
     },
     /// The work queue is full; retry after the suggested backoff.
     Overloaded {
@@ -339,6 +362,8 @@ pub fn request_kind(req: &Request) -> &'static str {
         Request::TriggerRetrain { .. } => "trigger_retrain",
         Request::Stats => "stats",
         Request::Metrics => "metrics",
+        Request::SloStatus => "slo_status",
+        Request::DumpRecorder { .. } => "dump_recorder",
         Request::ReloadModel { .. } => "reload_model",
         Request::Shutdown => "shutdown",
     }
@@ -346,7 +371,7 @@ pub fn request_kind(req: &Request) -> &'static str {
 
 /// All request-kind labels, in a stable order (drives stats pre-registration
 /// so snapshots always carry every kind).
-pub const REQUEST_KINDS: [&str; 11] = [
+pub const REQUEST_KINDS: [&str; 13] = [
     "place",
     "place_batch",
     "depart",
@@ -356,6 +381,8 @@ pub const REQUEST_KINDS: [&str; 11] = [
     "trigger_retrain",
     "stats",
     "metrics",
+    "slo_status",
+    "dump_recorder",
     "reload_model",
     "shutdown",
 ];
@@ -439,6 +466,13 @@ mod tests {
         });
         roundtrip_request(&Request::Stats);
         roundtrip_request(&Request::Metrics);
+        roundtrip_request(&Request::SloStatus);
+        roundtrip_request(&Request::DumpRecorder {
+            deterministic: true,
+        });
+        roundtrip_request(&Request::DumpRecorder {
+            deterministic: false,
+        });
         roundtrip_request(&Request::ReloadModel { path: None });
         roundtrip_request(&Request::ReloadModel {
             path: Some("/tmp/model.json".into()),
@@ -494,6 +528,21 @@ mod tests {
             text: "# TYPE gaugur_requests_total counter\ngaugur_requests_total 7\n".into(),
         });
         roundtrip_response(&Response::Reloaded { version: 3 });
+        {
+            use crate::slo::{ManualClock, SloConfig, SloEngine, WindowedCollector};
+            use std::sync::Arc;
+            let w = WindowedCollector::new(1, 2, Arc::new(ManualClock::new(0)));
+            w.record_place_attempt(0, 3, Some(1));
+            w.record_outcome(0, 3, false, 0.01);
+            let engine = SloEngine::new(SloConfig::default());
+            let (report, _) = engine.evaluate(&w.views(), w.per_game());
+            roundtrip_response(&Response::Slo(Box::new(report)));
+        }
+        roundtrip_response(&Response::RecorderDump {
+            jsonl: "{\"i\":0,\"kind\":\"admit\",\"server\":4,\"shard\":0,\"game\":0}\n".into(),
+            events: 1,
+            truncated: false,
+        });
         roundtrip_response(&Response::Overloaded { retry_after_ms: 25 });
         roundtrip_response(&Response::ShuttingDown);
         roundtrip_response(&Response::UnknownSession { session: 99 });
@@ -630,6 +679,10 @@ mod tests {
             },
             Request::Stats,
             Request::Metrics,
+            Request::SloStatus,
+            Request::DumpRecorder {
+                deterministic: true,
+            },
             Request::ReloadModel {
                 path: Some("/tmp/model.json".into()),
             },
@@ -668,7 +721,7 @@ mod tests {
     proptest! {
         #[test]
         fn payload_mutations_decode_cleanly_and_keep_the_stream_in_sync(
-            which in 0usize..11,
+            which in 0usize..13,
             offset_seed in any::<u64>(),
             bit in 0u8..8,
         ) {
@@ -695,7 +748,7 @@ mod tests {
 
         #[test]
         fn header_mutations_never_panic_or_read_past_the_input(
-            which in 0usize..11,
+            which in 0usize..13,
             pos in 0usize..4,
             bit in 0u8..8,
         ) {

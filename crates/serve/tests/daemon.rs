@@ -247,6 +247,7 @@ fn hot_reload_under_live_load_fails_no_inflight_request() {
                 drift: 1.0,
                 verify_trace: false,
                 expect_shards: None,
+                expect_slo: None,
             })
         }
     });
@@ -561,6 +562,7 @@ fn sharded_load_driver_verifies_layout_and_tracing() {
         games: (0..N_GAMES).map(GameId).collect(),
         verify_trace: true,
         expect_shards: Some(4),
+        expect_slo: None,
         ..LoadConfig::default()
     });
     assert_eq!(report.errors, 0, "{report}");
@@ -938,4 +940,199 @@ fn drifted_outcomes_feed_a_retrain_that_lowers_the_windowed_error() {
     for (kind, counters) in &final_stats.per_request {
         assert_eq!(counters.errors, 0, "{kind} requests failed");
     }
+}
+
+#[test]
+fn slo_status_over_the_wire_reports_healthy_objectives() {
+    let handle = daemon::start(
+        DaemonConfig {
+            n_servers: 10,
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let mut sessions = Vec::new();
+    for g in 0..4 {
+        sessions.push(client.place(GameId(g), Resolution::Fhd1080).unwrap());
+    }
+    for p in &sessions {
+        // Healthy observations: at the predicted rate, above the QoS floor.
+        client
+            .report_outcome(gaugur_serve::OutcomeReport {
+                session: p.session,
+                observed_fps: p.predicted_fps,
+                predicted_fps: p.predicted_fps,
+                model_version: p.model_version,
+            })
+            .unwrap();
+        client.depart(p.session).unwrap();
+    }
+
+    let slo = client.slo_status().unwrap();
+    assert_eq!(slo.state, gaugur_serve::AlertState::Ok, "{slo}");
+    assert_eq!(slo.objectives.len(), 3);
+    for o in &slo.objectives {
+        assert_eq!(o.state, gaugur_serve::AlertState::Ok, "{}: {o:?}", o.name);
+    }
+    // The rolling views rode along: the fast window saw this test's traffic.
+    assert_eq!(slo.windows.len(), 3);
+    assert_eq!(
+        slo.windows
+            .iter()
+            .map(|w| w.window_secs)
+            .collect::<Vec<_>>(),
+        vec![10, 60, 300]
+    );
+    assert!(slo.windows[0].requests_ok > 0, "{:?}", slo.windows[0]);
+    assert_eq!(slo.windows[0].place_attempts, 4);
+    assert_eq!(slo.windows[0].outcomes_total, 4);
+    assert_eq!(slo.windows[0].outcomes_below_floor, 0);
+    // Per-game QoS tallies resolved the games we placed.
+    assert!(!slo.per_game.is_empty());
+
+    // The same report is embedded in the stats snapshot.
+    let stats = client.stats().unwrap();
+    let embedded = stats.slo.expect("stats snapshot carries the SLO report");
+    assert_eq!(embedded.state, gaugur_serve::AlertState::Ok);
+    handle.shutdown();
+}
+
+#[test]
+fn recorder_dump_over_the_wire_matches_the_session_history() {
+    let handle = daemon::start(
+        DaemonConfig {
+            n_servers: 10,
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let a = client.place(GameId(0), Resolution::Fhd1080).unwrap();
+    let b = client.place(GameId(1), Resolution::Fhd1080).unwrap();
+    let c = client.place(GameId(2), Resolution::Fhd1080).unwrap();
+    client.depart(b.session).unwrap();
+
+    // The deterministic view: three admits then one depart, renumbered,
+    // with wall-clock and identity noise struck.
+    let (jsonl, events, truncated) = client.dump_recorder(true).unwrap();
+    assert!(!truncated);
+    assert_eq!(events, 4, "3 admits + 1 depart:\n{jsonl}");
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), 4);
+    for (i, line) in lines.iter().enumerate() {
+        serde_json::parse_value_str(line).expect("dump line is standalone JSON");
+        assert!(line.starts_with(&format!("{{\"i\":{i},")), "{line}");
+        assert!(
+            !line.contains("t_us"),
+            "deterministic dump leaked time: {line}"
+        );
+    }
+    assert!(lines[0].contains("\"kind\":\"admit\""));
+    assert!(lines[3].contains("\"kind\":\"depart\""));
+    assert!(lines[3].contains(&format!(
+        "\"server\":{}",
+        a.server.max(b.server).min(b.server)
+    )));
+
+    // The operator view keeps everything: timestamps, sequence numbers,
+    // session ids, model versions.
+    let (full, full_events, _) = client.dump_recorder(false).unwrap();
+    assert!(full_events >= 4);
+    assert!(full.contains("\"t_us\""));
+    assert!(full.contains(&format!("\"session\":{}", c.session)));
+    handle.shutdown();
+}
+
+#[test]
+fn critical_alert_auto_dumps_the_flight_recorder() {
+    let dir = std::env::temp_dir().join(format!("gaugur-slo-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump_path = dir.join("incident.jsonl");
+    let _ = std::fs::remove_file(&dump_path);
+
+    let handle = daemon::start(
+        DaemonConfig {
+            // One tiny server: a short burst of placements saturates the
+            // fleet, and saturation rejections *are* the QoS floor biting —
+            // the admit_qos objective's error budget burns at once.
+            n_servers: 1,
+            recorder_dump_path: Some(dump_path.clone()),
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let mut rejected = 0u64;
+    for g in 0..N_GAMES {
+        for _ in 0..4 {
+            match client.place(GameId(g), Resolution::Fhd1080) {
+                Ok(_) => {}
+                Err(ClientError::Rejected { .. }) => rejected += 1,
+                Err(e) => panic!("unexpected place error: {e}"),
+            }
+        }
+    }
+    assert!(rejected > 0, "one server must saturate under 32 placements");
+
+    // Forcing an evaluation trips Ok -> Critical on the admit_qos
+    // objective, which must write the incident dump to the configured path.
+    let slo = client.slo_status().unwrap();
+    let admit = &slo.objectives[0];
+    assert_eq!(admit.name, "admit_qos");
+    assert_eq!(admit.state, gaugur_serve::AlertState::Critical, "{slo}");
+    assert!(slo.transitions > 0);
+
+    let dumped = std::fs::read_to_string(&dump_path)
+        .expect("Critical transition must write the recorder dump");
+    assert!(!dumped.is_empty());
+    for line in dumped.lines() {
+        serde_json::parse_value_str(line).expect("dump line is standalone JSON");
+    }
+    // The operator dump records the alert transition itself.
+    assert!(
+        dumped.contains("\"kind\":\"alert\""),
+        "incident dump should include the alert transition:\n{dumped}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn an_injected_manual_clock_drives_uptime_and_the_windowed_views() {
+    use std::sync::Arc;
+    let clock = Arc::new(gaugur_serve::ManualClock::new(1_000_000));
+    let handle = daemon::start(
+        DaemonConfig {
+            n_servers: 10,
+            clock: Some(clock.clone()),
+            ..quiet_config()
+        },
+        ModelHandle::from_model(model()),
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let p = client.place(GameId(0), Resolution::Fhd1080).unwrap();
+    let slo = client.slo_status().unwrap();
+    assert_eq!(slo.windows[0].place_attempts, 1);
+
+    // Jump the injected clock past the fast window: the 10s view forgets
+    // the placement, the 5m view still holds it.
+    clock.advance_secs(30);
+    let slo = client.slo_status().unwrap();
+    assert_eq!(slo.windows[0].place_attempts, 0, "{:?}", slo.windows[0]);
+    assert_eq!(slo.windows[2].place_attempts, 1, "{:?}", slo.windows[2]);
+
+    // Uptime follows the same clock.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.uptime_ms, 30_000);
+
+    client.depart(p.session).unwrap();
+    handle.shutdown();
 }

@@ -47,10 +47,16 @@ fn every_seeded_scenario_passes_all_oracles() {
     let mut kinds = std::collections::BTreeSet::new();
     let (mut confirmed, mut lost) = (0u64, 0u64);
     let (mut retrains, mut outcomes) = (0u64, 0u64);
+    let mut dump_bytes = 0usize;
     for report in &reports {
         if !report.passed() {
             failures.push(format!("{report}"));
         }
+        // Byte-identity of the flight-recorder dump between the faulted run
+        // and its fault-free replay is an oracle inside run_scenario; a
+        // divergence would land in violations and fail above. Here we only
+        // check the dumps carried real events across the suite.
+        dump_bytes += report.recorder_dump.len();
         confirmed += report.confirmed;
         lost += report.lost_requests + report.lost_replies;
         retrains += report.retrains_ok + report.retrains_failed;
@@ -69,6 +75,10 @@ fn every_seeded_scenario_passes_all_oracles() {
     // The suite exercised recovery, not just the happy path: work got done
     // *and* faults actually fired, covering every injection kind.
     assert!(confirmed > 0, "no placement survived any scenario");
+    assert!(
+        dump_bytes > 0,
+        "no scenario produced a flight-recorder dump"
+    );
     assert!(lost > 0, "no fault ever fired across {SCENARIOS} seeds");
     assert!(
         retrains > 0,

@@ -76,6 +76,9 @@ fn offline_build_serves_online_placements() {
         drift: 1.0,
         verify_trace: true,
         expect_shards: Some(1),
+        // Scrape the SLO engine after the run (Ok = no minimum severity
+        // demanded; the state itself is asserted below).
+        expect_slo: Some(gaugur::serve::AlertState::Ok),
     });
     assert_eq!(report.errors, 0);
     assert_eq!(report.placed + report.rejected, 100);
@@ -88,6 +91,11 @@ fn offline_build_serves_online_placements() {
     assert_eq!(
         report.shard_violation, None,
         "a default daemon is one shard and conserves its sessions"
+    );
+    assert_eq!(report.slo_violation, None);
+    assert!(
+        report.slo_state.is_some(),
+        "the post-run scrape must record the fleet alert state"
     );
 
     let stats = client.stats().unwrap();
